@@ -1,0 +1,65 @@
+//! Figure F2: signature scheme cost (sign / verify / keygen) across
+//! parameter presets — the practical footing of the paper's S1–S3
+//! assumption.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fd_crypto::{DsaScheme, RsaScheme, SchnorrScheme, SignatureScheme};
+
+fn bench_schemes(c: &mut Criterion) {
+    let schemes: Vec<Box<dyn SignatureScheme>> = vec![
+        Box::new(SchnorrScheme::test_tiny()),
+        Box::new(SchnorrScheme::s512()),
+        Box::new(SchnorrScheme::s1024()),
+        Box::new(DsaScheme::s512()),
+        Box::new(DsaScheme::s1024()),
+        Box::new(RsaScheme::new(512)),
+    ];
+    for scheme in &schemes {
+        let (sk, pk) = scheme.keypair_from_seed(1);
+        let sig = scheme.sign(&sk, b"bench message").unwrap();
+        c.bench_function(&format!("sign/{}", scheme.name()), |b| {
+            b.iter(|| scheme.sign(&sk, b"bench message").unwrap());
+        });
+        c.bench_function(&format!("verify/{}", scheme.name()), |b| {
+            b.iter(|| assert!(scheme.verify(&pk, b"bench message", &sig)));
+        });
+    }
+    // Keygen separately (RSA keygen is slow; few samples).
+    let mut group = c.benchmark_group("keygen");
+    group.sample_size(10);
+    for scheme in &schemes {
+        let mut seed = 0u64;
+        group.bench_function(scheme.name(), |b| {
+            b.iter(|| {
+                seed += 1;
+                scheme.keypair_from_seed(seed)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_primitives(c: &mut Criterion) {
+    use fd_crypto::sha256::sha256;
+    let data = vec![0xa5u8; 4096];
+    c.bench_function("sha256/4KiB", |b| b.iter(|| sha256(&data)));
+
+    use fd_bigint::{modpow, SplitMix64, Ubig};
+    use fd_bigint::RandomUbig;
+    let mut rng = SplitMix64::new(1);
+    let m = {
+        let mut m = rng.random_bits(1024);
+        if m.is_even() {
+            m = &m + &Ubig::one();
+        }
+        m
+    };
+    let base = rng.random_below(&m);
+    let exp = rng.random_bits(256);
+    c.bench_function("modpow/1024bit-mod-256bit-exp", |b| {
+        b.iter(|| modpow(&base, &exp, &m))
+    });
+}
+
+criterion_group!(benches, bench_schemes, bench_primitives);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Experiment T2/F1 timing: one FD run, authenticated chain vs
+//! non-authenticated witness relay, as n grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fd_bench::{cluster, default_t};
+
+fn bench_chain_fd(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chain_fd_run");
+    group.sample_size(20);
+    for n in [4usize, 8, 16, 32] {
+        let cl = cluster(n, default_t(n), 2);
+        let kd = cl.run_key_distribution();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let run = cl.run_chain_fd(&kd, b"bench".to_vec());
+                assert_eq!(run.stats.messages_total, n - 1);
+                run
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_non_auth_fd(c: &mut Criterion) {
+    let mut group = c.benchmark_group("non_auth_fd_run");
+    group.sample_size(20);
+    for n in [4usize, 8, 16, 32] {
+        let cl = cluster(n, default_t(n), 2);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| cl.run_non_auth_fd(b"bench".to_vec()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_chain_fd, bench_non_auth_fd);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Experiment T1 timing: key distribution wall-clock vs n.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fd_bench::{cluster, default_t};
+
+fn bench_keydist(c: &mut Criterion) {
+    let mut group = c.benchmark_group("keydist");
+    group.sample_size(10);
+    for n in [4usize, 8, 16, 32] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let cl = cluster(n, default_t(n), 1);
+            b.iter(|| {
+                let kd = cl.run_key_distribution();
+                assert_eq!(kd.stats.messages_total, 3 * n * (n - 1));
+                kd
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_keydist);
+criterion_main!(benches);

@@ -1,0 +1,149 @@
+//! Formatting and parsing for [`Ubig`].
+
+use crate::ubig::{ParseUbigError, Ubig};
+use core::fmt;
+use core::str::FromStr;
+
+impl fmt::Display for Ubig {
+    /// Decimal representation.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return f.write_str("0");
+        }
+        // Peel off 19 decimal digits at a time (10^19 fits in u64).
+        const CHUNK: u64 = 10_000_000_000_000_000_000;
+        let chunk = Ubig::from(CHUNK);
+        let mut rest = self.clone();
+        let mut groups: Vec<u64> = Vec::new();
+        while !rest.is_zero() {
+            let (q, r) = rest.div_rem(&chunk);
+            groups.push(r.to_u64().expect("remainder below 10^19 fits in u64"));
+            rest = q;
+        }
+        let mut s = groups.last().expect("non-zero value").to_string();
+        for g in groups.iter().rev().skip(1) {
+            s.push_str(&format!("{g:019}"));
+        }
+        f.write_str(&s)
+    }
+}
+
+impl fmt::LowerHex for Ubig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return f.write_str("0");
+        }
+        let mut s = format!("{:x}", self.limbs.last().expect("non-zero"));
+        for limb in self.limbs.iter().rev().skip(1) {
+            s.push_str(&format!("{limb:016x}"));
+        }
+        f.write_str(&s)
+    }
+}
+
+impl fmt::UpperHex for Ubig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let lower = format!("{self:x}");
+        f.write_str(&lower.to_uppercase())
+    }
+}
+
+impl Ubig {
+    /// Parse from a hexadecimal string (no `0x` prefix, underscores allowed).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseUbigError`] on empty input or non-hex characters.
+    pub fn from_hex(s: &str) -> Result<Ubig, ParseUbigError> {
+        let cleaned: String = s.chars().filter(|&c| c != '_').collect();
+        if cleaned.is_empty() {
+            return Err(ParseUbigError {
+                reason: "empty string",
+            });
+        }
+        let mut out = Ubig::zero();
+        let sixteen = Ubig::from(16u64);
+        for c in cleaned.chars() {
+            let d = c.to_digit(16).ok_or(ParseUbigError {
+                reason: "non-hex digit",
+            })?;
+            out = &out * &sixteen + Ubig::from(d as u64);
+        }
+        Ok(out)
+    }
+}
+
+impl FromStr for Ubig {
+    type Err = ParseUbigError;
+
+    /// Parse a decimal literal, or hexadecimal with an `0x` prefix.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+            return Ubig::from_hex(hex);
+        }
+        if s.is_empty() {
+            return Err(ParseUbigError {
+                reason: "empty string",
+            });
+        }
+        let mut out = Ubig::zero();
+        let ten = Ubig::from(10u64);
+        for c in s.chars().filter(|&c| c != '_') {
+            let d = c.to_digit(10).ok_or(ParseUbigError {
+                reason: "non-decimal digit",
+            })?;
+            out = &out * &ten + Ubig::from(d as u64);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_small() {
+        assert_eq!(Ubig::zero().to_string(), "0");
+        assert_eq!(Ubig::from(12345u64).to_string(), "12345");
+    }
+
+    #[test]
+    fn display_large_pads_groups() {
+        // 10^19 exactly: second group must be zero-padded.
+        let v: Ubig = "10000000000000000000".parse().unwrap();
+        assert_eq!(v.to_string(), "10000000000000000000");
+        assert_eq!(v, Ubig::from(10_000_000_000_000_000_000u64));
+    }
+
+    #[test]
+    fn hex_round_trip() {
+        let v = Ubig::from(0xdead_beef_0000_0001_u64);
+        assert_eq!(format!("{v:x}"), "deadbeef00000001");
+        assert_eq!(Ubig::from_hex("deadbeef00000001").unwrap(), v);
+        assert_eq!("0xDEADBEEF00000001".parse::<Ubig>().unwrap(), v);
+    }
+
+    #[test]
+    fn hex_multi_limb_padding() {
+        let v = Ubig::pow2(64); // 0x1_0000000000000000
+        assert_eq!(format!("{v:x}"), "10000000000000000");
+        assert_eq!(format!("{v:X}"), "10000000000000000");
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!("".parse::<Ubig>().is_err());
+        assert!("12a".parse::<Ubig>().is_err());
+        assert!(Ubig::from_hex("zz").is_err());
+        let err = Ubig::from_hex("").unwrap_err();
+        assert!(!err.to_string().is_empty());
+    }
+
+    #[test]
+    fn decimal_round_trip_large() {
+        let v = Ubig::pow2(200);
+        let s = v.to_string();
+        assert_eq!(s.parse::<Ubig>().unwrap(), v);
+    }
+}

@@ -1,0 +1,116 @@
+//! Greatest common divisor, extended Euclid, and modular inverse.
+
+use crate::{Int, Ubig};
+
+/// Greatest common divisor (Euclid). `gcd(0, b) = b`.
+pub fn gcd(a: &Ubig, b: &Ubig) -> Ubig {
+    let mut a = a.clone();
+    let mut b = b.clone();
+    while !b.is_zero() {
+        let r = &a % &b;
+        a = b;
+        b = r;
+    }
+    a
+}
+
+/// Extended Euclidean algorithm.
+///
+/// Returns `(g, x, y)` such that `a·x + b·y = g = gcd(a, b)`.
+pub fn egcd(a: &Ubig, b: &Ubig) -> (Ubig, Int, Int) {
+    let mut old_r = a.clone();
+    let mut r = b.clone();
+    let mut old_s = Int::one();
+    let mut s = Int::zero();
+    let mut old_t = Int::zero();
+    let mut t = Int::one();
+
+    while !r.is_zero() {
+        let (q, rem) = old_r.div_rem(&r);
+        let q_int = Int::from(q);
+        old_r = core::mem::replace(&mut r, rem);
+        let new_s = &old_s - &(&q_int * &s);
+        old_s = core::mem::replace(&mut s, new_s);
+        let new_t = &old_t - &(&q_int * &t);
+        old_t = core::mem::replace(&mut t, new_t);
+    }
+    (old_r, old_s, old_t)
+}
+
+/// Modular inverse: the unique `x` in `[0, m)` with `a·x ≡ 1 (mod m)`.
+///
+/// Returns `None` when `gcd(a, m) != 1` (no inverse exists) or `m <= 1`.
+pub fn modinv(a: &Ubig, m: &Ubig) -> Option<Ubig> {
+    if m.is_zero() || m.is_one() {
+        return None;
+    }
+    let (g, x, _) = egcd(&(a % m), m);
+    if g.is_one() {
+        Some(x.rem_euclid(m))
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{modmul, RandomUbig, SplitMix64};
+
+    fn u(v: u64) -> Ubig {
+        Ubig::from(v)
+    }
+
+    #[test]
+    fn gcd_basics() {
+        assert_eq!(gcd(&u(12), &u(18)), u(6));
+        assert_eq!(gcd(&u(0), &u(5)), u(5));
+        assert_eq!(gcd(&u(5), &u(0)), u(5));
+        assert_eq!(gcd(&u(17), &u(13)), u(1));
+    }
+
+    #[test]
+    fn egcd_bezout_identity() {
+        let a = u(240);
+        let b = u(46);
+        let (g, x, y) = egcd(&a, &b);
+        assert_eq!(g, u(2));
+        // a*x + b*y = g
+        let lhs = &(&Int::from(a) * &x) + &(&Int::from(b) * &y);
+        assert_eq!(lhs, Int::from(g));
+    }
+
+    #[test]
+    fn modinv_small() {
+        // 3 * 7 = 21 = 1 mod 10
+        assert_eq!(modinv(&u(3), &u(10)), Some(u(7)));
+        assert_eq!(modinv(&u(2), &u(10)), None); // gcd 2
+        assert_eq!(modinv(&u(5), &Ubig::one()), None);
+        assert_eq!(modinv(&u(5), &Ubig::zero()), None);
+    }
+
+    #[test]
+    fn modinv_rsa_style_even_modulus() {
+        // e = 65537 mod phi where phi is even: the exact case RSA keygen needs.
+        let phi = u(3120); // phi(3233) for p=61,q=53
+        let e = u(17);
+        let d = modinv(&e, &phi).unwrap();
+        assert_eq!(modmul(&e, &d, &phi), Ubig::one());
+        assert_eq!(d, u(2753)); // textbook RSA example
+    }
+
+    #[test]
+    fn modinv_random_multi_limb() {
+        let mut rng = SplitMix64::new(7);
+        let m = RandomUbig::random_bits(&mut rng, 192);
+        let m = if m.is_even() { &m + &Ubig::one() } else { m };
+        for _ in 0..20 {
+            let a = RandomUbig::random_below(&mut rng, &m);
+            if gcd(&a, &m).is_one() {
+                let inv = modinv(&a, &m).unwrap();
+                assert_eq!(modmul(&a, &inv, &m), Ubig::one());
+                assert!(inv < m);
+            }
+        }
+    }
+}

@@ -1,0 +1,223 @@
+//! Minimal signed big integer, just enough for the extended Euclidean
+//! algorithm (Bézout coefficients go negative).
+
+use crate::Ubig;
+use core::cmp::Ordering;
+use core::fmt;
+use core::ops::{Add, Mul, Neg, Sub};
+
+/// Sign of an [`Int`]. Zero is canonically [`Sign::Plus`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Sign {
+    /// Non-negative.
+    Plus,
+    /// Strictly negative.
+    Minus,
+}
+
+/// A signed arbitrary-precision integer (sign + magnitude).
+///
+/// Deliberately minimal: the public surface of this crate is unsigned
+/// ([`Ubig`]); `Int` exists so that [`crate::egcd`] can track Bézout
+/// coefficients. Zero always has [`Sign::Plus`].
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Int {
+    sign: Sign,
+    mag: Ubig,
+}
+
+impl Int {
+    /// Zero.
+    pub fn zero() -> Self {
+        Int {
+            sign: Sign::Plus,
+            mag: Ubig::zero(),
+        }
+    }
+
+    /// One.
+    pub fn one() -> Self {
+        Int {
+            sign: Sign::Plus,
+            mag: Ubig::one(),
+        }
+    }
+
+    /// Construct from a sign and magnitude (sign of zero is normalized).
+    pub fn new(sign: Sign, mag: Ubig) -> Self {
+        if mag.is_zero() {
+            Int::zero()
+        } else {
+            Int { sign, mag }
+        }
+    }
+
+    /// The sign.
+    pub fn sign(&self) -> Sign {
+        self.sign
+    }
+
+    /// The magnitude.
+    pub fn magnitude(&self) -> &Ubig {
+        &self.mag
+    }
+
+    /// `true` iff zero.
+    pub fn is_zero(&self) -> bool {
+        self.mag.is_zero()
+    }
+
+    /// `true` iff strictly negative.
+    pub fn is_negative(&self) -> bool {
+        self.sign == Sign::Minus
+    }
+
+    /// The canonical residue in `[0, m)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is zero.
+    pub fn rem_euclid(&self, m: &Ubig) -> Ubig {
+        let r = &self.mag % m;
+        match self.sign {
+            Sign::Plus => r,
+            Sign::Minus => {
+                if r.is_zero() {
+                    r
+                } else {
+                    m - &r
+                }
+            }
+        }
+    }
+}
+
+impl From<Ubig> for Int {
+    fn from(mag: Ubig) -> Self {
+        Int::new(Sign::Plus, mag)
+    }
+}
+
+impl From<i64> for Int {
+    fn from(v: i64) -> Self {
+        if v < 0 {
+            Int::new(Sign::Minus, Ubig::from(v.unsigned_abs()))
+        } else {
+            Int::new(Sign::Plus, Ubig::from(v as u64))
+        }
+    }
+}
+
+impl Neg for Int {
+    type Output = Int;
+    fn neg(self) -> Int {
+        if self.is_zero() {
+            self
+        } else {
+            Int::new(
+                match self.sign {
+                    Sign::Plus => Sign::Minus,
+                    Sign::Minus => Sign::Plus,
+                },
+                self.mag,
+            )
+        }
+    }
+}
+
+impl Add for &Int {
+    type Output = Int;
+    fn add(self, rhs: &Int) -> Int {
+        if self.sign == rhs.sign {
+            return Int::new(self.sign, &self.mag + &rhs.mag);
+        }
+        match self.mag.cmp(&rhs.mag) {
+            Ordering::Equal => Int::zero(),
+            Ordering::Greater => Int::new(self.sign, &self.mag - &rhs.mag),
+            Ordering::Less => Int::new(rhs.sign, &rhs.mag - &self.mag),
+        }
+    }
+}
+
+impl Sub for &Int {
+    type Output = Int;
+    fn sub(self, rhs: &Int) -> Int {
+        self + &(-rhs.clone())
+    }
+}
+
+impl Mul for &Int {
+    type Output = Int;
+    fn mul(self, rhs: &Int) -> Int {
+        let sign = if self.sign == rhs.sign {
+            Sign::Plus
+        } else {
+            Sign::Minus
+        };
+        Int::new(sign, &self.mag * &rhs.mag)
+    }
+}
+
+impl fmt::Debug for Int {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.sign {
+            Sign::Plus => write!(f, "Int({})", self.mag),
+            Sign::Minus => write!(f, "Int(-{})", self.mag),
+        }
+    }
+}
+
+impl fmt::Display for Int {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.sign {
+            Sign::Plus => write!(f, "{}", self.mag),
+            Sign::Minus => write!(f, "-{}", self.mag),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn i(v: i64) -> Int {
+        Int::from(v)
+    }
+
+    #[test]
+    fn zero_is_plus() {
+        assert_eq!(i(-5).sign(), Sign::Minus);
+        assert_eq!((&i(-5) + &i(5)).sign(), Sign::Plus);
+        assert!((-Int::zero()).is_zero());
+        assert_eq!(Int::zero().sign(), Sign::Plus);
+    }
+
+    #[test]
+    fn signed_add_sub() {
+        assert_eq!(&i(3) + &i(-7), i(-4));
+        assert_eq!(&i(-3) + &i(7), i(4));
+        assert_eq!(&i(-3) - &i(7), i(-10));
+        assert_eq!(&i(3) - &i(-7), i(10));
+    }
+
+    #[test]
+    fn signed_mul() {
+        assert_eq!(&i(-3) * &i(7), i(-21));
+        assert_eq!(&i(-3) * &i(-7), i(21));
+        assert!((&i(0) * &i(-7)).is_zero());
+    }
+
+    #[test]
+    fn rem_euclid_canonical() {
+        let m = Ubig::from(10u64);
+        assert_eq!(i(-3).rem_euclid(&m), Ubig::from(7u64));
+        assert_eq!(i(13).rem_euclid(&m), Ubig::from(3u64));
+        assert_eq!(i(-20).rem_euclid(&m), Ubig::zero());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(i(-42).to_string(), "-42");
+        assert_eq!(format!("{:?}", i(42)), "Int(42)");
+    }
+}

@@ -1,0 +1,111 @@
+//! Free-function modular arithmetic helpers.
+
+use crate::{MontCtx, Ubig};
+
+/// `(a + b) mod m`.
+///
+/// # Panics
+///
+/// Panics if `m` is zero.
+pub fn modadd(a: &Ubig, b: &Ubig, m: &Ubig) -> Ubig {
+    &(a + b) % m
+}
+
+/// `(a - b) mod m`, wrapping into the canonical residue.
+///
+/// # Panics
+///
+/// Panics if `m` is zero.
+pub fn modsub(a: &Ubig, b: &Ubig, m: &Ubig) -> Ubig {
+    let a = a % m;
+    let b = &(b % m);
+    if a >= *b {
+        &a - b
+    } else {
+        &(&a + m) - b
+    }
+}
+
+/// `(a * b) mod m`.
+///
+/// # Panics
+///
+/// Panics if `m` is zero.
+pub fn modmul(a: &Ubig, b: &Ubig, m: &Ubig) -> Ubig {
+    &(a * b) % m
+}
+
+/// `base^exp mod m`.
+///
+/// Uses Montgomery exponentiation when `m` is odd (the common case for the
+/// prime moduli in `fd-crypto`), and falls back to square-and-multiply with
+/// division-based reduction for even moduli.
+///
+/// # Panics
+///
+/// Panics if `m` is zero.
+pub fn modpow(base: &Ubig, exp: &Ubig, m: &Ubig) -> Ubig {
+    assert!(!m.is_zero(), "modpow modulus must be non-zero");
+    if m.is_one() {
+        return Ubig::zero();
+    }
+    if let Some(ctx) = MontCtx::new(m) {
+        return ctx.modpow(base, exp);
+    }
+    // Even modulus fallback.
+    let mut acc = Ubig::one();
+    let base = base % m;
+    for i in (0..exp.bits()).rev() {
+        acc = &(&acc * &acc) % m;
+        if exp.bit(i) {
+            acc = &(&acc * &base) % m;
+        }
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn u(v: u64) -> Ubig {
+        Ubig::from(v)
+    }
+
+    #[test]
+    fn add_wraps() {
+        assert_eq!(modadd(&u(7), &u(8), &u(10)), u(5));
+    }
+
+    #[test]
+    fn sub_wraps_below_zero() {
+        assert_eq!(modsub(&u(3), &u(8), &u(10)), u(5));
+        assert_eq!(modsub(&u(8), &u(3), &u(10)), u(5));
+        // operands larger than m
+        assert_eq!(modsub(&u(23), &u(108), &u(10)), u(5));
+    }
+
+    #[test]
+    fn mul_reduces() {
+        assert_eq!(modmul(&u(7), &u(8), &u(10)), u(6));
+    }
+
+    #[test]
+    fn modpow_even_modulus_fallback() {
+        // 3^4 = 81 = 1 mod 16
+        assert_eq!(modpow(&u(3), &u(4), &u(16)), u(1));
+        // 2^10 mod 12 = 1024 mod 12 = 4
+        assert_eq!(modpow(&u(2), &u(10), &u(12)), u(4));
+    }
+
+    #[test]
+    fn modpow_modulus_one_is_zero() {
+        assert_eq!(modpow(&u(5), &u(3), &u(1)), Ubig::zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn modpow_zero_modulus_panics() {
+        let _ = modpow(&u(2), &u(2), &Ubig::zero());
+    }
+}

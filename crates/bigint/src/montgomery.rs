@@ -1,0 +1,251 @@
+//! Montgomery multiplication context for fast modular exponentiation.
+
+use crate::ll;
+use crate::Ubig;
+use core::cmp::Ordering;
+
+/// Precomputed context for Montgomery arithmetic modulo an odd modulus.
+///
+/// Montgomery form represents `x` as `x·R mod m` where `R = 2^(64·L)` and
+/// `L` is the limb count of `m`. Multiplication in this form avoids the
+/// expensive per-step division of naive modular arithmetic, which makes
+/// `modpow` (the hot operation of Schnorr/RSA in `fd-crypto`) roughly an
+/// order of magnitude faster.
+///
+/// ```
+/// use fd_bigint::{MontCtx, Ubig};
+/// let m = Ubig::from(101u64);
+/// let ctx = MontCtx::new(&m).unwrap();
+/// let r = ctx.modpow(&Ubig::from(2u64), &Ubig::from(100u64));
+/// assert_eq!(r, Ubig::one()); // Fermat
+/// ```
+#[derive(Debug, Clone)]
+pub struct MontCtx {
+    /// Modulus limbs, exactly `l` of them (top limb non-zero).
+    m: Vec<u64>,
+    /// `-m^{-1} mod 2^64`.
+    n0: u64,
+    /// `R^2 mod m`, used to convert into Montgomery form.
+    r2: Vec<u64>,
+    /// `R mod m` — the Montgomery representation of 1.
+    one: Vec<u64>,
+    /// Limb count `L`.
+    l: usize,
+}
+
+impl MontCtx {
+    /// Create a context for odd modulus `m > 1`.
+    ///
+    /// Returns `None` if `m` is even or `<= 1` (Montgomery reduction requires
+    /// `gcd(m, 2^64) = 1`).
+    pub fn new(m: &Ubig) -> Option<MontCtx> {
+        if m.is_even() || m.is_one() || m.is_zero() {
+            return None;
+        }
+        let l = m.limbs().len();
+        // Newton–Hensel iteration for the inverse of m[0] mod 2^64.
+        let m0 = m.limbs()[0];
+        let mut inv = m0; // valid to 3 bits
+        for _ in 0..6 {
+            inv = inv.wrapping_mul(2u64.wrapping_sub(m0.wrapping_mul(inv)));
+        }
+        debug_assert_eq!(m0.wrapping_mul(inv), 1);
+        let n0 = inv.wrapping_neg();
+
+        // R mod m and R^2 mod m via plain division (one-time cost).
+        let r = &Ubig::pow2(64 * l) % m;
+        let r2 = &(&r * &r) % m;
+
+        let mut one = r.limbs().to_vec();
+        one.resize(l, 0);
+        let mut r2_limbs = r2.limbs().to_vec();
+        r2_limbs.resize(l, 0);
+
+        Some(MontCtx {
+            m: m.limbs().to_vec(),
+            n0,
+            r2: r2_limbs,
+            one,
+            l,
+        })
+    }
+
+    /// The modulus.
+    pub fn modulus(&self) -> Ubig {
+        Ubig::from_limbs(self.m.clone())
+    }
+
+    /// CIOS Montgomery multiplication: returns `a·b·R^{-1} mod m`.
+    ///
+    /// Inputs must be `l`-limb slices with values `< m`.
+    fn mont_mul(&self, a: &[u64], b: &[u64]) -> Vec<u64> {
+        let l = self.l;
+        debug_assert_eq!(a.len(), l);
+        debug_assert_eq!(b.len(), l);
+        let mut t = vec![0u64; l + 2];
+        for &ai in a.iter().take(l) {
+            // t += ai * b
+            let mut carry: u128 = 0;
+            for j in 0..l {
+                let s = t[j] as u128 + ai as u128 * b[j] as u128 + carry;
+                t[j] = s as u64;
+                carry = s >> 64;
+            }
+            let s = t[l] as u128 + carry;
+            t[l] = s as u64;
+            t[l + 1] = t[l + 1].wrapping_add((s >> 64) as u64);
+
+            // Reduce: make t divisible by 2^64 and shift down one limb.
+            let mu = t[0].wrapping_mul(self.n0);
+            let mut carry: u128 = (t[0] as u128 + mu as u128 * self.m[0] as u128) >> 64;
+            for j in 1..l {
+                let s = t[j] as u128 + mu as u128 * self.m[j] as u128 + carry;
+                t[j - 1] = s as u64;
+                carry = s >> 64;
+            }
+            let s = t[l] as u128 + carry;
+            t[l - 1] = s as u64;
+            let s2 = t[l + 1] as u128 + (s >> 64);
+            t[l] = s2 as u64;
+            t[l + 1] = (s2 >> 64) as u64;
+        }
+        debug_assert_eq!(t[l + 1], 0);
+        let needs_sub = t[l] != 0 || ll::cmp(&t[..self.l], &self.m) != Ordering::Less;
+        let mut out = t;
+        if needs_sub {
+            let borrow = ll::sub_assign(&mut out[..l + 1], &self.m);
+            debug_assert!(!borrow);
+        }
+        out.truncate(l);
+        out
+    }
+
+    /// Convert into Montgomery form (`x` must be `< m`; reduced otherwise).
+    fn to_mont(&self, x: &Ubig) -> Vec<u64> {
+        let reduced = if ll::cmp(x.limbs(), &self.m) == Ordering::Less {
+            x.clone()
+        } else {
+            x % &self.modulus()
+        };
+        let mut limbs = reduced.limbs().to_vec();
+        limbs.resize(self.l, 0);
+        self.mont_mul(&limbs, &self.r2)
+    }
+
+    /// Convert out of Montgomery form.
+    #[allow(clippy::wrong_self_convention)]
+    fn from_mont(&self, x: &[u64]) -> Ubig {
+        let one = {
+            let mut v = vec![0u64; self.l];
+            v[0] = 1;
+            v
+        };
+        Ubig::from_limbs(self.mont_mul(x, &one))
+    }
+
+    /// `a·b mod m`.
+    pub fn mul(&self, a: &Ubig, b: &Ubig) -> Ubig {
+        let am = self.to_mont(a);
+        let bm = self.to_mont(b);
+        self.from_mont(&self.mont_mul(&am, &bm))
+    }
+
+    /// `base^exp mod m` by left-to-right square-and-multiply in Montgomery
+    /// form.
+    pub fn modpow(&self, base: &Ubig, exp: &Ubig) -> Ubig {
+        if exp.is_zero() {
+            return &Ubig::one() % &self.modulus();
+        }
+        let base_m = self.to_mont(base);
+        let mut acc = self.one.clone();
+        let nbits = exp.bits();
+        for i in (0..nbits).rev() {
+            acc = self.mont_mul(&acc, &acc);
+            if exp.bit(i) {
+                acc = self.mont_mul(&acc, &base_m);
+            }
+        }
+        self.from_mont(&acc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SplitMix64;
+
+    fn naive_modpow(base: &Ubig, exp: &Ubig, m: &Ubig) -> Ubig {
+        let mut acc = &Ubig::one() % m;
+        for i in (0..exp.bits()).rev() {
+            acc = &(&acc * &acc) % m;
+            if exp.bit(i) {
+                acc = &(&acc * base) % m;
+            }
+        }
+        acc
+    }
+
+    #[test]
+    fn rejects_even_and_trivial_moduli() {
+        assert!(MontCtx::new(&Ubig::from(10u64)).is_none());
+        assert!(MontCtx::new(&Ubig::one()).is_none());
+        assert!(MontCtx::new(&Ubig::zero()).is_none());
+        assert!(MontCtx::new(&Ubig::from(9u64)).is_some());
+    }
+
+    #[test]
+    fn mul_matches_naive_small() {
+        let m = Ubig::from(1_000_000_007u64);
+        let ctx = MontCtx::new(&m).unwrap();
+        let a = Ubig::from(123_456_789u64);
+        let b = Ubig::from(987_654_321u64);
+        assert_eq!(ctx.mul(&a, &b), &(&a * &b) % &m);
+    }
+
+    #[test]
+    fn modpow_matches_naive_multi_limb() {
+        let mut rng = SplitMix64::new(42);
+        for trial in 0..10 {
+            let mut m = crate::RandomUbig::random_bits(&mut rng, 192);
+            if m.is_even() {
+                m = &m + &Ubig::one();
+            }
+            if m.is_one() || m.is_zero() {
+                continue;
+            }
+            let base = crate::RandomUbig::random_bits(&mut rng, 256);
+            let exp = crate::RandomUbig::random_bits(&mut rng, 64);
+            let ctx = MontCtx::new(&m).unwrap();
+            assert_eq!(
+                ctx.modpow(&base, &exp),
+                naive_modpow(&base, &exp, &m),
+                "trial {trial}"
+            );
+        }
+    }
+
+    #[test]
+    fn modpow_edge_cases() {
+        let m = Ubig::from(97u64);
+        let ctx = MontCtx::new(&m).unwrap();
+        // exp = 0 -> 1
+        assert_eq!(ctx.modpow(&Ubig::from(5u64), &Ubig::zero()), Ubig::one());
+        // base = 0 -> 0
+        assert_eq!(ctx.modpow(&Ubig::zero(), &Ubig::from(5u64)), Ubig::zero());
+        // base >= m gets reduced
+        assert_eq!(
+            ctx.modpow(&Ubig::from(97u64 + 3), &Ubig::from(2u64)),
+            Ubig::from(9u64)
+        );
+    }
+
+    #[test]
+    fn fermat_little_theorem() {
+        let p = Ubig::from(1_000_000_007u64);
+        let ctx = MontCtx::new(&p).unwrap();
+        let e = &p - &Ubig::one();
+        for base in [2u64, 3, 65537, 999_999_999] {
+            assert_eq!(ctx.modpow(&Ubig::from(base), &e), Ubig::one());
+        }
+    }
+}

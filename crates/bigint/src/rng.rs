@@ -1,0 +1,202 @@
+//! Deterministic randomness for reproducible experiments.
+//!
+//! The whole reproduction is seed-driven (DESIGN.md §5.5): every table row
+//! must be regenerable bit-for-bit. This module provides a tiny, well-known
+//! PRNG (SplitMix64) plus helpers to sample big integers, keeping `fd-bigint`
+//! dependency-free. Cryptographic key generation in `fd-crypto` layers a
+//! ChaCha20-based DRBG on top; SplitMix64 here is for primality-test bases
+//! and test data, where statistical quality suffices.
+
+use crate::Ubig;
+
+/// SplitMix64 PRNG (Steele, Lea & Flood 2014). Deterministic, tiny, and good
+/// enough for Miller–Rabin bases and simulation decisions.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Create from a seed. Every distinct seed yields an independent stream.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next 64 uniform bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)` by rejection sampling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        // Rejection sampling to avoid modulo bias.
+        let zone = u64::MAX - (u64::MAX % bound);
+        loop {
+            let v = self.next_u64();
+            if v < zone {
+                return v % bound;
+            }
+        }
+    }
+
+    /// Derive an independent sub-stream (for per-node/per-run seeding).
+    pub fn fork(&mut self) -> SplitMix64 {
+        SplitMix64::new(self.next_u64() ^ 0xA5A5_5A5A_DEAD_BEEF)
+    }
+}
+
+/// Sampling helpers for [`Ubig`] over any `u64` entropy source.
+pub trait RandomUbig {
+    /// Next 64 uniform bits.
+    fn gen_u64(&mut self) -> u64;
+
+    /// Uniform integer with exactly `bits` bits (top bit set), or zero when
+    /// `bits == 0`.
+    fn random_bits(&mut self, bits: usize) -> Ubig
+    where
+        Self: Sized,
+    {
+        if bits == 0 {
+            return Ubig::zero();
+        }
+        let limbs = bits.div_ceil(64);
+        let mut v: Vec<u64> = (0..limbs).map(|_| self.gen_u64()).collect();
+        let top_bits = bits - (limbs - 1) * 64;
+        if top_bits < 64 {
+            v[limbs - 1] &= (1u64 << top_bits) - 1;
+        }
+        let mut out = Ubig::from_limbs(v);
+        out.set_bit(bits - 1);
+        out
+    }
+
+    /// Uniform integer in `[0, bound)` by rejection sampling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    fn random_below(&mut self, bound: &Ubig) -> Ubig
+    where
+        Self: Sized,
+    {
+        assert!(!bound.is_zero(), "bound must be positive");
+        let bits = bound.bits();
+        let limbs = bits.div_ceil(64);
+        let top_bits = bits - (limbs - 1) * 64;
+        loop {
+            let mut v: Vec<u64> = (0..limbs).map(|_| self.gen_u64()).collect();
+            if top_bits < 64 {
+                v[limbs - 1] &= (1u64 << top_bits) - 1;
+            }
+            let candidate = Ubig::from_limbs(v);
+            if candidate < *bound {
+                return candidate;
+            }
+        }
+    }
+
+    /// Uniform integer in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    fn random_range(&mut self, lo: &Ubig, hi: &Ubig) -> Ubig
+    where
+        Self: Sized,
+    {
+        assert!(lo < hi, "empty range");
+        let width = hi - lo;
+        lo + &self.random_below(&width)
+    }
+}
+
+impl RandomUbig for SplitMix64 {
+    fn gen_u64(&mut self) -> u64 {
+        self.next_u64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_reference_values() {
+        // Reference stream for seed 0 (from the public-domain reference impl).
+        let mut r = SplitMix64::new(0);
+        assert_eq!(r.next_u64(), 0xE220_A839_7B1D_CDAF);
+        assert_eq!(r.next_u64(), 0x6E78_9E6A_A1B9_65F4);
+        assert_eq!(r.next_u64(), 0x06C4_5D18_8009_454F);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a: Vec<u64> = {
+            let mut r = SplitMix64::new(99);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = SplitMix64::new(99);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn random_bits_has_exact_width() {
+        let mut r = SplitMix64::new(1);
+        for bits in [1usize, 8, 63, 64, 65, 200] {
+            let v = r.random_bits(bits);
+            assert_eq!(v.bits(), bits, "width {bits}");
+        }
+        assert!(r.random_bits(0).is_zero());
+    }
+
+    #[test]
+    fn random_below_in_range() {
+        let mut r = SplitMix64::new(2);
+        let bound = Ubig::from(1000u64);
+        for _ in 0..100 {
+            assert!(r.random_below(&bound) < bound);
+        }
+    }
+
+    #[test]
+    fn random_range_respects_bounds() {
+        let mut r = SplitMix64::new(3);
+        let lo = Ubig::from(10u64);
+        let hi = Ubig::from(14u64);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            let v = r.random_range(&lo, &hi);
+            assert!(v >= lo && v < hi);
+            seen.insert(v.to_u64().unwrap());
+        }
+        assert_eq!(seen.len(), 4); // all of 10..14 eventually hit
+    }
+
+    #[test]
+    fn next_below_unbiased_domain() {
+        let mut r = SplitMix64::new(4);
+        for _ in 0..100 {
+            assert!(r.next_below(7) < 7);
+        }
+    }
+
+    #[test]
+    fn fork_produces_distinct_streams() {
+        let mut r = SplitMix64::new(5);
+        let mut f1 = r.fork();
+        let mut f2 = r.fork();
+        assert_ne!(f1.next_u64(), f2.next_u64());
+    }
+}

@@ -1,0 +1,141 @@
+//! Property-based tests for the bigint substrate: ring axioms, division
+//! invariants, encoding round-trips, and modular-arithmetic laws.
+
+use fd_bigint::{egcd, gcd, modinv, modmul, modpow, Int, MontCtx, Ubig};
+use proptest::prelude::*;
+
+fn ubig_strategy() -> impl Strategy<Value = Ubig> {
+    // Byte vectors up to 40 bytes -> integers up to 320 bits, biased to
+    // include small and zero values.
+    prop::collection::vec(any::<u8>(), 0..40).prop_map(|bytes| Ubig::from_be_bytes(&bytes))
+}
+
+fn nonzero_ubig() -> impl Strategy<Value = Ubig> {
+    ubig_strategy().prop_map(|v| if v.is_zero() { Ubig::one() } else { v })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn add_commutes(a in ubig_strategy(), b in ubig_strategy()) {
+        prop_assert_eq!(&a + &b, &b + &a);
+    }
+
+    #[test]
+    fn add_associates(a in ubig_strategy(), b in ubig_strategy(), c in ubig_strategy()) {
+        prop_assert_eq!(&(&a + &b) + &c, &a + &(&b + &c));
+    }
+
+    #[test]
+    fn mul_commutes(a in ubig_strategy(), b in ubig_strategy()) {
+        prop_assert_eq!(&a * &b, &b * &a);
+    }
+
+    #[test]
+    fn mul_associates(a in ubig_strategy(), b in ubig_strategy(), c in ubig_strategy()) {
+        prop_assert_eq!(&(&a * &b) * &c, &a * &(&b * &c));
+    }
+
+    #[test]
+    fn mul_distributes(a in ubig_strategy(), b in ubig_strategy(), c in ubig_strategy()) {
+        prop_assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
+    }
+
+    #[test]
+    fn add_sub_round_trip(a in ubig_strategy(), b in ubig_strategy()) {
+        prop_assert_eq!(&(&a + &b) - &b, a);
+    }
+
+    #[test]
+    fn division_invariant(u in ubig_strategy(), v in nonzero_ubig()) {
+        let (q, r) = u.div_rem(&v);
+        prop_assert!(r < v);
+        prop_assert_eq!(&(&q * &v) + &r, u);
+    }
+
+    #[test]
+    fn shift_is_pow2_mul(a in ubig_strategy(), s in 0usize..200) {
+        prop_assert_eq!(&a << s, &a * &Ubig::pow2(s));
+    }
+
+    #[test]
+    fn shl_shr_round_trip(a in ubig_strategy(), s in 0usize..200) {
+        prop_assert_eq!(&(&a << s) >> s, a);
+    }
+
+    #[test]
+    fn be_bytes_round_trip(a in ubig_strategy()) {
+        prop_assert_eq!(Ubig::from_be_bytes(&a.to_be_bytes()), a);
+    }
+
+    #[test]
+    fn decimal_round_trip(a in ubig_strategy()) {
+        prop_assert_eq!(a.to_string().parse::<Ubig>().unwrap(), a);
+    }
+
+    #[test]
+    fn hex_round_trip(a in ubig_strategy()) {
+        prop_assert_eq!(Ubig::from_hex(&format!("{a:x}")).unwrap(), a);
+    }
+
+    #[test]
+    fn gcd_divides_both(a in ubig_strategy(), b in ubig_strategy()) {
+        let g = gcd(&a, &b);
+        if !g.is_zero() {
+            prop_assert!((&a % &g).is_zero());
+            prop_assert!((&b % &g).is_zero());
+        } else {
+            prop_assert!(a.is_zero() && b.is_zero());
+        }
+    }
+
+    #[test]
+    fn egcd_bezout(a in ubig_strategy(), b in ubig_strategy()) {
+        let (g, x, y) = egcd(&a, &b);
+        let lhs = &(&Int::from(a) * &x) + &(&Int::from(b) * &y);
+        prop_assert_eq!(lhs, Int::from(g));
+    }
+
+    #[test]
+    fn modinv_is_inverse(a in nonzero_ubig(), m in nonzero_ubig()) {
+        if m > Ubig::one() {
+            if let Some(inv) = modinv(&a, &m) {
+                prop_assert_eq!(modmul(&a, &inv, &m), &Ubig::one() % &m);
+                prop_assert!(inv < m);
+            } else {
+                prop_assert!(!gcd(&a, &m).is_one());
+            }
+        }
+    }
+
+    #[test]
+    fn montgomery_matches_division(a in ubig_strategy(), b in ubig_strategy(), m in nonzero_ubig()) {
+        if m.is_odd() && !m.is_one() {
+            let ctx = MontCtx::new(&m).unwrap();
+            prop_assert_eq!(ctx.mul(&a, &b), &(&a * &b) % &m);
+        }
+    }
+
+    #[test]
+    fn modpow_product_law(base in ubig_strategy(), e1 in 0u64..200, e2 in 0u64..200, m in nonzero_ubig()) {
+        // base^(e1+e2) = base^e1 * base^e2 (mod m)
+        if m > Ubig::one() {
+            let lhs = modpow(&base, &Ubig::from(e1 + e2), &m);
+            let rhs = modmul(
+                &modpow(&base, &Ubig::from(e1), &m),
+                &modpow(&base, &Ubig::from(e2), &m),
+                &m,
+            );
+            prop_assert_eq!(lhs, rhs);
+        }
+    }
+
+    #[test]
+    fn cmp_consistent_with_sub(a in ubig_strategy(), b in ubig_strategy()) {
+        match a.cmp(&b) {
+            std::cmp::Ordering::Less => prop_assert!(a.checked_sub(&b).is_none()),
+            _ => prop_assert!(a.checked_sub(&b).is_some()),
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! Byzantine behaviours for validating the paper's theorems experimentally.
+//!
+//! The model places no restriction on faulty nodes (§2: "it may behave in an
+//! arbitrary manner"), with exactly two structural limits enforced by the
+//! network substrate, not by good will:
+//!
+//! * a faulty node cannot spoof the immediate-sender stamp (N2), and
+//! * it cannot produce signatures for keys it does not hold (S1) — though
+//!   faulty nodes may *share* secret keys with each other out of band.
+//!
+//! Each adversary here is an ordinary [`fd_simnet::Node`] automaton that replaces an
+//! honest participant. Experiment T4 runs every adversary against every
+//! protocol and asserts the paper's properties on the correct nodes'
+//! outcomes: no scenario may ever produce silent disagreement.
+//!
+//! | adversary | attacks | paper reference |
+//! |---|---|---|
+//! | [`SilentNode`] | any protocol (crash fault) | — |
+//! | [`NoiseNode`] | any protocol (garbage flood) | — |
+//! | [`EquivocatingKeyDist`] | key distribution: different predicates to different peers | §3.2 (G3 failure) |
+//! | [`SharedKeyKeyDist`] | two faulty nodes share one secret key | §3.2 (G1 caveat) |
+//! | [`KeyThiefKeyDist`] | claims a correct node's predicate without the key | Theorem 2 (must fail) |
+//! | [`WrongNameKeyDist`] | signs challenges with swapped names | Fig. 1 rule |
+//! | [`ChainFdAdversary`] | chain FD: tamper/forge/drop/partial-dissemination/wrong names | §4, Theorem 4 |
+//! | [`NonAuthAdversary`] | witness relay: lying/equivocating/two-faced | §5 baseline |
+//! | [`CrashNode`] | any protocol (crash-stop wrapper around an honest automaton) | benign-fault hierarchy |
+//! | [`OmissiveNode`] | any protocol (seeded send-omission wrapper) | benign-fault hierarchy |
+//! | [`LaggardNode`] | any protocol (one-round timing-fault wrapper) | benign-fault hierarchy |
+
+mod chainfd;
+mod generic;
+mod keydist;
+mod nonauth;
+mod wrappers;
+
+pub use chainfd::{ChainFdAdversary, ChainMisbehavior};
+pub use generic::{NoiseNode, SilentNode};
+pub use keydist::{
+    EquivocatingKeyDist, KeyThiefKeyDist, SharedKeyKeyDist, WrongNameKeyDist,
+};
+pub use nonauth::{NaMisbehavior, NonAuthAdversary};
+pub use wrappers::{CrashNode, LaggardNode, OmissiveNode};
+

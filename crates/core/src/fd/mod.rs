@@ -1,0 +1,33 @@
+//! Failure Discovery protocols (paper §4–§5).
+//!
+//! The Failure Discovery problem (Hadzilacos & Halpern) asks for, in the
+//! presence of up to `t` byzantine nodes:
+//!
+//! * **F1 (weak termination)** — every correct node eventually decides a
+//!   value *or* discovers a failure;
+//! * **F2 (weak agreement)** — if no correct node discovers a failure, no
+//!   two correct nodes decide differently;
+//! * **F3 (weak validity)** — if no correct node discovers a failure and
+//!   the sender is correct, every correct node decides the sender's value.
+//!
+//! Three protocols are provided:
+//!
+//! | protocol | auth | messages (failure-free) | comm. rounds |
+//! |---|---|---|---|
+//! | [`ChainFdNode`] (paper Fig. 2) | signatures | `n − 1` | `t + 1` |
+//! | [`NonAuthFdNode`] (witness relay) | none | `(t + 2)(n − 1)` | `2` |
+//! | [`SmallRangeFdNode`] | signatures | `0` for the default value | `2` |
+//!
+//! The headline of the paper: after one `3n(n−1)`-message key distribution,
+//! every subsequent run costs `n − 1` instead of `O(n·t)` — and by
+//! Theorems 2/4 the *local* authentication established there is enough.
+
+mod chain_fd;
+mod non_auth;
+mod small_range;
+mod vector;
+
+pub use chain_fd::{ChainFdNode, ChainFdParams, FdMsg};
+pub use non_auth::{NaMsg, NonAuthFdNode, NonAuthParams};
+pub use small_range::{SmallRangeFdNode, SmallRangeParams, SrMsg};
+pub use vector::{VecMsg, VectorFdNode, VectorFdParams};

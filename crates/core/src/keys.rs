@@ -1,0 +1,192 @@
+//! Key material and per-node key stores.
+//!
+//! Under **local authentication** each node ends the key distribution
+//! protocol with its own [`KeyStore`]: the set of test predicates it has
+//! personally accepted. Stores of different correct nodes agree on correct
+//! nodes' keys (Theorem 2 / properties G1–G2) but may *disagree* about
+//! faulty nodes' keys — that is exactly the G3 gap the chain-signature
+//! verification discipline closes.
+
+use fd_crypto::{PublicKey, SecretKey, Signature, SignatureScheme};
+use fd_simnet::NodeId;
+
+/// A node's own signing identity (`S_i`, `T_i` in the paper).
+#[derive(Debug, Clone)]
+pub struct Keyring {
+    /// The node this keyring belongs to.
+    pub me: NodeId,
+    /// Secret key `S_i`.
+    pub sk: SecretKey,
+    /// Public test predicate `T_i`.
+    pub pk: PublicKey,
+}
+
+impl Keyring {
+    /// Deterministically generate node `me`'s keyring.
+    ///
+    /// The seed mixes the cluster seed with the node id so every node gets
+    /// an independent key, reproducibly.
+    pub fn generate(scheme: &dyn SignatureScheme, me: NodeId, cluster_seed: u64) -> Self {
+        let seed = cluster_seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(me.0 as u64 + 1);
+        let (sk, pk) = scheme.keypair_from_seed(seed);
+        Keyring { me, sk, pk }
+    }
+}
+
+/// The test predicates one node has accepted for its peers.
+///
+/// This is the *output* of the key distribution protocol (paper Fig. 1) and
+/// the *input* to every authenticated protocol. Each node holds its own
+/// store; stores are never shared.
+#[derive(Debug, Clone)]
+pub struct KeyStore {
+    me: NodeId,
+    accepted: Vec<Option<PublicKey>>,
+}
+
+impl KeyStore {
+    /// Empty store for node `me` in an `n`-node system (nothing accepted).
+    pub fn new(n: usize, me: NodeId) -> Self {
+        KeyStore {
+            me,
+            accepted: vec![None; n],
+        }
+    }
+
+    /// Build a *globally authentic* store from the true public keys — the
+    /// trusted-dealer alternative the paper contrasts with (G1–G3 all hold
+    /// by construction). Used for baseline comparisons.
+    pub fn global(me: NodeId, pks: &[PublicKey]) -> Self {
+        KeyStore {
+            me,
+            accepted: pks.iter().cloned().map(Some).collect(),
+        }
+    }
+
+    /// Owner of this store.
+    pub fn owner(&self) -> NodeId {
+        self.me
+    }
+
+    /// Number of nodes in the system.
+    pub fn len(&self) -> usize {
+        self.accepted.len()
+    }
+
+    /// `true` for the degenerate empty system.
+    pub fn is_empty(&self) -> bool {
+        self.accepted.is_empty()
+    }
+
+    /// Record that `node`'s test predicate has been accepted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn accept(&mut self, node: NodeId, pk: PublicKey) {
+        self.accepted[node.index()] = Some(pk);
+    }
+
+    /// The accepted test predicate for `node`, if any.
+    pub fn accepted(&self, node: NodeId) -> Option<&PublicKey> {
+        self.accepted.get(node.index()).and_then(|o| o.as_ref())
+    }
+
+    /// How many peers (including possibly `me`) have accepted keys.
+    pub fn accepted_count(&self) -> usize {
+        self.accepted.iter().filter(|o| o.is_some()).count()
+    }
+
+    /// Definition 1 (*assignment*): does this node assign `{msg}` with
+    /// signature `sig` to `node`? True iff a test predicate was accepted
+    /// for `node` and it passes.
+    pub fn assigns(
+        &self,
+        scheme: &dyn SignatureScheme,
+        node: NodeId,
+        msg: &[u8],
+        sig: &Signature,
+    ) -> bool {
+        match self.accepted(node) {
+            Some(pk) => scheme.verify(pk, msg, sig),
+            None => false,
+        }
+    }
+
+    /// Scan all accepted predicates for one that verifies the signature.
+    ///
+    /// Correct protocols never need this (they always check a *claimed*
+    /// signer); it exists so tests can exhibit the G3 failure mode, where
+    /// two correct nodes assign the same signed message to different
+    /// (faulty) nodes.
+    pub fn find_assignee(
+        &self,
+        scheme: &dyn SignatureScheme,
+        msg: &[u8],
+        sig: &Signature,
+    ) -> Option<NodeId> {
+        (0..self.accepted.len())
+            .map(|i| NodeId(i as u16))
+            .find(|&node| self.assigns(scheme, node, msg, sig))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fd_crypto::SchnorrScheme;
+
+    #[test]
+    fn keyring_generation_is_deterministic_and_distinct() {
+        let scheme = SchnorrScheme::test_tiny();
+        let a = Keyring::generate(&scheme, NodeId(0), 1);
+        let b = Keyring::generate(&scheme, NodeId(0), 1);
+        let c = Keyring::generate(&scheme, NodeId(1), 1);
+        let d = Keyring::generate(&scheme, NodeId(0), 2);
+        assert_eq!(a.pk, b.pk);
+        assert_ne!(a.pk, c.pk);
+        assert_ne!(a.pk, d.pk);
+    }
+
+    #[test]
+    fn assignment_requires_acceptance() {
+        let scheme = SchnorrScheme::test_tiny();
+        let ring = Keyring::generate(&scheme, NodeId(1), 7);
+        let sig = scheme.sign(&ring.sk, b"m").unwrap();
+
+        let mut store = KeyStore::new(3, NodeId(0));
+        // Not accepted yet: no assignment.
+        assert!(!store.assigns(&scheme, NodeId(1), b"m", &sig));
+        store.accept(NodeId(1), ring.pk.clone());
+        assert!(store.assigns(&scheme, NodeId(1), b"m", &sig));
+        // Wrong node: no assignment.
+        assert!(!store.assigns(&scheme, NodeId(2), b"m", &sig));
+        assert_eq!(store.accepted_count(), 1);
+    }
+
+    #[test]
+    fn find_assignee_scans() {
+        let scheme = SchnorrScheme::test_tiny();
+        let rings: Vec<Keyring> = (0..3)
+            .map(|i| Keyring::generate(&scheme, NodeId(i), 9))
+            .collect();
+        let store = KeyStore::global(NodeId(0), &rings.iter().map(|r| r.pk.clone()).collect::<Vec<_>>());
+        let sig = scheme.sign(&rings[2].sk, b"m").unwrap();
+        assert_eq!(store.find_assignee(&scheme, b"m", &sig), Some(NodeId(2)));
+        assert_eq!(store.find_assignee(&scheme, b"other", &sig), None);
+    }
+
+    #[test]
+    fn global_store_accepts_everyone() {
+        let scheme = SchnorrScheme::test_tiny();
+        let pks: Vec<_> = (0..4)
+            .map(|i| Keyring::generate(&scheme, NodeId(i), 3).pk)
+            .collect();
+        let store = KeyStore::global(NodeId(2), &pks);
+        assert_eq!(store.accepted_count(), 4);
+        assert_eq!(store.owner(), NodeId(2));
+        assert_eq!(store.len(), 4);
+    }
+}

@@ -1,0 +1,68 @@
+//! # fd-core
+//!
+//! The primary contribution of
+//! [Borcherding, *Efficient Failure Discovery with Limited Authentication*,
+//! ICDCS 1995](https://doi.org/10.1109/ICDCS.1995.500023), implemented as a
+//! library of protocol automata over [`fd_simnet`]:
+//!
+//! * [`localauth`] — **local authentication** (paper §3): the 3-round
+//!   challenge–response key distribution protocol of Fig. 1, which
+//!   establishes per-node key stores without any trusted dealer, at
+//!   `3·n·(n−1)` messages, tolerating *any* number of byzantine nodes.
+//! * [`chain`] — chain signatures with the paper's §4 name-embedding rule
+//!   and the Theorem 4 verification discipline (assignment mismatches are
+//!   *discovered*, never silent).
+//! * [`fd`] — Failure Discovery protocols: the authenticated chain protocol
+//!   of Fig. 2 (`n−1` messages), the non-authenticated witness baseline
+//!   (`O(n·t)` messages), and a small-value-range variant.
+//! * [`ba`] — Byzantine Agreement on top: the FD→BA extension whose
+//!   failure-free runs cost exactly the FD protocol's messages, plus
+//!   Dolev–Strong and EIG baselines.
+//! * [`adversary`] — a library of byzantine behaviours (key equivocation,
+//!   key sharing, value equivocation, chain tampering, forgery, silence)
+//!   used to validate Theorems 2 and 4 experimentally.
+//! * [`props`] — executable statements of the paper's properties F1–F3 and
+//!   G1–G3, plus the degradation contract of the §7 extension.
+//! * [`epoch`] — key rotation: re-running local authentication in epochs,
+//!   with cross-epoch replays discovered by the unchanged Theorem 4
+//!   machinery.
+//! * [`runner`] / [`metrics`] — cluster orchestration and the closed-form
+//!   message-complexity expressions each experiment table checks against.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use fd_core::runner::Cluster;
+//! use std::sync::Arc;
+//!
+//! // 7 nodes tolerating t = 2 faults, all honest, tiny test crypto.
+//! let cluster = Cluster::new(7, 2, Arc::new(fd_crypto::SchnorrScheme::test_tiny()), 42);
+//!
+//! // One-time key distribution (paper Fig. 1): 3·n·(n−1) messages.
+//! let keydist = cluster.run_key_distribution();
+//! assert_eq!(keydist.stats.messages_total, 3 * 7 * 6);
+//!
+//! // Arbitrarily many cheap failure-discovery runs (paper Fig. 2): n−1 each.
+//! let run = cluster.run_chain_fd(&keydist, b"attack at dawn".to_vec());
+//! assert_eq!(run.stats.messages_total, 6);
+//! assert!(run.all_decided(b"attack at dawn"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adversary;
+pub mod ba;
+pub mod chain;
+pub mod epoch;
+pub mod fd;
+pub mod keys;
+pub mod localauth;
+pub mod metrics;
+pub mod props;
+pub mod runner;
+
+mod outcome;
+
+pub use keys::{KeyStore, Keyring};
+pub use outcome::{DiscoveryReason, Outcome};

@@ -1,0 +1,125 @@
+//! Protocol outcomes: decide or discover.
+
+use core::fmt;
+
+/// Why a node discovered a failure (its view diverged from every
+/// failure-free run).
+///
+/// The paper only requires *noticing* a failure, not identifying the faulty
+/// node; the reason is diagnostic metadata for tests and reports.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum DiscoveryReason {
+    /// An expected message never arrived.
+    MissingMessage {
+        /// Round in which the message was due.
+        round: u32,
+    },
+    /// A message arrived that no failure-free run contains.
+    UnexpectedMessage {
+        /// Round in which it arrived.
+        round: u32,
+    },
+    /// A payload failed to decode as the expected protocol message.
+    Malformed,
+    /// A signature failed its test predicate (Definition 1 assignment
+    /// failed for the claimed node).
+    BadSignature,
+    /// A chain-signature layer named a node inconsistent with this node's
+    /// own assignment of the submessage (Theorem 4 check).
+    NameMismatch,
+    /// No test predicate was ever accepted for the node a submessage is
+    /// attributed to.
+    UnknownSigner,
+    /// The chain structure violates the protocol (wrong origin, wrong
+    /// signer sequence, wrong length).
+    BadStructure,
+    /// Two conflicting values were presented where one was required.
+    Equivocation,
+}
+
+impl fmt::Display for DiscoveryReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DiscoveryReason::MissingMessage { round } => {
+                write!(f, "expected message missing in round {round}")
+            }
+            DiscoveryReason::UnexpectedMessage { round } => {
+                write!(f, "unexpected message in round {round}")
+            }
+            DiscoveryReason::Malformed => write!(f, "malformed payload"),
+            DiscoveryReason::BadSignature => write!(f, "signature failed test predicate"),
+            DiscoveryReason::NameMismatch => write!(f, "chain layer name mismatch"),
+            DiscoveryReason::UnknownSigner => write!(f, "no accepted key for claimed signer"),
+            DiscoveryReason::BadStructure => write!(f, "chain structure violates protocol"),
+            DiscoveryReason::Equivocation => write!(f, "conflicting values presented"),
+        }
+    }
+}
+
+/// The result of a failure-discovery (or agreement) protocol at one node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Outcome {
+    /// Still running.
+    Pending,
+    /// Chose a decision value (property F1, first disjunct).
+    Decided(Vec<u8>),
+    /// Discovered a failure (property F1, second disjunct).
+    Discovered(DiscoveryReason),
+}
+
+impl Outcome {
+    /// `true` once the node terminated either way (property F1).
+    pub fn is_terminal(&self) -> bool {
+        !matches!(self, Outcome::Pending)
+    }
+
+    /// The decided value, if any.
+    pub fn decided(&self) -> Option<&[u8]> {
+        match self {
+            Outcome::Decided(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// `true` iff this node discovered a failure.
+    pub fn is_discovered(&self) -> bool {
+        matches!(self, Outcome::Discovered(_))
+    }
+}
+
+impl fmt::Display for Outcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Outcome::Pending => write!(f, "pending"),
+            Outcome::Decided(v) => write!(f, "decided({} bytes)", v.len()),
+            Outcome::Discovered(r) => write!(f, "discovered failure: {r}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn terminal_classification() {
+        assert!(!Outcome::Pending.is_terminal());
+        assert!(Outcome::Decided(vec![1]).is_terminal());
+        assert!(Outcome::Discovered(DiscoveryReason::Malformed).is_terminal());
+    }
+
+    #[test]
+    fn decided_accessor() {
+        assert_eq!(Outcome::Decided(vec![7]).decided(), Some(&[7u8][..]));
+        assert_eq!(Outcome::Pending.decided(), None);
+        assert!(Outcome::Discovered(DiscoveryReason::BadSignature).is_discovered());
+    }
+
+    #[test]
+    fn displays_are_informative() {
+        let o = Outcome::Discovered(DiscoveryReason::MissingMessage { round: 3 });
+        assert!(o.to_string().contains("round 3"));
+        assert!(Outcome::Decided(vec![1, 2]).to_string().contains("2 bytes"));
+    }
+}

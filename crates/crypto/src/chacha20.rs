@@ -1,0 +1,94 @@
+//! ChaCha20 block function (RFC 8439), implemented from scratch.
+//!
+//! Used only as the core of [`crate::ChaChaDrbg`]; we do not provide an
+//! encryption API. Verified against the RFC 8439 §2.3.2 test vector.
+
+/// The ChaCha constant "expand 32-byte k".
+const SIGMA: [u32; 4] = [0x61707865, 0x3320646e, 0x79622d32, 0x6b206574];
+
+#[inline]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+/// Compute one 64-byte ChaCha20 keystream block.
+///
+/// `key` is 8 little-endian words, `counter` the 32-bit block counter,
+/// `nonce` 3 little-endian words (RFC 8439 layout).
+pub fn chacha20_block(key: &[u32; 8], counter: u32, nonce: &[u32; 3]) -> [u8; 64] {
+    let mut state = [0u32; 16];
+    state[..4].copy_from_slice(&SIGMA);
+    state[4..12].copy_from_slice(key);
+    state[12] = counter;
+    state[13..16].copy_from_slice(nonce);
+
+    let initial = state;
+    for _ in 0..10 {
+        // Column rounds
+        quarter_round(&mut state, 0, 4, 8, 12);
+        quarter_round(&mut state, 1, 5, 9, 13);
+        quarter_round(&mut state, 2, 6, 10, 14);
+        quarter_round(&mut state, 3, 7, 11, 15);
+        // Diagonal rounds
+        quarter_round(&mut state, 0, 5, 10, 15);
+        quarter_round(&mut state, 1, 6, 11, 12);
+        quarter_round(&mut state, 2, 7, 8, 13);
+        quarter_round(&mut state, 3, 4, 9, 14);
+    }
+
+    let mut out = [0u8; 64];
+    for i in 0..16 {
+        let word = state[i].wrapping_add(initial[i]);
+        out[i * 4..i * 4 + 4].copy_from_slice(&word.to_le_bytes());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfc8439_block_vector() {
+        // RFC 8439 §2.3.2
+        let key: [u32; 8] = [
+            0x03020100, 0x07060504, 0x0b0a0908, 0x0f0e0d0c, 0x13121110, 0x17161514, 0x1b1a1918,
+            0x1f1e1d1c,
+        ];
+        let nonce: [u32; 3] = [0x09000000, 0x4a000000, 0x00000000];
+        let block = chacha20_block(&key, 1, &nonce);
+        let expected_head = [
+            0x10u8, 0xf1, 0xe7, 0xe4, 0xd1, 0x3b, 0x59, 0x15, 0x50, 0x0f, 0xdd, 0x1f, 0xa3, 0x20,
+            0x71, 0xc4,
+        ];
+        assert_eq!(&block[..16], &expected_head);
+        let expected_tail = [
+            0xb5u8, 0x12, 0x9c, 0xd1, 0xde, 0x16, 0x4e, 0xb9, 0xcb, 0xd0, 0x83, 0xe8, 0xa2, 0x50,
+            0x3c, 0x4e,
+        ];
+        assert_eq!(&block[48..], &expected_tail);
+    }
+
+    #[test]
+    fn counter_changes_block() {
+        let key = [7u32; 8];
+        let nonce = [1u32, 2, 3];
+        assert_ne!(chacha20_block(&key, 0, &nonce), chacha20_block(&key, 1, &nonce));
+    }
+
+    #[test]
+    fn key_changes_block() {
+        let nonce = [0u32; 3];
+        assert_ne!(
+            chacha20_block(&[0u32; 8], 0, &nonce),
+            chacha20_block(&[1u32; 8], 0, &nonce)
+        );
+    }
+}

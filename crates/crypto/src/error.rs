@@ -1,0 +1,50 @@
+//! Error type for the crypto substrate.
+
+use core::fmt;
+
+/// Errors produced by key parsing, signing, or scheme setup.
+///
+/// Verification deliberately does *not* return this type: in the paper's
+/// model a signature either passes the test predicate or it does not, so
+/// [`crate::SignatureScheme::verify`] returns `bool` and treats malformed
+/// input as "does not verify".
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CryptoError {
+    /// A secret key could not be decoded for this scheme.
+    MalformedSecretKey,
+    /// A public key could not be decoded for this scheme.
+    MalformedPublicKey,
+    /// Scheme parameters are invalid (e.g. key size too small).
+    InvalidParameters(&'static str),
+}
+
+impl fmt::Display for CryptoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CryptoError::MalformedSecretKey => write!(f, "malformed secret key"),
+            CryptoError::MalformedPublicKey => write!(f, "malformed public key"),
+            CryptoError::InvalidParameters(why) => write!(f, "invalid parameters: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for CryptoError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_nonempty() {
+        for e in [
+            CryptoError::MalformedSecretKey,
+            CryptoError::MalformedPublicKey,
+            CryptoError::InvalidParameters("too small"),
+        ] {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+        }
+    }
+}

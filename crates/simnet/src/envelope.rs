@@ -1,0 +1,79 @@
+//! Message envelopes.
+
+use crate::codec::{CodecError, Decode, Encode, Reader, Writer};
+use crate::NodeId;
+
+/// A message in flight.
+///
+/// `from` is stamped by the transport, never by the sender's payload — that
+/// is exactly the paper's property **N2** ("a receiver of a message can
+/// identify its immediate sender"). Byzantine nodes control their payloads
+/// completely but cannot spoof `from`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Envelope {
+    /// Immediate sender (transport-authenticated, property N2).
+    pub from: NodeId,
+    /// Destination node.
+    pub to: NodeId,
+    /// Round in which the message was sent; it is delivered to `to` at the
+    /// start of round `round + 1`.
+    pub round: u32,
+    /// Opaque protocol payload.
+    pub payload: Vec<u8>,
+}
+
+impl Envelope {
+    /// Wire size used for statistics: header + payload.
+    pub fn wire_len(&self) -> usize {
+        2 + 2 + 4 + 4 + self.payload.len()
+    }
+}
+
+impl Encode for Envelope {
+    fn encode(&self, w: &mut Writer) {
+        self.from.encode(w);
+        self.to.encode(w);
+        w.put_u32(self.round);
+        w.put_bytes(&self.payload);
+    }
+}
+
+impl Decode for Envelope {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(Envelope {
+            from: NodeId::decode(r)?,
+            to: NodeId::decode(r)?,
+            round: r.get_u32()?,
+            payload: r.get_bytes()?.to_vec(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let e = Envelope {
+            from: NodeId(1),
+            to: NodeId(2),
+            round: 9,
+            payload: vec![1, 2, 3],
+        };
+        let bytes = e.encode_to_vec();
+        assert_eq!(Envelope::decode_exact(&bytes).unwrap(), e);
+        assert_eq!(e.wire_len(), bytes.len());
+    }
+
+    #[test]
+    fn empty_payload_ok() {
+        let e = Envelope {
+            from: NodeId(0),
+            to: NodeId(0),
+            round: 0,
+            payload: vec![],
+        };
+        assert_eq!(Envelope::decode_exact(&e.encode_to_vec()).unwrap(), e);
+    }
+}

@@ -1,0 +1,58 @@
+//! Node identifiers.
+
+use core::fmt;
+
+/// Identifier of a node in the fully connected network.
+///
+/// Nodes are numbered `0..n`; the paper writes them `P_0 … P_{n-1}` with
+/// `P_0` conventionally the sender/general in agreement protocols.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NodeId(pub u16);
+
+impl NodeId {
+    /// Iterator over all node ids of an `n`-node system.
+    pub fn all(n: usize) -> impl Iterator<Item = NodeId> {
+        (0..n as u16).map(NodeId)
+    }
+
+    /// Index into per-node arrays.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+impl From<u16> for NodeId {
+    fn from(v: u16) -> Self {
+        NodeId(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_enumerates_in_order() {
+        let ids: Vec<NodeId> = NodeId::all(3).collect();
+        assert_eq!(ids, vec![NodeId(0), NodeId(1), NodeId(2)]);
+        assert_eq!(NodeId::all(0).count(), 0);
+    }
+
+    #[test]
+    fn display_uses_paper_notation() {
+        assert_eq!(NodeId(7).to_string(), "P7");
+    }
+
+    #[test]
+    fn ordering_and_index() {
+        assert!(NodeId(1) < NodeId(2));
+        assert_eq!(NodeId(5).index(), 5);
+        assert_eq!(NodeId::from(9u16), NodeId(9));
+    }
+}

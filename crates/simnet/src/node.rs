@@ -1,0 +1,106 @@
+//! The protocol automaton abstraction.
+
+use crate::{Envelope, NodeId};
+use std::any::Any;
+
+/// Messages queued by a node during one round.
+#[derive(Debug, Default)]
+pub struct Outbox {
+    msgs: Vec<(NodeId, Vec<u8>)>,
+}
+
+impl Outbox {
+    /// Fresh empty outbox.
+    pub fn new() -> Self {
+        Outbox::default()
+    }
+
+    /// Queue `payload` for delivery to `to` at the start of the next round.
+    pub fn send(&mut self, to: NodeId, payload: Vec<u8>) {
+        self.msgs.push((to, payload));
+    }
+
+    /// Queue `payload` for every node of an `n`-node system except `me`.
+    pub fn broadcast(&mut self, n: usize, me: NodeId, payload: &[u8]) {
+        for peer in NodeId::all(n) {
+            if peer != me {
+                self.send(peer, payload.to_vec());
+            }
+        }
+    }
+
+    /// Number of queued messages.
+    pub fn len(&self) -> usize {
+        self.msgs.len()
+    }
+
+    /// `true` if nothing was queued.
+    pub fn is_empty(&self) -> bool {
+        self.msgs.is_empty()
+    }
+
+    /// Drain the queued messages (transport-internal).
+    pub fn into_messages(self) -> Vec<(NodeId, Vec<u8>)> {
+        self.msgs
+    }
+}
+
+/// A protocol automaton driven in synchronous rounds.
+///
+/// The same automaton runs on [`crate::SyncNetwork`], the thread transport,
+/// and the TCP transport. In each round the transport delivers everything
+/// sent to this node in the previous round (`inbox`), and the node may queue
+/// outgoing messages (`out`). Determinism requirement: `on_round` must be a
+/// pure function of construction parameters, rounds seen so far, and inbox
+/// contents — all experiment tables rely on replayability.
+pub trait Node: Send {
+    /// This node's identity. Must match its index in the transport.
+    fn id(&self) -> NodeId;
+
+    /// Handle one synchronous round.
+    ///
+    /// `round` starts at 0 (in which every inbox is empty and initiators
+    /// send their first messages).
+    fn on_round(&mut self, round: u32, inbox: &[Envelope], out: &mut Outbox);
+
+    /// `true` once this node will neither send nor change state again.
+    /// Transports may stop early when all nodes are done.
+    fn is_done(&self) -> bool {
+        false
+    }
+
+    /// Downcasting support: protocols expose their outcome through their
+    /// concrete type after the run.
+    fn as_any(&self) -> &dyn Any;
+
+    /// Mutable downcasting support.
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+
+    /// Owned downcasting support; implementors write `self`.
+    fn into_any(self: Box<Self>) -> Box<dyn Any>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outbox_collects_in_order() {
+        let mut out = Outbox::new();
+        assert!(out.is_empty());
+        out.send(NodeId(1), vec![1]);
+        out.send(NodeId(2), vec![2]);
+        assert_eq!(out.len(), 2);
+        let msgs = out.into_messages();
+        assert_eq!(msgs[0].0, NodeId(1));
+        assert_eq!(msgs[1].0, NodeId(2));
+    }
+
+    #[test]
+    fn broadcast_skips_self() {
+        let mut out = Outbox::new();
+        out.broadcast(4, NodeId(2), b"x");
+        let targets: Vec<NodeId> = out.into_messages().into_iter().map(|(to, _)| to).collect();
+        assert_eq!(targets, vec![NodeId(0), NodeId(1), NodeId(3)]);
+    }
+}

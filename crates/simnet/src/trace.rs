@@ -1,0 +1,105 @@
+//! Optional message tracing for debugging and property checking.
+
+use crate::{Envelope, NodeId};
+
+/// One traced message event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Round in which the message was sent.
+    pub round: u32,
+    /// Sender.
+    pub from: NodeId,
+    /// Receiver.
+    pub to: NodeId,
+    /// Payload length in bytes.
+    pub len: usize,
+    /// First payload byte (protocols use it as a message-type tag),
+    /// `None` for empty payloads.
+    pub tag: Option<u8>,
+}
+
+/// Bounded message trace.
+///
+/// Keeps up to `cap` events; older events are dropped (the count of dropped
+/// events is retained so consumers can detect truncation).
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+    cap: usize,
+    dropped: usize,
+}
+
+impl Trace {
+    /// Trace keeping at most `cap` events.
+    pub fn with_capacity(cap: usize) -> Self {
+        Trace {
+            events: Vec::new(),
+            cap,
+            dropped: 0,
+        }
+    }
+
+    /// Record a message.
+    pub(crate) fn record(&mut self, env: &Envelope) {
+        if self.events.len() >= self.cap {
+            self.dropped += 1;
+            return;
+        }
+        self.events.push(TraceEvent {
+            round: env.round,
+            from: env.from,
+            to: env.to,
+            len: env.payload.len(),
+            tag: env.payload.first().copied(),
+        });
+    }
+
+    /// The recorded events, oldest first.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// How many events were dropped after the capacity filled.
+    pub fn dropped(&self) -> usize {
+        self.dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env(round: u32) -> Envelope {
+        Envelope {
+            from: NodeId(0),
+            to: NodeId(1),
+            round,
+            payload: vec![0xaa, 1],
+        }
+    }
+
+    #[test]
+    fn records_until_capacity() {
+        let mut t = Trace::with_capacity(2);
+        t.record(&env(0));
+        t.record(&env(1));
+        t.record(&env(2));
+        assert_eq!(t.events().len(), 2);
+        assert_eq!(t.dropped(), 1);
+        assert_eq!(t.events()[0].round, 0);
+        assert_eq!(t.events()[0].tag, Some(0xaa));
+    }
+
+    #[test]
+    fn empty_payload_has_no_tag() {
+        let mut t = Trace::with_capacity(4);
+        t.record(&Envelope {
+            from: NodeId(0),
+            to: NodeId(1),
+            round: 0,
+            payload: vec![],
+        });
+        assert_eq!(t.events()[0].tag, None);
+        assert_eq!(t.events()[0].len, 0);
+    }
+}

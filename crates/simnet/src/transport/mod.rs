@@ -1,0 +1,45 @@
+//! Real transports driving the same [`crate::Node`] automata.
+//!
+//! The simulator ([`crate::SyncNetwork`]) is the reference executor used by
+//! every experiment table; these transports demonstrate that the protocol
+//! automata are genuinely transport-agnostic and provide the wall-clock
+//! scaling data for experiment F3:
+//!
+//! * [`thread`] — one OS thread per node, lock-step rounds coordinated by a
+//!   router over crossbeam channels.
+//! * [`tcp`] — a full-mesh localhost TCP cluster with framed messages and
+//!   per-round completion markers.
+//!
+//! Both enforce N2 the same way the simulator does: the receiver labels each
+//! message with the identity bound to the *channel/connection* it arrived
+//! on, never with anything the payload claims.
+
+pub mod tcp;
+pub mod thread;
+
+pub use tcp::TcpCluster;
+pub use thread::ThreadCluster;
+
+use crate::{NetStats, Node};
+
+/// Result of running a cluster to completion on a real transport.
+pub struct ClusterReport {
+    /// The node automata, in id order, for outcome inspection.
+    pub nodes: Vec<Box<dyn Node>>,
+    /// Aggregated message statistics (protocol messages only; transport
+    /// control frames such as round markers are excluded so counts remain
+    /// comparable with the simulator).
+    pub stats: NetStats,
+    /// Rounds executed.
+    pub rounds: u32,
+}
+
+impl core::fmt::Debug for ClusterReport {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("ClusterReport")
+            .field("n", &self.nodes.len())
+            .field("rounds", &self.rounds)
+            .field("messages", &self.stats.messages_total)
+            .finish()
+    }
+}

@@ -1,0 +1,436 @@
+//! Full-mesh localhost TCP transport.
+//!
+//! Every node binds a listener on `127.0.0.1`, the mesh is established
+//! (lower id connects to higher id, with an id handshake), and rounds are
+//! synchronized with per-round *completion markers*: a node processes round
+//! `r` only after receiving the round-`(r-1)` marker from every peer, which
+//! — over reliable TCP — guarantees it holds every round-`(r-1)` message
+//! addressed to it. This is the bounded-delay reliable network of paper
+//! property N1 realized on a real stack.
+//!
+//! Property N2 (sender identification) is enforced structurally: messages
+//! are attributed to the identity bound to the TCP connection they arrived
+//! on at handshake time; nothing in the payload can change that.
+
+use super::ClusterReport;
+use crate::{Envelope, NetStats, Node, NodeId, Outbox};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Mesh-setup and per-read deadline: generous enough for slow CI machines,
+/// short enough that a lost peer turns into a visible panic instead of a
+/// silent hang.
+const IO_DEADLINE: Duration = Duration::from_secs(60);
+
+const TAG_MSG: u8 = 0;
+const TAG_MARKER: u8 = 1;
+
+/// A frame received from a peer (identity taken from the connection).
+#[derive(Debug)]
+struct InFrame {
+    from: NodeId,
+    tag: u8,
+    round: u32,
+    payload: Vec<u8>,
+}
+
+fn write_frame(
+    stream: &mut TcpStream,
+    tag: u8,
+    round: u32,
+    payload: &[u8],
+) -> std::io::Result<()> {
+    let len = 1 + 4 + payload.len();
+    stream.write_all(&(len as u32).to_be_bytes())?;
+    stream.write_all(&[tag])?;
+    stream.write_all(&round.to_be_bytes())?;
+    stream.write_all(payload)?;
+    Ok(())
+}
+
+fn read_frame(stream: &mut TcpStream) -> std::io::Result<(u8, u32, Vec<u8>)> {
+    let mut len_buf = [0u8; 4];
+    stream.read_exact(&mut len_buf)?;
+    let len = u32::from_be_bytes(len_buf) as usize;
+    if len < 5 {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "frame too short",
+        ));
+    }
+    let mut body = vec![0u8; len];
+    stream.read_exact(&mut body)?;
+    let tag = body[0];
+    let round = u32::from_be_bytes([body[1], body[2], body[3], body[4]]);
+    Ok((tag, round, body[5..].to_vec()))
+}
+
+/// Full-mesh TCP cluster running node automata for a fixed number of rounds.
+///
+/// Unlike the simulator, the TCP transport cannot observe global quiescence
+/// cheaply, so the round count is fixed up front (protocol round counts are
+/// known: key distribution takes 3, the chain FD protocol `t + 2`, …).
+#[derive(Debug)]
+pub struct TcpCluster {
+    rounds: u32,
+}
+
+impl TcpCluster {
+    /// Cluster that runs exactly `rounds` rounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rounds == 0`.
+    pub fn new(rounds: u32) -> Self {
+        assert!(rounds > 0, "at least one round required");
+        TcpCluster { rounds }
+    }
+
+    /// Run the automata over localhost TCP.
+    ///
+    /// # Panics
+    ///
+    /// Panics on socket errors (this transport is a test/bench harness, not
+    /// a hardened server) and on node id/index mismatches.
+    pub fn run(&self, nodes: Vec<Box<dyn Node>>) -> ClusterReport {
+        let n = nodes.len();
+        for (i, node) in nodes.iter().enumerate() {
+            assert_eq!(node.id(), NodeId(i as u16), "node id/index mismatch");
+        }
+        if n == 1 {
+            return self.run_single(nodes);
+        }
+
+        // Bind all listeners first so every address is known before any
+        // connection attempt.
+        let listeners: Vec<TcpListener> = (0..n)
+            .map(|_| TcpListener::bind("127.0.0.1:0").expect("bind listener"))
+            .collect();
+        let addrs: Vec<SocketAddr> = listeners
+            .iter()
+            .map(|l| l.local_addr().expect("local addr"))
+            .collect();
+        let addrs = Arc::new(addrs);
+
+        let rounds = self.rounds;
+        let mut handles = Vec::with_capacity(n);
+        for (i, node) in nodes.into_iter().enumerate() {
+            let listener = listeners[i].try_clone().expect("clone listener");
+            let addrs = Arc::clone(&addrs);
+            handles.push(thread::spawn(move || {
+                run_node(node, i as u16, listener, &addrs, rounds)
+            }));
+        }
+
+        let mut results: Vec<(Box<dyn Node>, NetStats)> = handles
+            .into_iter()
+            .map(|h| h.join().expect("node thread panicked"))
+            .collect();
+
+        let mut stats = NetStats::new(n);
+        stats.rounds = rounds;
+        for (node, local) in &results {
+            let id = node.id();
+            for (r, count) in local.per_round.iter().enumerate() {
+                if stats.per_round.len() <= r {
+                    stats.per_round.resize(r + 1, 0);
+                }
+                stats.per_round[r] += count;
+            }
+            stats.messages_total += local.messages_total;
+            stats.bytes_total += local.bytes_total;
+            stats.dropped_invalid += local.dropped_invalid;
+            stats.sent_by[id.index()] = local.messages_total;
+        }
+
+        results.sort_by_key(|(node, _)| node.id());
+        ClusterReport {
+            nodes: results.into_iter().map(|(node, _)| node).collect(),
+            stats,
+            rounds,
+        }
+    }
+
+    /// Degenerate single-node "cluster" (no sockets needed).
+    fn run_single(&self, mut nodes: Vec<Box<dyn Node>>) -> ClusterReport {
+        let mut node = nodes.pop().expect("one node");
+        let mut stats = NetStats::new(1);
+        for round in 0..self.rounds {
+            let mut out = Outbox::new();
+            node.on_round(round, &[], &mut out);
+            stats.dropped_invalid += out.into_messages().len();
+        }
+        stats.rounds = self.rounds;
+        ClusterReport {
+            nodes: vec![node],
+            stats,
+            rounds: self.rounds,
+        }
+    }
+}
+
+/// Per-node main loop: mesh setup, reader threads, round loop.
+fn run_node(
+    mut node: Box<dyn Node>,
+    me: u16,
+    listener: TcpListener,
+    addrs: &[SocketAddr],
+    rounds: u32,
+) -> (Box<dyn Node>, NetStats) {
+    let n = addrs.len();
+    let me_id = NodeId(me);
+
+    // Establish the mesh: accept from lower ids, connect to higher ids.
+    // Handshake: initiator sends its id as 2 bytes.
+    let streams: Arc<Mutex<HashMap<NodeId, TcpStream>>> = Arc::new(Mutex::new(HashMap::new()));
+    let mut accept_count = me as usize; // peers with smaller id connect to us
+
+    let (frame_tx, frame_rx) = crossbeam_channel::unbounded::<InFrame>();
+
+    // Connect outward (with a deadline so a dead peer cannot hang the
+    // whole cluster).
+    for (peer, addr) in addrs.iter().enumerate().skip(me as usize + 1) {
+        let stream = TcpStream::connect_timeout(addr, IO_DEADLINE).expect("connect peer");
+        let mut s = stream.try_clone().expect("clone stream");
+        s.write_all(&me.to_be_bytes()).expect("handshake");
+        streams.lock().insert(NodeId(peer as u16), stream);
+    }
+    // Accept inward, bounded by the same deadline.
+    listener
+        .set_nonblocking(true)
+        .expect("nonblocking accept");
+    let deadline = Instant::now() + IO_DEADLINE;
+    while accept_count > 0 {
+        match listener.accept() {
+            Ok((mut stream, _)) => {
+                stream.set_nonblocking(false).expect("blocking stream");
+                stream
+                    .set_read_timeout(Some(IO_DEADLINE))
+                    .expect("read timeout");
+                let mut id_buf = [0u8; 2];
+                stream.read_exact(&mut id_buf).expect("handshake id");
+                let peer = NodeId(u16::from_be_bytes(id_buf));
+                assert!(peer.0 < me, "unexpected handshake from {peer}");
+                streams.lock().insert(peer, stream);
+                accept_count -= 1;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                assert!(
+                    Instant::now() < deadline,
+                    "P{me}: peers failed to connect within {IO_DEADLINE:?}"
+                );
+                thread::sleep(Duration::from_millis(1));
+            }
+            Err(e) => panic!("accept peer: {e}"),
+        }
+    }
+    // Reads during the run are bounded too: a vanished peer surfaces as a
+    // reader-thread exit, and a main loop stuck waiting for its marker
+    // panics on the closed channel instead of hanging.
+    for stream in streams.lock().values() {
+        stream
+            .set_read_timeout(Some(IO_DEADLINE))
+            .expect("read timeout");
+    }
+
+    // One reader thread per peer; the *connection* determines `from` (N2).
+    let mut reader_handles = Vec::new();
+    for (peer, stream) in streams.lock().iter() {
+        let mut stream = stream.try_clone().expect("clone for reader");
+        let tx = frame_tx.clone();
+        let peer = *peer;
+        reader_handles.push(thread::spawn(move || {
+            #[allow(clippy::while_let_loop)]
+            loop {
+            match read_frame(&mut stream) {
+                Ok((tag, round, payload)) => {
+                    if tx
+                        .send(InFrame {
+                            from: peer,
+                            tag,
+                            round,
+                            payload,
+                        })
+                        .is_err()
+                    {
+                        break;
+                    }
+                }
+                Err(_) => break, // peer closed
+            }
+            }
+        }));
+    }
+    drop(frame_tx);
+
+    let mut stats = NetStats::new(n);
+    // Messages buffered per round: round -> Vec<Envelope>.
+    let mut buffered: HashMap<u32, Vec<Envelope>> = HashMap::new();
+    // Markers received per round: round -> count.
+    let mut markers: HashMap<u32, usize> = HashMap::new();
+
+    for round in 0..rounds {
+        // Wait for every peer's marker for the previous round.
+        if round > 0 {
+            let prev = round - 1;
+            while markers.get(&prev).copied().unwrap_or(0) < n - 1 {
+                let frame = frame_rx.recv().expect("mesh alive while waiting");
+                ingest(frame, &mut buffered, &mut markers);
+            }
+        }
+        // Drain anything already queued without blocking.
+        while let Ok(frame) = frame_rx.try_recv() {
+            ingest(frame, &mut buffered, &mut markers);
+        }
+
+        let inbox = if round > 0 {
+            let mut msgs = buffered.remove(&(round - 1)).unwrap_or_default();
+            // Deterministic order: by sender id, then arrival order.
+            msgs.sort_by_key(|e| e.from);
+            msgs
+        } else {
+            Vec::new()
+        };
+
+        let mut out = Outbox::new();
+        node.on_round(round, &inbox, &mut out);
+
+        for (to, payload) in out.into_messages() {
+            if to.index() >= n || to == me_id {
+                stats.dropped_invalid += 1;
+                continue;
+            }
+            let env = Envelope {
+                from: me_id,
+                to,
+                round,
+                payload,
+            };
+            stats.record_send(me_id, round, env.wire_len());
+            let mut guard = streams.lock();
+            let stream = guard.get_mut(&to).expect("stream for peer");
+            write_frame(stream, TAG_MSG, round, &env.payload).expect("send frame");
+        }
+        // Round marker to everyone.
+        let mut guard = streams.lock();
+        for (_, stream) in guard.iter_mut() {
+            write_frame(stream, TAG_MARKER, round, &[]).expect("send marker");
+        }
+    }
+
+    // Close the mesh half-duplex: `shutdown(Write)` sends FIN (the socket
+    // is shared with reader-thread clones, so a plain drop would not), and
+    // every peer's reader wakes with EOF once all its peers have finished.
+    // The read half stays open so peers still flushing their final-round
+    // markers never see a broken pipe.
+    for (_, stream) in streams.lock().drain() {
+        let _ = stream.shutdown(std::net::Shutdown::Write);
+    }
+    drop(frame_rx);
+    for h in reader_handles {
+        let _ = h.join();
+    }
+    stats.rounds = rounds;
+    (node, stats)
+}
+
+fn ingest(
+    frame: InFrame,
+    buffered: &mut HashMap<u32, Vec<Envelope>>,
+    markers: &mut HashMap<u32, usize>,
+) {
+    match frame.tag {
+        TAG_MSG => buffered.entry(frame.round).or_default().push(Envelope {
+            from: frame.from,
+            to: NodeId(u16::MAX), // implicit: this node
+            round: frame.round,
+            payload: frame.payload,
+        }),
+        TAG_MARKER => *markers.entry(frame.round).or_default() += 1,
+        other => {
+            // Unknown control tag: ignore (future extension space).
+            let _ = other;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::any::Any;
+
+    struct Counter {
+        id: NodeId,
+        n: usize,
+        got: usize,
+        senders_ok: bool,
+    }
+
+    impl Node for Counter {
+        fn id(&self) -> NodeId {
+            self.id
+        }
+        fn on_round(&mut self, round: u32, inbox: &[Envelope], out: &mut Outbox) {
+            if round == 0 {
+                out.broadcast(self.n, self.id, &[self.id.0 as u8]);
+            }
+            for env in inbox {
+                self.got += 1;
+                // payload claims a sender; N2 stamp must agree.
+                self.senders_ok &= env.from.0 as u8 == env.payload[0];
+            }
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+        fn into_any(self: Box<Self>) -> Box<dyn Any> {
+            self
+        }
+    }
+
+    fn cluster_nodes(n: usize) -> Vec<Box<dyn Node>> {
+        (0..n)
+            .map(|i| {
+                Box::new(Counter {
+                    id: NodeId(i as u16),
+                    n,
+                    got: 0,
+                    senders_ok: true,
+                }) as Box<dyn Node>
+            })
+            .collect()
+    }
+
+    #[test]
+    fn mesh_exchange_over_tcp() {
+        let n = 5;
+        let report = TcpCluster::new(2).run(cluster_nodes(n));
+        assert_eq!(report.stats.messages_total, n * (n - 1));
+        for node in &report.nodes {
+            let c = node.as_any().downcast_ref::<Counter>().unwrap();
+            assert_eq!(c.got, n - 1);
+            assert!(c.senders_ok, "N2 violated");
+        }
+    }
+
+    #[test]
+    fn single_node_degenerate() {
+        let report = TcpCluster::new(3).run(cluster_nodes(1));
+        assert_eq!(report.rounds, 3);
+        assert_eq!(report.stats.messages_total, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one round")]
+    fn zero_rounds_rejected() {
+        let _ = TcpCluster::new(0);
+    }
+}

@@ -1,0 +1,240 @@
+//! Lock-step thread transport.
+//!
+//! Each node automaton runs on its own OS thread; a router thread (the
+//! caller) coordinates rounds over crossbeam channels. Semantics are
+//! identical to [`crate::SyncNetwork`] — this transport exists to prove the
+//! automata are `Send` and to measure real parallel execution (experiment
+//! F3).
+
+use super::ClusterReport;
+use crate::{Envelope, NetStats, Node, NodeId, Outbox};
+use crossbeam_channel::{bounded, Receiver, Sender};
+use std::thread;
+
+enum RoundCmd {
+    Run { round: u32, inbox: Vec<Envelope> },
+    Stop,
+}
+
+struct RoundResult {
+    id: NodeId,
+    msgs: Vec<(NodeId, Vec<u8>)>,
+    done: bool,
+}
+
+/// One-thread-per-node lock-step cluster.
+#[derive(Debug, Default)]
+pub struct ThreadCluster {
+    max_rounds: u32,
+}
+
+impl ThreadCluster {
+    /// Cluster that runs at most `max_rounds` rounds (stops earlier when
+    /// every node is done and no messages are in flight).
+    pub fn new(max_rounds: u32) -> Self {
+        ThreadCluster { max_rounds }
+    }
+
+    /// Run the automata to completion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if node ids do not match their indices, or if a node thread
+    /// panics.
+    pub fn run(&self, nodes: Vec<Box<dyn Node>>) -> ClusterReport {
+        let n = nodes.len();
+        for (i, node) in nodes.iter().enumerate() {
+            assert_eq!(node.id(), NodeId(i as u16), "node id/index mismatch");
+        }
+
+        let (res_tx, res_rx): (Sender<RoundResult>, Receiver<RoundResult>) = bounded(n);
+        let mut cmd_txs = Vec::with_capacity(n);
+        let mut handles = Vec::with_capacity(n);
+
+        for mut node in nodes {
+            let (cmd_tx, cmd_rx): (Sender<RoundCmd>, Receiver<RoundCmd>) = bounded(1);
+            let res_tx = res_tx.clone();
+            cmd_txs.push(cmd_tx);
+            handles.push(thread::spawn(move || {
+                while let Ok(cmd) = cmd_rx.recv() {
+                    match cmd {
+                        RoundCmd::Run { round, inbox } => {
+                            let mut out = Outbox::new();
+                            node.on_round(round, &inbox, &mut out);
+                            let result = RoundResult {
+                                id: node.id(),
+                                msgs: out.into_messages(),
+                                done: node.is_done(),
+                            };
+                            if res_tx.send(result).is_err() {
+                                break;
+                            }
+                        }
+                        RoundCmd::Stop => break,
+                    }
+                }
+                node
+            }));
+        }
+        drop(res_tx);
+
+        let mut stats = NetStats::new(n);
+        let mut inboxes: Vec<Vec<Envelope>> = (0..n).map(|_| Vec::new()).collect();
+        let mut round = 0u32;
+
+        while round < self.max_rounds {
+            for (i, tx) in cmd_txs.iter().enumerate() {
+                let inbox = std::mem::take(&mut inboxes[i]);
+                tx.send(RoundCmd::Run { round, inbox })
+                    .expect("node thread alive");
+            }
+            let mut results: Vec<RoundResult> = (0..n)
+                .map(|_| res_rx.recv().expect("node thread alive"))
+                .collect();
+            // Deterministic ordering regardless of thread scheduling.
+            results.sort_by_key(|r| r.id);
+
+            let mut all_done = true;
+            let mut any_in_flight = false;
+            for result in results {
+                all_done &= result.done;
+                for (to, payload) in result.msgs {
+                    if to.index() >= n {
+                        stats.dropped_invalid += 1;
+                        continue;
+                    }
+                    let env = Envelope {
+                        from: result.id,
+                        to,
+                        round,
+                        payload,
+                    };
+                    stats.record_send(result.id, round, env.wire_len());
+                    inboxes[to.index()].push(env);
+                    any_in_flight = true;
+                }
+            }
+            round += 1;
+            stats.rounds = round;
+            if all_done && !any_in_flight {
+                break;
+            }
+        }
+
+        for tx in &cmd_txs {
+            let _ = tx.send(RoundCmd::Stop);
+        }
+        let nodes: Vec<Box<dyn Node>> = handles
+            .into_iter()
+            .map(|h| h.join().expect("node thread panicked"))
+            .collect();
+
+        ClusterReport {
+            nodes,
+            stats,
+            rounds: round,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::any::Any;
+
+    struct Counter {
+        id: NodeId,
+        n: usize,
+        got: usize,
+    }
+
+    impl Node for Counter {
+        fn id(&self) -> NodeId {
+            self.id
+        }
+        fn on_round(&mut self, round: u32, inbox: &[Envelope], out: &mut Outbox) {
+            if round == 0 {
+                out.broadcast(self.n, self.id, &[7]);
+            }
+            self.got += inbox.len();
+        }
+        fn is_done(&self) -> bool {
+            self.got + 1 >= self.n
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+        fn into_any(self: Box<Self>) -> Box<dyn Any> {
+            self
+        }
+    }
+
+    #[test]
+    fn matches_simulator_semantics() {
+        let n = 6;
+        let nodes: Vec<Box<dyn Node>> = (0..n)
+            .map(|i| {
+                Box::new(Counter {
+                    id: NodeId(i as u16),
+                    n,
+                    got: 0,
+                }) as Box<dyn Node>
+            })
+            .collect();
+        let report = ThreadCluster::new(10).run(nodes);
+        assert_eq!(report.stats.messages_total, n * (n - 1));
+        assert_eq!(report.rounds, 2);
+        for node in &report.nodes {
+            let c = node.as_any().downcast_ref::<Counter>().unwrap();
+            assert_eq!(c.got, n - 1);
+        }
+    }
+
+    #[test]
+    fn nodes_returned_in_id_order() {
+        let n = 4;
+        let nodes: Vec<Box<dyn Node>> = (0..n)
+            .map(|i| {
+                Box::new(Counter {
+                    id: NodeId(i as u16),
+                    n,
+                    got: 0,
+                }) as Box<dyn Node>
+            })
+            .collect();
+        let report = ThreadCluster::new(5).run(nodes);
+        for (i, node) in report.nodes.iter().enumerate() {
+            assert_eq!(node.id(), NodeId(i as u16));
+        }
+    }
+
+    #[test]
+    fn respects_max_rounds() {
+        struct Forever {
+            id: NodeId,
+        }
+        impl Node for Forever {
+            fn id(&self) -> NodeId {
+                self.id
+            }
+            fn on_round(&mut self, _r: u32, _i: &[Envelope], out: &mut Outbox) {
+                out.send(self.id, vec![1]); // self-loop keeps it alive
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+            fn into_any(self: Box<Self>) -> Box<dyn Any> {
+                self
+            }
+        }
+        let report = ThreadCluster::new(4).run(vec![Box::new(Forever { id: NodeId(0) })]);
+        assert_eq!(report.rounds, 4);
+        assert_eq!(report.stats.messages_total, 4);
+    }
+}

@@ -1,0 +1,92 @@
+//! Property-based tests for the wire codec and envelope layer: round-trips
+//! over arbitrary data, and decoder robustness against arbitrary bytes
+//! (malformed input must error, never panic).
+
+use fd_simnet::codec::{decode_seq, CodecError, Decode, Encode, Reader, Writer};
+use fd_simnet::{Envelope, NodeId};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn primitives_round_trip(a in any::<u8>(), b in any::<u16>(), c in any::<u32>(), d in any::<u64>()) {
+        let mut w = Writer::new();
+        a.encode(&mut w);
+        b.encode(&mut w);
+        c.encode(&mut w);
+        d.encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        prop_assert_eq!(u8::decode(&mut r).unwrap(), a);
+        prop_assert_eq!(u16::decode(&mut r).unwrap(), b);
+        prop_assert_eq!(u32::decode(&mut r).unwrap(), c);
+        prop_assert_eq!(u64::decode(&mut r).unwrap(), d);
+        prop_assert!(r.is_empty());
+    }
+
+    #[test]
+    fn byte_strings_round_trip(data in prop::collection::vec(any::<u8>(), 0..512)) {
+        let bytes = data.encode_to_vec();
+        prop_assert_eq!(Vec::<u8>::decode_exact(&bytes).unwrap(), data);
+    }
+
+    #[test]
+    fn sequences_round_trip(items in prop::collection::vec(any::<u32>(), 0..64)) {
+        let bytes = items.as_slice().encode_to_vec();
+        let mut r = Reader::new(&bytes);
+        prop_assert_eq!(decode_seq::<u32>(&mut r).unwrap(), items);
+        prop_assert!(r.is_empty());
+    }
+
+    #[test]
+    fn envelopes_round_trip(from in any::<u16>(), to in any::<u16>(), round in any::<u32>(), payload in prop::collection::vec(any::<u8>(), 0..256)) {
+        let env = Envelope { from: NodeId(from), to: NodeId(to), round, payload };
+        let bytes = env.encode_to_vec();
+        prop_assert_eq!(env.wire_len(), bytes.len());
+        prop_assert_eq!(Envelope::decode_exact(&bytes).unwrap(), env);
+    }
+
+    #[test]
+    fn arbitrary_bytes_never_panic_the_decoder(garbage in prop::collection::vec(any::<u8>(), 0..300)) {
+        // Whatever happens, it must be Ok or Err — no panics, no hangs.
+        let _ = Envelope::decode_exact(&garbage);
+        let mut r = Reader::new(&garbage);
+        let _ = decode_seq::<u64>(&mut r);
+        let mut r = Reader::new(&garbage);
+        let _ = r.get_bytes();
+    }
+
+    #[test]
+    fn truncation_always_detected(data in prop::collection::vec(any::<u8>(), 1..128), cut in any::<usize>()) {
+        let env = Envelope {
+            from: NodeId(1),
+            to: NodeId(2),
+            round: 3,
+            payload: data,
+        };
+        let bytes = env.encode_to_vec();
+        let cut = cut % bytes.len(); // strictly shorter
+        let truncated = &bytes[..cut];
+        prop_assert!(Envelope::decode_exact(truncated).is_err());
+    }
+
+    #[test]
+    fn extension_always_detected(extra in prop::collection::vec(any::<u8>(), 1..32)) {
+        let env = Envelope { from: NodeId(0), to: NodeId(1), round: 0, payload: vec![9] };
+        let mut bytes = env.encode_to_vec();
+        bytes.extend_from_slice(&extra);
+        prop_assert_eq!(Envelope::decode_exact(&bytes), Err(CodecError::TrailingBytes));
+    }
+
+    #[test]
+    fn canonical_encoding_is_injective(
+        p1 in prop::collection::vec(any::<u8>(), 0..64),
+        p2 in prop::collection::vec(any::<u8>(), 0..64),
+    ) {
+        // Distinct payloads encode to distinct bytes (signing depends on it).
+        let e1 = Envelope { from: NodeId(0), to: NodeId(1), round: 0, payload: p1.clone() };
+        let e2 = Envelope { from: NodeId(0), to: NodeId(1), round: 0, payload: p2.clone() };
+        prop_assert_eq!(e1.encode_to_vec() == e2.encode_to_vec(), p1 == p2);
+    }
+}

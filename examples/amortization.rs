@@ -1,0 +1,42 @@
+//! The paper's headline economics: cumulative message counts of
+//! "key distribution once + cheap authenticated runs" versus
+//! "non-authenticated runs forever", with the measured crossover.
+//!
+//! ```sh
+//! cargo run --example amortization
+//! ```
+
+use local_auth_fd::core::metrics;
+use local_auth_fd::core::runner::Cluster;
+use local_auth_fd::crypto::SchnorrScheme;
+use std::sync::Arc;
+
+fn main() {
+    println!("== amortization of local authentication (paper §6) ==\n");
+
+    for (n, t) in [(8usize, 2usize), (16, 5), (32, 10)] {
+        let cluster = Cluster::new(n, t, Arc::new(SchnorrScheme::test_tiny()), 7);
+        let keydist = cluster.run_key_distribution();
+        let auth_run = cluster
+            .run_chain_fd(&keydist, b"v".to_vec())
+            .stats
+            .messages_total;
+        let plain_run = cluster.run_non_auth_fd(b"v".to_vec()).stats.messages_total;
+        let setup = keydist.stats.messages_total;
+        let k_star = metrics::amortization_crossover(n, t).unwrap();
+
+        println!("n = {n:>2}, t = {t:>2}:");
+        println!("  key distribution (once):   {setup:>6} messages");
+        println!("  authenticated FD per run:  {auth_run:>6} messages");
+        println!("  non-auth FD per run:       {plain_run:>6} messages");
+        println!("  measured crossover:        after {k_star} runs\n");
+        println!("  runs | cumulative auth | cumulative non-auth");
+        for k in [1usize, k_star / 2, k_star - 1, k_star, k_star + 5, 100] {
+            let a = setup + k * auth_run;
+            let b = k * plain_run;
+            let marker = if a < b { "  <-- auth wins" } else { "" };
+            println!("  {k:>4} | {a:>15} | {b:>19}{marker}");
+        }
+        println!();
+    }
+}

@@ -1,0 +1,488 @@
+//! `lafd` — command-line driver for the local-auth-fd reproduction.
+//!
+//! ```text
+//! lafd keydist  --n 8 [--t 2] [--seed 1] [--scheme tiny|s512|s1024|rsa512]
+//! lafd fd       --n 8 [--t 2] [--value "hello"] [--runs 3]
+//! lafd vector   --n 5 [--t 1]
+//! lafd ba       --n 7 [--t 2] [--crash 1]
+//! lafd degrade  --n 7 [--t 2] [--equivocate]   # graded/degradable agreement
+//! lafd king     --n 9 [--t 2] [--crash 1]      # Phase-King non-auth baseline
+//! lafd rotate   --n 8 [--t 2] [--runs 10]      # key-rotation epochs (3 epochs)
+//! lafd tcp      --n 6 [--t 1]
+//! lafd trace    --n 4 [--t 1]     # per-round message flow of one cycle
+//! ```
+
+use local_auth_fd::core::adversary::SilentNode;
+use local_auth_fd::core::metrics;
+use local_auth_fd::core::runner::Cluster;
+use local_auth_fd::crypto::{DsaScheme, RsaScheme, SchnorrScheme, SignatureScheme};
+use local_auth_fd::simnet::{Node, NodeId};
+use std::process::ExitCode;
+use std::sync::Arc;
+
+#[derive(Debug)]
+struct Opts {
+    n: usize,
+    t: usize,
+    seed: u64,
+    scheme: String,
+    value: String,
+    runs: usize,
+    crash: Option<usize>,
+    equivocate: bool,
+}
+
+impl Default for Opts {
+    fn default() -> Self {
+        Opts {
+            n: 7,
+            t: 2,
+            seed: 1,
+            scheme: "tiny".to_string(),
+            value: "attack at dawn".to_string(),
+            runs: 3,
+            crash: None,
+            equivocate: false,
+        }
+    }
+}
+
+fn parse(args: &[String]) -> Result<Opts, String> {
+    let mut opts = Opts::default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut grab = || {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("flag {flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--n" => opts.n = grab()?.parse().map_err(|e| format!("--n: {e}"))?,
+            "--t" => opts.t = grab()?.parse().map_err(|e| format!("--t: {e}"))?,
+            "--seed" => opts.seed = grab()?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--scheme" => opts.scheme = grab()?,
+            "--value" => opts.value = grab()?,
+            "--runs" => opts.runs = grab()?.parse().map_err(|e| format!("--runs: {e}"))?,
+            "--crash" => {
+                opts.crash = Some(grab()?.parse().map_err(|e| format!("--crash: {e}"))?)
+            }
+            "--equivocate" => opts.equivocate = true,
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if opts.t + 2 > opts.n {
+        return Err(format!("need t + 2 <= n (got n={}, t={})", opts.n, opts.t));
+    }
+    Ok(opts)
+}
+
+fn scheme_by_name(name: &str) -> Result<Arc<dyn SignatureScheme>, String> {
+    Ok(match name {
+        "tiny" => Arc::new(SchnorrScheme::test_tiny()),
+        "s512" => Arc::new(SchnorrScheme::s512()),
+        "s1024" => Arc::new(SchnorrScheme::s1024()),
+        "s2048" => Arc::new(SchnorrScheme::s2048()),
+        "dsa512" => Arc::new(DsaScheme::s512()),
+        "dsa1024" => Arc::new(DsaScheme::s1024()),
+        "rsa512" => Arc::new(RsaScheme::new(512)),
+        "rsa1024" => Arc::new(RsaScheme::new(1024)),
+        other => {
+            return Err(format!(
+                "unknown scheme {other} (tiny|s512|s1024|s2048|dsa512|dsa1024|rsa512|rsa1024)"
+            ))
+        }
+    })
+}
+
+fn usage() {
+    eprintln!(
+        "usage: lafd <keydist|fd|vector|ba|degrade|king|rotate|tcp|trace> [--n N] [--t T] [--seed S] \
+         [--scheme tiny|s512|s1024|s2048|dsa512|dsa1024|rsa512|rsa1024] [--value V] [--runs K] \
+         [--crash I] [--equivocate]"
+    );
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        usage();
+        return ExitCode::FAILURE;
+    };
+    let opts = match parse(rest) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            usage();
+            return ExitCode::FAILURE;
+        }
+    };
+    let scheme = match scheme_by_name(&opts.scheme) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let cluster = Cluster::new(opts.n, opts.t, scheme, opts.seed);
+
+    match cmd.as_str() {
+        "keydist" => cmd_keydist(&cluster),
+        "fd" => cmd_fd(&cluster, &opts),
+        "vector" => cmd_vector(&cluster),
+        "ba" => cmd_ba(&cluster, &opts),
+        "degrade" => cmd_degrade(&cluster, &opts),
+        "king" => cmd_king(&cluster, &opts),
+        "rotate" => cmd_rotate(cluster.clone(), &opts),
+        "tcp" => cmd_tcp(&cluster, &opts),
+        "trace" => cmd_trace(&cluster, &opts),
+        other => {
+            eprintln!("error: unknown command {other}");
+            usage();
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_keydist(cluster: &Cluster) {
+    let kd = cluster.run_key_distribution();
+    println!(
+        "key distribution: n = {}, {} messages (3n(n-1) = {}), {} bytes on the wire",
+        cluster.n,
+        kd.stats.messages_total,
+        metrics::keydist_messages(cluster.n),
+        kd.stats.bytes_total,
+    );
+    for (node, anoms) in &kd.anomalies {
+        if !anoms.is_empty() {
+            println!("  {node} anomalies: {anoms:?}");
+        }
+    }
+    println!("all stores complete: every node accepted {} predicates", cluster.n);
+}
+
+fn cmd_fd(cluster: &Cluster, opts: &Opts) {
+    let kd = cluster.run_key_distribution();
+    println!(
+        "key distribution: {} messages (once)",
+        kd.stats.messages_total
+    );
+    for k in 0..opts.runs {
+        let value = format!("{} #{k}", opts.value).into_bytes();
+        let run = cluster.run_chain_fd(&kd, value.clone());
+        println!(
+            "fd run {k}: {} messages, all decided = {}",
+            run.stats.messages_total,
+            run.all_decided(&value),
+        );
+    }
+    println!(
+        "baseline per-run cost without authentication: {} messages",
+        metrics::non_auth_messages(cluster.n, cluster.t),
+    );
+}
+
+fn cmd_vector(cluster: &Cluster) {
+    let kd = cluster.run_key_distribution();
+    let values: Vec<Vec<u8>> = (0..cluster.n)
+        .map(|i| format!("input-of-P{i}").into_bytes())
+        .collect();
+    let (report, per_instance) = cluster.run_vector_fd(&kd, &values);
+    println!(
+        "interactive consistency: n = {}, {} messages (n(n-1) = {})",
+        cluster.n,
+        report.stats.messages_total,
+        cluster.n * (cluster.n - 1),
+    );
+    for (i, outcomes) in per_instance.iter().enumerate() {
+        let decided = outcomes.iter().filter(|o| o.decided().is_some()).count();
+        println!("  P{i}: decided {decided}/{} instances", cluster.n);
+    }
+}
+
+fn cmd_ba(cluster: &Cluster, opts: &Opts) {
+    let kd = cluster.run_key_distribution();
+    let run = match opts.crash {
+        None => cluster.run_fd_to_ba(&kd, opts.value.clone().into_bytes(), b"default".to_vec()),
+        Some(crash) => {
+            let crash_id = NodeId(crash as u16);
+            cluster.run_fd_to_ba_with(
+                &kd,
+                opts.value.clone().into_bytes(),
+                b"default".to_vec(),
+                &mut |id| {
+                    (id == crash_id)
+                        .then(|| Box::new(SilentNode { me: crash_id }) as Box<dyn Node>)
+                },
+            )
+        }
+    };
+    println!(
+        "FD->BA: {} messages{}",
+        run.stats.messages_total,
+        match opts.crash {
+            Some(c) => format!(" (node {c} crashed; fallback engaged)"),
+            None => " (failure-free: n-1, the FD cost)".to_string(),
+        }
+    );
+    for (i, o) in run.outcomes.iter().enumerate() {
+        match o {
+            Some(o) => println!("  P{i}: {o}"),
+            None => println!("  P{i}: (faulty)"),
+        }
+    }
+}
+
+fn cmd_degrade(cluster: &Cluster, opts: &Opts) {
+    use local_auth_fd::core::ba::DgMsg;
+    use local_auth_fd::core::chain::ChainMessage;
+    use local_auth_fd::simnet::codec::Encode;
+    use local_auth_fd::simnet::{Envelope, Outbox};
+    use std::any::Any;
+
+    let kd = cluster.run_key_distribution();
+    let value = opts.value.clone().into_bytes();
+    let (run, grades) = if opts.equivocate {
+        struct TwoFaced {
+            ring: local_auth_fd::core::keys::Keyring,
+            scheme: Arc<dyn SignatureScheme>,
+            n: usize,
+            value: Vec<u8>,
+        }
+        impl Node for TwoFaced {
+            fn id(&self) -> NodeId {
+                self.ring.me
+            }
+            fn on_round(&mut self, round: u32, _inbox: &[Envelope], out: &mut Outbox) {
+                if round != 0 {
+                    return;
+                }
+                for i in 1..self.n {
+                    let v = if i <= self.n / 2 {
+                        self.value.clone()
+                    } else {
+                        b"SABOTAGE".to_vec()
+                    };
+                    let chain = ChainMessage::originate(
+                        self.scheme.as_ref(),
+                        &self.ring.sk,
+                        self.ring.me,
+                        v,
+                    )
+                    .expect("key well-formed");
+                    out.send(NodeId(i as u16), DgMsg { chain }.encode_to_vec());
+                }
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+            fn into_any(self: Box<Self>) -> Box<dyn Any> {
+                self
+            }
+        }
+        let ring = cluster.keyring(NodeId(0));
+        let scheme = Arc::clone(&cluster.scheme);
+        let n = cluster.n;
+        let v = value.clone();
+        cluster.run_degradable_with(&kd, value.clone(), b"default".to_vec(), &mut |id| {
+            (id == NodeId(0)).then(|| {
+                Box::new(TwoFaced {
+                    ring: ring.clone(),
+                    scheme: Arc::clone(&scheme),
+                    n,
+                    value: v.clone(),
+                }) as Box<dyn Node>
+            })
+        })
+    } else {
+        cluster.run_degradable(&kd, value, b"default".to_vec())
+    };
+    println!(
+        "degradable agreement: {} messages (n(n-1) = {}), 2 comm rounds{}",
+        run.stats.messages_total,
+        cluster.n * (cluster.n - 1),
+        if opts.equivocate {
+            " — sender equivocated"
+        } else {
+            ""
+        }
+    );
+    for (i, o) in run.outcomes.iter().enumerate() {
+        match o {
+            Some(o) => println!("  P{i}: {o} (grade {:?})", grades[i]),
+            None => println!("  P{i}: (faulty)"),
+        }
+    }
+}
+
+fn cmd_king(cluster: &Cluster, opts: &Opts) {
+    if cluster.n <= 4 * cluster.t {
+        eprintln!(
+            "phase king requires n > 4t (got n={}, t={})",
+            cluster.n, cluster.t
+        );
+        return;
+    }
+    let value = opts.value.clone().into_bytes();
+    let run = match opts.crash {
+        None => cluster.run_phase_king(value.clone(), b"default".to_vec()),
+        Some(crash) => {
+            let crash_id = NodeId(crash as u16);
+            cluster.run_phase_king_with(value.clone(), b"default".to_vec(), &mut |id| {
+                (id == crash_id).then(|| Box::new(SilentNode { me: crash_id }) as Box<dyn Node>)
+            })
+        }
+    };
+    println!(
+        "phase king (non-authenticated, n > 4t): {} messages, {} comm rounds{}",
+        run.stats.messages_total,
+        metrics::phase_king_comm_rounds(cluster.t),
+        match opts.crash {
+            Some(c) => format!(" (node {c} silent)"),
+            None => String::new(),
+        }
+    );
+    for (i, o) in run.outcomes.iter().enumerate() {
+        match o {
+            Some(o) => println!("  P{i}: {o}"),
+            None => println!("  P{i}: (faulty)"),
+        }
+    }
+}
+
+fn cmd_rotate(cluster: Cluster, opts: &Opts) {
+    use local_auth_fd::core::epoch::EpochManager;
+    let (n, t) = (cluster.n, cluster.t);
+    let mut epochs = EpochManager::new(cluster);
+    for e in 0..3u32 {
+        let state = epochs.rotate();
+        println!(
+            "epoch {e}: key distribution {} messages",
+            state.keydist.stats.messages_total
+        );
+        for k in 0..opts.runs {
+            let value = format!("epoch {e} run {k}").into_bytes();
+            let run = epochs.run_chain_fd(value.clone());
+            assert!(run.all_decided(&value));
+        }
+        println!("  + {} chain-FD runs at {} messages each", opts.runs, n - 1);
+    }
+    let spent = epochs.messages_spent();
+    let baseline = metrics::cumulative_non_auth(n, t, 3 * opts.runs);
+    println!(
+        "total {spent} messages vs non-auth baseline {baseline} — {}",
+        if spent < baseline {
+            "rotation amortizes (epoch outlives k*)"
+        } else {
+            "rotation too frequent (epoch below k*)"
+        }
+    );
+}
+
+fn cmd_tcp(cluster: &Cluster, _opts: &Opts) {
+    use local_auth_fd::core::keys::Keyring;
+    use local_auth_fd::core::localauth::{KeyDistNode, KEYDIST_ROUNDS};
+    use local_auth_fd::simnet::transport::TcpCluster;
+    let n = cluster.n;
+    let nodes: Vec<Box<dyn Node>> = (0..n)
+        .map(|i| {
+            let me = NodeId(i as u16);
+            let ring = Keyring::generate(cluster.scheme.as_ref(), me, cluster.seed);
+            Box::new(KeyDistNode::new(
+                me,
+                n,
+                Arc::clone(&cluster.scheme),
+                ring,
+                cluster.seed,
+            )) as Box<dyn Node>
+        })
+        .collect();
+    let start = std::time::Instant::now();
+    let report = TcpCluster::new(KEYDIST_ROUNDS).run(nodes);
+    println!(
+        "key distribution over localhost TCP: {} messages, {} bytes, {:?}",
+        report.stats.messages_total,
+        report.stats.bytes_total,
+        start.elapsed(),
+    );
+}
+
+fn cmd_trace(cluster: &Cluster, opts: &Opts) {
+    use local_auth_fd::core::fd::{ChainFdNode, ChainFdParams};
+    use local_auth_fd::core::keys::Keyring;
+    use local_auth_fd::core::localauth::{KeyDistNode, KEYDIST_ROUNDS};
+    use local_auth_fd::simnet::SyncNetwork;
+
+    let n = cluster.n;
+    println!("message flow, key distribution (n = {n}):");
+    let nodes: Vec<Box<dyn Node>> = (0..n)
+        .map(|i| {
+            let me = NodeId(i as u16);
+            let ring = Keyring::generate(cluster.scheme.as_ref(), me, cluster.seed);
+            Box::new(KeyDistNode::new(
+                me,
+                n,
+                Arc::clone(&cluster.scheme),
+                ring,
+                cluster.seed,
+            )) as Box<dyn Node>
+        })
+        .collect();
+    let mut net = SyncNetwork::new(nodes);
+    net.enable_trace(10_000);
+    net.run_until_done(KEYDIST_ROUNDS);
+    print_trace(net.trace().expect("tracing enabled"));
+    let stores: Vec<_> = net
+        .into_nodes()
+        .into_iter()
+        .map(|b| {
+            b.into_any()
+                .downcast::<KeyDistNode>()
+                .expect("KeyDistNode")
+                .into_parts()
+                .0
+        })
+        .collect();
+
+    println!("\nmessage flow, one chain FD run (value = {:?}):", opts.value);
+    let params = ChainFdParams::new(n, cluster.t);
+    let rounds = params.rounds();
+    let fd_nodes: Vec<Box<dyn Node>> = (0..n)
+        .map(|i| {
+            let me = NodeId(i as u16);
+            Box::new(ChainFdNode::new(
+                me,
+                params.clone(),
+                Arc::clone(&cluster.scheme),
+                stores[i].clone(),
+                Keyring::generate(cluster.scheme.as_ref(), me, cluster.seed),
+                (i == 0).then(|| opts.value.clone().into_bytes()),
+            )) as Box<dyn Node>
+        })
+        .collect();
+    let mut net = SyncNetwork::new(fd_nodes);
+    net.enable_trace(10_000);
+    net.run_until_done(rounds);
+    print_trace(net.trace().expect("tracing enabled"));
+}
+
+fn print_trace(trace: &local_auth_fd::simnet::Trace) {
+    let mut round = u32::MAX;
+    for ev in trace.events() {
+        if ev.round != round {
+            round = ev.round;
+            println!("  round {round}:");
+        }
+        let kind = match ev.tag {
+            Some(0x01) => "announce",
+            Some(0x02) => "challenge",
+            Some(0x03) => "response",
+            Some(0x10) => "chain",
+            _ => "msg",
+        };
+        println!("    {} -> {}  {:<9} ({} B)", ev.from, ev.to, kind, ev.len);
+    }
+}
