@@ -13,20 +13,37 @@ fn bench_ba(c: &mut Criterion) {
         let cl = cluster(n, t, 4);
         let kd = cl.run_key_distribution();
         group.bench_with_input(BenchmarkId::new("fd_to_ba", n), &n, |b, _| {
-            b.iter(|| cl.run_fd_to_ba(&kd, b"v".to_vec(), b"d".to_vec()).stats.messages_total);
+            b.iter(|| {
+                cl.run_fd_to_ba(&kd, b"v".to_vec(), b"d".to_vec())
+                    .stats
+                    .messages_total
+            });
         });
         group.bench_with_input(BenchmarkId::new("dolev_strong", n), &n, |b, _| {
-            b.iter(|| cl.run_dolev_strong(&kd, b"v".to_vec(), b"d".to_vec()).stats.messages_total);
+            b.iter(|| {
+                cl.run_dolev_strong(&kd, b"v".to_vec(), b"d".to_vec())
+                    .stats
+                    .messages_total
+            });
         });
         group.bench_with_input(BenchmarkId::new("chain_fd", n), &n, |b, _| {
             b.iter(|| cl.run_chain_fd(&kd, b"v".to_vec()).stats.messages_total);
         });
         group.bench_with_input(BenchmarkId::new("degradable", n), &n, |b, _| {
-            b.iter(|| cl.run_degradable(&kd, b"v".to_vec(), b"d".to_vec()).0.stats.messages_total);
+            b.iter(|| {
+                cl.run_degradable(&kd, b"v".to_vec(), b"d".to_vec())
+                    .0
+                    .stats
+                    .messages_total
+            });
         });
         if n > 4 * t {
             group.bench_with_input(BenchmarkId::new("phase_king", n), &n, |b, _| {
-                b.iter(|| cl.run_phase_king(b"v".to_vec(), b"d".to_vec()).stats.messages_total);
+                b.iter(|| {
+                    cl.run_phase_king(b"v".to_vec(), b"d".to_vec())
+                        .stats
+                        .messages_total
+                });
             });
         }
     }

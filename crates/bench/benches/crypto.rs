@@ -17,10 +17,10 @@ fn bench_schemes(c: &mut Criterion) {
     for scheme in &schemes {
         let (sk, pk) = scheme.keypair_from_seed(1);
         let sig = scheme.sign(&sk, b"bench message").unwrap();
-        c.bench_function(&format!("sign/{}", scheme.name()), |b| {
+        c.bench_function(format!("sign/{}", scheme.name()), |b| {
             b.iter(|| scheme.sign(&sk, b"bench message").unwrap());
         });
-        c.bench_function(&format!("verify/{}", scheme.name()), |b| {
+        c.bench_function(format!("verify/{}", scheme.name()), |b| {
             b.iter(|| assert!(scheme.verify(&pk, b"bench message", &sig)));
         });
     }
@@ -44,8 +44,8 @@ fn bench_primitives(c: &mut Criterion) {
     let data = vec![0xa5u8; 4096];
     c.bench_function("sha256/4KiB", |b| b.iter(|| sha256(&data)));
 
-    use fd_bigint::{modpow, SplitMix64, Ubig};
     use fd_bigint::RandomUbig;
+    use fd_bigint::{modpow, SplitMix64, Ubig};
     let mut rng = SplitMix64::new(1);
     let m = {
         let mut m = rng.random_bits(1024);

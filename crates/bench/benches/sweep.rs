@@ -1,0 +1,29 @@
+//! Experiment T11 timing: the parallel scenario sweep at different worker
+//! counts (each `Cluster` run is independent, so throughput should scale
+//! with cores until the machine runs out of them).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fd_core::sweep::{run_sweep, SweepMatrix};
+
+fn bench_sweep_threads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sweep_default_matrix");
+    group.sample_size(10);
+    let matrix = SweepMatrix::quick();
+    for threads in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    let report = run_sweep(&matrix, threads);
+                    assert!(report.all_ok());
+                    report.rows.len()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sweep_threads);
+criterion_main!(benches);

@@ -72,10 +72,20 @@ fn bench_transports(c: &mut Criterion) {
             });
         });
         group.bench_with_input(BenchmarkId::new("threads", n), &n, |b, _| {
-            b.iter(|| ThreadCluster::new(rounds).run(fd_nodes(n, t, &st)).stats.messages_total);
+            b.iter(|| {
+                ThreadCluster::new(rounds)
+                    .run(fd_nodes(n, t, &st))
+                    .stats
+                    .messages_total
+            });
         });
         group.bench_with_input(BenchmarkId::new("tcp", n), &n, |b, _| {
-            b.iter(|| TcpCluster::new(rounds).run(fd_nodes(n, t, &st)).stats.messages_total);
+            b.iter(|| {
+                TcpCluster::new(rounds)
+                    .run(fd_nodes(n, t, &st))
+                    .stats
+                    .messages_total
+            });
         });
     }
     group.finish();

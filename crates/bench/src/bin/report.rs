@@ -10,16 +10,15 @@
 //! binary prints their deterministic companions (operation counts).
 
 use fd_bench::{
-    f1_amortization, f4_rotation, t10_wire_cost, t1_keydist, t2_fd_cost, t3_rounds, t5_small_range,
-    t6_ba_cost, t7_agreement_costs, t8_fault_classes, t9_assumption_ablation,
+    f1_amortization, f4_rotation, t10_wire_cost, t11_sweep, t1_keydist, t2_fd_cost, t3_rounds,
+    t5_small_range, t6_ba_cost, t7_agreement_costs, t8_fault_classes, t9_assumption_ablation,
 };
 use fd_core::adversary::{
-    ChainFdAdversary, ChainMisbehavior, EquivocatingKeyDist, LaggardNode, OmissiveNode,
-    SilentNode,
+    ChainFdAdversary, ChainMisbehavior, EquivocatingKeyDist, LaggardNode, OmissiveNode, SilentNode,
 };
 use fd_core::fd::ChainFdNode;
-use fd_core::keys::KeyStore;
 use fd_core::fd::ChainFdParams;
+use fd_core::keys::KeyStore;
 use fd_core::keys::Keyring;
 use fd_core::props::check_fd;
 use fd_core::runner::Cluster;
@@ -35,7 +34,9 @@ fn main() {
     let want = |key: &str| args.is_empty() || args.iter().any(|a| a == key);
 
     println!("# local-auth-fd experiment report\n");
-    println!("Borcherding, \"Efficient Failure Discovery with Limited Authentication\" (ICDCS 1995).");
+    println!(
+        "Borcherding, \"Efficient Failure Discovery with Limited Authentication\" (ICDCS 1995)."
+    );
     println!("All counts regenerated deterministically; formulas from the paper.\n");
 
     if want("t1") {
@@ -80,6 +81,26 @@ fn main() {
     if want("f4") {
         f4();
     }
+    if want("t11") {
+        t11();
+    }
+}
+
+fn t11() {
+    println!("## T11 — parallel scenario sweep (default `lafd sweep` matrix)\n");
+    println!("| threads | scenarios | ok | total messages | report matches serial |");
+    println!("|---|---|---|---|---|");
+    for row in t11_sweep(&[1, 2, 4]) {
+        println!(
+            "| {} | {} | {} | {} | {} |",
+            row.threads,
+            row.scenarios,
+            row.ok,
+            row.messages_total,
+            if row.matches_serial { "✓" } else { "✗" },
+        );
+    }
+    println!();
 }
 
 fn t1() {
@@ -87,7 +108,11 @@ fn t1() {
     println!("| n | measured messages | 3n(n−1) | comm. rounds |");
     println!("|---|---|---|---|");
     for row in t1_keydist(SIZES) {
-        let check = if row.measured == row.formula { "✓" } else { "✗" };
+        let check = if row.measured == row.formula {
+            "✓"
+        } else {
+            "✗"
+        };
         println!(
             "| {} | {} {check} | {} | {} |",
             row.n, row.measured, row.formula, row.comm_rounds
@@ -125,13 +150,19 @@ fn f1() {
              (analytic ≈ 3n/(t+1) = {:.1})\n",
             3.0 * n as f64 / (t as f64 + 1.0)
         );
-        println!("| runs k | cumulative auth (keydist + k·(n−1)) | cumulative non-auth (k·(t+2)(n−1)) |");
+        println!(
+            "| runs k | cumulative auth (keydist + k·(n−1)) | cumulative non-auth (k·(t+2)(n−1)) |"
+        );
         println!("|---|---|---|");
         for p in points
             .iter()
             .filter(|p| p.k == 1 || p.k % 5 == 0 || p.k == crossover)
         {
-            let marker = if p.k == crossover { " **← crossover**" } else { "" };
+            let marker = if p.k == crossover {
+                " **← crossover**"
+            } else {
+                ""
+            };
             println!(
                 "| {} | {} | {}{marker} |",
                 p.k, p.cumulative_auth, p.cumulative_non_auth
@@ -273,7 +304,10 @@ fn t4() {
 
     // Benign-fault wrappers around the honest relay automaton.
     let mut wrapped: Vec<Scenario> = Vec::new();
-    for (name, kind) in [("omissive relay (30%)", 0u8), ("laggard relay (1 round late)", 1u8)] {
+    for (name, kind) in [
+        ("omissive relay (30%)", 0u8),
+        ("laggard relay (1 round late)", 1u8),
+    ] {
         wrapped.push((
             name,
             Box::new(move |seed| {
@@ -285,7 +319,9 @@ fn t4() {
                             NodeId(1),
                             ChainFdParams::new(n, t),
                             Arc::clone(&c.scheme),
-                            kd.stores[1].clone().unwrap_or_else(|| KeyStore::new(n, NodeId(1))),
+                            kd.stores[1]
+                                .clone()
+                                .unwrap_or_else(|| KeyStore::new(n, NodeId(1))),
                             c.keyring(NodeId(1)),
                             None,
                         )) as Box<dyn Node>;
@@ -323,7 +359,11 @@ fn t4() {
             ok(f2),
             ok(f3),
             if any_disc { "yes" } else { "no (fault-free)" },
-            if silent_disagreement { "**YES (BUG)**" } else { "never" },
+            if silent_disagreement {
+                "**YES (BUG)**"
+            } else {
+                "never"
+            },
         );
     }
     println!("\n(100 seeds per scenario.)\n");
@@ -371,7 +411,9 @@ fn f2() {
             s.name()
         );
     }
-    println!("\n(Criterion benches `crypto.rs` give rigorous statistics; this is the quick view.)\n");
+    println!(
+        "\n(Criterion benches `crypto.rs` give rigorous statistics; this is the quick view.)\n"
+    );
 }
 
 fn f3() {
@@ -392,8 +434,7 @@ fn f3() {
                 .map(|i| {
                     let me = NodeId(i as u16);
                     let ring = Keyring::generate(scheme.as_ref(), me, 7);
-                    Box::new(KeyDistNode::new(me, n, Arc::clone(scheme), ring, 7))
-                        as Box<dyn Node>
+                    Box::new(KeyDistNode::new(me, n, Arc::clone(scheme), ring, 7)) as Box<dyn Node>
                 })
                 .collect()
         };
@@ -533,9 +574,7 @@ fn t8() {
 fn t9() {
     println!("## T9 — N1 assumption ablation (injected link faults)\n");
     let (n, t, seeds) = (7usize, 2usize, 100u64);
-    println!(
-        "Chain FD, n = {n}, t = {t}, {seeds} seeds per kind; random (round, link) targets:\n"
-    );
+    println!("Chain FD, n = {n}, t = {t}, {seeds} seeds per kind; random (round, link) targets:\n");
     println!("| injected fault | per run | discovered | indistinguishable | silent disagreement |");
     println!("|---|---|---|---|---|");
     for row in t9_assumption_ablation(n, t, seeds) {

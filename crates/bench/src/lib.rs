@@ -332,7 +332,13 @@ pub fn t7_agreement_costs(n: usize, t: usize) -> Vec<T7Row> {
     let (dg, _) = c.run_degradable(&kd, b"v".to_vec(), b"d".to_vec());
     let ds = c.run_dolev_strong(&kd, b"v".to_vec(), b"d".to_vec());
     let pk = c.run_phase_king(b"v".to_vec(), b"d".to_vec());
-    for (name, run) in [("fd", &fd), ("ba", &ba), ("dg", &dg), ("ds", &ds), ("pk", &pk)] {
+    for (name, run) in [
+        ("fd", &fd),
+        ("ba", &ba),
+        ("dg", &dg),
+        ("ds", &ds),
+        ("pk", &pk),
+    ] {
         assert!(run.all_decided(b"v"), "{name} failed its failure-free run");
     }
 
@@ -548,10 +554,18 @@ pub fn t9_assumption_ablation(n: usize, t: usize, seeds: u64) -> Vec<T9Row> {
     let kinds: Vec<(&'static str, LinkFault, usize)> = vec![
         ("drop (random link)", LinkFault::Drop, 1),
         ("drop ×3 (random links)", LinkFault::Drop, 3),
-        ("corrupt (random link)", LinkFault::Corrupt { offset: 0, mask: 1 }, 1),
+        (
+            "corrupt (random link)",
+            LinkFault::Corrupt { offset: 0, mask: 1 },
+            1,
+        ),
         ("duplicate (random link)", LinkFault::Duplicate, 1),
         ("drop (targeted chain link)", LinkFault::Drop, 1),
-        ("corrupt (targeted chain link)", LinkFault::Corrupt { offset: 0, mask: 1 }, 1),
+        (
+            "corrupt (targeted chain link)",
+            LinkFault::Corrupt { offset: 0, mask: 1 },
+            1,
+        ),
     ];
 
     let mut rows = Vec::new();
@@ -666,6 +680,50 @@ pub fn t10_wire_cost(n: usize, t: usize, schemes: Vec<Arc<dyn SignatureScheme>>)
         .collect()
 }
 
+/// One row of experiment T11 (parallel scenario sweep): the default
+/// `lafd sweep` matrix executed at a given thread count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct T11Row {
+    /// Worker threads used.
+    pub threads: usize,
+    /// Scenarios executed.
+    pub scenarios: usize,
+    /// Scenarios whose checks all passed.
+    pub ok: usize,
+    /// Total messages across all runs (including key distributions).
+    pub messages_total: usize,
+    /// Whether this thread count reproduced the single-thread report
+    /// byte-for-byte (the sweep's determinism contract).
+    pub matches_serial: bool,
+}
+
+/// Run experiment T11: the default sweep matrix at each thread count,
+/// checking that parallelism never changes the report.
+pub fn t11_sweep(thread_counts: &[usize]) -> Vec<T11Row> {
+    use fd_core::sweep::{run_sweep, SweepMatrix};
+
+    let matrix = SweepMatrix::default_matrix();
+    let serial = run_sweep(&matrix, 1);
+    let serial_json = serial.to_json();
+    thread_counts
+        .iter()
+        .map(|&threads| {
+            let report = if threads == 1 {
+                serial.clone()
+            } else {
+                run_sweep(&matrix, threads)
+            };
+            T11Row {
+                threads,
+                scenarios: report.rows.len(),
+                ok: report.rows.iter().filter(|r| r.ok()).count(),
+                messages_total: report.messages_total(),
+                matches_serial: report.to_json() == serial_json,
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -695,7 +753,9 @@ mod tests {
             crossover,
             fd_core::metrics::amortization_crossover(8, 2).unwrap()
         );
-        assert!(points.last().unwrap().cumulative_auth < points.last().unwrap().cumulative_non_auth);
+        assert!(
+            points.last().unwrap().cumulative_auth < points.last().unwrap().cumulative_non_auth
+        );
     }
 
     #[test]
@@ -774,6 +834,17 @@ mod tests {
             );
             assert_eq!(row.runs_discovered + row.runs_clean, row.runs);
         }
+    }
+
+    #[test]
+    fn t11_sweep_parallel_matches_serial() {
+        let rows = t11_sweep(&[1, 4]);
+        assert_eq!(rows.len(), 2);
+        for row in &rows {
+            assert_eq!(row.ok, row.scenarios, "threads={}", row.threads);
+            assert!(row.matches_serial, "threads={}", row.threads);
+        }
+        assert_eq!(rows[0].messages_total, rows[1].messages_total);
     }
 
     #[test]

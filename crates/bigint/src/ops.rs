@@ -115,7 +115,14 @@ macro_rules! owned_delegate {
     )*};
 }
 
-owned_delegate!(Add::add, Sub::sub, Mul::mul, Div::div, Rem::rem, BitAnd::bitand);
+owned_delegate!(
+    Add::add,
+    Sub::sub,
+    Mul::mul,
+    Div::div,
+    Rem::rem,
+    BitAnd::bitand
+);
 
 #[cfg(test)]
 mod tests {

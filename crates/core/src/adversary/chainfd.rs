@@ -131,13 +131,9 @@ impl ChainFdAdversary {
                 // Other behaviours degenerate to honest origination when
                 // placed at the sender.
                 let v = self.value.clone().unwrap_or_else(|| b"?".to_vec());
-                let chain = ChainMessage::originate(
-                    self.scheme.as_ref(),
-                    &self.keyring.sk,
-                    self.me,
-                    v,
-                )
-                .expect("keyring well-formed");
+                let chain =
+                    ChainMessage::originate(self.scheme.as_ref(), &self.keyring.sk, self.me, v)
+                        .expect("keyring well-formed");
                 let payload = FdMsg { chain }.encode_to_vec();
                 if self.params.t == 0 {
                     for j in 1..self.params.n {
@@ -181,11 +177,7 @@ impl ChainFdAdversary {
                 let mut chain = forged;
                 for k in 1..=self.me.index() - 1 {
                     chain = chain
-                        .extend(
-                            self.scheme.as_ref(),
-                            &self.keyring.sk,
-                            NodeId(k as u16 - 1),
-                        )
+                        .extend(self.scheme.as_ref(), &self.keyring.sk, NodeId(k as u16 - 1))
                         .expect("keyring well-formed");
                 }
                 chain

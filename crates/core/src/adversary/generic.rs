@@ -48,7 +48,14 @@ pub struct NoiseNode {
 impl NoiseNode {
     /// Flood `messages_per_round` random payloads (≤ `max_len` bytes) to
     /// random peers in each of the first `rounds` rounds.
-    pub fn new(me: NodeId, n: usize, seed: u64, messages_per_round: usize, max_len: usize, rounds: u32) -> Self {
+    pub fn new(
+        me: NodeId,
+        n: usize,
+        seed: u64,
+        messages_per_round: usize,
+        max_len: usize,
+        rounds: u32,
+    ) -> Self {
         NoiseNode {
             me,
             n,

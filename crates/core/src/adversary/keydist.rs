@@ -64,7 +64,13 @@ pub struct EquivocatingKeyDist {
 
 impl EquivocatingKeyDist {
     /// Create with two fresh keypairs derived from `seed`.
-    pub fn new(me: NodeId, n: usize, scheme: Arc<dyn SignatureScheme>, seed: u64, split: NodeId) -> Self {
+    pub fn new(
+        me: NodeId,
+        n: usize,
+        scheme: Arc<dyn SignatureScheme>,
+        seed: u64,
+        split: NodeId,
+    ) -> Self {
         let key_a = scheme.keypair_from_seed(seed ^ 0xAAAA_0001);
         let key_b = scheme.keypair_from_seed(seed ^ 0xBBBB_0002);
         EquivocatingKeyDist {
@@ -117,7 +123,11 @@ impl Node for EquivocatingKeyDist {
                     me,
                     self.scheme.as_ref(),
                     |peer| {
-                        Some(if peer < split { key_a.clone() } else { key_b.clone() })
+                        Some(if peer < split {
+                            key_a.clone()
+                        } else {
+                            key_b.clone()
+                        })
                     },
                     inbox,
                     out,
@@ -225,7 +235,9 @@ impl Node for SharedKeyKeyDist {
 
 impl core::fmt::Debug for SharedKeyKeyDist {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        f.debug_struct("SharedKeyKeyDist").field("me", &self.me).finish()
+        f.debug_struct("SharedKeyKeyDist")
+            .field("me", &self.me)
+            .finish()
     }
 }
 
@@ -303,7 +315,9 @@ impl Node for KeyThiefKeyDist {
 
 impl core::fmt::Debug for KeyThiefKeyDist {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        f.debug_struct("KeyThiefKeyDist").field("me", &self.me).finish()
+        f.debug_struct("KeyThiefKeyDist")
+            .field("me", &self.me)
+            .finish()
     }
 }
 
@@ -321,7 +335,13 @@ impl WrongNameKeyDist {
     /// Create with a fresh keypair from `seed`.
     pub fn new(me: NodeId, n: usize, scheme: Arc<dyn SignatureScheme>, seed: u64) -> Self {
         let (sk, pk) = scheme.keypair_from_seed(seed ^ 0x3030_0003);
-        WrongNameKeyDist { me, n, scheme, sk, pk }
+        WrongNameKeyDist {
+            me,
+            n,
+            scheme,
+            sk,
+            pk,
+        }
     }
 }
 
@@ -333,7 +353,10 @@ impl Node for WrongNameKeyDist {
     fn on_round(&mut self, round: u32, inbox: &[Envelope], out: &mut Outbox) {
         match round {
             0 => {
-                let msg = KdMsg::Announce { pk: self.pk.0.clone() }.encode_to_vec();
+                let msg = KdMsg::Announce {
+                    pk: self.pk.0.clone(),
+                }
+                .encode_to_vec();
                 out.broadcast(self.n, self.me, &msg);
             }
             2 => {
@@ -381,6 +404,8 @@ impl Node for WrongNameKeyDist {
 
 impl core::fmt::Debug for WrongNameKeyDist {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        f.debug_struct("WrongNameKeyDist").field("me", &self.me).finish()
+        f.debug_struct("WrongNameKeyDist")
+            .field("me", &self.me)
+            .finish()
     }
 }

@@ -35,9 +35,6 @@ mod wrappers;
 
 pub use chainfd::{ChainFdAdversary, ChainMisbehavior};
 pub use generic::{NoiseNode, SilentNode};
-pub use keydist::{
-    EquivocatingKeyDist, KeyThiefKeyDist, SharedKeyKeyDist, WrongNameKeyDist,
-};
+pub use keydist::{EquivocatingKeyDist, KeyThiefKeyDist, SharedKeyKeyDist, WrongNameKeyDist};
 pub use nonauth::{NaMisbehavior, NonAuthAdversary};
 pub use wrappers::{CrashNode, LaggardNode, OmissiveNode};
-

@@ -214,7 +214,9 @@ impl Node for LaggardNode {
 
 impl core::fmt::Debug for LaggardNode {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        f.debug_struct("LaggardNode").field("id", &self.id()).finish()
+        f.debug_struct("LaggardNode")
+            .field("id", &self.id())
+            .finish()
     }
 }
 
@@ -337,7 +339,10 @@ mod tests {
         net.run_until_done(params.rounds());
         let outs = outcomes(net, 1);
         let discovered = outs.iter().filter(|o| o.is_discovered()).count();
-        let decided = outs.iter().filter(|o| o.decided() == Some(&b"v"[..])).count();
+        let decided = outs
+            .iter()
+            .filter(|o| o.decided() == Some(&b"v"[..]))
+            .count();
         assert_eq!(discovered, 2, "{outs:?}");
         // P0 (sender) plus the two reached recipients decide.
         assert_eq!(decided, 3, "{outs:?}");

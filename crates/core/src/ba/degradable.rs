@@ -230,7 +230,10 @@ impl DegradableNode {
             self.discovered.get_or_insert(DiscoveryReason::BadStructure);
             return;
         }
-        match msg.chain.verify(self.scheme.as_ref(), &self.store, env.from) {
+        match msg
+            .chain
+            .verify(self.scheme.as_ref(), &self.store, env.from)
+        {
             Ok(_) => {
                 self.add_support(msg.chain.body.clone(), self.params.sender);
                 self.direct = Some(msg.chain);
@@ -316,14 +319,17 @@ impl Node for DegradableNode {
                 if self.me == self.params.sender {
                     let v = self.value.clone().expect("sender value");
                     self.add_support(v.clone(), self.me);
-                    let chain = ChainMessage::originate(
-                        self.scheme.as_ref(),
-                        &self.keyring.sk,
+                    let chain =
+                        ChainMessage::originate(self.scheme.as_ref(), &self.keyring.sk, self.me, v)
+                            .expect("own keyring well-formed");
+                    out.broadcast(
+                        self.params.n,
                         self.me,
-                        v,
-                    )
-                    .expect("own keyring well-formed");
-                    out.broadcast(self.params.n, self.me, &DgMsg { chain: chain.clone() }.encode_to_vec());
+                        &DgMsg {
+                            chain: chain.clone(),
+                        }
+                        .encode_to_vec(),
+                    );
                     self.direct = Some(chain);
                 }
             }
@@ -441,7 +447,15 @@ mod tests {
             let params = DegradableParams::new(n, t, b"default".to_vec());
             let nodes: Vec<Box<dyn Node>> = (0..n)
                 .map(|i| {
-                    honest(i, n, t, &scheme, &rings, &stores, (i == 0).then(|| b"v".to_vec()))
+                    honest(
+                        i,
+                        n,
+                        t,
+                        &scheme,
+                        &rings,
+                        &stores,
+                        (i == 0).then(|| b"v".to_vec()),
+                    )
                 })
                 .collect();
             let mut net = SyncNetwork::new(nodes);
@@ -463,7 +477,17 @@ mod tests {
         let (n, t) = (4usize, 1usize);
         let (scheme, rings, stores) = fixtures(n);
         let mut nodes: Vec<Box<dyn Node>> = (0..n)
-            .map(|i| honest(i, n, t, &scheme, &rings, &stores, (i == 0).then(|| b"v".to_vec())))
+            .map(|i| {
+                honest(
+                    i,
+                    n,
+                    t,
+                    &scheme,
+                    &rings,
+                    &stores,
+                    (i == 0).then(|| b"v".to_vec()),
+                )
+            })
             .collect();
         nodes[0] = Box::new(crate::adversary::SilentNode { me: NodeId(0) });
         let mut net = SyncNetwork::new(nodes);
@@ -491,14 +515,14 @@ mod tests {
                 return;
             }
             for i in 1..self.n {
-                let v = if i <= self.n / 2 { b"v".to_vec() } else { b"w".to_vec() };
-                let chain = ChainMessage::originate(
-                    self.scheme.as_ref(),
-                    &self.ring.sk,
-                    self.ring.me,
-                    v,
-                )
-                .unwrap();
+                let v = if i <= self.n / 2 {
+                    b"v".to_vec()
+                } else {
+                    b"w".to_vec()
+                };
+                let chain =
+                    ChainMessage::originate(self.scheme.as_ref(), &self.ring.sk, self.ring.me, v)
+                        .unwrap();
                 out.send(NodeId(i as u16), DgMsg { chain }.encode_to_vec());
             }
         }
@@ -572,7 +596,13 @@ mod tests {
             )
             .unwrap();
             for &to in &self.recipients {
-                out.send(to, DgMsg { chain: chain.clone() }.encode_to_vec());
+                out.send(
+                    to,
+                    DgMsg {
+                        chain: chain.clone(),
+                    }
+                    .encode_to_vec(),
+                );
             }
         }
         fn as_any(&self) -> &dyn Any {
@@ -730,7 +760,11 @@ mod tests {
                 .unwrap()
                 .extend(self.scheme.as_ref(), &self.ring.sk, NodeId(0))
                 .unwrap();
-                out.broadcast(self.n, self.ring.me, &DgMsg { chain: forged }.encode_to_vec());
+                out.broadcast(
+                    self.n,
+                    self.ring.me,
+                    &DgMsg { chain: forged }.encode_to_vec(),
+                );
             }
             fn as_any(&self) -> &dyn Any {
                 self
@@ -744,7 +778,17 @@ mod tests {
         }
 
         let mut nodes: Vec<Box<dyn Node>> = (0..n)
-            .map(|i| honest(i, n, t, &scheme, &rings, &stores, (i == 0).then(|| b"v".to_vec())))
+            .map(|i| {
+                honest(
+                    i,
+                    n,
+                    t,
+                    &scheme,
+                    &rings,
+                    &stores,
+                    (i == 0).then(|| b"v".to_vec()),
+                )
+            })
             .collect();
         nodes[1] = Box::new(ForgingEchoer {
             ring: rings[1].clone(),

@@ -158,8 +158,7 @@ impl DolevStrongNode {
         };
         let chain = msg.chain;
         if chain.origin != self.params.sender || chain.signature_count() != r as usize {
-            self.discovered
-                .get_or_insert(DiscoveryReason::BadStructure);
+            self.discovered.get_or_insert(DiscoveryReason::BadStructure);
             return None;
         }
         let signers = chain.signer_sequence(env.from);
@@ -170,8 +169,7 @@ impl DolevStrongNode {
         }
         let distinct: BTreeSet<NodeId> = signers.iter().copied().collect();
         if distinct.len() != signers.len() {
-            self.discovered
-                .get_or_insert(DiscoveryReason::BadStructure);
+            self.discovered.get_or_insert(DiscoveryReason::BadStructure);
             return None;
         }
         match chain.verify(self.scheme.as_ref(), &self.store, env.from) {
@@ -210,18 +208,10 @@ impl Node for DolevStrongNode {
             if self.me == self.params.sender {
                 let v = self.value.clone().expect("sender value");
                 self.extracted.push(v.clone());
-                let chain = ChainMessage::originate(
-                    self.scheme.as_ref(),
-                    &self.keyring.sk,
-                    self.me,
-                    v,
-                )
-                .expect("own keyring well-formed");
-                out.broadcast(
-                    self.params.n,
-                    self.me,
-                    &DsMsg { chain }.encode_to_vec(),
-                );
+                let chain =
+                    ChainMessage::originate(self.scheme.as_ref(), &self.keyring.sk, self.me, v)
+                        .expect("own keyring well-formed");
+                out.broadcast(self.params.n, self.me, &DsMsg { chain }.encode_to_vec());
             }
             return;
         }
@@ -279,8 +269,7 @@ mod tests {
     use fd_simnet::SyncNetwork;
 
     fn build(n: usize, t: usize, value: &[u8]) -> Vec<Box<dyn Node>> {
-        let scheme: Arc<dyn SignatureScheme> =
-            Arc::new(fd_crypto::SchnorrScheme::test_tiny());
+        let scheme: Arc<dyn SignatureScheme> = Arc::new(fd_crypto::SchnorrScheme::test_tiny());
         let rings: Vec<Keyring> = (0..n)
             .map(|i| Keyring::generate(scheme.as_ref(), NodeId(i as u16), 21))
             .collect();
@@ -359,7 +348,10 @@ mod tests {
             0,
             NodeId(0),
             NodeId(2),
-            fd_simnet::fault::LinkFault::Corrupt { offset: 15, mask: 0x10 },
+            fd_simnet::fault::LinkFault::Corrupt {
+                offset: 15,
+                mask: 0x10,
+            },
         ));
         net.run_until_done(DolevStrongParams::new(n, t, vec![]).rounds());
         let outs = outcomes(net);

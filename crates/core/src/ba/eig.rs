@@ -348,7 +348,11 @@ mod tests {
             fn on_round(&mut self, round: u32, _inbox: &[Envelope], out: &mut Outbox) {
                 if round == 0 {
                     for j in 1..self.n {
-                        let v = if j % 2 == 0 { b"a".to_vec() } else { b"b".to_vec() };
+                        let v = if j % 2 == 0 {
+                            b"a".to_vec()
+                        } else {
+                            b"b".to_vec()
+                        };
                         let msg = EigMsg {
                             entries: vec![(vec![], v)],
                         };

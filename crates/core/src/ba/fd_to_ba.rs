@@ -167,7 +167,7 @@ impl FdToBaNode {
             eig: None,
             outcome: Outcome::Pending,
             done: false,
-        alarms_accepted: 0,
+            alarms_accepted: 0,
         }
     }
 
@@ -223,11 +223,7 @@ impl FdToBaNode {
                 ALARM_BODY.to_vec(),
             )
             .expect("own keyring well-formed");
-            out.broadcast(
-                self.params.n,
-                self.me,
-                &AlarmMsg { chain }.encode_to_vec(),
-            );
+            out.broadcast(self.params.n, self.me, &AlarmMsg { chain }.encode_to_vec());
             self.alarm_seen = true;
             self.alarm_relayed = true;
         }
@@ -359,8 +355,7 @@ mod tests {
     use fd_simnet::SyncNetwork;
 
     fn build(n: usize, t: usize, value: &[u8]) -> Vec<Box<dyn Node>> {
-        let scheme: Arc<dyn SignatureScheme> =
-            Arc::new(fd_crypto::SchnorrScheme::test_tiny());
+        let scheme: Arc<dyn SignatureScheme> = Arc::new(fd_crypto::SchnorrScheme::test_tiny());
         let rings: Vec<Keyring> = (0..n)
             .map(|i| Keyring::generate(scheme.as_ref(), NodeId(i as u16), 33))
             .collect();

@@ -367,8 +367,14 @@ mod tests {
         let (n, t) = (5usize, 1usize);
         for noisy in 1..n {
             let mut nodes = build(n, t, b"v");
-            nodes[noisy] =
-                Box::new(crate::adversary::NoiseNode::new(NodeId(noisy as u16), n, 3, 4, 24, 8));
+            nodes[noisy] = Box::new(crate::adversary::NoiseNode::new(
+                NodeId(noisy as u16),
+                n,
+                3,
+                4,
+                24,
+                8,
+            ));
             let mut net = SyncNetwork::new(nodes);
             net.run_until_done(PhaseKingParams::new(n, t, b"default".to_vec()).rounds());
             let outs: Vec<Outcome> = net

@@ -225,8 +225,12 @@ impl ChainMessage {
             if store.accepted(signer).is_none() {
                 return Err(DiscoveryReason::UnknownSigner);
             }
-            if !store.assigns(scheme, signer, &layer_bytes(layer.inner_assignee, &doc), &layer.sig)
-            {
+            if !store.assigns(
+                scheme,
+                signer,
+                &layer_bytes(layer.inner_assignee, &doc),
+                &layer.sig,
+            ) {
                 return Err(DiscoveryReason::BadSignature);
             }
             let mut w = Writer::new();
@@ -353,8 +357,7 @@ mod tests {
     fn forged_origin_discovered() {
         let (scheme, rings, store) = setup(3);
         // P1 claims a body originated at P0 but signs with its own key.
-        let msg =
-            ChainMessage::originate(&scheme, &rings[1].sk, NodeId(0), b"v".to_vec()).unwrap();
+        let msg = ChainMessage::originate(&scheme, &rings[1].sk, NodeId(0), b"v".to_vec()).unwrap();
         assert_eq!(
             msg.verify(&scheme, &store, NodeId(0)),
             Err(DiscoveryReason::BadSignature)
@@ -383,8 +386,7 @@ mod tests {
         let (sk_a, pk_a) = scheme.keypair_from_seed(1001);
         let (_, pk_b) = scheme.keypair_from_seed(1002);
 
-        let msg = ChainMessage::originate(&scheme, &p0.sk, NodeId(0), b"v".to_vec())
-            .unwrap();
+        let msg = ChainMessage::originate(&scheme, &p0.sk, NodeId(0), b"v".to_vec()).unwrap();
         let msg = ChainMessage {
             origin: msg.origin,
             body: msg.body.clone(),

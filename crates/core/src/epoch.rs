@@ -204,8 +204,7 @@ mod tests {
         let new_stores = &m.current().unwrap().keydist;
         let scheme = fd_crypto::SchnorrScheme::test_tiny();
         let stale =
-            ChainMessage::originate(&scheme, &old_ring.sk, NodeId(0), b"replay".to_vec())
-                .unwrap();
+            ChainMessage::originate(&scheme, &old_ring.sk, NodeId(0), b"replay".to_vec()).unwrap();
         let verdict = stale.verify(&scheme, new_stores.store(NodeId(1)), NodeId(0));
         assert_eq!(verdict, Err(DiscoveryReason::BadSignature));
     }

@@ -183,10 +183,7 @@ impl ChainFdNode {
             return false;
         }
         let signers = chain.signer_sequence(from);
-        signers
-            .iter()
-            .enumerate()
-            .all(|(i, s)| s.index() == i)
+        signers.iter().enumerate().all(|(i, s)| s.index() == i)
     }
 
     fn handle_chain(&mut self, env: &Envelope, out: &mut Outbox) {
@@ -203,7 +200,10 @@ impl ChainFdNode {
         if !self.structure_ok(&msg.chain, env.from, expected_layers) {
             return self.discover(DiscoveryReason::BadStructure);
         }
-        match msg.chain.verify(self.scheme.as_ref(), &self.store, env.from) {
+        match msg
+            .chain
+            .verify(self.scheme.as_ref(), &self.store, env.from)
+        {
             Ok(_assignee) => {
                 let v = msg.chain.body.clone();
                 if let Some(i) = self.params.chain_position(self.me) {
@@ -246,13 +246,9 @@ impl Node for ChainFdNode {
         // Sender initiates in round 0.
         if round == 0 && self.me == self.params.sender {
             let v = self.value.clone().expect("sender carries the value");
-            let chain = ChainMessage::originate(
-                self.scheme.as_ref(),
-                &self.keyring.sk,
-                self.me,
-                v.clone(),
-            )
-            .expect("own keyring is well-formed");
+            let chain =
+                ChainMessage::originate(self.scheme.as_ref(), &self.keyring.sk, self.me, v.clone())
+                    .expect("own keyring is well-formed");
             let payload = FdMsg { chain }.encode_to_vec();
             if self.params.t == 0 {
                 for j in 1..self.params.n {
@@ -271,9 +267,7 @@ impl Node for ChainFdNode {
             // Exactly one message from the expected predecessor.
             match inbox {
                 [] => self.discover(DiscoveryReason::MissingMessage { round }),
-                [env] if env.from == self.expected_from() => {
-                    self.handle_chain(&env.clone(), out)
-                }
+                [env] if env.from == self.expected_from() => self.handle_chain(&env.clone(), out),
                 _ => self.discover(DiscoveryReason::UnexpectedMessage { round }),
             }
         } else if !inbox.is_empty() {
@@ -364,7 +358,11 @@ mod tests {
                 "n={n} t={t}: paper claims n-1 messages"
             );
             for (i, o) in outcomes(net).into_iter().enumerate() {
-                assert_eq!(o, Outcome::Decided(b"attack".to_vec()), "node {i} n={n} t={t}");
+                assert_eq!(
+                    o,
+                    Outcome::Decided(b"attack".to_vec()),
+                    "node {i} n={n} t={t}"
+                );
             }
         }
     }
@@ -408,7 +406,10 @@ mod tests {
             0,
             NodeId(0),
             NodeId(1),
-            fd_simnet::fault::LinkFault::Corrupt { offset: 20, mask: 0x01 },
+            fd_simnet::fault::LinkFault::Corrupt {
+                offset: 20,
+                mask: 0x01,
+            },
         ));
         net.run_until_done(ChainFdParams::new(n, t).rounds());
         let outs = outcomes(net);
@@ -444,8 +445,7 @@ mod tests {
     fn msg_codec_round_trip() {
         let scheme = SchnorrScheme::test_tiny();
         let ring = Keyring::generate(&scheme, NodeId(0), 1);
-        let chain =
-            ChainMessage::originate(&scheme, &ring.sk, NodeId(0), b"x".to_vec()).unwrap();
+        let chain = ChainMessage::originate(&scheme, &ring.sk, NodeId(0), b"x".to_vec()).unwrap();
         let msg = FdMsg { chain };
         assert_eq!(FdMsg::decode_exact(&msg.encode_to_vec()).unwrap(), msg);
         assert!(FdMsg::decode_exact(&[0xee]).is_err());

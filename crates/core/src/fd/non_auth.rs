@@ -206,8 +206,7 @@ impl Node for NonAuthFdNode {
     fn on_round(&mut self, round: u32, inbox: &[Envelope], out: &mut Outbox) {
         if self.done {
             if !inbox.is_empty() && !self.outcome.is_discovered() {
-                self.outcome =
-                    Outcome::Discovered(DiscoveryReason::UnexpectedMessage { round });
+                self.outcome = Outcome::Discovered(DiscoveryReason::UnexpectedMessage { round });
             }
             return;
         }
@@ -332,11 +331,7 @@ mod tests {
         for (n, t) in [(4usize, 1usize), (7, 2), (10, 3), (5, 0)] {
             let mut net = SyncNetwork::new(build(n, t, b"v"));
             net.run_until_done(NonAuthParams::new(n, t).rounds());
-            assert_eq!(
-                net.stats().messages_total,
-                (t + 2) * (n - 1),
-                "n={n} t={t}"
-            );
+            assert_eq!(net.stats().messages_total, (t + 2) * (n - 1), "n={n} t={t}");
             for o in outcomes(net) {
                 assert_eq!(o, Outcome::Decided(b"v".to_vec()));
             }
@@ -347,10 +342,7 @@ mod tests {
     fn two_communication_rounds() {
         let mut net = SyncNetwork::new(build(6, 2, b"v"));
         net.run_until_done(3);
-        assert_eq!(
-            net.stats().per_round.iter().filter(|&&c| c > 0).count(),
-            2
-        );
+        assert_eq!(net.stats().per_round.iter().filter(|&&c| c > 0).count(), 2);
     }
 
     #[test]
@@ -394,7 +386,10 @@ mod tests {
             1,
             NodeId(2),
             NodeId(4),
-            fd_simnet::fault::LinkFault::Corrupt { offset: 5, mask: 0x80 },
+            fd_simnet::fault::LinkFault::Corrupt {
+                offset: 5,
+                mask: 0x80,
+            },
         ));
         net.run_until_done(3);
         let outs = outcomes(net);

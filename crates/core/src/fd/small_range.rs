@@ -191,7 +191,10 @@ impl SmallRangeFdNode {
         {
             return self.fail(DiscoveryReason::BadStructure);
         }
-        match msg.chain.verify(self.scheme.as_ref(), &self.store, env.from) {
+        match msg
+            .chain
+            .verify(self.scheme.as_ref(), &self.store, env.from)
+        {
             Ok(_) => {
                 self.direct = Some(msg.chain.body.clone());
                 self.received_chain = Some(msg.chain);
@@ -214,7 +217,10 @@ impl SmallRangeFdNode {
         {
             return self.fail(DiscoveryReason::BadStructure);
         }
-        match msg.chain.verify(self.scheme.as_ref(), &self.store, env.from) {
+        match msg
+            .chain
+            .verify(self.scheme.as_ref(), &self.store, env.from)
+        {
             Ok(_) => self.echoes[env.from.index()] = Some(msg.chain.body),
             Err(reason) => self.fail(reason),
         }
@@ -227,7 +233,9 @@ impl SmallRangeFdNode {
             return;
         }
         let my_direct = if self.me == self.params.sender {
-            self.value.clone().filter(|v| *v != self.params.default_value)
+            self.value
+                .clone()
+                .filter(|v| *v != self.params.default_value)
         } else {
             self.direct.clone()
         };
@@ -265,8 +273,7 @@ impl Node for SmallRangeFdNode {
     fn on_round(&mut self, round: u32, inbox: &[Envelope], out: &mut Outbox) {
         if self.done {
             if !inbox.is_empty() && !self.outcome.is_discovered() {
-                self.outcome =
-                    Outcome::Discovered(DiscoveryReason::UnexpectedMessage { round });
+                self.outcome = Outcome::Discovered(DiscoveryReason::UnexpectedMessage { round });
             }
             return;
         }
@@ -282,11 +289,7 @@ impl Node for SmallRangeFdNode {
                             v,
                         )
                         .expect("own keyring is well-formed");
-                        out.broadcast(
-                            self.params.n,
-                            self.me,
-                            &SrMsg { chain }.encode_to_vec(),
-                        );
+                        out.broadcast(self.params.n, self.me, &SrMsg { chain }.encode_to_vec());
                     }
                 }
             }
@@ -302,11 +305,7 @@ impl Node for SmallRangeFdNode {
                             .clone()
                             .expect("direct implies stored chain");
                         let extended = received
-                            .extend(
-                                self.scheme.as_ref(),
-                                &self.keyring.sk,
-                                self.params.sender,
-                            )
+                            .extend(self.scheme.as_ref(), &self.keyring.sk, self.params.sender)
                             .expect("own keyring is well-formed");
                         out.broadcast(
                             self.params.n,
@@ -475,8 +474,8 @@ mod tests {
             rings[1].clone(),
             None,
         );
-        let chain = ChainMessage::originate(scheme.as_ref(), &rings[0].sk, NodeId(0), vec![0])
-            .unwrap();
+        let chain =
+            ChainMessage::originate(scheme.as_ref(), &rings[0].sk, NodeId(0), vec![0]).unwrap();
         let env = Envelope {
             from: NodeId(0),
             to: NodeId(1),

@@ -219,7 +219,10 @@ impl VectorFdNode {
         if !self.structure_ok(instance, &msg.chain, env.from, expected_layers) {
             return self.discover_instance(instance, DiscoveryReason::BadStructure);
         }
-        match msg.chain.verify(self.scheme.as_ref(), &self.store, env.from) {
+        match msg
+            .chain
+            .verify(self.scheme.as_ref(), &self.store, env.from)
+        {
             Ok(_) => {
                 let v = msg.chain.body.clone();
                 if (1..=self.params.t).contains(&my_pos) {
@@ -336,7 +339,11 @@ impl core::fmt::Debug for VectorFdNode {
             .field("me", &self.me)
             .field(
                 "decided",
-                &self.outcomes.iter().filter(|o| o.decided().is_some()).count(),
+                &self
+                    .outcomes
+                    .iter()
+                    .filter(|o| o.decided().is_some())
+                    .count(),
             )
             .finish()
     }
@@ -376,7 +383,11 @@ mod tests {
         let nodes = net
             .into_nodes()
             .into_iter()
-            .map(|b| *b.into_any().downcast::<VectorFdNode>().expect("VectorFdNode"))
+            .map(|b| {
+                *b.into_any()
+                    .downcast::<VectorFdNode>()
+                    .expect("VectorFdNode")
+            })
             .collect();
         (nodes, msgs)
     }

@@ -172,7 +172,10 @@ mod tests {
         let rings: Vec<Keyring> = (0..3)
             .map(|i| Keyring::generate(&scheme, NodeId(i), 9))
             .collect();
-        let store = KeyStore::global(NodeId(0), &rings.iter().map(|r| r.pk.clone()).collect::<Vec<_>>());
+        let store = KeyStore::global(
+            NodeId(0),
+            &rings.iter().map(|r| r.pk.clone()).collect::<Vec<_>>(),
+        );
         let sig = scheme.sign(&rings[2].sk, b"m").unwrap();
         assert_eq!(store.find_assignee(&scheme, b"m", &sig), Some(NodeId(2)));
         assert_eq!(store.find_assignee(&scheme, b"other", &sig), None);

@@ -61,6 +61,7 @@ pub mod localauth;
 pub mod metrics;
 pub mod props;
 pub mod runner;
+pub mod sweep;
 
 mod outcome;
 

@@ -240,7 +240,9 @@ impl Node for KeyDistNode {
             // Round 1: record announcements, challenge each announcer.
             1 => {
                 for env in inbox {
-                    let Some(msg) = self.decode(env) else { continue };
+                    let Some(msg) = self.decode(env) else {
+                        continue;
+                    };
                     let KdMsg::Announce { pk } = msg else {
                         self.anomalies.push(KdAnomaly::Protocol(env.from));
                         continue;
@@ -273,7 +275,9 @@ impl Node for KeyDistNode {
             // Round 2: sign challenges that name me and the true challenger.
             2 => {
                 for env in inbox {
-                    let Some(msg) = self.decode(env) else { continue };
+                    let Some(msg) = self.decode(env) else {
+                        continue;
+                    };
                     let KdMsg::Challenge {
                         challenger,
                         challenged,
@@ -309,7 +313,9 @@ impl Node for KeyDistNode {
             // Round 3: verify responses, accept predicates.
             3 => {
                 for env in inbox {
-                    let Some(msg) = self.decode(env) else { continue };
+                    let Some(msg) = self.decode(env) else {
+                        continue;
+                    };
                     let KdMsg::Response {
                         challenger,
                         challenged,
@@ -328,12 +334,9 @@ impl Node for KeyDistNode {
                         self.anomalies.push(KdAnomaly::Protocol(peer));
                         continue;
                     };
-                    let echoed_ok =
-                        challenger == self.me && challenged == peer && nonce == issued;
+                    let echoed_ok = challenger == self.me && challenged == peer && nonce == issued;
                     let bytes = challenge_bytes(self.me, peer, issued);
-                    let sig_ok = self
-                        .scheme
-                        .verify(&candidate, &bytes, &Signature(sig));
+                    let sig_ok = self.scheme.verify(&candidate, &bytes, &Signature(sig));
                     if echoed_ok && sig_ok {
                         self.store.accept(peer, candidate);
                     } else {
@@ -413,11 +416,7 @@ mod tests {
         net.run_until_done(KEYDIST_ROUNDS);
         net.into_nodes()
             .into_iter()
-            .map(|b| {
-                *b.into_any()
-                    .downcast::<KeyDistNode>()
-                    .expect("KeyDistNode")
-            })
+            .map(|b| *b.into_any().downcast::<KeyDistNode>().expect("KeyDistNode"))
             .collect()
     }
 
@@ -445,10 +444,7 @@ mod tests {
         net.run_until_done(KEYDIST_ROUNDS);
         assert_eq!(net.stats().messages_total, 3 * n * (n - 1));
         // Sends happen in exactly rounds 0,1,2: 3 communication rounds.
-        assert_eq!(
-            net.stats().per_round.iter().filter(|&&c| c > 0).count(),
-            3
-        );
+        assert_eq!(net.stats().per_round.iter().filter(|&&c| c > 0).count(), 3);
     }
 
     #[test]

@@ -91,8 +91,7 @@ pub fn cumulative_with_rotations(n: usize, epochs: usize, runs_per_epoch: usize)
 /// the key distribution never amortizes).
 pub fn amortization_crossover(n: usize, t: usize) -> Option<usize> {
     let setup = keydist_messages(n);
-    let per_run_saving =
-        non_auth_messages(n, t).saturating_sub(chain_fd_messages(n));
+    let per_run_saving = non_auth_messages(n, t).saturating_sub(chain_fd_messages(n));
     if per_run_saving == 0 {
         return None;
     }

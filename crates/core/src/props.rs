@@ -46,10 +46,12 @@ pub fn check_fd(correct_outcomes: &[Outcome], sender_value: Option<&[u8]>) -> Fd
     let f1_termination = correct_outcomes.iter().all(|o| o.is_terminal());
     let any_discovery = correct_outcomes.iter().any(|o| o.is_discovered());
 
-    let decided: Vec<&[u8]> = correct_outcomes.iter().filter_map(|o| o.decided()).collect();
+    let decided: Vec<&[u8]> = correct_outcomes
+        .iter()
+        .filter_map(|o| o.decided())
+        .collect();
 
-    let f2_agreement =
-        any_discovery || decided.windows(2).all(|w| w[0] == w[1]);
+    let f2_agreement = any_discovery || decided.windows(2).all(|w| w[0] == w[1]);
 
     let f3_validity = any_discovery
         || match sender_value {
@@ -147,8 +149,7 @@ pub fn check_degradable(
         }
     }
     let at_most_two_values = any_discovery || distinct.len() <= 2;
-    let one_is_default =
-        any_discovery || distinct.len() < 2 || distinct.contains(&default_value);
+    let one_is_default = any_discovery || distinct.len() < 2 || distinct.contains(&default_value);
 
     DegradablePropReport {
         termination,

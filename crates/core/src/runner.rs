@@ -5,8 +5,8 @@
 //! seed)`; every run derived from it is deterministic.
 
 use crate::ba::{
-    DegradableNode, DegradableParams, DolevStrongNode, DolevStrongParams, FdToBaNode,
-    FdToBaParams, Grade, PhaseKingNode, PhaseKingParams,
+    DegradableNode, DegradableParams, DolevStrongNode, DolevStrongParams, FdToBaNode, FdToBaParams,
+    Grade, PhaseKingNode, PhaseKingParams,
 };
 use crate::fd::{
     ChainFdNode, ChainFdParams, NonAuthFdNode, NonAuthParams, SmallRangeFdNode, SmallRangeParams,
@@ -594,12 +594,7 @@ mod tests {
     use crate::metrics;
 
     fn cluster(n: usize, t: usize) -> Cluster {
-        Cluster::new(
-            n,
-            t,
-            Arc::new(fd_crypto::SchnorrScheme::test_tiny()),
-            99,
-        )
+        Cluster::new(n, t, Arc::new(fd_crypto::SchnorrScheme::test_tiny()), 99)
     }
 
     #[test]
@@ -689,10 +684,7 @@ mod tests {
         let c = cluster(5, 1);
         let run = c.run_phase_king(b"v".to_vec(), b"d".to_vec());
         assert!(run.all_decided(b"v"));
-        assert_eq!(
-            run.stats.messages_total,
-            metrics::phase_king_messages(5, 1)
-        );
+        assert_eq!(run.stats.messages_total, metrics::phase_king_messages(5, 1));
     }
 
     #[test]
@@ -701,22 +693,16 @@ mod tests {
         let kd = c.run_key_distribution();
         let (run, grades) = c.run_degradable(&kd, b"v".to_vec(), b"d".to_vec());
         assert!(run.all_decided(b"v"));
-        assert_eq!(
-            run.stats.messages_total,
-            metrics::degradable_messages(7)
-        );
-        assert!(grades
-            .iter()
-            .all(|g| *g == Some(crate::ba::Grade::Two)));
+        assert_eq!(run.stats.messages_total, metrics::degradable_messages(7));
+        assert!(grades.iter().all(|g| *g == Some(crate::ba::Grade::Two)));
     }
 
     #[test]
     fn substitution_marks_faulty_slots() {
         let c = cluster(5, 1);
         let kd = c.run_key_distribution_with(&mut |id| {
-            (id == NodeId(4)).then(|| {
-                Box::new(crate::adversary::SilentNode { me: NodeId(4) }) as Box<dyn Node>
-            })
+            (id == NodeId(4))
+                .then(|| Box::new(crate::adversary::SilentNode { me: NodeId(4) }) as Box<dyn Node>)
         });
         assert!(kd.stores[4].is_none());
         // Honest nodes accepted everyone but the silent node.
@@ -732,12 +718,7 @@ mod vector_tests {
 
     #[test]
     fn interactive_consistency_via_runner() {
-        let c = Cluster::new(
-            5,
-            1,
-            Arc::new(fd_crypto::SchnorrScheme::test_tiny()),
-            77,
-        );
+        let c = Cluster::new(5, 1, Arc::new(fd_crypto::SchnorrScheme::test_tiny()), 77);
         let kd = c.run_key_distribution();
         let values: Vec<Vec<u8>> = (0..5u8).map(|i| vec![i, i + 10]).collect();
         let (report, per_instance) = c.run_vector_fd(&kd, &values);

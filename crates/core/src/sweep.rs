@@ -1,0 +1,904 @@
+//! Parallel scenario sweeps over `{protocol × n × t × adversary × scheme ×
+//! seed}`.
+//!
+//! A [`SweepMatrix`] declares the axes; [`SweepMatrix::scenarios`] expands
+//! them into the cartesian product, dropping combinations that violate a
+//! protocol's admissibility bound (`t + 2 ≤ n`, `n > 3t` for the agreement
+//! extensions, `n > 4t` for Phase King) or pair an adversary with a
+//! protocol it cannot speak. [`run_sweep`] fans the scenarios out across a
+//! thread pool — every [`crate::runner::Cluster`] run is deterministic and
+//! independent, so the sweep is embarrassingly parallel and its report is
+//! byte-identical regardless of thread count.
+//!
+//! Each scenario's measured message count is checked against the paper's
+//! closed-form expressions in [`crate::metrics`], and its outcomes are
+//! classified so that the one state the paper forbids — two correct nodes
+//! deciding different values with nobody discovering a failure — is
+//! surfaced as [`SweepOutcome::SilentDisagreement`] and fails the row.
+//!
+//! ```
+//! use fd_core::sweep::{run_sweep, SweepMatrix};
+//!
+//! let matrix = SweepMatrix::quick();
+//! let report = run_sweep(&matrix, 2);
+//! assert!(report.all_ok());
+//! assert!(report.rows.len() >= 8);
+//! ```
+
+use crate::adversary::{ChainFdAdversary, ChainMisbehavior, CrashNode, SilentNode};
+use crate::fd::{ChainFdNode, ChainFdParams};
+use crate::metrics;
+use crate::runner::{Cluster, FdRunReport};
+use fd_crypto::{DsaScheme, SchnorrScheme, SignatureScheme};
+use fd_simnet::{Node, NodeId};
+use std::collections::BTreeSet;
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// The protocols a sweep can exercise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Protocol {
+    /// Authenticated chain FD (paper Fig. 2): `n − 1` messages.
+    ChainFd,
+    /// Non-authenticated witness relay: `(t + 2)(n − 1)` messages.
+    NonAuthFd,
+    /// Small-value-range FD, run with a non-default value.
+    SmallRange,
+    /// The FD→BA extension (failure-free runs at FD cost).
+    FdToBa,
+    /// Degradable (crusader/graded) agreement.
+    Degradable,
+    /// Dolev–Strong authenticated BA baseline.
+    DolevStrong,
+    /// Phase-King non-authenticated BA baseline (`n > 4t`).
+    PhaseKing,
+}
+
+impl Protocol {
+    /// Every protocol, in canonical order.
+    pub const ALL: [Protocol; 7] = [
+        Protocol::ChainFd,
+        Protocol::NonAuthFd,
+        Protocol::SmallRange,
+        Protocol::FdToBa,
+        Protocol::Degradable,
+        Protocol::DolevStrong,
+        Protocol::PhaseKing,
+    ];
+
+    /// Stable machine-readable name (used in reports and CLI flags).
+    pub fn name(self) -> &'static str {
+        match self {
+            Protocol::ChainFd => "chain_fd",
+            Protocol::NonAuthFd => "non_auth_fd",
+            Protocol::SmallRange => "small_range",
+            Protocol::FdToBa => "fd_to_ba",
+            Protocol::Degradable => "degradable",
+            Protocol::DolevStrong => "dolev_strong",
+            Protocol::PhaseKing => "phase_king",
+        }
+    }
+
+    /// Parse a CLI name (several aliases accepted).
+    pub fn parse(name: &str) -> Result<Protocol, String> {
+        Ok(match name {
+            "chain" | "chain_fd" | "fd" => Protocol::ChainFd,
+            "nonauth" | "non_auth" | "non_auth_fd" => Protocol::NonAuthFd,
+            "small" | "small_range" => Protocol::SmallRange,
+            "ba" | "fd_to_ba" => Protocol::FdToBa,
+            "degrade" | "degradable" => Protocol::Degradable,
+            "ds" | "dolev_strong" => Protocol::DolevStrong,
+            "king" | "phase_king" => Protocol::PhaseKing,
+            other => {
+                return Err(format!(
+                    "unknown protocol {other} \
+                     (chain|nonauth|small|ba|degrade|ds|king)"
+                ))
+            }
+        })
+    }
+
+    /// Whether the protocol runs on locally distributed keys.
+    pub fn needs_keys(self) -> bool {
+        !matches!(self, Protocol::NonAuthFd | Protocol::PhaseKing)
+    }
+
+    /// Whether the `(n, t)` shape satisfies the protocol's resilience
+    /// requirement.
+    pub fn admissible(self, n: usize, t: usize) -> bool {
+        if t + 2 > n {
+            return false;
+        }
+        match self {
+            Protocol::ChainFd | Protocol::NonAuthFd | Protocol::SmallRange => true,
+            Protocol::FdToBa | Protocol::Degradable => n > 3 * t,
+            Protocol::DolevStrong => true,
+            Protocol::PhaseKing => n > 4 * t,
+        }
+    }
+
+    /// The paper's closed-form failure-free message count.
+    pub fn expected_messages(self, n: usize, t: usize) -> usize {
+        match self {
+            Protocol::ChainFd | Protocol::FdToBa => metrics::chain_fd_messages(n),
+            Protocol::NonAuthFd => metrics::non_auth_messages(n, t),
+            Protocol::SmallRange => metrics::small_range_messages(n, t, false),
+            Protocol::Degradable => metrics::degradable_messages(n),
+            Protocol::DolevStrong => metrics::dolev_strong_messages(n),
+            Protocol::PhaseKing => metrics::phase_king_messages(n, t),
+        }
+    }
+}
+
+impl fmt::Display for Protocol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Byzantine behaviour injected at the first chain relay (`P_1`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum AdversaryKind {
+    /// All nodes honest (the failure-free baseline every formula is
+    /// checked against).
+    None,
+    /// `P_1` never sends anything.
+    SilentRelay,
+    /// `P_1` runs the honest automaton but crashes entering round 1
+    /// (chain FD only — the wrapper needs the honest inner automaton).
+    CrashRelay,
+    /// `P_1` relays the chain with a tampered body (chain FD only).
+    TamperBody,
+    /// `P_1` forges a fresh origin message (chain FD only).
+    ForgeOrigin,
+    /// `P_1` embeds a wrong assignee name (chain FD only).
+    WrongAssignee,
+}
+
+impl AdversaryKind {
+    /// Every adversary kind, in canonical order.
+    pub const ALL: [AdversaryKind; 6] = [
+        AdversaryKind::None,
+        AdversaryKind::SilentRelay,
+        AdversaryKind::CrashRelay,
+        AdversaryKind::TamperBody,
+        AdversaryKind::ForgeOrigin,
+        AdversaryKind::WrongAssignee,
+    ];
+
+    /// Stable machine-readable name (used in reports and CLI flags).
+    pub fn name(self) -> &'static str {
+        match self {
+            AdversaryKind::None => "none",
+            AdversaryKind::SilentRelay => "silent",
+            AdversaryKind::CrashRelay => "crash",
+            AdversaryKind::TamperBody => "tamper",
+            AdversaryKind::ForgeOrigin => "forge",
+            AdversaryKind::WrongAssignee => "wrongname",
+        }
+    }
+
+    /// Parse a CLI name.
+    pub fn parse(name: &str) -> Result<AdversaryKind, String> {
+        Ok(match name {
+            "none" | "honest" => AdversaryKind::None,
+            "silent" => AdversaryKind::SilentRelay,
+            "crash" => AdversaryKind::CrashRelay,
+            "tamper" => AdversaryKind::TamperBody,
+            "forge" => AdversaryKind::ForgeOrigin,
+            "wrongname" | "wrong_assignee" => AdversaryKind::WrongAssignee,
+            other => {
+                return Err(format!(
+                    "unknown adversary {other} \
+                     (none|silent|crash|tamper|forge|wrongname)"
+                ))
+            }
+        })
+    }
+
+    /// Whether this adversary can be injected into the given protocol.
+    ///
+    /// The chain-specific misbehaviours (and the crash wrapper, which needs
+    /// the honest chain automaton) only speak the chain-FD wire format; the
+    /// silent node speaks every protocol by saying nothing.
+    pub fn applies_to(self, protocol: Protocol) -> bool {
+        match self {
+            AdversaryKind::None => true,
+            AdversaryKind::SilentRelay => true,
+            AdversaryKind::CrashRelay
+            | AdversaryKind::TamperBody
+            | AdversaryKind::ForgeOrigin
+            | AdversaryKind::WrongAssignee => protocol == Protocol::ChainFd,
+        }
+    }
+}
+
+impl fmt::Display for AdversaryKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Signature-scheme selector (sweeps measure message counts, which are
+/// crypto-independent, so the tiny test groups are the default).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SchemeSpec {
+    /// Schnorr over the tiny test group (fast; the default).
+    Tiny,
+    /// DSA over the tiny test group.
+    DsaTiny,
+    /// Schnorr over a 512-bit group (slow; for wire-size sweeps).
+    S512,
+}
+
+impl SchemeSpec {
+    /// Stable machine-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SchemeSpec::Tiny => "tiny",
+            SchemeSpec::DsaTiny => "dsa-tiny",
+            SchemeSpec::S512 => "s512",
+        }
+    }
+
+    /// Parse a CLI name.
+    pub fn parse(name: &str) -> Result<SchemeSpec, String> {
+        Ok(match name {
+            "tiny" | "schnorr-tiny" => SchemeSpec::Tiny,
+            "dsa-tiny" | "dsa" => SchemeSpec::DsaTiny,
+            "s512" => SchemeSpec::S512,
+            other => return Err(format!("unknown scheme {other} (tiny|dsa-tiny|s512)")),
+        })
+    }
+
+    /// Instantiate the scheme.
+    pub fn build(self) -> Arc<dyn SignatureScheme> {
+        match self {
+            SchemeSpec::Tiny => Arc::new(SchnorrScheme::test_tiny()),
+            SchemeSpec::DsaTiny => Arc::new(DsaScheme::test_tiny()),
+            SchemeSpec::S512 => Arc::new(SchnorrScheme::s512()),
+        }
+    }
+}
+
+impl fmt::Display for SchemeSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Rule deriving the fault budgets swept for each system size.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultRule {
+    /// The classic `t = ⌊(n−1)/3⌋` (clamped to `n − 2`).
+    Classic,
+    /// An explicit list of budgets; inadmissible `(n, t)` pairs are
+    /// dropped per protocol.
+    Explicit(Vec<usize>),
+}
+
+impl FaultRule {
+    /// The budgets to try for a system of size `n`.
+    pub fn budgets(&self, n: usize) -> Vec<usize> {
+        match self {
+            FaultRule::Classic => vec![(n.saturating_sub(1) / 3).min(n.saturating_sub(2))],
+            FaultRule::Explicit(list) => list.clone(),
+        }
+    }
+}
+
+/// The axes of a sweep.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepMatrix {
+    /// Protocols to run.
+    pub protocols: Vec<Protocol>,
+    /// System sizes.
+    pub sizes: Vec<usize>,
+    /// Fault-budget rule.
+    pub fault_rule: FaultRule,
+    /// Adversaries to inject.
+    pub adversaries: Vec<AdversaryKind>,
+    /// Signature schemes.
+    pub schemes: Vec<SchemeSpec>,
+    /// RNG seeds (each seed derives fresh key material and a fresh value).
+    pub seeds: Vec<u64>,
+}
+
+impl SweepMatrix {
+    /// The default matrix behind `lafd sweep`: five protocols, three
+    /// sizes, honest and silent-relay runs, two seeds — 60 scenarios.
+    pub fn default_matrix() -> Self {
+        SweepMatrix {
+            protocols: vec![
+                Protocol::ChainFd,
+                Protocol::NonAuthFd,
+                Protocol::FdToBa,
+                Protocol::Degradable,
+                Protocol::DolevStrong,
+            ],
+            sizes: vec![4, 7, 10],
+            fault_rule: FaultRule::Classic,
+            adversaries: vec![AdversaryKind::None, AdversaryKind::SilentRelay],
+            schemes: vec![SchemeSpec::Tiny],
+            seeds: vec![1, 2],
+        }
+    }
+
+    /// A small failure-free matrix for tests and doctests (8 scenarios).
+    pub fn quick() -> Self {
+        SweepMatrix {
+            protocols: vec![Protocol::ChainFd, Protocol::NonAuthFd],
+            sizes: vec![4, 6],
+            fault_rule: FaultRule::Classic,
+            adversaries: vec![AdversaryKind::None],
+            schemes: vec![SchemeSpec::Tiny],
+            seeds: vec![1, 2],
+        }
+    }
+
+    /// Expand the axes into concrete scenarios, skipping inadmissible
+    /// `(protocol, n, t)` shapes and `(protocol, adversary)` pairs. The
+    /// order is the deterministic nested-loop order of the axes.
+    pub fn scenarios(&self) -> Vec<Scenario> {
+        let mut out = Vec::new();
+        for &protocol in &self.protocols {
+            for &n in &self.sizes {
+                for t in self.fault_rule.budgets(n) {
+                    if !protocol.admissible(n, t) {
+                        continue;
+                    }
+                    for &adversary in &self.adversaries {
+                        if !adversary.applies_to(protocol) {
+                            continue;
+                        }
+                        // Injected adversaries replace relay P_1, which
+                        // only participates meaningfully when t >= 1.
+                        if adversary != AdversaryKind::None && t == 0 {
+                            continue;
+                        }
+                        for &scheme in &self.schemes {
+                            for &seed in &self.seeds {
+                                out.push(Scenario {
+                                    protocol,
+                                    n,
+                                    t,
+                                    adversary,
+                                    scheme,
+                                    seed,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// One fully specified run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scenario {
+    /// Protocol under test.
+    pub protocol: Protocol,
+    /// System size.
+    pub n: usize,
+    /// Fault budget.
+    pub t: usize,
+    /// Injected behaviour.
+    pub adversary: AdversaryKind,
+    /// Signature scheme.
+    pub scheme: SchemeSpec,
+    /// Determinism seed.
+    pub seed: u64,
+}
+
+impl Scenario {
+    /// The value the sender proposes in this scenario (derived from the
+    /// seed so different seeds exercise different payloads).
+    pub fn value(&self) -> Vec<u8> {
+        format!("sweep-value-{}", self.seed).into_bytes()
+    }
+}
+
+/// Classification of a run's correct-node outcomes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SweepOutcome {
+    /// Every correct node decided the same value.
+    AllDecided,
+    /// At least one correct node discovered a failure.
+    Discovered,
+    /// Some nodes are still pending, but no two decided differently.
+    Incomplete,
+    /// Two correct nodes decided different values and nobody discovered —
+    /// the state the paper's F-properties forbid. Always a failure.
+    SilentDisagreement,
+}
+
+impl SweepOutcome {
+    /// Stable machine-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SweepOutcome::AllDecided => "all_decided",
+            SweepOutcome::Discovered => "discovered",
+            SweepOutcome::Incomplete => "incomplete",
+            SweepOutcome::SilentDisagreement => "silent_disagreement",
+        }
+    }
+}
+
+impl fmt::Display for SweepOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Measurements and checks from one executed scenario.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScenarioRow {
+    /// The scenario that produced this row.
+    pub scenario: Scenario,
+    /// Key-distribution messages, for protocols that ran one.
+    pub keydist_messages: Option<usize>,
+    /// Whether the key distribution matched `3n(n−1)` (vacuously true
+    /// when no key distribution ran).
+    pub keydist_ok: bool,
+    /// Messages of the protocol run itself.
+    pub messages: usize,
+    /// Wire bytes of the protocol run.
+    pub bytes: usize,
+    /// Rounds in which at least one message was sent.
+    pub comm_rounds: usize,
+    /// The closed-form expectation (failure-free scenarios only).
+    pub expected_messages: Option<usize>,
+    /// Outcome classification over the correct nodes.
+    pub outcome: SweepOutcome,
+    /// Whether the decided value matched the sender's input (failure-free
+    /// scenarios only; vacuously true otherwise).
+    pub value_ok: bool,
+}
+
+impl ScenarioRow {
+    /// Whether the row upholds every check that applies to it:
+    /// failure-free rows must decide the sender's value at exactly the
+    /// closed-form message count; adversarial rows must never exhibit
+    /// silent disagreement.
+    pub fn ok(&self) -> bool {
+        let formula_ok = self
+            .expected_messages
+            .is_none_or(|expected| expected == self.messages);
+        let outcome_ok = if self.scenario.adversary == AdversaryKind::None {
+            self.outcome == SweepOutcome::AllDecided
+        } else {
+            self.outcome != SweepOutcome::SilentDisagreement
+        };
+        formula_ok && outcome_ok && self.keydist_ok && self.value_ok
+    }
+}
+
+/// Aggregated results of a sweep, in scenario order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepReport {
+    /// One row per scenario.
+    pub rows: Vec<ScenarioRow>,
+}
+
+impl SweepReport {
+    /// Whether every row passed its checks.
+    pub fn all_ok(&self) -> bool {
+        self.rows.iter().all(ScenarioRow::ok)
+    }
+
+    /// The rows that failed their checks.
+    pub fn failures(&self) -> Vec<&ScenarioRow> {
+        self.rows.iter().filter(|r| !r.ok()).collect()
+    }
+
+    /// Total messages across all runs (including key distributions).
+    pub fn messages_total(&self) -> usize {
+        self.rows
+            .iter()
+            .map(|r| r.messages + r.keydist_messages.unwrap_or(0))
+            .sum()
+    }
+
+    /// Serialize as deterministic JSON (stable field order, no floats, no
+    /// timestamps): rerunning the same matrix yields identical bytes.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n  \"rows\": [\n");
+        for (i, row) in self.rows.iter().enumerate() {
+            let sc = &row.scenario;
+            s.push_str("    {");
+            push_json_str(&mut s, "protocol", sc.protocol.name());
+            s.push_str(&format!(", \"n\": {}, \"t\": {}, ", sc.n, sc.t));
+            push_json_str(&mut s, "adversary", sc.adversary.name());
+            s.push_str(", ");
+            push_json_str(&mut s, "scheme", sc.scheme.name());
+            s.push_str(&format!(", \"seed\": {}", sc.seed));
+            match row.keydist_messages {
+                Some(m) => s.push_str(&format!(", \"keydist_messages\": {m}")),
+                None => s.push_str(", \"keydist_messages\": null"),
+            }
+            s.push_str(&format!(
+                ", \"messages\": {}, \"bytes\": {}, \"comm_rounds\": {}",
+                row.messages, row.bytes, row.comm_rounds
+            ));
+            match row.expected_messages {
+                Some(m) => s.push_str(&format!(", \"expected_messages\": {m}")),
+                None => s.push_str(", \"expected_messages\": null"),
+            }
+            s.push_str(", ");
+            push_json_str(&mut s, "outcome", row.outcome.name());
+            s.push_str(&format!(", \"ok\": {}}}", row.ok()));
+            if i + 1 < self.rows.len() {
+                s.push(',');
+            }
+            s.push('\n');
+        }
+        s.push_str("  ],\n");
+        s.push_str(&format!(
+            "  \"summary\": {{\"scenarios\": {}, \"ok\": {}, \"failed\": {}, \"messages_total\": {}}}\n",
+            self.rows.len(),
+            self.rows.iter().filter(|r| r.ok()).count(),
+            self.failures().len(),
+            self.messages_total()
+        ));
+        s.push_str("}\n");
+        s
+    }
+
+    /// Render as a markdown table plus a summary line (deterministic).
+    pub fn to_markdown(&self) -> String {
+        let mut s = String::from("# lafd sweep report\n\n");
+        s.push_str(
+            "| protocol | n | t | adversary | scheme | seed | keydist | msgs | formula | bytes | rounds | outcome | ok |\n",
+        );
+        s.push_str("|---|---|---|---|---|---|---|---|---|---|---|---|---|\n");
+        for row in &self.rows {
+            let sc = &row.scenario;
+            let keydist = row
+                .keydist_messages
+                .map_or_else(|| "—".to_string(), |m| m.to_string());
+            let formula = row
+                .expected_messages
+                .map_or_else(|| "—".to_string(), |m| m.to_string());
+            s.push_str(&format!(
+                "| {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} |\n",
+                sc.protocol,
+                sc.n,
+                sc.t,
+                sc.adversary,
+                sc.scheme,
+                sc.seed,
+                keydist,
+                row.messages,
+                formula,
+                row.bytes,
+                row.comm_rounds,
+                row.outcome,
+                if row.ok() { "yes" } else { "NO" },
+            ));
+        }
+        s.push_str(&format!(
+            "\n{} scenarios, {} ok, {} failed, {} total messages.\n",
+            self.rows.len(),
+            self.rows.iter().filter(|r| r.ok()).count(),
+            self.failures().len(),
+            self.messages_total()
+        ));
+        s
+    }
+}
+
+fn push_json_str(s: &mut String, key: &str, value: &str) {
+    s.push('"');
+    s.push_str(key);
+    s.push_str("\": \"");
+    for c in value.chars() {
+        match c {
+            '"' => s.push_str("\\\""),
+            '\\' => s.push_str("\\\\"),
+            c if (c as u32) < 0x20 => s.push_str(&format!("\\u{:04x}", c as u32)),
+            c => s.push(c),
+        }
+    }
+    s.push('"');
+}
+
+/// Execute one scenario.
+pub fn run_scenario(scenario: &Scenario) -> ScenarioRow {
+    let cluster = Cluster::new(
+        scenario.n,
+        scenario.t,
+        scenario.scheme.build(),
+        scenario.seed,
+    );
+    let value = scenario.value();
+    let default_value = b"sweep-default".to_vec();
+
+    let keydist = scenario
+        .protocol
+        .needs_keys()
+        .then(|| cluster.run_key_distribution());
+    let keydist_messages = keydist.as_ref().map(|kd| kd.stats.messages_total);
+    let keydist_ok = keydist_messages.is_none_or(|m| m == metrics::keydist_messages(scenario.n));
+
+    let relay = NodeId(1);
+    let mut substitute = build_substitution(scenario, &cluster, relay, &keydist);
+
+    let run: FdRunReport = match scenario.protocol {
+        Protocol::ChainFd => cluster.run_chain_fd_with(
+            keydist.as_ref().expect("keys"),
+            value.clone(),
+            &mut *substitute,
+        ),
+        Protocol::NonAuthFd => cluster.run_non_auth_fd_with(value.clone(), &mut *substitute),
+        Protocol::SmallRange => cluster.run_small_range_with(
+            keydist.as_ref().expect("keys"),
+            value.clone(),
+            default_value.clone(),
+            &mut *substitute,
+        ),
+        Protocol::FdToBa => cluster.run_fd_to_ba_with(
+            keydist.as_ref().expect("keys"),
+            value.clone(),
+            default_value.clone(),
+            &mut *substitute,
+        ),
+        Protocol::Degradable => {
+            cluster
+                .run_degradable_with(
+                    keydist.as_ref().expect("keys"),
+                    value.clone(),
+                    default_value.clone(),
+                    &mut *substitute,
+                )
+                .0
+        }
+        Protocol::DolevStrong => cluster.run_dolev_strong_with(
+            keydist.as_ref().expect("keys"),
+            value.clone(),
+            default_value.clone(),
+            &mut *substitute,
+        ),
+        Protocol::PhaseKing => {
+            cluster.run_phase_king_with(value.clone(), default_value.clone(), &mut *substitute)
+        }
+    };
+
+    let outcome = classify(&run);
+    let failure_free = scenario.adversary == AdversaryKind::None;
+    let expected_messages =
+        failure_free.then(|| scenario.protocol.expected_messages(scenario.n, scenario.t));
+    let value_ok = !failure_free || run.all_decided(&value);
+
+    ScenarioRow {
+        scenario: *scenario,
+        keydist_messages,
+        keydist_ok,
+        messages: run.stats.messages_total,
+        bytes: run.stats.bytes_total,
+        comm_rounds: run.stats.per_round.iter().filter(|&&x| x > 0).count(),
+        expected_messages,
+        outcome,
+        value_ok,
+    }
+}
+
+/// Build the node-substitution closure for the scenario's adversary.
+fn build_substitution<'a>(
+    scenario: &'a Scenario,
+    cluster: &'a Cluster,
+    relay: NodeId,
+    keydist: &'a Option<crate::runner::KeyDistReport>,
+) -> Box<dyn FnMut(NodeId) -> Option<Box<dyn Node>> + 'a> {
+    let scenario = *scenario;
+    match scenario.adversary {
+        AdversaryKind::None => Box::new(|_| None),
+        AdversaryKind::SilentRelay => Box::new(move |id: NodeId| {
+            (id == relay).then(|| Box::new(SilentNode { me: relay }) as Box<dyn Node>)
+        }),
+        AdversaryKind::CrashRelay => Box::new(move |id: NodeId| {
+            (id == relay).then(|| {
+                let honest = Box::new(ChainFdNode::new(
+                    relay,
+                    ChainFdParams::new(cluster.n, cluster.t),
+                    Arc::clone(&cluster.scheme),
+                    keydist.as_ref().expect("keys").store(relay).clone(),
+                    cluster.keyring(relay),
+                    None,
+                )) as Box<dyn Node>;
+                Box::new(CrashNode::new(honest, 1, 0)) as Box<dyn Node>
+            })
+        }),
+        AdversaryKind::TamperBody | AdversaryKind::ForgeOrigin | AdversaryKind::WrongAssignee => {
+            Box::new(move |id: NodeId| {
+                (id == relay).then(|| {
+                    let misbehavior = match scenario.adversary {
+                        AdversaryKind::TamperBody => ChainMisbehavior::TamperBody {
+                            new_body: b"sweep-tampered".to_vec(),
+                        },
+                        AdversaryKind::ForgeOrigin => ChainMisbehavior::ForgeOrigin {
+                            value: b"sweep-forged".to_vec(),
+                        },
+                        _ => ChainMisbehavior::WrongAssigneeName {
+                            claim: NodeId((scenario.n - 1) as u16),
+                        },
+                    };
+                    Box::new(ChainFdAdversary::new(
+                        relay,
+                        ChainFdParams::new(cluster.n, cluster.t),
+                        Arc::clone(&cluster.scheme),
+                        cluster.keyring(relay),
+                        misbehavior,
+                        None,
+                    )) as Box<dyn Node>
+                })
+            })
+        }
+    }
+}
+
+/// Classify the correct-node outcomes of a run.
+fn classify(run: &FdRunReport) -> SweepOutcome {
+    let outs = run.correct_outcomes();
+    let any_discovery = outs.iter().any(crate::Outcome::is_discovered);
+    let decided: BTreeSet<Vec<u8>> = outs
+        .iter()
+        .filter_map(|o| o.decided().map(<[u8]>::to_vec))
+        .collect();
+    if decided.len() > 1 && !any_discovery {
+        return SweepOutcome::SilentDisagreement;
+    }
+    if any_discovery {
+        return SweepOutcome::Discovered;
+    }
+    if !outs.is_empty() && outs.iter().all(|o| o.decided().is_some()) {
+        return SweepOutcome::AllDecided;
+    }
+    SweepOutcome::Incomplete
+}
+
+/// Run every scenario of the matrix across `threads` worker threads and
+/// collect the rows in scenario order.
+///
+/// Each scenario is deterministic and self-contained, so the report is
+/// identical for any thread count (see the determinism tests).
+pub fn run_sweep(matrix: &SweepMatrix, threads: usize) -> SweepReport {
+    let scenarios = matrix.scenarios();
+    let workers = threads.max(1).min(scenarios.len().max(1));
+    let next = AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<ScenarioRow>>> = Mutex::new(vec![None; scenarios.len()]);
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let index = next.fetch_add(1, Ordering::Relaxed);
+                let Some(scenario) = scenarios.get(index) else {
+                    break;
+                };
+                let row = run_scenario(scenario);
+                slots.lock().expect("sweep worker panicked")[index] = Some(row);
+            });
+        }
+    });
+
+    let rows = slots
+        .into_inner()
+        .expect("sweep worker panicked")
+        .into_iter()
+        .map(|slot| slot.expect("every scenario produced a row"))
+        .collect();
+    SweepReport { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_expansion_filters_inadmissible_shapes() {
+        let matrix = SweepMatrix {
+            protocols: vec![Protocol::PhaseKing, Protocol::ChainFd],
+            sizes: vec![5, 9],
+            fault_rule: FaultRule::Explicit(vec![2]),
+            adversaries: vec![AdversaryKind::None],
+            schemes: vec![SchemeSpec::Tiny],
+            seeds: vec![1],
+        };
+        let scenarios = matrix.scenarios();
+        // Phase King needs n > 4t: n=5,t=2 is dropped, n=9,t=2 stays.
+        assert!(scenarios
+            .iter()
+            .all(|s| s.protocol != Protocol::PhaseKing || s.n == 9));
+        assert_eq!(
+            scenarios
+                .iter()
+                .filter(|s| s.protocol == Protocol::ChainFd)
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn chain_adversaries_only_pair_with_chain_fd() {
+        let matrix = SweepMatrix {
+            protocols: vec![Protocol::ChainFd, Protocol::DolevStrong],
+            sizes: vec![5],
+            fault_rule: FaultRule::Explicit(vec![1]),
+            adversaries: vec![AdversaryKind::TamperBody, AdversaryKind::SilentRelay],
+            schemes: vec![SchemeSpec::Tiny],
+            seeds: vec![1],
+        };
+        for s in matrix.scenarios() {
+            assert!(s.adversary.applies_to(s.protocol), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn failure_free_rows_match_formulas() {
+        let report = run_sweep(&SweepMatrix::quick(), 2);
+        assert!(report.all_ok(), "failures: {:?}", report.failures());
+        for row in &report.rows {
+            assert_eq!(row.expected_messages, Some(row.messages));
+            assert_eq!(row.outcome, SweepOutcome::AllDecided);
+        }
+    }
+
+    #[test]
+    fn adversarial_rows_never_silently_disagree() {
+        let matrix = SweepMatrix {
+            protocols: vec![Protocol::ChainFd],
+            sizes: vec![5, 7],
+            fault_rule: FaultRule::Classic,
+            adversaries: vec![
+                AdversaryKind::SilentRelay,
+                AdversaryKind::CrashRelay,
+                AdversaryKind::TamperBody,
+                AdversaryKind::ForgeOrigin,
+                AdversaryKind::WrongAssignee,
+            ],
+            schemes: vec![SchemeSpec::Tiny],
+            seeds: vec![1, 2, 3],
+        };
+        let report = run_sweep(&matrix, 4);
+        assert!(report.all_ok(), "failures: {:?}", report.failures());
+        for row in &report.rows {
+            assert_ne!(row.outcome, SweepOutcome::SilentDisagreement, "{row:?}");
+        }
+    }
+
+    #[test]
+    fn report_is_thread_count_invariant() {
+        let matrix = SweepMatrix::quick();
+        let serial = run_sweep(&matrix, 1);
+        let parallel = run_sweep(&matrix, 8);
+        assert_eq!(serial, parallel);
+        assert_eq!(serial.to_json(), parallel.to_json());
+        assert_eq!(serial.to_markdown(), parallel.to_markdown());
+    }
+
+    #[test]
+    fn default_matrix_is_at_least_24_scenarios_and_green() {
+        let matrix = SweepMatrix::default_matrix();
+        let scenarios = matrix.scenarios();
+        assert!(scenarios.len() >= 24, "only {} scenarios", scenarios.len());
+        let report = run_sweep(&matrix, 4);
+        assert!(report.all_ok(), "failures: {:?}", report.failures());
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let report = run_sweep(&SweepMatrix::quick(), 2);
+        let json = report.to_json();
+        assert!(json.starts_with("{\n"));
+        assert!(json.ends_with("}\n"));
+        assert_eq!(
+            json.matches("\"protocol\"").count(),
+            report.rows.len(),
+            "one protocol key per row"
+        );
+        assert!(json.contains("\"summary\""));
+    }
+}

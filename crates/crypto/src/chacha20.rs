@@ -80,7 +80,10 @@ mod tests {
     fn counter_changes_block() {
         let key = [7u32; 8];
         let nonce = [1u32, 2, 3];
-        assert_ne!(chacha20_block(&key, 0, &nonce), chacha20_block(&key, 1, &nonce));
+        assert_ne!(
+            chacha20_block(&key, 0, &nonce),
+            chacha20_block(&key, 1, &nonce)
+        );
     }
 
     #[test]

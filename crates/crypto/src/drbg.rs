@@ -143,7 +143,10 @@ mod tests {
         let mut c2 = parent.fork(b"a"); // same label, later state -> distinct
         let mut c3 = ChaChaDrbg::from_seed(5).fork(b"b");
         assert_ne!(c1.next_u64(), c2.next_u64());
-        assert_ne!(ChaChaDrbg::from_seed(5).fork(b"a").next_u64(), c3.next_u64());
+        assert_ne!(
+            ChaChaDrbg::from_seed(5).fork(b"a").next_u64(),
+            c3.next_u64()
+        );
     }
 
     #[test]

@@ -142,9 +142,7 @@ impl SignatureScheme for DsaScheme {
                 continue;
             }
             let mut sig = r.to_be_bytes_fixed(self.group.scalar_len()).expect("r < q");
-            sig.extend_from_slice(
-                &s.to_be_bytes_fixed(self.group.scalar_len()).expect("s < q"),
-            );
+            sig.extend_from_slice(&s.to_be_bytes_fixed(self.group.scalar_len()).expect("s < q"));
             return Ok(Signature(sig));
         }
         // Unreachable in practice: each attempt fails with prob ~2/q.
@@ -178,10 +176,10 @@ impl SignatureScheme for DsaScheme {
         let u1 = modmul(&self.digest_scalar(msg), &w, q);
         let u2 = modmul(&r, &w, q);
         // v = (g^u1 · y^u2 mod p) mod q
-        let v = &self
-            .group
-            .mul(&self.group.pow(self.group.g(), &u1), &self.group.pow(&y, &u2))
-            % q;
+        let v = &self.group.mul(
+            &self.group.pow(self.group.g(), &u1),
+            &self.group.pow(&y, &u2),
+        ) % q;
         v == r
     }
 

@@ -119,9 +119,7 @@ impl SignatureScheme for RsaScheme {
         let (n, d) = self.decode_sk(sk).ok_or(CryptoError::MalformedSecretKey)?;
         let m_int = self.encode_digest(msg, &n);
         let s = modpow(&m_int, &d, &n);
-        Ok(Signature(
-            s.to_be_bytes_fixed(self.n_len()).expect("s < n"),
-        ))
+        Ok(Signature(s.to_be_bytes_fixed(self.n_len()).expect("s < n")))
     }
 
     fn verify(&self, pk: &PublicKey, msg: &[u8], sig: &Signature) -> bool {

@@ -126,12 +126,8 @@ impl SignatureScheme for SchnorrScheme {
         // s = k - x*e mod q
         let s = modsub(&k, &modmul(&x, &e, q), q);
 
-        let mut sig = e
-            .to_be_bytes_fixed(self.group.scalar_len())
-            .expect("e < q");
-        sig.extend_from_slice(
-            &s.to_be_bytes_fixed(self.group.scalar_len()).expect("s < q"),
-        );
+        let mut sig = e.to_be_bytes_fixed(self.group.scalar_len()).expect("e < q");
+        sig.extend_from_slice(&s.to_be_bytes_fixed(self.group.scalar_len()).expect("s < q"));
         Ok(Signature(sig))
     }
 
@@ -240,10 +236,7 @@ mod tests {
         let (sk_a, pk_a) = s.keypair_from_seed(7);
         let (sk_b, pk_b) = s.keypair_from_seed(7);
         assert_eq!(pk_a, pk_b);
-        assert_eq!(
-            s.sign(&sk_a, b"x").unwrap(),
-            s.sign(&sk_b, b"x").unwrap()
-        );
+        assert_eq!(s.sign(&sk_a, b"x").unwrap(), s.sign(&sk_b, b"x").unwrap());
     }
 
     #[test]

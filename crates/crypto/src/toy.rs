@@ -38,10 +38,7 @@ impl SignatureScheme for ToyScheme {
 
     fn keypair_from_seed(&self, seed: u64) -> (SecretKey, PublicKey) {
         let material = sha256_parts(&[b"toy-keygen", &seed.to_be_bytes()]);
-        (
-            SecretKey(material.to_vec()),
-            PublicKey(material.to_vec()),
-        )
+        (SecretKey(material.to_vec()), PublicKey(material.to_vec()))
     }
 
     fn sign(&self, sk: &SecretKey, msg: &[u8]) -> Result<Signature, CryptoError> {

@@ -1,9 +1,7 @@
 //! Property-based tests for the crypto substrate: S1–S3 behaviour of every
 //! scheme over arbitrary messages, seeds, and tampering.
 
-use fd_crypto::{
-    PublicKey, RsaScheme, SchnorrScheme, Signature, SignatureScheme, ToyScheme,
-};
+use fd_crypto::{PublicKey, RsaScheme, SchnorrScheme, Signature, SignatureScheme, ToyScheme};
 use proptest::prelude::*;
 
 fn schemes() -> Vec<Box<dyn SignatureScheme>> {

@@ -1,0 +1,260 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The build environment has no access to crates.io, so this crate provides
+//! the subset of the criterion API the workspace's benches use —
+//! `criterion_group!`/`criterion_main!`, `Criterion::bench_function`,
+//! benchmark groups with `sample_size` and `bench_with_input`,
+//! `BenchmarkId`, `Bencher::iter` and `black_box` — with a simple
+//! measure-and-print implementation: each benchmark is warmed up once, then
+//! timed over a bounded number of iterations, and the mean wall-clock time
+//! per iteration is printed to stdout.
+//!
+//! There is no statistical analysis, no plotting and no baseline storage;
+//! the numbers are indicative. The value of keeping the benches compiling
+//! and runnable is that the workspace's timing experiments stay exercised
+//! end to end (CI builds them; `cargo bench` runs them).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Maximum wall-clock budget spent measuring a single benchmark.
+const MEASURE_BUDGET: Duration = Duration::from_millis(250);
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id carrying only a parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Conversion into a benchmark label; lets `bench_function` accept both
+/// string-ish names and [`BenchmarkId`]s, as the real crate does.
+pub trait IntoBenchmarkLabel {
+    /// The display label of the benchmark.
+    fn into_label(self) -> String;
+}
+
+impl IntoBenchmarkLabel for BenchmarkId {
+    fn into_label(self) -> String {
+        self.label
+    }
+}
+
+impl IntoBenchmarkLabel for &str {
+    fn into_label(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkLabel for String {
+    fn into_label(self) -> String {
+        self
+    }
+}
+
+impl IntoBenchmarkLabel for &String {
+    fn into_label(self) -> String {
+        self.clone()
+    }
+}
+
+/// Timing driver handed to benchmark closures.
+#[derive(Debug)]
+pub struct Bencher {
+    sample_size: usize,
+    /// Measured mean time per iteration, filled in by [`Bencher::iter`].
+    elapsed_per_iter: Option<Duration>,
+    iters: u64,
+}
+
+impl Bencher {
+    fn new(sample_size: usize) -> Self {
+        Bencher {
+            sample_size,
+            elapsed_per_iter: None,
+            iters: 0,
+        }
+    }
+
+    /// Measure `routine` over a bounded number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine()); // warm-up, also catches panics early
+        let start = Instant::now();
+        let mut iters: u64 = 0;
+        while iters < self.sample_size as u64 && start.elapsed() < MEASURE_BUDGET {
+            black_box(routine());
+            iters += 1;
+        }
+        let total = start.elapsed();
+        self.iters = iters.max(1);
+        self.elapsed_per_iter = Some(total / u32::try_from(self.iters).unwrap_or(u32::MAX));
+    }
+}
+
+fn report(label: &str, bencher: &Bencher) {
+    match bencher.elapsed_per_iter {
+        Some(per_iter) => println!(
+            "bench: {label:<40} {per_iter:>12.3?}/iter ({} iters)",
+            bencher.iters
+        ),
+        None => println!("bench: {label:<40} (no measurement: Bencher::iter never called)"),
+    }
+}
+
+/// A named group of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of measured iterations per benchmark (an upper bound here;
+    /// measurement is also time-capped).
+    pub fn sample_size(&mut self, size: usize) -> &mut Self {
+        self.sample_size = size.max(1);
+        self
+    }
+
+    /// Run one benchmark with an explicit input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkLabel,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.into_label());
+        let mut bencher = Bencher::new(self.sample_size);
+        f(&mut bencher, input);
+        report(&label, &bencher);
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkLabel, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into_label());
+        let mut bencher = Bencher::new(self.sample_size);
+        f(&mut bencher);
+        report(&label, &bencher);
+        self
+    }
+
+    /// Finish the group (a no-op beyond matching the real API).
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.effective_sample_size(),
+            _criterion: self,
+        }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkLabel, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher::new(self.effective_sample_size());
+        f(&mut bencher);
+        report(&id.into_label(), &bencher);
+        self
+    }
+
+    fn effective_sample_size(&self) -> usize {
+        if self.default_sample_size == 0 {
+            10
+        } else {
+            self.default_sample_size
+        }
+    }
+}
+
+/// Define a group function running the listed benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Define `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        group.bench_with_input(BenchmarkId::from_parameter(4usize), &4usize, |b, &n| {
+            b.iter(|| n * 2);
+        });
+        group.bench_with_input(BenchmarkId::new("f", 8), &8usize, |b, _| b.iter(|| ()));
+        group.finish();
+        c.bench_function("standalone", |b| b.iter(|| 1 + 1));
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn group_runs_to_completion() {
+        benches();
+    }
+
+    #[test]
+    fn bencher_records_time() {
+        let mut b = Bencher::new(5);
+        b.iter(|| std::hint::black_box(17u64.wrapping_mul(31)));
+        assert!(b.elapsed_per_iter.is_some());
+        assert!(b.iters >= 1);
+    }
+}

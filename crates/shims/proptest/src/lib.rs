@@ -1,0 +1,561 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! crate.
+//!
+//! The build environment of this workspace has no access to crates.io, so
+//! the real proptest cannot be fetched. This crate implements the subset of
+//! its API that the workspace's property tests use — `proptest!`,
+//! `prop_assert!`/`prop_assert_eq!`, `any`, `Just`, integer-range and tuple
+//! strategies, `prop::collection::vec`, `prop::sample::Index`, `prop_map`
+//! and `prop_flat_map` — on top of a small deterministic RNG.
+//!
+//! Differences from the real crate, by design:
+//!
+//! * **No shrinking.** A failing case reports the case number and RNG seed
+//!   (generation is a pure function of those), not a minimized input.
+//! * **Deterministic by default.** Every test function derives its RNG
+//!   stream from its own name, so runs are reproducible across machines —
+//!   which the workspace's determinism-sensitive CI prefers anyway.
+//! * Set `PROPTEST_CASES` to override the per-test case count globally.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// Deterministic RNG (SplitMix64) driving all value generation.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// RNG seeded from an arbitrary 64-bit value.
+    pub fn new(seed: u64) -> Self {
+        TestRng {
+            state: seed ^ 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be nonzero.
+    ///
+    /// Uses the widening-multiply reduction, which is unbiased enough for
+    /// test-input generation.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "empty range");
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+    }
+}
+
+/// Error carried out of a failing property body by `prop_assert!`.
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// A failed-property error with the given message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// Per-`proptest!` block configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test function.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+
+    /// Case count after applying the `PROPTEST_CASES` env override.
+    pub fn effective_cases(&self) -> u32 {
+        match std::env::var("PROPTEST_CASES") {
+            Ok(v) => v.parse().unwrap_or(self.cases),
+            Err(_) => self.cases,
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A generator of test inputs.
+///
+/// Unlike the real proptest there is no value tree: a strategy is just a
+/// pure function of the RNG state.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generate an intermediate value, then generate from the strategy `f`
+    /// derives from it.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+/// Strategy produced by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Strategy produced by [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, S2> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// Strategy that always yields a clone of a fixed value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical full-domain strategy (see [`any`]).
+pub trait Arbitrary {
+    /// Generate an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($ty:ty),*) => {$(
+        impl Arbitrary for $ty {
+            #[allow(clippy::cast_possible_truncation)]
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $ty
+            }
+        }
+    )*};
+}
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// The strategy returned by [`any`].
+#[derive(Debug)]
+pub struct Any<T>(PhantomData<T>);
+
+impl<T> Clone for Any<T> {
+    fn clone(&self) -> Self {
+        Any(PhantomData)
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Strategy over the full domain of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+macro_rules! range_strategy {
+    ($($ty:ty),*) => {$(
+        impl Strategy for Range<$ty> {
+            type Value = $ty;
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss, clippy::cast_possible_wrap)]
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $ty
+            }
+        }
+        impl Strategy for RangeInclusive<$ty> {
+            type Value = $ty;
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss, clippy::cast_possible_wrap)]
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                assert!(self.start() <= self.end(), "empty range strategy");
+                let span = (*self.end() as i128 - *self.start() as i128 + 1) as u64;
+                (*self.start() as i128 + rng.below(span) as i128) as $ty
+            }
+        }
+    )*};
+}
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+
+/// Collection strategies (`prop::collection`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::{Range, RangeInclusive};
+
+    /// A length range for [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(exact: usize) -> Self {
+            SizeRange {
+                lo: exact,
+                hi_inclusive: exact,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi_inclusive: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange {
+                lo: *r.start(),
+                hi_inclusive: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy for `Vec<T>` with lengths drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// Strategy produced by [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi_inclusive - self.size.lo + 1) as u64;
+            let len = self.size.lo + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Sampling helpers (`prop::sample`).
+pub mod sample {
+    use super::{Arbitrary, TestRng};
+
+    /// An index into a collection whose length is only known at use time.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Index(u64);
+
+    impl Index {
+        /// Project onto a collection of length `len` (which must be > 0).
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on empty collection");
+            ((u128::from(self.0) * len as u128) >> 64) as usize
+        }
+    }
+
+    impl Arbitrary for Index {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            Index(rng.next_u64())
+        }
+    }
+}
+
+/// Everything the property tests import.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Arbitrary, Just,
+        ProptestConfig, Strategy, TestCaseError, TestRng,
+    };
+
+    /// Namespace mirror of the real crate's `prelude::prop`.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::sample;
+    }
+}
+
+/// Derive the RNG seed for one test case from the test's name and case
+/// number (FNV-1a over the name, mixed with the case index).
+#[must_use]
+pub fn case_seed(test_name: &str, case: u32) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h ^ (u64::from(case) << 1)
+}
+
+/// Discard the current case when an assumption does not hold.
+///
+/// Unlike the real crate, a rejected case still counts toward the case
+/// total (it is simply skipped), so tests cannot fail from too many
+/// rejections.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Ok(());
+        }
+    };
+}
+
+/// Assert a boolean property inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Assert equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "{}\n  left: {:?}\n right: {:?}",
+            format!($($fmt)*),
+            l,
+            r
+        );
+    }};
+}
+
+/// Assert inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: {} != {}\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+/// Define property tests.
+///
+/// Mirrors the real macro's surface for the forms used in this workspace:
+/// an optional `#![proptest_config(...)]` header followed by `#[test]`
+/// functions whose arguments are `pattern in strategy` pairs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($config) $($rest)*);
+    };
+    (@with_config ($config:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident ( $($pat:pat in $strategy:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                let cases = config.effective_cases();
+                for case in 0..cases {
+                    let seed = $crate::case_seed(stringify!($name), case);
+                    let mut rng = $crate::TestRng::new(seed);
+                    $(let $pat = $crate::Strategy::generate(&($strategy), &mut rng);)+
+                    let outcome: ::core::result::Result<(), $crate::TestCaseError> =
+                        (|| { $body ::core::result::Result::Ok(()) })();
+                    if let ::core::result::Result::Err(e) = outcome {
+                        panic!(
+                            "property {} failed at case {}/{} (rng seed {:#x}):\n{}",
+                            stringify!($name), case, cases, seed, e
+                        );
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_config ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = TestRng::new(7);
+        let mut b = TestRng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::new(1);
+        for _ in 0..1000 {
+            let v = (10usize..20).generate(&mut rng);
+            assert!((10..20).contains(&v));
+            let w = (0u8..=3).generate(&mut rng);
+            assert!(w <= 3);
+        }
+    }
+
+    #[test]
+    fn vec_respects_size_range() {
+        let mut rng = TestRng::new(2);
+        for _ in 0..200 {
+            let v = prop::collection::vec(any::<u8>(), 2..5).generate(&mut rng);
+            assert!((2..5).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn sample_index_in_bounds() {
+        let mut rng = TestRng::new(3);
+        for _ in 0..200 {
+            let ix = any::<prop::sample::Index>().generate(&mut rng);
+            assert!(ix.index(13) < 13);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn macro_binds_tuples_and_maps((a, b) in (0usize..5, Just(7usize)), v in prop::collection::vec(any::<u8>(), 0..4)) {
+            prop_assert!(a < 5);
+            prop_assert_eq!(b, 7);
+            prop_assert!(v.len() < 4);
+        }
+
+        #[test]
+        fn flat_map_dependent_ranges(pair in (2usize..6).prop_flat_map(|n| (Just(n), 0usize..n))) {
+            let (n, k) = pair;
+            prop_assert!(k < n, "k={k} n={n}");
+        }
+    }
+}

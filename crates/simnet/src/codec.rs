@@ -394,6 +394,9 @@ mod tests {
 
     #[test]
     fn error_display() {
-        assert_eq!(CodecError::BadTag(0x2a).to_string(), "unrecognized tag byte 0x2a");
+        assert_eq!(
+            CodecError::BadTag(0x2a).to_string(),
+            "unrecognized tag byte 0x2a"
+        );
     }
 }

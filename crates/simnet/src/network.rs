@@ -298,10 +298,7 @@ mod tests {
         let mut rushed = echo_net(4);
         rushed.set_rushing(vec![NodeId(3)]);
         rushed.run_until_done(5);
-        assert_eq!(
-            plain.stats().messages_total,
-            rushed.stats().messages_total
-        );
+        assert_eq!(plain.stats().messages_total, rushed.stats().messages_total);
     }
 
     #[test]
@@ -349,7 +346,10 @@ mod tests {
             0,
             NodeId(0),
             NodeId(1),
-            LinkFault::Corrupt { offset: 0, mask: 0xff },
+            LinkFault::Corrupt {
+                offset: 0,
+                mask: 0xff,
+            },
         ));
         net.run_until_done(5);
         let nodes = net.into_nodes();
@@ -360,12 +360,7 @@ mod tests {
     #[test]
     fn duplicate_fault_delivers_twice() {
         let mut net = echo_net(2);
-        net.set_fault_plan(FaultPlan::new().with(
-            0,
-            NodeId(0),
-            NodeId(1),
-            LinkFault::Duplicate,
-        ));
+        net.set_fault_plan(FaultPlan::new().with(0, NodeId(0), NodeId(1), LinkFault::Duplicate));
         net.run_until_done(5);
         let nodes = net.into_nodes();
         let victim = nodes[1].as_any().downcast_ref::<Echo>().unwrap();

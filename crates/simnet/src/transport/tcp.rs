@@ -14,13 +14,22 @@
 
 use super::ClusterReport;
 use crate::{Envelope, NetStats, Node, NodeId, Outbox};
-use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::Arc;
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::thread;
 use std::time::{Duration, Instant};
+
+/// Lock a mutex, tolerating poisoning (a panicked node thread already
+/// aborts the run via `join`; the lock data itself is never left
+/// inconsistent mid-operation).
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
 
 /// Mesh-setup and per-read deadline: generous enough for slow CI machines,
 /// short enough that a lost peer turns into a visible panic instead of a
@@ -39,12 +48,7 @@ struct InFrame {
     payload: Vec<u8>,
 }
 
-fn write_frame(
-    stream: &mut TcpStream,
-    tag: u8,
-    round: u32,
-    payload: &[u8],
-) -> std::io::Result<()> {
+fn write_frame(stream: &mut TcpStream, tag: u8, round: u32, payload: &[u8]) -> std::io::Result<()> {
     let len = 1 + 4 + payload.len();
     stream.write_all(&(len as u32).to_be_bytes())?;
     stream.write_all(&[tag])?;
@@ -190,7 +194,7 @@ fn run_node(
     let streams: Arc<Mutex<HashMap<NodeId, TcpStream>>> = Arc::new(Mutex::new(HashMap::new()));
     let mut accept_count = me as usize; // peers with smaller id connect to us
 
-    let (frame_tx, frame_rx) = crossbeam_channel::unbounded::<InFrame>();
+    let (frame_tx, frame_rx) = mpsc::channel::<InFrame>();
 
     // Connect outward (with a deadline so a dead peer cannot hang the
     // whole cluster).
@@ -198,12 +202,10 @@ fn run_node(
         let stream = TcpStream::connect_timeout(addr, IO_DEADLINE).expect("connect peer");
         let mut s = stream.try_clone().expect("clone stream");
         s.write_all(&me.to_be_bytes()).expect("handshake");
-        streams.lock().insert(NodeId(peer as u16), stream);
+        lock(&streams).insert(NodeId(peer as u16), stream);
     }
     // Accept inward, bounded by the same deadline.
-    listener
-        .set_nonblocking(true)
-        .expect("nonblocking accept");
+    listener.set_nonblocking(true).expect("nonblocking accept");
     let deadline = Instant::now() + IO_DEADLINE;
     while accept_count > 0 {
         match listener.accept() {
@@ -216,7 +218,7 @@ fn run_node(
                 stream.read_exact(&mut id_buf).expect("handshake id");
                 let peer = NodeId(u16::from_be_bytes(id_buf));
                 assert!(peer.0 < me, "unexpected handshake from {peer}");
-                streams.lock().insert(peer, stream);
+                lock(&streams).insert(peer, stream);
                 accept_count -= 1;
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
@@ -232,7 +234,7 @@ fn run_node(
     // Reads during the run are bounded too: a vanished peer surfaces as a
     // reader-thread exit, and a main loop stuck waiting for its marker
     // panics on the closed channel instead of hanging.
-    for stream in streams.lock().values() {
+    for stream in lock(&streams).values() {
         stream
             .set_read_timeout(Some(IO_DEADLINE))
             .expect("read timeout");
@@ -240,29 +242,29 @@ fn run_node(
 
     // One reader thread per peer; the *connection* determines `from` (N2).
     let mut reader_handles = Vec::new();
-    for (peer, stream) in streams.lock().iter() {
+    for (peer, stream) in lock(&streams).iter() {
         let mut stream = stream.try_clone().expect("clone for reader");
         let tx = frame_tx.clone();
         let peer = *peer;
         reader_handles.push(thread::spawn(move || {
             #[allow(clippy::while_let_loop)]
             loop {
-            match read_frame(&mut stream) {
-                Ok((tag, round, payload)) => {
-                    if tx
-                        .send(InFrame {
-                            from: peer,
-                            tag,
-                            round,
-                            payload,
-                        })
-                        .is_err()
-                    {
-                        break;
+                match read_frame(&mut stream) {
+                    Ok((tag, round, payload)) => {
+                        if tx
+                            .send(InFrame {
+                                from: peer,
+                                tag,
+                                round,
+                                payload,
+                            })
+                            .is_err()
+                        {
+                            break;
+                        }
                     }
+                    Err(_) => break, // peer closed
                 }
-                Err(_) => break, // peer closed
-            }
             }
         }));
     }
@@ -312,12 +314,12 @@ fn run_node(
                 payload,
             };
             stats.record_send(me_id, round, env.wire_len());
-            let mut guard = streams.lock();
+            let mut guard = lock(&streams);
             let stream = guard.get_mut(&to).expect("stream for peer");
             write_frame(stream, TAG_MSG, round, &env.payload).expect("send frame");
         }
         // Round marker to everyone.
-        let mut guard = streams.lock();
+        let mut guard = lock(&streams);
         for (_, stream) in guard.iter_mut() {
             write_frame(stream, TAG_MARKER, round, &[]).expect("send marker");
         }
@@ -328,7 +330,7 @@ fn run_node(
     // every peer's reader wakes with EOF once all its peers have finished.
     // The read half stays open so peers still flushing their final-round
     // markers never see a broken pipe.
-    for (_, stream) in streams.lock().drain() {
+    for (_, stream) in lock(&streams).drain() {
         let _ = stream.shutdown(std::net::Shutdown::Write);
     }
     drop(frame_rx);

@@ -1,14 +1,14 @@
 //! Lock-step thread transport.
 //!
 //! Each node automaton runs on its own OS thread; a router thread (the
-//! caller) coordinates rounds over crossbeam channels. Semantics are
+//! caller) coordinates rounds over bounded std channels. Semantics are
 //! identical to [`crate::SyncNetwork`] — this transport exists to prove the
 //! automata are `Send` and to measure real parallel execution (experiment
 //! F3).
 
 use super::ClusterReport;
 use crate::{Envelope, NetStats, Node, NodeId, Outbox};
-use crossbeam_channel::{bounded, Receiver, Sender};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::thread;
 
 enum RoundCmd {
@@ -47,12 +47,12 @@ impl ThreadCluster {
             assert_eq!(node.id(), NodeId(i as u16), "node id/index mismatch");
         }
 
-        let (res_tx, res_rx): (Sender<RoundResult>, Receiver<RoundResult>) = bounded(n);
+        let (res_tx, res_rx): (SyncSender<RoundResult>, Receiver<RoundResult>) = sync_channel(n);
         let mut cmd_txs = Vec::with_capacity(n);
         let mut handles = Vec::with_capacity(n);
 
         for mut node in nodes {
-            let (cmd_tx, cmd_rx): (Sender<RoundCmd>, Receiver<RoundCmd>) = bounded(1);
+            let (cmd_tx, cmd_rx): (SyncSender<RoundCmd>, Receiver<RoundCmd>) = sync_channel(1);
             let res_tx = res_tx.clone();
             cmd_txs.push(cmd_tx);
             handles.push(thread::spawn(move || {

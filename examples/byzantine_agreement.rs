@@ -49,7 +49,11 @@ fn main() {
         match outcome {
             Some(o) => println!(
                 "  P{i}: {o}{}",
-                if faulty_run.used_fallback[i] { "  [via fallback]" } else { "" }
+                if faulty_run.used_fallback[i] {
+                    "  [via fallback]"
+                } else {
+                    ""
+                }
             ),
             None => println!("  P{i}: (crashed)"),
         }

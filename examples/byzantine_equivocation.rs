@@ -77,8 +77,17 @@ fn main() {
 
     let report = check_fd(&run.correct_outcomes(), Some(b"attack at dawn"));
     println!("\nF1 termination: {}", report.f1_termination);
-    println!("F2 agreement (vacuous on discovery): {}", report.f2_agreement);
-    println!("F3 validity  (vacuous on discovery): {}", report.f3_validity);
-    println!("discovery happened: {} — Theorem 4 in action", report.any_discovery);
+    println!(
+        "F2 agreement (vacuous on discovery): {}",
+        report.f2_agreement
+    );
+    println!(
+        "F3 validity  (vacuous on discovery): {}",
+        report.f3_validity
+    );
+    println!(
+        "discovery happened: {} — Theorem 4 in action",
+        report.any_discovery
+    );
     assert!(report.all_ok() && report.any_discovery);
 }

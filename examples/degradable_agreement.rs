@@ -50,11 +50,8 @@ fn main() {
     println!("\nequivocating sender (signs two different values):");
     let scheme = Arc::clone(&cluster.scheme);
     let ring = cluster.keyring(NodeId(0));
-    let (run, grades) = cluster.run_degradable_with(
-        &keydist,
-        b"commit".to_vec(),
-        b"abort".to_vec(),
-        &mut |id| {
+    let (run, grades) =
+        cluster.run_degradable_with(&keydist, b"commit".to_vec(), b"abort".to_vec(), &mut |id| {
             (id == NodeId(0)).then(|| {
                 Box::new(TwoFacedSender {
                     ring: ring.clone(),
@@ -62,8 +59,7 @@ fn main() {
                     n,
                 }) as Box<dyn Node>
             })
-        },
-    );
+        });
     for (i, grade) in grades.iter().enumerate().skip(1) {
         let outcome = run.outcomes[i].as_ref().unwrap();
         println!("  node {i}: {outcome} (grade {grade:?})");
@@ -91,7 +87,11 @@ impl Node for TwoFacedSender {
             return;
         }
         for i in 1..self.n {
-            let value = if i <= self.n / 2 { &b"commit"[..] } else { &b"sabotage"[..] };
+            let value = if i <= self.n / 2 {
+                &b"commit"[..]
+            } else {
+                &b"sabotage"[..]
+            };
             let chain = ChainMessage::originate(
                 self.scheme.as_ref(),
                 &self.ring.sk,

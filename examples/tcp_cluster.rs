@@ -19,7 +19,10 @@ use std::time::Instant;
 fn main() {
     let (n, t, seed) = (8usize, 2usize, 99u64);
     let scheme: Arc<dyn SignatureScheme> = Arc::new(SchnorrScheme::s512());
-    println!("== TCP cluster: n = {n}, t = {t}, scheme = {} ==\n", scheme.name());
+    println!(
+        "== TCP cluster: n = {n}, t = {t}, scheme = {} ==\n",
+        scheme.name()
+    );
 
     // Key distribution over TCP.
     let keydist_nodes: Vec<Box<dyn Node>> = (0..n)

@@ -10,11 +10,18 @@
 //! lafd rotate   --n 8 [--t 2] [--runs 10]      # key-rotation epochs (3 epochs)
 //! lafd tcp      --n 6 [--t 1]
 //! lafd trace    --n 4 [--t 1]     # per-round message flow of one cycle
+//! lafd sweep    [--protocols chain,nonauth,ba,degrade,ds,king,small]
+//!               [--sizes 4,7,10] [--faults auto|0,1,2] [--adversaries none,silent,...]
+//!               [--schemes tiny,dsa-tiny,s512] [--seeds 1,2] [--threads N]
+//!               [--json PATH] [--md PATH]
 //! ```
 
 use local_auth_fd::core::adversary::SilentNode;
 use local_auth_fd::core::metrics;
 use local_auth_fd::core::runner::Cluster;
+use local_auth_fd::core::sweep::{
+    run_sweep, AdversaryKind, FaultRule, Protocol, SchemeSpec, SweepMatrix,
+};
 use local_auth_fd::crypto::{DsaScheme, RsaScheme, SchnorrScheme, SignatureScheme};
 use local_auth_fd::simnet::{Node, NodeId};
 use std::process::ExitCode;
@@ -63,9 +70,7 @@ fn parse(args: &[String]) -> Result<Opts, String> {
             "--scheme" => opts.scheme = grab()?,
             "--value" => opts.value = grab()?,
             "--runs" => opts.runs = grab()?.parse().map_err(|e| format!("--runs: {e}"))?,
-            "--crash" => {
-                opts.crash = Some(grab()?.parse().map_err(|e| format!("--crash: {e}"))?)
-            }
+            "--crash" => opts.crash = Some(grab()?.parse().map_err(|e| format!("--crash: {e}"))?),
             "--equivocate" => opts.equivocate = true,
             other => return Err(format!("unknown flag {other}")),
         }
@@ -96,9 +101,12 @@ fn scheme_by_name(name: &str) -> Result<Arc<dyn SignatureScheme>, String> {
 
 fn usage() {
     eprintln!(
-        "usage: lafd <keydist|fd|vector|ba|degrade|king|rotate|tcp|trace> [--n N] [--t T] [--seed S] \
-         [--scheme tiny|s512|s1024|s2048|dsa512|dsa1024|rsa512|rsa1024] [--value V] [--runs K] \
-         [--crash I] [--equivocate]"
+        "usage: lafd <keydist|fd|vector|ba|degrade|king|rotate|tcp|trace|sweep> [--n N] [--t T] \
+         [--seed S] [--scheme tiny|s512|s1024|s2048|dsa512|dsa1024|rsa512|rsa1024] [--value V] \
+         [--runs K] [--crash I] [--equivocate]\n\
+         sweep flags: [--protocols LIST] [--sizes LIST] [--faults auto|LIST] \
+         [--adversaries LIST] [--schemes LIST] [--seeds LIST] [--threads N] [--json PATH] \
+         [--md PATH]"
     );
 }
 
@@ -108,6 +116,11 @@ fn main() -> ExitCode {
         usage();
         return ExitCode::FAILURE;
     };
+    if cmd == "sweep" {
+        // The sweep subcommand has its own flag set (a matrix, not one
+        // shape), so it bypasses the common parser.
+        return cmd_sweep(rest);
+    }
     let opts = match parse(rest) {
         Ok(o) => o,
         Err(e) => {
@@ -158,7 +171,10 @@ fn cmd_keydist(cluster: &Cluster) {
             println!("  {node} anomalies: {anoms:?}");
         }
     }
-    println!("all stores complete: every node accepted {} predicates", cluster.n);
+    println!(
+        "all stores complete: every node accepted {} predicates",
+        cluster.n
+    );
 }
 
 fn cmd_fd(cluster: &Cluster, opts: &Opts) {
@@ -211,8 +227,7 @@ fn cmd_ba(cluster: &Cluster, opts: &Opts) {
                 opts.value.clone().into_bytes(),
                 b"default".to_vec(),
                 &mut |id| {
-                    (id == crash_id)
-                        .then(|| Box::new(SilentNode { me: crash_id }) as Box<dyn Node>)
+                    (id == crash_id).then(|| Box::new(SilentNode { me: crash_id }) as Box<dyn Node>)
                 },
             )
         }
@@ -447,7 +462,10 @@ fn cmd_trace(cluster: &Cluster, opts: &Opts) {
         })
         .collect();
 
-    println!("\nmessage flow, one chain FD run (value = {:?}):", opts.value);
+    println!(
+        "\nmessage flow, one chain FD run (value = {:?}):",
+        opts.value
+    );
     let params = ChainFdParams::new(n, cluster.t);
     let rounds = params.rounds();
     let fd_nodes: Vec<Box<dyn Node>> = (0..n)
@@ -467,6 +485,134 @@ fn cmd_trace(cluster: &Cluster, opts: &Opts) {
     net.enable_trace(10_000);
     net.run_until_done(rounds);
     print_trace(net.trace().expect("tracing enabled"));
+}
+
+/// Parse a comma-separated list with an element parser.
+fn parse_list<T>(
+    raw: &str,
+    what: &str,
+    parse: impl Fn(&str) -> Result<T, String>,
+) -> Result<Vec<T>, String> {
+    let items: Result<Vec<T>, String> = raw
+        .split(',')
+        .filter(|s| !s.is_empty())
+        .map(|s| parse(s.trim()))
+        .collect();
+    let items = items?;
+    if items.is_empty() {
+        return Err(format!("--{what} needs at least one entry"));
+    }
+    Ok(items)
+}
+
+fn parse_sweep_matrix(
+    args: &[String],
+) -> Result<(SweepMatrix, usize, Option<String>, Option<String>), String> {
+    let mut matrix = SweepMatrix::default_matrix();
+    let mut threads = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+    let mut json_path = None;
+    let mut md_path = None;
+
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut grab = || {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("flag {flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--protocols" => matrix.protocols = parse_list(&grab()?, "protocols", Protocol::parse)?,
+            "--sizes" => {
+                matrix.sizes = parse_list(&grab()?, "sizes", |s| {
+                    let n: usize = s.parse().map_err(|e| format!("--sizes: {e}"))?;
+                    if n < 2 {
+                        return Err(format!("--sizes: need n >= 2 (got {n})"));
+                    }
+                    Ok(n)
+                })?;
+            }
+            "--faults" => {
+                let raw = grab()?;
+                matrix.fault_rule = if raw == "auto" {
+                    FaultRule::Classic
+                } else {
+                    FaultRule::Explicit(parse_list(&raw, "faults", |s| {
+                        s.parse::<usize>().map_err(|e| format!("--faults: {e}"))
+                    })?)
+                };
+            }
+            "--adversaries" => {
+                matrix.adversaries = parse_list(&grab()?, "adversaries", AdversaryKind::parse)?;
+            }
+            "--schemes" => matrix.schemes = parse_list(&grab()?, "schemes", SchemeSpec::parse)?,
+            "--seeds" => {
+                matrix.seeds = parse_list(&grab()?, "seeds", |s| {
+                    s.parse::<u64>().map_err(|e| format!("--seeds: {e}"))
+                })?;
+            }
+            "--threads" => {
+                threads = grab()?
+                    .parse::<usize>()
+                    .map_err(|e| format!("--threads: {e}"))?;
+                if threads == 0 {
+                    return Err("--threads must be at least 1".to_string());
+                }
+            }
+            "--json" => json_path = Some(grab()?),
+            "--md" => md_path = Some(grab()?),
+            other => return Err(format!("unknown sweep flag {other}")),
+        }
+    }
+    Ok((matrix, threads, json_path, md_path))
+}
+
+fn cmd_sweep(args: &[String]) -> ExitCode {
+    let (matrix, threads, json_path, md_path) = match parse_sweep_matrix(args) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("error: {e}");
+            usage();
+            return ExitCode::FAILURE;
+        }
+    };
+    let scenarios = matrix.scenarios().len();
+    if scenarios == 0 {
+        eprintln!("error: the matrix expands to zero admissible scenarios");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("sweep: {scenarios} scenarios on {threads} threads");
+    let start = std::time::Instant::now();
+    let report = run_sweep(&matrix, threads);
+    let elapsed = start.elapsed();
+
+    print!("{}", report.to_markdown());
+    eprintln!("sweep: finished in {elapsed:?}");
+
+    if let Some(path) = json_path {
+        if let Err(e) = std::fs::write(&path, report.to_json()) {
+            eprintln!("error: writing {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("sweep: JSON report written to {path}");
+    }
+    if let Some(path) = md_path {
+        if let Err(e) = std::fs::write(&path, report.to_markdown()) {
+            eprintln!("error: writing {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("sweep: markdown report written to {path}");
+    }
+
+    if report.all_ok() {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "sweep: {} of {} scenarios FAILED their checks",
+            report.failures().len(),
+            scenarios
+        );
+        ExitCode::FAILURE
+    }
 }
 
 fn print_trace(trace: &local_auth_fd::simnet::Trace) {

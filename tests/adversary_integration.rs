@@ -91,7 +91,10 @@ fn chain_fd_wrong_name_discovered_theorem_4() {
         })
     });
     assert_props_sender_correct(&run.correct_outcomes(), b"v", "wrong assignee name");
-    assert!(run.any_discovery(), "name mismatch is the Theorem 4 trigger");
+    assert!(
+        run.any_discovery(),
+        "name mismatch is the Theorem 4 trigger"
+    );
 }
 
 #[test]
@@ -224,7 +227,10 @@ fn chain_fd_key_equivocation_then_signing_discovered() {
     // discover.
     assert_eq!(run.outcomes[3].as_ref().unwrap().decided(), Some(&b"v"[..]));
     for i in [4usize, 5, 6] {
-        assert!(run.outcomes[i].as_ref().unwrap().is_discovered(), "node {i}");
+        assert!(
+            run.outcomes[i].as_ref().unwrap().is_discovered(),
+            "node {i}"
+        );
     }
 }
 
@@ -247,7 +253,10 @@ fn non_auth_equivocating_sender_discovered() {
         })
     });
     assert_props_sender_faulty(&run.correct_outcomes(), "NA equivocating sender");
-    assert!(run.any_discovery(), "witness relays expose the equivocation");
+    assert!(
+        run.any_discovery(),
+        "witness relays expose the equivocation"
+    );
 }
 
 #[test]
@@ -317,14 +326,12 @@ fn noise_flood_never_causes_silent_disagreement() {
         let (n, t) = (6usize, 2usize);
         let c = cluster(n, t, 100 + seed);
         let kd = c.run_key_distribution_with(&mut |id| {
-            (id == NodeId(5)).then(|| {
-                Box::new(NoiseNode::new(NodeId(5), n, seed, 4, 64, 4)) as Box<dyn Node>
-            })
+            (id == NodeId(5))
+                .then(|| Box::new(NoiseNode::new(NodeId(5), n, seed, 4, 64, 4)) as Box<dyn Node>)
         });
         let run = c.run_chain_fd_with(&kd, b"v".to_vec(), &mut |id| {
             (id == NodeId(5)).then(|| {
-                Box::new(NoiseNode::new(NodeId(5), n, seed ^ 0xff, 4, 64, 6))
-                    as Box<dyn Node>
+                Box::new(NoiseNode::new(NodeId(5), n, seed ^ 0xff, 4, 64, 6)) as Box<dyn Node>
             })
         });
         assert_props_sender_correct(&run.correct_outcomes(), b"v", "noise flood");
@@ -397,12 +404,8 @@ fn shared_key_clique_runs_fd_without_discovery_g1_caveat() {
     // FD run where the clique members act as honest-timed relays using the
     // shared key: verification passes (the predicate matches), the value
     // flows, nobody discovers.
-    let reference = local_auth_fd::core::adversary::SharedKeyKeyDist::new(
-        NodeId(1),
-        n,
-        Arc::clone(&sch),
-        777,
-    );
+    let reference =
+        local_auth_fd::core::adversary::SharedKeyKeyDist::new(NodeId(1), n, Arc::clone(&sch), 777);
     let (shared_sk, _) = reference.shared();
     let run = c.run_chain_fd_with(&kd, b"v".to_vec(), &mut |id| {
         (id == NodeId(1) || id == NodeId(2)).then(|| {

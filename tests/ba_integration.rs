@@ -48,7 +48,11 @@ fn fd_to_ba_silent_relay_uniform_fallback_validity() {
     });
     let outs = run.correct_outcomes();
     for o in &outs {
-        assert_eq!(o.decided(), Some(&b"v"[..]), "BA validity with correct sender");
+        assert_eq!(
+            o.decided(),
+            Some(&b"v"[..]),
+            "BA validity with correct sender"
+        );
     }
     // Every correct node used the fallback (all-or-none).
     for (i, (outcome, fb)) in run
@@ -153,8 +157,7 @@ fn fd_to_ba_deterministic_replay() {
         let c = cluster(n, t, seed);
         let kd = c.run_key_distribution();
         let r = c.run_fd_to_ba_with(&kd, b"v".to_vec(), b"d".to_vec(), &mut |id| {
-            (id == NodeId(1))
-                .then(|| Box::new(SilentNode { me: NodeId(1) }) as Box<dyn Node>)
+            (id == NodeId(1)).then(|| Box::new(SilentNode { me: NodeId(1) }) as Box<dyn Node>)
         });
         (r.stats.messages_total, r.correct_outcomes())
     };

@@ -208,10 +208,7 @@ fn degradable_message_count_on_thread_transport() {
         })
         .collect();
     let result = ThreadCluster::new(params.rounds()).run(nodes);
-    assert_eq!(
-        result.stats.messages_total,
-        metrics::degradable_messages(n)
-    );
+    assert_eq!(result.stats.messages_total, metrics::degradable_messages(n));
     for boxed in result.nodes {
         let node = boxed
             .into_any()
@@ -229,8 +226,8 @@ mod rushing {
     //! survive full adaptivity.
 
     use super::*;
-    use local_auth_fd::core::ba::{PhaseKingNode, PhaseKingParams, PkMsg};
     use local_auth_fd::core::ba::{DegradableNode, DegradableParams};
+    use local_auth_fd::core::ba::{PhaseKingNode, PhaseKingParams, PkMsg};
     use local_auth_fd::core::keys::Keyring;
     use local_auth_fd::core::props::check_degradable;
     use local_auth_fd::simnet::codec::{Decode, Encode};
@@ -317,7 +314,10 @@ mod rushing {
                 })
                 .collect();
             assert_eq!(decided.len(), 1, "adversary={adversary}: {decided:?}");
-            assert!(decided.iter().any(|d| d == b"v"), "validity (sender correct)");
+            assert!(
+                decided.iter().any(|d| d == b"v"),
+                "validity (sender correct)"
+            );
         }
     }
 
@@ -355,7 +355,10 @@ mod rushing {
                 if i != self.ring.me.index() && i % 2 == 1 {
                     out.send(
                         NodeId(i as u16),
-                        local_auth_fd::core::ba::DgMsg { chain: echo.clone() }.encode_to_vec(),
+                        local_auth_fd::core::ba::DgMsg {
+                            chain: echo.clone(),
+                        }
+                        .encode_to_vec(),
                     );
                 }
             }

@@ -15,7 +15,11 @@ fn scheme() -> Arc<dyn SignatureScheme> {
 }
 
 fn crash_sub(crashed: Vec<NodeId>) -> impl FnMut(NodeId) -> Option<Box<dyn Node>> {
-    move |id| crashed.contains(&id).then(|| Box::new(SilentNode { me: id }) as Box<dyn Node>)
+    move |id| {
+        crashed
+            .contains(&id)
+            .then(|| Box::new(SilentNode { me: id }) as Box<dyn Node>)
+    }
 }
 
 #[test]
@@ -27,10 +31,7 @@ fn chain_fd_single_crash_everywhere() {
         let kd = c.run_key_distribution_with(&mut crash_sub(vec![crash_id]));
         let run = c.run_chain_fd_with(&kd, b"v".to_vec(), &mut crash_sub(vec![crash_id]));
         let sender_correct = crash_id != NodeId(0);
-        let report = check_fd(
-            &run.correct_outcomes(),
-            sender_correct.then_some(&b"v"[..]),
-        );
+        let report = check_fd(&run.correct_outcomes(), sender_correct.then_some(&b"v"[..]));
         assert!(report.all_ok(), "crash={crash_id}: {report:?}");
         // Crashing anyone on the critical path must be noticed.
         if crash <= t {
@@ -53,10 +54,7 @@ fn chain_fd_double_crash_everywhere() {
             let kd = c.run_key_distribution_with(&mut crash_sub(crashed.clone()));
             let run = c.run_chain_fd_with(&kd, b"v".to_vec(), &mut crash_sub(crashed.clone()));
             let sender_correct = a != 0;
-            let report = check_fd(
-                &run.correct_outcomes(),
-                sender_correct.then_some(&b"v"[..]),
-            );
+            let report = check_fd(&run.correct_outcomes(), sender_correct.then_some(&b"v"[..]));
             assert!(report.all_ok(), "crash={{P{a},P{b}}}: {report:?}");
         }
     }
@@ -70,10 +68,7 @@ fn non_auth_single_crash_everywhere() {
         let crash_id = NodeId(crash as u16);
         let run = c.run_non_auth_fd_with(b"v".to_vec(), &mut crash_sub(vec![crash_id]));
         let sender_correct = crash_id != NodeId(0);
-        let report = check_fd(
-            &run.correct_outcomes(),
-            sender_correct.then_some(&b"v"[..]),
-        );
+        let report = check_fd(&run.correct_outcomes(), sender_correct.then_some(&b"v"[..]));
         assert!(report.all_ok(), "crash={crash_id}: {report:?}");
     }
 }
@@ -86,12 +81,8 @@ fn small_range_single_crash_everywhere_both_values() {
             let c = Cluster::new(n, t, scheme(), 800 + crash as u64);
             let crash_id = NodeId(crash as u16);
             let kd = c.run_key_distribution_with(&mut crash_sub(vec![crash_id]));
-            let run = c.run_small_range_with(
-                &kd,
-                value.clone(),
-                vec![0],
-                &mut crash_sub(vec![crash_id]),
-            );
+            let run =
+                c.run_small_range_with(&kd, value.clone(), vec![0], &mut crash_sub(vec![crash_id]));
             let sender_correct = crash_id != NodeId(0);
             let report = check_fd(
                 &run.correct_outcomes(),
@@ -209,17 +200,10 @@ fn vector_fd_single_crash_other_instances_survive() {
         // rotated chain avoids the crashed node decide everywhere; the
         // others are discovered, never silently split.
         for s in 0..n {
-            let instance_outcomes: Vec<Outcome> =
-                survivors.iter().map(|o| o[s].clone()).collect();
+            let instance_outcomes: Vec<Outcome> = survivors.iter().map(|o| o[s].clone()).collect();
             let sender_correct = NodeId(s as u16) != crash_id;
-            let report = check_fd(
-                &instance_outcomes,
-                sender_correct.then_some(&values[s][..]),
-            );
-            assert!(
-                report.all_ok(),
-                "crash={crash_id} instance={s}: {report:?}"
-            );
+            let report = check_fd(&instance_outcomes, sender_correct.then_some(&values[s][..]));
+            assert!(report.all_ok(), "crash={crash_id} instance={s}: {report:?}");
         }
     }
 }

@@ -53,8 +53,7 @@ fn silent_node_simply_not_accepted() {
     let n = 5;
     let c = schnorr_cluster(n, 1, 13);
     let kd = c.run_key_distribution_with(&mut |id| {
-        (id == NodeId(4))
-            .then(|| Box::new(SilentNode { me: NodeId(4) }) as Box<dyn Node>)
+        (id == NodeId(4)).then(|| Box::new(SilentNode { me: NodeId(4) }) as Box<dyn Node>)
     });
     for (i, store) in kd.stores.iter().enumerate() {
         if let Some(store) = store {
@@ -73,8 +72,7 @@ fn key_thief_cannot_claim_a_correct_nodes_key() {
     let victim_pk = c.keyring(NodeId(0)).pk;
     let kd = c.run_key_distribution_with(&mut |id| {
         (id == NodeId(3)).then(|| {
-            Box::new(KeyThiefKeyDist::new(NodeId(3), n, victim_pk.clone()))
-                as Box<dyn Node>
+            Box::new(KeyThiefKeyDist::new(NodeId(3), n, victim_pk.clone())) as Box<dyn Node>
         })
     });
     for store in kd.stores.iter().flatten() {
@@ -92,8 +90,7 @@ fn wrong_name_signer_rejected() {
     let scheme: Arc<dyn SignatureScheme> = Arc::new(SchnorrScheme::test_tiny());
     let kd = c.run_key_distribution_with(&mut |id| {
         (id == NodeId(2)).then(|| {
-            Box::new(WrongNameKeyDist::new(NodeId(2), n, Arc::clone(&scheme), 77))
-                as Box<dyn Node>
+            Box::new(WrongNameKeyDist::new(NodeId(2), n, Arc::clone(&scheme), 77)) as Box<dyn Node>
         })
     });
     for store in kd.stores.iter().flatten() {
@@ -108,8 +105,7 @@ fn equivocating_key_distribution_splits_stores_g3_gap() {
     let n = 6;
     let c = schnorr_cluster(n, 1, 23);
     let scheme: Arc<dyn SignatureScheme> = Arc::new(SchnorrScheme::test_tiny());
-    let equivocator =
-        EquivocatingKeyDist::new(NodeId(2), n, Arc::clone(&scheme), 555, NodeId(4));
+    let equivocator = EquivocatingKeyDist::new(NodeId(2), n, Arc::clone(&scheme), 555, NodeId(4));
     let (pk_a, pk_b) = {
         let (a, b) = equivocator.announced();
         (a.clone(), b.clone())
@@ -164,8 +160,7 @@ fn shared_key_clique_accepted_consistently() {
     let scheme: Arc<dyn SignatureScheme> = Arc::new(SchnorrScheme::test_tiny());
     let kd = c.run_key_distribution_with(&mut |id| {
         (id == NodeId(1) || id == NodeId(2)).then(|| {
-            Box::new(SharedKeyKeyDist::new(id, n, Arc::clone(&scheme), 888))
-                as Box<dyn Node>
+            Box::new(SharedKeyKeyDist::new(id, n, Arc::clone(&scheme), 888)) as Box<dyn Node>
         })
     });
     let mut seen: Option<Vec<u8>> = None;

@@ -31,16 +31,19 @@ fn extract_stores(nodes: Vec<Box<dyn Node>>) -> Vec<KeyStore> {
     nodes
         .into_iter()
         .map(|b| {
-            let node = b
-                .into_any()
-                .downcast::<KeyDistNode>()
-                .expect("KeyDistNode");
+            let node = b.into_any().downcast::<KeyDistNode>().expect("KeyDistNode");
             node.into_parts().0
         })
         .collect()
 }
 
-fn chain_fd_nodes(n: usize, t: usize, seed: u64, stores: &[KeyStore], value: &[u8]) -> Vec<Box<dyn Node>> {
+fn chain_fd_nodes(
+    n: usize,
+    t: usize,
+    seed: u64,
+    stores: &[KeyStore],
+    value: &[u8],
+) -> Vec<Box<dyn Node>> {
     let sch = scheme();
     (0..n)
         .map(|i| {
