@@ -10,8 +10,9 @@
 //! binary prints their deterministic companions (operation counts).
 
 use fd_bench::{
-    f1_amortization, f4_rotation, t10_wire_cost, t11_sweep, t1_keydist, t2_fd_cost, t3_rounds,
-    t5_small_range, t6_ba_cost, t7_agreement_costs, t8_fault_classes, t9_assumption_ablation,
+    f1_amortization, f4_rotation, t10_wire_cost, t11_sweep, t12_large_n, t1_keydist, t2_fd_cost,
+    t3_rounds, t5_small_range, t6_ba_cost, t7_agreement_costs, t8_fault_classes,
+    t9_assumption_ablation,
 };
 use fd_core::adversary::{
     ChainFdAdversary, ChainMisbehavior, EquivocatingKeyDist, LaggardNode, OmissiveNode, SilentNode,
@@ -84,6 +85,34 @@ fn main() {
     if want("t11") {
         t11();
     }
+    if want("t12") {
+        t12();
+    }
+}
+
+fn t12() {
+    println!("## T12 — large-n scaling, synchronous vs discrete-event engine\n");
+    println!(
+        "Chain FD on dealer stores (isolates run scaling from the 3n(n−1)\nkeydist); \
+         both engines must agree on every count.\n"
+    );
+    println!("| n | t | engine | messages | n−1 | comm. rounds | all decided | wall clock |");
+    println!("|---|---|---|---|---|---|---|---|");
+    for row in t12_large_n(&[64, 256, 1024]) {
+        println!(
+            "| {} | {} | {} | {} {} | {} | {} | {} | {:.1} ms |",
+            row.n,
+            row.t,
+            row.engine,
+            row.messages,
+            ok(row.messages == row.formula),
+            row.formula,
+            row.comm_rounds,
+            ok(row.all_decided),
+            row.micros as f64 / 1000.0,
+        );
+    }
+    println!();
 }
 
 fn t11() {

@@ -724,6 +724,65 @@ pub fn t11_sweep(thread_counts: &[usize]) -> Vec<T11Row> {
         .collect()
 }
 
+/// One row of experiment T12 (large-n scaling on both engines).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct T12Row {
+    /// System size.
+    pub n: usize,
+    /// Fault budget (`⌊(n−1)/3⌋`).
+    pub t: usize,
+    /// Engine that executed the run.
+    pub engine: &'static str,
+    /// Measured messages of the chain-FD run.
+    pub messages: usize,
+    /// The paper's `n − 1`.
+    pub formula: usize,
+    /// Measured communication rounds.
+    pub comm_rounds: usize,
+    /// Whether every node decided the sender's value.
+    pub all_decided: bool,
+    /// Wall-clock of the run in microseconds (indicative only).
+    pub micros: u128,
+}
+
+/// Run experiment T12: chain FD at large `n` on the synchronous and the
+/// discrete-event engine. Dealer-provided stores replace the `3n(n−1)`
+/// key distribution so the measurement isolates how the *run* scales; the
+/// two engines must agree on every count (the timing column is the one
+/// legitimate difference).
+pub fn t12_large_n(sizes: &[usize]) -> Vec<T12Row> {
+    use fd_core::runner::KeyDistReport;
+    use fd_simnet::{Engine, NetStats};
+
+    let mut rows = Vec::new();
+    for &n in sizes {
+        let t = default_t(n);
+        let stores = cluster(n, t, 1).global_stores();
+        for engine in [Engine::Sync, Engine::Event] {
+            let c = cluster(n, t, 1).with_engine(engine);
+            let kd = KeyDistReport {
+                stores: stores.iter().cloned().map(Some).collect(),
+                stats: NetStats::new(n),
+                anomalies: Vec::new(),
+            };
+            let start = std::time::Instant::now();
+            let run = c.run_chain_fd(&kd, b"scale".to_vec());
+            let micros = start.elapsed().as_micros();
+            rows.push(T12Row {
+                n,
+                t,
+                engine: engine.name(),
+                messages: run.stats.messages_total,
+                formula: metrics::chain_fd_messages(n),
+                comm_rounds: run.stats.per_round.iter().filter(|&&x| x > 0).count(),
+                all_decided: run.all_decided(b"scale"),
+                micros,
+            });
+        }
+    }
+    rows
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -845,6 +904,24 @@ mod tests {
             assert!(row.matches_serial, "threads={}", row.threads);
         }
         assert_eq!(rows[0].messages_total, rows[1].messages_total);
+    }
+
+    #[test]
+    fn t12_engines_agree_at_scale() {
+        let rows = t12_large_n(&[32, 64]);
+        assert_eq!(rows.len(), 4);
+        for pair in rows.chunks(2) {
+            let (sync, event) = (&pair[0], &pair[1]);
+            assert_eq!(sync.engine, "sync");
+            assert_eq!(event.engine, "event");
+            for row in pair {
+                assert_eq!(row.messages, row.formula, "{row:?}");
+                assert_eq!(row.comm_rounds, row.t + 1, "{row:?}");
+                assert!(row.all_decided, "{row:?}");
+            }
+            assert_eq!(sync.messages, event.messages);
+            assert_eq!(sync.comm_rounds, event.comm_rounds);
+        }
     }
 
     #[test]

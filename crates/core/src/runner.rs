@@ -3,6 +3,13 @@
 //! This is the high-level API the examples, integration tests, and the
 //! experiment report generator use. A [`Cluster`] fixes `(n, t, scheme,
 //! seed)`; every run derived from it is deterministic.
+//!
+//! Runs execute on a pluggable [`NetworkDriver`]: the lockstep
+//! [`SyncDriver`] (paper §2 model, the default) or the discrete-event
+//! [`EventDriver`] with a configurable [`LatencySpec`]. Under
+//! [`LatencySpec::Synchronous`] the two drivers are byte-identical (the
+//! sweep engine cross-validates this); other latency specs expose timing
+//! behaviour the synchronous model cannot express.
 
 use crate::ba::{
     DegradableNode, DegradableParams, DolevStrongNode, DolevStrongParams, FdToBaNode, FdToBaParams,
@@ -15,7 +22,8 @@ use crate::keys::{KeyStore, Keyring};
 use crate::localauth::{KdAnomaly, KeyDistNode, KEYDIST_ROUNDS};
 use crate::outcome::Outcome;
 use fd_crypto::SignatureScheme;
-use fd_simnet::{NetStats, Node, NodeId, SyncNetwork};
+use fd_simnet::fault::FaultPlan;
+use fd_simnet::{Engine, EventNetwork, LatencySpec, NetStats, Node, NodeId, SyncNetwork};
 use std::sync::Arc;
 
 /// A function that replaces selected honest nodes with adversaries.
@@ -23,6 +31,74 @@ use std::sync::Arc;
 /// Return `Some(node)` to substitute the node at `id`, `None` to keep the
 /// honest automaton.
 pub type Substitution<'a> = &'a mut dyn FnMut(NodeId) -> Option<Box<dyn Node>>;
+
+/// Result of driving a node set to completion on some engine.
+pub struct DriveReport {
+    /// The automata, for outcome extraction.
+    pub nodes: Vec<Box<dyn Node>>,
+    /// Message statistics of the run.
+    pub stats: NetStats,
+    /// Rounds actually executed.
+    pub rounds: u32,
+}
+
+/// An execution engine a [`Cluster`] can run node sets on.
+///
+/// Both implementations drive the same [`Node`] automata; the driver only
+/// decides *when* messages arrive.
+pub trait NetworkDriver {
+    /// Run the automata for up to `max_rounds` rounds.
+    fn drive(&self, nodes: Vec<Box<dyn Node>>, max_rounds: u32) -> DriveReport;
+}
+
+/// The lockstep round-synchronous engine (paper §2 model).
+#[derive(Debug, Clone, Default)]
+pub struct SyncDriver {
+    /// Link faults injected into every run.
+    pub faults: FaultPlan,
+}
+
+impl NetworkDriver for SyncDriver {
+    fn drive(&self, nodes: Vec<Box<dyn Node>>, max_rounds: u32) -> DriveReport {
+        let mut net = SyncNetwork::new(nodes);
+        if !self.faults.is_empty() {
+            net.set_fault_plan(self.faults.clone());
+        }
+        let rounds = net.run_until_done(max_rounds);
+        DriveReport {
+            stats: net.stats().clone(),
+            rounds,
+            nodes: net.into_nodes(),
+        }
+    }
+}
+
+/// The discrete-event engine with a configurable latency model.
+#[derive(Debug, Clone)]
+pub struct EventDriver {
+    /// Latency model for every link.
+    pub latency: LatencySpec,
+    /// Seed feeding the latency model's randomness.
+    pub seed: u64,
+    /// Link faults injected into every run.
+    pub faults: FaultPlan,
+}
+
+impl NetworkDriver for EventDriver {
+    fn drive(&self, nodes: Vec<Box<dyn Node>>, max_rounds: u32) -> DriveReport {
+        let mut net = EventNetwork::new(nodes);
+        net.set_latency(self.latency.build(self.seed));
+        if !self.faults.is_empty() {
+            net.set_fault_plan(self.faults.clone());
+        }
+        let rounds = net.run_until_done(max_rounds);
+        DriveReport {
+            stats: net.stats().clone(),
+            rounds,
+            nodes: net.into_nodes(),
+        }
+    }
+}
 
 /// Fixed configuration for a family of deterministic runs.
 #[derive(Clone)]
@@ -35,6 +111,12 @@ pub struct Cluster {
     pub scheme: Arc<dyn SignatureScheme>,
     /// Seed from which all key material and nonces derive.
     pub seed: u64,
+    /// Which engine executes the runs (default: [`Engine::Sync`]).
+    pub engine: Engine,
+    /// Latency model for event-engine runs (default: synchronous).
+    pub latency: LatencySpec,
+    /// Link faults installed on every run (default: none).
+    pub faults: FaultPlan,
 }
 
 /// Result of a key distribution run.
@@ -102,7 +184,60 @@ impl Cluster {
     /// protocols here).
     pub fn new(n: usize, t: usize, scheme: Arc<dyn SignatureScheme>, seed: u64) -> Self {
         assert!(t + 2 <= n, "require t + 2 <= n");
-        Cluster { n, t, scheme, seed }
+        Cluster {
+            n,
+            t,
+            scheme,
+            seed,
+            engine: Engine::Sync,
+            latency: LatencySpec::Synchronous,
+            faults: FaultPlan::new(),
+        }
+    }
+
+    /// Select the execution engine.
+    pub fn with_engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Select the latency model (only meaningful with [`Engine::Event`]).
+    /// Specs byte-equivalent to synchrony are normalized onto
+    /// [`LatencySpec::Synchronous`].
+    pub fn with_latency(mut self, latency: LatencySpec) -> Self {
+        self.latency = latency.normalize();
+        self
+    }
+
+    /// Install a link-fault plan on every run derived from this cluster.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Drive a node set to completion on the configured engine. The round
+    /// budget is stretched for non-synchronous latency and for the largest
+    /// installed delay fault, so late messages still land within the run
+    /// instead of silently degrading into drops.
+    fn drive(&self, nodes: Vec<Box<dyn Node>>, base_rounds: u32) -> DriveReport {
+        let delay_slack = self.faults.max_delay_rounds();
+        match self.engine {
+            Engine::Sync => SyncDriver {
+                faults: self.faults.clone(),
+            }
+            .drive(nodes, base_rounds.saturating_add(delay_slack)),
+            Engine::Event => EventDriver {
+                latency: self.latency,
+                seed: self.seed,
+                faults: self.faults.clone(),
+            }
+            .drive(
+                nodes,
+                self.latency
+                    .round_budget(base_rounds)
+                    .saturating_add(delay_slack),
+            ),
+        }
     }
 
     /// The deterministic keyring of node `id`.
@@ -147,12 +282,11 @@ impl Cluster {
                 }
             })
             .collect();
-        let mut net = SyncNetwork::new(nodes);
-        net.run_until_done(KEYDIST_ROUNDS);
-        let stats = net.stats().clone();
+        let report = self.drive(nodes, KEYDIST_ROUNDS);
+        let stats = report.stats;
         let mut stores = Vec::with_capacity(self.n);
         let mut anomalies = Vec::new();
-        for (i, boxed) in net.into_nodes().into_iter().enumerate() {
+        for (i, boxed) in report.nodes.into_iter().enumerate() {
             if honest[i] {
                 let node = boxed
                     .into_any()
@@ -311,12 +445,11 @@ impl Cluster {
                 )) as Box<dyn Node>
             })
             .collect();
-        let mut net = SyncNetwork::new(nodes);
-        net.run_until_done(rounds);
-        let stats = net.stats().clone();
+        let report = self.drive(nodes, rounds);
+        let stats = report.stats;
         let mut outcomes = Vec::with_capacity(self.n);
         let mut per_instance = Vec::with_capacity(self.n);
-        for boxed in net.into_nodes() {
+        for boxed in report.nodes {
             let node = boxed
                 .into_any()
                 .downcast::<crate::fd::VectorFdNode>()
@@ -459,12 +592,11 @@ impl Cluster {
                 }
             })
             .collect();
-        let mut net = SyncNetwork::new(nodes);
-        net.run_until_done(rounds);
-        let stats = net.stats().clone();
+        let report = self.drive(nodes, rounds);
+        let stats = report.stats;
         let mut outcomes = Vec::with_capacity(self.n);
         let mut grades = Vec::with_capacity(self.n);
-        for boxed in net.into_nodes() {
+        for boxed in report.nodes {
             match boxed.into_any().downcast::<DegradableNode>() {
                 Ok(node) => {
                     outcomes.push(Some(node.outcome().clone()));
@@ -523,12 +655,11 @@ impl Cluster {
             })
             .collect();
 
-        let mut net = SyncNetwork::new(nodes);
-        net.run_until_done(rounds);
-        let stats = net.stats().clone();
+        let report = self.drive(nodes, rounds);
+        let stats = report.stats;
         let mut outcomes = Vec::with_capacity(self.n);
         let mut used_fallback = Vec::with_capacity(self.n);
-        for boxed in net.into_nodes() {
+        for boxed in report.nodes {
             match boxed.into_any().downcast::<FdToBaNode>() {
                 Ok(node) => {
                     outcomes.push(Some(node.outcome().clone()));
@@ -555,11 +686,10 @@ impl Cluster {
         rounds: u32,
         extract: impl Fn(&T) -> Outcome,
     ) -> FdRunReport {
-        let mut net = SyncNetwork::new(nodes);
-        net.run_until_done(rounds);
-        let stats = net.stats().clone();
-        let outcomes = net
-            .into_nodes()
+        let report = self.drive(nodes, rounds);
+        let stats = report.stats;
+        let outcomes = report
+            .nodes
             .into_iter()
             .map(|boxed| {
                 boxed
@@ -584,6 +714,8 @@ impl core::fmt::Debug for Cluster {
             .field("t", &self.t)
             .field("scheme", &self.scheme.name())
             .field("seed", &self.seed)
+            .field("engine", &self.engine)
+            .field("latency", &self.latency)
             .finish()
     }
 }
@@ -695,6 +827,57 @@ mod tests {
         assert!(run.all_decided(b"v"));
         assert_eq!(run.stats.messages_total, metrics::degradable_messages(7));
         assert!(grades.iter().all(|g| *g == Some(crate::ba::Grade::Two)));
+    }
+
+    #[test]
+    fn event_engine_reproduces_sync_engine_exactly() {
+        let sync = cluster(7, 2);
+        let event = sync.clone().with_engine(fd_simnet::Engine::Event);
+        let kd_s = sync.run_key_distribution();
+        let kd_e = event.run_key_distribution();
+        assert_eq!(kd_s.stats, kd_e.stats);
+        let run_s = sync.run_chain_fd(&kd_s, b"v".to_vec());
+        let run_e = event.run_chain_fd(&kd_e, b"v".to_vec());
+        assert_eq!(run_s.stats, run_e.stats);
+        assert_eq!(run_s.outcomes, run_e.outcomes);
+    }
+
+    #[test]
+    fn jittery_event_runs_never_silently_disagree() {
+        let c = cluster(6, 1)
+            .with_engine(fd_simnet::Engine::Event)
+            .with_latency(fd_simnet::LatencySpec::Jitter { extra: 1 });
+        // Keys distributed in the quiet synchronous setup phase.
+        let kd = c
+            .clone()
+            .with_latency(fd_simnet::LatencySpec::Synchronous)
+            .run_key_distribution();
+        let run = c.run_chain_fd(&kd, b"v".to_vec());
+        // Late messages may be discovered as timing failures, but any two
+        // decided values must agree.
+        let decided: std::collections::BTreeSet<Vec<u8>> = run
+            .correct_outcomes()
+            .iter()
+            .filter_map(|o| o.decided().map(<[u8]>::to_vec))
+            .collect();
+        assert!(decided.len() <= 1, "silent disagreement under jitter");
+    }
+
+    #[test]
+    fn cluster_fault_plan_reaches_the_run() {
+        use fd_simnet::fault::{FaultPlan, LinkFault};
+        for engine in [fd_simnet::Engine::Sync, fd_simnet::Engine::Event] {
+            let c = cluster(5, 1).with_engine(engine);
+            let kd = c.run_key_distribution();
+            let faulted = c.clone().with_faults(FaultPlan::new().with(
+                0,
+                NodeId(0),
+                NodeId(1),
+                LinkFault::Drop,
+            ));
+            let run = faulted.run_chain_fd(&kd, b"v".to_vec());
+            assert!(run.any_discovery(), "dropped chain must be discovered");
+        }
     }
 
     #[test]

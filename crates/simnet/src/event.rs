@@ -1,0 +1,1070 @@
+//! The deterministic discrete-event network simulator.
+//!
+//! [`SyncNetwork`](crate::SyncNetwork) can only express the paper's
+//! round-synchronous model: everything sent in round `r` arrives at
+//! `r + 1`, in lockstep. [`EventNetwork`] runs the *same* [`Node`]
+//! automata under a priority-queue scheduler with **virtual time**:
+//!
+//! * every message becomes an event keyed by `(deliver_at, seq)` in a
+//!   binary heap, so execution is byte-deterministic for a given seed
+//!   and latency model — `seq` is a global send counter that breaks ties
+//!   exactly like the synchronous engine's sender-order delivery;
+//! * a pluggable [`LatencyModel`] decides each message's flight time in
+//!   virtual ticks ([`TICKS_PER_ROUND`] per round), with optional
+//!   per-link overrides ([`PerLink`]);
+//! * round boundaries are derived from timeouts instead of lockstep: node
+//!   automata still see `on_round(r, …)`, but round `r` fires when virtual
+//!   time reaches `r · TICKS_PER_ROUND`, and a message is in round `r`'s
+//!   inbox iff its delivery time is at or before that boundary. Existing
+//!   protocols run unmodified.
+//!
+//! Under [`Synchronous`] latency the event engine reproduces the
+//! synchronous engine *exactly* — same inbox contents and order, same
+//! statistics, same outcomes (see the cross-validation tests). Under
+//! [`SeededJitter`] / [`PartialSynchrony`] messages may arrive rounds
+//! late, which the paper's protocols surface as *discovered* timing
+//! failures, never as silent disagreement.
+
+use crate::fault::{FaultPlan, LinkFault};
+use crate::{Envelope, NetStats, Node, NodeId, Outbox, Trace};
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap};
+
+/// Virtual ticks per protocol round. Latency models express flight times
+/// in ticks, so sub-round jitter is expressible while round boundaries
+/// stay exact multiples.
+pub const TICKS_PER_ROUND: u64 = 1024;
+
+/// Which simulation engine drives a run (CLI / sweep selector).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Engine {
+    /// The lockstep round-synchronous engine ([`crate::SyncNetwork`]).
+    Sync,
+    /// The discrete-event engine ([`EventNetwork`]).
+    Event,
+}
+
+impl Engine {
+    /// Stable machine-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Engine::Sync => "sync",
+            Engine::Event => "event",
+        }
+    }
+
+    /// Parse a CLI name.
+    pub fn parse(name: &str) -> Result<Engine, String> {
+        Ok(match name {
+            "sync" | "round" => Engine::Sync,
+            "event" | "des" => Engine::Event,
+            other => return Err(format!("unknown engine {other} (sync|event)")),
+        })
+    }
+}
+
+impl core::fmt::Display for Engine {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Declarative latency configuration: a copyable description of a
+/// [`LatencyModel`] that sweeps and CLIs can carry around and that
+/// [`LatencySpec::build`] turns into the model itself (seeding any
+/// randomness deterministically).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum LatencySpec {
+    /// Every message takes exactly one round — the paper's N1 model.
+    Synchronous,
+    /// Every message takes exactly `rounds` rounds.
+    Fixed {
+        /// Flight time in whole rounds (≥ 1).
+        rounds: u32,
+    },
+    /// Seeded per-message jitter: flight time uniform in
+    /// `[1 round, (1 + extra) rounds]` at tick granularity.
+    Jitter {
+        /// Maximum extra flight time in rounds.
+        extra: u32,
+    },
+    /// Partial synchrony: jittery like [`LatencySpec::Jitter`] before the
+    /// global stabilization round `gst`, exactly synchronous from `gst` on.
+    PartialSynchrony {
+        /// Global stabilization time, as a round number.
+        gst: u32,
+        /// Maximum extra flight time in rounds before `gst`.
+        extra: u32,
+    },
+}
+
+impl LatencySpec {
+    /// Collapse specs that are byte-equivalent to [`LatencySpec::Synchronous`]
+    /// (`fixed:1`, `jitter:0`, partial synchrony with `gst = 0` or
+    /// `extra = 0`) onto it, so the strict closed-form and cross-validation
+    /// checks keyed on `Synchronous` apply to them too.
+    pub fn normalize(self) -> LatencySpec {
+        match self {
+            LatencySpec::Fixed { rounds: 1 }
+            | LatencySpec::Jitter { extra: 0 }
+            | LatencySpec::PartialSynchrony { gst: 0, .. }
+            | LatencySpec::PartialSynchrony { extra: 0, .. } => LatencySpec::Synchronous,
+            other => other,
+        }
+    }
+
+    /// Instantiate the model; `seed` feeds any randomness.
+    pub fn build(self, seed: u64) -> Box<dyn LatencyModel> {
+        match self {
+            LatencySpec::Synchronous => Box::new(Synchronous),
+            LatencySpec::Fixed { rounds } => Box::new(FixedDelay { rounds }),
+            LatencySpec::Jitter { extra } => Box::new(SeededJitter { seed, extra }),
+            LatencySpec::PartialSynchrony { gst, extra } => {
+                Box::new(PartialSynchrony { gst, extra, seed })
+            }
+        }
+    }
+
+    /// How many automaton rounds a protocol needing `base` rounds under
+    /// synchrony may need under this latency (every hop can stretch, plus
+    /// slack for the final deliveries to drain).
+    pub fn round_budget(self, base: u32) -> u32 {
+        let stretch = |extra: u32| {
+            base.saturating_mul(extra.saturating_add(1))
+                .saturating_add(2)
+        };
+        match self {
+            LatencySpec::Synchronous => base,
+            LatencySpec::Fixed { rounds } => stretch(rounds.max(1) - 1),
+            LatencySpec::Jitter { extra } => stretch(extra),
+            LatencySpec::PartialSynchrony { gst, extra } => gst.saturating_add(stretch(extra)),
+        }
+    }
+
+    /// Stable machine-readable name (used in reports and CLI flags).
+    pub fn name(self) -> String {
+        match self {
+            LatencySpec::Synchronous => "sync".to_string(),
+            LatencySpec::Fixed { rounds } => format!("fixed:{rounds}"),
+            LatencySpec::Jitter { extra } => format!("jitter:{extra}"),
+            LatencySpec::PartialSynchrony { gst, extra } => format!("psync:{gst}:{extra}"),
+        }
+    }
+
+    /// Parse a CLI name: `sync`, `fixed:D`, `jitter:E`, `psync:GST:E`.
+    pub fn parse(spec: &str) -> Result<LatencySpec, String> {
+        let mut parts = spec.split(':');
+        let head = parts.next().unwrap_or_default();
+        // A sanity cap: round budgets scale with these parameters, so an
+        // absurd value would make a run step through billions of (empty)
+        // rounds rather than fail fast.
+        const MAX_PARAM: u32 = 10_000;
+        let mut num = |what: &str| -> Result<u32, String> {
+            let v = parts
+                .next()
+                .ok_or_else(|| format!("latency {spec}: missing {what}"))?
+                .parse::<u32>()
+                .map_err(|e| format!("latency {spec}: {what}: {e}"))?;
+            if v > MAX_PARAM {
+                return Err(format!(
+                    "latency {spec}: {what} {v} is unreasonably large (max {MAX_PARAM})"
+                ));
+            }
+            Ok(v)
+        };
+        let parsed = match head {
+            "sync" | "synchronous" => LatencySpec::Synchronous,
+            "fixed" => {
+                let rounds = num("rounds")?;
+                if rounds == 0 {
+                    return Err(format!("latency {spec}: rounds must be >= 1"));
+                }
+                LatencySpec::Fixed { rounds }
+            }
+            "jitter" => LatencySpec::Jitter {
+                extra: num("extra")?,
+            },
+            "psync" | "partial" => LatencySpec::PartialSynchrony {
+                gst: num("gst")?,
+                extra: num("extra")?,
+            },
+            other => {
+                return Err(format!(
+                    "unknown latency {other} (sync|fixed:D|jitter:E|psync:GST:E)"
+                ))
+            }
+        };
+        if parts.next().is_some() {
+            return Err(format!("latency {spec}: trailing components"));
+        }
+        Ok(parsed.normalize())
+    }
+}
+
+impl core::fmt::Display for LatencySpec {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(&self.name())
+    }
+}
+
+/// Decides message flight times for the event engine.
+///
+/// Must be deterministic: the same `(from, to, round)` always yields the
+/// same delay, so a run is replayable from its seed.
+pub trait LatencyModel: Send {
+    /// Short model name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Flight time in virtual ticks for a message sent from `from` to `to`
+    /// in round `round`. Must be ≥ 1; [`TICKS_PER_ROUND`] means "arrives
+    /// exactly at the next round boundary" (the synchronous behaviour).
+    fn delay(&self, from: NodeId, to: NodeId, round: u32) -> u64;
+}
+
+/// Exactly one round per hop — the paper's N1 timing.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Synchronous;
+
+impl LatencyModel for Synchronous {
+    fn name(&self) -> &'static str {
+        "sync"
+    }
+    fn delay(&self, _from: NodeId, _to: NodeId, _round: u32) -> u64 {
+        TICKS_PER_ROUND
+    }
+}
+
+/// A constant flight time of whole rounds.
+#[derive(Debug, Clone, Copy)]
+pub struct FixedDelay {
+    /// Flight time in rounds (≥ 1).
+    pub rounds: u32,
+}
+
+impl LatencyModel for FixedDelay {
+    fn name(&self) -> &'static str {
+        "fixed"
+    }
+    fn delay(&self, _from: NodeId, _to: NodeId, _round: u32) -> u64 {
+        u64::from(self.rounds.max(1)) * TICKS_PER_ROUND
+    }
+}
+
+/// SplitMix-style avalanche over (seed, from, to, round) — deterministic
+/// per-message randomness without any state.
+fn mix(seed: u64, from: NodeId, to: NodeId, round: u32) -> u64 {
+    let mut z = seed
+        ^ (u64::from(from.0) << 48)
+        ^ (u64::from(to.0) << 32)
+        ^ u64::from(round)
+        ^ 0x4C41_5445_4E43; // "LATENC" salt
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Seeded per-message jitter, uniform in `[1, 1 + extra]` rounds at tick
+/// granularity.
+#[derive(Debug, Clone, Copy)]
+pub struct SeededJitter {
+    /// Determinism seed.
+    pub seed: u64,
+    /// Maximum extra rounds of flight time.
+    pub extra: u32,
+}
+
+impl LatencyModel for SeededJitter {
+    fn name(&self) -> &'static str {
+        "jitter"
+    }
+    fn delay(&self, from: NodeId, to: NodeId, round: u32) -> u64 {
+        let span = u64::from(self.extra) * TICKS_PER_ROUND;
+        TICKS_PER_ROUND + mix(self.seed, from, to, round) % (span + 1)
+    }
+}
+
+/// Jitter before the global stabilization round, synchronous after it.
+#[derive(Debug, Clone, Copy)]
+pub struct PartialSynchrony {
+    /// Global stabilization time (round number).
+    pub gst: u32,
+    /// Maximum extra rounds of flight time before `gst`.
+    pub extra: u32,
+    /// Determinism seed.
+    pub seed: u64,
+}
+
+impl LatencyModel for PartialSynchrony {
+    fn name(&self) -> &'static str {
+        "psync"
+    }
+    fn delay(&self, from: NodeId, to: NodeId, round: u32) -> u64 {
+        if round >= self.gst {
+            TICKS_PER_ROUND
+        } else {
+            SeededJitter {
+                seed: self.seed,
+                extra: self.extra,
+            }
+            .delay(from, to, round)
+        }
+    }
+}
+
+/// A base model with per-link overrides — e.g. one slow WAN link in an
+/// otherwise synchronous cluster.
+pub struct PerLink {
+    base: Box<dyn LatencyModel>,
+    overrides: HashMap<(NodeId, NodeId), Box<dyn LatencyModel>>,
+}
+
+impl PerLink {
+    /// Wrap a base model with no overrides yet.
+    pub fn new(base: Box<dyn LatencyModel>) -> Self {
+        PerLink {
+            base,
+            overrides: HashMap::new(),
+        }
+    }
+
+    /// Use `model` for messages from `from` to `to` (directed). Returns
+    /// `self` for chaining.
+    pub fn with_link(mut self, from: NodeId, to: NodeId, model: Box<dyn LatencyModel>) -> Self {
+        self.overrides.insert((from, to), model);
+        self
+    }
+}
+
+impl LatencyModel for PerLink {
+    fn name(&self) -> &'static str {
+        "per-link"
+    }
+    fn delay(&self, from: NodeId, to: NodeId, round: u32) -> u64 {
+        match self.overrides.get(&(from, to)) {
+            Some(model) => model.delay(from, to, round),
+            None => self.base.delay(from, to, round),
+        }
+    }
+}
+
+/// What a queued event does when it fires.
+#[derive(Debug)]
+enum EventKind {
+    /// A message reaches its destination's inbox.
+    Deliver(Envelope),
+    /// A round boundary: every node's timeout fires and it executes the
+    /// given round on whatever has arrived.
+    RoundStart(u32),
+}
+
+/// A scheduled event; the heap orders by `(at, seq)` ascending.
+#[derive(Debug)]
+struct QueuedEvent {
+    at: u64,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for QueuedEvent {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for QueuedEvent {}
+impl PartialOrd for QueuedEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for QueuedEvent {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest event.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// Discrete-event network simulator.
+///
+/// Drives the same [`Node`] automata as [`crate::SyncNetwork`], but message
+/// delivery times come from a [`LatencyModel`] over virtual time instead of
+/// lockstep rounds. Determinism: the event queue is ordered by
+/// `(deliver_at, seq)` where `seq` is the global send counter, so for a
+/// fixed seed, latency model, and fault plan the execution — inbox
+/// contents, inbox order, statistics — is byte-identical across runs.
+pub struct EventNetwork {
+    nodes: Vec<Box<dyn Node>>,
+    queue: BinaryHeap<QueuedEvent>,
+    /// Messages delivered (popped) but not yet consumed by a round.
+    pending: Vec<Vec<Envelope>>,
+    /// Reorder-faulted messages, appended after `pending` at the boundary.
+    pending_reordered: Vec<Vec<Envelope>>,
+    /// Deliver events still in the queue.
+    deliveries_in_flight: usize,
+    now: u64,
+    seq: u64,
+    round: u32,
+    stats: NetStats,
+    trace: Option<Trace>,
+    faults: FaultPlan,
+    latency: Box<dyn LatencyModel>,
+    rushing: Vec<NodeId>,
+}
+
+impl EventNetwork {
+    /// Build a network from node automata (synchronous latency by default).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes[i].id() != NodeId(i)` — ids must match positions so
+    /// the simulator can stamp senders (N2).
+    pub fn new(nodes: Vec<Box<dyn Node>>) -> Self {
+        for (i, node) in nodes.iter().enumerate() {
+            assert_eq!(
+                node.id(),
+                NodeId(i as u16),
+                "node at index {i} reports id {}",
+                node.id()
+            );
+        }
+        let n = nodes.len();
+        let mut queue = BinaryHeap::new();
+        queue.push(QueuedEvent {
+            at: 0,
+            seq: 0,
+            kind: EventKind::RoundStart(0),
+        });
+        EventNetwork {
+            nodes,
+            queue,
+            pending: (0..n).map(|_| Vec::new()).collect(),
+            pending_reordered: (0..n).map(|_| Vec::new()).collect(),
+            deliveries_in_flight: 0,
+            now: 0,
+            seq: 0,
+            round: 0,
+            stats: NetStats::new(n),
+            trace: None,
+            faults: FaultPlan::new(),
+            latency: Box::new(Synchronous),
+            rushing: Vec::new(),
+        }
+    }
+
+    /// Install a latency model (default: [`Synchronous`]).
+    pub fn set_latency(&mut self, model: Box<dyn LatencyModel>) {
+        self.latency = model;
+    }
+
+    /// Enable message tracing with the given capacity.
+    pub fn enable_trace(&mut self, cap: usize) {
+        self.trace = Some(Trace::with_capacity(cap));
+    }
+
+    /// Install a link-fault plan (timing and N1 violations for tests).
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.faults = plan;
+    }
+
+    /// Grant *rushing* power to the given (byzantine) nodes — the same
+    /// semantics as [`crate::SyncNetwork::set_rushing`]: they act after all
+    /// other nodes at each round boundary and preview the messages those
+    /// nodes addressed to them in the same round.
+    pub fn set_rushing(&mut self, nodes: Vec<NodeId>) {
+        self.rushing = nodes;
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` for the degenerate empty network.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The next round number to execute.
+    pub fn round(&self) -> u32 {
+        self.round
+    }
+
+    /// Current virtual time in ticks.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+
+    /// The trace, if tracing was enabled.
+    pub fn trace(&self) -> Option<&Trace> {
+        self.trace.as_ref()
+    }
+
+    /// Borrow a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn node(&self, id: NodeId) -> &dyn Node {
+        self.nodes[id.index()].as_ref()
+    }
+
+    /// Consume the network, returning the automata for outcome inspection.
+    pub fn into_nodes(self) -> Vec<Box<dyn Node>> {
+        self.nodes
+    }
+
+    /// `true` when every node reports [`Node::is_done`].
+    pub fn all_done(&self) -> bool {
+        self.nodes.iter().all(|n| n.is_done())
+    }
+
+    /// Apply delivery-time faults and file the message into its inbox.
+    fn deliver(&mut self, env: Envelope) {
+        match self.faults.lookup(env.round, env.from, env.to) {
+            Some(LinkFault::Drop) => {}
+            Some(LinkFault::Corrupt { offset, mask }) => {
+                let mut env = env;
+                if let Some(b) = env.payload.get_mut(offset) {
+                    *b ^= mask;
+                }
+                self.pending[env.to.index()].push(env);
+            }
+            Some(LinkFault::Duplicate) => {
+                self.pending[env.to.index()].push(env.clone());
+                self.pending[env.to.index()].push(env);
+            }
+            Some(LinkFault::Reorder) => self.pending_reordered[env.to.index()].push(env),
+            // Delay was already applied when the delivery was scheduled.
+            Some(LinkFault::Delay { .. }) | None => self.pending[env.to.index()].push(env),
+        }
+    }
+
+    /// Advance virtual time to the next round boundary and execute it.
+    pub fn step(&mut self) {
+        // Drain the queue up to and including the next RoundStart; every
+        // Deliver popped on the way files into a pending inbox in
+        // (deliver_at, seq) order.
+        let round = loop {
+            let ev = self.queue.pop().expect("a RoundStart is always scheduled");
+            self.now = ev.at;
+            match ev.kind {
+                EventKind::Deliver(env) => {
+                    self.deliveries_in_flight -= 1;
+                    self.deliver(env);
+                }
+                EventKind::RoundStart(r) => break r,
+            }
+        };
+
+        let n = self.nodes.len();
+        let mut inboxes: Vec<Vec<Envelope>> = (0..n)
+            .map(|i| {
+                let mut inbox = std::mem::take(&mut self.pending[i]);
+                inbox.append(&mut self.pending_reordered[i]);
+                inbox
+            })
+            .collect();
+
+        // Run every node on its inbox, non-rushers first in id order, then
+        // rushers (who preview this round's traffic addressed to them).
+        let order: Vec<usize> = (0..n)
+            .filter(|i| !self.rushing.contains(&NodeId(*i as u16)))
+            .chain((0..n).filter(|i| self.rushing.contains(&NodeId(*i as u16))))
+            .collect();
+        let mut sent_this_round: Vec<Envelope> = Vec::new();
+        for i in order {
+            let from = NodeId(i as u16);
+            let mut inbox = std::mem::take(&mut inboxes[i]);
+            if self.rushing.contains(&from) {
+                inbox.extend(sent_this_round.iter().filter(|env| env.to == from).cloned());
+            }
+            let mut out = Outbox::new();
+            self.nodes[i].on_round(round, &inbox, &mut out);
+            for (to, payload) in out.into_messages() {
+                if to.index() >= n {
+                    self.stats.dropped_invalid += 1;
+                    continue;
+                }
+                let env = Envelope {
+                    from,
+                    to,
+                    round,
+                    payload,
+                };
+                self.stats.record_send(from, round, env.wire_len());
+                if let Some(trace) = self.trace.as_mut() {
+                    trace.record(&env);
+                }
+                let mut delay = self.latency.delay(from, to, round).max(1);
+                if let Some(LinkFault::Delay { rounds }) = self.faults.lookup(round, from, to) {
+                    delay += u64::from(rounds) * TICKS_PER_ROUND;
+                }
+                // The preview copy is only needed while a rusher is active.
+                if !self.rushing.is_empty() {
+                    sent_this_round.push(env.clone());
+                }
+                self.seq += 1;
+                self.queue.push(QueuedEvent {
+                    at: self.now + delay,
+                    seq: self.seq,
+                    kind: EventKind::Deliver(env),
+                });
+                self.deliveries_in_flight += 1;
+            }
+        }
+
+        self.round = round + 1;
+        self.stats.rounds = self.round;
+        self.seq += 1;
+        self.queue.push(QueuedEvent {
+            at: u64::from(self.round) * TICKS_PER_ROUND,
+            seq: self.seq,
+            kind: EventKind::RoundStart(self.round),
+        });
+    }
+
+    /// Run until every node is done and no message is in flight (checked
+    /// after at least one round), or `max_rounds` is reached. Returns the
+    /// number of rounds executed.
+    pub fn run_until_done(&mut self, max_rounds: u32) -> u32 {
+        while self.round < max_rounds {
+            self.step();
+            if self.all_done()
+                && self.deliveries_in_flight == 0
+                && self.pending.iter().all(Vec::is_empty)
+                && self.pending_reordered.iter().all(Vec::is_empty)
+            {
+                break;
+            }
+        }
+        self.round
+    }
+}
+
+impl core::fmt::Debug for EventNetwork {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("EventNetwork")
+            .field("n", &self.nodes.len())
+            .field("round", &self.round)
+            .field("now", &self.now)
+            .field("in_flight", &self.deliveries_in_flight)
+            .field("latency", &self.latency.name())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SyncNetwork;
+    use std::any::Any;
+
+    /// Sends its id to every peer in round 0, then records what it saw and
+    /// in which round it saw it.
+    struct Echo {
+        id: NodeId,
+        n: usize,
+        seen: Vec<(u32, NodeId, Vec<u8>)>,
+    }
+
+    impl Node for Echo {
+        fn id(&self) -> NodeId {
+            self.id
+        }
+        fn on_round(&mut self, round: u32, inbox: &[Envelope], out: &mut Outbox) {
+            if round == 0 {
+                out.broadcast(self.n, self.id, &[self.id.0 as u8]);
+            }
+            for env in inbox {
+                self.seen.push((round, env.from, env.payload.clone()));
+            }
+        }
+        fn is_done(&self) -> bool {
+            self.seen.len() + 1 >= self.n
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+        fn into_any(self: Box<Self>) -> Box<dyn Any> {
+            self
+        }
+    }
+
+    fn echo_nodes(n: usize) -> Vec<Box<dyn Node>> {
+        (0..n)
+            .map(|i| {
+                Box::new(Echo {
+                    id: NodeId(i as u16),
+                    n,
+                    seen: Vec::new(),
+                }) as Box<dyn Node>
+            })
+            .collect()
+    }
+
+    fn seen(net: EventNetwork) -> Vec<Vec<(u32, NodeId, Vec<u8>)>> {
+        net.into_nodes()
+            .into_iter()
+            .map(|b| b.into_any().downcast::<Echo>().unwrap().seen)
+            .collect()
+    }
+
+    #[test]
+    fn synchronous_latency_matches_sync_network_exactly() {
+        let mut sync = SyncNetwork::new(echo_nodes(5));
+        let sync_rounds = sync.run_until_done(10);
+        let mut event = EventNetwork::new(echo_nodes(5));
+        let event_rounds = event.run_until_done(10);
+        assert_eq!(sync_rounds, event_rounds);
+        assert_eq!(sync.stats(), event.stats());
+        let sync_seen: Vec<_> = sync
+            .into_nodes()
+            .into_iter()
+            .map(|b| {
+                b.into_any()
+                    .downcast::<Echo>()
+                    .unwrap()
+                    .seen
+                    .iter()
+                    .map(|(_, f, p)| (*f, p.clone()))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        let event_seen: Vec<_> = seen(event)
+            .into_iter()
+            .map(|s| s.into_iter().map(|(_, f, p)| (f, p)).collect::<Vec<_>>())
+            .collect();
+        assert_eq!(sync_seen, event_seen);
+    }
+
+    #[test]
+    fn runs_are_deterministic_across_repeats() {
+        let run = |seed| {
+            let mut net = EventNetwork::new(echo_nodes(6));
+            net.set_latency(Box::new(SeededJitter { seed, extra: 2 }));
+            net.run_until_done(12);
+            let stats = net.stats().clone();
+            (stats, seen(net))
+        };
+        assert_eq!(run(9), run(9));
+        // Different seeds reshuffle arrival rounds.
+        let (_, a) = run(1);
+        let (_, b) = run(2);
+        assert_ne!(a, b, "different jitter seeds produced identical timing");
+    }
+
+    #[test]
+    fn jitter_spreads_arrivals_across_rounds() {
+        let mut net = EventNetwork::new(echo_nodes(6));
+        net.set_latency(Box::new(SeededJitter { seed: 3, extra: 2 }));
+        net.run_until_done(12);
+        let all: Vec<u32> = seen(net)
+            .into_iter()
+            .flatten()
+            .map(|(round, _, _)| round)
+            .collect();
+        assert!(all.iter().all(|&r| (1..=3).contains(&r)));
+        assert!(
+            all.iter().any(|&r| r > 1),
+            "extra=2 jitter never delayed anything"
+        );
+    }
+
+    #[test]
+    fn fixed_delay_shifts_every_arrival() {
+        let mut net = EventNetwork::new(echo_nodes(4));
+        net.set_latency(Box::new(FixedDelay { rounds: 3 }));
+        net.run_until_done(10);
+        for node in seen(net) {
+            assert!(node.iter().all(|&(round, _, _)| round == 3));
+        }
+    }
+
+    #[test]
+    fn partial_synchrony_is_synchronous_after_gst() {
+        struct TwoShot {
+            id: NodeId,
+            n: usize,
+            seen: Vec<(u32, NodeId)>,
+        }
+        impl Node for TwoShot {
+            fn id(&self) -> NodeId {
+                self.id
+            }
+            fn on_round(&mut self, round: u32, inbox: &[Envelope], out: &mut Outbox) {
+                // Broadcast in round 0 (before gst) and round 5 (after).
+                if round == 0 || round == 5 {
+                    out.broadcast(self.n, self.id, &[round as u8]);
+                }
+                for env in inbox {
+                    self.seen.push((round, env.from));
+                }
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+            fn into_any(self: Box<Self>) -> Box<dyn Any> {
+                self
+            }
+        }
+        let nodes: Vec<Box<dyn Node>> = (0..5)
+            .map(|i| {
+                Box::new(TwoShot {
+                    id: NodeId(i),
+                    n: 5,
+                    seen: Vec::new(),
+                }) as Box<dyn Node>
+            })
+            .collect();
+        let mut net = EventNetwork::new(nodes);
+        net.set_latency(Box::new(PartialSynchrony {
+            gst: 5,
+            extra: 3,
+            seed: 11,
+        }));
+        for _ in 0..8 {
+            net.step();
+        }
+        for boxed in net.into_nodes() {
+            let node = boxed.into_any().downcast::<TwoShot>().unwrap();
+            // Post-gst messages arrive exactly one round later.
+            assert!(node
+                .seen
+                .iter()
+                .filter(|(r, _)| *r > 5)
+                .all(|(r, _)| *r == 6));
+        }
+    }
+
+    #[test]
+    fn per_link_override_slows_one_link() {
+        let mut net = EventNetwork::new(echo_nodes(3));
+        net.set_latency(Box::new(PerLink::new(Box::new(Synchronous)).with_link(
+            NodeId(0),
+            NodeId(1),
+            Box::new(FixedDelay { rounds: 4 }),
+        )));
+        net.run_until_done(10);
+        let all = seen(net);
+        // P1 got P2's message in round 1 and P0's only in round 4.
+        let rounds_at_p1: Vec<(u32, NodeId)> = all[1].iter().map(|&(r, f, _)| (r, f)).collect();
+        assert_eq!(rounds_at_p1, vec![(1, NodeId(2)), (4, NodeId(0))]);
+    }
+
+    #[test]
+    fn delay_fault_adds_whole_rounds() {
+        let mut net = EventNetwork::new(echo_nodes(3));
+        net.set_fault_plan(FaultPlan::new().with(
+            0,
+            NodeId(0),
+            NodeId(1),
+            LinkFault::Delay { rounds: 2 },
+        ));
+        net.run_until_done(10);
+        let all = seen(net);
+        let arrivals: Vec<(u32, NodeId)> = all[1].iter().map(|&(r, f, _)| (r, f)).collect();
+        assert_eq!(arrivals, vec![(1, NodeId(2)), (3, NodeId(0))]);
+    }
+
+    #[test]
+    fn zero_round_delay_is_a_noop_on_both_engines() {
+        let plan = FaultPlan::new().with(0, NodeId(0), NodeId(1), LinkFault::Delay { rounds: 0 });
+        let mut sync = SyncNetwork::new(echo_nodes(3));
+        sync.set_fault_plan(plan.clone());
+        let sync_rounds = sync.run_until_done(6);
+        let mut event = EventNetwork::new(echo_nodes(3));
+        event.set_fault_plan(plan);
+        let event_rounds = event.run_until_done(6);
+        assert_eq!(sync_rounds, event_rounds);
+        assert_eq!(sync.stats(), event.stats());
+        // The message still arrived in round 1 on both engines.
+        let all = seen(event);
+        assert_eq!(
+            all[1].iter().map(|&(r, f, _)| (r, f)).collect::<Vec<_>>(),
+            vec![(1, NodeId(0)), (1, NodeId(2))]
+        );
+    }
+
+    #[test]
+    fn reorder_fault_moves_message_last_in_round() {
+        let mut net = EventNetwork::new(echo_nodes(3));
+        net.set_fault_plan(FaultPlan::new().with(0, NodeId(0), NodeId(2), LinkFault::Reorder));
+        net.run_until_done(5);
+        let all = seen(net);
+        let froms: Vec<NodeId> = all[2].iter().map(|&(_, f, _)| f).collect();
+        assert_eq!(froms, vec![NodeId(1), NodeId(0)]);
+    }
+
+    #[test]
+    fn drop_corrupt_duplicate_match_sync_semantics() {
+        let plan = FaultPlan::new()
+            .with(0, NodeId(0), NodeId(1), LinkFault::Drop)
+            .with(0, NodeId(2), NodeId(1), LinkFault::Duplicate)
+            .with(
+                0,
+                NodeId(0),
+                NodeId(2),
+                LinkFault::Corrupt {
+                    offset: 0,
+                    mask: 0xff,
+                },
+            );
+        let mut sync = SyncNetwork::new(echo_nodes(4));
+        sync.set_fault_plan(plan.clone());
+        sync.run_until_done(6);
+        let mut event = EventNetwork::new(echo_nodes(4));
+        event.set_fault_plan(plan);
+        event.run_until_done(6);
+        assert_eq!(sync.stats(), event.stats());
+        let sync_seen: Vec<Vec<(NodeId, Vec<u8>)>> = sync
+            .into_nodes()
+            .into_iter()
+            .map(|b| {
+                b.into_any()
+                    .downcast::<Echo>()
+                    .unwrap()
+                    .seen
+                    .iter()
+                    .map(|(_, f, p)| (*f, p.clone()))
+                    .collect()
+            })
+            .collect();
+        let event_seen: Vec<Vec<(NodeId, Vec<u8>)>> = seen(event)
+            .into_iter()
+            .map(|s| s.into_iter().map(|(_, f, p)| (f, p)).collect())
+            .collect();
+        assert_eq!(sync_seen, event_seen);
+    }
+
+    #[test]
+    fn rushing_preview_matches_sync_semantics() {
+        let mut sync = SyncNetwork::new(echo_nodes(3));
+        sync.set_rushing(vec![NodeId(2)]);
+        sync.run_until_done(5);
+        let mut event = EventNetwork::new(echo_nodes(3));
+        event.set_rushing(vec![NodeId(2)]);
+        event.run_until_done(5);
+        assert_eq!(sync.stats(), event.stats());
+        let rushed = seen(event);
+        // Preview (2 messages in round 0) + regular delivery (2 in round 1).
+        assert_eq!(rushed[2].len(), 4);
+        assert!(rushed[2][..2].iter().all(|&(r, _, _)| r == 0));
+    }
+
+    #[test]
+    fn invalid_destination_dropped_and_counted() {
+        struct Stray {
+            id: NodeId,
+        }
+        impl Node for Stray {
+            fn id(&self) -> NodeId {
+                self.id
+            }
+            fn on_round(&mut self, round: u32, _inbox: &[Envelope], out: &mut Outbox) {
+                if round == 0 {
+                    out.send(NodeId(99), vec![1]);
+                }
+            }
+            fn is_done(&self) -> bool {
+                true
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+            fn into_any(self: Box<Self>) -> Box<dyn Any> {
+                self
+            }
+        }
+        let mut net = EventNetwork::new(vec![Box::new(Stray { id: NodeId(0) })]);
+        net.run_until_done(3);
+        assert_eq!(net.stats().messages_total, 0);
+        assert_eq!(net.stats().dropped_invalid, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "reports id")]
+    fn mismatched_ids_rejected() {
+        let _ = EventNetwork::new(vec![Box::new(Echo {
+            id: NodeId(5),
+            n: 1,
+            seen: Vec::new(),
+        })]);
+    }
+
+    #[test]
+    fn virtual_time_tracks_round_boundaries() {
+        let mut net = EventNetwork::new(echo_nodes(3));
+        assert_eq!(net.now(), 0);
+        net.step();
+        assert_eq!(net.round(), 1);
+        net.step();
+        assert_eq!(net.now(), TICKS_PER_ROUND);
+    }
+
+    #[test]
+    fn latency_spec_parse_round_trips() {
+        for spec in [
+            LatencySpec::Synchronous,
+            LatencySpec::Fixed { rounds: 2 },
+            LatencySpec::Jitter { extra: 3 },
+            LatencySpec::PartialSynchrony { gst: 4, extra: 1 },
+        ] {
+            assert_eq!(LatencySpec::parse(&spec.name()).unwrap(), spec);
+        }
+        // Specs byte-equivalent to synchrony normalize onto it, so the
+        // strict checks keyed on Synchronous still apply.
+        for sync_alias in ["fixed:1", "jitter:0", "psync:0:3", "psync:3:0"] {
+            assert_eq!(
+                LatencySpec::parse(sync_alias).unwrap(),
+                LatencySpec::Synchronous,
+                "{sync_alias}"
+            );
+        }
+        assert!(LatencySpec::parse("warp:9").is_err());
+        assert!(LatencySpec::parse("fixed:0").is_err());
+        assert!(LatencySpec::parse("jitter").is_err());
+        assert!(LatencySpec::parse("sync:1").is_err());
+        assert!(LatencySpec::parse("jitter:4294967295").is_err());
+        assert!(LatencySpec::parse("fixed:10001").is_err());
+        assert_eq!(Engine::parse("event").unwrap(), Engine::Event);
+        assert!(Engine::parse("quantum").is_err());
+    }
+
+    #[test]
+    fn round_budget_covers_worst_case_stretch() {
+        assert_eq!(LatencySpec::Synchronous.round_budget(5), 5);
+        assert_eq!(LatencySpec::Fixed { rounds: 2 }.round_budget(5), 12);
+        assert_eq!(LatencySpec::Jitter { extra: 1 }.round_budget(5), 12);
+        assert_eq!(
+            LatencySpec::PartialSynchrony { gst: 3, extra: 1 }.round_budget(5),
+            15
+        );
+        // Absurd parameters saturate instead of overflowing.
+        assert_eq!(
+            LatencySpec::Jitter { extra: u32::MAX }.round_budget(5),
+            u32::MAX
+        );
+        assert_eq!(
+            LatencySpec::PartialSynchrony {
+                gst: u32::MAX,
+                extra: u32::MAX
+            }
+            .round_budget(5),
+            u32::MAX
+        );
+    }
+}

@@ -25,6 +25,16 @@ pub enum LinkFault {
     },
     /// Duplicate the message (delivered twice in the same round).
     Duplicate,
+    /// Deliver the message `rounds` rounds later than scheduled (a timing
+    /// fault: in the round-synchronous engine the message is held back; in
+    /// the discrete-event engine its delivery time moves by whole rounds).
+    Delay {
+        /// Extra rounds to hold the message back (≥ 1 to have any effect).
+        rounds: u32,
+    },
+    /// Deliver the message in its scheduled round but *after* every other
+    /// message in the receiver's inbox for that round (a reordering fault).
+    Reorder,
 }
 
 /// A deliberate violation of network property N1 for testing.
@@ -59,6 +69,20 @@ impl FaultPlan {
     /// Look up the fault for a message, if any.
     pub(crate) fn lookup(&self, round: u32, from: NodeId, to: NodeId) -> Option<LinkFault> {
         self.faults.get(&(round, from, to)).copied()
+    }
+
+    /// The largest [`LinkFault::Delay`] in the plan (0 if none) — drivers
+    /// extend their round budget by this much so a delayed message is
+    /// still *delivered late* rather than silently degraded into a drop.
+    pub fn max_delay_rounds(&self) -> u32 {
+        self.faults
+            .values()
+            .filter_map(|f| match f {
+                LinkFault::Delay { rounds } => Some(*rounds),
+                _ => None,
+            })
+            .max()
+            .unwrap_or(0)
     }
 
     /// Generate `k` seeded random faults over an `n`-node system and the
@@ -97,6 +121,9 @@ impl FaultPlan {
                 LinkFault::Corrupt { .. } => LinkFault::Corrupt {
                     offset: (next() % 64) as usize,
                     mask: (next() % 255 + 1) as u8,
+                },
+                LinkFault::Delay { .. } => LinkFault::Delay {
+                    rounds: (next() % 3 + 1) as u32,
                 },
                 other => other,
             };

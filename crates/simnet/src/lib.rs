@@ -19,8 +19,10 @@
 //!
 //! Protocols are implemented as [`Node`] automata and run unchanged on
 //! [`SyncNetwork`] (deterministic, used for all experiment tables), the
-//! [`transport::thread`] lock-step thread runner, and the
-//! [`transport::tcp`] localhost TCP cluster.
+//! [`EventNetwork`] discrete-event simulator (virtual time, pluggable
+//! [`event::LatencyModel`]s, timing faults), the [`transport::thread`]
+//! lock-step thread runner, and the [`transport::tcp`] localhost TCP
+//! cluster.
 //!
 //! ## Example
 //!
@@ -59,6 +61,7 @@
 
 pub mod codec;
 mod envelope;
+pub mod event;
 pub mod fault;
 mod id;
 mod network;
@@ -68,6 +71,7 @@ mod trace;
 pub mod transport;
 
 pub use envelope::Envelope;
+pub use event::{Engine, EventNetwork, LatencyModel, LatencySpec};
 pub use id::NodeId;
 pub use network::SyncNetwork;
 pub use node::{Node, Outbox};

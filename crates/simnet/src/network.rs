@@ -14,6 +14,9 @@ pub struct SyncNetwork {
     nodes: Vec<Box<dyn Node>>,
     /// Messages sent in the round just executed, awaiting delivery.
     in_flight: Vec<Envelope>,
+    /// Messages held back by a [`LinkFault::Delay`], keyed by the round in
+    /// which they become deliverable.
+    delayed: Vec<(u32, Envelope)>,
     round: u32,
     stats: NetStats,
     trace: Option<Trace>,
@@ -42,6 +45,7 @@ impl SyncNetwork {
         SyncNetwork {
             nodes,
             in_flight: Vec::new(),
+            delayed: Vec::new(),
             round: 0,
             stats: NetStats::new(n),
             trace: None,
@@ -126,8 +130,20 @@ impl SyncNetwork {
         let n = self.nodes.len();
 
         // Distribute in-flight messages into per-node inboxes,
-        // applying any installed link faults.
+        // applying any installed link faults. Delayed messages whose hold
+        // expired this round are delivered first (they are older), and
+        // reordered messages are appended after everything else.
         let mut inboxes: Vec<Vec<Envelope>> = (0..n).map(|_| Vec::new()).collect();
+        let mut reordered: Vec<Vec<Envelope>> = (0..n).map(|_| Vec::new()).collect();
+        let mut held = Vec::new();
+        for (due, env) in std::mem::take(&mut self.delayed) {
+            if due <= round {
+                inboxes[env.to.index()].push(env);
+            } else {
+                held.push((due, env));
+            }
+        }
+        self.delayed = held;
         for env in self.in_flight.drain(..) {
             match self.faults.lookup(env.round, env.from, env.to) {
                 Some(LinkFault::Drop) => continue,
@@ -142,8 +158,18 @@ impl SyncNetwork {
                     inboxes[env.to.index()].push(env.clone());
                     inboxes[env.to.index()].push(env);
                 }
+                // A zero-round delay is a no-op (as on the event engine,
+                // where it adds zero ticks).
+                Some(LinkFault::Delay { rounds: 0 }) => inboxes[env.to.index()].push(env),
+                Some(LinkFault::Delay { rounds }) => {
+                    self.delayed.push((round.saturating_add(rounds), env));
+                }
+                Some(LinkFault::Reorder) => reordered[env.to.index()].push(env),
                 None => inboxes[env.to.index()].push(env),
             }
+        }
+        for (inbox, late) in inboxes.iter_mut().zip(reordered) {
+            inbox.extend(late);
         }
 
         // Run every node on its inbox; collect new messages. Non-rushing
@@ -195,7 +221,7 @@ impl SyncNetwork {
     pub fn run_until_done(&mut self, max_rounds: u32) -> u32 {
         while self.round < max_rounds {
             self.step();
-            if self.all_done() && self.in_flight.is_empty() {
+            if self.all_done() && self.in_flight.is_empty() && self.delayed.is_empty() {
                 break;
             }
         }
@@ -365,6 +391,58 @@ mod tests {
         let nodes = net.into_nodes();
         let victim = nodes[1].as_any().downcast_ref::<Echo>().unwrap();
         assert_eq!(victim.seen.len(), 2);
+    }
+
+    #[test]
+    fn delay_fault_postpones_delivery() {
+        let mut net = echo_net(3);
+        net.set_fault_plan(FaultPlan::new().with(
+            0,
+            NodeId(0),
+            NodeId(1),
+            LinkFault::Delay { rounds: 2 },
+        ));
+        net.step(); // round 0: sends
+        net.step(); // round 1: P2's message arrives, P0's is held
+        {
+            let victim = net.node(NodeId(1)).as_any().downcast_ref::<Echo>().unwrap();
+            assert_eq!(victim.seen.len(), 1);
+            assert_eq!(victim.seen[0].0, NodeId(2));
+        }
+        net.step(); // round 2: still held (due round 3)
+        net.step(); // round 3: delayed message matures
+        let victim = net.node(NodeId(1)).as_any().downcast_ref::<Echo>().unwrap();
+        assert_eq!(victim.seen.len(), 2);
+        assert_eq!(victim.seen[1].0, NodeId(0));
+    }
+
+    #[test]
+    fn delayed_messages_keep_run_alive() {
+        let mut net = echo_net(2);
+        net.set_fault_plan(FaultPlan::new().with(
+            0,
+            NodeId(0),
+            NodeId(1),
+            LinkFault::Delay { rounds: 3 },
+        ));
+        // Without the delayed-buffer check the run would stop after round 1
+        // (all nodes claim done, in_flight empty) and lose the message.
+        net.run_until_done(10);
+        let nodes = net.into_nodes();
+        let victim = nodes[1].as_any().downcast_ref::<Echo>().unwrap();
+        assert_eq!(victim.seen.len(), 1, "delayed message still delivered");
+    }
+
+    #[test]
+    fn reorder_fault_moves_message_last() {
+        let mut net = echo_net(3);
+        // P0 -> P2 reordered: P2 must see P1's message first.
+        net.set_fault_plan(FaultPlan::new().with(0, NodeId(0), NodeId(2), LinkFault::Reorder));
+        net.run_until_done(5);
+        let nodes = net.into_nodes();
+        let victim = nodes[2].as_any().downcast_ref::<Echo>().unwrap();
+        let froms: Vec<NodeId> = victim.seen.iter().map(|(f, _)| *f).collect();
+        assert_eq!(froms, vec![NodeId(1), NodeId(0)]);
     }
 
     #[test]

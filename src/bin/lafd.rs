@@ -3,6 +3,10 @@
 //! ```text
 //! lafd keydist  --n 8 [--t 2] [--seed 1] [--scheme tiny|s512|s1024|rsa512]
 //! lafd fd       --n 8 [--t 2] [--value "hello"] [--runs 3]
+//! lafd run      <protocol> [-n 256] [--t T] [--engine sync|event]
+//!               [--latency sync|fixed:D|jitter:E|psync:GST:E]
+//!               [--drop R:FROM:TO] [--corrupt R:FROM:TO:OFF:MASK]
+//!               [--delay R:FROM:TO:BY] [--reorder R:FROM:TO] [--crash I]
 //! lafd vector   --n 5 [--t 1]
 //! lafd ba       --n 7 [--t 2] [--crash 1]
 //! lafd degrade  --n 7 [--t 2] [--equivocate]   # graded/degradable agreement
@@ -10,20 +14,23 @@
 //! lafd rotate   --n 8 [--t 2] [--runs 10]      # key-rotation epochs (3 epochs)
 //! lafd tcp      --n 6 [--t 1]
 //! lafd trace    --n 4 [--t 1]     # per-round message flow of one cycle
-//! lafd sweep    [--protocols chain,nonauth,ba,degrade,ds,king,small]
+//! lafd sweep    [--protocols all|chain,nonauth,ba,degrade,ds,king,small]
 //!               [--sizes 4,7,10] [--faults auto|0,1,2] [--adversaries none,silent,...]
-//!               [--schemes tiny,dsa-tiny,s512] [--seeds 1,2] [--threads N]
-//!               [--json PATH] [--md PATH]
+//!               [--schemes tiny,dsa-tiny,s512] [--seeds 1,2]
+//!               [--engines sync,event] [--latencies sync,jitter:1,psync:2:1]
+//!               [--threads N] [--json PATH] [--md PATH]
 //! ```
 
 use local_auth_fd::core::adversary::SilentNode;
 use local_auth_fd::core::metrics;
 use local_auth_fd::core::runner::Cluster;
 use local_auth_fd::core::sweep::{
-    run_sweep, AdversaryKind, FaultRule, Protocol, SchemeSpec, SweepMatrix,
+    classify, run_keydist_for, run_protocol_with, run_sweep, AdversaryKind, FaultRule, Protocol,
+    SchemeSpec, SweepMatrix, SweepOutcome,
 };
 use local_auth_fd::crypto::{DsaScheme, RsaScheme, SchnorrScheme, SignatureScheme};
-use local_auth_fd::simnet::{Node, NodeId};
+use local_auth_fd::simnet::fault::{FaultPlan, LinkFault};
+use local_auth_fd::simnet::{Engine, LatencySpec, Node, NodeId};
 use std::process::ExitCode;
 use std::sync::Arc;
 
@@ -101,12 +108,16 @@ fn scheme_by_name(name: &str) -> Result<Arc<dyn SignatureScheme>, String> {
 
 fn usage() {
     eprintln!(
-        "usage: lafd <keydist|fd|vector|ba|degrade|king|rotate|tcp|trace|sweep> [--n N] [--t T] \
-         [--seed S] [--scheme tiny|s512|s1024|s2048|dsa512|dsa1024|rsa512|rsa1024] [--value V] \
-         [--runs K] [--crash I] [--equivocate]\n\
-         sweep flags: [--protocols LIST] [--sizes LIST] [--faults auto|LIST] \
-         [--adversaries LIST] [--schemes LIST] [--seeds LIST] [--threads N] [--json PATH] \
-         [--md PATH]"
+        "usage: lafd <keydist|fd|run|vector|ba|degrade|king|rotate|tcp|trace|sweep> [--n N] \
+         [--t T] [--seed S] [--scheme tiny|s512|s1024|s2048|dsa512|dsa1024|rsa512|rsa1024] \
+         [--value V] [--runs K] [--crash I] [--equivocate]\n\
+         run: lafd run <chain|nonauth|small|ba|degrade|ds|king> [-n N] [--t T] \
+         [--engine sync|event] [--latency sync|fixed:D|jitter:E|psync:GST:E] \
+         [--drop R:FROM:TO] [--corrupt R:FROM:TO:OFF:MASK] [--delay R:FROM:TO:BY] \
+         [--reorder R:FROM:TO] [--crash I]\n\
+         sweep flags: [--protocols all|LIST] [--sizes LIST] [--faults auto|LIST] \
+         [--adversaries LIST] [--schemes LIST] [--seeds LIST] [--engines LIST] \
+         [--latencies LIST] [--threads N] [--json PATH] [--md PATH]"
     );
 }
 
@@ -120,6 +131,10 @@ fn main() -> ExitCode {
         // The sweep subcommand has its own flag set (a matrix, not one
         // shape), so it bypasses the common parser.
         return cmd_sweep(rest);
+    }
+    if cmd == "run" {
+        // So does `run` (engine/latency/fault flags).
+        return cmd_run(rest);
     }
     let opts = match parse(rest) {
         Ok(o) => o,
@@ -196,6 +211,286 @@ fn cmd_fd(cluster: &Cluster, opts: &Opts) {
         "baseline per-run cost without authentication: {} messages",
         metrics::non_auth_messages(cluster.n, cluster.t),
     );
+}
+
+/// Parse `R:FROM:TO` plus `extra` trailing numeric components.
+fn parse_link_spec(spec: &str, extra: usize) -> Result<(u32, NodeId, NodeId, Vec<u64>), String> {
+    let parts: Vec<&str> = spec.split(':').collect();
+    if parts.len() != 3 + extra {
+        return Err(format!(
+            "fault spec {spec}: expected {} colon-separated fields",
+            3 + extra
+        ));
+    }
+    let num = |i: usize, what: &str| -> Result<u64, String> {
+        parts[i]
+            .parse::<u64>()
+            .map_err(|e| format!("fault spec {spec}: {what}: {e}"))
+    };
+    let node = |i: usize, what: &str| -> Result<NodeId, String> {
+        let raw = num(i, what)?;
+        u16::try_from(raw)
+            .map(NodeId)
+            .map_err(|_| format!("fault spec {spec}: {what} {raw} exceeds the node-id range"))
+    };
+    let raw_round = num(0, "round")?;
+    let round = u32::try_from(raw_round)
+        .map_err(|_| format!("fault spec {spec}: round {raw_round} exceeds the round range"))?;
+    let from = node(1, "from")?;
+    let to = node(2, "to")?;
+    let rest = (3..parts.len())
+        .map(|i| num(i, "parameter"))
+        .collect::<Result<Vec<u64>, String>>()?;
+    Ok((round, from, to, rest))
+}
+
+struct RunOpts {
+    protocol: Protocol,
+    n: usize,
+    t: Option<usize>,
+    seed: u64,
+    scheme: String,
+    value: String,
+    engine: Engine,
+    latency: LatencySpec,
+    faults: FaultPlan,
+    crash: Option<usize>,
+}
+
+fn parse_run(args: &[String]) -> Result<RunOpts, String> {
+    let Some((proto, rest)) = args.split_first() else {
+        return Err("run needs a protocol (chain|nonauth|small|ba|degrade|ds|king)".to_string());
+    };
+    let mut opts = RunOpts {
+        protocol: Protocol::parse(proto)?,
+        n: 7,
+        t: None,
+        seed: 1,
+        scheme: "tiny".to_string(),
+        value: "attack at dawn".to_string(),
+        engine: Engine::Sync,
+        latency: LatencySpec::Synchronous,
+        faults: FaultPlan::new(),
+        crash: None,
+    };
+    let mut latency_given = false;
+    let mut engine_given = false;
+    // Node ids referenced by fault specs, validated against n once the
+    // whole flag list (which may set --n later) has been parsed.
+    let mut fault_nodes: Vec<NodeId> = Vec::new();
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        let mut grab = || {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("flag {flag} needs a value"))
+        };
+        match flag.as_str() {
+            "-n" | "--n" => opts.n = grab()?.parse().map_err(|e| format!("--n: {e}"))?,
+            "--t" => opts.t = Some(grab()?.parse().map_err(|e| format!("--t: {e}"))?),
+            "--seed" => opts.seed = grab()?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--scheme" => opts.scheme = grab()?,
+            "--value" => opts.value = grab()?,
+            "--engine" => {
+                opts.engine = Engine::parse(&grab()?)?;
+                engine_given = true;
+            }
+            "--latency" => {
+                opts.latency = LatencySpec::parse(&grab()?)?;
+                latency_given = true;
+            }
+            "--crash" => opts.crash = Some(grab()?.parse().map_err(|e| format!("--crash: {e}"))?),
+            "--drop" => {
+                let (r, from, to, _) = parse_link_spec(&grab()?, 0)?;
+                fault_nodes.extend([from, to]);
+                opts.faults = opts.faults.with(r, from, to, LinkFault::Drop);
+            }
+            "--corrupt" => {
+                let (r, from, to, ps) = parse_link_spec(&grab()?, 2)?;
+                fault_nodes.extend([from, to]);
+                let fault = LinkFault::Corrupt {
+                    offset: usize::try_from(ps[0])
+                        .map_err(|_| format!("--corrupt: offset {} too large", ps[0]))?,
+                    mask: u8::try_from(ps[1])
+                        .map_err(|_| format!("--corrupt: mask {} exceeds a byte", ps[1]))?,
+                };
+                opts.faults = opts.faults.with(r, from, to, fault);
+            }
+            "--delay" => {
+                let (r, from, to, ps) = parse_link_spec(&grab()?, 1)?;
+                fault_nodes.extend([from, to]);
+                let rounds = u32::try_from(ps[0])
+                    .ok()
+                    .filter(|&r| r <= 10_000)
+                    .ok_or_else(|| {
+                        format!(
+                            "--delay: {} rounds is unreasonably large (max 10000)",
+                            ps[0]
+                        )
+                    })?;
+                let fault = LinkFault::Delay { rounds };
+                opts.faults = opts.faults.with(r, from, to, fault);
+            }
+            "--reorder" => {
+                let (r, from, to, _) = parse_link_spec(&grab()?, 0)?;
+                fault_nodes.extend([from, to]);
+                opts.faults = opts.faults.with(r, from, to, LinkFault::Reorder);
+            }
+            other => return Err(format!("unknown run flag {other}")),
+        }
+    }
+    // A latency model implies the event engine; the lockstep engine cannot
+    // express one. An *explicit* --engine sync contradicting it is an
+    // error, not a silent override.
+    if latency_given && opts.latency != LatencySpec::Synchronous && opts.engine == Engine::Sync {
+        if engine_given {
+            return Err(format!(
+                "--engine sync cannot express --latency {}; use --engine event",
+                opts.latency
+            ));
+        }
+        opts.engine = Engine::Event;
+    }
+    if opts.n > u16::MAX as usize {
+        return Err(format!(
+            "--n {} exceeds the node-id range (max {})",
+            opts.n,
+            u16::MAX
+        ));
+    }
+    if let Some(bad) = fault_nodes.iter().find(|id| id.index() >= opts.n) {
+        return Err(format!(
+            "fault spec references node {bad} but n = {}",
+            opts.n
+        ));
+    }
+    if let Some(crash) = opts.crash {
+        if crash >= opts.n {
+            return Err(format!(
+                "--crash {crash} is out of range for n = {}",
+                opts.n
+            ));
+        }
+    }
+    let t = opts
+        .t
+        .unwrap_or_else(|| ((opts.n.saturating_sub(1)) / 3).min(opts.n.saturating_sub(2)));
+    if !opts.protocol.admissible(opts.n, t) {
+        return Err(format!(
+            "protocol {} is not admissible at n={}, t={t}",
+            opts.protocol, opts.n
+        ));
+    }
+    opts.t = Some(t);
+    Ok(opts)
+}
+
+fn cmd_run(args: &[String]) -> ExitCode {
+    let opts = match parse_run(args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            usage();
+            return ExitCode::FAILURE;
+        }
+    };
+    let scheme = match scheme_by_name(&opts.scheme) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let t = opts.t.expect("resolved by parse_run");
+    let cluster = Cluster::new(opts.n, t, scheme, opts.seed)
+        .with_engine(opts.engine)
+        .with_latency(opts.latency)
+        .with_faults(opts.faults.clone());
+
+    println!(
+        "run {}: n = {}, t = {t}, engine = {}, latency = {}, {} link fault(s)",
+        opts.protocol,
+        opts.n,
+        opts.engine,
+        opts.latency,
+        opts.faults.len(),
+    );
+
+    let kd_start = std::time::Instant::now();
+    let keydist = run_keydist_for(&cluster, opts.protocol);
+    if let Some(kd) = &keydist {
+        println!(
+            "key distribution (setup phase): {} messages (3n(n-1) = {}), {:.2?}",
+            kd.stats.messages_total,
+            metrics::keydist_messages(opts.n),
+            kd_start.elapsed(),
+        );
+    }
+    let start = std::time::Instant::now();
+    let value = opts.value.clone().into_bytes();
+    let crash = opts.crash.map(|c| NodeId(c as u16));
+    let run = run_protocol_with(
+        &cluster,
+        opts.protocol,
+        keydist.as_ref(),
+        value.clone(),
+        b"default".to_vec(),
+        &mut |id| (Some(id) == crash).then(|| Box::new(SilentNode { me: id }) as Box<dyn Node>),
+    );
+    let elapsed = start.elapsed();
+
+    let network_faulted = !opts.faults.is_empty() || opts.latency != LatencySpec::Synchronous;
+    let outcome = classify(&run, network_faulted);
+    let clean = opts.crash.is_none() && !network_faulted;
+    let formula = clean
+        .then(|| opts.protocol.expected_messages(opts.n, t))
+        .map_or_else(|| "—".to_string(), |m| m.to_string());
+    println!(
+        "{}: {} messages (formula {formula}), {} bytes, {} comm rounds, {elapsed:.2?}",
+        opts.protocol,
+        run.stats.messages_total,
+        run.stats.bytes_total,
+        run.stats.per_round.iter().filter(|&&x| x > 0).count(),
+    );
+    if opts.n <= 16 {
+        for (i, o) in run.outcomes.iter().enumerate() {
+            match o {
+                Some(o) => println!("  P{i}: {o}"),
+                None => println!("  P{i}: (faulty)"),
+            }
+        }
+    } else {
+        let outs = run.correct_outcomes();
+        let decided = outs.iter().filter(|o| o.decided().is_some()).count();
+        let discovered = outs.iter().filter(|o| o.is_discovered()).count();
+        println!(
+            "  outcomes: {decided} decided, {discovered} discovered, {} pending",
+            outs.len() - decided - discovered
+        );
+    }
+    println!("classification: {outcome}");
+    if outcome == SweepOutcome::SilentDisagreement {
+        eprintln!("error: silent disagreement — the state the paper forbids");
+        return ExitCode::FAILURE;
+    }
+    // A clean run (no faults, no crash, synchronous latency) is held to
+    // the paper's failure-free contract: closed-form message count and a
+    // unanimous decision on the sender's value.
+    if clean {
+        let expected = opts.protocol.expected_messages(opts.n, t);
+        if run.stats.messages_total != expected {
+            eprintln!(
+                "error: clean run sent {} messages, formula says {expected}",
+                run.stats.messages_total
+            );
+            return ExitCode::FAILURE;
+        }
+        if outcome != SweepOutcome::AllDecided || !run.all_decided(&value) {
+            eprintln!("error: clean run did not unanimously decide the sender's value");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
 }
 
 fn cmd_vector(cluster: &Cluster) {
@@ -521,12 +816,22 @@ fn parse_sweep_matrix(
                 .ok_or_else(|| format!("flag {flag} needs a value"))
         };
         match flag.as_str() {
-            "--protocols" => matrix.protocols = parse_list(&grab()?, "protocols", Protocol::parse)?,
+            "--protocols" => {
+                let raw = grab()?;
+                matrix.protocols = if raw == "all" {
+                    Protocol::ALL.to_vec()
+                } else {
+                    parse_list(&raw, "protocols", Protocol::parse)?
+                };
+            }
             "--sizes" => {
                 matrix.sizes = parse_list(&grab()?, "sizes", |s| {
                     let n: usize = s.parse().map_err(|e| format!("--sizes: {e}"))?;
                     if n < 2 {
                         return Err(format!("--sizes: need n >= 2 (got {n})"));
+                    }
+                    if n > u16::MAX as usize {
+                        return Err(format!("--sizes: {n} exceeds the node-id range"));
                     }
                     Ok(n)
                 })?;
@@ -549,6 +854,10 @@ fn parse_sweep_matrix(
                 matrix.seeds = parse_list(&grab()?, "seeds", |s| {
                     s.parse::<u64>().map_err(|e| format!("--seeds: {e}"))
                 })?;
+            }
+            "--engines" => matrix.engines = parse_list(&grab()?, "engines", Engine::parse)?,
+            "--latencies" => {
+                matrix.latencies = parse_list(&grab()?, "latencies", LatencySpec::parse)?;
             }
             "--threads" => {
                 threads = grab()?

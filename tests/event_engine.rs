@@ -1,0 +1,255 @@
+//! Integration tests for the discrete-event engine: cross-validation
+//! against the synchronous engine (byte-identical under synchronous
+//! latency), timing-fault sweeps (zero silent disagreements), and the
+//! `lafd run` CLI surface.
+
+use local_auth_fd::core::runner::Cluster;
+use local_auth_fd::core::sweep::{run_sweep, Protocol, SweepMatrix, SweepOutcome};
+use local_auth_fd::crypto::SchnorrScheme;
+use local_auth_fd::simnet::{Engine, LatencySpec};
+use std::process::Command;
+use std::sync::Arc;
+
+/// The tentpole acceptance check: every event-engine scenario of the
+/// cross-validation matrix re-runs on the synchronous engine and must
+/// match exactly — message counts, bytes, and per-node outcomes.
+#[test]
+fn event_engine_cross_validates_against_sync_engine() {
+    let matrix = SweepMatrix::cross_validation();
+    let scenarios = matrix.scenarios();
+    assert!(scenarios.len() >= 20, "only {} scenarios", scenarios.len());
+    assert!(scenarios.iter().all(|s| s.engine == Engine::Event));
+    let report = run_sweep(&matrix, 4);
+    assert!(report.all_ok(), "failures: {:?}", report.failures());
+    for row in &report.rows {
+        assert!(row.cross_ok, "engines diverged: {row:?}");
+    }
+}
+
+/// The timing-fault acceptance check: ≥ 20 jitter / partial-synchrony /
+/// fixed-delay scenarios, all safe — late messages are discovered, never
+/// silently disagreed upon.
+#[test]
+fn latency_sweep_has_zero_silent_disagreements() {
+    let matrix = SweepMatrix::latency_matrix();
+    let scenarios = matrix.scenarios();
+    assert!(scenarios.len() >= 20, "only {} scenarios", scenarios.len());
+    let report = run_sweep(&matrix, 4);
+    assert!(report.all_ok(), "failures: {:?}", report.failures());
+    assert!(report
+        .rows
+        .iter()
+        .all(|r| r.outcome != SweepOutcome::SilentDisagreement));
+    // The matrix genuinely exercises timing faults: at least one run must
+    // have discovered a late message.
+    assert!(report
+        .rows
+        .iter()
+        .any(|r| r.outcome == SweepOutcome::Discovered));
+}
+
+/// Direct engine equivalence through the whole Cluster stack, protocol by
+/// protocol: identical statistics and identical outcomes.
+#[test]
+fn every_protocol_is_engine_invariant() {
+    let sync = Cluster::new(7, 2, Arc::new(SchnorrScheme::test_tiny()), 5);
+    let event = sync.clone().with_engine(Engine::Event);
+    let kd_s = sync.run_key_distribution();
+    let kd_e = event.run_key_distribution();
+    assert_eq!(kd_s.stats, kd_e.stats);
+
+    let v = b"engine-invariance".to_vec();
+    let d = b"default".to_vec();
+    let pairs = [
+        (
+            sync.run_chain_fd(&kd_s, v.clone()),
+            event.run_chain_fd(&kd_e, v.clone()),
+        ),
+        (
+            sync.run_non_auth_fd(v.clone()),
+            event.run_non_auth_fd(v.clone()),
+        ),
+        (
+            sync.run_small_range(&kd_s, v.clone(), d.clone()),
+            event.run_small_range(&kd_e, v.clone(), d.clone()),
+        ),
+        (
+            sync.run_fd_to_ba(&kd_s, v.clone(), d.clone()),
+            event.run_fd_to_ba(&kd_e, v.clone(), d.clone()),
+        ),
+        (
+            sync.run_dolev_strong(&kd_s, v.clone(), d.clone()),
+            event.run_dolev_strong(&kd_e, v.clone(), d.clone()),
+        ),
+        (
+            sync.run_degradable(&kd_s, v.clone(), d.clone()).0,
+            event.run_degradable(&kd_e, v.clone(), d.clone()).0,
+        ),
+    ];
+    for (s, e) in pairs {
+        assert_eq!(s.stats, e.stats);
+        assert_eq!(s.outcomes, e.outcomes);
+    }
+
+    // Phase King needs n > 4t, so it gets its own shape.
+    let sync = Cluster::new(9, 2, Arc::new(SchnorrScheme::test_tiny()), 5);
+    let event = sync.clone().with_engine(Engine::Event);
+    let s = sync.run_phase_king(v.clone(), d.clone());
+    let e = event.run_phase_king(v, d);
+    assert_eq!(s.stats, e.stats);
+    assert_eq!(s.outcomes, e.outcomes);
+}
+
+/// Jitter runs are deterministic for a fixed seed and vary across seeds.
+#[test]
+fn jitter_runs_are_seeded_and_deterministic() {
+    let run = |seed| {
+        let c = Cluster::new(6, 1, Arc::new(SchnorrScheme::test_tiny()), seed)
+            .with_engine(Engine::Event)
+            .with_latency(LatencySpec::Jitter { extra: 2 });
+        let kd = c
+            .clone()
+            .with_latency(LatencySpec::Synchronous)
+            .run_key_distribution();
+        let r = c.run_chain_fd(&kd, b"v".to_vec());
+        (r.stats, r.outcomes)
+    };
+    assert_eq!(run(7), run(7));
+}
+
+fn lafd() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_lafd"))
+}
+
+/// `lafd run` smoke: the CI large-n invocation (shrunk) succeeds on the
+/// event engine and reports the closed-form message count.
+#[test]
+fn cli_run_event_engine_smoke() {
+    let out = lafd()
+        .args(["run", "chainfd", "--engine", "event", "-n", "32"])
+        .output()
+        .expect("run lafd");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("31 messages (formula 31)"), "{stdout}");
+    assert!(stdout.contains("classification: all_decided"), "{stdout}");
+}
+
+/// `lafd run` exposes the fault plan: a dropped chain message must be
+/// discovered, and a corrupted one must fail its signature check.
+#[test]
+fn cli_run_fault_flags_reach_the_simulator() {
+    let out = lafd()
+        .args(["run", "chain", "-n", "6", "--drop", "0:0:1"])
+        .output()
+        .expect("run lafd");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("classification: discovered"), "{stdout}");
+
+    let out = lafd()
+        .args(["run", "chain", "-n", "6", "--corrupt", "0:0:1:20:1"])
+        .output()
+        .expect("run lafd");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("classification: discovered"), "{stdout}");
+}
+
+/// A latency flag implies the event engine and produces a safe run.
+#[test]
+fn cli_run_latency_flag_smoke() {
+    let out = lafd()
+        .args(["run", "chain", "-n", "8", "--latency", "jitter:1"])
+        .output()
+        .expect("run lafd");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("engine = event"), "{stdout}");
+    assert!(!stdout.contains("silent_disagreement"), "{stdout}");
+}
+
+/// Bad run flags fail fast with a usage message, not a panic.
+#[test]
+fn cli_run_rejects_bad_input() {
+    for args in [
+        vec!["run"],
+        vec!["run", "warp-speed"],
+        vec!["run", "chain", "--latency", "warp:1"],
+        vec!["run", "chain", "--drop", "0:0"],
+        vec!["run", "chain", "-n", "6", "--drop", "0:7:1"], // node out of range
+        vec!["run", "chain", "-n", "6", "--drop", "0:65536:1"], // beyond u16
+        vec!["run", "chain", "-n", "6", "--corrupt", "0:0:1:0:256"], // mask beyond a byte
+        vec!["run", "chain", "--engine", "sync", "--latency", "fixed:2"], // contradiction
+        vec!["run", "nonauth", "-n", "70000"],              // beyond the u16 node-id range
+        vec!["run", "ba", "-n", "7", "--crash", "9"],       // crash target out of range
+        vec!["run", "king", "-n", "5", "--t", "2"],         // n > 4t violated
+    ] {
+        let out = lafd().args(&args).output().expect("run lafd");
+        assert!(!out.status.success(), "{args:?} unexpectedly succeeded");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("error:"), "{args:?}: {stderr}");
+    }
+}
+
+/// `lafd sweep` accepts the new engine/latency axes and `--protocols all`.
+#[test]
+fn cli_sweep_engine_latency_axes() {
+    let out = lafd()
+        .args([
+            "sweep",
+            "--threads",
+            "2",
+            "--protocols",
+            "chain",
+            "--sizes",
+            "5",
+            "--seeds",
+            "1",
+            "--engines",
+            "event",
+            "--latencies",
+            "sync,jitter:1",
+        ])
+        .output()
+        .expect("run lafd");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("| event | sync |"), "{stdout}");
+    assert!(stdout.contains("| event | jitter:1 |"), "{stdout}");
+
+    let out = lafd()
+        .args([
+            "sweep",
+            "--threads",
+            "2",
+            "--protocols",
+            "all",
+            "--sizes",
+            "5",
+            "--seeds",
+            "1",
+        ])
+        .output()
+        .expect("run lafd");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for protocol in Protocol::ALL {
+        assert!(
+            stdout.contains(protocol.name()),
+            "missing {protocol} in: {stdout}"
+        );
+    }
+}

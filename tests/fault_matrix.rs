@@ -1,0 +1,153 @@
+//! N1-violation coverage across the full protocol lineup: seeded random
+//! `Duplicate` and `Corrupt` link faults against every FD/BA protocol, on
+//! both engines. The contract under a broken network assumption is the
+//! paper's safety property: a fault may be *discovered*, it may be
+//! absorbed (hit an unused link), but it must never produce silent
+//! disagreement — and any nodes that do decide must agree on the value.
+
+use local_auth_fd::core::runner::Cluster;
+use local_auth_fd::core::sweep::{
+    classify, run_keydist_for, run_protocol_with, Protocol, SweepOutcome,
+};
+use local_auth_fd::crypto::SchnorrScheme;
+use local_auth_fd::simnet::fault::{FaultPlan, LinkFault};
+use local_auth_fd::simnet::Engine;
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+const N: usize = 7;
+
+/// A fault budget every protocol accepts at `n = 7` (Phase King needs
+/// `n > 4t`).
+fn budget(protocol: Protocol) -> usize {
+    match protocol {
+        Protocol::PhaseKing => 1,
+        _ => 2,
+    }
+}
+
+/// Inject `k` seeded faults of the given kind into one run of `protocol`
+/// and classify the correct-node outcomes.
+fn run_with_faults(
+    protocol: Protocol,
+    engine: Engine,
+    kind: LinkFault,
+    seed: u64,
+) -> (SweepOutcome, bool) {
+    let t = budget(protocol);
+    let plan = FaultPlan::random(N, 3, 3, seed, &[kind]);
+    let cluster = Cluster::new(N, t, Arc::new(SchnorrScheme::test_tiny()), seed)
+        .with_engine(engine)
+        .with_faults(plan);
+    // Keys are established in the clean setup phase; the faults hit the
+    // protocol run itself.
+    let keydist = run_keydist_for(&cluster, protocol);
+    let value = b"fault-matrix".to_vec();
+    let run = run_protocol_with(
+        &cluster,
+        protocol,
+        keydist.as_ref(),
+        value.clone(),
+        b"fallback-default".to_vec(),
+        &mut |_| None,
+    );
+    let decided: BTreeSet<Vec<u8>> = run
+        .correct_outcomes()
+        .iter()
+        .filter_map(|o| o.decided().map(<[u8]>::to_vec))
+        .collect();
+    (classify(&run, true), decided.len() <= 1)
+}
+
+fn assert_never_silent(kind: LinkFault) {
+    for protocol in Protocol::ALL {
+        for engine in [Engine::Sync, Engine::Event] {
+            for seed in 0..8u64 {
+                let (outcome, agreed) = run_with_faults(protocol, engine, kind, seed);
+                assert_ne!(
+                    outcome,
+                    SweepOutcome::SilentDisagreement,
+                    "{protocol} on {} engine, seed {seed}, {kind:?}",
+                    engine.name()
+                );
+                assert!(
+                    agreed,
+                    "{protocol} on {} engine, seed {seed}: decided values diverged",
+                    engine.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn duplicate_faults_never_cause_silent_disagreement() {
+    assert_never_silent(LinkFault::Duplicate);
+}
+
+#[test]
+fn corrupt_faults_never_cause_silent_disagreement() {
+    assert_never_silent(LinkFault::Corrupt { offset: 0, mask: 0 });
+}
+
+/// A fault on the link the chain actually uses must *bite*: the chain is
+/// the single source of truth in chain FD, so a duplicated or corrupted
+/// first hop is always discovered, on both engines.
+#[test]
+fn faults_on_the_used_link_are_discovered() {
+    for engine in [Engine::Sync, Engine::Event] {
+        for kind in [
+            LinkFault::Duplicate,
+            LinkFault::Corrupt {
+                offset: 20,
+                mask: 0x01,
+            },
+        ] {
+            let plan = FaultPlan::new().with(
+                0,
+                local_auth_fd::simnet::NodeId(0),
+                local_auth_fd::simnet::NodeId(1),
+                kind,
+            );
+            let cluster = Cluster::new(N, 2, Arc::new(SchnorrScheme::test_tiny()), 1)
+                .with_engine(engine)
+                .with_faults(plan);
+            let keydist = run_keydist_for(&cluster, Protocol::ChainFd);
+            let run = run_protocol_with(
+                &cluster,
+                Protocol::ChainFd,
+                keydist.as_ref(),
+                b"v".to_vec(),
+                b"d".to_vec(),
+                &mut |_| None,
+            );
+            assert_eq!(
+                classify(&run, true),
+                SweepOutcome::Discovered,
+                "{kind:?} on {} engine was not discovered",
+                engine.name()
+            );
+        }
+    }
+}
+
+/// The two new timing faults ride the same contract.
+#[test]
+fn delay_and_reorder_faults_never_cause_silent_disagreement() {
+    for kind in [LinkFault::Delay { rounds: 1 }, LinkFault::Reorder] {
+        for protocol in Protocol::ALL {
+            for engine in [Engine::Sync, Engine::Event] {
+                for seed in 0..4u64 {
+                    let (outcome, agreed) = run_with_faults(protocol, engine, kind, seed);
+                    assert_ne!(
+                        outcome,
+                        SweepOutcome::SilentDisagreement,
+                        "{protocol} on {} engine, seed {seed}, {kind:?}",
+                        engine.name()
+                    );
+                    assert!(agreed, "{protocol}: decided values diverged under {kind:?}");
+                }
+            }
+        }
+    }
+}

@@ -18,6 +18,7 @@ fn sweep_report_is_reproducible_byte_for_byte() {
         adversaries: vec![AdversaryKind::None, AdversaryKind::SilentRelay],
         schemes: vec![SchemeSpec::Tiny],
         seeds: vec![7, 8],
+        ..SweepMatrix::quick()
     };
     let first = run_sweep(&matrix, 1);
     let second = run_sweep(&matrix, 4);
@@ -59,6 +60,7 @@ fn schemes_change_bytes_not_messages() {
         adversaries: vec![AdversaryKind::None],
         schemes: vec![SchemeSpec::Tiny, SchemeSpec::DsaTiny],
         seeds: vec![1],
+        ..SweepMatrix::quick()
     };
     let report = run_sweep(&base, 2);
     assert_eq!(report.rows.len(), 2);
