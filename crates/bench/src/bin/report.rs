@@ -10,9 +10,9 @@
 //! binary prints their deterministic companions (operation counts).
 
 use fd_bench::{
-    f1_amortization, f4_rotation, t10_wire_cost, t11_sweep, t12_large_n, t1_keydist, t2_fd_cost,
-    t3_rounds, t5_small_range, t6_ba_cost, t7_agreement_costs, t8_fault_classes,
-    t9_assumption_ablation,
+    f1_amortization, f4_rotation, t10_wire_cost, t11_sweep, t12_large_n, t13_sched_search,
+    t1_keydist, t2_fd_cost, t3_rounds, t5_small_range, t6_ba_cost, t7_agreement_costs,
+    t8_fault_classes, t9_assumption_ablation,
 };
 use fd_core::adversary::{
     ChainFdAdversary, ChainMisbehavior, EquivocatingKeyDist, LaggardNode, OmissiveNode, SilentNode,
@@ -88,6 +88,42 @@ fn main() {
     if want("t12") {
         t12();
     }
+    if want("t13") {
+        t13();
+    }
+}
+
+fn t13() {
+    println!("## T13 — adversarial scheduler search (chain FD & Dolev–Strong BA)\n");
+    println!(
+        "`fd_core::schedsearch` hunts for the delivery schedule within the\n\
+         `jitter:2` latency bounds that maximizes disagreement (silent >\n\
+         loud > fallback > message anomaly), 40 episodes per search. Loud\n\
+         findings are expected — timing faults are *discovered* — but no\n\
+         schedule may ever produce silent disagreement.\n"
+    );
+    println!("| protocol | n | t | strategy | episodes | findings | worst schedule | msgs | silent | cert replay |");
+    println!("|---|---|---|---|---|---|---|---|---|---|");
+    for row in t13_sched_search(&[16, 64], 40) {
+        println!(
+            "| {} | {} | {} | {} | {} | {} | {} | {} | {} | {} |",
+            row.protocol,
+            row.n,
+            row.t,
+            row.strategy,
+            row.episodes,
+            row.findings,
+            row.best_score,
+            row.best_messages,
+            if row.silent_found {
+                "**YES (BUG)**"
+            } else {
+                "never"
+            },
+            ok(row.replay_ok),
+        );
+    }
+    println!();
 }
 
 fn t12() {

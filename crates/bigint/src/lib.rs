@@ -4,9 +4,12 @@
 //! substrate for the signature schemes in the
 //! [Borcherding 1995](https://doi.org/10.1109/ICDCS.1995.500023) reproduction.
 //!
-//! The paper assumes a signature scheme with properties S1–S3 and cites DSA
-//! and RSA as instantiations; both need multi-precision modular arithmetic.
-//! This crate provides exactly that, with no external dependencies:
+//! The paper assumes a signature scheme with properties S1–S3 (its §2)
+//! and cites DSA and RSA as instantiations; both need multi-precision
+//! modular arithmetic. This crate provides exactly that, with no external
+//! dependencies — everything above it (the Fig. 1 key distribution's
+//! challenge signatures, the §4 chain signatures, the test predicates
+//! exchanged as public keys) ultimately reduces to these primitives:
 //!
 //! * [`Ubig`] — dynamically sized unsigned integers (64-bit limbs,
 //!   little-endian, always normalized).

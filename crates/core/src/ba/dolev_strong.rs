@@ -202,6 +202,15 @@ impl Node for DolevStrongNode {
 
     fn on_round(&mut self, round: u32, inbox: &[Envelope], out: &mut Outbox) {
         if self.done {
+            // Under N1 every honest message lands by the decision round
+            // (t + 1), so a later arrival proves a timing violation.
+            // Recording it keeps a timing-starved default decision *loud*:
+            // a schedule that delays every chain addressed to one node past
+            // its horizon must not let it decide the default silently while
+            // the rest decide the sender's value.
+            if !inbox.is_empty() && !self.outcome.is_discovered() {
+                self.outcome = Outcome::Discovered(DiscoveryReason::UnexpectedMessage { round });
+            }
             return;
         }
         if round == 0 {
@@ -356,6 +365,43 @@ mod tests {
         net.run_until_done(DolevStrongParams::new(n, t, vec![]).rounds());
         let outs = outcomes(net);
         assert!(outs[2].is_discovered());
+    }
+
+    #[test]
+    fn post_decision_arrival_is_discovered_not_ignored() {
+        use fd_simnet::fault::{FaultPlan, LinkFault};
+        use fd_simnet::EventNetwork;
+        let (n, t) = (4usize, 1usize);
+        let mut net = EventNetwork::new(build(n, t, b"v"));
+        // Hold the sender's round-0 chain to P2 back three whole rounds:
+        // it lands after P2's decision at round t + 1 = 2. P2 still
+        // extracts `v` via the round-1 relays, but the late arrival is a
+        // provable N1 violation and must be surfaced, not ignored — an
+        // adversarial schedule that starved P2 of *all* chains would
+        // otherwise let it decide the default silently.
+        net.set_fault_plan(FaultPlan::new().with(
+            0,
+            NodeId(0),
+            NodeId(2),
+            LinkFault::Delay { rounds: 3 },
+        ));
+        net.run_until_done(8);
+        let outs: Vec<Outcome> = net
+            .into_nodes()
+            .into_iter()
+            .map(|b| {
+                b.into_any()
+                    .downcast::<DolevStrongNode>()
+                    .expect("DolevStrongNode")
+                    .outcome
+            })
+            .collect();
+        assert!(outs[2].is_discovered(), "late arrival ignored: {outs:?}");
+        for (i, o) in outs.iter().enumerate() {
+            if i != 2 {
+                assert_eq!(*o, Outcome::Decided(b"v".to_vec()), "P{i}");
+            }
+        }
     }
 
     #[test]

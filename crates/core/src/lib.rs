@@ -26,8 +26,22 @@
 //! * [`epoch`] — key rotation: re-running local authentication in epochs,
 //!   with cross-epoch replays discovered by the unchanged Theorem 4
 //!   machinery.
-//! * [`runner`] / [`metrics`] — cluster orchestration and the closed-form
-//!   message-complexity expressions each experiment table checks against.
+//! * [`runner`] — cluster orchestration over the pluggable
+//!   [`runner::NetworkDriver`] seam: every protocol runs on the lockstep
+//!   engine (the paper's §2 timing) or the discrete-event engine
+//!   (latency models, per-link overrides, adversarial schedules).
+//! * [`metrics`] — the paper's closed-form message-complexity
+//!   expressions (`3n(n−1)` key distribution, `n−1` chain FD,
+//!   `(t+2)(n−1)` non-authenticated, the §6 amortization crossover)
+//!   that every run and experiment table is checked against.
+//! * [`sweep`] — declarative scenario matrices (`{engine × latency ×
+//!   protocol × n × t × adversary × scheme × seed}`) fanned out across a
+//!   thread pool, with formula checks, outcome classification, and
+//!   byte-deterministic reports.
+//! * [`schedsearch`] — adversarial scheduler search: hunts for the
+//!   delivery schedule within a latency envelope that maximizes
+//!   disagreement, emitting replayable schedule certificates — the
+//!   worst-case-adversary counterpart to the sweep's sampled timing.
 //!
 //! ## Quickstart
 //!
@@ -61,6 +75,7 @@ pub mod localauth;
 pub mod metrics;
 pub mod props;
 pub mod runner;
+pub mod schedsearch;
 pub mod sweep;
 
 mod outcome;

@@ -23,8 +23,17 @@ use crate::localauth::{KdAnomaly, KeyDistNode, KEYDIST_ROUNDS};
 use crate::outcome::Outcome;
 use fd_crypto::SignatureScheme;
 use fd_simnet::fault::FaultPlan;
-use fd_simnet::{Engine, EventNetwork, LatencySpec, NetStats, Node, NodeId, SyncNetwork};
+use fd_simnet::{
+    Engine, EventNetwork, LatencySpec, LinkLatencySpec, NetStats, Node, NodeId, SyncNetwork,
+};
+use std::collections::HashMap;
 use std::sync::Arc;
+
+/// A per-message delivery schedule for the event engine, keyed by send
+/// index and valued in virtual ticks (see
+/// [`EventNetwork::set_delay_overrides`]). Shared by handle so a search
+/// loop can re-run the same schedule without copying the map.
+pub type Schedule = Arc<HashMap<u64, u64>>;
 
 /// A function that replaces selected honest nodes with adversaries.
 ///
@@ -40,6 +49,9 @@ pub struct DriveReport {
     pub stats: NetStats,
     /// Rounds actually executed.
     pub rounds: u32,
+    /// Per-message `(send_round, ticks)` delays in send order, when the
+    /// driver recorded them (event engine with delay logging enabled).
+    pub delay_log: Option<Vec<(u32, u64)>>,
 }
 
 /// An execution engine a [`Cluster`] can run node sets on.
@@ -69,25 +81,44 @@ impl NetworkDriver for SyncDriver {
             stats: net.stats().clone(),
             rounds,
             nodes: net.into_nodes(),
+            delay_log: None,
         }
     }
 }
 
 /// The discrete-event engine with a configurable latency model.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct EventDriver {
     /// Latency model for every link.
     pub latency: LatencySpec,
+    /// Per-link overrides layered on top of `latency` (see
+    /// [`fd_simnet::event::PerLink`]).
+    pub link_latency: Vec<LinkLatencySpec>,
     /// Seed feeding the latency model's randomness.
     pub seed: u64,
     /// Link faults injected into every run.
     pub faults: FaultPlan,
+    /// Per-message delay overrides (the adversarial scheduler's hook).
+    pub schedule: Option<Schedule>,
+    /// Record the applied per-message delays into
+    /// [`DriveReport::delay_log`].
+    pub record_delays: bool,
 }
 
 impl NetworkDriver for EventDriver {
     fn drive(&self, nodes: Vec<Box<dyn Node>>, max_rounds: u32) -> DriveReport {
         let mut net = EventNetwork::new(nodes);
-        net.set_latency(self.latency.build(self.seed));
+        net.set_latency(LinkLatencySpec::build_model(
+            self.latency,
+            &self.link_latency,
+            self.seed,
+        ));
+        if let Some(schedule) = &self.schedule {
+            net.set_delay_overrides(schedule.as_ref().clone());
+        }
+        if self.record_delays {
+            net.enable_delay_log();
+        }
         if !self.faults.is_empty() {
             net.set_fault_plan(self.faults.clone());
         }
@@ -95,6 +126,7 @@ impl NetworkDriver for EventDriver {
         DriveReport {
             stats: net.stats().clone(),
             rounds,
+            delay_log: net.delay_log().map(<[(u32, u64)]>::to_vec),
             nodes: net.into_nodes(),
         }
     }
@@ -115,8 +147,16 @@ pub struct Cluster {
     pub engine: Engine,
     /// Latency model for event-engine runs (default: synchronous).
     pub latency: LatencySpec,
+    /// Per-link latency overrides for event-engine runs (default: none).
+    pub link_latency: Vec<LinkLatencySpec>,
     /// Link faults installed on every run (default: none).
     pub faults: FaultPlan,
+    /// Per-message delivery schedule for event-engine runs (default:
+    /// none — the latency model decides every delay).
+    pub schedule: Option<Schedule>,
+    /// Record applied per-message delays into [`FdRunReport::delay_log`]
+    /// (event engine only; default: off).
+    pub record_delays: bool,
 }
 
 /// Result of a key distribution run.
@@ -153,6 +193,11 @@ pub struct FdRunReport {
     /// Which nodes took the BA fallback (only for FD→BA runs; empty
     /// otherwise).
     pub used_fallback: Vec<bool>,
+    /// Per-message `(send_round, ticks)` delays in send order, when the
+    /// cluster recorded them ([`Cluster::with_delay_log`]). This is the
+    /// raw material of a schedule certificate: feeding the delays back via
+    /// [`Cluster::with_schedule`] replays the run exactly.
+    pub delay_log: Option<Vec<(u32, u64)>>,
 }
 
 impl FdRunReport {
@@ -191,7 +236,10 @@ impl Cluster {
             seed,
             engine: Engine::Sync,
             latency: LatencySpec::Synchronous,
+            link_latency: Vec::new(),
             faults: FaultPlan::new(),
+            schedule: None,
+            record_delays: false,
         }
     }
 
@@ -209,9 +257,30 @@ impl Cluster {
         self
     }
 
+    /// Install per-link latency overrides on top of the base latency model
+    /// (only meaningful with [`Engine::Event`]).
+    pub fn with_link_latency(mut self, link_latency: Vec<LinkLatencySpec>) -> Self {
+        self.link_latency = link_latency;
+        self
+    }
+
     /// Install a link-fault plan on every run derived from this cluster.
     pub fn with_faults(mut self, faults: FaultPlan) -> Self {
         self.faults = faults;
+        self
+    }
+
+    /// Install (or clear) a per-message delivery schedule on event-engine
+    /// runs — the adversarial scheduler search's hook into the cluster.
+    pub fn with_schedule(mut self, schedule: Option<Schedule>) -> Self {
+        self.schedule = schedule;
+        self
+    }
+
+    /// Record applied per-message delays into [`FdRunReport::delay_log`]
+    /// on event-engine runs.
+    pub fn with_delay_log(mut self) -> Self {
+        self.record_delays = true;
         self
     }
 
@@ -226,17 +295,24 @@ impl Cluster {
                 faults: self.faults.clone(),
             }
             .drive(nodes, base_rounds.saturating_add(delay_slack)),
-            Engine::Event => EventDriver {
-                latency: self.latency,
-                seed: self.seed,
-                faults: self.faults.clone(),
+            Engine::Event => {
+                // The slowest of the base model and any per-link override
+                // bounds how far a message can stretch.
+                let budget = self
+                    .link_latency
+                    .iter()
+                    .map(|link| link.spec.round_budget(base_rounds))
+                    .fold(self.latency.round_budget(base_rounds), u32::max);
+                EventDriver {
+                    latency: self.latency,
+                    link_latency: self.link_latency.clone(),
+                    seed: self.seed,
+                    faults: self.faults.clone(),
+                    schedule: self.schedule.clone(),
+                    record_delays: self.record_delays,
+                }
+                .drive(nodes, budget.saturating_add(delay_slack))
             }
-            .drive(
-                nodes,
-                self.latency
-                    .round_budget(base_rounds)
-                    .saturating_add(delay_slack),
-            ),
         }
     }
 
@@ -447,6 +523,7 @@ impl Cluster {
             .collect();
         let report = self.drive(nodes, rounds);
         let stats = report.stats;
+        let delay_log = report.delay_log;
         let mut outcomes = Vec::with_capacity(self.n);
         let mut per_instance = Vec::with_capacity(self.n);
         for boxed in report.nodes {
@@ -479,6 +556,7 @@ impl Cluster {
                 outcomes,
                 stats,
                 used_fallback: Vec::new(),
+                delay_log,
             },
             per_instance,
         )
@@ -594,6 +672,7 @@ impl Cluster {
             .collect();
         let report = self.drive(nodes, rounds);
         let stats = report.stats;
+        let delay_log = report.delay_log;
         let mut outcomes = Vec::with_capacity(self.n);
         let mut grades = Vec::with_capacity(self.n);
         for boxed in report.nodes {
@@ -613,6 +692,7 @@ impl Cluster {
                 outcomes,
                 stats,
                 used_fallback: Vec::new(),
+                delay_log,
             },
             grades,
         )
@@ -657,6 +737,7 @@ impl Cluster {
 
         let report = self.drive(nodes, rounds);
         let stats = report.stats;
+        let delay_log = report.delay_log;
         let mut outcomes = Vec::with_capacity(self.n);
         let mut used_fallback = Vec::with_capacity(self.n);
         for boxed in report.nodes {
@@ -675,6 +756,7 @@ impl Cluster {
             outcomes,
             stats,
             used_fallback,
+            delay_log,
         }
     }
 
@@ -688,6 +770,7 @@ impl Cluster {
     ) -> FdRunReport {
         let report = self.drive(nodes, rounds);
         let stats = report.stats;
+        let delay_log = report.delay_log;
         let outcomes = report
             .nodes
             .into_iter()
@@ -703,6 +786,7 @@ impl Cluster {
             outcomes,
             stats,
             used_fallback: Vec::new(),
+            delay_log,
         }
     }
 }

@@ -41,8 +41,9 @@ use crate::adversary::{ChainFdAdversary, ChainMisbehavior, CrashNode, SilentNode
 use crate::fd::{ChainFdNode, ChainFdParams};
 use crate::metrics;
 use crate::runner::{Cluster, FdRunReport, KeyDistReport, Substitution};
+use crate::schedsearch::{self, Score, SearchConfig, Strategy};
 use fd_crypto::{DsaScheme, SchnorrScheme, SignatureScheme};
-use fd_simnet::{Engine, LatencySpec, Node, NodeId};
+use fd_simnet::{Engine, LatencySpec, LinkLatencySpec, Node, NodeId};
 use std::collections::BTreeSet;
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -300,6 +301,18 @@ impl FaultRule {
     }
 }
 
+/// The adversarial-scheduler axis of a sweep: every event-engine row
+/// whose latency envelope leaves schedule freedom (and that carries no
+/// per-link override) additionally runs a bounded schedule search and
+/// records the worst schedule found (see [`crate::schedsearch`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SearchAxis {
+    /// Protocol executions each row's search may spend.
+    pub budget: usize,
+    /// Search strategy.
+    pub strategy: Strategy,
+}
+
 /// The axes of a sweep.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SweepMatrix {
@@ -320,6 +333,16 @@ pub struct SweepMatrix {
     /// Latency models (event engine only; the synchronous engine is
     /// paired exclusively with [`LatencySpec::Synchronous`]).
     pub latencies: Vec<LatencySpec>,
+    /// Per-link latency overrides applied to every event-engine row
+    /// (default: none). Rows with overrides are treated like
+    /// timing-faulted rows: no closed-form expectation, no
+    /// cross-validation, but silent disagreement still fails them.
+    pub link_latency: Vec<LinkLatencySpec>,
+    /// Optional adversarial scheduler search (default: off). Attaches to
+    /// event-engine rows whose latency has schedule freedom
+    /// ([`LatencySpec::has_schedule_freedom`]); rows under degenerate
+    /// latency or with per-link overrides skip it.
+    pub search: Option<SearchAxis>,
 }
 
 impl SweepMatrix {
@@ -341,6 +364,8 @@ impl SweepMatrix {
             seeds: vec![1, 2],
             engines: vec![Engine::Sync],
             latencies: vec![LatencySpec::Synchronous],
+            link_latency: Vec::new(),
+            search: None,
         }
     }
 
@@ -355,6 +380,8 @@ impl SweepMatrix {
             seeds: vec![1, 2],
             engines: vec![Engine::Sync],
             latencies: vec![LatencySpec::Synchronous],
+            link_latency: Vec::new(),
+            search: None,
         }
     }
 
@@ -393,6 +420,8 @@ impl SweepMatrix {
                 LatencySpec::PartialSynchrony { gst: 2, extra: 1 },
                 LatencySpec::Fixed { rounds: 2 },
             ],
+            link_latency: Vec::new(),
+            search: None,
         }
     }
 
@@ -523,6 +552,20 @@ impl fmt::Display for SweepOutcome {
     }
 }
 
+/// Result of the adversarial scheduler search attached to one row by
+/// [`SweepMatrix::search`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SearchRowSummary {
+    /// The strategy the row's search used.
+    pub strategy: Strategy,
+    /// Episodes executed.
+    pub episodes: usize,
+    /// The worst (highest-scoring) schedule found.
+    pub best: Score,
+    /// Whether the best schedule's certificate replayed exactly.
+    pub replay_ok: bool,
+}
+
 /// Measurements and checks from one executed scenario.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ScenarioRow {
@@ -549,24 +592,40 @@ pub struct ScenarioRow {
     /// Whether the synchronous-engine twin run matched exactly (event
     /// engine under synchronous latency only; vacuously true otherwise).
     pub cross_ok: bool,
+    /// The row's adversarial scheduler search, when the matrix carried a
+    /// [`SearchAxis`] and the row ran on the event engine.
+    pub search: Option<SearchRowSummary>,
 }
 
 impl ScenarioRow {
+    /// Whether the failure-free closed-form expectations applied to this
+    /// row — an adversary, a non-synchronous latency, or a per-link
+    /// override each waives them.
+    fn strict(&self) -> bool {
+        self.expected_messages.is_some()
+    }
+
     /// Whether the row upholds every check that applies to it:
     /// failure-free synchronous rows must decide the sender's value at
     /// exactly the closed-form message count; adversarial or timing-faulted
     /// rows must never exhibit silent disagreement; event-engine rows under
-    /// synchronous latency must match their synchronous-engine twin.
+    /// synchronous latency must match their synchronous-engine twin; a
+    /// schedule search must never find silent disagreement and its best
+    /// certificate must replay (loud findings are recorded, not failures).
     pub fn ok(&self) -> bool {
         let formula_ok = self
             .expected_messages
             .is_none_or(|expected| expected == self.messages);
-        let outcome_ok = if self.scenario.strict() {
+        let outcome_ok = if self.strict() {
             self.outcome == SweepOutcome::AllDecided
         } else {
             self.outcome != SweepOutcome::SilentDisagreement
         };
-        formula_ok && outcome_ok && self.keydist_ok && self.value_ok && self.cross_ok
+        let search_ok = self
+            .search
+            .as_ref()
+            .is_none_or(|s| !s.best.silent_disagreement && s.replay_ok);
+        formula_ok && outcome_ok && self.keydist_ok && self.value_ok && self.cross_ok && search_ok
     }
 }
 
@@ -575,6 +634,11 @@ impl ScenarioRow {
 pub struct SweepReport {
     /// One row per scenario.
     pub rows: Vec<ScenarioRow>,
+    /// The matrix-wide per-link latency overrides the rows ran under
+    /// (empty for plain sweeps). Recorded so an archived report remains
+    /// self-describing: link overrides waive the closed-form and
+    /// cross-validation checks, which is otherwise invisible per row.
+    pub link_latency: Vec<LinkLatencySpec>,
 }
 
 impl SweepReport {
@@ -599,7 +663,16 @@ impl SweepReport {
     /// Serialize as deterministic JSON (stable field order, no floats, no
     /// timestamps): rerunning the same matrix yields identical bytes.
     pub fn to_json(&self) -> String {
-        let mut s = String::from("{\n  \"rows\": [\n");
+        let mut s = String::from("{\n  \"link_latency\": [");
+        for (i, link) in self.link_latency.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push('"');
+            s.push_str(&link.name());
+            s.push('"');
+        }
+        s.push_str("],\n  \"rows\": [\n");
         for (i, row) in self.rows.iter().enumerate() {
             let sc = &row.scenario;
             s.push_str("    {");
@@ -627,6 +700,14 @@ impl SweepReport {
             s.push_str(", ");
             push_json_str(&mut s, "outcome", row.outcome.name());
             s.push_str(&format!(", \"cross_ok\": {}", row.cross_ok));
+            match &row.search {
+                Some(sr) => s.push_str(&format!(
+                    ", \"search\": {{\"strategy\": \"{}\", \"episodes\": {}, \
+                     \"best\": \"{}\", \"replay_ok\": {}}}",
+                    sr.strategy, sr.episodes, sr.best, sr.replay_ok
+                )),
+                None => s.push_str(", \"search\": null"),
+            }
             s.push_str(&format!(", \"ok\": {}}}", row.ok()));
             if i + 1 < self.rows.len() {
                 s.push(',');
@@ -648,10 +729,22 @@ impl SweepReport {
     /// Render as a markdown table plus a summary line (deterministic).
     pub fn to_markdown(&self) -> String {
         let mut s = String::from("# lafd sweep report\n\n");
+        if !self.link_latency.is_empty() {
+            let links: Vec<String> = self
+                .link_latency
+                .iter()
+                .map(LinkLatencySpec::name)
+                .collect();
+            s.push_str(&format!(
+                "Per-link latency overrides: `{}` (closed-form and \
+                 cross-validation checks waived on event rows).\n\n",
+                links.join("`, `")
+            ));
+        }
         s.push_str(
-            "| protocol | n | t | adversary | scheme | seed | engine | latency | keydist | msgs | formula | bytes | rounds | outcome | ok |\n",
+            "| protocol | n | t | adversary | scheme | seed | engine | latency | keydist | msgs | formula | bytes | rounds | outcome | search | ok |\n",
         );
-        s.push_str("|---|---|---|---|---|---|---|---|---|---|---|---|---|---|---|\n");
+        s.push_str("|---|---|---|---|---|---|---|---|---|---|---|---|---|---|---|---|\n");
         for row in &self.rows {
             let sc = &row.scenario;
             let keydist = row
@@ -660,8 +753,12 @@ impl SweepReport {
             let formula = row
                 .expected_messages
                 .map_or_else(|| "—".to_string(), |m| m.to_string());
+            let search = row.search.as_ref().map_or_else(
+                || "—".to_string(),
+                |sr| format!("{}:{}", sr.strategy, sr.best),
+            );
             s.push_str(&format!(
-                "| {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} |\n",
+                "| {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} |\n",
                 sc.protocol,
                 sc.n,
                 sc.t,
@@ -676,6 +773,7 @@ impl SweepReport {
                 row.bytes,
                 row.comm_rounds,
                 row.outcome,
+                search,
                 if row.ok() { "yes" } else { "NO" },
             ));
         }
@@ -706,15 +804,17 @@ fn push_json_str(s: &mut String, key: &str, value: &str) {
 }
 
 /// Run the key distribution a protocol needs on the scenario's engine,
-/// always under synchronous latency and without link faults — keys are
-/// established in the quiet setup phase, before the network's timing or
-/// fault behaviour matters.
+/// always under synchronous latency and without link faults, per-link
+/// overrides, or schedule overrides — keys are established in the quiet
+/// setup phase, before the network's timing or fault behaviour matters.
 pub fn run_keydist_for(cluster: &Cluster, protocol: Protocol) -> Option<KeyDistReport> {
     protocol.needs_keys().then(|| {
         cluster
             .clone()
             .with_latency(LatencySpec::Synchronous)
+            .with_link_latency(Vec::new())
             .with_faults(fd_simnet::fault::FaultPlan::new())
+            .with_schedule(None)
             .run_key_distribution()
     })
 }
@@ -754,8 +854,13 @@ pub fn run_protocol_with(
 }
 
 /// Execute one scenario on its configured engine, returning the run for
-/// cross-validation alongside the keydist message count.
-fn execute_scenario(scenario: &Scenario, engine: Engine) -> (Option<usize>, FdRunReport) {
+/// cross-validation alongside the keydist message count. Per-link latency
+/// overrides only apply on the event engine.
+fn execute_scenario(
+    scenario: &Scenario,
+    engine: Engine,
+    link_latency: &[LinkLatencySpec],
+) -> (Option<usize>, FdRunReport) {
     let cluster = Cluster::new(
         scenario.n,
         scenario.t,
@@ -763,7 +868,12 @@ fn execute_scenario(scenario: &Scenario, engine: Engine) -> (Option<usize>, FdRu
         scenario.seed,
     )
     .with_engine(engine)
-    .with_latency(scenario.latency);
+    .with_latency(scenario.latency)
+    .with_link_latency(if engine == Engine::Event {
+        link_latency.to_vec()
+    } else {
+        Vec::new()
+    });
     let value = scenario.value();
     let default_value = b"sweep-default".to_vec();
 
@@ -783,28 +893,82 @@ fn execute_scenario(scenario: &Scenario, engine: Engine) -> (Option<usize>, FdRu
     (keydist_messages, run)
 }
 
-/// Execute one scenario.
+/// Execute one scenario with the default extras (no per-link overrides,
+/// no schedule search) — see [`run_scenario_with`].
 pub fn run_scenario(scenario: &Scenario) -> ScenarioRow {
-    let (keydist_messages, run) = execute_scenario(scenario, scenario.engine);
+    run_scenario_with(scenario, &[], None)
+}
+
+/// Execute one scenario with the matrix-wide extras: per-link latency
+/// overrides and the optional scheduler-search axis.
+///
+/// Rows with per-link overrides are treated like timing-faulted rows —
+/// the closed-form expectations and the synchronous-engine
+/// cross-validation are waived, and [`classify`] runs with
+/// `network_faulted = true` — but silent disagreement still fails them.
+pub fn run_scenario_with(
+    scenario: &Scenario,
+    link_latency: &[LinkLatencySpec],
+    search: Option<SearchAxis>,
+) -> ScenarioRow {
+    let has_links = !link_latency.is_empty() && scenario.engine == Engine::Event;
+    let (keydist_messages, run) = execute_scenario(scenario, scenario.engine, link_latency);
     let keydist_ok = keydist_messages.is_none_or(|m| m == metrics::keydist_messages(scenario.n));
 
     // Cross-validation: the event engine under synchronous latency must
     // reproduce the synchronous engine exactly — message counts, bytes,
-    // and every node's outcome.
+    // and every node's outcome. Per-link overrides change delivery times,
+    // so they waive the comparison.
     let cross_ok = if scenario.engine == Engine::Event
         && scenario.latency == LatencySpec::Synchronous
+        && !has_links
     {
-        let (twin_keydist, twin) = execute_scenario(scenario, Engine::Sync);
+        let (twin_keydist, twin) = execute_scenario(scenario, Engine::Sync, &[]);
         twin_keydist == keydist_messages && twin.stats == run.stats && twin.outcomes == run.outcomes
     } else {
         true
     };
 
-    let outcome = classify(&run, scenario.latency != LatencySpec::Synchronous);
-    let strict = scenario.strict();
+    let outcome = classify(
+        &run,
+        scenario.latency != LatencySpec::Synchronous || has_links,
+    );
+    let strict = scenario.strict() && !has_links;
     let expected_messages =
         strict.then(|| scenario.protocol.expected_messages(scenario.n, scenario.t));
     let value_ok = !strict || run.all_decided(&scenario.value());
+
+    // The scheduler-search axis: hunt for the worst admissible schedule
+    // of this row's scenario. The search only applies where it can learn
+    // anything: event-engine rows whose latency envelope leaves schedule
+    // freedom (`sync`/`fixed:D` rows would replay the baseline `budget`
+    // times), and rows without per-link overrides (the search explores
+    // the base spec's envelope, which a per-link override changes — a
+    // summary of the linkless scenario would misdescribe the row).
+    let search = search
+        .filter(|_| {
+            scenario.engine == Engine::Event
+                && scenario.latency.has_schedule_freedom()
+                && !has_links
+        })
+        .map(|axis| {
+            let config = SearchConfig {
+                scheme: scenario.scheme,
+                latency: scenario.latency,
+                adversary: scenario.adversary,
+                strategy: axis.strategy,
+                budget: axis.budget.max(1),
+                ..SearchConfig::new(scenario.protocol, scenario.n, scenario.t, scenario.seed)
+            };
+            let report = schedsearch::run_search(&config)
+                .expect("admissible scenario yields a valid search config");
+            SearchRowSummary {
+                strategy: axis.strategy,
+                episodes: report.episodes.len(),
+                best: report.best_score,
+                replay_ok: report.replay_ok,
+            }
+        });
 
     ScenarioRow {
         scenario: *scenario,
@@ -817,11 +981,12 @@ pub fn run_scenario(scenario: &Scenario) -> ScenarioRow {
         outcome,
         value_ok,
         cross_ok,
+        search,
     }
 }
 
 /// Build the node-substitution closure for the scenario's adversary.
-fn build_substitution<'a>(
+pub(crate) fn build_substitution<'a>(
     scenario: &'a Scenario,
     cluster: &'a Cluster,
     relay: NodeId,
@@ -924,7 +1089,7 @@ pub fn run_sweep(matrix: &SweepMatrix, threads: usize) -> SweepReport {
                 let Some(scenario) = scenarios.get(index) else {
                     break;
                 };
-                let row = run_scenario(scenario);
+                let row = run_scenario_with(scenario, &matrix.link_latency, matrix.search);
                 slots.lock().expect("sweep worker panicked")[index] = Some(row);
             });
         }
@@ -936,7 +1101,10 @@ pub fn run_sweep(matrix: &SweepMatrix, threads: usize) -> SweepReport {
         .into_iter()
         .map(|slot| slot.expect("every scenario produced a row"))
         .collect();
-    SweepReport { rows }
+    SweepReport {
+        rows,
+        link_latency: matrix.link_latency.clone(),
+    }
 }
 
 #[cfg(test)]
@@ -1107,6 +1275,112 @@ mod tests {
             // Timing-faulted rows carry no formula expectation.
             assert_eq!(row.expected_messages, None);
         }
+    }
+
+    #[test]
+    fn search_axis_attaches_only_where_the_scheduler_has_freedom() {
+        let matrix = SweepMatrix {
+            protocols: vec![Protocol::ChainFd],
+            sizes: vec![5],
+            seeds: vec![1],
+            engines: vec![Engine::Sync, Engine::Event],
+            latencies: vec![LatencySpec::Synchronous, LatencySpec::Jitter { extra: 1 }],
+            search: Some(SearchAxis {
+                budget: 3,
+                strategy: Strategy::Random,
+            }),
+            ..SweepMatrix::quick()
+        };
+        let report = run_sweep(&matrix, 2);
+        assert!(report.all_ok(), "failures: {:?}", report.failures());
+        for row in &report.rows {
+            // Degenerate envelopes (sync engine, or event under `sync`
+            // latency) would replay the baseline `budget` times; only
+            // jittery event rows carry a search.
+            if row.scenario.engine == Engine::Event && row.scenario.latency.has_schedule_freedom() {
+                let search = row.search.as_ref().expect("jittery event rows searched");
+                assert_eq!(search.episodes, 3);
+                assert!(search.replay_ok, "{row:?}");
+                assert!(!search.best.silent_disagreement, "{row:?}");
+            } else {
+                assert!(row.search.is_none(), "{row:?}");
+            }
+        }
+        assert!(report.rows.iter().any(|r| r.search.is_some()));
+        // The search result is part of the deterministic report surface.
+        assert_eq!(report.to_json(), run_sweep(&matrix, 1).to_json());
+    }
+
+    #[test]
+    fn search_axis_skips_rows_with_link_overrides() {
+        let matrix = SweepMatrix {
+            protocols: vec![Protocol::ChainFd],
+            sizes: vec![5],
+            seeds: vec![1],
+            engines: vec![Engine::Event],
+            latencies: vec![LatencySpec::Jitter { extra: 1 }],
+            link_latency: vec![LinkLatencySpec::parse("0:1:fixed:2").unwrap()],
+            search: Some(SearchAxis {
+                budget: 3,
+                strategy: Strategy::Random,
+            }),
+            ..SweepMatrix::quick()
+        };
+        let report = run_sweep(&matrix, 1);
+        assert!(report.all_ok(), "failures: {:?}", report.failures());
+        // The search explores the base envelope only; attaching it to a
+        // row whose delivery times include a per-link override would
+        // misdescribe the row, so it is skipped.
+        assert!(report.rows.iter().all(|r| r.search.is_none()));
+    }
+
+    #[test]
+    fn search_finding_silent_disagreement_fails_the_row() {
+        let mut row = run_scenario(&SweepMatrix::quick().scenarios()[0]);
+        assert!(row.ok());
+        row.search = Some(SearchRowSummary {
+            strategy: Strategy::Greedy,
+            episodes: 5,
+            best: Score {
+                silent_disagreement: true,
+                ..Score::default()
+            },
+            replay_ok: true,
+        });
+        assert!(!row.ok(), "silent-disagreement finding must fail the row");
+        row.search.as_mut().unwrap().best.silent_disagreement = false;
+        assert!(row.ok(), "loud findings are recorded, not failures");
+        row.search.as_mut().unwrap().replay_ok = false;
+        assert!(!row.ok(), "a non-replaying certificate must fail the row");
+    }
+
+    #[test]
+    fn link_latency_rows_waive_formulas_but_not_safety() {
+        let link = LinkLatencySpec::parse("0:1:fixed:3").unwrap();
+        let matrix = SweepMatrix {
+            protocols: vec![Protocol::ChainFd, Protocol::FdToBa],
+            sizes: vec![5],
+            seeds: vec![1, 2],
+            engines: vec![Engine::Event],
+            link_latency: vec![link],
+            ..SweepMatrix::quick()
+        };
+        let report = run_sweep(&matrix, 2);
+        assert!(report.all_ok(), "failures: {:?}", report.failures());
+        for row in &report.rows {
+            // The slow link is a timing fault: no closed-form expectation,
+            // no silent disagreement.
+            assert_eq!(row.expected_messages, None, "{row:?}");
+            assert_ne!(row.outcome, SweepOutcome::SilentDisagreement, "{row:?}");
+        }
+        // At least one run must actually notice the three-round link.
+        assert!(
+            report
+                .rows
+                .iter()
+                .any(|r| r.outcome == SweepOutcome::Discovered),
+            "a 3-round link on the chain path should be discovered: {report:?}"
+        );
     }
 
     #[test]

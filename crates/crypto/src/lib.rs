@@ -27,6 +27,12 @@
 //!   the adversarial test-suite to check what the protocols do when the
 //!   signature assumption itself fails.
 //!
+//! The protocol layer consumes this crate through [`SignatureScheme`]
+//! alone: the Fig. 1 key distribution exchanges public keys as test
+//! predicates and proves possession by signing challenges, and the §4
+//! chain signatures stack [`SignatureScheme::sign`] layers with the
+//! name-embedding rule checked by Theorem 4.
+//!
 //! Everything is deterministic given a seed, which is what makes the
 //! experiment tables in `EXPERIMENTS.md` reproducible bit-for-bit.
 //!

@@ -141,6 +141,49 @@ impl LatencySpec {
         }
     }
 
+    /// The envelope of flight times this spec can assign to a message sent
+    /// in `round`, as an inclusive `(min, max)` range in virtual ticks.
+    ///
+    /// This is the contract the adversarial scheduler search is bound by:
+    /// a delivery schedule is *admissible* for a spec iff every per-message
+    /// delay lies within these bounds. Degenerate specs (`sync`, `fixed:D`,
+    /// post-GST partial synchrony) have `min == max` — there is no schedule
+    /// freedom to search over.
+    pub fn tick_bounds(self, round: u32) -> (u64, u64) {
+        match self {
+            LatencySpec::Synchronous => (TICKS_PER_ROUND, TICKS_PER_ROUND),
+            LatencySpec::Fixed { rounds } => {
+                let d = u64::from(rounds.max(1)) * TICKS_PER_ROUND;
+                (d, d)
+            }
+            LatencySpec::Jitter { extra } => (
+                TICKS_PER_ROUND,
+                u64::from(extra.saturating_add(1)) * TICKS_PER_ROUND,
+            ),
+            LatencySpec::PartialSynchrony { gst, extra } => {
+                if round >= gst {
+                    (TICKS_PER_ROUND, TICKS_PER_ROUND)
+                } else {
+                    (
+                        TICKS_PER_ROUND,
+                        u64::from(extra.saturating_add(1)) * TICKS_PER_ROUND,
+                    )
+                }
+            }
+        }
+    }
+
+    /// Whether any round's envelope admits more than one delay — i.e.
+    /// whether an adversarial scheduler has any freedom at all. `false`
+    /// for [`LatencySpec::Synchronous`] and [`LatencySpec::Fixed`], whose
+    /// schedules are fully determined.
+    pub fn has_schedule_freedom(self) -> bool {
+        match self.normalize() {
+            LatencySpec::Synchronous | LatencySpec::Fixed { .. } => false,
+            LatencySpec::Jitter { .. } | LatencySpec::PartialSynchrony { .. } => true,
+        }
+    }
+
     /// Stable machine-readable name (used in reports and CLI flags).
     pub fn name(self) -> String {
         match self {
@@ -198,6 +241,13 @@ impl LatencySpec {
             return Err(format!("latency {spec}: trailing components"));
         }
         Ok(parsed.normalize())
+    }
+}
+
+impl Default for LatencySpec {
+    /// [`LatencySpec::Synchronous`] — the paper's N1 timing.
+    fn default() -> Self {
+        LatencySpec::Synchronous
     }
 }
 
@@ -348,6 +398,80 @@ impl LatencyModel for PerLink {
     }
 }
 
+/// A declarative, copyable per-link latency override — the CLI/sweep
+/// counterpart of [`PerLink`], carried around like [`LatencySpec`] and
+/// turned into a model at build time.
+///
+/// Overrides are *directed*: `0:1:fixed:4` slows messages from `P0` to
+/// `P1` but not the reverse link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct LinkLatencySpec {
+    /// Sender side of the directed link.
+    pub from: NodeId,
+    /// Receiver side of the directed link.
+    pub to: NodeId,
+    /// The latency model applied to this link.
+    pub spec: LatencySpec,
+}
+
+impl LinkLatencySpec {
+    /// Parse a CLI spec `FROM:TO:MODEL[:ARG...]`, e.g. `0:1:fixed:4` or
+    /// `2:5:jitter:3`.
+    pub fn parse(raw: &str) -> Result<LinkLatencySpec, String> {
+        let mut parts = raw.splitn(3, ':');
+        let mut node = |what: &str| -> Result<NodeId, String> {
+            parts
+                .next()
+                .ok_or_else(|| format!("link latency {raw}: missing {what}"))?
+                .parse::<u16>()
+                .map(NodeId)
+                .map_err(|e| format!("link latency {raw}: {what}: {e}"))
+        };
+        let from = node("from")?;
+        let to = node("to")?;
+        if from == to {
+            return Err(format!("link latency {raw}: from and to must differ"));
+        }
+        let spec = LatencySpec::parse(
+            parts
+                .next()
+                .ok_or_else(|| format!("link latency {raw}: missing latency model"))?,
+        )
+        .map_err(|e| format!("link latency {raw}: {e}"))?;
+        Ok(LinkLatencySpec { from, to, spec })
+    }
+
+    /// Stable machine-readable name, round-tripping through [`parse`].
+    ///
+    /// [`parse`]: LinkLatencySpec::parse
+    pub fn name(&self) -> String {
+        format!("{}:{}:{}", self.from.index(), self.to.index(), self.spec)
+    }
+
+    /// Build a [`PerLink`] model from a base spec plus these overrides.
+    /// `seed` feeds any randomness in the base and the override models.
+    pub fn build_model(
+        base: LatencySpec,
+        overrides: &[LinkLatencySpec],
+        seed: u64,
+    ) -> Box<dyn LatencyModel> {
+        if overrides.is_empty() {
+            return base.build(seed);
+        }
+        let mut model = PerLink::new(base.build(seed));
+        for link in overrides {
+            model = model.with_link(link.from, link.to, link.spec.build(seed));
+        }
+        Box::new(model)
+    }
+}
+
+impl core::fmt::Display for LinkLatencySpec {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(&self.name())
+    }
+}
+
 /// What a queued event does when it fires.
 #[derive(Debug)]
 enum EventKind {
@@ -409,6 +533,16 @@ pub struct EventNetwork {
     faults: FaultPlan,
     latency: Box<dyn LatencyModel>,
     rushing: Vec<NodeId>,
+    /// Per-message flight-time overrides keyed by *send index* (the k-th
+    /// message handed to the transport, counting from 0). See
+    /// [`EventNetwork::set_delay_overrides`].
+    delay_overrides: HashMap<u64, u64>,
+    /// When enabled, the applied flight time of every sent message, in
+    /// send order.
+    delay_log: Option<Vec<(u32, u64)>>,
+    /// Messages handed to the transport so far — the key space of
+    /// `delay_overrides` and the index space of `delay_log`.
+    sent: u64,
 }
 
 impl EventNetwork {
@@ -448,12 +582,48 @@ impl EventNetwork {
             faults: FaultPlan::new(),
             latency: Box::new(Synchronous),
             rushing: Vec::new(),
+            delay_overrides: HashMap::new(),
+            delay_log: None,
+            sent: 0,
         }
     }
 
     /// Install a latency model (default: [`Synchronous`]).
     pub fn set_latency(&mut self, model: Box<dyn LatencyModel>) {
         self.latency = model;
+    }
+
+    /// Install per-message flight-time overrides, keyed by send index (the
+    /// k-th message handed to the transport, counting from 0) and valued in
+    /// virtual ticks.
+    ///
+    /// This is the adversarial scheduler's hook: an override *replaces* the
+    /// latency model's delay for exactly that message (still clamped to
+    /// ≥ 1 tick; [`LinkFault::Delay`] faults are added on top afterwards,
+    /// exactly as for model-chosen delays). Because execution is a pure
+    /// function of the node automata, the latency model, the fault plan,
+    /// and these overrides, re-installing the same override map replays a
+    /// schedule byte-for-byte — the replay contract behind
+    /// `fd_core::schedsearch`'s schedule certificates.
+    pub fn set_delay_overrides(&mut self, overrides: HashMap<u64, u64>) {
+        self.delay_overrides = overrides;
+    }
+
+    /// Record the applied flight time of every sent message (send round and
+    /// pre-fault delay in ticks, in send order), readable afterwards via
+    /// [`EventNetwork::delay_log`]. Off by default — the log costs memory
+    /// proportional to the message count.
+    pub fn enable_delay_log(&mut self) {
+        self.delay_log = Some(Vec::new());
+    }
+
+    /// The applied per-message delays, if [`EventNetwork::enable_delay_log`]
+    /// was called: entry `k` is `(send_round, ticks)` of the k-th sent
+    /// message. Feeding these back through
+    /// [`EventNetwork::set_delay_overrides`] on a fresh network reproduces
+    /// the run exactly.
+    pub fn delay_log(&self) -> Option<&[(u32, u64)]> {
+        self.delay_log.as_deref()
     }
 
     /// Enable message tracing with the given capacity.
@@ -600,7 +770,16 @@ impl EventNetwork {
                 if let Some(trace) = self.trace.as_mut() {
                     trace.record(&env);
                 }
-                let mut delay = self.latency.delay(from, to, round).max(1);
+                let mut delay = self
+                    .delay_overrides
+                    .get(&self.sent)
+                    .copied()
+                    .unwrap_or_else(|| self.latency.delay(from, to, round))
+                    .max(1);
+                if let Some(log) = self.delay_log.as_mut() {
+                    log.push((round, delay));
+                }
+                self.sent += 1;
                 if let Some(LinkFault::Delay { rounds }) = self.faults.lookup(round, from, to) {
                     delay += u64::from(rounds) * TICKS_PER_ROUND;
                 }
@@ -1042,6 +1221,109 @@ mod tests {
         assert!(LatencySpec::parse("fixed:10001").is_err());
         assert_eq!(Engine::parse("event").unwrap(), Engine::Event);
         assert!(Engine::parse("quantum").is_err());
+    }
+
+    #[test]
+    fn delay_override_replaces_model_delay_for_one_message() {
+        // Baseline: everything arrives in round 1.
+        let mut net = EventNetwork::new(echo_nodes(3));
+        net.enable_delay_log();
+        net.run_until_done(10);
+        let log: Vec<(u32, u64)> = net.delay_log().unwrap().to_vec();
+        assert_eq!(log.len(), 6);
+        assert!(log.iter().all(|&(r, d)| r == 0 && d == TICKS_PER_ROUND));
+
+        // Override the very first sent message (P0 -> P1 under id order)
+        // to take three rounds; everything else is untouched.
+        let mut net = EventNetwork::new(echo_nodes(3));
+        net.set_delay_overrides(HashMap::from([(0u64, 3 * TICKS_PER_ROUND)]));
+        net.enable_delay_log();
+        net.run_until_done(10);
+        assert_eq!(net.delay_log().unwrap()[0], (0, 3 * TICKS_PER_ROUND));
+        let all = seen(net);
+        let at_p1: Vec<(u32, NodeId)> = all[1].iter().map(|&(r, f, _)| (r, f)).collect();
+        assert_eq!(at_p1, vec![(1, NodeId(2)), (3, NodeId(0))]);
+    }
+
+    #[test]
+    fn replaying_a_delay_log_reproduces_the_run_exactly() {
+        let run = |overrides: HashMap<u64, u64>| {
+            let mut net = EventNetwork::new(echo_nodes(6));
+            net.set_latency(Box::new(SeededJitter { seed: 5, extra: 2 }));
+            net.set_delay_overrides(overrides);
+            net.enable_delay_log();
+            net.run_until_done(15);
+            let stats = net.stats().clone();
+            let log: Vec<(u32, u64)> = net.delay_log().unwrap().to_vec();
+            (stats, log, seen(net))
+        };
+        let (stats, log, observed) = run(HashMap::new());
+        // Replay the recorded schedule through the override hook on a
+        // fresh network with a *different* base model: identical run.
+        let schedule: HashMap<u64, u64> = log
+            .iter()
+            .enumerate()
+            .map(|(i, &(_, d))| (i as u64, d))
+            .collect();
+        let mut replay = EventNetwork::new(echo_nodes(6));
+        replay.set_delay_overrides(schedule);
+        replay.enable_delay_log();
+        replay.run_until_done(15);
+        assert_eq!(replay.stats(), &stats);
+        assert_eq!(replay.delay_log().unwrap(), &log[..]);
+        assert_eq!(seen(replay), observed);
+    }
+
+    #[test]
+    fn link_latency_spec_parses_and_builds_per_link() {
+        let link = LinkLatencySpec::parse("0:1:fixed:4").unwrap();
+        assert_eq!(link.from, NodeId(0));
+        assert_eq!(link.to, NodeId(1));
+        assert_eq!(link.spec, LatencySpec::Fixed { rounds: 4 });
+        assert_eq!(LinkLatencySpec::parse(&link.name()).unwrap(), link);
+        assert!(LinkLatencySpec::parse("0:0:fixed:4").is_err());
+        assert!(LinkLatencySpec::parse("0:1").is_err());
+        assert!(LinkLatencySpec::parse("0:1:warp").is_err());
+        assert!(LinkLatencySpec::parse("x:1:sync").is_err());
+
+        let mut net = EventNetwork::new(echo_nodes(3));
+        net.set_latency(LinkLatencySpec::build_model(
+            LatencySpec::Synchronous,
+            &[link],
+            1,
+        ));
+        net.run_until_done(10);
+        let all = seen(net);
+        let at_p1: Vec<(u32, NodeId)> = all[1].iter().map(|&(r, f, _)| (r, f)).collect();
+        assert_eq!(at_p1, vec![(1, NodeId(2)), (4, NodeId(0))]);
+    }
+
+    #[test]
+    fn tick_bounds_describe_each_spec_envelope() {
+        let t = TICKS_PER_ROUND;
+        assert_eq!(LatencySpec::Synchronous.tick_bounds(0), (t, t));
+        assert_eq!(
+            LatencySpec::Fixed { rounds: 3 }.tick_bounds(5),
+            (3 * t, 3 * t)
+        );
+        assert_eq!(LatencySpec::Jitter { extra: 2 }.tick_bounds(9), (t, 3 * t));
+        let ps = LatencySpec::PartialSynchrony { gst: 4, extra: 1 };
+        assert_eq!(ps.tick_bounds(3), (t, 2 * t));
+        assert_eq!(ps.tick_bounds(4), (t, t));
+        // Every model-chosen delay lies within the advertised bounds.
+        for spec in [
+            LatencySpec::Jitter { extra: 2 },
+            LatencySpec::PartialSynchrony { gst: 2, extra: 3 },
+        ] {
+            let model = spec.build(11);
+            for round in 0..6u32 {
+                let (lo, hi) = spec.tick_bounds(round);
+                for (a, b) in [(0u16, 1u16), (1, 2), (3, 0)] {
+                    let d = model.delay(NodeId(a), NodeId(b), round);
+                    assert!((lo..=hi).contains(&d), "{spec:?} round {round}: {d}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -20,9 +20,11 @@
 //! Protocols are implemented as [`Node`] automata and run unchanged on
 //! [`SyncNetwork`] (deterministic, used for all experiment tables), the
 //! [`EventNetwork`] discrete-event simulator (virtual time, pluggable
-//! [`event::LatencyModel`]s, timing faults), the [`transport::thread`]
-//! lock-step thread runner, and the [`transport::tcp`] localhost TCP
-//! cluster.
+//! [`event::LatencyModel`]s, per-link overrides via [`LinkLatencySpec`],
+//! timing faults, and the per-message delay-override hook behind the
+//! adversarial scheduler search's replayable certificates), the
+//! [`transport::thread`] lock-step thread runner, and the
+//! [`transport::tcp`] localhost TCP cluster.
 //!
 //! ## Example
 //!
@@ -71,7 +73,7 @@ mod trace;
 pub mod transport;
 
 pub use envelope::Envelope;
-pub use event::{Engine, EventNetwork, LatencyModel, LatencySpec};
+pub use event::{Engine, EventNetwork, LatencyModel, LatencySpec, LinkLatencySpec};
 pub use id::NodeId;
 pub use network::SyncNetwork;
 pub use node::{Node, Outbox};

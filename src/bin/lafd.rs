@@ -5,8 +5,12 @@
 //! lafd fd       --n 8 [--t 2] [--value "hello"] [--runs 3]
 //! lafd run      <protocol> [-n 256] [--t T] [--engine sync|event]
 //!               [--latency sync|fixed:D|jitter:E|psync:GST:E]
+//!               [--link-latency FROM:TO:MODEL[:ARG]]
 //!               [--drop R:FROM:TO] [--corrupt R:FROM:TO:OFF:MASK]
 //!               [--delay R:FROM:TO:BY] [--reorder R:FROM:TO] [--crash I]
+//! lafd search   <protocol> [--budget N] [--strategy random|greedy] [-n 8]
+//!               [--t T] [--seed S] [--latency jitter:2] [--adversary none]
+//!               [--json PATH] [--md PATH]
 //! lafd vector   --n 5 [--t 1]
 //! lafd ba       --n 7 [--t 2] [--crash 1]
 //! lafd degrade  --n 7 [--t 2] [--equivocate]   # graded/degradable agreement
@@ -18,19 +22,21 @@
 //!               [--sizes 4,7,10] [--faults auto|0,1,2] [--adversaries none,silent,...]
 //!               [--schemes tiny,dsa-tiny,s512] [--seeds 1,2]
 //!               [--engines sync,event] [--latencies sync,jitter:1,psync:2:1]
+//!               [--link-latency FROM:TO:MODEL[:ARG]] [--search N[:STRATEGY]]
 //!               [--threads N] [--json PATH] [--md PATH]
 //! ```
 
 use local_auth_fd::core::adversary::SilentNode;
 use local_auth_fd::core::metrics;
 use local_auth_fd::core::runner::Cluster;
+use local_auth_fd::core::schedsearch::{run_search, SearchConfig, Strategy};
 use local_auth_fd::core::sweep::{
     classify, run_keydist_for, run_protocol_with, run_sweep, AdversaryKind, FaultRule, Protocol,
-    SchemeSpec, SweepMatrix, SweepOutcome,
+    SchemeSpec, SearchAxis, SweepMatrix, SweepOutcome,
 };
 use local_auth_fd::crypto::{DsaScheme, RsaScheme, SchnorrScheme, SignatureScheme};
 use local_auth_fd::simnet::fault::{FaultPlan, LinkFault};
-use local_auth_fd::simnet::{Engine, LatencySpec, Node, NodeId};
+use local_auth_fd::simnet::{Engine, LatencySpec, LinkLatencySpec, Node, NodeId};
 use std::process::ExitCode;
 use std::sync::Arc;
 
@@ -108,16 +114,21 @@ fn scheme_by_name(name: &str) -> Result<Arc<dyn SignatureScheme>, String> {
 
 fn usage() {
     eprintln!(
-        "usage: lafd <keydist|fd|run|vector|ba|degrade|king|rotate|tcp|trace|sweep> [--n N] \
+        "usage: lafd <keydist|fd|run|search|vector|ba|degrade|king|rotate|tcp|trace|sweep> [--n N] \
          [--t T] [--seed S] [--scheme tiny|s512|s1024|s2048|dsa512|dsa1024|rsa512|rsa1024] \
          [--value V] [--runs K] [--crash I] [--equivocate]\n\
          run: lafd run <chain|nonauth|small|ba|degrade|ds|king> [-n N] [--t T] \
          [--engine sync|event] [--latency sync|fixed:D|jitter:E|psync:GST:E] \
+         [--link-latency FROM:TO:MODEL[:ARG]] \
          [--drop R:FROM:TO] [--corrupt R:FROM:TO:OFF:MASK] [--delay R:FROM:TO:BY] \
          [--reorder R:FROM:TO] [--crash I]\n\
+         search: lafd search <protocol> [--budget N] [--strategy random|greedy] [-n N] \
+         [--t T] [--seed S] [--latency jitter:2] [--adversary none|silent|...] \
+         [--json PATH] [--md PATH]\n\
          sweep flags: [--protocols all|LIST] [--sizes LIST] [--faults auto|LIST] \
          [--adversaries LIST] [--schemes LIST] [--seeds LIST] [--engines LIST] \
-         [--latencies LIST] [--threads N] [--json PATH] [--md PATH]"
+         [--latencies LIST] [--link-latency SPEC] [--search N[:STRATEGY]] \
+         [--threads N] [--json PATH] [--md PATH]"
     );
 }
 
@@ -135,6 +146,10 @@ fn main() -> ExitCode {
     if cmd == "run" {
         // So does `run` (engine/latency/fault flags).
         return cmd_run(rest);
+    }
+    if cmd == "search" {
+        // And `search` (budget/strategy flags).
+        return cmd_search(rest);
     }
     let opts = match parse(rest) {
         Ok(o) => o,
@@ -253,6 +268,7 @@ struct RunOpts {
     value: String,
     engine: Engine,
     latency: LatencySpec,
+    link_latency: Vec<LinkLatencySpec>,
     faults: FaultPlan,
     crash: Option<usize>,
 }
@@ -270,6 +286,7 @@ fn parse_run(args: &[String]) -> Result<RunOpts, String> {
         value: "attack at dawn".to_string(),
         engine: Engine::Sync,
         latency: LatencySpec::Synchronous,
+        link_latency: Vec::new(),
         faults: FaultPlan::new(),
         crash: None,
     };
@@ -298,6 +315,11 @@ fn parse_run(args: &[String]) -> Result<RunOpts, String> {
             "--latency" => {
                 opts.latency = LatencySpec::parse(&grab()?)?;
                 latency_given = true;
+            }
+            "--link-latency" => {
+                let link = LinkLatencySpec::parse(&grab()?)?;
+                fault_nodes.extend([link.from, link.to]);
+                opts.link_latency.push(link);
             }
             "--crash" => opts.crash = Some(grab()?.parse().map_err(|e| format!("--crash: {e}"))?),
             "--drop" => {
@@ -351,6 +373,15 @@ fn parse_run(args: &[String]) -> Result<RunOpts, String> {
         }
         opts.engine = Engine::Event;
     }
+    // Per-link overrides likewise only exist on the event engine.
+    if !opts.link_latency.is_empty() && opts.engine == Engine::Sync {
+        if engine_given {
+            return Err(
+                "--engine sync cannot express --link-latency; use --engine event".to_string(),
+            );
+        }
+        opts.engine = Engine::Event;
+    }
     if opts.n > u16::MAX as usize {
         return Err(format!(
             "--n {} exceeds the node-id range (max {})",
@@ -360,7 +391,7 @@ fn parse_run(args: &[String]) -> Result<RunOpts, String> {
     }
     if let Some(bad) = fault_nodes.iter().find(|id| id.index() >= opts.n) {
         return Err(format!(
-            "fault spec references node {bad} but n = {}",
+            "fault or link-latency spec references node {bad} but n = {}",
             opts.n
         ));
     }
@@ -405,14 +436,16 @@ fn cmd_run(args: &[String]) -> ExitCode {
     let cluster = Cluster::new(opts.n, t, scheme, opts.seed)
         .with_engine(opts.engine)
         .with_latency(opts.latency)
+        .with_link_latency(opts.link_latency.clone())
         .with_faults(opts.faults.clone());
 
     println!(
-        "run {}: n = {}, t = {t}, engine = {}, latency = {}, {} link fault(s)",
+        "run {}: n = {}, t = {t}, engine = {}, latency = {}, {} link override(s), {} link fault(s)",
         opts.protocol,
         opts.n,
         opts.engine,
         opts.latency,
+        opts.link_latency.len(),
         opts.faults.len(),
     );
 
@@ -439,7 +472,9 @@ fn cmd_run(args: &[String]) -> ExitCode {
     );
     let elapsed = start.elapsed();
 
-    let network_faulted = !opts.faults.is_empty() || opts.latency != LatencySpec::Synchronous;
+    let network_faulted = !opts.faults.is_empty()
+        || opts.latency != LatencySpec::Synchronous
+        || !opts.link_latency.is_empty();
     let outcome = classify(&run, network_faulted);
     let clean = opts.crash.is_none() && !network_faulted;
     let formula = clean
@@ -489,6 +524,103 @@ fn cmd_run(args: &[String]) -> ExitCode {
             eprintln!("error: clean run did not unanimously decide the sender's value");
             return ExitCode::FAILURE;
         }
+    }
+    ExitCode::SUCCESS
+}
+
+fn parse_search(args: &[String]) -> Result<(SearchConfig, Option<String>, Option<String>), String> {
+    let Some((proto, rest)) = args.split_first() else {
+        return Err("search needs a protocol (chain|nonauth|small|ba|degrade|ds|king)".to_string());
+    };
+    let mut config = SearchConfig::new(Protocol::parse(proto)?, 8, 2, 1);
+    let mut t_given: Option<usize> = None;
+    let mut json_path = None;
+    let mut md_path = None;
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        let mut grab = || {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("flag {flag} needs a value"))
+        };
+        match flag.as_str() {
+            "-n" | "--n" => config.n = grab()?.parse().map_err(|e| format!("--n: {e}"))?,
+            "--t" => t_given = Some(grab()?.parse().map_err(|e| format!("--t: {e}"))?),
+            "--seed" => config.seed = grab()?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--scheme" => config.scheme = SchemeSpec::parse(&grab()?)?,
+            "--latency" => config.latency = LatencySpec::parse(&grab()?)?,
+            "--adversary" => config.adversary = AdversaryKind::parse(&grab()?)?,
+            "--strategy" => config.strategy = Strategy::parse(&grab()?)?,
+            "--budget" => {
+                config.budget = grab()?.parse().map_err(|e| format!("--budget: {e}"))?;
+                if config.budget == 0 || config.budget > 100_000 {
+                    return Err("--budget must be in 1..=100000".to_string());
+                }
+            }
+            "--json" => json_path = Some(grab()?),
+            "--md" => md_path = Some(grab()?),
+            other => return Err(format!("unknown search flag {other}")),
+        }
+    }
+    if config.n > u16::MAX as usize {
+        return Err(format!(
+            "--n {} exceeds the node-id range (max {})",
+            config.n,
+            u16::MAX
+        ));
+    }
+    config.t = t_given
+        .unwrap_or_else(|| ((config.n.saturating_sub(1)) / 3).min(config.n.saturating_sub(2)));
+    Ok((config, json_path, md_path))
+}
+
+fn cmd_search(args: &[String]) -> ExitCode {
+    let (config, json_path, md_path) = match parse_search(args) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("error: {e}");
+            usage();
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "search: {} n = {} t = {} latency = {} strategy = {} budget = {}",
+        config.protocol, config.n, config.t, config.latency, config.strategy, config.budget
+    );
+    let start = std::time::Instant::now();
+    let report = match run_search(&config) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!("search: finished in {:?}", start.elapsed());
+
+    print!("{}", report.to_markdown());
+
+    if let Some(path) = json_path {
+        if let Err(e) = std::fs::write(&path, report.to_json()) {
+            eprintln!("error: writing {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("search: JSON report written to {path}");
+    }
+    if let Some(path) = md_path {
+        if let Err(e) = std::fs::write(&path, report.to_markdown()) {
+            eprintln!("error: writing {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("search: markdown report written to {path}");
+    }
+
+    if report.silent_found() {
+        eprintln!("error: the search found silent disagreement — the state the paper forbids");
+        return ExitCode::FAILURE;
+    }
+    if !report.replay_ok {
+        eprintln!("error: the best schedule certificate did not replay identically");
+        return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
 }
@@ -859,6 +991,23 @@ fn parse_sweep_matrix(
             "--latencies" => {
                 matrix.latencies = parse_list(&grab()?, "latencies", LatencySpec::parse)?;
             }
+            "--link-latency" => {
+                matrix.link_latency.push(LinkLatencySpec::parse(&grab()?)?);
+            }
+            "--search" => {
+                let raw = grab()?;
+                let (budget_raw, strategy) = match raw.split_once(':') {
+                    Some((b, s)) => (b.to_string(), Strategy::parse(s)?),
+                    None => (raw.clone(), Strategy::Random),
+                };
+                let budget: usize = budget_raw
+                    .parse()
+                    .map_err(|e| format!("--search: budget: {e}"))?;
+                if budget == 0 || budget > 10_000 {
+                    return Err("--search budget must be in 1..=10000".to_string());
+                }
+                matrix.search = Some(SearchAxis { budget, strategy });
+            }
             "--threads" => {
                 threads = grab()?
                     .parse::<usize>()
@@ -871,6 +1020,39 @@ fn parse_sweep_matrix(
             "--md" => md_path = Some(grab()?),
             other => return Err(format!("unknown sweep flag {other}")),
         }
+    }
+    // Link overrides must reference nodes that exist in every swept size,
+    // and both link overrides and the search axis need the event engine.
+    let max_link_id = matrix
+        .link_latency
+        .iter()
+        .flat_map(|l| [l.from.index(), l.to.index()])
+        .max();
+    if let (Some(max_id), Some(&min_n)) = (max_link_id, matrix.sizes.iter().min()) {
+        if max_id >= min_n {
+            return Err(format!(
+                "--link-latency references node {max_id} but the smallest swept size is {min_n}"
+            ));
+        }
+    }
+    if (!matrix.link_latency.is_empty() || matrix.search.is_some())
+        && !matrix.engines.contains(&Engine::Event)
+    {
+        return Err(
+            "--link-latency / --search need the event engine (add --engines event)".to_string(),
+        );
+    }
+    // The search explores the base latency envelope; per-link overrides
+    // change the delivery times it would have to attack. Rather than
+    // silently skipping every row, reject the combination.
+    if matrix.search.is_some() && !matrix.link_latency.is_empty() {
+        return Err("--search does not compose with --link-latency yet".to_string());
+    }
+    if matrix.search.is_some() && !matrix.latencies.iter().any(|l| l.has_schedule_freedom()) {
+        return Err(
+            "--search needs a latency with schedule freedom (e.g. --latencies jitter:1)"
+                .to_string(),
+        );
     }
     Ok((matrix, threads, json_path, md_path))
 }

@@ -16,12 +16,19 @@
 //! * [`crypto`] — SHA-256, ChaCha20 DRBG, Schnorr, DSA and RSA signatures
 //!   (the paper's S1–S3 assumption, instantiated — DSA and RSA are the two
 //!   schemes the paper cites by name).
-//! * [`simnet`] — the round-synchronous network model (N1/N2) with a
-//!   deterministic simulator plus thread and TCP transports.
-//! * [`core`] — the paper's contribution: local authentication, chain
-//!   signatures, failure-discovery protocols, BA extensions (Dolev–Strong,
-//!   EIG, Phase King, degradable agreement), key-rotation epochs,
-//!   adversaries (byzantine, benign-fault wrappers, rushing).
+//! * [`simnet`] — the round-synchronous network model (N1/N2) with two
+//!   deterministic simulators (lockstep rounds and discrete events over
+//!   virtual time) plus thread and TCP transports.
+//! * [`core`] — the paper's contribution: local authentication (§3,
+//!   Fig. 1), chain signatures (§4), failure-discovery protocols (§5,
+//!   Fig. 2), BA extensions (Dolev–Strong, EIG, Phase King, degradable
+//!   agreement; §7), key-rotation epochs, adversaries (byzantine,
+//!   benign-fault wrappers, rushing), the closed-form message formulas,
+//!   the parallel scenario-sweep engine, and the adversarial scheduler
+//!   search with replayable schedule certificates.
+//!
+//! `docs/ARCHITECTURE.md` in the repository maps the crates onto the
+//! paper's sections and walks one message through the engines.
 //!
 //! ## Quickstart
 //!
