@@ -4,6 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fd_bench::{cluster, default_t};
+use fd_core::spec::{Protocol, RunSpec};
 
 fn bench_ba(c: &mut Criterion) {
     let mut group = c.benchmark_group("ba_failure_free");
@@ -11,39 +12,22 @@ fn bench_ba(c: &mut Criterion) {
     for n in [4usize, 7, 10] {
         let t = default_t(n);
         let cl = cluster(n, t, 4);
-        let kd = cl.run_key_distribution();
-        group.bench_with_input(BenchmarkId::new("fd_to_ba", n), &n, |b, _| {
-            b.iter(|| {
-                cl.run_fd_to_ba(&kd, b"v".to_vec(), b"d".to_vec())
-                    .stats
-                    .messages_total
-            });
-        });
-        group.bench_with_input(BenchmarkId::new("dolev_strong", n), &n, |b, _| {
-            b.iter(|| {
-                cl.run_dolev_strong(&kd, b"v".to_vec(), b"d".to_vec())
-                    .stats
-                    .messages_total
-            });
-        });
-        group.bench_with_input(BenchmarkId::new("chain_fd", n), &n, |b, _| {
-            b.iter(|| cl.run_chain_fd(&kd, b"v".to_vec()).stats.messages_total);
-        });
-        group.bench_with_input(BenchmarkId::new("degradable", n), &n, |b, _| {
-            b.iter(|| {
-                cl.run_degradable(&kd, b"v".to_vec(), b"d".to_vec())
-                    .0
-                    .stats
-                    .messages_total
-            });
-        });
+        let kd = cl.setup_keydist();
+        let spec = |p: Protocol| RunSpec::new(p, b"v".to_vec()).with_default_value(b"d".to_vec());
+        let mut lineup = vec![
+            ("fd_to_ba", Protocol::FdToBa),
+            ("dolev_strong", Protocol::DolevStrong),
+            ("chain_fd", Protocol::ChainFd),
+            ("degradable", Protocol::Degradable),
+        ];
         if n > 4 * t {
-            group.bench_with_input(BenchmarkId::new("phase_king", n), &n, |b, _| {
-                b.iter(|| {
-                    cl.run_phase_king(b"v".to_vec(), b"d".to_vec())
-                        .stats
-                        .messages_total
-                });
+            lineup.push(("phase_king", Protocol::PhaseKing));
+        }
+        for (name, protocol) in lineup {
+            let spec = spec(protocol);
+            let keys = protocol.needs_keys().then_some(&kd);
+            group.bench_with_input(BenchmarkId::new(name, n), &n, |b, _| {
+                b.iter(|| cl.run_with_keys(&spec, keys).stats.messages_total);
             });
         }
     }

@@ -3,16 +3,18 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fd_bench::{cluster, default_t};
+use fd_core::spec::{Protocol, RunSpec};
 
 fn bench_chain_fd(c: &mut Criterion) {
     let mut group = c.benchmark_group("chain_fd_run");
     group.sample_size(20);
     for n in [4usize, 8, 16, 32] {
         let cl = cluster(n, default_t(n), 2);
-        let kd = cl.run_key_distribution();
+        let kd = cl.setup_keydist();
+        let spec = RunSpec::new(Protocol::ChainFd, b"bench".to_vec());
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
             b.iter(|| {
-                let run = cl.run_chain_fd(&kd, b"bench".to_vec());
+                let run = cl.run_with_keys(&spec, Some(&kd));
                 assert_eq!(run.stats.messages_total, n - 1);
                 run
             });
@@ -26,8 +28,9 @@ fn bench_non_auth_fd(c: &mut Criterion) {
     group.sample_size(20);
     for n in [4usize, 8, 16, 32] {
         let cl = cluster(n, default_t(n), 2);
+        let spec = RunSpec::new(Protocol::NonAuthFd, b"bench".to_vec());
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| cl.run_non_auth_fd(b"bench".to_vec()));
+            b.iter(|| cl.run_with_keys(&spec, None));
         });
     }
     group.finish();

@@ -15,7 +15,8 @@ use fd_bench::{
     t8_fault_classes, t9_assumption_ablation,
 };
 use fd_core::adversary::{
-    ChainFdAdversary, ChainMisbehavior, EquivocatingKeyDist, LaggardNode, OmissiveNode, SilentNode,
+    AdversaryKind, AdversarySpec, ChainFdAdversary, ChainMisbehavior, EquivocatingKeyDist,
+    LaggardNode, OmissiveNode,
 };
 use fd_core::fd::ChainFdNode;
 use fd_core::fd::ChainFdParams;
@@ -23,6 +24,7 @@ use fd_core::keys::KeyStore;
 use fd_core::keys::Keyring;
 use fd_core::props::check_fd;
 use fd_core::runner::Cluster;
+use fd_core::spec::{Protocol, RunSpec};
 use fd_crypto::{RsaScheme, SchnorrScheme, SignatureScheme};
 use fd_simnet::{Node, NodeId};
 use std::sync::Arc;
@@ -263,13 +265,13 @@ fn t4() {
         Box<dyn Fn(u64) -> (Vec<fd_core::Outcome>, bool)>,
     );
     let sch = Arc::clone(&scheme);
+    let chain_spec = || RunSpec::new(Protocol::ChainFd, b"v".to_vec());
     let scenarios: Vec<Scenario> = vec![
         (
             "honest run",
             Box::new(move |seed| {
                 let c = Cluster::new(n, t, Arc::new(SchnorrScheme::test_tiny()), seed);
-                let kd = c.run_key_distribution();
-                let run = c.run_chain_fd(&kd, b"v".to_vec());
+                let run = c.run(&chain_spec());
                 (run.correct_outcomes(), true)
             }),
         ),
@@ -277,11 +279,10 @@ fn t4() {
             "silent chain relay",
             Box::new(move |seed| {
                 let c = Cluster::new(n, t, Arc::new(SchnorrScheme::test_tiny()), seed);
-                let kd = c.run_key_distribution();
-                let run = c.run_chain_fd_with(&kd, b"v".to_vec(), &mut |id| {
-                    (id == NodeId(1))
-                        .then(|| Box::new(SilentNode { me: NodeId(1) }) as Box<dyn Node>)
-                });
+                let run = c.run(
+                    &chain_spec()
+                        .with_adversary(AdversarySpec::scripted(AdversaryKind::SilentRelay)),
+                );
                 (run.correct_outcomes(), true)
             }),
         ),
@@ -289,22 +290,10 @@ fn t4() {
             "tampering relay",
             Box::new(move |seed| {
                 let c = Cluster::new(n, t, Arc::new(SchnorrScheme::test_tiny()), seed);
-                let kd = c.run_key_distribution();
-                let s: Arc<dyn SignatureScheme> = Arc::new(SchnorrScheme::test_tiny());
-                let run = c.run_chain_fd_with(&kd, b"v".to_vec(), &mut |id| {
-                    (id == NodeId(2)).then(|| {
-                        Box::new(ChainFdAdversary::new(
-                            NodeId(2),
-                            ChainFdParams::new(n, t),
-                            Arc::clone(&s),
-                            Keyring::generate(s.as_ref(), NodeId(2), c.seed),
-                            ChainMisbehavior::TamperBody {
-                                new_body: b"x".to_vec(),
-                            },
-                            None,
-                        )) as Box<dyn Node>
-                    })
-                });
+                let run = c.run(&chain_spec().with_adversary(AdversarySpec::scripted_at(
+                    AdversaryKind::TamperBody,
+                    vec![NodeId(2)],
+                )));
                 (run.correct_outcomes(), true)
             }),
         ),
@@ -312,15 +301,15 @@ fn t4() {
             "partial dissemination by P_t",
             Box::new(move |seed| {
                 let c = Cluster::new(n, t, Arc::new(SchnorrScheme::test_tiny()), seed);
-                let kd = c.run_key_distribution();
-                let s: Arc<dyn SignatureScheme> = Arc::new(SchnorrScheme::test_tiny());
-                let run = c.run_chain_fd_with(&kd, b"v".to_vec(), &mut |id| {
+                let s = Arc::clone(&c.scheme);
+                let ring = c.keyring(NodeId(2));
+                let adversary = AdversarySpec::custom(move |id| {
                     (id == NodeId(2)).then(|| {
                         Box::new(ChainFdAdversary::new(
                             NodeId(2),
                             ChainFdParams::new(n, t),
                             Arc::clone(&s),
-                            Keyring::generate(s.as_ref(), NodeId(2), c.seed),
+                            ring.clone(),
                             ChainMisbehavior::PartialDissemination {
                                 skip: vec![NodeId(5)],
                             },
@@ -328,6 +317,7 @@ fn t4() {
                         )) as Box<dyn Node>
                     })
                 });
+                let run = c.run(&chain_spec().with_adversary(adversary));
                 (run.correct_outcomes(), true)
             }),
         ),
@@ -350,18 +340,20 @@ fn t4() {
                 let reference =
                     EquivocatingKeyDist::new(NodeId(2), n, Arc::clone(&s), seed ^ 0xE0, NodeId(4));
                 let sk_a = reference.key_for(NodeId(0)).0.clone();
-                let run = c.run_chain_fd_with(&kd, b"v".to_vec(), &mut |id| {
+                let ring = Keyring::generate(s.as_ref(), NodeId(2), c.seed);
+                let adversary = AdversarySpec::custom(move |id| {
                     (id == NodeId(2)).then(|| {
                         Box::new(ChainFdAdversary::new(
                             NodeId(2),
                             ChainFdParams::new(n, t),
                             Arc::clone(&s),
-                            Keyring::generate(s.as_ref(), NodeId(2), c.seed),
+                            ring.clone(),
                             ChainMisbehavior::SignWithKey { sk: sk_a.clone() },
                             None,
                         )) as Box<dyn Node>
                     })
                 });
+                let run = c.run_with_keys(&chain_spec().with_adversary(adversary), Some(&kd));
                 (run.correct_outcomes(), true)
             }),
         ),
@@ -377,17 +369,20 @@ fn t4() {
             name,
             Box::new(move |seed| {
                 let c = Cluster::new(n, t, Arc::new(SchnorrScheme::test_tiny()), seed);
-                let kd = c.run_key_distribution();
-                let run = c.run_chain_fd_with(&kd, b"v".to_vec(), &mut |id| {
+                let kd = c.setup_keydist();
+                let scheme = Arc::clone(&c.scheme);
+                let store = kd.stores[1]
+                    .clone()
+                    .unwrap_or_else(|| KeyStore::new(n, NodeId(1)));
+                let ring = c.keyring(NodeId(1));
+                let adversary = AdversarySpec::custom(move |id| {
                     (id == NodeId(1)).then(|| {
                         let honest = Box::new(ChainFdNode::new(
                             NodeId(1),
                             ChainFdParams::new(n, t),
-                            Arc::clone(&c.scheme),
-                            kd.stores[1]
-                                .clone()
-                                .unwrap_or_else(|| KeyStore::new(n, NodeId(1))),
-                            c.keyring(NodeId(1)),
+                            Arc::clone(&scheme),
+                            store.clone(),
+                            ring.clone(),
                             None,
                         )) as Box<dyn Node>;
                         if kind == 0 {
@@ -397,6 +392,7 @@ fn t4() {
                         }
                     })
                 });
+                let run = c.run_with_keys(&chain_spec().with_adversary(adversary), Some(&kd));
                 (run.correct_outcomes(), true)
             }),
         ));

@@ -41,6 +41,7 @@
 
 use fd_core::metrics;
 use fd_core::runner::Cluster;
+use fd_core::spec::{Protocol, RunSpec, Session};
 use fd_crypto::{SchnorrScheme, SignatureScheme};
 use std::sync::Arc;
 
@@ -113,10 +114,9 @@ pub fn t2_fd_cost(sizes: &[usize]) -> Vec<T2Row> {
         .iter()
         .map(|&n| {
             let t = default_t(n);
-            let c = cluster(n, t, 2);
-            let kd = c.run_key_distribution();
-            let auth = c.run_chain_fd(&kd, b"v".to_vec());
-            let non_auth = c.run_non_auth_fd(b"v".to_vec());
+            let mut session = Session::new(cluster(n, t, 2));
+            let auth = session.run(&RunSpec::new(Protocol::ChainFd, b"v".to_vec()));
+            let non_auth = session.run(&RunSpec::new(Protocol::NonAuthFd, b"v".to_vec()));
             assert!(auth.all_decided(b"v") && non_auth.all_decided(b"v"));
             T2Row {
                 n,
@@ -143,20 +143,30 @@ pub struct F1Point {
 
 /// Run figure F1 for one system shape, measuring runs 1..=k_max.
 pub fn f1_amortization(n: usize, t: usize, k_max: usize) -> (Vec<F1Point>, usize) {
-    let c = cluster(n, t, 3);
-    let kd = c.run_key_distribution();
-    let mut cumulative_auth = kd.stats.messages_total;
+    let mut session = Session::new(cluster(n, t, 3));
+    let mut cumulative_auth = session.keydist().stats.messages_total;
     let mut cumulative_non_auth = 0usize;
     let mut points = Vec::with_capacity(k_max);
     for k in 1..=k_max {
-        cumulative_auth += c.run_chain_fd(&kd, vec![k as u8]).stats.messages_total;
-        cumulative_non_auth += c.run_non_auth_fd(vec![k as u8]).stats.messages_total;
+        cumulative_auth += session
+            .run(&RunSpec::new(Protocol::ChainFd, vec![k as u8]))
+            .stats
+            .messages_total;
+        cumulative_non_auth += session
+            .run(&RunSpec::new(Protocol::NonAuthFd, vec![k as u8]))
+            .stats
+            .messages_total;
         points.push(F1Point {
             k,
             cumulative_auth,
             cumulative_non_auth,
         });
     }
+    assert_eq!(
+        session.keydist_runs(),
+        1,
+        "amortization broken: the session re-ran key distribution"
+    );
     let crossover = points
         .iter()
         .find(|p| p.cumulative_auth < p.cumulative_non_auth)
@@ -178,15 +188,15 @@ pub struct T3Row {
 
 /// Run experiment T3 on one shape.
 pub fn t3_rounds(n: usize, t: usize) -> Vec<T3Row> {
-    let c = cluster(n, t, 4);
-    let kd = c.run_key_distribution();
+    let mut session = Session::new(cluster(n, t, 4));
     let comm = |stats: &fd_simnet::NetStats| stats.per_round.iter().filter(|&&x| x > 0).count();
-    let fd = c.run_chain_fd(&kd, b"v".to_vec());
-    let na = c.run_non_auth_fd(b"v".to_vec());
+    let fd = session.run(&RunSpec::new(Protocol::ChainFd, b"v".to_vec()));
+    let na = session.run(&RunSpec::new(Protocol::NonAuthFd, b"v".to_vec()));
+    let kd_rounds = comm(&session.keydist().stats);
     vec![
         T3Row {
             protocol: "key distribution",
-            measured_rounds: comm(&kd.stats),
+            measured_rounds: kd_rounds,
             formula_rounds: metrics::KEYDIST_COMM_ROUNDS as usize,
         },
         T3Row {
@@ -215,8 +225,7 @@ pub struct T5Row {
 
 /// Run experiment T5: 100-run workloads with varying default share.
 pub fn t5_small_range(n: usize, t: usize) -> Vec<T5Row> {
-    let c = cluster(n, t, 5);
-    let kd = c.run_key_distribution();
+    let mut session = Session::new(cluster(n, t, 5));
     let mut rows = Vec::new();
     for default_pct in [50usize, 80, 90, 95, 99] {
         let mut small_total = 0usize;
@@ -225,11 +234,14 @@ pub fn t5_small_range(n: usize, t: usize) -> Vec<T5Row> {
             // Deterministic workload: the first `default_pct` runs carry
             // the default value.
             let v = if k < default_pct { vec![0] } else { vec![1] };
-            small_total += c
-                .run_small_range(&kd, v.clone(), vec![0])
+            small_total += session
+                .run(&RunSpec::new(Protocol::SmallRange, v.clone()).with_default_value(vec![0]))
                 .stats
                 .messages_total;
-            chain_total += c.run_chain_fd(&kd, v).stats.messages_total;
+            chain_total += session
+                .run(&RunSpec::new(Protocol::ChainFd, v))
+                .stats
+                .messages_total;
         }
         rows.push(T5Row {
             default_pct,
@@ -261,11 +273,12 @@ pub fn t6_ba_cost(sizes: &[usize]) -> Vec<T6Row> {
         .iter()
         .map(|&n| {
             let t = default_t(n);
-            let c = cluster(n, t, 6);
-            let kd = c.run_key_distribution();
-            let ba = c.run_fd_to_ba(&kd, b"v".to_vec(), b"d".to_vec());
-            let fd = c.run_chain_fd(&kd, b"v".to_vec());
-            let ds = c.run_dolev_strong(&kd, b"v".to_vec(), b"d".to_vec());
+            let mut session = Session::new(cluster(n, t, 6));
+            let with_default =
+                |p: Protocol| RunSpec::new(p, b"v".to_vec()).with_default_value(b"d".to_vec());
+            let ba = session.run(&with_default(Protocol::FdToBa));
+            let fd = session.run(&with_default(Protocol::ChainFd));
+            let ds = session.run(&with_default(Protocol::DolevStrong));
             T6Row {
                 n,
                 t,
@@ -309,7 +322,7 @@ pub fn f4_rotation(n: usize, t: usize, total_runs: usize) -> Vec<F4Row> {
         for _ in 0..epochs {
             manager.rotate();
             for k in 0..runs_per_epoch {
-                let run = manager.run_chain_fd(vec![k as u8]);
+                let run = manager.run_round(vec![k as u8]);
                 assert!(run.all_decided(&[k as u8]));
             }
         }
@@ -354,15 +367,16 @@ pub fn t7_agreement_costs(n: usize, t: usize) -> Vec<T7Row> {
     use fd_simnet::{Node, NodeId, SyncNetwork};
 
     assert!(n > 4 * t, "T7 lineup requires n > 4t");
-    let c = cluster(n, t, 7);
-    let kd = c.run_key_distribution();
+    let mut session = Session::new(cluster(n, t, 7));
     let comm = |stats: &fd_simnet::NetStats| stats.per_round.iter().filter(|&&x| x > 0).count();
+    let with_default =
+        |p: Protocol| RunSpec::new(p, b"v".to_vec()).with_default_value(b"d".to_vec());
 
-    let fd = c.run_chain_fd(&kd, b"v".to_vec());
-    let ba = c.run_fd_to_ba(&kd, b"v".to_vec(), b"d".to_vec());
-    let (dg, _) = c.run_degradable(&kd, b"v".to_vec(), b"d".to_vec());
-    let ds = c.run_dolev_strong(&kd, b"v".to_vec(), b"d".to_vec());
-    let pk = c.run_phase_king(b"v".to_vec(), b"d".to_vec());
+    let fd = session.run(&with_default(Protocol::ChainFd));
+    let ba = session.run(&with_default(Protocol::FdToBa));
+    let dg = session.run(&with_default(Protocol::Degradable));
+    let ds = session.run(&with_default(Protocol::DolevStrong));
+    let pk = session.run(&with_default(Protocol::PhaseKing));
     for (name, run) in [
         ("fd", &fd),
         ("ba", &ba),
@@ -467,26 +481,17 @@ pub struct T8Row {
 
 /// Run experiment T8: chain FD under the benign→byzantine fault hierarchy,
 /// `seeds` runs per class, faulty node is the first chain relay.
+///
+/// Crash, tamper, and silence are the scripted
+/// [`AdversarySpec`](fd_core::adversary::AdversarySpec) kinds; the two
+/// benign wrappers without a scripted kind (omission, laggard) use the
+/// custom-substitution escape hatch.
 pub fn t8_fault_classes(n: usize, t: usize, seeds: u64) -> Vec<T8Row> {
-    use fd_core::adversary::{
-        ChainFdAdversary, ChainMisbehavior, CrashNode, LaggardNode, OmissiveNode, SilentNode,
-    };
+    use fd_core::adversary::{AdversaryKind, AdversarySpec, LaggardNode, OmissiveNode};
     use fd_core::fd::{ChainFdNode, ChainFdParams};
     use fd_simnet::{Node, NodeId};
 
     let faulty = NodeId(1);
-    type Mk<'a> = Box<dyn Fn(&Cluster, u64) -> Box<dyn Node> + 'a>;
-
-    let honest_relay = |c: &Cluster, kd: &fd_core::runner::KeyDistReport| -> Box<dyn Node> {
-        Box::new(ChainFdNode::new(
-            faulty,
-            ChainFdParams::new(c.n, c.t),
-            Arc::clone(&c.scheme),
-            kd.store(faulty).clone(),
-            c.keyring(faulty),
-            None,
-        ))
-    };
 
     let classes: Vec<&'static str> = vec![
         "crash-stop (mid-relay)",
@@ -502,35 +507,41 @@ pub fn t8_fault_classes(n: usize, t: usize, seeds: u64) -> Vec<T8Row> {
         let mut all_decided = 0usize;
         let mut silent_disagreement = 0usize;
         for seed in 0..seeds {
-            let c = cluster(n, t, seed);
-            let kd = c.run_key_distribution();
-            let mk: Mk<'_> = match label {
-                "crash-stop (mid-relay)" => Box::new(|c: &Cluster, _| {
-                    Box::new(CrashNode::new(honest_relay(c, &kd), 1, 0)) as Box<dyn Node>
-                }),
-                "send-omission (30%)" => Box::new(|c: &Cluster, seed| {
-                    Box::new(OmissiveNode::new(honest_relay(c, &kd), seed, 300)) as Box<dyn Node>
-                }),
-                "timing (one round late)" => Box::new(|c: &Cluster, _| {
-                    Box::new(LaggardNode::new(honest_relay(c, &kd))) as Box<dyn Node>
-                }),
-                "byzantine (tamper body)" => Box::new(|c: &Cluster, _| {
-                    Box::new(ChainFdAdversary::new(
+            let mut session = Session::new(cluster(n, t, seed));
+            // An honest relay automaton for the benign-fault wrappers,
+            // movable into a `'static` custom substitution.
+            let honest_relay = {
+                let scheme = Arc::clone(&session.cluster().scheme);
+                let store = session.keydist().store(faulty).clone();
+                let ring = session.cluster().keyring(faulty);
+                let params = ChainFdParams::new(n, t);
+                move || -> Box<dyn Node> {
+                    Box::new(ChainFdNode::new(
                         faulty,
-                        ChainFdParams::new(c.n, c.t),
-                        Arc::clone(&c.scheme),
-                        c.keyring(faulty),
-                        ChainMisbehavior::TamperBody {
-                            new_body: b"x".to_vec(),
-                        },
+                        params.clone(),
+                        Arc::clone(&scheme),
+                        store.clone(),
+                        ring.clone(),
                         None,
-                    )) as Box<dyn Node>
-                }),
-                _ => Box::new(|_, _| Box::new(SilentNode { me: faulty }) as Box<dyn Node>),
+                    ))
+                }
             };
-            let run = c.run_chain_fd_with(&kd, b"v".to_vec(), &mut |id| {
-                (id == faulty).then(|| mk(&c, seed))
-            });
+            let adversary = match label {
+                "crash-stop (mid-relay)" => AdversarySpec::scripted(AdversaryKind::CrashRelay),
+                "send-omission (30%)" => AdversarySpec::custom(move |id| {
+                    (id == faulty).then(|| {
+                        Box::new(OmissiveNode::new(honest_relay(), seed, 300)) as Box<dyn Node>
+                    })
+                }),
+                "timing (one round late)" => AdversarySpec::custom(move |id| {
+                    (id == faulty)
+                        .then(|| Box::new(LaggardNode::new(honest_relay())) as Box<dyn Node>)
+                }),
+                "byzantine (tamper body)" => AdversarySpec::scripted(AdversaryKind::TamperBody),
+                _ => AdversarySpec::scripted(AdversaryKind::SilentRelay),
+            };
+            let run = session
+                .run(&RunSpec::new(Protocol::ChainFd, b"v".to_vec()).with_adversary(adversary));
             let outs = run.correct_outcomes();
             let any_disc = outs.iter().any(|o| o.is_discovered());
             let decided: std::collections::BTreeSet<Vec<u8>> = outs
@@ -696,15 +707,14 @@ pub fn t10_wire_cost(n: usize, t: usize, schemes: Vec<Arc<dyn SignatureScheme>>)
     schemes
         .into_iter()
         .map(|scheme| {
-            let c = Cluster::new(n, t, Arc::clone(&scheme), 10);
-            let kd = c.run_key_distribution();
-            let fd = c.run_chain_fd(&kd, b"v".to_vec());
+            let mut session = Session::new(Cluster::new(n, t, Arc::clone(&scheme), 10));
+            let fd = session.run(&RunSpec::new(Protocol::ChainFd, b"v".to_vec()));
             assert!(fd.all_decided(b"v"));
             T10Row {
                 scheme: scheme.name(),
                 pk_bytes: scheme.public_key_len(),
                 sig_bytes: scheme.signature_len(),
-                keydist_bytes: kd.stats.bytes_total,
+                keydist_bytes: session.keydist().stats.bytes_total,
                 chain_fd_bytes: fd.stats.bytes_total,
             }
         })
@@ -796,8 +806,9 @@ pub fn t12_large_n(sizes: &[usize]) -> Vec<T12Row> {
                 stats: NetStats::new(n),
                 anomalies: Vec::new(),
             };
+            let mut session = Session::with_keydist(c, kd);
             let start = std::time::Instant::now();
-            let run = c.run_chain_fd(&kd, b"scale".to_vec());
+            let run = session.run(&RunSpec::new(Protocol::ChainFd, b"scale".to_vec()));
             let micros = start.elapsed().as_micros();
             rows.push(T12Row {
                 n,

@@ -54,6 +54,16 @@ pub enum ChainMisbehavior {
         /// The substitute secret key.
         sk: SecretKey,
     },
+    /// The two-faced relay: extend the received chain *honestly* to the
+    /// designated next hop(s), but simultaneously inject a competing
+    /// body-tampered chain to every other node. One story continues down
+    /// the chain, another is whispered to the room — Theorem 4 turns the
+    /// competing copies into discoveries (unexpected message or broken
+    /// origin signature), never silent disagreement.
+    TwoFaced {
+        /// The competing body planted in the off-chain copies.
+        alt_body: Vec<u8>,
+    },
 }
 
 /// A faulty chain FD participant executing one [`ChainMisbehavior`].
@@ -204,6 +214,48 @@ impl ChainFdAdversary {
                 received
                     .extend(self.scheme.as_ref(), &self.keyring.sk, honest_assignee)
                     .expect("keyring well-formed")
+            }
+            ChainMisbehavior::TwoFaced { alt_body } => {
+                let honest = received
+                    .clone()
+                    .extend(self.scheme.as_ref(), &self.keyring.sk, honest_assignee)
+                    .expect("keyring well-formed");
+                let payload = FdMsg { chain: honest }.encode_to_vec();
+                let mut tampered = received;
+                tampered.body = alt_body.clone();
+                let tampered = tampered
+                    .extend(self.scheme.as_ref(), &self.keyring.sk, honest_assignee)
+                    .expect("keyring well-formed");
+                let competing = FdMsg { chain: tampered }.encode_to_vec();
+                let designated = self.forward_targets();
+                if designated.len() > 1 {
+                    // As P_t, equivocate within the dissemination set:
+                    // the true chain to the first half, the competing
+                    // body to the rest.
+                    let mid = designated.len() / 2;
+                    for target in &designated[..mid] {
+                        out.send(*target, payload.clone());
+                    }
+                    for target in &designated[mid..] {
+                        out.send(*target, competing.clone());
+                    }
+                } else {
+                    // As an inner relay, play along on the chain and
+                    // whisper the competing chain to every off-chain node.
+                    for target in &designated {
+                        out.send(*target, payload.clone());
+                    }
+                    for j in 0..self.params.n {
+                        let peer = NodeId(j as u16);
+                        if peer != self.me
+                            && peer != self.params.sender
+                            && !designated.contains(&peer)
+                        {
+                            out.send(peer, competing.clone());
+                        }
+                    }
+                }
+                return;
             }
         };
         let payload = FdMsg { chain: extended }.encode_to_vec();

@@ -31,10 +31,12 @@ mod chainfd;
 mod generic;
 mod keydist;
 mod nonauth;
+mod spec;
 mod wrappers;
 
 pub use chainfd::{ChainFdAdversary, ChainMisbehavior};
 pub use generic::{NoiseNode, SilentNode};
 pub use keydist::{EquivocatingKeyDist, KeyThiefKeyDist, SharedKeyKeyDist, WrongNameKeyDist};
 pub use nonauth::{NaMisbehavior, NonAuthAdversary};
+pub use spec::{AdversaryKind, AdversarySpec, CustomSubstitution};
 pub use wrappers::{CrashNode, LaggardNode, OmissiveNode};

@@ -1,0 +1,411 @@
+//! Deprecated compatibility shims for the pre-`RunSpec` execution API.
+//!
+//! Before the unified entry point ([`crate::spec`]), every protocol had a
+//! bespoke pair of `Cluster::run_*` / `run_*_with` methods and callers
+//! hand-threaded key distributions, values, and `&mut dyn FnMut`
+//! substitution closures through them. Those names survive here as thin
+//! one-line delegations so existing tests keep compiling; new code should
+//! construct a [`RunSpec`](crate::spec::RunSpec) and call
+//! [`Cluster::run`](Cluster::run) or go through a
+//! [`Session`](crate::spec::Session).
+//!
+//! | old call | new spelling |
+//! |---|---|
+//! | `c.run_chain_fd(&kd, v)` | `c.run(&RunSpec::new(Protocol::ChainFd, v))` |
+//! | `c.run_chain_fd_with(&kd, v, subst)` | `RunSpec::with_adversary(AdversarySpec::custom(…))` |
+//! | `c.run_small_range(&kd, v, d)` | `RunSpec::new(Protocol::SmallRange, v).with_default_value(d)` |
+//! | `c.run_dolev_strong(&kd, v, d)` | `RunSpec::new(Protocol::DolevStrong, v).with_default_value(d)` |
+//! | `c.run_fd_to_ba(&kd, v, d)` | `RunSpec::new(Protocol::FdToBa, v).with_default_value(d)` |
+//! | `c.run_degradable(&kd, v, d)` | `Cluster::run` + [`FdRunReport::grades`](crate::runner::FdRunReport::grades) |
+//! | `c.run_phase_king(v, d)` | `RunSpec::new(Protocol::PhaseKing, v).with_default_value(d)` |
+//! | `c.run_non_auth_fd(v)` | `RunSpec::new(Protocol::NonAuthFd, v)` |
+//! | `sweep::run_keydist_for(&c, p)` | [`Cluster::keydist_for`] / `Session` |
+//! | `sweep::run_protocol_with(…)` | [`Cluster::run_with_keys`] |
+//! | `EpochManager::run_chain_fd(v)` | [`EpochManager::run_round`](crate::epoch::EpochManager::run_round) |
+//!
+//! This module is the **only** place per-protocol `run_*` variants are
+//! allowed to exist — CI greps for strays elsewhere.
+
+#![allow(deprecated)]
+
+use crate::ba::Grade;
+use crate::epoch::EpochManager;
+use crate::outcome::Outcome;
+use crate::runner::{Cluster, FdRunReport, KeyDistReport, Substitution};
+use crate::spec::Protocol;
+use fd_simnet::{Node, NodeId};
+use std::sync::Arc;
+
+impl Cluster {
+    /// Run the chain FD protocol (paper Fig. 2), all nodes honest.
+    #[deprecated(
+        since = "0.2.0",
+        note = "construct a fd_core::spec::RunSpec and call Cluster::run / Session::run"
+    )]
+    pub fn run_chain_fd(&self, keydist: &KeyDistReport, value: Vec<u8>) -> FdRunReport {
+        self.run_chain_fd_with(keydist, value, &mut |_| None)
+    }
+
+    /// Chain FD with substitutions.
+    #[deprecated(
+        since = "0.2.0",
+        note = "construct a fd_core::spec::RunSpec and call Cluster::run / Session::run"
+    )]
+    pub fn run_chain_fd_with(
+        &self,
+        keydist: &KeyDistReport,
+        value: Vec<u8>,
+        substitute: Substitution<'_>,
+    ) -> FdRunReport {
+        self.dispatch(
+            Protocol::ChainFd,
+            Some(keydist),
+            value,
+            Vec::new(),
+            substitute,
+        )
+    }
+
+    /// Run the non-authenticated witness-relay baseline (no keys needed).
+    #[deprecated(
+        since = "0.2.0",
+        note = "construct a fd_core::spec::RunSpec and call Cluster::run / Session::run"
+    )]
+    pub fn run_non_auth_fd(&self, value: Vec<u8>) -> FdRunReport {
+        self.run_non_auth_fd_with(value, &mut |_| None)
+    }
+
+    /// Witness-relay baseline with substitutions.
+    #[deprecated(
+        since = "0.2.0",
+        note = "construct a fd_core::spec::RunSpec and call Cluster::run / Session::run"
+    )]
+    pub fn run_non_auth_fd_with(
+        &self,
+        value: Vec<u8>,
+        substitute: Substitution<'_>,
+    ) -> FdRunReport {
+        self.dispatch(Protocol::NonAuthFd, None, value, Vec::new(), substitute)
+    }
+
+    /// Run the small-range FD protocol with the given default value.
+    #[deprecated(
+        since = "0.2.0",
+        note = "construct a fd_core::spec::RunSpec and call Cluster::run / Session::run"
+    )]
+    pub fn run_small_range(
+        &self,
+        keydist: &KeyDistReport,
+        value: Vec<u8>,
+        default_value: Vec<u8>,
+    ) -> FdRunReport {
+        self.run_small_range_with(keydist, value, default_value, &mut |_| None)
+    }
+
+    /// Small-range FD with substitutions.
+    #[deprecated(
+        since = "0.2.0",
+        note = "construct a fd_core::spec::RunSpec and call Cluster::run / Session::run"
+    )]
+    pub fn run_small_range_with(
+        &self,
+        keydist: &KeyDistReport,
+        value: Vec<u8>,
+        default_value: Vec<u8>,
+        substitute: Substitution<'_>,
+    ) -> FdRunReport {
+        self.dispatch(
+            Protocol::SmallRange,
+            Some(keydist),
+            value,
+            default_value,
+            substitute,
+        )
+    }
+
+    /// Run Dolev–Strong agreement under the given key stores.
+    #[deprecated(
+        since = "0.2.0",
+        note = "construct a fd_core::spec::RunSpec and call Cluster::run / Session::run"
+    )]
+    pub fn run_dolev_strong(
+        &self,
+        keydist: &KeyDistReport,
+        value: Vec<u8>,
+        default_value: Vec<u8>,
+    ) -> FdRunReport {
+        self.run_dolev_strong_with(keydist, value, default_value, &mut |_| None)
+    }
+
+    /// Dolev–Strong with substitutions.
+    #[deprecated(
+        since = "0.2.0",
+        note = "construct a fd_core::spec::RunSpec and call Cluster::run / Session::run"
+    )]
+    pub fn run_dolev_strong_with(
+        &self,
+        keydist: &KeyDistReport,
+        value: Vec<u8>,
+        default_value: Vec<u8>,
+        substitute: Substitution<'_>,
+    ) -> FdRunReport {
+        self.dispatch(
+            Protocol::DolevStrong,
+            Some(keydist),
+            value,
+            default_value,
+            substitute,
+        )
+    }
+
+    /// Run the Phase-King non-authenticated BA baseline (no keys needed;
+    /// requires `n > 4t`).
+    #[deprecated(
+        since = "0.2.0",
+        note = "construct a fd_core::spec::RunSpec and call Cluster::run / Session::run"
+    )]
+    pub fn run_phase_king(&self, value: Vec<u8>, default_value: Vec<u8>) -> FdRunReport {
+        self.run_phase_king_with(value, default_value, &mut |_| None)
+    }
+
+    /// Phase King with substitutions.
+    #[deprecated(
+        since = "0.2.0",
+        note = "construct a fd_core::spec::RunSpec and call Cluster::run / Session::run"
+    )]
+    pub fn run_phase_king_with(
+        &self,
+        value: Vec<u8>,
+        default_value: Vec<u8>,
+        substitute: Substitution<'_>,
+    ) -> FdRunReport {
+        self.dispatch(Protocol::PhaseKing, None, value, default_value, substitute)
+    }
+
+    /// Run degradable (crusader/graded) agreement under the given key
+    /// stores. Returns the run report plus the per-node decision grades
+    /// (now also available as [`FdRunReport::grades`]).
+    #[deprecated(
+        since = "0.2.0",
+        note = "construct a fd_core::spec::RunSpec and call Cluster::run / Session::run"
+    )]
+    pub fn run_degradable(
+        &self,
+        keydist: &KeyDistReport,
+        value: Vec<u8>,
+        default_value: Vec<u8>,
+    ) -> (FdRunReport, Vec<Option<Grade>>) {
+        self.run_degradable_with(keydist, value, default_value, &mut |_| None)
+    }
+
+    /// Degradable agreement with substitutions.
+    #[deprecated(
+        since = "0.2.0",
+        note = "construct a fd_core::spec::RunSpec and call Cluster::run / Session::run"
+    )]
+    pub fn run_degradable_with(
+        &self,
+        keydist: &KeyDistReport,
+        value: Vec<u8>,
+        default_value: Vec<u8>,
+        substitute: Substitution<'_>,
+    ) -> (FdRunReport, Vec<Option<Grade>>) {
+        let report = self.dispatch(
+            Protocol::Degradable,
+            Some(keydist),
+            value,
+            default_value,
+            substitute,
+        );
+        let grades = report.grades.clone();
+        (report, grades)
+    }
+
+    /// Run the FD→BA extension (failure-free runs cost FD messages).
+    #[deprecated(
+        since = "0.2.0",
+        note = "construct a fd_core::spec::RunSpec and call Cluster::run / Session::run"
+    )]
+    pub fn run_fd_to_ba(
+        &self,
+        keydist: &KeyDistReport,
+        value: Vec<u8>,
+        default_value: Vec<u8>,
+    ) -> FdRunReport {
+        self.run_fd_to_ba_with(keydist, value, default_value, &mut |_| None)
+    }
+
+    /// FD→BA with substitutions.
+    #[deprecated(
+        since = "0.2.0",
+        note = "construct a fd_core::spec::RunSpec and call Cluster::run / Session::run"
+    )]
+    pub fn run_fd_to_ba_with(
+        &self,
+        keydist: &KeyDistReport,
+        value: Vec<u8>,
+        default_value: Vec<u8>,
+        substitute: Substitution<'_>,
+    ) -> FdRunReport {
+        self.dispatch(
+            Protocol::FdToBa,
+            Some(keydist),
+            value,
+            default_value,
+            substitute,
+        )
+    }
+
+    /// Run interactive consistency (`n` parallel chain-FD instances; see
+    /// [`crate::fd::VectorFdNode`]). `values[i]` is node `i`'s input.
+    ///
+    /// Vector FD takes one input *per node* rather than a single sender
+    /// value, so it stays outside the [`RunSpec`](crate::spec::RunSpec) surface; this is its
+    /// (non-deprecated) home.
+    ///
+    /// Returns per-node *vector* outcomes flattened into an
+    /// [`FdRunReport`]-like structure: `outcomes[i]` is `Some(Decided(v))`
+    /// only if node `i` decided the *full* vector; the detailed
+    /// per-instance outcomes are in the second component.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `values.len() == n`.
+    pub fn run_vector_fd(
+        &self,
+        keydist: &KeyDistReport,
+        values: &[Vec<u8>],
+    ) -> (FdRunReport, Vec<Vec<Outcome>>) {
+        assert_eq!(values.len(), self.n, "one input value per node");
+        let params = crate::fd::VectorFdParams::new(self.n, self.t);
+        let rounds = params.rounds();
+        let nodes: Vec<Box<dyn Node>> = (0..self.n)
+            .map(|i| {
+                let me = NodeId(i as u16);
+                Box::new(crate::fd::VectorFdNode::new(
+                    me,
+                    params.clone(),
+                    Arc::clone(&self.scheme),
+                    keydist.store(me).clone(),
+                    self.keyring(me),
+                    values[i].clone(),
+                )) as Box<dyn Node>
+            })
+            .collect();
+        let report = self.drive(nodes, rounds);
+        let stats = report.stats;
+        let delay_log = report.delay_log;
+        let mut outcomes = Vec::with_capacity(self.n);
+        let mut per_instance = Vec::with_capacity(self.n);
+        for boxed in report.nodes {
+            let node = boxed
+                .into_any()
+                .downcast::<crate::fd::VectorFdNode>()
+                .expect("VectorFdNode");
+            let summary = match node.vector() {
+                Some(vector) => {
+                    // Canonical encoding of the decided vector.
+                    let mut flat = Vec::new();
+                    for v in &vector {
+                        flat.extend_from_slice(&(v.len() as u32).to_be_bytes());
+                        flat.extend_from_slice(v);
+                    }
+                    Outcome::Decided(flat)
+                }
+                None => node
+                    .outcomes()
+                    .iter()
+                    .find(|o| o.is_discovered())
+                    .cloned()
+                    .unwrap_or(Outcome::Pending),
+            };
+            outcomes.push(Some(summary));
+            per_instance.push(node.outcomes().to_vec());
+        }
+        (
+            FdRunReport {
+                outcomes,
+                stats,
+                used_fallback: Vec::new(),
+                grades: Vec::new(),
+                delay_log,
+            },
+            per_instance,
+        )
+    }
+}
+
+impl EpochManager {
+    /// Run one chain-FD round in the current epoch.
+    #[deprecated(since = "0.2.0", note = "use EpochManager::run_round")]
+    pub fn run_chain_fd(&mut self, value: Vec<u8>) -> FdRunReport {
+        self.run_round(value)
+    }
+}
+
+/// Run the key distribution a protocol needs on the scenario's engine,
+/// always under synchronous latency and without link faults, per-link
+/// overrides, or schedule overrides.
+#[deprecated(since = "0.2.0", note = "use Cluster::keydist_for or a Session")]
+pub fn run_keydist_for(cluster: &Cluster, protocol: Protocol) -> Option<KeyDistReport> {
+    cluster.keydist_for(protocol)
+}
+
+/// Run one protocol on a configured cluster with optional substitutions —
+/// the pre-`RunSpec` dispatch point.
+///
+/// # Panics
+///
+/// Panics if the protocol needs keys and `keydist` is `None`.
+#[deprecated(since = "0.2.0", note = "use Cluster::run_with_keys with a RunSpec")]
+pub fn run_protocol_with(
+    cluster: &Cluster,
+    protocol: Protocol,
+    keydist: Option<&KeyDistReport>,
+    value: Vec<u8>,
+    default_value: Vec<u8>,
+    substitute: Substitution<'_>,
+) -> FdRunReport {
+    cluster.dispatch(protocol, keydist, value, default_value, substitute)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::RunSpec;
+    use std::sync::Arc;
+
+    fn cluster(n: usize, t: usize) -> Cluster {
+        Cluster::new(n, t, Arc::new(fd_crypto::SchnorrScheme::test_tiny()), 77)
+    }
+
+    #[test]
+    fn interactive_consistency_via_runner() {
+        let c = cluster(5, 1);
+        let kd = c.setup_keydist();
+        let values: Vec<Vec<u8>> = (0..5u8).map(|i| vec![i, i + 10]).collect();
+        let (report, per_instance) = c.run_vector_fd(&kd, &values);
+        // n parallel FD runs cost n(n-1) messages.
+        assert_eq!(report.stats.messages_total, 5 * 4);
+        // Every node decided every instance with the right value.
+        for node_outcomes in &per_instance {
+            for (s, o) in node_outcomes.iter().enumerate() {
+                assert_eq!(o.decided(), Some(&values[s][..]));
+            }
+        }
+        // Summaries agree across nodes.
+        let first = report.outcomes[0].clone();
+        for o in &report.outcomes {
+            assert_eq!(o, &first);
+        }
+    }
+
+    #[test]
+    fn shims_match_the_spec_path_byte_for_byte() {
+        let c = cluster(6, 1);
+        let kd = c.setup_keydist();
+        let old = c.run_chain_fd(&kd, b"v".to_vec());
+        let new = c.run(&RunSpec::new(crate::spec::Protocol::ChainFd, b"v".to_vec()));
+        assert_eq!(old.to_json(), new.to_json());
+    }
+}

@@ -29,13 +29,14 @@
 //!
 //! let e0 = epochs.rotate(); // epoch 0: 3n(n-1) messages
 //! assert_eq!(e0.keydist.stats.messages_total, 60);
-//! let run = epochs.run_chain_fd(b"within epoch 0".to_vec());
+//! let run = epochs.run_round(b"within epoch 0".to_vec());
 //! assert!(run.all_decided(b"within epoch 0"));
 //!
 //! epochs.rotate();          // epoch 1: fresh keys, old signatures dead
 //! ```
 
 use crate::runner::{Cluster, FdRunReport, KeyDistReport};
+use crate::spec::{Protocol, RunSpec};
 use fd_simnet::NodeId;
 
 /// An epoch number. Epoch 0 is the first key distribution.
@@ -115,12 +116,15 @@ impl EpochManager {
     /// # Panics
     ///
     /// Panics if no epoch is active (call [`EpochManager::rotate`] first).
-    pub fn run_chain_fd(&mut self, value: Vec<u8>) -> FdRunReport {
+    pub fn run_round(&mut self, value: Vec<u8>) -> FdRunReport {
         assert!(!self.epochs.is_empty(), "no active epoch");
         let cluster = self.cluster_for(self.epochs.len() as Epoch - 1);
         let state = self.epochs.last_mut().expect("no active epoch");
         state.runs += 1;
-        cluster.run_chain_fd(&state.keydist, value)
+        cluster.run_with_keys(
+            &RunSpec::new(Protocol::ChainFd, value),
+            Some(&state.keydist),
+        )
     }
 
     /// Total messages spent so far across all rotations and runs, for
@@ -182,7 +186,7 @@ mod tests {
                 metrics::keydist_messages(6)
             );
             for k in 0..4u8 {
-                let run = m.run_chain_fd(vec![e as u8, k]);
+                let run = m.run_round(vec![e as u8, k]);
                 assert!(run.all_decided(&[e as u8, k]));
             }
         }
@@ -256,6 +260,6 @@ mod tests {
     #[should_panic(expected = "no active epoch")]
     fn running_without_epoch_panics() {
         let mut m = manager(4, 1);
-        let _ = m.run_chain_fd(b"v".to_vec());
+        let _ = m.run_round(b"v".to_vec());
     }
 }

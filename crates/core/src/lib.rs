@@ -30,6 +30,14 @@
 //!   [`runner::NetworkDriver`] seam: every protocol runs on the lockstep
 //!   engine (the paper's §2 timing) or the discrete-event engine
 //!   (latency models, per-link overrides, adversarial schedules).
+//! * [`spec`] — the unified execution API: one typed [`RunSpec`] per
+//!   protocol run, executed via [`runner::Cluster::run`], plus
+//!   [`Session`], which lazily runs the key distribution once and
+//!   amortizes it across many runs (the paper's §6 economics as an
+//!   object). Adversaries are declarative values
+//!   ([`adversary::AdversarySpec`]), not closures.
+//! * [`compat`] — deprecated pre-`RunSpec` shims (the old per-protocol
+//!   `run_*` methods), with the migration table.
 //! * [`metrics`] — the paper's closed-form message-complexity
 //!   expressions (`3n(n−1)` key distribution, `n−1` chain FD,
 //!   `(t+2)(n−1)` non-authenticated, the §6 amortization crossover)
@@ -47,19 +55,21 @@
 //!
 //! ```
 //! use fd_core::runner::Cluster;
+//! use fd_core::spec::{Protocol, RunSpec, Session};
 //! use std::sync::Arc;
 //!
 //! // 7 nodes tolerating t = 2 faults, all honest, tiny test crypto.
 //! let cluster = Cluster::new(7, 2, Arc::new(fd_crypto::SchnorrScheme::test_tiny()), 42);
+//! let mut session = Session::new(cluster);
 //!
 //! // One-time key distribution (paper Fig. 1): 3·n·(n−1) messages.
-//! let keydist = cluster.run_key_distribution();
-//! assert_eq!(keydist.stats.messages_total, 3 * 7 * 6);
+//! assert_eq!(session.keydist().stats.messages_total, 3 * 7 * 6);
 //!
 //! // Arbitrarily many cheap failure-discovery runs (paper Fig. 2): n−1 each.
-//! let run = cluster.run_chain_fd(&keydist, b"attack at dawn".to_vec());
+//! let run = session.run(&RunSpec::new(Protocol::ChainFd, b"attack at dawn".to_vec()));
 //! assert_eq!(run.stats.messages_total, 6);
 //! assert!(run.all_decided(b"attack at dawn"));
+//! assert_eq!(session.keydist_runs(), 1);
 //! ```
 
 #![forbid(unsafe_code)]
@@ -68,6 +78,7 @@
 pub mod adversary;
 pub mod ba;
 pub mod chain;
+pub mod compat;
 pub mod epoch;
 pub mod fd;
 pub mod keys;
@@ -76,9 +87,13 @@ pub mod metrics;
 pub mod props;
 pub mod runner;
 pub mod schedsearch;
+pub mod spec;
 pub mod sweep;
 
 mod outcome;
+mod pool;
 
+pub use adversary::{AdversaryKind, AdversarySpec};
 pub use keys::{KeyStore, Keyring};
 pub use outcome::{DiscoveryReason, Outcome};
+pub use spec::{Protocol, RunSpec, Session};

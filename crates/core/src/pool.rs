@@ -1,0 +1,72 @@
+//! The crate's shared fan-out primitive: an order-preserving scoped
+//! thread pool over an indexed work list.
+//!
+//! Both embarrassingly parallel layers — the scenario sweep
+//! ([`crate::sweep::run_sweep`]) and the scheduler search's random
+//! restarts ([`crate::schedsearch::run_search_parallel`]) — drain a shared
+//! atomic counter and write results into their original slots, so the
+//! output order (and therefore every derived report byte) is identical
+//! for any worker count.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Compute `f(0..count)` across `threads` workers, returning the results
+/// in index order. `f` must be a pure function of its index for the
+/// output to be thread-count invariant — which every caller's determinism
+/// test asserts.
+///
+/// # Panics
+///
+/// Panics if a worker panicked (poisoning the slot mutex).
+pub(crate) fn parallel_indexed<T, F>(count: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = threads.max(1).min(count.max(1));
+    if workers <= 1 {
+        return (0..count).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<T>>> = Mutex::new((0..count).map(|_| None).collect());
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let index = next.fetch_add(1, Ordering::Relaxed);
+                if index >= count {
+                    break;
+                }
+                let result = f(index);
+                slots.lock().expect("pool worker panicked")[index] = Some(result);
+            });
+        }
+    });
+
+    slots
+        .into_inner()
+        .expect("pool worker panicked")
+        .into_iter()
+        .map(|slot| slot.expect("every index produced a result"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_index_order_for_any_worker_count() {
+        let serial = parallel_indexed(37, 1, |i| i * i);
+        for threads in [2, 4, 16, 64] {
+            assert_eq!(parallel_indexed(37, threads, |i| i * i), serial);
+        }
+    }
+
+    #[test]
+    fn empty_and_single_item_lists_work() {
+        assert_eq!(parallel_indexed(0, 4, |i| i), Vec::<usize>::new());
+        assert_eq!(parallel_indexed(1, 4, |i| i + 1), vec![1]);
+    }
+}

@@ -1,8 +1,12 @@
-//! Cluster orchestration: build node sets, run protocols, collect reports.
+//! Cluster orchestration: fix a configuration, drive node sets, collect
+//! reports.
 //!
-//! This is the high-level API the examples, integration tests, and the
-//! experiment report generator use. A [`Cluster`] fixes `(n, t, scheme,
-//! seed)`; every run derived from it is deterministic.
+//! A [`Cluster`] fixes `(n, t, scheme, seed)` plus the execution
+//! environment (engine, latency, link overrides, faults); every run
+//! derived from it is deterministic. *What* to run is described by a
+//! [`crate::spec::RunSpec`] and executed through [`Cluster::run`] (one
+//! shot) or a [`crate::spec::Session`] (many runs amortizing one key
+//! distribution) — see [`crate::spec`] for the execution API.
 //!
 //! Runs execute on a pluggable [`NetworkDriver`]: the lockstep
 //! [`SyncDriver`] (paper §2 model, the default) or the discrete-event
@@ -11,13 +15,7 @@
 //! sweep engine cross-validates this); other latency specs expose timing
 //! behaviour the synchronous model cannot express.
 
-use crate::ba::{
-    DegradableNode, DegradableParams, DolevStrongNode, DolevStrongParams, FdToBaNode, FdToBaParams,
-    Grade, PhaseKingNode, PhaseKingParams,
-};
-use crate::fd::{
-    ChainFdNode, ChainFdParams, NonAuthFdNode, NonAuthParams, SmallRangeFdNode, SmallRangeParams,
-};
+use crate::ba::Grade;
 use crate::keys::{KeyStore, Keyring};
 use crate::localauth::{KdAnomaly, KeyDistNode, KEYDIST_ROUNDS};
 use crate::outcome::Outcome;
@@ -26,14 +24,14 @@ use fd_simnet::fault::FaultPlan;
 use fd_simnet::{
     Engine, EventNetwork, LatencySpec, LinkLatencySpec, NetStats, Node, NodeId, SyncNetwork,
 };
-use std::collections::HashMap;
 use std::sync::Arc;
 
 /// A per-message delivery schedule for the event engine, keyed by send
 /// index and valued in virtual ticks (see
-/// [`EventNetwork::set_delay_overrides`]). Shared by handle so a search
-/// loop can re-run the same schedule without copying the map.
-pub type Schedule = Arc<HashMap<u64, u64>>;
+/// [`EventNetwork::set_delay_overrides`]). Shared by handle all the way
+/// into the network, so a search loop re-running the same schedule never
+/// copies the map.
+pub type Schedule = fd_simnet::DelayOverrides;
 
 /// A function that replaces selected honest nodes with adversaries.
 ///
@@ -114,7 +112,7 @@ impl NetworkDriver for EventDriver {
             self.seed,
         ));
         if let Some(schedule) = &self.schedule {
-            net.set_delay_overrides(schedule.as_ref().clone());
+            net.set_delay_overrides(Arc::clone(schedule));
         }
         if self.record_delays {
             net.enable_delay_log();
@@ -193,6 +191,9 @@ pub struct FdRunReport {
     /// Which nodes took the BA fallback (only for FD→BA runs; empty
     /// otherwise).
     pub used_fallback: Vec<bool>,
+    /// Per-node decision grades (only for degradable-agreement runs; empty
+    /// otherwise; `None` within the vector for substituted nodes).
+    pub grades: Vec<Option<Grade>>,
     /// Per-message `(send_round, ticks)` delays in send order, when the
     /// cluster recorded them ([`Cluster::with_delay_log`]). This is the
     /// raw material of a schedule certificate: feeding the delays back via
@@ -217,6 +218,63 @@ impl FdRunReport {
     /// `true` iff any honest node discovered a failure.
     pub fn any_discovery(&self) -> bool {
         self.outcomes.iter().flatten().any(|o| o.is_discovered())
+    }
+
+    /// Serialize as deterministic JSON (stable field order, no floats, no
+    /// timestamps): two byte-identical runs produce byte-identical JSON.
+    /// This is the comparison surface of the API-equivalence tests.
+    pub fn to_json(&self) -> String {
+        fn hex(bytes: &[u8]) -> String {
+            bytes.iter().map(|b| format!("{b:02x}")).collect()
+        }
+        let mut s = String::from("{\"outcomes\": [");
+        for (i, outcome) in self.outcomes.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            match outcome {
+                None => s.push_str("\"faulty\""),
+                Some(Outcome::Pending) => s.push_str("\"pending\""),
+                Some(Outcome::Decided(v)) => s.push_str(&format!("\"decided:{}\"", hex(v))),
+                Some(Outcome::Discovered(r)) => s.push_str(&format!("\"discovered:{r}\"")),
+            }
+        }
+        s.push_str(&format!(
+            "], \"messages\": {}, \"bytes\": {}, \"rounds\": {}, \"per_round\": {:?}, \
+             \"used_fallback\": {:?}, \"grades\": [",
+            self.stats.messages_total,
+            self.stats.bytes_total,
+            self.stats.rounds,
+            self.stats.per_round,
+            self.used_fallback
+        ));
+        for (i, grade) in self.grades.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            match grade {
+                None => s.push_str("null"),
+                Some(Grade::Zero) => s.push('0'),
+                Some(Grade::One) => s.push('1'),
+                Some(Grade::Two) => s.push('2'),
+            }
+        }
+        s.push(']');
+        match &self.delay_log {
+            None => s.push_str(", \"delay_log\": null"),
+            Some(log) => {
+                s.push_str(", \"delay_log\": [");
+                for (i, (round, ticks)) in log.iter().enumerate() {
+                    if i > 0 {
+                        s.push_str(", ");
+                    }
+                    s.push_str(&format!("[{round}, {ticks}]"));
+                }
+                s.push(']');
+            }
+        }
+        s.push('}');
+        s
     }
 }
 
@@ -288,7 +346,7 @@ impl Cluster {
     /// budget is stretched for non-synchronous latency and for the largest
     /// installed delay fault, so late messages still land within the run
     /// instead of silently degrading into drops.
-    fn drive(&self, nodes: Vec<Box<dyn Node>>, base_rounds: u32) -> DriveReport {
+    pub(crate) fn drive(&self, nodes: Vec<Box<dyn Node>>, base_rounds: u32) -> DriveReport {
         let delay_slack = self.faults.max_delay_rounds();
         match self.engine {
             Engine::Sync => SyncDriver {
@@ -381,414 +439,6 @@ impl Cluster {
             anomalies,
         }
     }
-
-    /// Run the chain FD protocol (paper Fig. 2) on the stores of a prior
-    /// key distribution, all nodes honest, `P_0` sending `value`.
-    pub fn run_chain_fd(&self, keydist: &KeyDistReport, value: Vec<u8>) -> FdRunReport {
-        self.run_chain_fd_with(keydist, value, &mut |_| None)
-    }
-
-    /// Chain FD with substitutions.
-    ///
-    /// # Panics
-    ///
-    /// Panics if an honest slot has no store in `keydist` (an honest node
-    /// cannot run without the keys it accepted).
-    pub fn run_chain_fd_with(
-        &self,
-        keydist: &KeyDistReport,
-        value: Vec<u8>,
-        substitute: Substitution<'_>,
-    ) -> FdRunReport {
-        let params = ChainFdParams::new(self.n, self.t);
-        let rounds = params.rounds();
-        let nodes: Vec<Box<dyn Node>> = (0..self.n)
-            .map(|i| {
-                let me = NodeId(i as u16);
-                match substitute(me) {
-                    Some(adversary) => adversary,
-                    None => Box::new(ChainFdNode::new(
-                        me,
-                        params.clone(),
-                        Arc::clone(&self.scheme),
-                        keydist.store(me).clone(),
-                        self.keyring(me),
-                        (me == params.sender).then(|| value.clone()),
-                    )) as Box<dyn Node>,
-                }
-            })
-            .collect();
-        self.finish_fd::<ChainFdNode>(nodes, rounds, |n| n.outcome().clone())
-    }
-
-    /// Run the non-authenticated witness-relay baseline (no keys needed).
-    pub fn run_non_auth_fd(&self, value: Vec<u8>) -> FdRunReport {
-        self.run_non_auth_fd_with(value, &mut |_| None)
-    }
-
-    /// Witness-relay baseline with substitutions.
-    pub fn run_non_auth_fd_with(
-        &self,
-        value: Vec<u8>,
-        substitute: Substitution<'_>,
-    ) -> FdRunReport {
-        let params = NonAuthParams::new(self.n, self.t);
-        let rounds = params.rounds();
-        let nodes: Vec<Box<dyn Node>> = (0..self.n)
-            .map(|i| {
-                let me = NodeId(i as u16);
-                match substitute(me) {
-                    Some(adversary) => adversary,
-                    None => Box::new(NonAuthFdNode::new(
-                        me,
-                        params.clone(),
-                        (me == params.sender).then(|| value.clone()),
-                    )) as Box<dyn Node>,
-                }
-            })
-            .collect();
-        self.finish_fd::<NonAuthFdNode>(nodes, rounds, |n| n.outcome().clone())
-    }
-
-    /// Run the small-range FD protocol with the given default value.
-    pub fn run_small_range(
-        &self,
-        keydist: &KeyDistReport,
-        value: Vec<u8>,
-        default_value: Vec<u8>,
-    ) -> FdRunReport {
-        self.run_small_range_with(keydist, value, default_value, &mut |_| None)
-    }
-
-    /// Small-range FD with substitutions.
-    pub fn run_small_range_with(
-        &self,
-        keydist: &KeyDistReport,
-        value: Vec<u8>,
-        default_value: Vec<u8>,
-        substitute: Substitution<'_>,
-    ) -> FdRunReport {
-        let params = SmallRangeParams::new(self.n, self.t, default_value);
-        let rounds = params.rounds();
-        let nodes: Vec<Box<dyn Node>> = (0..self.n)
-            .map(|i| {
-                let me = NodeId(i as u16);
-                match substitute(me) {
-                    Some(adversary) => adversary,
-                    None => Box::new(SmallRangeFdNode::new(
-                        me,
-                        params.clone(),
-                        Arc::clone(&self.scheme),
-                        keydist.store(me).clone(),
-                        self.keyring(me),
-                        (me == params.sender).then(|| value.clone()),
-                    )) as Box<dyn Node>,
-                }
-            })
-            .collect();
-        self.finish_fd::<SmallRangeFdNode>(nodes, rounds, |n| n.outcome().clone())
-    }
-
-    /// Run interactive consistency (`n` parallel chain-FD instances; see
-    /// [`crate::fd::VectorFdNode`]). `values[i]` is node `i`'s input.
-    ///
-    /// Returns per-node *vector* outcomes flattened into an
-    /// [`FdRunReport`]-like structure: `outcomes[i]` is `Some(Decided(v))`
-    /// only if node `i` decided the *full* vector; the detailed
-    /// per-instance outcomes are in the second component.
-    ///
-    /// # Panics
-    ///
-    /// Panics unless `values.len() == n`.
-    pub fn run_vector_fd(
-        &self,
-        keydist: &KeyDistReport,
-        values: &[Vec<u8>],
-    ) -> (FdRunReport, Vec<Vec<Outcome>>) {
-        assert_eq!(values.len(), self.n, "one input value per node");
-        let params = crate::fd::VectorFdParams::new(self.n, self.t);
-        let rounds = params.rounds();
-        let nodes: Vec<Box<dyn Node>> = (0..self.n)
-            .map(|i| {
-                let me = NodeId(i as u16);
-                Box::new(crate::fd::VectorFdNode::new(
-                    me,
-                    params.clone(),
-                    Arc::clone(&self.scheme),
-                    keydist.store(me).clone(),
-                    self.keyring(me),
-                    values[i].clone(),
-                )) as Box<dyn Node>
-            })
-            .collect();
-        let report = self.drive(nodes, rounds);
-        let stats = report.stats;
-        let delay_log = report.delay_log;
-        let mut outcomes = Vec::with_capacity(self.n);
-        let mut per_instance = Vec::with_capacity(self.n);
-        for boxed in report.nodes {
-            let node = boxed
-                .into_any()
-                .downcast::<crate::fd::VectorFdNode>()
-                .expect("VectorFdNode");
-            let summary = match node.vector() {
-                Some(vector) => {
-                    // Canonical encoding of the decided vector.
-                    let mut flat = Vec::new();
-                    for v in &vector {
-                        flat.extend_from_slice(&(v.len() as u32).to_be_bytes());
-                        flat.extend_from_slice(v);
-                    }
-                    Outcome::Decided(flat)
-                }
-                None => node
-                    .outcomes()
-                    .iter()
-                    .find(|o| o.is_discovered())
-                    .cloned()
-                    .unwrap_or(Outcome::Pending),
-            };
-            outcomes.push(Some(summary));
-            per_instance.push(node.outcomes().to_vec());
-        }
-        (
-            FdRunReport {
-                outcomes,
-                stats,
-                used_fallback: Vec::new(),
-                delay_log,
-            },
-            per_instance,
-        )
-    }
-
-    /// Run Dolev–Strong agreement under the given key stores.
-    pub fn run_dolev_strong(
-        &self,
-        keydist: &KeyDistReport,
-        value: Vec<u8>,
-        default_value: Vec<u8>,
-    ) -> FdRunReport {
-        self.run_dolev_strong_with(keydist, value, default_value, &mut |_| None)
-    }
-
-    /// Dolev–Strong with substitutions.
-    pub fn run_dolev_strong_with(
-        &self,
-        keydist: &KeyDistReport,
-        value: Vec<u8>,
-        default_value: Vec<u8>,
-        substitute: Substitution<'_>,
-    ) -> FdRunReport {
-        let params = DolevStrongParams::new(self.n, self.t, default_value);
-        let rounds = params.rounds();
-        let nodes: Vec<Box<dyn Node>> = (0..self.n)
-            .map(|i| {
-                let me = NodeId(i as u16);
-                match substitute(me) {
-                    Some(adversary) => adversary,
-                    None => Box::new(DolevStrongNode::new(
-                        me,
-                        params.clone(),
-                        Arc::clone(&self.scheme),
-                        keydist.store(me).clone(),
-                        self.keyring(me),
-                        (me == params.sender).then(|| value.clone()),
-                    )) as Box<dyn Node>,
-                }
-            })
-            .collect();
-        self.finish_fd::<DolevStrongNode>(nodes, rounds, |n| n.outcome().clone())
-    }
-
-    /// Run the Phase-King non-authenticated BA baseline (no keys needed;
-    /// requires `n > 4t`).
-    pub fn run_phase_king(&self, value: Vec<u8>, default_value: Vec<u8>) -> FdRunReport {
-        self.run_phase_king_with(value, default_value, &mut |_| None)
-    }
-
-    /// Phase King with substitutions.
-    pub fn run_phase_king_with(
-        &self,
-        value: Vec<u8>,
-        default_value: Vec<u8>,
-        substitute: Substitution<'_>,
-    ) -> FdRunReport {
-        let params = PhaseKingParams::new(self.n, self.t, default_value);
-        let rounds = params.rounds();
-        let nodes: Vec<Box<dyn Node>> = (0..self.n)
-            .map(|i| {
-                let me = NodeId(i as u16);
-                match substitute(me) {
-                    Some(adversary) => adversary,
-                    None => Box::new(PhaseKingNode::new(
-                        me,
-                        params.clone(),
-                        (me == params.sender).then(|| value.clone()),
-                    )) as Box<dyn Node>,
-                }
-            })
-            .collect();
-        self.finish_fd::<PhaseKingNode>(nodes, rounds, |n| n.outcome().clone())
-    }
-
-    /// Run degradable (crusader/graded) agreement under the given key
-    /// stores. Returns the run report plus the per-node decision grades
-    /// (`None` for substituted nodes).
-    pub fn run_degradable(
-        &self,
-        keydist: &KeyDistReport,
-        value: Vec<u8>,
-        default_value: Vec<u8>,
-    ) -> (FdRunReport, Vec<Option<Grade>>) {
-        self.run_degradable_with(keydist, value, default_value, &mut |_| None)
-    }
-
-    /// Degradable agreement with substitutions.
-    pub fn run_degradable_with(
-        &self,
-        keydist: &KeyDistReport,
-        value: Vec<u8>,
-        default_value: Vec<u8>,
-        substitute: Substitution<'_>,
-    ) -> (FdRunReport, Vec<Option<Grade>>) {
-        let params = DegradableParams::new(self.n, self.t, default_value);
-        let rounds = params.rounds();
-        let nodes: Vec<Box<dyn Node>> = (0..self.n)
-            .map(|i| {
-                let me = NodeId(i as u16);
-                match substitute(me) {
-                    Some(adversary) => adversary,
-                    None => Box::new(DegradableNode::new(
-                        me,
-                        params.clone(),
-                        Arc::clone(&self.scheme),
-                        keydist.store(me).clone(),
-                        self.keyring(me),
-                        (me == params.sender).then(|| value.clone()),
-                    )) as Box<dyn Node>,
-                }
-            })
-            .collect();
-        let report = self.drive(nodes, rounds);
-        let stats = report.stats;
-        let delay_log = report.delay_log;
-        let mut outcomes = Vec::with_capacity(self.n);
-        let mut grades = Vec::with_capacity(self.n);
-        for boxed in report.nodes {
-            match boxed.into_any().downcast::<DegradableNode>() {
-                Ok(node) => {
-                    outcomes.push(Some(node.outcome().clone()));
-                    grades.push(node.grade());
-                }
-                Err(_) => {
-                    outcomes.push(None);
-                    grades.push(None);
-                }
-            }
-        }
-        (
-            FdRunReport {
-                outcomes,
-                stats,
-                used_fallback: Vec::new(),
-                delay_log,
-            },
-            grades,
-        )
-    }
-
-    /// Run the FD→BA extension (failure-free runs cost FD messages).
-    pub fn run_fd_to_ba(
-        &self,
-        keydist: &KeyDistReport,
-        value: Vec<u8>,
-        default_value: Vec<u8>,
-    ) -> FdRunReport {
-        self.run_fd_to_ba_with(keydist, value, default_value, &mut |_| None)
-    }
-
-    /// FD→BA with substitutions.
-    pub fn run_fd_to_ba_with(
-        &self,
-        keydist: &KeyDistReport,
-        value: Vec<u8>,
-        default_value: Vec<u8>,
-        substitute: Substitution<'_>,
-    ) -> FdRunReport {
-        let params = FdToBaParams::new(self.n, self.t, default_value);
-        let rounds = params.rounds();
-        let nodes: Vec<Box<dyn Node>> = (0..self.n)
-            .map(|i| {
-                let me = NodeId(i as u16);
-                match substitute(me) {
-                    Some(adversary) => adversary,
-                    None => Box::new(FdToBaNode::new(
-                        me,
-                        params.clone(),
-                        Arc::clone(&self.scheme),
-                        keydist.store(me).clone(),
-                        self.keyring(me),
-                        (me == params.sender).then(|| value.clone()),
-                    )) as Box<dyn Node>,
-                }
-            })
-            .collect();
-
-        let report = self.drive(nodes, rounds);
-        let stats = report.stats;
-        let delay_log = report.delay_log;
-        let mut outcomes = Vec::with_capacity(self.n);
-        let mut used_fallback = Vec::with_capacity(self.n);
-        for boxed in report.nodes {
-            match boxed.into_any().downcast::<FdToBaNode>() {
-                Ok(node) => {
-                    outcomes.push(Some(node.outcome().clone()));
-                    used_fallback.push(node.used_fallback());
-                }
-                Err(_) => {
-                    outcomes.push(None);
-                    used_fallback.push(false);
-                }
-            }
-        }
-        FdRunReport {
-            outcomes,
-            stats,
-            used_fallback,
-            delay_log,
-        }
-    }
-
-    /// Drive a node set to completion and extract per-node outcomes of the
-    /// expected honest type `T` (substituted nodes yield `None`).
-    fn finish_fd<T: 'static>(
-        &self,
-        nodes: Vec<Box<dyn Node>>,
-        rounds: u32,
-        extract: impl Fn(&T) -> Outcome,
-    ) -> FdRunReport {
-        let report = self.drive(nodes, rounds);
-        let stats = report.stats;
-        let delay_log = report.delay_log;
-        let outcomes = report
-            .nodes
-            .into_iter()
-            .map(|boxed| {
-                boxed
-                    .into_any()
-                    .downcast::<T>()
-                    .ok()
-                    .map(|node| extract(&node))
-            })
-            .collect();
-        FdRunReport {
-            outcomes,
-            stats,
-            used_fallback: Vec::new(),
-            delay_log,
-        }
-    }
 }
 
 impl core::fmt::Debug for Cluster {
@@ -808,35 +458,38 @@ impl core::fmt::Debug for Cluster {
 mod tests {
     use super::*;
     use crate::metrics;
+    use crate::spec::{Protocol, RunSpec, Session};
 
     fn cluster(n: usize, t: usize) -> Cluster {
         Cluster::new(n, t, Arc::new(fd_crypto::SchnorrScheme::test_tiny()), 99)
     }
 
+    fn spec(protocol: Protocol, value: &[u8]) -> RunSpec {
+        RunSpec::new(protocol, value.to_vec()).with_default_value(b"d".to_vec())
+    }
+
     #[test]
     fn keydist_then_many_cheap_runs() {
-        let c = cluster(6, 1);
-        let kd = c.run_key_distribution();
+        let mut session = Session::new(cluster(6, 1));
+        let kd = session.keydist();
         assert_eq!(kd.stats.messages_total, metrics::keydist_messages(6));
         for (_, anoms) in &kd.anomalies {
             assert!(anoms.is_empty());
         }
         for k in 0..5u8 {
-            let run = c.run_chain_fd(&kd, vec![k]);
+            let run = session.run(&RunSpec::new(Protocol::ChainFd, vec![k]));
             assert_eq!(run.stats.messages_total, metrics::chain_fd_messages(6));
             assert!(run.all_decided(&[k]));
             assert!(!run.any_discovery());
         }
+        assert_eq!(session.keydist_runs(), 1);
     }
 
     #[test]
     fn non_auth_baseline_costs_more() {
         let c = cluster(8, 2);
-        let auth = {
-            let kd = c.run_key_distribution();
-            c.run_chain_fd(&kd, b"v".to_vec()).stats.messages_total
-        };
-        let non_auth = c.run_non_auth_fd(b"v".to_vec());
+        let auth = c.run(&spec(Protocol::ChainFd, b"v")).stats.messages_total;
+        let non_auth = c.run(&spec(Protocol::NonAuthFd, b"v"));
         assert!(non_auth.all_decided(b"v"));
         assert_eq!(
             non_auth.stats.messages_total,
@@ -851,45 +504,44 @@ mod tests {
         // authentication run on locally distributed keys; conversely our
         // implementation runs identically on dealer-provided stores.
         let c = cluster(5, 1);
-        let stores = c.global_stores();
         let kd = KeyDistReport {
-            stores: stores.into_iter().map(Some).collect(),
+            stores: c.global_stores().into_iter().map(Some).collect(),
             stats: NetStats::new(5),
             anomalies: Vec::new(),
         };
-        let run = c.run_chain_fd(&kd, b"x".to_vec());
+        let mut session = Session::with_keydist(c, kd);
+        let run = session.run(&spec(Protocol::ChainFd, b"x"));
         assert!(run.all_decided(b"x"));
+        assert_eq!(session.keydist_runs(), 0, "dealer stores, no keydist run");
     }
 
     #[test]
     fn small_range_default_free_and_nondefault_works() {
-        let c = cluster(6, 1);
-        let kd = c.run_key_distribution();
-        let free = c.run_small_range(&kd, vec![0], vec![0]);
+        let mut session = Session::new(cluster(6, 1));
+        let free =
+            session.run(&RunSpec::new(Protocol::SmallRange, vec![0]).with_default_value(vec![0]));
         assert_eq!(free.stats.messages_total, 0);
         assert!(free.all_decided(&[0]));
-        let paid = c.run_small_range(&kd, vec![1], vec![0]);
+        let paid =
+            session.run(&RunSpec::new(Protocol::SmallRange, vec![1]).with_default_value(vec![0]));
         assert!(paid.all_decided(&[1]));
         assert_eq!(
             paid.stats.messages_total,
             metrics::small_range_messages(6, 1, false)
         );
+        assert_eq!(session.keydist_runs(), 1);
     }
 
     #[test]
     fn dolev_strong_quadratic_failure_free() {
-        let c = cluster(5, 1);
-        let kd = c.run_key_distribution();
-        let run = c.run_dolev_strong(&kd, b"v".to_vec(), b"d".to_vec());
+        let run = cluster(5, 1).run(&spec(Protocol::DolevStrong, b"v"));
         assert!(run.all_decided(b"v"));
         assert_eq!(run.stats.messages_total, 5 * 4);
     }
 
     #[test]
     fn fd_to_ba_failure_free_fd_cost() {
-        let c = cluster(7, 2);
-        let kd = c.run_key_distribution();
-        let run = c.run_fd_to_ba(&kd, b"v".to_vec(), b"d".to_vec());
+        let run = cluster(7, 2).run(&spec(Protocol::FdToBa, b"v"));
         assert!(run.all_decided(b"v"));
         assert_eq!(run.stats.messages_total, 6); // n - 1
         assert!(run.used_fallback.iter().all(|f| !f));
@@ -897,33 +549,32 @@ mod tests {
 
     #[test]
     fn phase_king_quadratic_baseline() {
-        let c = cluster(5, 1);
-        let run = c.run_phase_king(b"v".to_vec(), b"d".to_vec());
+        let run = cluster(5, 1).run(&spec(Protocol::PhaseKing, b"v"));
         assert!(run.all_decided(b"v"));
         assert_eq!(run.stats.messages_total, metrics::phase_king_messages(5, 1));
     }
 
     #[test]
     fn degradable_failure_free_grade_two() {
-        let c = cluster(7, 2);
-        let kd = c.run_key_distribution();
-        let (run, grades) = c.run_degradable(&kd, b"v".to_vec(), b"d".to_vec());
+        let run = cluster(7, 2).run(&spec(Protocol::Degradable, b"v"));
         assert!(run.all_decided(b"v"));
         assert_eq!(run.stats.messages_total, metrics::degradable_messages(7));
-        assert!(grades.iter().all(|g| *g == Some(crate::ba::Grade::Two)));
+        assert_eq!(run.grades.len(), 7);
+        assert!(run.grades.iter().all(|g| *g == Some(crate::ba::Grade::Two)));
     }
 
     #[test]
     fn event_engine_reproduces_sync_engine_exactly() {
         let sync = cluster(7, 2);
         let event = sync.clone().with_engine(fd_simnet::Engine::Event);
-        let kd_s = sync.run_key_distribution();
-        let kd_e = event.run_key_distribution();
+        let kd_s = sync.setup_keydist();
+        let kd_e = event.setup_keydist();
         assert_eq!(kd_s.stats, kd_e.stats);
-        let run_s = sync.run_chain_fd(&kd_s, b"v".to_vec());
-        let run_e = event.run_chain_fd(&kd_e, b"v".to_vec());
+        let run_s = sync.run(&spec(Protocol::ChainFd, b"v"));
+        let run_e = event.run(&spec(Protocol::ChainFd, b"v"));
         assert_eq!(run_s.stats, run_e.stats);
         assert_eq!(run_s.outcomes, run_e.outcomes);
+        assert_eq!(run_s.to_json(), run_e.to_json());
     }
 
     #[test]
@@ -931,12 +582,10 @@ mod tests {
         let c = cluster(6, 1)
             .with_engine(fd_simnet::Engine::Event)
             .with_latency(fd_simnet::LatencySpec::Jitter { extra: 1 });
-        // Keys distributed in the quiet synchronous setup phase.
-        let kd = c
-            .clone()
-            .with_latency(fd_simnet::LatencySpec::Synchronous)
-            .run_key_distribution();
-        let run = c.run_chain_fd(&kd, b"v".to_vec());
+        // The session's keydist runs in the quiet synchronous setup phase
+        // regardless of the cluster's latency model.
+        let mut session = Session::new(c);
+        let run = session.run(&spec(Protocol::ChainFd, b"v"));
         // Late messages may be discovered as timing failures, but any two
         // decided values must agree.
         let decided: std::collections::BTreeSet<Vec<u8>> = run
@@ -951,15 +600,10 @@ mod tests {
     fn cluster_fault_plan_reaches_the_run() {
         use fd_simnet::fault::{FaultPlan, LinkFault};
         for engine in [fd_simnet::Engine::Sync, fd_simnet::Engine::Event] {
-            let c = cluster(5, 1).with_engine(engine);
-            let kd = c.run_key_distribution();
-            let faulted = c.clone().with_faults(FaultPlan::new().with(
-                0,
-                NodeId(0),
-                NodeId(1),
-                LinkFault::Drop,
-            ));
-            let run = faulted.run_chain_fd(&kd, b"v".to_vec());
+            let faulted = cluster(5, 1)
+                .with_engine(engine)
+                .with_faults(FaultPlan::new().with(0, NodeId(0), NodeId(1), LinkFault::Drop));
+            let run = faulted.run(&spec(Protocol::ChainFd, b"v"));
             assert!(run.any_discovery(), "dropped chain must be discovered");
         }
     }
@@ -975,32 +619,6 @@ mod tests {
         // Honest nodes accepted everyone but the silent node.
         for i in 0..4 {
             assert_eq!(kd.stores[i].as_ref().unwrap().accepted_count(), 4);
-        }
-    }
-}
-
-#[cfg(test)]
-mod vector_tests {
-    use super::*;
-
-    #[test]
-    fn interactive_consistency_via_runner() {
-        let c = Cluster::new(5, 1, Arc::new(fd_crypto::SchnorrScheme::test_tiny()), 77);
-        let kd = c.run_key_distribution();
-        let values: Vec<Vec<u8>> = (0..5u8).map(|i| vec![i, i + 10]).collect();
-        let (report, per_instance) = c.run_vector_fd(&kd, &values);
-        // n parallel FD runs cost n(n-1) messages.
-        assert_eq!(report.stats.messages_total, 5 * 4);
-        // Every node decided every instance with the right value.
-        for node_outcomes in &per_instance {
-            for (s, o) in node_outcomes.iter().enumerate() {
-                assert_eq!(o.decided(), Some(&values[s][..]));
-            }
-        }
-        // Summaries agree across nodes.
-        let first = report.outcomes[0].clone();
-        for o in &report.outcomes {
-            assert_eq!(o, &first);
         }
     }
 }

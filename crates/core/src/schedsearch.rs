@@ -53,12 +53,10 @@
 //! assert!(!report.silent_found(), "paper property violated");
 //! ```
 
+use crate::pool;
 use crate::runner::{Cluster, FdRunReport, KeyDistReport, Schedule};
-use crate::sweep::{
-    build_substitution, classify, run_keydist_for, run_protocol_with, AdversaryKind, Protocol,
-    Scenario, SchemeSpec, SweepOutcome,
-};
-use fd_simnet::{Engine, LatencySpec, NodeId};
+use crate::sweep::{classify, AdversaryKind, Protocol, Scenario, SchemeSpec, SweepOutcome};
+use fd_simnet::{Engine, LatencySpec};
 use std::collections::{BTreeSet, HashMap};
 use std::fmt;
 use std::sync::Arc;
@@ -542,26 +540,21 @@ pub fn score_run(run: &FdRunReport, expected_messages: usize) -> (Score, SweepOu
 
 /// Execute the config's scenario under the given schedule (or the base
 /// latency model when `None`), reusing a precomputed key distribution.
+/// One episode = one [`RunSpec`](crate::spec::RunSpec) against the
+/// config's event cluster — specs are plain data, which is what lets
+/// random restarts fan out across threads.
 fn execute(
     config: &SearchConfig,
     keydist: &Option<KeyDistReport>,
     schedule: Option<Schedule>,
 ) -> ReplayResult {
-    let scenario = config.scenario();
     let cluster = Cluster::new(config.n, config.t, config.scheme.build(), config.seed)
         .with_engine(Engine::Event)
         .with_latency(config.latency)
-        .with_schedule(schedule)
         .with_delay_log();
-    let mut substitute = build_substitution(&scenario, &cluster, NodeId(1), keydist);
-    let run = run_protocol_with(
-        &cluster,
-        config.protocol,
-        keydist.as_ref(),
-        scenario.value(),
-        b"sweep-default".to_vec(),
-        &mut *substitute,
-    );
+    let mut spec = config.scenario().spec();
+    spec.schedule = schedule;
+    let run = cluster.run_with_keys(&spec, keydist.as_ref());
     let expected = config.protocol.expected_messages(config.n, config.t);
     let (score, outcome) = score_run(&run, expected);
     ReplayResult {
@@ -618,12 +611,12 @@ fn execute_admissible(
 
 /// The key distribution every episode of a search reuses: keys are
 /// established in the quiet synchronous setup phase, outside the
-/// scheduler's reach (see [`run_keydist_for`]).
+/// scheduler's reach (see [`Cluster::keydist_for`]).
 fn setup_keys(config: &SearchConfig) -> Option<KeyDistReport> {
     let cluster = Cluster::new(config.n, config.t, config.scheme.build(), config.seed)
         .with_engine(Engine::Event)
         .with_latency(config.latency);
-    run_keydist_for(&cluster, config.protocol)
+    cluster.keydist_for(config.protocol)
 }
 
 /// Turn a recorded delay log into a certificate.
@@ -643,15 +636,34 @@ fn cert_from_log(config: &SearchConfig, episode: usize, log: &[(u32, u64)]) -> S
     }
 }
 
-/// Run the search. Deterministic: the same config produces a
-/// byte-identical [`SearchReport`] (and JSON/markdown rendering) on every
-/// invocation.
+/// Run the search single-threaded. Deterministic: the same config
+/// produces a byte-identical [`SearchReport`] (and JSON/markdown
+/// rendering) on every invocation — and the same bytes as
+/// [`run_search_parallel`] at any thread count.
 ///
 /// # Errors
 ///
 /// Returns an error for a zero budget, an inadmissible `(protocol, n, t)`
 /// shape, or an adversary that cannot speak the protocol.
 pub fn run_search(config: &SearchConfig) -> Result<SearchReport, String> {
+    run_search_parallel(config, 1)
+}
+
+/// Run the search with random restarts fanned out across `threads`
+/// workers (the sweep's thread-pool primitive, `fd_core`'s internal pool).
+///
+/// Every [`Strategy::Random`] episode is a pure function of
+/// `(config.seed, episode)` applied to the episode-0 baseline, so
+/// restarts are embarrassingly parallel; results are merged in episode
+/// (seed) order, which keeps the report byte-identical for any thread
+/// count. [`Strategy::Greedy`] is inherently sequential (each episode
+/// perturbs the incumbent) and ignores `threads`.
+///
+/// # Errors
+///
+/// Returns an error for a zero budget, an inadmissible `(protocol, n, t)`
+/// shape, or an adversary that cannot speak the protocol.
+pub fn run_search_parallel(config: &SearchConfig, threads: usize) -> Result<SearchReport, String> {
     config.validate()?;
     let keydist = setup_keys(config);
 
@@ -671,21 +683,35 @@ pub fn run_search(config: &SearchConfig) -> Result<SearchReport, String> {
     match config.strategy {
         Strategy::Random => {
             // Each restart draws a fresh full schedule: one delay per
-            // message of the incumbent's log, uniform within the round's
+            // message of the *baseline's* log, uniform within the round's
             // bounds. Messages beyond the proposal (the perturbed run may
             // send in different rounds) fall back to the base model.
-            for episode in 1..config.budget {
+            // Referencing the baseline rather than the incumbent is a
+            // deliberate change from the original sequential search: an
+            // accepted episode's log can differ from the baseline's (more
+            // messages, later rounds), so the two variants can visit
+            // different schedules for the same seed — but only
+            // baseline-referenced draws make episodes independent, which
+            // is what the fan-out below needs for thread-count-invariant
+            // reports.
+            let reference = baseline.delay_log;
+            let results = pool::parallel_indexed(config.budget.saturating_sub(1), threads, |i| {
+                let episode = i + 1;
                 let eseed = mix(config.seed, episode as u64);
-                let reference = &best.1.delay_log;
                 let overrides: HashMap<u64, u64> = reference
                     .iter()
                     .enumerate()
-                    .map(|(i, &(round, _))| {
-                        let rand = mix(eseed, i as u64);
-                        (i as u64, draw_delay(config.latency, round, rand))
+                    .map(|(k, &(round, _))| {
+                        let rand = mix(eseed, k as u64);
+                        (k as u64, draw_delay(config.latency, round, rand))
                     })
                     .collect();
-                let result = execute_admissible(config, &keydist, Some(overrides));
+                execute_admissible(config, &keydist, Some(overrides))
+            });
+            // Merge in episode (seed) order: byte-deterministic for any
+            // thread count.
+            for (i, result) in results.into_iter().enumerate() {
+                let episode = i + 1;
                 let accepted = result.score > best.1.score;
                 episodes.push(EpisodeRow {
                     episode,

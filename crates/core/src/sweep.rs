@@ -37,201 +37,28 @@
 //! assert!(report.rows.len() >= 8);
 //! ```
 
-use crate::adversary::{ChainFdAdversary, ChainMisbehavior, CrashNode, SilentNode};
-use crate::fd::{ChainFdNode, ChainFdParams};
+use crate::adversary::AdversarySpec;
 use crate::metrics;
-use crate::runner::{Cluster, FdRunReport, KeyDistReport, Substitution};
+use crate::pool;
+use crate::runner::{Cluster, FdRunReport};
 use crate::schedsearch::{self, Score, SearchConfig, Strategy};
+use crate::spec::{RunSpec, Session};
 use fd_crypto::{DsaScheme, SchnorrScheme, SignatureScheme};
-use fd_simnet::{Engine, LatencySpec, LinkLatencySpec, Node, NodeId};
+use fd_simnet::{Engine, LatencySpec, LinkLatencySpec};
 use std::collections::BTreeSet;
 use std::fmt;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
-/// The protocols a sweep can exercise.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
-pub enum Protocol {
-    /// Authenticated chain FD (paper Fig. 2): `n − 1` messages.
-    ChainFd,
-    /// Non-authenticated witness relay: `(t + 2)(n − 1)` messages.
-    NonAuthFd,
-    /// Small-value-range FD, run with a non-default value.
-    SmallRange,
-    /// The FD→BA extension (failure-free runs at FD cost).
-    FdToBa,
-    /// Degradable (crusader/graded) agreement.
-    Degradable,
-    /// Dolev–Strong authenticated BA baseline.
-    DolevStrong,
-    /// Phase-King non-authenticated BA baseline (`n > 4t`).
-    PhaseKing,
-}
+// The sweep's protocol and adversary axes migrated into the unified
+// execution API ([`crate::spec`] / [`crate::adversary`]); re-exported
+// here so matrix declarations (and old imports) keep reading naturally.
+pub use crate::adversary::AdversaryKind;
+pub use crate::spec::Protocol;
 
-impl Protocol {
-    /// Every protocol, in canonical order.
-    pub const ALL: [Protocol; 7] = [
-        Protocol::ChainFd,
-        Protocol::NonAuthFd,
-        Protocol::SmallRange,
-        Protocol::FdToBa,
-        Protocol::Degradable,
-        Protocol::DolevStrong,
-        Protocol::PhaseKing,
-    ];
-
-    /// Stable machine-readable name (used in reports and CLI flags).
-    pub fn name(self) -> &'static str {
-        match self {
-            Protocol::ChainFd => "chain_fd",
-            Protocol::NonAuthFd => "non_auth_fd",
-            Protocol::SmallRange => "small_range",
-            Protocol::FdToBa => "fd_to_ba",
-            Protocol::Degradable => "degradable",
-            Protocol::DolevStrong => "dolev_strong",
-            Protocol::PhaseKing => "phase_king",
-        }
-    }
-
-    /// Parse a CLI name (several aliases accepted).
-    pub fn parse(name: &str) -> Result<Protocol, String> {
-        Ok(match name {
-            "chain" | "chainfd" | "chain_fd" | "fd" => Protocol::ChainFd,
-            "nonauth" | "non_auth" | "non_auth_fd" => Protocol::NonAuthFd,
-            "small" | "small_range" => Protocol::SmallRange,
-            "ba" | "fd_to_ba" => Protocol::FdToBa,
-            "degrade" | "degradable" => Protocol::Degradable,
-            "ds" | "dolev_strong" => Protocol::DolevStrong,
-            "king" | "phase_king" => Protocol::PhaseKing,
-            other => {
-                return Err(format!(
-                    "unknown protocol {other} \
-                     (chain|nonauth|small|ba|degrade|ds|king)"
-                ))
-            }
-        })
-    }
-
-    /// Whether the protocol runs on locally distributed keys.
-    pub fn needs_keys(self) -> bool {
-        !matches!(self, Protocol::NonAuthFd | Protocol::PhaseKing)
-    }
-
-    /// Whether the `(n, t)` shape satisfies the protocol's resilience
-    /// requirement.
-    pub fn admissible(self, n: usize, t: usize) -> bool {
-        if t + 2 > n {
-            return false;
-        }
-        match self {
-            Protocol::ChainFd | Protocol::NonAuthFd | Protocol::SmallRange => true,
-            Protocol::FdToBa | Protocol::Degradable => n > 3 * t,
-            Protocol::DolevStrong => true,
-            Protocol::PhaseKing => n > 4 * t,
-        }
-    }
-
-    /// The paper's closed-form failure-free message count.
-    pub fn expected_messages(self, n: usize, t: usize) -> usize {
-        match self {
-            Protocol::ChainFd | Protocol::FdToBa => metrics::chain_fd_messages(n),
-            Protocol::NonAuthFd => metrics::non_auth_messages(n, t),
-            Protocol::SmallRange => metrics::small_range_messages(n, t, false),
-            Protocol::Degradable => metrics::degradable_messages(n),
-            Protocol::DolevStrong => metrics::dolev_strong_messages(n),
-            Protocol::PhaseKing => metrics::phase_king_messages(n, t),
-        }
-    }
-}
-
-impl fmt::Display for Protocol {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(self.name())
-    }
-}
-
-/// Byzantine behaviour injected at the first chain relay (`P_1`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
-pub enum AdversaryKind {
-    /// All nodes honest (the failure-free baseline every formula is
-    /// checked against).
-    None,
-    /// `P_1` never sends anything.
-    SilentRelay,
-    /// `P_1` runs the honest automaton but crashes entering round 1
-    /// (chain FD only — the wrapper needs the honest inner automaton).
-    CrashRelay,
-    /// `P_1` relays the chain with a tampered body (chain FD only).
-    TamperBody,
-    /// `P_1` forges a fresh origin message (chain FD only).
-    ForgeOrigin,
-    /// `P_1` embeds a wrong assignee name (chain FD only).
-    WrongAssignee,
-}
-
-impl AdversaryKind {
-    /// Every adversary kind, in canonical order.
-    pub const ALL: [AdversaryKind; 6] = [
-        AdversaryKind::None,
-        AdversaryKind::SilentRelay,
-        AdversaryKind::CrashRelay,
-        AdversaryKind::TamperBody,
-        AdversaryKind::ForgeOrigin,
-        AdversaryKind::WrongAssignee,
-    ];
-
-    /// Stable machine-readable name (used in reports and CLI flags).
-    pub fn name(self) -> &'static str {
-        match self {
-            AdversaryKind::None => "none",
-            AdversaryKind::SilentRelay => "silent",
-            AdversaryKind::CrashRelay => "crash",
-            AdversaryKind::TamperBody => "tamper",
-            AdversaryKind::ForgeOrigin => "forge",
-            AdversaryKind::WrongAssignee => "wrongname",
-        }
-    }
-
-    /// Parse a CLI name.
-    pub fn parse(name: &str) -> Result<AdversaryKind, String> {
-        Ok(match name {
-            "none" | "honest" => AdversaryKind::None,
-            "silent" => AdversaryKind::SilentRelay,
-            "crash" => AdversaryKind::CrashRelay,
-            "tamper" => AdversaryKind::TamperBody,
-            "forge" => AdversaryKind::ForgeOrigin,
-            "wrongname" | "wrong_assignee" => AdversaryKind::WrongAssignee,
-            other => {
-                return Err(format!(
-                    "unknown adversary {other} \
-                     (none|silent|crash|tamper|forge|wrongname)"
-                ))
-            }
-        })
-    }
-
-    /// Whether this adversary can be injected into the given protocol.
-    ///
-    /// The chain-specific misbehaviours (and the crash wrapper, which needs
-    /// the honest chain automaton) only speak the chain-FD wire format; the
-    /// silent node speaks every protocol by saying nothing.
-    pub fn applies_to(self, protocol: Protocol) -> bool {
-        match self {
-            AdversaryKind::None => true,
-            AdversaryKind::SilentRelay => true,
-            AdversaryKind::CrashRelay
-            | AdversaryKind::TamperBody
-            | AdversaryKind::ForgeOrigin
-            | AdversaryKind::WrongAssignee => protocol == Protocol::ChainFd,
-        }
-    }
-}
-
-impl fmt::Display for AdversaryKind {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(self.name())
-    }
-}
+// Deprecated pre-`RunSpec` dispatch helpers, importable from their old
+// home for the equivalence tests that pin them.
+#[allow(deprecated)]
+pub use crate::compat::{run_keydist_for, run_protocol_with};
 
 /// Signature-scheme selector (sweeps measure message counts, which are
 /// crypto-independent, so the tiny test groups are the default).
@@ -518,6 +345,23 @@ impl Scenario {
     pub fn strict(&self) -> bool {
         self.adversary == AdversaryKind::None && self.latency == LatencySpec::Synchronous
     }
+
+    /// The [`RunSpec`] this scenario executes: the seeded value, the
+    /// sweep's fixed default value, and the scripted adversary at the
+    /// first chain relay.
+    pub fn spec(&self) -> RunSpec {
+        RunSpec::new(self.protocol, self.value())
+            .with_default_value(b"sweep-default".to_vec())
+            .with_adversary(AdversarySpec::scripted(self.adversary))
+    }
+
+    /// The cluster this scenario executes on (before the engine choice of
+    /// a cross-validation twin is applied).
+    pub fn cluster(&self) -> Cluster {
+        Cluster::new(self.n, self.t, self.scheme.build(), self.seed)
+            .with_engine(self.engine)
+            .with_latency(self.latency)
+    }
 }
 
 /// Classification of a run's correct-node outcomes.
@@ -803,59 +647,10 @@ fn push_json_str(s: &mut String, key: &str, value: &str) {
     s.push('"');
 }
 
-/// Run the key distribution a protocol needs on the scenario's engine,
-/// always under synchronous latency and without link faults, per-link
-/// overrides, or schedule overrides — keys are established in the quiet
-/// setup phase, before the network's timing or fault behaviour matters.
-pub fn run_keydist_for(cluster: &Cluster, protocol: Protocol) -> Option<KeyDistReport> {
-    protocol.needs_keys().then(|| {
-        cluster
-            .clone()
-            .with_latency(LatencySpec::Synchronous)
-            .with_link_latency(Vec::new())
-            .with_faults(fd_simnet::fault::FaultPlan::new())
-            .with_schedule(None)
-            .run_key_distribution()
-    })
-}
-
-/// Run one protocol on a configured cluster with optional substitutions —
-/// the single dispatch point shared by the sweep engine and `lafd run`.
-///
-/// # Panics
-///
-/// Panics if the protocol needs keys and `keydist` is `None`.
-pub fn run_protocol_with(
-    cluster: &Cluster,
-    protocol: Protocol,
-    keydist: Option<&KeyDistReport>,
-    value: Vec<u8>,
-    default_value: Vec<u8>,
-    substitute: Substitution<'_>,
-) -> FdRunReport {
-    let keys = || keydist.expect("protocol needs a key distribution");
-    match protocol {
-        Protocol::ChainFd => cluster.run_chain_fd_with(keys(), value, substitute),
-        Protocol::NonAuthFd => cluster.run_non_auth_fd_with(value, substitute),
-        Protocol::SmallRange => {
-            cluster.run_small_range_with(keys(), value, default_value, substitute)
-        }
-        Protocol::FdToBa => cluster.run_fd_to_ba_with(keys(), value, default_value, substitute),
-        Protocol::Degradable => {
-            cluster
-                .run_degradable_with(keys(), value, default_value, substitute)
-                .0
-        }
-        Protocol::DolevStrong => {
-            cluster.run_dolev_strong_with(keys(), value, default_value, substitute)
-        }
-        Protocol::PhaseKing => cluster.run_phase_king_with(value, default_value, substitute),
-    }
-}
-
-/// Execute one scenario on its configured engine, returning the run for
-/// cross-validation alongside the keydist message count. Per-link latency
-/// overrides only apply on the event engine.
+/// Execute one scenario on its configured engine through a fresh
+/// [`Session`], returning the run for cross-validation alongside the
+/// keydist message count. Per-link latency overrides only apply on the
+/// event engine.
 fn execute_scenario(
     scenario: &Scenario,
     engine: Engine,
@@ -874,23 +669,9 @@ fn execute_scenario(
     } else {
         Vec::new()
     });
-    let value = scenario.value();
-    let default_value = b"sweep-default".to_vec();
-
-    let keydist = run_keydist_for(&cluster, scenario.protocol);
-    let keydist_messages = keydist.as_ref().map(|kd| kd.stats.messages_total);
-
-    let relay = NodeId(1);
-    let mut substitute = build_substitution(scenario, &cluster, relay, &keydist);
-    let run = run_protocol_with(
-        &cluster,
-        scenario.protocol,
-        keydist.as_ref(),
-        value,
-        default_value,
-        &mut *substitute,
-    );
-    (keydist_messages, run)
+    let mut session = Session::new(cluster);
+    let run = session.run(&scenario.spec());
+    (session.keydist_messages(), run)
 }
 
 /// Execute one scenario with the default extras (no per-link overrides,
@@ -985,60 +766,6 @@ pub fn run_scenario_with(
     }
 }
 
-/// Build the node-substitution closure for the scenario's adversary.
-pub(crate) fn build_substitution<'a>(
-    scenario: &'a Scenario,
-    cluster: &'a Cluster,
-    relay: NodeId,
-    keydist: &'a Option<crate::runner::KeyDistReport>,
-) -> Box<dyn FnMut(NodeId) -> Option<Box<dyn Node>> + 'a> {
-    let scenario = *scenario;
-    match scenario.adversary {
-        AdversaryKind::None => Box::new(|_| None),
-        AdversaryKind::SilentRelay => Box::new(move |id: NodeId| {
-            (id == relay).then(|| Box::new(SilentNode { me: relay }) as Box<dyn Node>)
-        }),
-        AdversaryKind::CrashRelay => Box::new(move |id: NodeId| {
-            (id == relay).then(|| {
-                let honest = Box::new(ChainFdNode::new(
-                    relay,
-                    ChainFdParams::new(cluster.n, cluster.t),
-                    Arc::clone(&cluster.scheme),
-                    keydist.as_ref().expect("keys").store(relay).clone(),
-                    cluster.keyring(relay),
-                    None,
-                )) as Box<dyn Node>;
-                Box::new(CrashNode::new(honest, 1, 0)) as Box<dyn Node>
-            })
-        }),
-        AdversaryKind::TamperBody | AdversaryKind::ForgeOrigin | AdversaryKind::WrongAssignee => {
-            Box::new(move |id: NodeId| {
-                (id == relay).then(|| {
-                    let misbehavior = match scenario.adversary {
-                        AdversaryKind::TamperBody => ChainMisbehavior::TamperBody {
-                            new_body: b"sweep-tampered".to_vec(),
-                        },
-                        AdversaryKind::ForgeOrigin => ChainMisbehavior::ForgeOrigin {
-                            value: b"sweep-forged".to_vec(),
-                        },
-                        _ => ChainMisbehavior::WrongAssigneeName {
-                            claim: NodeId((scenario.n - 1) as u16),
-                        },
-                    };
-                    Box::new(ChainFdAdversary::new(
-                        relay,
-                        ChainFdParams::new(cluster.n, cluster.t),
-                        Arc::clone(&cluster.scheme),
-                        cluster.keyring(relay),
-                        misbehavior,
-                        None,
-                    )) as Box<dyn Node>
-                })
-            })
-        }
-    }
-}
-
 /// Classify the correct-node outcomes of a run.
 ///
 /// `network_faulted` says whether the run violated the network model N1
@@ -1078,29 +805,9 @@ pub fn classify(run: &FdRunReport, network_faulted: bool) -> SweepOutcome {
 /// identical for any thread count (see the determinism tests).
 pub fn run_sweep(matrix: &SweepMatrix, threads: usize) -> SweepReport {
     let scenarios = matrix.scenarios();
-    let workers = threads.max(1).min(scenarios.len().max(1));
-    let next = AtomicUsize::new(0);
-    let slots: Mutex<Vec<Option<ScenarioRow>>> = Mutex::new(vec![None; scenarios.len()]);
-
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let index = next.fetch_add(1, Ordering::Relaxed);
-                let Some(scenario) = scenarios.get(index) else {
-                    break;
-                };
-                let row = run_scenario_with(scenario, &matrix.link_latency, matrix.search);
-                slots.lock().expect("sweep worker panicked")[index] = Some(row);
-            });
-        }
+    let rows = pool::parallel_indexed(scenarios.len(), threads, |index| {
+        run_scenario_with(&scenarios[index], &matrix.link_latency, matrix.search)
     });
-
-    let rows = slots
-        .into_inner()
-        .expect("sweep worker panicked")
-        .into_iter()
-        .map(|slot| slot.expect("every scenario produced a row"))
-        .collect();
     SweepReport {
         rows,
         link_latency: matrix.link_latency.clone(),

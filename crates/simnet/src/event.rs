@@ -29,11 +29,19 @@ use crate::fault::{FaultPlan, LinkFault};
 use crate::{Envelope, NetStats, Node, NodeId, Outbox, Trace};
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashMap};
+use std::sync::Arc;
 
 /// Virtual ticks per protocol round. Latency models express flight times
 /// in ticks, so sub-round jitter is expressible while round boundaries
 /// stay exact multiples.
 pub const TICKS_PER_ROUND: u64 = 1024;
+
+/// A per-message flight-time override map, keyed by send index (the k-th
+/// message handed to the transport, counting from 0) and valued in virtual
+/// ticks. Shared by handle: a search loop re-running the same schedule
+/// hands the same `Arc` to every episode instead of deep-cloning the map
+/// (see [`EventNetwork::set_delay_overrides`]).
+pub type DelayOverrides = Arc<HashMap<u64, u64>>;
 
 /// Which simulation engine drives a run (CLI / sweep selector).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -536,7 +544,7 @@ pub struct EventNetwork {
     /// Per-message flight-time overrides keyed by *send index* (the k-th
     /// message handed to the transport, counting from 0). See
     /// [`EventNetwork::set_delay_overrides`].
-    delay_overrides: HashMap<u64, u64>,
+    delay_overrides: DelayOverrides,
     /// When enabled, the applied flight time of every sent message, in
     /// send order.
     delay_log: Option<Vec<(u32, u64)>>,
@@ -582,7 +590,7 @@ impl EventNetwork {
             faults: FaultPlan::new(),
             latency: Box::new(Synchronous),
             rushing: Vec::new(),
-            delay_overrides: HashMap::new(),
+            delay_overrides: Arc::new(HashMap::new()),
             delay_log: None,
             sent: 0,
         }
@@ -605,7 +613,12 @@ impl EventNetwork {
     /// and these overrides, re-installing the same override map replays a
     /// schedule byte-for-byte — the replay contract behind
     /// `fd_core::schedsearch`'s schedule certificates.
-    pub fn set_delay_overrides(&mut self, overrides: HashMap<u64, u64>) {
+    ///
+    /// The map is taken by [`Arc`] handle ([`DelayOverrides`]) so callers
+    /// replaying one schedule many times — the scheduler search runs the
+    /// same certificate on thousands of fresh networks — share it instead
+    /// of paying an O(messages) copy per run.
+    pub fn set_delay_overrides(&mut self, overrides: DelayOverrides) {
         self.delay_overrides = overrides;
     }
 
@@ -1236,7 +1249,7 @@ mod tests {
         // Override the very first sent message (P0 -> P1 under id order)
         // to take three rounds; everything else is untouched.
         let mut net = EventNetwork::new(echo_nodes(3));
-        net.set_delay_overrides(HashMap::from([(0u64, 3 * TICKS_PER_ROUND)]));
+        net.set_delay_overrides(Arc::new(HashMap::from([(0u64, 3 * TICKS_PER_ROUND)])));
         net.enable_delay_log();
         net.run_until_done(10);
         assert_eq!(net.delay_log().unwrap()[0], (0, 3 * TICKS_PER_ROUND));
@@ -1250,7 +1263,7 @@ mod tests {
         let run = |overrides: HashMap<u64, u64>| {
             let mut net = EventNetwork::new(echo_nodes(6));
             net.set_latency(Box::new(SeededJitter { seed: 5, extra: 2 }));
-            net.set_delay_overrides(overrides);
+            net.set_delay_overrides(Arc::new(overrides));
             net.enable_delay_log();
             net.run_until_done(15);
             let stats = net.stats().clone();
@@ -1266,7 +1279,7 @@ mod tests {
             .map(|(i, &(_, d))| (i as u64, d))
             .collect();
         let mut replay = EventNetwork::new(echo_nodes(6));
-        replay.set_delay_overrides(schedule);
+        replay.set_delay_overrides(Arc::new(schedule));
         replay.enable_delay_log();
         replay.run_until_done(15);
         assert_eq!(replay.stats(), &stats);

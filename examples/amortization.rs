@@ -8,6 +8,7 @@
 
 use local_auth_fd::core::metrics;
 use local_auth_fd::core::runner::Cluster;
+use local_auth_fd::core::spec::{Protocol, RunSpec, Session};
 use local_auth_fd::crypto::SchnorrScheme;
 use std::sync::Arc;
 
@@ -15,14 +16,16 @@ fn main() {
     println!("== amortization of local authentication (paper §6) ==\n");
 
     for (n, t) in [(8usize, 2usize), (16, 5), (32, 10)] {
-        let cluster = Cluster::new(n, t, Arc::new(SchnorrScheme::test_tiny()), 7);
-        let keydist = cluster.run_key_distribution();
-        let auth_run = cluster
-            .run_chain_fd(&keydist, b"v".to_vec())
+        let mut session = Session::new(Cluster::new(n, t, Arc::new(SchnorrScheme::test_tiny()), 7));
+        let auth_run = session
+            .run(&RunSpec::new(Protocol::ChainFd, b"v".to_vec()))
             .stats
             .messages_total;
-        let plain_run = cluster.run_non_auth_fd(b"v".to_vec()).stats.messages_total;
-        let setup = keydist.stats.messages_total;
+        let plain_run = session
+            .run(&RunSpec::new(Protocol::NonAuthFd, b"v".to_vec()))
+            .stats
+            .messages_total;
+        let setup = session.keydist_messages().expect("chain FD ran keydist");
         let k_star = metrics::amortization_crossover(n, t).unwrap();
 
         println!("n = {n:>2}, t = {t:>2}:");

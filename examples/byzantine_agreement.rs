@@ -6,22 +6,24 @@
 //! cargo run --example byzantine_agreement
 //! ```
 
-use local_auth_fd::core::adversary::SilentNode;
+use local_auth_fd::core::adversary::{AdversaryKind, AdversarySpec};
 use local_auth_fd::core::runner::Cluster;
+use local_auth_fd::core::spec::{Protocol, RunSpec, Session};
 use local_auth_fd::crypto::SchnorrScheme;
-use local_auth_fd::simnet::{Node, NodeId};
+use local_auth_fd::simnet::NodeId;
 use std::sync::Arc;
 
 fn main() {
     let (n, t) = (7, 2);
     println!("== FD -> BA extension vs Dolev-Strong: n = {n}, t = {t} ==\n");
 
-    let cluster = Cluster::new(n, t, Arc::new(SchnorrScheme::test_tiny()), 11);
-    let keydist = cluster.run_key_distribution();
+    let mut session = Session::new(Cluster::new(n, t, Arc::new(SchnorrScheme::test_tiny()), 11));
+    let spec =
+        |p: Protocol| RunSpec::new(p, b"launch".to_vec()).with_default_value(b"abort".to_vec());
 
     // Failure-free: the extension costs exactly the FD protocol.
-    let ba = cluster.run_fd_to_ba(&keydist, b"launch".to_vec(), b"abort".to_vec());
-    let ds = cluster.run_dolev_strong(&keydist, b"launch".to_vec(), b"abort".to_vec());
+    let ba = session.run(&spec(Protocol::FdToBa));
+    let ds = session.run(&spec(Protocol::DolevStrong));
     println!("failure-free Byzantine Agreement on the same cluster:");
     println!(
         "  FD->BA extension: {:>3} messages (= n-1), all decided {:?}",
@@ -35,11 +37,12 @@ fn main() {
     );
 
     // Now crash a chain relay: discovery -> alarms -> uniform fallback.
+    // The silent relay is a declarative adversary — one spec field, no
+    // hand-written substitution closure.
     let crashed = NodeId(1);
-    let faulty_run =
-        cluster.run_fd_to_ba_with(&keydist, b"launch".to_vec(), b"abort".to_vec(), &mut |id| {
-            (id == crashed).then(|| Box::new(SilentNode { me: crashed }) as Box<dyn Node>)
-        });
+    let faulty_run = session.run(&spec(Protocol::FdToBa).with_adversary(
+        AdversarySpec::scripted_at(AdversaryKind::SilentRelay, vec![crashed]),
+    ));
     println!("\nwith {crashed} crashed mid-chain:");
     println!(
         "  messages: {} (alarm relay + EIG fallback kick in)",

@@ -8,11 +8,14 @@
 //! cargo run --example byzantine_equivocation
 //! ```
 
-use local_auth_fd::core::adversary::{ChainFdAdversary, ChainMisbehavior, EquivocatingKeyDist};
+use local_auth_fd::core::adversary::{
+    AdversarySpec, ChainFdAdversary, ChainMisbehavior, EquivocatingKeyDist,
+};
 use local_auth_fd::core::fd::ChainFdParams;
 use local_auth_fd::core::keys::Keyring;
 use local_auth_fd::core::props::check_fd;
 use local_auth_fd::core::runner::Cluster;
+use local_auth_fd::core::spec::{Protocol, RunSpec};
 use local_auth_fd::crypto::{SchnorrScheme, SignatureScheme};
 use local_auth_fd::simnet::{Node, NodeId};
 use std::sync::Arc;
@@ -52,20 +55,30 @@ fn main() {
 
     // FD run: the equivocator relays the chain signing with predicate A's
     // key. Camp A verifies; camp B's test predicate fails -> discovery.
+    // The bespoke automaton rides in through the spec's custom-adversary
+    // escape hatch; the stores come from the equivocated key distribution.
     let reference = EquivocatingKeyDist::new(faulty, n, Arc::clone(&scheme), 31337, split);
     let sk_a = reference.key_for(NodeId(0)).0.clone();
-    let run = cluster.run_chain_fd_with(&keydist, b"attack at dawn".to_vec(), &mut |id| {
-        (id == faulty).then(|| {
-            Box::new(ChainFdAdversary::new(
-                faulty,
-                ChainFdParams::new(n, t),
-                Arc::clone(&scheme),
-                Keyring::generate(scheme.as_ref(), faulty, cluster.seed),
-                ChainMisbehavior::SignWithKey { sk: sk_a.clone() },
-                None,
-            )) as Box<dyn Node>
+    let adversary = {
+        let scheme = Arc::clone(&scheme);
+        let ring = Keyring::generate(scheme.as_ref(), faulty, cluster.seed);
+        AdversarySpec::custom(move |id| {
+            (id == faulty).then(|| {
+                Box::new(ChainFdAdversary::new(
+                    faulty,
+                    ChainFdParams::new(n, t),
+                    Arc::clone(&scheme),
+                    ring.clone(),
+                    ChainMisbehavior::SignWithKey { sk: sk_a.clone() },
+                    None,
+                )) as Box<dyn Node>
+            })
         })
-    });
+    };
+    let run = cluster.run_with_keys(
+        &RunSpec::new(Protocol::ChainFd, b"attack at dawn".to_vec()).with_adversary(adversary),
+        Some(&keydist),
+    );
 
     println!("failure-discovery run outcomes:");
     for (i, outcome) in run.outcomes.iter().enumerate() {

@@ -10,10 +10,12 @@
 //! cargo run --example degradable_agreement
 //! ```
 
+use local_auth_fd::core::adversary::AdversarySpec;
 use local_auth_fd::core::ba::Grade;
 use local_auth_fd::core::chain::ChainMessage;
 use local_auth_fd::core::keys::Keyring;
 use local_auth_fd::core::runner::Cluster;
+use local_auth_fd::core::spec::{Protocol, RunSpec, Session};
 use local_auth_fd::crypto::{SchnorrScheme, SignatureScheme};
 use local_auth_fd::simnet::codec::Encode;
 use local_auth_fd::simnet::{Envelope, Node, NodeId, Outbox};
@@ -24,19 +26,20 @@ fn main() {
     let (n, t) = (7usize, 2usize);
     println!("== degradable agreement under local authentication: n = {n}, t = {t} ==\n");
 
-    let cluster = Cluster::new(n, t, Arc::new(SchnorrScheme::test_tiny()), 99);
-    let keydist = cluster.run_key_distribution();
+    let mut session = Session::new(Cluster::new(n, t, Arc::new(SchnorrScheme::test_tiny()), 99));
+    let spec = RunSpec::new(Protocol::Degradable, b"commit".to_vec()).with_default_value(b"abort");
 
     // Failure-free: everyone decides the sender's value with grade 2, in 2
-    // communication rounds regardless of t.
-    let (run, grades) = cluster.run_degradable(&keydist, b"commit".to_vec(), b"abort".to_vec());
+    // communication rounds regardless of t. The per-node grades ride in
+    // the run report.
+    let run = session.run(&spec);
     println!("failure-free run:");
     println!(
         "  {} messages (n(n-1) = {}), 2 communication rounds",
         run.stats.messages_total,
         n * (n - 1)
     );
-    for (i, grade) in grades.iter().enumerate() {
+    for (i, grade) in run.grades.iter().enumerate() {
         assert_eq!(*grade, Some(Grade::Two));
         let outcome = run.outcomes[i].as_ref().unwrap();
         println!("  node {i}: {outcome} (grade {grade:?})");
@@ -48,19 +51,19 @@ fn main() {
     // *degraded* agreement of Vaidya–Pradhan: at most two decision values,
     // one of which is the default.
     println!("\nequivocating sender (signs two different values):");
-    let scheme = Arc::clone(&cluster.scheme);
-    let ring = cluster.keyring(NodeId(0));
-    let (run, grades) =
-        cluster.run_degradable_with(&keydist, b"commit".to_vec(), b"abort".to_vec(), &mut |id| {
-            (id == NodeId(0)).then(|| {
-                Box::new(TwoFacedSender {
-                    ring: ring.clone(),
-                    scheme: Arc::clone(&scheme),
-                    n,
-                }) as Box<dyn Node>
-            })
-        });
-    for (i, grade) in grades.iter().enumerate().skip(1) {
+    let scheme = Arc::clone(&session.cluster().scheme);
+    let ring = session.cluster().keyring(NodeId(0));
+    let adversary = AdversarySpec::custom(move |id| {
+        (id == NodeId(0)).then(|| {
+            Box::new(TwoFacedSender {
+                ring: ring.clone(),
+                scheme: Arc::clone(&scheme),
+                n,
+            }) as Box<dyn Node>
+        })
+    });
+    let run = session.run(&spec.with_adversary(adversary));
+    for (i, grade) in run.grades.iter().enumerate().skip(1) {
         let outcome = run.outcomes[i].as_ref().unwrap();
         println!("  node {i}: {outcome} (grade {grade:?})");
         assert_eq!(outcome.decided(), Some(&b"abort"[..]));

@@ -10,7 +10,8 @@
 //! ```
 
 use local_auth_fd::core::runner::Cluster;
-use local_auth_fd::core::sweep::{classify, run_keydist_for, run_protocol_with, Protocol};
+use local_auth_fd::core::spec::{Protocol, RunSpec, Session};
+use local_auth_fd::core::sweep::classify;
 use local_auth_fd::crypto::SchnorrScheme;
 use local_auth_fd::simnet::fault::{FaultPlan, LinkFault};
 use local_auth_fd::simnet::{Engine, LatencySpec, NodeId};
@@ -22,13 +23,13 @@ fn main() {
 
     let sync = Cluster::new(n, t, Arc::new(SchnorrScheme::test_tiny()), 2026);
     let event = sync.clone().with_engine(Engine::Event);
+    let spec = RunSpec::new(Protocol::ChainFd, b"attack at dawn".to_vec());
 
     // 1. Under synchronous latency the event engine IS the paper's model:
     //    byte-identical statistics and outcomes.
-    let kd = sync.run_key_distribution();
-    let kd_e = event.run_key_distribution();
-    let run_s = sync.run_chain_fd(&kd, b"attack at dawn".to_vec());
-    let run_e = event.run_chain_fd(&kd_e, b"attack at dawn".to_vec());
+    let kd = event.setup_keydist();
+    let run_s = sync.run(&spec);
+    let run_e = event.run_with_keys(&spec, Some(&kd));
     assert_eq!(run_s.stats, run_e.stats);
     assert_eq!(run_s.outcomes, run_e.outcomes);
     println!(
@@ -41,7 +42,7 @@ fn main() {
     //    its round schedule, and every correct node *discovers* the timing
     //    fault — never a silent disagreement.
     let jittery = event.clone().with_latency(LatencySpec::Jitter { extra: 1 });
-    let run = jittery.run_chain_fd(&kd_e, b"attack at dawn".to_vec());
+    let run = jittery.run_with_keys(&spec, Some(&kd));
     println!(
         "\njitter:1 — outcome classification: {}",
         classify(&run, true)
@@ -58,7 +59,7 @@ fn main() {
         NodeId(2),
         LinkFault::Delay { rounds: 2 },
     ));
-    let run = delayed.run_chain_fd(&kd_e, b"attack at dawn".to_vec());
+    let run = delayed.run_with_keys(&spec, Some(&kd));
     println!("\ndelay fault on P1->P2 (round 1, +2 rounds):");
     for (i, outcome) in run.outcomes.iter().enumerate() {
         println!("  P{i}: {}", outcome.as_ref().expect("all honest"));
@@ -71,19 +72,12 @@ fn main() {
     let (n, t) = (128usize, 42usize);
     let big =
         Cluster::new(n, t, Arc::new(SchnorrScheme::test_tiny()), 7).with_engine(Engine::Event);
+    let mut session = Session::new(big);
     let start = std::time::Instant::now();
-    let kd = run_keydist_for(&big, Protocol::ChainFd).expect("chain FD needs keys");
-    let run = run_protocol_with(
-        &big,
-        Protocol::ChainFd,
-        Some(&kd),
-        b"scale".to_vec(),
-        b"default".to_vec(),
-        &mut |_| None,
-    );
+    let run = session.run(&RunSpec::new(Protocol::ChainFd, b"scale".to_vec()));
     println!(
         "\nn = {n}: keydist {} + chain FD {} messages in {:.2?} — {}",
-        kd.stats.messages_total,
+        session.keydist_messages().expect("chain FD needs keys"),
         run.stats.messages_total,
         start.elapsed(),
         classify(&run, false),

@@ -10,9 +10,10 @@
 //! cargo run --example fault_hierarchy
 //! ```
 
-use local_auth_fd::core::adversary::{CrashNode, LaggardNode, OmissiveNode, SilentNode};
+use local_auth_fd::core::adversary::{AdversaryKind, AdversarySpec, LaggardNode, OmissiveNode};
 use local_auth_fd::core::fd::{ChainFdNode, ChainFdParams};
 use local_auth_fd::core::runner::Cluster;
+use local_auth_fd::core::spec::{Protocol, RunSpec, Session};
 use local_auth_fd::crypto::SchnorrScheme;
 use local_auth_fd::simnet::{Node, NodeId};
 use std::sync::Arc;
@@ -34,31 +35,45 @@ fn main() {
         let mut clean = 0usize;
         let mut disagreements = 0usize;
         for seed in 0..seeds {
-            let cluster = Cluster::new(n, t, Arc::new(SchnorrScheme::test_tiny()), seed);
-            let keydist = cluster.run_key_distribution();
+            let mut session = Session::new(Cluster::new(
+                n,
+                t,
+                Arc::new(SchnorrScheme::test_tiny()),
+                seed,
+            ));
             let faulty = NodeId(1); // the first chain relay
 
-            // An honest relay automaton to wrap with a benign fault.
-            let honest = || -> Box<dyn Node> {
-                Box::new(ChainFdNode::new(
-                    faulty,
-                    ChainFdParams::new(n, t),
-                    Arc::clone(&cluster.scheme),
-                    keydist.store(faulty).clone(),
-                    cluster.keyring(faulty),
-                    None,
-                ))
+            // Crash and silence are scripted adversary kinds; the two
+            // benign wrappers ride in through the custom escape hatch,
+            // closing over an honest relay automaton.
+            let honest = {
+                let scheme = Arc::clone(&session.cluster().scheme);
+                let store = session.keydist().store(faulty).clone();
+                let ring = session.cluster().keyring(faulty);
+                move || -> Box<dyn Node> {
+                    Box::new(ChainFdNode::new(
+                        faulty,
+                        ChainFdParams::new(n, t),
+                        Arc::clone(&scheme),
+                        store.clone(),
+                        ring.clone(),
+                        None,
+                    ))
+                }
             };
-            let run = cluster.run_chain_fd_with(&keydist, b"v".to_vec(), &mut |id| {
-                (id == faulty).then(|| -> Box<dyn Node> {
-                    match class {
-                        "crash-stop (mid-relay)" => Box::new(CrashNode::new(honest(), 1, 0)),
-                        "send-omission (30%)" => Box::new(OmissiveNode::new(honest(), seed, 300)),
-                        "timing (one round late)" => Box::new(LaggardNode::new(honest())),
-                        _ => Box::new(SilentNode { me: faulty }),
-                    }
-                })
-            });
+            let adversary = match class {
+                "crash-stop (mid-relay)" => AdversarySpec::scripted(AdversaryKind::CrashRelay),
+                "send-omission (30%)" => AdversarySpec::custom(move |id| {
+                    (id == faulty)
+                        .then(|| Box::new(OmissiveNode::new(honest(), seed, 300)) as Box<dyn Node>)
+                }),
+                "timing (one round late)" => AdversarySpec::custom(move |id| {
+                    (id == faulty).then(|| Box::new(LaggardNode::new(honest())) as Box<dyn Node>)
+                }),
+                _ => AdversarySpec::scripted(AdversaryKind::SilentRelay),
+            };
+            let run = session
+                .run(&RunSpec::new(Protocol::ChainFd, b"v".to_vec()).with_adversary(adversary));
 
             let outcomes = run.correct_outcomes();
             let any_discovery = outcomes.iter().any(|o| o.is_discovered());

@@ -34,7 +34,7 @@ fn main() {
         );
         for k in 0..10u8 {
             let value = vec![epoch as u8, k];
-            let run = epochs.run_chain_fd(value.clone());
+            let run = epochs.run_round(value.clone());
             assert!(run.all_decided(&value));
         }
         println!("  + 10 chain-FD runs at {} messages each", n - 1);

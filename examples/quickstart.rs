@@ -7,6 +7,7 @@
 
 use local_auth_fd::core::metrics;
 use local_auth_fd::core::runner::Cluster;
+use local_auth_fd::core::spec::{Protocol, RunSpec, Session};
 use local_auth_fd::crypto::SchnorrScheme;
 use std::sync::Arc;
 
@@ -14,13 +15,13 @@ fn main() {
     let (n, t) = (7, 2);
     println!("== local-auth-fd quickstart: n = {n}, t = {t} ==\n");
 
+    // A Session owns the cluster and runs the paper's Fig. 1 key
+    // distribution exactly once, lazily — each node distributes its own
+    // test predicate and proves key possession via challenge-response.
+    // No trusted dealer, works under any number of byzantine nodes.
     let cluster = Cluster::new(n, t, Arc::new(SchnorrScheme::s512()), 2026);
-
-    // Phase 1: the paper's Fig. 1 key distribution protocol — each node
-    // distributes its own test predicate and proves key possession via
-    // challenge-response. No trusted dealer, works under any number of
-    // byzantine nodes.
-    let keydist = cluster.run_key_distribution();
+    let mut session = Session::new(cluster);
+    let keydist = session.keydist();
     println!(
         "key distribution: {} messages in 3 communication rounds (formula 3n(n-1) = {})",
         keydist.stats.messages_total,
@@ -31,20 +32,23 @@ fn main() {
     }
 
     // Phase 2: arbitrarily many failure-discovery runs (paper Fig. 2),
-    // each at n-1 messages instead of the non-authenticated (t+2)(n-1).
+    // each at n-1 messages instead of the non-authenticated (t+2)(n-1) —
+    // every run is one RunSpec against the cached keys.
     println!("\nrunning 5 failure-discovery rounds:");
     for k in 0..5u8 {
         let value = format!("command #{k}: advance at {}00 hours", k + 1);
-        let run = cluster.run_chain_fd(&keydist, value.clone().into_bytes());
+        let run = session.run(&RunSpec::new(Protocol::ChainFd, value.clone().into_bytes()));
         assert!(run.all_decided(value.as_bytes()));
         println!(
             "  run {k}: {:>2} messages, decided {:?} at every node",
             run.stats.messages_total, value,
         );
     }
+    assert_eq!(session.keydist_runs(), 1, "one keydist amortizes all runs");
 
-    // The baseline for contrast.
-    let baseline = cluster.run_non_auth_fd(b"baseline".to_vec());
+    // The baseline for contrast (needs no keys, so it does not touch the
+    // session's key distribution accounting).
+    let baseline = session.run(&RunSpec::new(Protocol::NonAuthFd, b"baseline".to_vec()));
     println!(
         "\nnon-authenticated baseline: {} messages per run ((t+2)(n-1) = {})",
         baseline.stats.messages_total,

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# API-surface gate for the unified RunSpec execution API.
+#
+# The per-protocol `Cluster::run_*` / `run_*_with` methods were collapsed
+# into `Cluster::run(&RunSpec)`; the old names live on solely as deprecated
+# shims in crates/core/src/compat.rs. This gate fails the build if a new
+# per-protocol run variant is (re)defined anywhere else, so the surface
+# cannot silently regrow.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+pattern='fn run_(chain_fd|non_auth_fd|small_range|fd_to_ba|degradable|dolev_strong|phase_king|vector_fd)'
+
+matches=$(grep -rnE "$pattern" \
+    --include='*.rs' \
+    crates src examples \
+    | grep -v 'crates/core/src/compat.rs' || true)
+
+if [ -n "$matches" ]; then
+    echo "error: per-protocol run_* variants outside the deprecated-shim module" >&2
+    echo "       (crates/core/src/compat.rs). Route execution through" >&2
+    echo "       Cluster::run(&RunSpec) / Session instead:" >&2
+    echo "$matches" >&2
+    exit 1
+fi
+echo "run-surface gate: OK (no per-protocol run_* variants outside compat.rs)"

@@ -6,11 +6,12 @@
 //! lafd run      <protocol> [-n 256] [--t T] [--engine sync|event]
 //!               [--latency sync|fixed:D|jitter:E|psync:GST:E]
 //!               [--link-latency FROM:TO:MODEL[:ARG]]
+//!               [--adversary KIND[:NODES]] [--crash I]
 //!               [--drop R:FROM:TO] [--corrupt R:FROM:TO:OFF:MASK]
-//!               [--delay R:FROM:TO:BY] [--reorder R:FROM:TO] [--crash I]
+//!               [--delay R:FROM:TO:BY] [--reorder R:FROM:TO]
 //! lafd search   <protocol> [--budget N] [--strategy random|greedy] [-n 8]
 //!               [--t T] [--seed S] [--latency jitter:2] [--adversary none]
-//!               [--json PATH] [--md PATH]
+//!               [--threads N] [--json PATH] [--md PATH]
 //! lafd vector   --n 5 [--t 1]
 //! lafd ba       --n 7 [--t 2] [--crash 1]
 //! lafd degrade  --n 7 [--t 2] [--equivocate]   # graded/degradable agreement
@@ -26,13 +27,14 @@
 //!               [--threads N] [--json PATH] [--md PATH]
 //! ```
 
-use local_auth_fd::core::adversary::SilentNode;
+use local_auth_fd::core::adversary::AdversarySpec;
 use local_auth_fd::core::metrics;
 use local_auth_fd::core::runner::Cluster;
-use local_auth_fd::core::schedsearch::{run_search, SearchConfig, Strategy};
+use local_auth_fd::core::schedsearch::{run_search_parallel, SearchConfig, Strategy};
+use local_auth_fd::core::spec::{Protocol, RunSpec, Session};
 use local_auth_fd::core::sweep::{
-    classify, run_keydist_for, run_protocol_with, run_sweep, AdversaryKind, FaultRule, Protocol,
-    SchemeSpec, SearchAxis, SweepMatrix, SweepOutcome,
+    classify, run_sweep, AdversaryKind, FaultRule, SchemeSpec, SearchAxis, SweepMatrix,
+    SweepOutcome,
 };
 use local_auth_fd::crypto::{DsaScheme, RsaScheme, SchnorrScheme, SignatureScheme};
 use local_auth_fd::simnet::fault::{FaultPlan, LinkFault};
@@ -120,11 +122,12 @@ fn usage() {
          run: lafd run <chain|nonauth|small|ba|degrade|ds|king> [-n N] [--t T] \
          [--engine sync|event] [--latency sync|fixed:D|jitter:E|psync:GST:E] \
          [--link-latency FROM:TO:MODEL[:ARG]] \
+         [--adversary none|silent|crash|tamper|forge|wrongname|equivocate[:NODES]] \
          [--drop R:FROM:TO] [--corrupt R:FROM:TO:OFF:MASK] [--delay R:FROM:TO:BY] \
          [--reorder R:FROM:TO] [--crash I]\n\
          search: lafd search <protocol> [--budget N] [--strategy random|greedy] [-n N] \
          [--t T] [--seed S] [--latency jitter:2] [--adversary none|silent|...] \
-         [--json PATH] [--md PATH]\n\
+         [--threads N] [--json PATH] [--md PATH]\n\
          sweep flags: [--protocols all|LIST] [--sizes LIST] [--faults auto|LIST] \
          [--adversaries LIST] [--schemes LIST] [--seeds LIST] [--engines LIST] \
          [--latencies LIST] [--link-latency SPEC] [--search N[:STRATEGY]] \
@@ -208,20 +211,26 @@ fn cmd_keydist(cluster: &Cluster) {
 }
 
 fn cmd_fd(cluster: &Cluster, opts: &Opts) {
-    let kd = cluster.run_key_distribution();
+    let mut session = Session::new(cluster.clone());
     println!(
         "key distribution: {} messages (once)",
-        kd.stats.messages_total
+        session.keydist().stats.messages_total
     );
     for k in 0..opts.runs {
         let value = format!("{} #{k}", opts.value).into_bytes();
-        let run = cluster.run_chain_fd(&kd, value.clone());
+        let run = session.run(&RunSpec::new(Protocol::ChainFd, value.clone()));
         println!(
             "fd run {k}: {} messages, all decided = {}",
             run.stats.messages_total,
             run.all_decided(&value),
         );
     }
+    println!(
+        "session total: {} messages across {} runs and {} key distribution",
+        session.messages_spent(),
+        session.runs(),
+        session.keydist_runs(),
+    );
     println!(
         "baseline per-run cost without authentication: {} messages",
         metrics::non_auth_messages(cluster.n, cluster.t),
@@ -270,7 +279,7 @@ struct RunOpts {
     latency: LatencySpec,
     link_latency: Vec<LinkLatencySpec>,
     faults: FaultPlan,
-    crash: Option<usize>,
+    adversary: AdversarySpec,
 }
 
 fn parse_run(args: &[String]) -> Result<RunOpts, String> {
@@ -288,8 +297,10 @@ fn parse_run(args: &[String]) -> Result<RunOpts, String> {
         latency: LatencySpec::Synchronous,
         link_latency: Vec::new(),
         faults: FaultPlan::new(),
-        crash: None,
+        adversary: AdversarySpec::Honest,
     };
+    let mut crash: Option<usize> = None;
+    let mut adversary_given = false;
     let mut latency_given = false;
     let mut engine_given = false;
     // Node ids referenced by fault specs, validated against n once the
@@ -321,7 +332,11 @@ fn parse_run(args: &[String]) -> Result<RunOpts, String> {
                 fault_nodes.extend([link.from, link.to]);
                 opts.link_latency.push(link);
             }
-            "--crash" => opts.crash = Some(grab()?.parse().map_err(|e| format!("--crash: {e}"))?),
+            "--crash" => crash = Some(grab()?.parse().map_err(|e| format!("--crash: {e}"))?),
+            "--adversary" => {
+                opts.adversary = AdversarySpec::parse(&grab()?)?;
+                adversary_given = true;
+            }
             "--drop" => {
                 let (r, from, to, _) = parse_link_spec(&grab()?, 0)?;
                 fault_nodes.extend([from, to]);
@@ -395,13 +410,37 @@ fn parse_run(args: &[String]) -> Result<RunOpts, String> {
             opts.n
         ));
     }
-    if let Some(crash) = opts.crash {
+    // `--crash I` is sugar for a silent adversary at node I.
+    if let Some(crash) = crash {
+        if adversary_given {
+            return Err("--crash and --adversary cannot be combined".to_string());
+        }
         if crash >= opts.n {
             return Err(format!(
                 "--crash {crash} is out of range for n = {}",
                 opts.n
             ));
         }
+        opts.adversary =
+            AdversarySpec::scripted_at(AdversaryKind::SilentRelay, vec![NodeId(crash as u16)]);
+    }
+    if let Some(bad) = opts
+        .adversary
+        .corrupt_set()
+        .iter()
+        .find(|id| id.index() >= opts.n)
+    {
+        return Err(format!(
+            "--adversary references node {bad} but n = {}",
+            opts.n
+        ));
+    }
+    if !opts.adversary.applies_to(opts.protocol) {
+        return Err(format!(
+            "adversary {} cannot speak protocol {} (chain-specific misbehaviours need chain FD)",
+            opts.adversary.name(),
+            opts.protocol
+        ));
     }
     let t = opts
         .t
@@ -440,18 +479,21 @@ fn cmd_run(args: &[String]) -> ExitCode {
         .with_faults(opts.faults.clone());
 
     println!(
-        "run {}: n = {}, t = {t}, engine = {}, latency = {}, {} link override(s), {} link fault(s)",
+        "run {}: n = {}, t = {t}, engine = {}, latency = {}, adversary = {}, \
+         {} link override(s), {} link fault(s)",
         opts.protocol,
         opts.n,
         opts.engine,
         opts.latency,
+        opts.adversary.name(),
         opts.link_latency.len(),
         opts.faults.len(),
     );
 
+    let mut session = Session::new(cluster);
     let kd_start = std::time::Instant::now();
-    let keydist = run_keydist_for(&cluster, opts.protocol);
-    if let Some(kd) = &keydist {
+    if opts.protocol.needs_keys() {
+        let kd = session.keydist();
         println!(
             "key distribution (setup phase): {} messages (3n(n-1) = {}), {:.2?}",
             kd.stats.messages_total,
@@ -461,22 +503,17 @@ fn cmd_run(args: &[String]) -> ExitCode {
     }
     let start = std::time::Instant::now();
     let value = opts.value.clone().into_bytes();
-    let crash = opts.crash.map(|c| NodeId(c as u16));
-    let run = run_protocol_with(
-        &cluster,
-        opts.protocol,
-        keydist.as_ref(),
-        value.clone(),
-        b"default".to_vec(),
-        &mut |id| (Some(id) == crash).then(|| Box::new(SilentNode { me: id }) as Box<dyn Node>),
-    );
+    let spec = RunSpec::new(opts.protocol, value.clone())
+        .with_default_value(b"default".to_vec())
+        .with_adversary(opts.adversary.clone());
+    let run = session.run(&spec);
     let elapsed = start.elapsed();
 
     let network_faulted = !opts.faults.is_empty()
         || opts.latency != LatencySpec::Synchronous
         || !opts.link_latency.is_empty();
     let outcome = classify(&run, network_faulted);
-    let clean = opts.crash.is_none() && !network_faulted;
+    let clean = opts.adversary.is_honest() && !network_faulted;
     let formula = clean
         .then(|| opts.protocol.expected_messages(opts.n, t))
         .map_or_else(|| "—".to_string(), |m| m.to_string());
@@ -528,12 +565,15 @@ fn cmd_run(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn parse_search(args: &[String]) -> Result<(SearchConfig, Option<String>, Option<String>), String> {
+type SearchArgs = (SearchConfig, usize, Option<String>, Option<String>);
+
+fn parse_search(args: &[String]) -> Result<SearchArgs, String> {
     let Some((proto, rest)) = args.split_first() else {
         return Err("search needs a protocol (chain|nonauth|small|ba|degrade|ds|king)".to_string());
     };
     let mut config = SearchConfig::new(Protocol::parse(proto)?, 8, 2, 1);
     let mut t_given: Option<usize> = None;
+    let mut threads = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
     let mut json_path = None;
     let mut md_path = None;
     let mut it = rest.iter();
@@ -557,6 +597,14 @@ fn parse_search(args: &[String]) -> Result<(SearchConfig, Option<String>, Option
                     return Err("--budget must be in 1..=100000".to_string());
                 }
             }
+            "--threads" => {
+                threads = grab()?
+                    .parse::<usize>()
+                    .map_err(|e| format!("--threads: {e}"))?;
+                if threads == 0 {
+                    return Err("--threads must be at least 1".to_string());
+                }
+            }
             "--json" => json_path = Some(grab()?),
             "--md" => md_path = Some(grab()?),
             other => return Err(format!("unknown search flag {other}")),
@@ -571,11 +619,11 @@ fn parse_search(args: &[String]) -> Result<(SearchConfig, Option<String>, Option
     }
     config.t = t_given
         .unwrap_or_else(|| ((config.n.saturating_sub(1)) / 3).min(config.n.saturating_sub(2)));
-    Ok((config, json_path, md_path))
+    Ok((config, threads, json_path, md_path))
 }
 
 fn cmd_search(args: &[String]) -> ExitCode {
-    let (config, json_path, md_path) = match parse_search(args) {
+    let (config, threads, json_path, md_path) = match parse_search(args) {
         Ok(parsed) => parsed,
         Err(e) => {
             eprintln!("error: {e}");
@@ -584,11 +632,17 @@ fn cmd_search(args: &[String]) -> ExitCode {
         }
     };
     eprintln!(
-        "search: {} n = {} t = {} latency = {} strategy = {} budget = {}",
-        config.protocol, config.n, config.t, config.latency, config.strategy, config.budget
+        "search: {} n = {} t = {} latency = {} strategy = {} budget = {} threads = {}",
+        config.protocol,
+        config.n,
+        config.t,
+        config.latency,
+        config.strategy,
+        config.budget,
+        threads
     );
     let start = std::time::Instant::now();
-    let report = match run_search(&config) {
+    let report = match run_search_parallel(&config, threads) {
         Ok(report) => report,
         Err(e) => {
             eprintln!("error: {e}");
@@ -644,21 +698,15 @@ fn cmd_vector(cluster: &Cluster) {
 }
 
 fn cmd_ba(cluster: &Cluster, opts: &Opts) {
-    let kd = cluster.run_key_distribution();
-    let run = match opts.crash {
-        None => cluster.run_fd_to_ba(&kd, opts.value.clone().into_bytes(), b"default".to_vec()),
-        Some(crash) => {
-            let crash_id = NodeId(crash as u16);
-            cluster.run_fd_to_ba_with(
-                &kd,
-                opts.value.clone().into_bytes(),
-                b"default".to_vec(),
-                &mut |id| {
-                    (id == crash_id).then(|| Box::new(SilentNode { me: crash_id }) as Box<dyn Node>)
-                },
-            )
-        }
-    };
+    let mut spec = RunSpec::new(Protocol::FdToBa, opts.value.clone().into_bytes())
+        .with_default_value(b"default".to_vec());
+    if let Some(crash) = opts.crash {
+        spec = spec.with_adversary(AdversarySpec::scripted_at(
+            AdversaryKind::SilentRelay,
+            vec![NodeId(crash as u16)],
+        ));
+    }
+    let run = cluster.run(&spec);
     println!(
         "FD->BA: {} messages{}",
         run.stats.messages_total,
@@ -682,9 +730,10 @@ fn cmd_degrade(cluster: &Cluster, opts: &Opts) {
     use local_auth_fd::simnet::{Envelope, Outbox};
     use std::any::Any;
 
-    let kd = cluster.run_key_distribution();
     let value = opts.value.clone().into_bytes();
-    let (run, grades) = if opts.equivocate {
+    let spec =
+        RunSpec::new(Protocol::Degradable, value.clone()).with_default_value(b"default".to_vec());
+    let run = if opts.equivocate {
         struct TwoFaced {
             ring: local_auth_fd::core::keys::Keyring,
             scheme: Arc<dyn SignatureScheme>,
@@ -729,7 +778,7 @@ fn cmd_degrade(cluster: &Cluster, opts: &Opts) {
         let scheme = Arc::clone(&cluster.scheme);
         let n = cluster.n;
         let v = value.clone();
-        cluster.run_degradable_with(&kd, value.clone(), b"default".to_vec(), &mut |id| {
+        let adversary = AdversarySpec::custom(move |id| {
             (id == NodeId(0)).then(|| {
                 Box::new(TwoFaced {
                     ring: ring.clone(),
@@ -738,10 +787,12 @@ fn cmd_degrade(cluster: &Cluster, opts: &Opts) {
                     value: v.clone(),
                 }) as Box<dyn Node>
             })
-        })
+        });
+        cluster.run(&spec.clone().with_adversary(adversary))
     } else {
-        cluster.run_degradable(&kd, value, b"default".to_vec())
+        cluster.run(&spec)
     };
+    let grades = run.grades.clone();
     println!(
         "degradable agreement: {} messages (n(n-1) = {}), 2 comm rounds{}",
         run.stats.messages_total,
@@ -769,15 +820,15 @@ fn cmd_king(cluster: &Cluster, opts: &Opts) {
         return;
     }
     let value = opts.value.clone().into_bytes();
-    let run = match opts.crash {
-        None => cluster.run_phase_king(value.clone(), b"default".to_vec()),
-        Some(crash) => {
-            let crash_id = NodeId(crash as u16);
-            cluster.run_phase_king_with(value.clone(), b"default".to_vec(), &mut |id| {
-                (id == crash_id).then(|| Box::new(SilentNode { me: crash_id }) as Box<dyn Node>)
-            })
-        }
-    };
+    let mut spec =
+        RunSpec::new(Protocol::PhaseKing, value.clone()).with_default_value(b"default".to_vec());
+    if let Some(crash) = opts.crash {
+        spec = spec.with_adversary(AdversarySpec::scripted_at(
+            AdversaryKind::SilentRelay,
+            vec![NodeId(crash as u16)],
+        ));
+    }
+    let run = cluster.run(&spec);
     println!(
         "phase king (non-authenticated, n > 4t): {} messages, {} comm rounds{}",
         run.stats.messages_total,
@@ -807,7 +858,7 @@ fn cmd_rotate(cluster: Cluster, opts: &Opts) {
         );
         for k in 0..opts.runs {
             let value = format!("epoch {e} run {k}").into_bytes();
-            let run = epochs.run_chain_fd(value.clone());
+            let run = epochs.run_round(value.clone());
             assert!(run.all_decided(&value));
         }
         println!("  + {} chain-FD runs at {} messages each", opts.runs, n - 1);

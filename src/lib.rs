@@ -23,9 +23,12 @@
 //!   Fig. 1), chain signatures (§4), failure-discovery protocols (§5,
 //!   Fig. 2), BA extensions (Dolev–Strong, EIG, Phase King, degradable
 //!   agreement; §7), key-rotation epochs, adversaries (byzantine,
-//!   benign-fault wrappers, rushing), the closed-form message formulas,
-//!   the parallel scenario-sweep engine, and the adversarial scheduler
-//!   search with replayable schedule certificates.
+//!   benign-fault wrappers, rushing, declarative `AdversarySpec`s), the
+//!   closed-form message formulas, the unified `RunSpec`/`Session`
+//!   execution API (one typed entry point per protocol run, keydist
+//!   amortized across a session), the parallel scenario-sweep engine,
+//!   and the adversarial scheduler search with replayable schedule
+//!   certificates.
 //!
 //! `docs/ARCHITECTURE.md` in the repository maps the crates onto the
 //! paper's sections and walks one message through the engines.
@@ -34,12 +37,14 @@
 //!
 //! ```
 //! use local_auth_fd::core::runner::Cluster;
+//! use local_auth_fd::core::spec::{Protocol, RunSpec, Session};
 //! use std::sync::Arc;
 //!
 //! let cluster = Cluster::new(7, 2, Arc::new(local_auth_fd::crypto::SchnorrScheme::test_tiny()), 1);
-//! let keydist = cluster.run_key_distribution();             // once: 3n(n-1)
-//! let run = cluster.run_chain_fd(&keydist, b"go".to_vec()); // each: n-1
+//! let mut session = Session::new(cluster);                  // keydist once: 3n(n-1)
+//! let run = session.run(&RunSpec::new(Protocol::ChainFd, b"go".to_vec())); // each: n-1
 //! assert!(run.all_decided(b"go"));
+//! assert_eq!(session.keydist_runs(), 1);
 //! ```
 //!
 //! See `examples/` for runnable scenarios and `EXPERIMENTS.md` for the

@@ -6,6 +6,11 @@
 //! match a correct sender), or at least one correct node discovers a
 //! failure (F2/F3 are then vacuous, per the problem statement).
 
+// These tests deliberately pin the pre-`RunSpec` per-protocol API: they
+// are the contract that keeps the deprecated shims in `fd_core::compat`
+// working (the equivalence suite proves both paths byte-identical).
+#![allow(deprecated)]
+
 use local_auth_fd::core::adversary::{
     ChainFdAdversary, ChainMisbehavior, EquivocatingKeyDist, NaMisbehavior, NoiseNode,
     NonAuthAdversary, SilentNode,

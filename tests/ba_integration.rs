@@ -2,6 +2,11 @@
 //! extension (failure-free runs at FD cost, experiment T6), Dolev–Strong
 //! under local authentication, and the EIG baseline.
 
+// These tests deliberately pin the pre-`RunSpec` per-protocol API: they
+// are the contract that keeps the deprecated shims in `fd_core::compat`
+// working (the equivalence suite proves both paths byte-identical).
+#![allow(deprecated)]
+
 use local_auth_fd::core::adversary::{ChainFdAdversary, ChainMisbehavior, SilentNode};
 use local_auth_fd::core::fd::ChainFdParams;
 use local_auth_fd::core::keys::Keyring;

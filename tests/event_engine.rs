@@ -3,6 +3,11 @@
 //! latency), timing-fault sweeps (zero silent disagreements), and the
 //! `lafd run` CLI surface.
 
+// These tests deliberately pin the pre-`RunSpec` per-protocol API: they
+// are the contract that keeps the deprecated shims in `fd_core::compat`
+// working (the equivalence suite proves both paths byte-identical).
+#![allow(deprecated)]
+
 use local_auth_fd::core::runner::Cluster;
 use local_auth_fd::core::sweep::{run_sweep, Protocol, SweepMatrix, SweepOutcome};
 use local_auth_fd::crypto::SchnorrScheme;

@@ -2,6 +2,11 @@
 //! Phase King) and the benign-fault wrappers, all through the public
 //! facade and over *locally* distributed keys.
 
+// These tests deliberately pin the pre-`RunSpec` per-protocol API: they
+// are the contract that keeps the deprecated shims in `fd_core::compat`
+// working (the equivalence suite proves both paths byte-identical).
+#![allow(deprecated)]
+
 use local_auth_fd::core::adversary::{CrashNode, LaggardNode, OmissiveNode, SilentNode};
 use local_auth_fd::core::ba::Grade;
 use local_auth_fd::core::fd::{ChainFdNode, ChainFdParams};

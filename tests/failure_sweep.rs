@@ -3,6 +3,11 @@
 //! paper's properties on the survivors. This is the exhaustive companion
 //! to the targeted scenarios in `adversary_integration.rs`.
 
+// These tests deliberately pin the pre-`RunSpec` per-protocol API: they
+// are the contract that keeps the deprecated shims in `fd_core::compat`
+// working (the equivalence suite proves both paths byte-identical).
+#![allow(deprecated)]
+
 use local_auth_fd::core::adversary::SilentNode;
 use local_auth_fd::core::props::check_fd;
 use local_auth_fd::core::runner::Cluster;

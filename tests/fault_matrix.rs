@@ -5,6 +5,11 @@
 //! absorbed (hit an unused link), but it must never produce silent
 //! disagreement — and any nodes that do decide must agree on the value.
 
+// These tests deliberately pin the pre-`RunSpec` per-protocol API: they
+// are the contract that keeps the deprecated shims in `fd_core::compat`
+// working (the equivalence suite proves both paths byte-identical).
+#![allow(deprecated)]
+
 use local_auth_fd::core::runner::Cluster;
 use local_auth_fd::core::sweep::{
     classify, run_keydist_for, run_protocol_with, Protocol, SweepOutcome,

@@ -1,6 +1,11 @@
 //! Integration tests for the failure-discovery protocols over *locally*
 //! distributed keys — the paper's headline composition (§4–§6).
 
+// These tests deliberately pin the pre-`RunSpec` per-protocol API: they
+// are the contract that keeps the deprecated shims in `fd_core::compat`
+// working (the equivalence suite proves both paths byte-identical).
+#![allow(deprecated)]
+
 use local_auth_fd::core::metrics;
 use local_auth_fd::core::runner::Cluster;
 use local_auth_fd::crypto::{SchnorrScheme, ToyScheme};

@@ -1,6 +1,11 @@
 //! Integration tests for the key distribution protocol (paper Fig. 1,
 //! Theorem 2) across crates: crypto schemes × simulator × adversaries.
 
+// These tests deliberately pin the pre-`RunSpec` per-protocol API: they
+// are the contract that keeps the deprecated shims in `fd_core::compat`
+// working (the equivalence suite proves both paths byte-identical).
+#![allow(deprecated)]
+
 use local_auth_fd::core::adversary::{
     EquivocatingKeyDist, KeyThiefKeyDist, SharedKeyKeyDist, SilentNode, WrongNameKeyDist,
 };

@@ -2,6 +2,11 @@
 //! seeds, values, and fault placements must never violate F1–F3 or the
 //! message-count formulas.
 
+// These tests deliberately pin the pre-`RunSpec` per-protocol API: they
+// are the contract that keeps the deprecated shims in `fd_core::compat`
+// working (the equivalence suite proves both paths byte-identical).
+#![allow(deprecated)]
+
 use local_auth_fd::core::adversary::{ChainFdAdversary, ChainMisbehavior, SilentNode};
 use local_auth_fd::core::fd::ChainFdParams;
 use local_auth_fd::core::keys::Keyring;

@@ -1,0 +1,223 @@
+//! API-equivalence suite for the `RunSpec` redesign: for every admissible
+//! `(protocol × adversary × engine)` cell, the unified
+//! `Cluster::run(&RunSpec)` path must produce a byte-identical
+//! [`FdRunReport`](local_auth_fd::core::runner::FdRunReport) (compared as
+//! deterministic JSON) to the pre-redesign call path
+//! (`run_keydist_for` + `run_protocol_with` + a hand-built substitution
+//! closure) — and a [`Session`] must amortize exactly one key
+//! distribution across any number of runs (paper Fig. 1 economics).
+
+// The "old path" half of every comparison deliberately uses the
+// deprecated pre-`RunSpec` API — that is the point of the suite.
+#![allow(deprecated)]
+
+use local_auth_fd::core::adversary::{
+    AdversaryKind, AdversarySpec, ChainFdAdversary, ChainMisbehavior, CrashNode, SilentNode,
+};
+use local_auth_fd::core::fd::{ChainFdNode, ChainFdParams};
+use local_auth_fd::core::metrics;
+use local_auth_fd::core::runner::{Cluster, KeyDistReport};
+use local_auth_fd::core::schedsearch::{run_search, run_search_parallel, SearchConfig, Strategy};
+use local_auth_fd::core::spec::{Protocol, RunSpec, Session};
+use local_auth_fd::core::sweep::{run_keydist_for, run_protocol_with};
+use local_auth_fd::crypto::SchnorrScheme;
+use local_auth_fd::simnet::{Engine, Node, NodeId};
+use std::sync::Arc;
+
+const N: usize = 9;
+const T: usize = 2; // admissible for the whole protocol lineup (n > 4t)
+const VALUE: &[u8] = b"equivalence-check";
+const DEFAULT: &[u8] = b"equivalence-default";
+
+fn cluster(engine: Engine, seed: u64) -> Cluster {
+    Cluster::new(N, T, Arc::new(SchnorrScheme::test_tiny()), seed).with_engine(engine)
+}
+
+/// The PR 3 substitution closures, reconstructed verbatim (same automata,
+/// same planted constants, same relay `P_1`) so the old call path is
+/// exercised exactly as the sweep engine used to drive it.
+fn legacy_substitution<'a>(
+    kind: AdversaryKind,
+    cluster: &'a Cluster,
+    keydist: &'a Option<KeyDistReport>,
+) -> Box<dyn FnMut(NodeId) -> Option<Box<dyn Node>> + 'a> {
+    let relay = NodeId(1);
+    match kind {
+        AdversaryKind::None => Box::new(|_| None),
+        AdversaryKind::SilentRelay => Box::new(move |id: NodeId| {
+            (id == relay).then(|| Box::new(SilentNode { me: relay }) as Box<dyn Node>)
+        }),
+        AdversaryKind::CrashRelay => Box::new(move |id: NodeId| {
+            (id == relay).then(|| {
+                let honest = Box::new(ChainFdNode::new(
+                    relay,
+                    ChainFdParams::new(cluster.n, cluster.t),
+                    Arc::clone(&cluster.scheme),
+                    keydist.as_ref().expect("keys").store(relay).clone(),
+                    cluster.keyring(relay),
+                    None,
+                )) as Box<dyn Node>;
+                Box::new(CrashNode::new(honest, 1, 0)) as Box<dyn Node>
+            })
+        }),
+        AdversaryKind::TamperBody | AdversaryKind::ForgeOrigin | AdversaryKind::WrongAssignee => {
+            Box::new(move |id: NodeId| {
+                (id == relay).then(|| {
+                    let misbehavior = match kind {
+                        AdversaryKind::TamperBody => ChainMisbehavior::TamperBody {
+                            new_body: b"sweep-tampered".to_vec(),
+                        },
+                        AdversaryKind::ForgeOrigin => ChainMisbehavior::ForgeOrigin {
+                            value: b"sweep-forged".to_vec(),
+                        },
+                        _ => ChainMisbehavior::WrongAssigneeName {
+                            claim: NodeId((cluster.n - 1) as u16),
+                        },
+                    };
+                    Box::new(ChainFdAdversary::new(
+                        relay,
+                        ChainFdParams::new(cluster.n, cluster.t),
+                        Arc::clone(&cluster.scheme),
+                        cluster.keyring(relay),
+                        misbehavior,
+                        None,
+                    )) as Box<dyn Node>
+                })
+            })
+        }
+        AdversaryKind::Equivocate => {
+            unreachable!("Equivocate postdates the legacy path; not compared")
+        }
+    }
+}
+
+#[test]
+fn every_cell_matches_the_legacy_call_path_byte_for_byte() {
+    let mut cells = 0usize;
+    for engine in [Engine::Sync, Engine::Event] {
+        for protocol in Protocol::ALL {
+            for kind in AdversaryKind::ALL {
+                if !kind.applies_to(protocol) || kind == AdversaryKind::Equivocate {
+                    continue;
+                }
+                let c = cluster(engine, 42);
+
+                // Old path: hand-threaded keydist + dispatch + closure.
+                let keydist = run_keydist_for(&c, protocol);
+                let mut substitute = legacy_substitution(kind, &c, &keydist);
+                let old = run_protocol_with(
+                    &c,
+                    protocol,
+                    keydist.as_ref(),
+                    VALUE.to_vec(),
+                    DEFAULT.to_vec(),
+                    &mut *substitute,
+                );
+                drop(substitute);
+
+                // New path: one spec, one entry point.
+                let spec = RunSpec::new(protocol, VALUE.to_vec())
+                    .with_default_value(DEFAULT.to_vec())
+                    .with_adversary(AdversarySpec::scripted(kind));
+                let new = c.run(&spec);
+
+                assert_eq!(
+                    old.to_json(),
+                    new.to_json(),
+                    "{engine:?}/{protocol}/{kind}: paths diverged"
+                );
+                cells += 1;
+            }
+        }
+    }
+    // 7 protocols × honest + silent, plus 4 chain-only kinds, × 2 engines.
+    assert_eq!(cells, (7 * 2 + 4) * 2, "cell coverage changed unexpectedly");
+}
+
+#[test]
+fn session_reuses_the_one_shot_keydist_exactly() {
+    // A Session's cached keydist is the same keydist Cluster::run would
+    // derive, so one-shot and amortized runs are byte-identical.
+    for engine in [Engine::Sync, Engine::Event] {
+        let c = cluster(engine, 7);
+        let spec = RunSpec::new(Protocol::DolevStrong, VALUE.to_vec())
+            .with_default_value(DEFAULT.to_vec());
+        let one_shot = c.run(&spec);
+        let mut session = Session::new(c);
+        let first = session.run(&spec);
+        let second = session.run(&spec);
+        assert_eq!(one_shot.to_json(), first.to_json());
+        assert_eq!(first.to_json(), second.to_json());
+        assert_eq!(session.keydist_runs(), 1);
+    }
+}
+
+#[test]
+fn session_amortizes_chain_fd_like_paper_fig_1() {
+    let k = 12usize;
+    let mut session = Session::new(cluster(Engine::Sync, 99));
+    for i in 0..k {
+        let run = session.run(&RunSpec::new(Protocol::ChainFd, vec![i as u8]));
+        assert!(run.all_decided(&[i as u8]));
+    }
+    // The paper's amortization, as stats assertions: exactly one keydist,
+    // and the cumulative cost is 3n(n−1) + k(n−1).
+    assert_eq!(session.keydist_runs(), 1, "keydist must run exactly once");
+    assert_eq!(session.runs(), k);
+    assert_eq!(
+        session.keydist_messages(),
+        Some(metrics::keydist_messages(N))
+    );
+    assert_eq!(
+        session.messages_spent(),
+        metrics::keydist_messages(N) + k * metrics::chain_fd_messages(N)
+    );
+    // Past the crossover the amortized total beats the non-auth baseline.
+    let k_star = metrics::amortization_crossover(N, T).expect("finite crossover");
+    assert!(k >= k_star, "test horizon must cover the crossover");
+    assert!(session.messages_spent() < metrics::cumulative_non_auth(N, T, k));
+}
+
+#[test]
+fn search_reports_are_thread_count_invariant() {
+    for strategy in Strategy::ALL {
+        let config = SearchConfig {
+            strategy,
+            budget: 9,
+            ..SearchConfig::new(Protocol::ChainFd, 6, 1, 5)
+        };
+        let serial = run_search(&config).expect("valid config");
+        for threads in [2usize, 8] {
+            let parallel = run_search_parallel(&config, threads).expect("valid config");
+            assert_eq!(
+                serial.to_json(),
+                parallel.to_json(),
+                "{strategy}: report changed at {threads} threads"
+            );
+        }
+        assert!(serial.replay_ok);
+    }
+}
+
+#[test]
+fn equivocate_kind_is_loud_on_both_engines() {
+    // The one post-redesign adversary kind has no legacy twin; its
+    // contract is the paper's: discovered, never silently split.
+    for engine in [Engine::Sync, Engine::Event] {
+        let c = cluster(engine, 11);
+        let run = c.run(
+            &RunSpec::new(Protocol::ChainFd, VALUE.to_vec())
+                .with_adversary(AdversarySpec::scripted(AdversaryKind::Equivocate)),
+        );
+        let decided: std::collections::BTreeSet<Vec<u8>> = run
+            .correct_outcomes()
+            .iter()
+            .filter_map(|o| o.decided().map(<[u8]>::to_vec))
+            .collect();
+        assert!(run.any_discovery(), "{engine:?}: equivocation unnoticed");
+        assert!(
+            decided.len() <= 1 || run.any_discovery(),
+            "{engine:?}: silent disagreement"
+        );
+    }
+}
