@@ -805,6 +805,7 @@ pub fn t12_large_n(sizes: &[usize]) -> Vec<T12Row> {
                 stores: stores.iter().cloned().map(Some).collect(),
                 stats: NetStats::new(n),
                 anomalies: Vec::new(),
+                predicates: None,
             };
             let mut session = Session::with_keydist(c, kd);
             let start = std::time::Instant::now();

@@ -203,7 +203,7 @@ impl Node for SharedKeyKeyDist {
                     pk: self.shared_pk.0.clone(),
                 }
                 .encode_to_vec();
-                out.broadcast(self.n, self.me, &msg);
+                out.broadcast(self.n, self.me, msg);
             }
             2 => {
                 let sk = self.shared_sk.clone();
@@ -271,7 +271,7 @@ impl Node for KeyThiefKeyDist {
                     pk: self.victim_pk.0.clone(),
                 }
                 .encode_to_vec();
-                out.broadcast(self.n, self.me, &msg);
+                out.broadcast(self.n, self.me, msg);
             }
             2 => {
                 // Best effort: answer with garbage signatures.
@@ -357,7 +357,7 @@ impl Node for WrongNameKeyDist {
                     pk: self.pk.0.clone(),
                 }
                 .encode_to_vec();
-                out.broadcast(self.n, self.me, &msg);
+                out.broadcast(self.n, self.me, msg);
             }
             2 => {
                 for env in inbox {

@@ -95,7 +95,7 @@ impl Node for NonAuthAdversary {
                     out.broadcast(
                         self.params.n,
                         self.me,
-                        &NaMsg::Direct { value: v }.encode_to_vec(),
+                        NaMsg::Direct { value: v }.encode_to_vec(),
                     );
                 }
             },
@@ -112,7 +112,7 @@ impl Node for NonAuthAdversary {
                             out.broadcast(
                                 self.params.n,
                                 self.me,
-                                &NaMsg::Relay {
+                                NaMsg::Relay {
                                     value: Some(value.clone()),
                                 }
                                 .encode_to_vec(),
@@ -137,7 +137,7 @@ impl Node for NonAuthAdversary {
                             out.broadcast(
                                 self.params.n,
                                 self.me,
-                                &NaMsg::Relay {
+                                NaMsg::Relay {
                                     value: self.received.clone(),
                                 }
                                 .encode_to_vec(),

@@ -171,7 +171,7 @@ impl core::fmt::Debug for OmissiveNode {
 /// round late.
 pub struct LaggardNode {
     inner: Box<dyn Node>,
-    held: Vec<(NodeId, Vec<u8>)>,
+    held: Vec<(NodeId, fd_simnet::Payload)>,
 }
 
 impl LaggardNode {

@@ -232,7 +232,7 @@ impl DegradableNode {
         }
         match msg
             .chain
-            .verify(self.scheme.as_ref(), &self.store, env.from)
+            .verify_cached(self.scheme.as_ref(), &self.store, env.from)
         {
             Ok(_) => {
                 self.add_support(msg.chain.body.clone(), self.params.sender);
@@ -262,7 +262,7 @@ impl DegradableNode {
             self.discovered.get_or_insert(DiscoveryReason::BadStructure);
             return;
         }
-        match chain.verify(self.scheme.as_ref(), &self.store, env.from) {
+        match chain.verify_cached(self.scheme.as_ref(), &self.store, env.from) {
             Ok(assignee) => {
                 self.add_support(chain.body.clone(), self.params.sender);
                 self.add_support(chain.body, assignee);
@@ -325,7 +325,7 @@ impl Node for DegradableNode {
                     out.broadcast(
                         self.params.n,
                         self.me,
-                        &DgMsg {
+                        DgMsg {
                             chain: chain.clone(),
                         }
                         .encode_to_vec(),
@@ -349,7 +349,7 @@ impl Node for DegradableNode {
                         out.broadcast(
                             self.params.n,
                             self.me,
-                            &DgMsg { chain: echo }.encode_to_vec(),
+                            DgMsg { chain: echo }.encode_to_vec(),
                         );
                     }
                 }
@@ -763,7 +763,7 @@ mod tests {
                 out.broadcast(
                     self.n,
                     self.ring.me,
-                    &DgMsg { chain: forged }.encode_to_vec(),
+                    DgMsg { chain: forged }.encode_to_vec(),
                 );
             }
             fn as_any(&self) -> &dyn Any {

@@ -172,7 +172,7 @@ impl DolevStrongNode {
             self.discovered.get_or_insert(DiscoveryReason::BadStructure);
             return None;
         }
-        match chain.verify(self.scheme.as_ref(), &self.store, env.from) {
+        match chain.verify_cached(self.scheme.as_ref(), &self.store, env.from) {
             Ok(_) => Some(chain),
             Err(reason) => {
                 self.discovered.get_or_insert(reason);
@@ -220,7 +220,7 @@ impl Node for DolevStrongNode {
                 let chain =
                     ChainMessage::originate(self.scheme.as_ref(), &self.keyring.sk, self.me, v)
                         .expect("own keyring well-formed");
-                out.broadcast(self.params.n, self.me, &DsMsg { chain }.encode_to_vec());
+                out.broadcast(self.params.n, self.me, DsMsg { chain }.encode_to_vec());
             }
             return;
         }
@@ -238,7 +238,7 @@ impl Node for DolevStrongNode {
                         out.broadcast(
                             self.params.n,
                             self.me,
-                            &DsMsg { chain: extended }.encode_to_vec(),
+                            DsMsg { chain: extended }.encode_to_vec(),
                         );
                     }
                 }

@@ -236,7 +236,7 @@ impl Node for EigNode {
                 let msg = EigMsg {
                     entries: vec![(vec![], v)],
                 };
-                out.broadcast(self.params.n, self.me, &msg.encode_to_vec());
+                out.broadcast(self.params.n, self.me, msg.encode_to_vec());
             }
         } else if rel <= t {
             // Relay all level-`rel` paths not containing me.
@@ -250,7 +250,7 @@ impl Node for EigNode {
                 let mut entries = entries;
                 entries.sort(); // deterministic wire order
                 let msg = EigMsg { entries };
-                out.broadcast(self.params.n, self.me, &msg.encode_to_vec());
+                out.broadcast(self.params.n, self.me, msg.encode_to_vec());
             }
         }
 

@@ -205,7 +205,7 @@ impl FdToBaNode {
             return None;
         }
         chain
-            .verify(self.scheme.as_ref(), &self.store, env.from)
+            .verify_cached(self.scheme.as_ref(), &self.store, env.from)
             .ok()?;
         Some(chain)
     }
@@ -223,7 +223,7 @@ impl FdToBaNode {
                 ALARM_BODY.to_vec(),
             )
             .expect("own keyring well-formed");
-            out.broadcast(self.params.n, self.me, &AlarmMsg { chain }.encode_to_vec());
+            out.broadcast(self.params.n, self.me, AlarmMsg { chain }.encode_to_vec());
             self.alarm_seen = true;
             self.alarm_relayed = true;
         }
@@ -241,7 +241,7 @@ impl FdToBaNode {
                     out.broadcast(
                         self.params.n,
                         self.me,
-                        &AlarmMsg { chain: extended }.encode_to_vec(),
+                        AlarmMsg { chain: extended }.encode_to_vec(),
                     );
                     self.alarm_relayed = true;
                 }

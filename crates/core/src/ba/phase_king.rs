@@ -233,7 +233,7 @@ impl Node for PhaseKingNode {
             if self.me == self.params.sender {
                 let v = self.value.clone().expect("sender value");
                 self.cur = v.clone();
-                out.broadcast(n, self.me, &PkMsg::Initial(v).encode_to_vec());
+                out.broadcast(n, self.me, PkMsg::Initial(v).encode_to_vec());
             }
             return;
         }
@@ -253,7 +253,7 @@ impl Node for PhaseKingNode {
                     self.cur = v;
                 }
             }
-            out.broadcast(n, self.me, &PkMsg::Vote(self.cur.clone()).encode_to_vec());
+            out.broadcast(n, self.me, PkMsg::Vote(self.cur.clone()).encode_to_vec());
             return;
         }
         // Rounds 2p+2: tally phase p's exchange; the king announces.
@@ -265,13 +265,13 @@ impl Node for PhaseKingNode {
                 out.broadcast(
                     n,
                     self.me,
-                    &PkMsg::King(self.plurality.0.clone()).encode_to_vec(),
+                    PkMsg::King(self.plurality.0.clone()).encode_to_vec(),
                 );
             }
         } else {
             self.apply_king(phase, inbox);
             if phase < self.params.t {
-                out.broadcast(n, self.me, &PkMsg::Vote(self.cur.clone()).encode_to_vec());
+                out.broadcast(n, self.me, PkMsg::Vote(self.cur.clone()).encode_to_vec());
             } else {
                 self.outcome = Outcome::Decided(self.cur.clone());
                 self.done = true;
@@ -409,7 +409,7 @@ mod tests {
                 from: NodeId(from),
                 to: NodeId(1),
                 round: 2,
-                payload: PkMsg::Vote(v.to_vec()).encode_to_vec(),
+                payload: PkMsg::Vote(v.to_vec()).encode_to_vec().into(),
             })
             .collect();
         node.tally(&envs);
@@ -426,7 +426,7 @@ mod tests {
             from: NodeId(2),
             to: NodeId(1),
             round: 2,
-            payload: PkMsg::Vote(v.to_vec()).encode_to_vec(),
+            payload: PkMsg::Vote(v.to_vec()).encode_to_vec().into(),
         };
         node.tally(&[mk(b"y"), mk(b"y"), mk(b"y")]);
         // One vote for y (peer 2), one for x (self): tie → "x" vs "y" →

@@ -27,7 +27,7 @@ use crate::keys::{KeyStore, Keyring};
 use crate::outcome::{DiscoveryReason, Outcome};
 use fd_crypto::SignatureScheme;
 use fd_simnet::codec::{CodecError, Decode, Encode, Reader, Writer};
-use fd_simnet::{Envelope, Node, NodeId, Outbox};
+use fd_simnet::{Envelope, Node, NodeId, Outbox, Payload};
 use std::any::Any;
 use std::sync::Arc;
 
@@ -202,7 +202,7 @@ impl ChainFdNode {
         }
         match msg
             .chain
-            .verify(self.scheme.as_ref(), &self.store, env.from)
+            .verify_cached(self.scheme.as_ref(), &self.store, env.from)
         {
             Ok(_assignee) => {
                 let v = msg.chain.body.clone();
@@ -212,11 +212,12 @@ impl ChainFdNode {
                         .chain
                         .extend(self.scheme.as_ref(), &self.keyring.sk, env.from)
                         .expect("own keyring is well-formed");
-                    let payload = FdMsg { chain: extended }.encode_to_vec();
+                    let payload: Payload = FdMsg { chain: extended }.encode_to_vec().into();
                     if i < self.params.t {
                         out.send(NodeId(i as u16 + 1), payload);
                     } else {
-                        // P_t disseminates to P_{t+1} … P_{n-1}.
+                        // P_t disseminates to P_{t+1} … P_{n-1}, sharing
+                        // one payload buffer across all recipients.
                         for j in (self.params.t + 1)..self.params.n {
                             out.send(NodeId(j as u16), payload.clone());
                         }
@@ -249,7 +250,7 @@ impl Node for ChainFdNode {
             let chain =
                 ChainMessage::originate(self.scheme.as_ref(), &self.keyring.sk, self.me, v.clone())
                     .expect("own keyring is well-formed");
-            let payload = FdMsg { chain }.encode_to_vec();
+            let payload: Payload = FdMsg { chain }.encode_to_vec().into();
             if self.params.t == 0 {
                 for j in 1..self.params.n {
                     out.send(NodeId(j as u16), payload.clone());

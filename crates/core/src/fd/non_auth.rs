@@ -217,7 +217,7 @@ impl Node for NonAuthFdNode {
                     out.broadcast(
                         self.params.n,
                         self.me,
-                        &NaMsg::Direct { value: v }.encode_to_vec(),
+                        NaMsg::Direct { value: v }.encode_to_vec(),
                     );
                 }
             }
@@ -235,7 +235,7 @@ impl Node for NonAuthFdNode {
                     let relay = NaMsg::Relay {
                         value: self.my_direct_value(),
                     };
-                    out.broadcast(self.params.n, self.me, &relay.encode_to_vec());
+                    out.broadcast(self.params.n, self.me, relay.encode_to_vec());
                     // A witness also "relays to itself".
                     self.relays[self.me.index()] = Some(relay);
                 }

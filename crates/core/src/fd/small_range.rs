@@ -193,7 +193,7 @@ impl SmallRangeFdNode {
         }
         match msg
             .chain
-            .verify(self.scheme.as_ref(), &self.store, env.from)
+            .verify_cached(self.scheme.as_ref(), &self.store, env.from)
         {
             Ok(_) => {
                 self.direct = Some(msg.chain.body.clone());
@@ -219,7 +219,7 @@ impl SmallRangeFdNode {
         }
         match msg
             .chain
-            .verify(self.scheme.as_ref(), &self.store, env.from)
+            .verify_cached(self.scheme.as_ref(), &self.store, env.from)
         {
             Ok(_) => self.echoes[env.from.index()] = Some(msg.chain.body),
             Err(reason) => self.fail(reason),
@@ -289,7 +289,7 @@ impl Node for SmallRangeFdNode {
                             v,
                         )
                         .expect("own keyring is well-formed");
-                        out.broadcast(self.params.n, self.me, &SrMsg { chain }.encode_to_vec());
+                        out.broadcast(self.params.n, self.me, SrMsg { chain }.encode_to_vec());
                     }
                 }
             }
@@ -310,7 +310,7 @@ impl Node for SmallRangeFdNode {
                         out.broadcast(
                             self.params.n,
                             self.me,
-                            &SrMsg { chain: extended }.encode_to_vec(),
+                            SrMsg { chain: extended }.encode_to_vec(),
                         );
                         self.echoes[self.me.index()] = Some(v);
                     }
@@ -480,7 +480,7 @@ mod tests {
             from: NodeId(0),
             to: NodeId(1),
             round: 0,
-            payload: SrMsg { chain }.encode_to_vec(),
+            payload: SrMsg { chain }.encode_to_vec().into(),
         };
         let mut out = Outbox::new();
         node.on_round(1, &[env], &mut out);

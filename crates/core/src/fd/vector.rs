@@ -24,7 +24,7 @@ use crate::keys::{KeyStore, Keyring};
 use crate::outcome::{DiscoveryReason, Outcome};
 use fd_crypto::SignatureScheme;
 use fd_simnet::codec::{CodecError, Decode, Encode, Reader, Writer};
-use fd_simnet::{Envelope, Node, NodeId, Outbox};
+use fd_simnet::{Envelope, Node, NodeId, Outbox, Payload};
 use std::any::Any;
 use std::sync::Arc;
 
@@ -221,7 +221,7 @@ impl VectorFdNode {
         }
         match msg
             .chain
-            .verify(self.scheme.as_ref(), &self.store, env.from)
+            .verify_cached(self.scheme.as_ref(), &self.store, env.from)
         {
             Ok(_) => {
                 let v = msg.chain.body.clone();
@@ -230,11 +230,12 @@ impl VectorFdNode {
                         .chain
                         .extend(self.scheme.as_ref(), &self.keyring.sk, env.from)
                         .expect("own keyring well-formed");
-                    let payload = VecMsg {
+                    let payload: Payload = VecMsg {
                         instance,
                         chain: extended,
                     }
-                    .encode_to_vec();
+                    .encode_to_vec()
+                    .into();
                     if my_pos < self.params.t {
                         out.send(self.params.node_at(instance, my_pos + 1), payload);
                     } else {
@@ -271,11 +272,12 @@ impl Node for VectorFdNode {
                 self.value.clone(),
             )
             .expect("own keyring well-formed");
-            let payload = VecMsg {
+            let payload: Payload = VecMsg {
                 instance: self.me,
                 chain,
             }
-            .encode_to_vec();
+            .encode_to_vec()
+            .into();
             if self.params.t == 0 {
                 for pos in 1..self.params.n {
                     out.send(self.params.node_at(self.me, pos), payload.clone());

@@ -1,4 +1,5 @@
-//! Key material and per-node key stores.
+//! Key material, per-node key stores, and the shared-allocation machinery
+//! behind them.
 //!
 //! Under **local authentication** each node ends the key distribution
 //! protocol with its own [`KeyStore`]: the set of test predicates it has
@@ -6,9 +7,35 @@
 //! nodes' keys (Theorem 2 / properties G1–G2) but may *disagree* about
 //! faulty nodes' keys — that is exactly the G3 gap the chain-signature
 //! verification discipline closes.
+//!
+//! ## Allocation discipline
+//!
+//! Stores are *logically* private per node but *physically* share key
+//! material: every accepted entry is an `Arc<PublicKey>`, so cloning a
+//! store (which every protocol run does, once per node) bumps reference
+//! counts instead of deep-copying `n` keys. A [`PredicateTable`] holds the
+//! cluster's true predicates once; key distribution interns announced
+//! predicates against it, so the honest case allocates `O(n)` distinct
+//! keys across all `n` stores instead of `O(n²)` (a misbehaving announcer
+//! still gets a private allocation — sharing never changes which bytes a
+//! store holds).
+//!
+//! ## Verification caching
+//!
+//! [`VerifyCache`] memoizes signature-predicate evaluations per run.
+//! `scheme.verify(pk, msg, sig)` is a pure function of its inputs, so a
+//! cache keyed by a hash of `(scheme, pk, msg, sig)` is sound even when it
+//! is shared across nodes whose stores disagree (disagreeing stores hold
+//! different `pk` bytes and therefore hit different entries). The chain
+//! discipline re-checks the full chain at every hop; the cache is what
+//! makes hop `k + 1` pay only for the one new layer.
 
-use fd_crypto::{PublicKey, SecretKey, Signature, SignatureScheme};
+use crate::outcome::DiscoveryReason;
+use fd_crypto::{PublicKey, SecretKey, Sha256, Signature, SignatureScheme};
 use fd_simnet::NodeId;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
 
 /// A node's own signing identity (`S_i`, `T_i` in the paper).
 #[derive(Debug, Clone)]
@@ -35,15 +62,220 @@ impl Keyring {
     }
 }
 
+/// The cluster's true test predicates, allocated once and shared by every
+/// store that accepts them.
+///
+/// The table serves two masters: [`KeyStore::global_shared`] builds the
+/// trusted-dealer baseline from it without per-store copies, and the key
+/// distribution protocol *interns* announced predicates against it —
+/// announced bytes that match the canonical predicate reuse the shared
+/// allocation, anything else (a faulty announcer) gets a fresh private
+/// one. The interning counters make the allocation profile observable:
+/// `distinct_allocations()` is `n + fresh` and stays `O(n)` in the honest
+/// case (asserted by the large-`n` sharing tests).
+#[derive(Debug)]
+pub struct PredicateTable {
+    keys: Vec<Arc<PublicKey>>,
+    interned: AtomicUsize,
+    fresh: AtomicUsize,
+}
+
+impl PredicateTable {
+    /// Build the table from the cluster parameters (the same derivation as
+    /// [`Keyring::generate`], predicate part only).
+    pub fn generate(scheme: &dyn SignatureScheme, n: usize, cluster_seed: u64) -> Self {
+        let keys = (0..n)
+            .map(|i| Arc::new(Keyring::generate(scheme, NodeId(i as u16), cluster_seed).pk))
+            .collect();
+        PredicateTable::from_keys(keys)
+    }
+
+    /// Build the table from already generated predicates.
+    pub fn from_keys(keys: Vec<Arc<PublicKey>>) -> Self {
+        PredicateTable {
+            keys,
+            interned: AtomicUsize::new(0),
+            fresh: AtomicUsize::new(0),
+        }
+    }
+
+    /// Number of canonical predicates.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// `true` for the degenerate empty table.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// The canonical shared predicate of `node`, if in range.
+    pub fn entry(&self, node: NodeId) -> Option<&Arc<PublicKey>> {
+        self.keys.get(node.index())
+    }
+
+    /// The canonical predicates, for bulk store construction.
+    pub fn keys(&self) -> &[Arc<PublicKey>] {
+        &self.keys
+    }
+
+    /// Intern predicate bytes announced by `node`: bytes equal to the
+    /// canonical predicate share its allocation, anything else allocates
+    /// privately. Either way the returned key holds exactly `bytes` — the
+    /// table is an allocation optimization, never a semantic one.
+    pub fn intern(&self, node: NodeId, bytes: Vec<u8>) -> Arc<PublicKey> {
+        if let Some(canonical) = self.keys.get(node.index()) {
+            if canonical.0 == bytes {
+                self.interned.fetch_add(1, Ordering::Relaxed);
+                return Arc::clone(canonical);
+            }
+        }
+        self.fresh.fetch_add(1, Ordering::Relaxed);
+        Arc::new(PublicKey(bytes))
+    }
+
+    /// How many intern calls reused a shared allocation.
+    pub fn interned_count(&self) -> usize {
+        self.interned.load(Ordering::Relaxed)
+    }
+
+    /// How many intern calls had to allocate privately.
+    pub fn fresh_count(&self) -> usize {
+        self.fresh.load(Ordering::Relaxed)
+    }
+
+    /// Distinct `PublicKey` allocations attributable to this table: the
+    /// `n` canonical keys plus every non-interned announcement. `O(n)` in
+    /// the honest case regardless of how many stores were built.
+    pub fn distinct_allocations(&self) -> usize {
+        self.keys.len() + self.fresh_count()
+    }
+
+    /// How many handles currently share `node`'s canonical allocation
+    /// (including the table's own).
+    pub fn ref_count(&self, node: NodeId) -> Option<usize> {
+        self.keys.get(node.index()).map(Arc::strong_count)
+    }
+}
+
+/// Per-run memoization of signature-predicate evaluations.
+///
+/// Cloning shares the cache; a fresh one is installed per protocol run
+/// (see `Cluster::dispatch`) so memory stays bounded by a single run's
+/// distinct signatures. Two layers:
+///
+/// * **Signature level** — `(pk, msg, sig) → bool`, consulted by
+///   [`KeyStore::assigns`]. Sound because the predicate is pure.
+/// * **Chain level** — a whole chain-verification *receipt* keyed by the
+///   chain bytes, the immediate sender, and the store's view of every
+///   implied signer (see `ChainMessage::verify_cached` in
+///   [`crate::chain`]). Including the store view keeps the paper's G3
+///   subtlety intact: two stores holding different predicates for a faulty
+///   signer hash to different receipts and can still disagree — loudly.
+///
+/// Keys are SHA-256 over length-prefixed parts, so structurally different
+/// inputs cannot collide by concatenation.
+#[derive(Clone, Debug, Default)]
+pub struct VerifyCache {
+    sigs: Arc<Mutex<HashMap<[u8; 32], bool>>>,
+    chains: Arc<Mutex<ChainReceipts>>,
+    hits: Arc<AtomicUsize>,
+    misses: Arc<AtomicUsize>,
+}
+
+/// Chain-level verification receipts, keyed by receipt hash.
+type ChainReceipts = HashMap<[u8; 32], Result<NodeId, DiscoveryReason>>;
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Hash length-prefixed parts into a cache key.
+fn cache_key(domain: &[u8], parts: &[&[u8]]) -> [u8; 32] {
+    let mut h = Sha256::new();
+    h.update(domain);
+    for part in parts {
+        h.update(&(part.len() as u64).to_be_bytes());
+        h.update(part);
+    }
+    h.finalize()
+}
+
+impl VerifyCache {
+    /// Fresh empty cache.
+    pub fn new() -> Self {
+        VerifyCache::default()
+    }
+
+    /// Evaluate `scheme.verify(pk, msg, sig)` through the cache.
+    pub fn verify_sig(
+        &self,
+        scheme: &dyn SignatureScheme,
+        pk: &PublicKey,
+        msg: &[u8],
+        sig: &Signature,
+    ) -> bool {
+        let key = cache_key(
+            b"fd-verify-sig-v1",
+            &[scheme.name().as_bytes(), &pk.0, msg, &sig.0],
+        );
+        if let Some(&cached) = lock(&self.sigs).get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return cached;
+        }
+        let result = scheme.verify(pk, msg, sig);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        lock(&self.sigs).insert(key, result);
+        result
+    }
+
+    /// Look up a whole-chain verification receipt.
+    pub(crate) fn chain_get(&self, key: &[u8; 32]) -> Option<Result<NodeId, DiscoveryReason>> {
+        let cached = lock(&self.chains).get(key).cloned();
+        match cached {
+            Some(receipt) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(receipt)
+            }
+            None => None,
+        }
+    }
+
+    /// Record a whole-chain verification receipt.
+    pub(crate) fn chain_put(&self, key: [u8; 32], receipt: Result<NodeId, DiscoveryReason>) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        lock(&self.chains).insert(key, receipt);
+    }
+
+    /// Build a whole-chain receipt key from length-prefixed parts.
+    pub(crate) fn chain_key(parts: &[&[u8]]) -> [u8; 32] {
+        cache_key(b"fd-verify-chain-v1", parts)
+    }
+
+    /// Cache hits so far (signature and chain level combined).
+    pub fn hits(&self) -> usize {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache misses (= underlying verifications actually executed).
+    pub fn misses(&self) -> usize {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
 /// The test predicates one node has accepted for its peers.
 ///
 /// This is the *output* of the key distribution protocol (paper Fig. 1) and
 /// the *input* to every authenticated protocol. Each node holds its own
-/// store; stores are never shared.
+/// store; stores are never shared — but the *allocations* behind their
+/// entries are (`Arc<PublicKey>`), so cloning a store is `O(n)` pointer
+/// bumps, not `O(n)` key copies.
 #[derive(Debug, Clone)]
 pub struct KeyStore {
     me: NodeId,
-    accepted: Vec<Option<PublicKey>>,
+    accepted: Vec<Option<Arc<PublicKey>>>,
+    accepted_count: usize,
+    cache: Option<VerifyCache>,
 }
 
 impl KeyStore {
@@ -52,17 +284,50 @@ impl KeyStore {
         KeyStore {
             me,
             accepted: vec![None; n],
+            accepted_count: 0,
+            cache: None,
         }
     }
 
     /// Build a *globally authentic* store from the true public keys — the
     /// trusted-dealer alternative the paper contrasts with (G1–G3 all hold
-    /// by construction). Used for baseline comparisons.
+    /// by construction). Used for baseline comparisons. Allocates fresh
+    /// keys; use [`KeyStore::global_shared`] to share a
+    /// [`PredicateTable`]'s allocations instead.
     pub fn global(me: NodeId, pks: &[PublicKey]) -> Self {
+        let accepted: Vec<_> = pks.iter().cloned().map(Arc::new).map(Some).collect();
         KeyStore {
             me,
-            accepted: pks.iter().cloned().map(Some).collect(),
+            accepted_count: accepted.len(),
+            accepted,
+            cache: None,
         }
+    }
+
+    /// Build a globally authentic store sharing already allocated keys —
+    /// `n` stores over one [`PredicateTable`] cost `O(n)` distinct
+    /// allocations total instead of `O(n²)`.
+    pub fn global_shared(me: NodeId, pks: &[Arc<PublicKey>]) -> Self {
+        let accepted: Vec<_> = pks.iter().map(Arc::clone).map(Some).collect();
+        KeyStore {
+            me,
+            accepted_count: accepted.len(),
+            accepted,
+            cache: None,
+        }
+    }
+
+    /// Attach a per-run verification cache ([`VerifyCache`] is a shared
+    /// handle; every store of one run gets a clone of the same cache).
+    #[must_use]
+    pub fn with_cache(mut self, cache: VerifyCache) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// The attached verification cache, if any.
+    pub fn cache(&self) -> Option<&VerifyCache> {
+        self.cache.as_ref()
     }
 
     /// Owner of this store.
@@ -80,28 +345,41 @@ impl KeyStore {
         self.accepted.is_empty()
     }
 
-    /// Record that `node`'s test predicate has been accepted.
+    /// Record that `node`'s test predicate has been accepted. Accepts both
+    /// owned keys and shared `Arc` handles (`impl Into<Arc<PublicKey>>`).
     ///
     /// # Panics
     ///
     /// Panics if `node` is out of range.
-    pub fn accept(&mut self, node: NodeId, pk: PublicKey) {
-        self.accepted[node.index()] = Some(pk);
+    pub fn accept(&mut self, node: NodeId, pk: impl Into<Arc<PublicKey>>) {
+        let slot = &mut self.accepted[node.index()];
+        if slot.is_none() {
+            self.accepted_count += 1;
+        }
+        *slot = Some(pk.into());
     }
 
     /// The accepted test predicate for `node`, if any.
     pub fn accepted(&self, node: NodeId) -> Option<&PublicKey> {
+        self.accepted.get(node.index()).and_then(|o| o.as_deref())
+    }
+
+    /// The accepted predicate of `node` as a shared handle, if any.
+    pub fn accepted_shared(&self, node: NodeId) -> Option<&Arc<PublicKey>> {
         self.accepted.get(node.index()).and_then(|o| o.as_ref())
     }
 
     /// How many peers (including possibly `me`) have accepted keys.
+    /// Maintained incrementally by [`KeyStore::accept`] — `O(1)`, not an
+    /// `O(n)` rescan.
     pub fn accepted_count(&self) -> usize {
-        self.accepted.iter().filter(|o| o.is_some()).count()
+        self.accepted_count
     }
 
     /// Definition 1 (*assignment*): does this node assign `{msg}` with
     /// signature `sig` to `node`? True iff a test predicate was accepted
-    /// for `node` and it passes.
+    /// for `node` and it passes. Routed through the per-run
+    /// [`VerifyCache`] when one is attached.
     pub fn assigns(
         &self,
         scheme: &dyn SignatureScheme,
@@ -110,7 +388,10 @@ impl KeyStore {
         sig: &Signature,
     ) -> bool {
         match self.accepted(node) {
-            Some(pk) => scheme.verify(pk, msg, sig),
+            Some(pk) => match &self.cache {
+                Some(cache) => cache.verify_sig(scheme, pk, msg, sig),
+                None => scheme.verify(pk, msg, sig),
+            },
             None => false,
         }
     }
@@ -191,5 +472,99 @@ mod tests {
         assert_eq!(store.accepted_count(), 4);
         assert_eq!(store.owner(), NodeId(2));
         assert_eq!(store.len(), 4);
+    }
+
+    #[test]
+    fn accepted_count_stays_correct_on_reaccept() {
+        let scheme = SchnorrScheme::test_tiny();
+        let ring = Keyring::generate(&scheme, NodeId(1), 7);
+        let mut store = KeyStore::new(3, NodeId(0));
+        assert_eq!(store.accepted_count(), 0);
+        store.accept(NodeId(1), ring.pk.clone());
+        store.accept(NodeId(1), ring.pk.clone()); // overwrite, not double-count
+        assert_eq!(store.accepted_count(), 1);
+        store.accept(NodeId(2), ring.pk.clone());
+        assert_eq!(store.accepted_count(), 2);
+        // The counter always matches a full rescan.
+        let rescan = (0..store.len())
+            .filter(|&i| store.accepted(NodeId(i as u16)).is_some())
+            .count();
+        assert_eq!(store.accepted_count(), rescan);
+    }
+
+    #[test]
+    fn global_shared_stores_share_allocations() {
+        let scheme = SchnorrScheme::test_tiny();
+        let table = PredicateTable::generate(&scheme, 4, 11);
+        let stores: Vec<KeyStore> = (0..4)
+            .map(|i| KeyStore::global_shared(NodeId(i as u16), table.keys()))
+            .collect();
+        // 4 stores × 4 keys, yet each allocation is shared: table + 4.
+        for node in NodeId::all(4) {
+            assert_eq!(table.ref_count(node), Some(5));
+        }
+        // Cloning a store bumps counts, never reallocates.
+        let _clone = stores[0].clone();
+        assert_eq!(table.ref_count(NodeId(0)), Some(6));
+        assert_eq!(table.distinct_allocations(), 4);
+    }
+
+    #[test]
+    fn intern_shares_only_matching_bytes() {
+        let scheme = SchnorrScheme::test_tiny();
+        let table = PredicateTable::generate(&scheme, 3, 5);
+        let canonical = table.entry(NodeId(1)).unwrap().0.clone();
+        let shared = table.intern(NodeId(1), canonical.clone());
+        assert!(Arc::ptr_eq(&shared, table.entry(NodeId(1)).unwrap()));
+        // Equivocated bytes get a private allocation holding exactly them.
+        let private = table.intern(NodeId(1), b"equivocated".to_vec());
+        assert_eq!(private.0, b"equivocated");
+        assert!(!Arc::ptr_eq(&private, table.entry(NodeId(1)).unwrap()));
+        // Out-of-range announcers never panic.
+        let stray = table.intern(NodeId(9), b"stray".to_vec());
+        assert_eq!(stray.0, b"stray");
+        assert_eq!(table.interned_count(), 1);
+        assert_eq!(table.fresh_count(), 2);
+        assert_eq!(table.distinct_allocations(), 5);
+    }
+
+    #[test]
+    fn verify_cache_memoizes_pure_predicate() {
+        let scheme = SchnorrScheme::test_tiny();
+        let ring = Keyring::generate(&scheme, NodeId(0), 3);
+        let sig = scheme.sign(&ring.sk, b"m").unwrap();
+        let cache = VerifyCache::new();
+        let mut store = KeyStore::new(2, NodeId(1)).with_cache(cache.clone());
+        store.accept(NodeId(0), ring.pk.clone());
+
+        assert!(store.assigns(&scheme, NodeId(0), b"m", &sig));
+        assert_eq!((cache.hits(), cache.misses()), (0, 1));
+        // Identical query: served from the cache, same answer.
+        assert!(store.assigns(&scheme, NodeId(0), b"m", &sig));
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        // A different message is a different entry — and still false.
+        assert!(!store.assigns(&scheme, NodeId(0), b"n", &sig));
+        assert!(!store.assigns(&scheme, NodeId(0), b"n", &sig));
+        assert_eq!((cache.hits(), cache.misses()), (2, 2));
+    }
+
+    #[test]
+    fn shared_cache_respects_store_disagreement() {
+        // G3: two stores hold different predicates for the same (faulty)
+        // node. A shared cache must still give each store its own answer.
+        let scheme = SchnorrScheme::test_tiny();
+        let (sk_a, pk_a) = scheme.keypair_from_seed(1001);
+        let (_, pk_b) = scheme.keypair_from_seed(1002);
+        let sig = scheme.sign(&sk_a, b"m").unwrap();
+        let cache = VerifyCache::new();
+        let mut store_a = KeyStore::new(2, NodeId(0)).with_cache(cache.clone());
+        store_a.accept(NodeId(1), pk_a);
+        let mut store_b = KeyStore::new(2, NodeId(0)).with_cache(cache.clone());
+        store_b.accept(NodeId(1), pk_b);
+        for _ in 0..2 {
+            assert!(store_a.assigns(&scheme, NodeId(1), b"m", &sig));
+            assert!(!store_b.assigns(&scheme, NodeId(1), b"m", &sig));
+        }
+        assert_eq!((cache.hits(), cache.misses()), (2, 2));
     }
 }

@@ -20,7 +20,7 @@
 //! a peer that misbehaves is simply never accepted into the local
 //! [`KeyStore`]. After the protocol, properties G1 and G2 hold (Theorem 2).
 
-use crate::keys::{KeyStore, Keyring};
+use crate::keys::{KeyStore, Keyring, PredicateTable};
 use fd_crypto::{PublicKey, Signature, SignatureScheme};
 use fd_simnet::codec::{CodecError, Decode, Encode, Reader, Writer};
 use fd_simnet::{Envelope, Node, NodeId, Outbox};
@@ -154,8 +154,12 @@ pub struct KeyDistNode {
     keyring: Keyring,
     /// Nonce source; deterministic per node per run.
     rng: fd_crypto::ChaChaDrbg,
-    /// Candidate predicate per peer (from announcements).
-    candidates: Vec<Option<PublicKey>>,
+    /// Shared predicate table for interning announcements (allocation
+    /// optimization only; `None` keeps every candidate private).
+    table: Option<Arc<PredicateTable>>,
+    /// Candidate predicate per peer (from announcements); shared handles
+    /// when the bytes matched the intern table.
+    candidates: Vec<Option<Arc<PublicKey>>>,
     /// Nonce issued to each peer.
     issued: Vec<Option<u64>>,
     store: KeyStore,
@@ -188,11 +192,33 @@ impl KeyDistNode {
             scheme,
             keyring,
             rng: fd_crypto::ChaChaDrbg::from_seed_material(&material),
+            table: None,
             candidates: vec![None; n],
             issued: vec![None; n],
             store,
             anomalies: Vec::new(),
             done: false,
+        }
+    }
+
+    /// Attach the cluster's shared [`PredicateTable`]: announced predicate
+    /// bytes that match the canonical key reuse its allocation (and the
+    /// node's own predicate entry joins the sharing), so an honest run
+    /// builds all `n` stores from `O(n)` distinct allocations. Announced
+    /// bytes are stored verbatim either way — behaviour is unchanged.
+    #[must_use]
+    pub fn with_intern_table(mut self, table: Arc<PredicateTable>) -> Self {
+        let own = table.intern(self.me, self.keyring.pk.0.clone());
+        self.store.accept(self.me, own);
+        self.table = Some(table);
+        self
+    }
+
+    /// Intern announced predicate bytes through the table, if attached.
+    fn intern(&self, node: NodeId, bytes: Vec<u8>) -> Arc<PublicKey> {
+        match &self.table {
+            Some(table) => table.intern(node, bytes),
+            None => Arc::new(PublicKey(bytes)),
         }
     }
 
@@ -235,7 +261,7 @@ impl Node for KeyDistNode {
                     pk: self.keyring.pk.0.clone(),
                 }
                 .encode_to_vec();
-                out.broadcast(self.n, self.me, &msg);
+                out.broadcast(self.n, self.me, msg);
             }
             // Round 1: record announcements, challenge each announcer.
             1 => {
@@ -247,13 +273,13 @@ impl Node for KeyDistNode {
                         self.anomalies.push(KdAnomaly::Protocol(env.from));
                         continue;
                     };
-                    let slot = &mut self.candidates[env.from.index()];
-                    if slot.is_some() {
+                    if self.candidates[env.from.index()].is_some() {
                         self.anomalies.push(KdAnomaly::DuplicateAnnounce(env.from));
                         // First announcement wins; later ones are ignored.
                         continue;
                     }
-                    *slot = Some(PublicKey(pk));
+                    let interned = self.intern(env.from, pk);
+                    self.candidates[env.from.index()] = Some(interned);
                     let nonce = self.rng.next_u64();
                     self.issued[env.from.index()] = Some(nonce);
                     out.send(

@@ -16,7 +16,7 @@
 //! behaviour the synchronous model cannot express.
 
 use crate::ba::Grade;
-use crate::keys::{KeyStore, Keyring};
+use crate::keys::{KeyStore, Keyring, PredicateTable};
 use crate::localauth::{KdAnomaly, KeyDistNode, KEYDIST_ROUNDS};
 use crate::outcome::Outcome;
 use fd_crypto::SignatureScheme;
@@ -75,10 +75,11 @@ impl NetworkDriver for SyncDriver {
             net.set_fault_plan(self.faults.clone());
         }
         let rounds = net.run_until_done(max_rounds);
+        let (nodes, stats) = net.finish();
         DriveReport {
-            stats: net.stats().clone(),
+            stats,
             rounds,
-            nodes: net.into_nodes(),
+            nodes,
             delay_log: None,
         }
     }
@@ -121,11 +122,12 @@ impl NetworkDriver for EventDriver {
             net.set_fault_plan(self.faults.clone());
         }
         let rounds = net.run_until_done(max_rounds);
+        let (nodes, stats, delay_log) = net.finish();
         DriveReport {
-            stats: net.stats().clone(),
+            stats,
             rounds,
-            delay_log: net.delay_log().map(<[(u32, u64)]>::to_vec),
-            nodes: net.into_nodes(),
+            delay_log,
+            nodes,
         }
     }
 }
@@ -166,6 +168,11 @@ pub struct KeyDistReport {
     pub stats: NetStats,
     /// Anomalies each honest node recorded.
     pub anomalies: Vec<(NodeId, Vec<KdAnomaly>)>,
+    /// The shared predicate table the stores intern against, when the run
+    /// used one (honest-case allocation profile: `O(n)` distinct keys —
+    /// see [`PredicateTable::distinct_allocations`]). `None` for
+    /// hand-assembled reports.
+    pub predicates: Option<Arc<PredicateTable>>,
 }
 
 impl KeyDistReport {
@@ -379,15 +386,40 @@ impl Cluster {
         Keyring::generate(self.scheme.as_ref(), id, self.seed)
     }
 
+    /// The cluster's shared predicate table: the true test predicate of
+    /// every node, allocated once (see [`PredicateTable`]).
+    pub fn predicate_table(&self) -> Arc<PredicateTable> {
+        Arc::new(PredicateTable::generate(
+            self.scheme.as_ref(),
+            self.n,
+            self.seed,
+        ))
+    }
+
     /// Trusted-dealer stores (global authentication baseline): every node
-    /// holds everyone's true predicate, zero messages spent.
+    /// holds everyone's true predicate, zero messages spent. All `n`
+    /// stores share one predicate table — `O(n)` distinct allocations.
     pub fn global_stores(&self) -> Vec<KeyStore> {
-        let pks: Vec<_> = (0..self.n)
-            .map(|i| self.keyring(NodeId(i as u16)).pk)
-            .collect();
+        let table = self.predicate_table();
         (0..self.n)
-            .map(|i| KeyStore::global(NodeId(i as u16), &pks))
+            .map(|i| KeyStore::global_shared(NodeId(i as u16), table.keys()))
             .collect()
+    }
+
+    /// A trusted-dealer key distribution report: shared global stores,
+    /// zero messages spent, the predicate table attached. The baseline
+    /// setup of the large-`n` benchmarks.
+    pub fn dealer_keydist(&self) -> KeyDistReport {
+        let table = self.predicate_table();
+        let stores = (0..self.n)
+            .map(|i| Some(KeyStore::global_shared(NodeId(i as u16), table.keys())))
+            .collect();
+        KeyDistReport {
+            stores,
+            stats: NetStats::new(self.n),
+            anomalies: Vec::new(),
+            predicates: Some(table),
+        }
     }
 
     /// Run the key distribution protocol with all nodes honest.
@@ -396,7 +428,20 @@ impl Cluster {
     }
 
     /// Run key distribution with selected nodes replaced by adversaries.
+    ///
+    /// Honest nodes intern announced predicates against one shared
+    /// [`PredicateTable`], so the honest case builds all stores from
+    /// `O(n)` distinct key allocations (the table is returned on the
+    /// report for allocation-profile assertions).
     pub fn run_key_distribution_with(&self, substitute: Substitution<'_>) -> KeyDistReport {
+        // One pass of key generation feeds both the honest keyrings and
+        // the shared table the stores intern against.
+        let rings: Vec<Keyring> = (0..self.n)
+            .map(|i| self.keyring(NodeId(i as u16)))
+            .collect();
+        let table = Arc::new(PredicateTable::from_keys(
+            rings.iter().map(|r| Arc::new(r.pk.clone())).collect(),
+        ));
         let mut honest = vec![false; self.n];
         let nodes: Vec<Box<dyn Node>> = (0..self.n)
             .map(|i| {
@@ -405,13 +450,16 @@ impl Cluster {
                     Some(adversary) => adversary,
                     None => {
                         honest[i] = true;
-                        Box::new(KeyDistNode::new(
-                            me,
-                            self.n,
-                            Arc::clone(&self.scheme),
-                            self.keyring(me),
-                            self.seed,
-                        ))
+                        Box::new(
+                            KeyDistNode::new(
+                                me,
+                                self.n,
+                                Arc::clone(&self.scheme),
+                                rings[i].clone(),
+                                self.seed,
+                            )
+                            .with_intern_table(Arc::clone(&table)),
+                        )
                     }
                 }
             })
@@ -437,6 +485,7 @@ impl Cluster {
             stores,
             stats,
             anomalies,
+            predicates: Some(table),
         }
     }
 }
@@ -508,6 +557,7 @@ mod tests {
             stores: c.global_stores().into_iter().map(Some).collect(),
             stats: NetStats::new(5),
             anomalies: Vec::new(),
+            predicates: None,
         };
         let mut session = Session::with_keydist(c, kd);
         let run = session.run(&spec(Protocol::ChainFd, b"x"));

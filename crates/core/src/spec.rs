@@ -302,6 +302,12 @@ impl Cluster {
         substitute: Substitution<'_>,
     ) -> FdRunReport {
         let keys = || keydist.expect("protocol needs a key distribution");
+        // One shared verification cache per run: every node's store routes
+        // signature and chain checks through it, so identical chains
+        // received by many nodes are verified once (see
+        // [`crate::keys::VerifyCache`] for why sharing across stores is
+        // sound even under G3 disagreement).
+        let cache = crate::keys::VerifyCache::new();
         match protocol {
             Protocol::ChainFd => {
                 let params = ChainFdParams::new(self.n, self.t);
@@ -313,7 +319,7 @@ impl Cluster {
                             me,
                             params.clone(),
                             Arc::clone(&self.scheme),
-                            keys.store(me).clone(),
+                            keys.store(me).clone().with_cache(cache.clone()),
                             self.keyring(me),
                             (me == params.sender).then(|| value.clone()),
                         ))
@@ -347,7 +353,7 @@ impl Cluster {
                             me,
                             params.clone(),
                             Arc::clone(&self.scheme),
-                            keys.store(me).clone(),
+                            keys.store(me).clone().with_cache(cache.clone()),
                             self.keyring(me),
                             (me == params.sender).then(|| value.clone()),
                         ))
@@ -366,7 +372,7 @@ impl Cluster {
                             me,
                             params.clone(),
                             Arc::clone(&self.scheme),
-                            keys.store(me).clone(),
+                            keys.store(me).clone().with_cache(cache.clone()),
                             self.keyring(me),
                             (me == params.sender).then(|| value.clone()),
                         ))
@@ -399,7 +405,7 @@ impl Cluster {
                         me,
                         params.clone(),
                         Arc::clone(&self.scheme),
-                        keys.store(me).clone(),
+                        keys.store(me).clone().with_cache(cache.clone()),
                         self.keyring(me),
                         (me == params.sender).then(|| value.clone()),
                     ))
@@ -438,7 +444,7 @@ impl Cluster {
                         me,
                         params.clone(),
                         Arc::clone(&self.scheme),
-                        keys.store(me).clone(),
+                        keys.store(me).clone().with_cache(cache.clone()),
                         self.keyring(me),
                         (me == params.sender).then(|| value.clone()),
                     ))

@@ -14,6 +14,11 @@
 //! the numbers are indicative. The value of keeping the benches compiling
 //! and runnable is that the workspace's timing experiments stay exercised
 //! end to end (CI builds them; `cargo bench` runs them).
+//!
+//! **Machine-readable results:** when the `CRITERION_JSON` environment
+//! variable names a file, every measurement is also appended to it as one
+//! JSON object per line (`{"label": …, "ns_per_iter": …, "iters": …}`),
+//! so bench runs can be archived and diffed without scraping stdout.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -119,6 +124,42 @@ fn report(label: &str, bencher: &Bencher) {
             bencher.iters
         ),
         None => println!("bench: {label:<40} (no measurement: Bencher::iter never called)"),
+    }
+    if let Ok(path) = std::env::var("CRITERION_JSON") {
+        if !path.is_empty() {
+            if let Err(e) = append_json_line(&path, label, bencher) {
+                eprintln!("criterion shim: cannot append to {path}: {e}");
+            }
+        }
+    }
+}
+
+/// Append one machine-readable result line (JSON object) to `path`.
+fn append_json_line(path: &str, label: &str, bencher: &Bencher) -> std::io::Result<()> {
+    use std::io::Write;
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    let escaped: String = label
+        .chars()
+        .flat_map(|c| match c {
+            '"' | '\\' => vec!['\\', c],
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect();
+    match bencher.elapsed_per_iter {
+        Some(per_iter) => writeln!(
+            file,
+            "{{\"label\": \"{escaped}\", \"ns_per_iter\": {}, \"iters\": {}}}",
+            per_iter.as_nanos(),
+            bencher.iters
+        ),
+        None => writeln!(
+            file,
+            "{{\"label\": \"{escaped}\", \"ns_per_iter\": null, \"iters\": 0}}"
+        ),
     }
 }
 
@@ -256,5 +297,23 @@ mod tests {
         b.iter(|| std::hint::black_box(17u64.wrapping_mul(31)));
         assert!(b.elapsed_per_iter.is_some());
         assert!(b.iters >= 1);
+    }
+
+    #[test]
+    fn json_line_is_machine_readable() {
+        let dir = std::env::temp_dir().join(format!("criterion-shim-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("out.jsonl");
+        let mut b = Bencher::new(2);
+        b.iter(|| 1 + 1);
+        append_json_line(path.to_str().unwrap(), "g/\"quoted\"", &b).unwrap();
+        append_json_line(path.to_str().unwrap(), "second", &Bencher::new(1)).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = content.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("{\"label\": \"g/\\\"quoted\\\"\""));
+        assert!(lines[0].contains("\"ns_per_iter\": "));
+        assert!(lines[1].contains("\"ns_per_iter\": null"));
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

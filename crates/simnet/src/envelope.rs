@@ -1,7 +1,7 @@
 //! Message envelopes.
 
 use crate::codec::{CodecError, Decode, Encode, Reader, Writer};
-use crate::NodeId;
+use crate::{NodeId, Payload};
 
 /// A message in flight.
 ///
@@ -9,6 +9,9 @@ use crate::NodeId;
 /// is exactly the paper's property **N2** ("a receiver of a message can
 /// identify its immediate sender"). Byzantine nodes control their payloads
 /// completely but cannot spoof `from`.
+///
+/// The payload is an [`Payload`] handle, so cloning an envelope (broadcast
+/// fan-out, `Duplicate` faults, rushing previews) never copies the bytes.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Envelope {
     /// Immediate sender (transport-authenticated, property N2).
@@ -18,8 +21,8 @@ pub struct Envelope {
     /// Round in which the message was sent; it is delivered to `to` at the
     /// start of round `round + 1`.
     pub round: u32,
-    /// Opaque protocol payload.
-    pub payload: Vec<u8>,
+    /// Opaque protocol payload (shared handle; see [`Payload`]).
+    pub payload: Payload,
 }
 
 impl Envelope {
@@ -44,7 +47,7 @@ impl Decode for Envelope {
             from: NodeId::decode(r)?,
             to: NodeId::decode(r)?,
             round: r.get_u32()?,
-            payload: r.get_bytes()?.to_vec(),
+            payload: Payload::from(r.get_bytes()?),
         })
     }
 }
@@ -59,7 +62,7 @@ mod tests {
             from: NodeId(1),
             to: NodeId(2),
             round: 9,
-            payload: vec![1, 2, 3],
+            payload: vec![1, 2, 3].into(),
         };
         let bytes = e.encode_to_vec();
         assert_eq!(Envelope::decode_exact(&bytes).unwrap(), e);
@@ -72,7 +75,7 @@ mod tests {
             from: NodeId(0),
             to: NodeId(0),
             round: 0,
-            payload: vec![],
+            payload: Payload::new(),
         };
         assert_eq!(Envelope::decode_exact(&e.encode_to_vec()).unwrap(), e);
     }

@@ -701,6 +701,14 @@ impl EventNetwork {
         self.nodes
     }
 
+    /// Consume the network, returning the automata, the statistics, and
+    /// the recorded delay log by move — the report path's alternative to
+    /// `stats().clone()` + `delay_log().to_vec()` + `into_nodes()`.
+    #[allow(clippy::type_complexity)]
+    pub fn finish(self) -> (Vec<Box<dyn Node>>, NetStats, Option<Vec<(u32, u64)>>) {
+        (self.nodes, self.stats, self.delay_log)
+    }
+
     /// `true` when every node reports [`Node::is_done`].
     pub fn all_done(&self) -> bool {
         self.nodes.iter().all(|n| n.is_done())
@@ -712,8 +720,10 @@ impl EventNetwork {
             Some(LinkFault::Drop) => {}
             Some(LinkFault::Corrupt { offset, mask }) => {
                 let mut env = env;
-                if let Some(b) = env.payload.get_mut(offset) {
-                    *b ^= mask;
+                // Copy-on-write: sibling deliveries sharing the buffer
+                // must not observe the corruption.
+                if offset < env.payload.len() {
+                    env.payload.make_mut()[offset] ^= mask;
                 }
                 self.pending[env.to.index()].push(env);
             }
@@ -870,10 +880,10 @@ mod tests {
         }
         fn on_round(&mut self, round: u32, inbox: &[Envelope], out: &mut Outbox) {
             if round == 0 {
-                out.broadcast(self.n, self.id, &[self.id.0 as u8]);
+                out.broadcast(self.n, self.id, [self.id.0 as u8]);
             }
             for env in inbox {
-                self.seen.push((round, env.from, env.payload.clone()));
+                self.seen.push((round, env.from, env.payload.to_vec()));
             }
         }
         fn is_done(&self) -> bool {
@@ -994,7 +1004,7 @@ mod tests {
             fn on_round(&mut self, round: u32, inbox: &[Envelope], out: &mut Outbox) {
                 // Broadcast in round 0 (before gst) and round 5 (after).
                 if round == 0 || round == 5 {
-                    out.broadcast(self.n, self.id, &[round as u8]);
+                    out.broadcast(self.n, self.id, [round as u8]);
                 }
                 for env in inbox {
                     self.seen.push((round, env.from));

@@ -68,6 +68,7 @@ pub mod fault;
 mod id;
 mod network;
 mod node;
+mod payload;
 mod stats;
 mod trace;
 pub mod transport;
@@ -77,5 +78,6 @@ pub use event::{DelayOverrides, Engine, EventNetwork, LatencyModel, LatencySpec,
 pub use id::NodeId;
 pub use network::SyncNetwork;
 pub use node::{Node, Outbox};
+pub use payload::Payload;
 pub use stats::NetStats;
 pub use trace::{Trace, TraceEvent};

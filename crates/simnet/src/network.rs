@@ -119,6 +119,13 @@ impl SyncNetwork {
         self.nodes
     }
 
+    /// Consume the network, returning the automata *and* the statistics by
+    /// move — the report path's alternative to `stats().clone()` +
+    /// `into_nodes()`.
+    pub fn finish(self) -> (Vec<Box<dyn Node>>, NetStats) {
+        (self.nodes, self.stats)
+    }
+
     /// `true` when every node reports [`Node::is_done`].
     pub fn all_done(&self) -> bool {
         self.nodes.iter().all(|n| n.is_done())
@@ -149,8 +156,10 @@ impl SyncNetwork {
                 Some(LinkFault::Drop) => continue,
                 Some(LinkFault::Corrupt { offset, mask }) => {
                     let mut env = env;
-                    if let Some(b) = env.payload.get_mut(offset) {
-                        *b ^= mask;
+                    // Copy-on-write: sibling deliveries sharing the buffer
+                    // must not observe the corruption.
+                    if offset < env.payload.len() {
+                        env.payload.make_mut()[offset] ^= mask;
                     }
                     inboxes[env.to.index()].push(env);
                 }
@@ -257,10 +266,10 @@ mod tests {
         }
         fn on_round(&mut self, round: u32, inbox: &[Envelope], out: &mut Outbox) {
             if round == 0 {
-                out.broadcast(self.n, self.id, &[self.id.0 as u8]);
+                out.broadcast(self.n, self.id, [self.id.0 as u8]);
             }
             for env in inbox {
-                self.seen.push((env.from, env.payload.clone()));
+                self.seen.push((env.from, env.payload.to_vec()));
             }
         }
         fn is_done(&self) -> bool {

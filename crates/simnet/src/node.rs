@@ -1,12 +1,12 @@
 //! The protocol automaton abstraction.
 
-use crate::{Envelope, NodeId};
+use crate::{Envelope, NodeId, Payload};
 use std::any::Any;
 
 /// Messages queued by a node during one round.
 #[derive(Debug, Default)]
 pub struct Outbox {
-    msgs: Vec<(NodeId, Vec<u8>)>,
+    msgs: Vec<(NodeId, Payload)>,
 }
 
 impl Outbox {
@@ -16,15 +16,21 @@ impl Outbox {
     }
 
     /// Queue `payload` for delivery to `to` at the start of the next round.
-    pub fn send(&mut self, to: NodeId, payload: Vec<u8>) {
-        self.msgs.push((to, payload));
+    pub fn send(&mut self, to: NodeId, payload: impl Into<Payload>) {
+        self.msgs.push((to, payload.into()));
     }
 
     /// Queue `payload` for every node of an `n`-node system except `me`.
-    pub fn broadcast(&mut self, n: usize, me: NodeId, payload: &[u8]) {
+    ///
+    /// The bytes are shared: one [`Payload`] buffer is created and every
+    /// recipient's queued message is a handle to it, so an `n`-way
+    /// broadcast costs one allocation instead of `n − 1` copies (pass an
+    /// owned `Vec<u8>` to avoid even the initial copy).
+    pub fn broadcast(&mut self, n: usize, me: NodeId, payload: impl Into<Payload>) {
+        let shared = payload.into();
         for peer in NodeId::all(n) {
             if peer != me {
-                self.send(peer, payload.to_vec());
+                self.msgs.push((peer, shared.clone()));
             }
         }
     }
@@ -40,7 +46,7 @@ impl Outbox {
     }
 
     /// Drain the queued messages (transport-internal).
-    pub fn into_messages(self) -> Vec<(NodeId, Vec<u8>)> {
+    pub fn into_messages(self) -> Vec<(NodeId, Payload)> {
         self.msgs
     }
 }

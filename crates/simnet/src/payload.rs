@@ -1,0 +1,335 @@
+//! Cheaply clonable message payloads.
+//!
+//! Every hop of a simulated message used to deep-copy its bytes: broadcast
+//! fan-out cloned the buffer per peer, `Duplicate`/rushing-preview branches
+//! cloned per delivery, and the report path cloned once more. [`Payload`]
+//! replaces `Vec<u8>` on [`crate::Envelope`] with an `Arc<[u8]>`-backed
+//! handle: cloning is a reference-count bump, and `Bytes`-style
+//! [`Payload::slice`] shares the underlying buffer instead of copying.
+//!
+//! Mutation (the `Corrupt` link fault) goes through [`Payload::make_mut`],
+//! which is copy-on-write: a uniquely owned buffer is flipped in place,
+//! a shared one is copied first so sibling deliveries of the same
+//! broadcast never observe the corruption.
+//!
+//! Equality, ordering, and hashing are all by visible bytes, so two
+//! payloads compare equal regardless of how their buffers are shared —
+//! sharing is invisible to protocol logic and to every determinism
+//! surface.
+
+use crate::codec::{CodecError, Decode, Encode, Reader, Writer};
+use core::fmt;
+use std::ops::{Bound, Deref, RangeBounds};
+use std::sync::Arc;
+
+/// An immutable, cheaply clonable byte payload (`Arc<[u8]>` plus a window).
+#[derive(Clone)]
+pub struct Payload {
+    buf: Arc<[u8]>,
+    off: usize,
+    len: usize,
+}
+
+impl Payload {
+    /// The empty payload.
+    pub fn new() -> Self {
+        Payload::from(&[][..])
+    }
+
+    /// The visible bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf[self.off..self.off + self.len]
+    }
+
+    /// Length of the visible window.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if the visible window is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// A sub-window sharing the same buffer (no copy), `Bytes`-style.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the current window.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Payload {
+        let start = match range.start_bound() {
+            Bound::Included(&s) => s,
+            Bound::Excluded(&s) => s + 1,
+            Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            Bound::Included(&e) => e + 1,
+            Bound::Excluded(&e) => e,
+            Bound::Unbounded => self.len,
+        };
+        assert!(
+            start <= end && end <= self.len,
+            "slice {start}..{end} out of bounds for payload of {} bytes",
+            self.len
+        );
+        Payload {
+            buf: Arc::clone(&self.buf),
+            off: self.off + start,
+            len: end - start,
+        }
+    }
+
+    /// Mutable access to the visible bytes, copy-on-write: a uniquely
+    /// owned whole-buffer payload is mutated in place, anything shared (or
+    /// windowed) is copied first so other handles keep the original bytes.
+    pub fn make_mut(&mut self) -> &mut [u8] {
+        let unique_whole =
+            self.off == 0 && self.len == self.buf.len() && Arc::get_mut(&mut self.buf).is_some();
+        if !unique_whole {
+            let copy: Arc<[u8]> = Arc::from(&self.buf[self.off..self.off + self.len]);
+            self.buf = copy;
+            self.off = 0;
+            self.len = self.buf.len();
+        }
+        Arc::get_mut(&mut self.buf).expect("uniquely owned after copy-on-write")
+    }
+
+    /// How many [`Payload`] handles share this buffer (diagnostics: the
+    /// allocation-sharing tests assert fan-out stays one buffer).
+    pub fn ref_count(&self) -> usize {
+        Arc::strong_count(&self.buf)
+    }
+
+    /// Whether two payloads share the same underlying buffer (regardless
+    /// of their windows).
+    pub fn shares_buffer_with(&self, other: &Payload) -> bool {
+        Arc::ptr_eq(&self.buf, &other.buf)
+    }
+}
+
+impl Default for Payload {
+    fn default() -> Self {
+        Payload::new()
+    }
+}
+
+impl Deref for Payload {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Payload {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl From<Vec<u8>> for Payload {
+    fn from(bytes: Vec<u8>) -> Self {
+        let len = bytes.len();
+        Payload {
+            buf: Arc::from(bytes),
+            off: 0,
+            len,
+        }
+    }
+}
+
+impl From<&[u8]> for Payload {
+    fn from(bytes: &[u8]) -> Self {
+        Payload {
+            buf: Arc::from(bytes),
+            off: 0,
+            len: bytes.len(),
+        }
+    }
+}
+
+impl From<&Vec<u8>> for Payload {
+    fn from(bytes: &Vec<u8>) -> Self {
+        Payload::from(bytes.as_slice())
+    }
+}
+
+impl<const N: usize> From<[u8; N]> for Payload {
+    fn from(bytes: [u8; N]) -> Self {
+        Payload::from(&bytes[..])
+    }
+}
+
+impl<const N: usize> From<&[u8; N]> for Payload {
+    fn from(bytes: &[u8; N]) -> Self {
+        Payload::from(&bytes[..])
+    }
+}
+
+impl FromIterator<u8> for Payload {
+    fn from_iter<I: IntoIterator<Item = u8>>(iter: I) -> Self {
+        Payload::from(iter.into_iter().collect::<Vec<u8>>())
+    }
+}
+
+impl PartialEq for Payload {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+impl Eq for Payload {}
+
+impl PartialEq<[u8]> for Payload {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+impl PartialEq<Vec<u8>> for Payload {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+impl PartialEq<Payload> for Vec<u8> {
+    fn eq(&self, other: &Payload) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+impl<const N: usize> PartialEq<[u8; N]> for Payload {
+    fn eq(&self, other: &[u8; N]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl PartialOrd for Payload {
+    fn partial_cmp(&self, other: &Self) -> Option<core::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Payload {
+    fn cmp(&self, other: &Self) -> core::cmp::Ordering {
+        self.as_slice().cmp(other.as_slice())
+    }
+}
+
+impl core::hash::Hash for Payload {
+    fn hash<H: core::hash::Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
+impl fmt::Debug for Payload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let head: String = self
+            .as_slice()
+            .iter()
+            .take(8)
+            .map(|b| format!("{b:02x}"))
+            .collect();
+        let ellipsis = if self.len > 8 { "…" } else { "" };
+        write!(f, "Payload({head}{ellipsis}[{}B])", self.len)
+    }
+}
+
+impl Encode for Payload {
+    fn encode(&self, w: &mut Writer) {
+        w.put_bytes(self.as_slice());
+    }
+}
+
+impl Decode for Payload {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(Payload::from(r.get_bytes()?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clone_shares_the_buffer() {
+        let p = Payload::from(vec![1, 2, 3, 4]);
+        let q = p.clone();
+        assert!(p.shares_buffer_with(&q));
+        assert_eq!(p.ref_count(), 2);
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn slice_shares_and_windows() {
+        let p = Payload::from(vec![0, 1, 2, 3, 4, 5]);
+        let mid = p.slice(2..5);
+        assert_eq!(mid.as_slice(), &[2, 3, 4]);
+        assert!(mid.shares_buffer_with(&p));
+        let tail = mid.slice(1..);
+        assert_eq!(tail.as_slice(), &[3, 4]);
+        assert_eq!(p.slice(..).as_slice(), p.as_slice());
+        assert!(p.slice(3..3).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn slice_out_of_bounds_panics() {
+        let _ = Payload::from(vec![1, 2]).slice(0..3);
+    }
+
+    #[test]
+    fn make_mut_in_place_when_unique() {
+        let mut p = Payload::from(vec![1, 2, 3]);
+        p.make_mut()[1] = 9;
+        assert_eq!(p.as_slice(), &[1, 9, 3]);
+    }
+
+    #[test]
+    fn make_mut_copies_when_shared() {
+        let mut p = Payload::from(vec![1, 2, 3]);
+        let q = p.clone();
+        p.make_mut()[0] = 7;
+        assert_eq!(p.as_slice(), &[7, 2, 3]);
+        assert_eq!(q.as_slice(), &[1, 2, 3], "sibling handle untouched");
+        assert!(!p.shares_buffer_with(&q));
+    }
+
+    #[test]
+    fn make_mut_narrows_windowed_payloads() {
+        let base = Payload::from(vec![0, 1, 2, 3]);
+        let mut window = base.slice(1..3);
+        window.make_mut()[0] = 9;
+        assert_eq!(window.as_slice(), &[9, 2]);
+        assert_eq!(base.as_slice(), &[0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn equality_is_by_bytes_not_identity() {
+        let a = Payload::from(vec![1, 2]);
+        let b = Payload::from(vec![1, 2]);
+        assert_eq!(a, b);
+        assert!(!a.shares_buffer_with(&b));
+        assert_eq!(a, vec![1, 2]);
+        assert_eq!(vec![1, 2], a);
+        assert_eq!(a, [1, 2]);
+        assert_eq!(a, [1u8, 2][..]);
+    }
+
+    #[test]
+    fn deref_gives_slice_methods() {
+        let p = Payload::from(vec![5, 6]);
+        assert_eq!(p.first(), Some(&5));
+        assert_eq!(p[1], 6);
+        assert_eq!(p.to_vec(), vec![5, 6]);
+    }
+
+    #[test]
+    fn codec_round_trip() {
+        let p = Payload::from(vec![1, 2, 3]);
+        let bytes = p.encode_to_vec();
+        assert_eq!(Payload::decode_exact(&bytes).unwrap(), p);
+        // Byte-compatible with the Vec<u8> encoding.
+        assert_eq!(bytes, vec![1u8, 2, 3].encode_to_vec());
+    }
+
+    #[test]
+    fn empty_default() {
+        assert!(Payload::default().is_empty());
+        assert_eq!(Payload::new().len(), 0);
+    }
+}

@@ -74,7 +74,7 @@ mod tests {
             from: NodeId(0),
             to: NodeId(1),
             round,
-            payload: vec![0xaa, 1],
+            payload: vec![0xaa, 1].into(),
         }
     }
 
@@ -97,7 +97,7 @@ mod tests {
             from: NodeId(0),
             to: NodeId(1),
             round: 0,
-            payload: vec![],
+            payload: vec![].into(),
         });
         assert_eq!(t.events()[0].tag, None);
         assert_eq!(t.events()[0].len, 0);

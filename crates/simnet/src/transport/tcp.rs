@@ -351,7 +351,7 @@ fn ingest(
             from: frame.from,
             to: NodeId(u16::MAX), // implicit: this node
             round: frame.round,
-            payload: frame.payload,
+            payload: frame.payload.into(),
         }),
         TAG_MARKER => *markers.entry(frame.round).or_default() += 1,
         other => {
@@ -379,7 +379,7 @@ mod tests {
         }
         fn on_round(&mut self, round: u32, inbox: &[Envelope], out: &mut Outbox) {
             if round == 0 {
-                out.broadcast(self.n, self.id, &[self.id.0 as u8]);
+                out.broadcast(self.n, self.id, [self.id.0 as u8]);
             }
             for env in inbox {
                 self.got += 1;

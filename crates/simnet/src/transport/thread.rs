@@ -7,7 +7,7 @@
 //! F3).
 
 use super::ClusterReport;
-use crate::{Envelope, NetStats, Node, NodeId, Outbox};
+use crate::{Envelope, NetStats, Node, NodeId, Outbox, Payload};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::thread;
 
@@ -18,7 +18,7 @@ enum RoundCmd {
 
 struct RoundResult {
     id: NodeId,
-    msgs: Vec<(NodeId, Vec<u8>)>,
+    msgs: Vec<(NodeId, Payload)>,
     done: bool,
 }
 
@@ -154,7 +154,7 @@ mod tests {
         }
         fn on_round(&mut self, round: u32, inbox: &[Envelope], out: &mut Outbox) {
             if round == 0 {
-                out.broadcast(self.n, self.id, &[7]);
+                out.broadcast(self.n, self.id, [7]);
             }
             self.got += inbox.len();
         }

@@ -1,9 +1,12 @@
 //! Property-based tests for the wire codec and envelope layer: round-trips
-//! over arbitrary data, and decoder robustness against arbitrary bytes
-//! (malformed input must error, never panic).
+//! over arbitrary data, decoder robustness against arbitrary bytes
+//! (malformed input must error, never panic), and the [`Payload`]
+//! sharing semantics (an `Arc`-backed payload must be observationally
+//! identical to the `Vec<u8>` it models, through any mix of clones,
+//! slices, and copy-on-write mutations).
 
 use fd_simnet::codec::{decode_seq, CodecError, Decode, Encode, Reader, Writer};
-use fd_simnet::{Envelope, NodeId};
+use fd_simnet::{Envelope, NodeId, Payload};
 use proptest::prelude::*;
 
 proptest! {
@@ -41,7 +44,7 @@ proptest! {
 
     #[test]
     fn envelopes_round_trip(from in any::<u16>(), to in any::<u16>(), round in any::<u32>(), payload in prop::collection::vec(any::<u8>(), 0..256)) {
-        let env = Envelope { from: NodeId(from), to: NodeId(to), round, payload };
+        let env = Envelope { from: NodeId(from), to: NodeId(to), round, payload: payload.into() };
         let bytes = env.encode_to_vec();
         prop_assert_eq!(env.wire_len(), bytes.len());
         prop_assert_eq!(Envelope::decode_exact(&bytes).unwrap(), env);
@@ -63,7 +66,7 @@ proptest! {
             from: NodeId(1),
             to: NodeId(2),
             round: 3,
-            payload: data,
+            payload: data.into(),
         };
         let bytes = env.encode_to_vec();
         let cut = cut % bytes.len(); // strictly shorter
@@ -73,7 +76,7 @@ proptest! {
 
     #[test]
     fn extension_always_detected(extra in prop::collection::vec(any::<u8>(), 1..32)) {
-        let env = Envelope { from: NodeId(0), to: NodeId(1), round: 0, payload: vec![9] };
+        let env = Envelope { from: NodeId(0), to: NodeId(1), round: 0, payload: vec![9].into() };
         let mut bytes = env.encode_to_vec();
         bytes.extend_from_slice(&extra);
         prop_assert_eq!(Envelope::decode_exact(&bytes), Err(CodecError::TrailingBytes));
@@ -85,8 +88,61 @@ proptest! {
         p2 in prop::collection::vec(any::<u8>(), 0..64),
     ) {
         // Distinct payloads encode to distinct bytes (signing depends on it).
-        let e1 = Envelope { from: NodeId(0), to: NodeId(1), round: 0, payload: p1.clone() };
-        let e2 = Envelope { from: NodeId(0), to: NodeId(1), round: 0, payload: p2.clone() };
+        let e1 = Envelope { from: NodeId(0), to: NodeId(1), round: 0, payload: p1.clone().into() };
+        let e2 = Envelope { from: NodeId(0), to: NodeId(1), round: 0, payload: p2.clone().into() };
         prop_assert_eq!(e1.encode_to_vec() == e2.encode_to_vec(), p1 == p2);
+    }
+
+    #[test]
+    fn payload_models_vec_through_clone_and_slice(
+        data in prop::collection::vec(any::<u8>(), 0..256),
+        a in any::<usize>(),
+        b in any::<usize>(),
+    ) {
+        // Model: plain Vec. Implementation: shared Arc-backed Payload.
+        let payload = Payload::from(data.clone());
+        prop_assert_eq!(&payload, &data);
+        prop_assert_eq!(payload.len(), data.len());
+        prop_assert_eq!(payload.encode_to_vec(), data.encode_to_vec());
+
+        // A clone shares the buffer but remains byte-identical.
+        let shared = payload.clone();
+        prop_assert!(shared.shares_buffer_with(&payload));
+        prop_assert_eq!(&shared, &payload);
+
+        // A slice window equals the model's slice, still sharing.
+        let (lo, hi) = {
+            let a = a % (data.len() + 1);
+            let b = b % (data.len() + 1);
+            (a.min(b), a.max(b))
+        };
+        let window = payload.slice(lo..hi);
+        prop_assert_eq!(window.as_slice(), &data[lo..hi]);
+        prop_assert!(window.is_empty() || window.shares_buffer_with(&payload));
+    }
+
+    #[test]
+    fn payload_copy_on_write_isolates_mutation(
+        data in prop::collection::vec(any::<u8>(), 1..128),
+        offset in any::<usize>(),
+        mask in 1..=u8::MAX,
+    ) {
+        let offset = offset % data.len();
+        let original = Payload::from(data.clone());
+        let mut mutated = original.clone();
+        mutated.make_mut()[offset] ^= mask;
+
+        // The mutated handle sees the flip; every other handle (and the
+        // model) is untouched — exactly the Corrupt-fault requirement.
+        let mut model = data.clone();
+        model[offset] ^= mask;
+        prop_assert_eq!(&mutated, &model);
+        prop_assert_eq!(&original, &data);
+        prop_assert!(!mutated.shares_buffer_with(&original));
+
+        // In-place mutation when uniquely owned is equivalent.
+        let mut unique = Payload::from(data.clone());
+        unique.make_mut()[offset] ^= mask;
+        prop_assert_eq!(unique, model);
     }
 }

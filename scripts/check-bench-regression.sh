@@ -1,0 +1,84 @@
+#!/usr/bin/env bash
+# Compare a fresh `lafd bench` run against the committed baseline
+# (BENCH_5.json).
+#
+# Usage: check-bench-regression.sh CURRENT.json [BASELINE.json]
+#
+# Cells are matched by (protocol, n, engine); cells present in only one
+# file are ignored (a --quick run checks only the sizes it ran). Two kinds
+# of checks:
+#
+#   * deterministic counters (messages, bytes, comm_rounds, key_allocs)
+#     must match the baseline EXACTLY — they are byte-deterministic, any
+#     drift is a real behaviour change;
+#   * wall_us may drift within ±BENCH_WALL_TOLERANCE_PCT percent
+#     (default 20). Wall time is hardware-dependent, so CI may want a
+#     looser bound than a like-for-like local rerun.
+set -euo pipefail
+
+current="${1:?usage: check-bench-regression.sh CURRENT.json [BASELINE.json]}"
+baseline="${2:-BENCH_5.json}"
+tolerance="${BENCH_WALL_TOLERANCE_PCT:-20}"
+
+for f in "$current" "$baseline"; do
+    [[ -f "$f" ]] || { echo "error: $f not found" >&2; exit 2; }
+done
+
+# Flatten result lines to: protocol n engine wall_us messages bytes comm_rounds key_allocs
+flatten() {
+    grep -o '{"protocol":[^}]*}' "$1" | sed 's/[",]/ /g' | awk '
+        {
+            for (i = 1; i <= NF; i++) {
+                if ($i == "protocol")    proto = $(i+2);
+                if ($i == "n")           n = $(i+2);
+                if ($i == "engine")      engine = $(i+2);
+                if ($i == "wall_us")     wall = $(i+2);
+                if ($i == "messages")    msgs = $(i+2);
+                if ($i == "bytes")       bytes = $(i+2);
+                if ($i == "comm_rounds") rounds = $(i+2);
+                if ($i == "key_allocs")  allocs = $(i+2);
+            }
+            print proto, n, engine, wall, msgs, bytes, rounds, allocs;
+        }'
+}
+
+fail=0
+compared=0
+skipped=0
+while read -r proto n engine wall msgs bytes rounds allocs; do
+    base_line=$(flatten "$baseline" | awk -v p="$proto" -v n="$n" -v e="$engine" \
+        '$1 == p && $2 == n && $3 == e { print; exit }')
+    if [[ -z "$base_line" ]]; then
+        echo "skip $proto n=$n $engine: no baseline counterpart" >&2
+        skipped=$((skipped + 1))
+        continue
+    fi
+    compared=$((compared + 1))
+    read -r _ _ _ bwall bmsgs bbytes brounds ballocs <<<"$base_line"
+    for pair in "messages:$msgs:$bmsgs" "bytes:$bytes:$bbytes" \
+                "comm_rounds:$rounds:$brounds" "key_allocs:$allocs:$ballocs"; do
+        IFS=: read -r field cur base <<<"$pair"
+        if [[ "$cur" != "$base" ]]; then
+            echo "FAIL $proto n=$n $engine: $field $cur != baseline $base" >&2
+            fail=1
+        fi
+    done
+    # Wall time within ±tolerance% (integer arithmetic; baseline 0 is skipped).
+    if [[ "$bwall" -gt 0 ]]; then
+        lo=$((bwall * (100 - tolerance) / 100))
+        hi=$((bwall * (100 + tolerance) / 100))
+        if [[ "$wall" -lt "$lo" || "$wall" -gt "$hi" ]]; then
+            echo "FAIL $proto n=$n $engine: wall_us $wall outside ±$tolerance% of baseline $bwall" >&2
+            fail=1
+        else
+            echo "ok   $proto n=$n $engine: wall_us $wall vs $bwall (±$tolerance%)"
+        fi
+    fi
+done < <(flatten "$current")
+
+if [[ "$compared" -eq 0 ]]; then
+    echo "error: no comparable cells between $current and $baseline" >&2
+    exit 2
+fi
+echo "bench regression check: $compared cells compared against $baseline ($skipped skipped)"
+exit "$fail"

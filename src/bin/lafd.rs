@@ -25,6 +25,8 @@
 //!               [--engines sync,event] [--latencies sync,jitter:1,psync:2:1]
 //!               [--link-latency FROM:TO:MODEL[:ARG]] [--search N[:STRATEGY]]
 //!               [--threads N] [--json PATH] [--md PATH]
+//! lafd bench    [--quick] [--out BENCH_5.json] [--sizes 256,1024,2048,4096]
+//!               [--t 1] [--seed 1] [--protocols chain,ds] [--engines sync,event]
 //! ```
 
 use local_auth_fd::core::adversary::AdversarySpec;
@@ -116,7 +118,7 @@ fn scheme_by_name(name: &str) -> Result<Arc<dyn SignatureScheme>, String> {
 
 fn usage() {
     eprintln!(
-        "usage: lafd <keydist|fd|run|search|vector|ba|degrade|king|rotate|tcp|trace|sweep> [--n N] \
+        "usage: lafd <keydist|fd|run|search|bench|vector|ba|degrade|king|rotate|tcp|trace|sweep> [--n N] \
          [--t T] [--seed S] [--scheme tiny|s512|s1024|s2048|dsa512|dsa1024|rsa512|rsa1024] \
          [--value V] [--runs K] [--crash I] [--equivocate]\n\
          run: lafd run <chain|nonauth|small|ba|degrade|ds|king> [-n N] [--t T] \
@@ -131,7 +133,9 @@ fn usage() {
          sweep flags: [--protocols all|LIST] [--sizes LIST] [--faults auto|LIST] \
          [--adversaries LIST] [--schemes LIST] [--seeds LIST] [--engines LIST] \
          [--latencies LIST] [--link-latency SPEC] [--search N[:STRATEGY]] \
-         [--threads N] [--json PATH] [--md PATH]"
+         [--threads N] [--json PATH] [--md PATH]\n\
+         bench: lafd bench [--quick] [--out PATH] [--sizes LIST] [--t T] [--seed S] \
+         [--protocols chain,ds] [--engines sync,event]"
     );
 }
 
@@ -153,6 +157,10 @@ fn main() -> ExitCode {
     if cmd == "search" {
         // And `search` (budget/strategy flags).
         return cmd_search(rest);
+    }
+    if cmd == "bench" {
+        // And `bench` (size/output flags).
+        return cmd_bench(rest);
     }
     let opts = match parse(rest) {
         Ok(o) => o,
@@ -1155,6 +1163,176 @@ fn cmd_sweep(args: &[String]) -> ExitCode {
         );
         ExitCode::FAILURE
     }
+}
+
+/// Configuration of one `lafd bench` invocation.
+struct BenchOpts {
+    sizes: Vec<usize>,
+    t: usize,
+    seed: u64,
+    protocols: Vec<Protocol>,
+    engines: Vec<Engine>,
+    quick: bool,
+    out: String,
+}
+
+fn parse_bench(args: &[String]) -> Result<BenchOpts, String> {
+    let mut opts = BenchOpts {
+        sizes: vec![256, 1024, 2048, 4096],
+        t: 1,
+        seed: 1,
+        protocols: vec![Protocol::ChainFd, Protocol::DolevStrong],
+        engines: vec![Engine::Sync, Engine::Event],
+        quick: false,
+        out: "BENCH_5.json".to_string(),
+    };
+    let mut sizes_given = false;
+    let mut out_given = false;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut grab = || {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("flag {flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--quick" => opts.quick = true,
+            "--out" => {
+                opts.out = grab()?;
+                out_given = true;
+            }
+            "--t" => opts.t = grab()?.parse().map_err(|e| format!("--t: {e}"))?,
+            "--seed" => opts.seed = grab()?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--sizes" => {
+                opts.sizes = parse_list(&grab()?, "sizes", |s| {
+                    let n: usize = s.parse().map_err(|e| format!("--sizes: {e}"))?;
+                    if n > u16::MAX as usize {
+                        return Err(format!("--sizes: {n} exceeds the node-id range"));
+                    }
+                    Ok(n)
+                })?;
+                sizes_given = true;
+            }
+            "--protocols" => {
+                opts.protocols = parse_list(&grab()?, "protocols", Protocol::parse)?;
+            }
+            "--engines" => opts.engines = parse_list(&grab()?, "engines", Engine::parse)?,
+            other => return Err(format!("unknown bench flag {other}")),
+        }
+    }
+    if opts.quick && !sizes_given {
+        opts.sizes = vec![64, 256];
+    }
+    // A quick run must not silently replace the committed full-matrix
+    // baseline; it gets its own default output file.
+    if opts.quick && !out_given {
+        opts.out = "bench-quick.json".to_string();
+    }
+    for &n in &opts.sizes {
+        if opts.t + 2 > n {
+            return Err(format!("bench size {n} needs t + 2 <= n (t = {})", opts.t));
+        }
+        for &p in &opts.protocols {
+            if !p.admissible(n, opts.t) {
+                return Err(format!(
+                    "protocol {p} inadmissible at n = {n}, t = {}",
+                    opts.t
+                ));
+            }
+        }
+    }
+    Ok(opts)
+}
+
+/// The `lafd bench` matrix: `{protocol} × {n} × {engine}` protocol runs on
+/// trusted-dealer stores (the setup phase is excluded so the numbers
+/// isolate the message/verification hot path), with wall time, message and
+/// byte counts, and the distinct key-store allocation count recorded as
+/// machine-readable JSON (the committed `BENCH_5.json` baseline).
+fn cmd_bench(args: &[String]) -> ExitCode {
+    let opts = match parse_bench(args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            usage();
+            return ExitCode::FAILURE;
+        }
+    };
+    // Process warm-up (allocator, page cache, lazy statics) so the first
+    // measured cell is not systematically inflated.
+    {
+        let warm = Cluster::new(64, 1, Arc::new(SchnorrScheme::test_tiny()), opts.seed);
+        let kd = warm.dealer_keydist();
+        let mut session = Session::with_keydist(warm, kd);
+        let _ = session.run(&RunSpec::new(Protocol::ChainFd, b"warm-up".to_vec()));
+    }
+    let mut results = Vec::new();
+    for &protocol in &opts.protocols {
+        for &n in &opts.sizes {
+            for &engine in &opts.engines {
+                let cluster =
+                    Cluster::new(n, opts.t, Arc::new(SchnorrScheme::test_tiny()), opts.seed)
+                        .with_engine(engine);
+                // Dealer stores: one shared predicate table, zero setup
+                // messages — the run isolates the protocol hot path.
+                let kd = cluster.dealer_keydist();
+                let key_allocs = kd
+                    .predicates
+                    .as_ref()
+                    .map_or(0, |table| table.distinct_allocations());
+                let mut session = Session::with_keydist(cluster, kd);
+                let spec = RunSpec::new(protocol, b"bench-value".to_vec())
+                    .with_default_value(b"bench-default".to_vec());
+                let start = std::time::Instant::now();
+                let run = session.run(&spec);
+                let wall = start.elapsed();
+                if !run.all_decided(b"bench-value") {
+                    eprintln!(
+                        "error: bench cell {protocol}/n={n}/{engine} did not decide the value"
+                    );
+                    return ExitCode::FAILURE;
+                }
+                let expected = protocol.expected_messages(n, opts.t);
+                if run.stats.messages_total != expected {
+                    eprintln!(
+                        "error: bench cell {protocol}/n={n}/{engine} sent {} messages, formula says {expected}",
+                        run.stats.messages_total
+                    );
+                    return ExitCode::FAILURE;
+                }
+                eprintln!(
+                    "bench: {protocol:>12} n={n:<5} {engine:<5} {:>10.2?}  {} msgs, {} bytes, {key_allocs} key allocs",
+                    wall, run.stats.messages_total, run.stats.bytes_total
+                );
+                results.push(format!(
+                    "    {{\"protocol\": \"{}\", \"n\": {}, \"t\": {}, \"engine\": \"{}\", \
+                     \"scheme\": \"tiny\", \"wall_us\": {}, \"messages\": {}, \"bytes\": {}, \
+                     \"comm_rounds\": {}, \"key_allocs\": {}}}",
+                    protocol.name(),
+                    n,
+                    opts.t,
+                    engine.name(),
+                    wall.as_micros(),
+                    run.stats.messages_total,
+                    run.stats.bytes_total,
+                    run.stats.per_round.iter().filter(|&&x| x > 0).count(),
+                    key_allocs,
+                ));
+            }
+        }
+    }
+    let json = format!(
+        "{{\n  \"schema\": \"lafd-bench-v1\",\n  \"quick\": {},\n  \"seed\": {},\n  \"results\": [\n{}\n  ]\n}}\n",
+        opts.quick,
+        opts.seed,
+        results.join(",\n")
+    );
+    if let Err(e) = std::fs::write(&opts.out, &json) {
+        eprintln!("error: writing {}: {e}", opts.out);
+        return ExitCode::FAILURE;
+    }
+    eprintln!("bench: {} cells written to {}", results.len(), opts.out);
+    ExitCode::SUCCESS
 }
 
 fn print_trace(trace: &local_auth_fd::simnet::Trace) {

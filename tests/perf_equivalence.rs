@@ -1,0 +1,170 @@
+//! Tier-1 guards for the hot-path allocation work: sharing key material
+//! and payload buffers is an *allocation* optimization, never a semantic
+//! one.
+//!
+//! * Arc-backed payloads + shared predicate tables + the per-run verify
+//!   cache must produce byte-identical [`FdRunReport::to_json`] across
+//!   ≥ 20 `(protocol × adversary × engine)` cells, compared against a
+//!   deliberately unshared reference execution (every store entry
+//!   deep-copied into a fresh allocation).
+//! * Sweep reports stay byte-deterministic across repeats and thread
+//!   counts on both engines.
+//! * The large-`n` key-store memory profile is `O(n)` distinct key
+//!   allocations (the ROADMAP item this PR closes), asserted by counting
+//!   shared-table reference counts at n = 2048.
+
+use local_auth_fd::core::adversary::{AdversaryKind, AdversarySpec};
+use local_auth_fd::core::keys::KeyStore;
+use local_auth_fd::core::runner::{Cluster, KeyDistReport};
+use local_auth_fd::core::spec::{Protocol, RunSpec, Session};
+use local_auth_fd::core::sweep::{run_sweep, SweepMatrix};
+use local_auth_fd::crypto::{PublicKey, SchnorrScheme};
+use local_auth_fd::simnet::{Engine, NodeId};
+use std::sync::Arc;
+
+fn cluster(n: usize, t: usize, engine: Engine) -> Cluster {
+    Cluster::new(n, t, Arc::new(SchnorrScheme::test_tiny()), 77).with_engine(engine)
+}
+
+/// Rebuild a key distribution report with every accepted predicate
+/// deep-copied into a fresh private allocation and the predicate table
+/// dropped — the "seed behaviour" reference with zero sharing.
+fn unshared(kd: &KeyDistReport, n: usize) -> KeyDistReport {
+    let stores = kd
+        .stores
+        .iter()
+        .map(|slot| {
+            slot.as_ref().map(|store| {
+                let mut fresh = KeyStore::new(n, store.owner());
+                for i in 0..n {
+                    let node = NodeId(i as u16);
+                    if let Some(pk) = store.accepted(node) {
+                        fresh.accept(node, PublicKey(pk.0.clone()));
+                    }
+                }
+                fresh
+            })
+        })
+        .collect();
+    KeyDistReport {
+        stores,
+        stats: kd.stats.clone(),
+        anomalies: kd.anomalies.clone(),
+        predicates: None,
+    }
+}
+
+#[test]
+fn shared_and_unshared_key_material_agree_across_cells() {
+    let (n, t) = (7usize, 2usize);
+    let keyed = [
+        Protocol::ChainFd,
+        Protocol::SmallRange,
+        Protocol::DolevStrong,
+        Protocol::Degradable,
+        Protocol::FdToBa,
+    ];
+    let mut cells = 0;
+    for engine in [Engine::Sync, Engine::Event] {
+        for protocol in keyed {
+            for kind in AdversaryKind::ALL {
+                if !kind.applies_to(protocol) {
+                    continue;
+                }
+                let spec = RunSpec::new(protocol, b"perf-eq".to_vec())
+                    .with_default_value(b"perf-default".to_vec())
+                    .with_adversary(AdversarySpec::scripted(kind));
+                let c = cluster(n, t, engine);
+                let kd = c.setup_keydist();
+                let shared_json = c.run_with_keys(&spec, Some(&kd)).to_json();
+                let unshared_kd = unshared(&kd, n);
+                let unshared_json = c.run_with_keys(&spec, Some(&unshared_kd)).to_json();
+                assert_eq!(
+                    shared_json,
+                    unshared_json,
+                    "{protocol} × {} × {engine}: sharing changed behaviour",
+                    kind.name()
+                );
+                cells += 1;
+            }
+        }
+    }
+    assert!(cells >= 20, "only {cells} cells exercised");
+}
+
+#[test]
+fn key_free_protocols_unaffected_by_key_sharing_machinery() {
+    for engine in [Engine::Sync, Engine::Event] {
+        for protocol in [Protocol::NonAuthFd, Protocol::PhaseKing] {
+            let spec = RunSpec::new(protocol, b"perf-eq".to_vec())
+                .with_default_value(b"perf-default".to_vec());
+            let a = cluster(9, 2, engine).run(&spec).to_json();
+            let b = cluster(9, 2, engine).run(&spec).to_json();
+            assert_eq!(a, b, "{protocol} × {engine}");
+        }
+    }
+}
+
+#[test]
+fn sweep_reports_stay_byte_deterministic_on_both_engines() {
+    let matrix = SweepMatrix {
+        engines: vec![Engine::Sync, Engine::Event],
+        sizes: vec![4, 6],
+        ..SweepMatrix::quick()
+    };
+    let first = run_sweep(&matrix, 1);
+    let second = run_sweep(&matrix, 8);
+    assert_eq!(first.to_json(), second.to_json());
+    assert_eq!(first.to_markdown(), second.to_markdown());
+    assert!(first.all_ok(), "failures: {:?}", first.failures());
+    // Event rows under synchronous latency cross-validate against the
+    // sync engine inside the sweep itself; all must have matched.
+    assert!(first.rows.iter().all(|r| r.cross_ok));
+}
+
+#[test]
+fn keydist_interns_announcements_into_one_shared_table() {
+    // The full Fig. 1 protocol: every store's accepted predicates must be
+    // handles into the run's shared table — zero private allocations in
+    // the honest case.
+    let n = 96;
+    let kd = cluster(n, 2, Engine::Sync).run_key_distribution();
+    let table = kd.predicates.as_ref().expect("keydist attaches its table");
+    assert_eq!(table.fresh_count(), 0, "honest announcements all interned");
+    assert_eq!(table.distinct_allocations(), n);
+    // Every node interns n predicates (n − 1 announcements + its own).
+    assert_eq!(table.interned_count(), n * n);
+    for node in NodeId::all(n) {
+        // n stores hold the entry, plus the table's own handle.
+        assert_eq!(table.ref_count(node), Some(n + 1), "{node}");
+    }
+    for store in kd.stores.iter().flatten() {
+        assert_eq!(store.accepted_count(), n);
+    }
+}
+
+#[test]
+fn n2048_key_stores_are_built_from_linear_distinct_allocations() {
+    // The ROADMAP "large-n memory profile" item: at n = 2048 the per-node
+    // stores used to hold O(n²) independently allocated keys. With the
+    // shared predicate table, 2048 stores × 2048 entries are all handles
+    // onto 2048 distinct allocations.
+    let n = 2048;
+    let c = cluster(n, 1, Engine::Sync);
+    let kd = c.dealer_keydist();
+    let table = kd.predicates.as_ref().expect("dealer keydist shares");
+    assert_eq!(table.distinct_allocations(), n);
+    for node in NodeId::all(n) {
+        assert_eq!(table.ref_count(node), Some(n + 1), "{node}");
+    }
+    // A protocol run clones every store once more (n more handles per
+    // key), still without allocating any new key material.
+    let mut session = Session::with_keydist(c, kd);
+    let run = session.run(&RunSpec::new(Protocol::ChainFd, b"large-n".to_vec()));
+    assert!(run.all_decided(b"large-n"));
+    let table = session
+        .keydist_report()
+        .and_then(|kd| kd.predicates.clone())
+        .expect("table survives the session");
+    assert_eq!(table.distinct_allocations(), n, "runs allocate no keys");
+}
