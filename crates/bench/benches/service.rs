@@ -1,0 +1,74 @@
+//! Service-layer throughput: the paper's amortization argument at the
+//! `lafd serve` boundary. A pooled-session service should amortize one
+//! keydist across a request stream (warm path ~ the `n − 1`-message run
+//! alone), while the no-pool baseline pays `3n(n−1)` keydist messages per
+//! request. The wire codec overhead is measured separately so the gap is
+//! attributable.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fd_core::service::{FdService, ServiceConfig};
+use fd_core::spec::{Protocol, SpecBuilder};
+use fd_core::wire;
+
+fn request_line(n: usize, k: u8) -> String {
+    wire::request_to_json(
+        &SpecBuilder::new(Protocol::ChainFd, n)
+            .with_seed(7)
+            .with_input(vec![k]),
+        Some("bench"),
+    )
+    .unwrap()
+}
+
+fn bench_service(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serve");
+    group.sample_size(10);
+    for n in [4usize, 7, 10] {
+        // Warm pooled path: the session holds the keydist, every request
+        // pays only the run itself plus the wire codec.
+        let service = FdService::start(ServiceConfig::default());
+        let line = request_line(n, 1);
+        service.submit_line(&line); // pre-warm the session slot
+        group.bench_with_input(BenchmarkId::new("pooled_warm", n), &n, |b, _| {
+            b.iter(|| service.submit_line(&line));
+        });
+        // Cold baseline: a direct one-shot `Cluster::run`, which pays the
+        // full `3n(n−1)`-message keydist every time.
+        let builder = SpecBuilder::new(Protocol::ChainFd, n)
+            .with_seed(7)
+            .with_input(vec![1]);
+        group.bench_with_input(BenchmarkId::new("oneshot_cold", n), &n, |b, _| {
+            b.iter(|| {
+                let (cluster, spec) = builder.build().unwrap();
+                cluster.run(&spec).stats.messages_total
+            });
+        });
+        service.shutdown();
+    }
+    group.finish();
+
+    // The wire codec alone (parse request + render report), so the serve
+    // numbers above can be decomposed into codec + execution.
+    let mut group = c.benchmark_group("wire_codec");
+    let line = request_line(7, 1);
+    group.bench_function("request_from_json", |b| {
+        b.iter(|| wire::request_from_json(&line).unwrap());
+    });
+    let (cluster, spec) = SpecBuilder::new(Protocol::ChainFd, 7)
+        .with_seed(7)
+        .with_input(vec![1])
+        .build()
+        .unwrap();
+    let report = cluster.run(&spec);
+    let report_json = wire::report_to_json(&report);
+    group.bench_function("report_to_json", |b| {
+        b.iter(|| wire::report_to_json(&report));
+    });
+    group.bench_function("report_from_json", |b| {
+        b.iter(|| wire::report_from_json(&report_json).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_service);
+criterion_main!(benches);

@@ -19,12 +19,16 @@
 //! | `c.run_degradable(&kd, v, d)` | `Cluster::run` + [`FdRunReport::grades`](crate::runner::FdRunReport::grades) |
 //! | `c.run_phase_king(v, d)` | `RunSpec::new(Protocol::PhaseKing, v).with_default_value(d)` |
 //! | `c.run_non_auth_fd(v)` | `RunSpec::new(Protocol::NonAuthFd, v)` |
+//! | `c.run_vector_fd(&kd, vs)` | [`Cluster::run_vector`] |
 //! | `sweep::run_keydist_for(&c, p)` | [`Cluster::keydist_for`] / `Session` |
 //! | `sweep::run_protocol_with(…)` | [`Cluster::run_with_keys`] |
 //! | `EpochManager::run_chain_fd(v)` | [`EpochManager::run_round`](crate::epoch::EpochManager::run_round) |
 //!
-//! This module is the **only** place per-protocol `run_*` variants are
-//! allowed to exist — CI greps for strays elsewhere.
+//! The whole module is gated behind the off-by-default `compat` cargo
+//! feature: build with `--features compat` to keep compiling old callers,
+//! and migrate at your leisure. This module is the **only** place
+//! per-protocol `run_*` variants are allowed to exist — CI greps for
+//! strays elsewhere.
 
 #![allow(deprecated)]
 
@@ -33,8 +37,6 @@ use crate::epoch::EpochManager;
 use crate::outcome::Outcome;
 use crate::runner::{Cluster, FdRunReport, KeyDistReport, Substitution};
 use crate::spec::Protocol;
-use fd_simnet::{Node, NodeId};
-use std::sync::Arc;
 
 impl Cluster {
     /// Run the chain FD protocol (paper Fig. 2), all nodes honest.
@@ -256,82 +258,15 @@ impl Cluster {
         )
     }
 
-    /// Run interactive consistency (`n` parallel chain-FD instances; see
-    /// [`crate::fd::VectorFdNode`]). `values[i]` is node `i`'s input.
-    ///
-    /// Vector FD takes one input *per node* rather than a single sender
-    /// value, so it stays outside the [`RunSpec`](crate::spec::RunSpec) surface; this is its
-    /// (non-deprecated) home.
-    ///
-    /// Returns per-node *vector* outcomes flattened into an
-    /// [`FdRunReport`]-like structure: `outcomes[i]` is `Some(Decided(v))`
-    /// only if node `i` decided the *full* vector; the detailed
-    /// per-instance outcomes are in the second component.
-    ///
-    /// # Panics
-    ///
-    /// Panics unless `values.len() == n`.
+    /// Run interactive consistency — the old name of
+    /// [`Cluster::run_vector`].
+    #[deprecated(since = "0.3.0", note = "use Cluster::run_vector")]
     pub fn run_vector_fd(
         &self,
         keydist: &KeyDistReport,
         values: &[Vec<u8>],
     ) -> (FdRunReport, Vec<Vec<Outcome>>) {
-        assert_eq!(values.len(), self.n, "one input value per node");
-        let params = crate::fd::VectorFdParams::new(self.n, self.t);
-        let rounds = params.rounds();
-        let nodes: Vec<Box<dyn Node>> = (0..self.n)
-            .map(|i| {
-                let me = NodeId(i as u16);
-                Box::new(crate::fd::VectorFdNode::new(
-                    me,
-                    params.clone(),
-                    Arc::clone(&self.scheme),
-                    keydist.store(me).clone(),
-                    self.keyring(me),
-                    values[i].clone(),
-                )) as Box<dyn Node>
-            })
-            .collect();
-        let report = self.drive(nodes, rounds);
-        let stats = report.stats;
-        let delay_log = report.delay_log;
-        let mut outcomes = Vec::with_capacity(self.n);
-        let mut per_instance = Vec::with_capacity(self.n);
-        for boxed in report.nodes {
-            let node = boxed
-                .into_any()
-                .downcast::<crate::fd::VectorFdNode>()
-                .expect("VectorFdNode");
-            let summary = match node.vector() {
-                Some(vector) => {
-                    // Canonical encoding of the decided vector.
-                    let mut flat = Vec::new();
-                    for v in &vector {
-                        flat.extend_from_slice(&(v.len() as u32).to_be_bytes());
-                        flat.extend_from_slice(v);
-                    }
-                    Outcome::Decided(flat)
-                }
-                None => node
-                    .outcomes()
-                    .iter()
-                    .find(|o| o.is_discovered())
-                    .cloned()
-                    .unwrap_or(Outcome::Pending),
-            };
-            outcomes.push(Some(summary));
-            per_instance.push(node.outcomes().to_vec());
-        }
-        (
-            FdRunReport {
-                outcomes,
-                stats,
-                used_fallback: Vec::new(),
-                grades: Vec::new(),
-                delay_log,
-            },
-            per_instance,
-        )
+        self.run_vector(keydist, values)
     }
 }
 
@@ -380,24 +315,13 @@ mod tests {
     }
 
     #[test]
-    fn interactive_consistency_via_runner() {
+    fn vector_fd_shim_matches_run_vector() {
         let c = cluster(5, 1);
         let kd = c.setup_keydist();
         let values: Vec<Vec<u8>> = (0..5u8).map(|i| vec![i, i + 10]).collect();
-        let (report, per_instance) = c.run_vector_fd(&kd, &values);
-        // n parallel FD runs cost n(n-1) messages.
-        assert_eq!(report.stats.messages_total, 5 * 4);
-        // Every node decided every instance with the right value.
-        for node_outcomes in &per_instance {
-            for (s, o) in node_outcomes.iter().enumerate() {
-                assert_eq!(o.decided(), Some(&values[s][..]));
-            }
-        }
-        // Summaries agree across nodes.
-        let first = report.outcomes[0].clone();
-        for o in &report.outcomes {
-            assert_eq!(o, &first);
-        }
+        let (old, _) = c.run_vector_fd(&kd, &values);
+        let (new, _) = c.run_vector(&kd, &values);
+        assert_eq!(old.to_json(), new.to_json());
     }
 
     #[test]

@@ -36,8 +36,16 @@
 //!   amortizes it across many runs (the paper's §6 economics as an
 //!   object). Adversaries are declarative values
 //!   ([`adversary::AdversarySpec`]), not closures.
-//! * [`compat`] — deprecated pre-`RunSpec` shims (the old per-protocol
-//!   `run_*` methods), with the migration table.
+//! * [`wire`] — wire schema v1: the versioned, dependency-free JSON
+//!   encoding of requests ([`spec::SpecBuilder`]) and reports, shared by
+//!   `lafd run --spec`, `lafd serve`, and the remote sweep client.
+//! * [`service`] — the sharded session service behind `lafd serve`:
+//!   pre-warmed [`Session`]s keyed by `(n, scheme)` reusing keydist,
+//!   predicate table, and verification cache across requests, with
+//!   bounded LRU eviction and graceful drain.
+//! * `compat` — deprecated pre-`RunSpec` shims (the old per-protocol
+//!   `run_*` methods), with the migration table; gated behind the
+//!   off-by-default `compat` cargo feature.
 //! * [`metrics`] — the paper's closed-form message-complexity
 //!   expressions (`3n(n−1)` key distribution, `n−1` chain FD,
 //!   `(t+2)(n−1)` non-authenticated, the §6 amortization crossover)
@@ -78,6 +86,7 @@
 pub mod adversary;
 pub mod ba;
 pub mod chain;
+#[cfg(feature = "compat")]
 pub mod compat;
 pub mod epoch;
 pub mod fd;
@@ -87,8 +96,10 @@ pub mod metrics;
 pub mod props;
 pub mod runner;
 pub mod schedsearch;
+pub mod service;
 pub mod spec;
 pub mod sweep;
+pub mod wire;
 
 mod outcome;
 mod pool;

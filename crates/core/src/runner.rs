@@ -157,6 +157,13 @@ pub struct Cluster {
     /// Record applied per-message delays into [`FdRunReport::delay_log`]
     /// (event engine only; default: off).
     pub record_delays: bool,
+    /// A shared signature/chain verification cache installed on every
+    /// run's key stores. `None` (the default) gives each run a private
+    /// cache; a service shard installs one long-lived cache so identical
+    /// chains are verified once *across* runs, not just within one (see
+    /// [`crate::keys::VerifyCache`] for why sharing is sound and cannot
+    /// change report bytes).
+    pub verify_cache: Option<crate::keys::VerifyCache>,
 }
 
 /// Result of a key distribution run.
@@ -305,6 +312,7 @@ impl Cluster {
             faults: FaultPlan::new(),
             schedule: None,
             record_delays: false,
+            verify_cache: None,
         }
     }
 
@@ -346,6 +354,13 @@ impl Cluster {
     /// on event-engine runs.
     pub fn with_delay_log(mut self) -> Self {
         self.record_delays = true;
+        self
+    }
+
+    /// Install a long-lived verification cache shared by every run on
+    /// this cluster (see [`Cluster::verify_cache`]).
+    pub fn with_verify_cache(mut self, cache: crate::keys::VerifyCache) -> Self {
+        self.verify_cache = Some(cache);
         self
     }
 
@@ -487,6 +502,84 @@ impl Cluster {
             anomalies,
             predicates: Some(table),
         }
+    }
+
+    /// Run interactive consistency (`n` parallel chain-FD instances; see
+    /// [`crate::fd::VectorFdNode`]). `values[i]` is node `i`'s input.
+    ///
+    /// Vector FD takes one input *per node* rather than a single sender
+    /// value, so it stays outside the [`RunSpec`](crate::spec::RunSpec)
+    /// surface; this is its home.
+    ///
+    /// Returns per-node *vector* outcomes flattened into an
+    /// [`FdRunReport`]-like structure: `outcomes[i]` is `Some(Decided(v))`
+    /// only if node `i` decided the *full* vector; the detailed
+    /// per-instance outcomes are in the second component.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `values.len() == n`.
+    pub fn run_vector(
+        &self,
+        keydist: &KeyDistReport,
+        values: &[Vec<u8>],
+    ) -> (FdRunReport, Vec<Vec<Outcome>>) {
+        assert_eq!(values.len(), self.n, "one input value per node");
+        let params = crate::fd::VectorFdParams::new(self.n, self.t);
+        let rounds = params.rounds();
+        let nodes: Vec<Box<dyn Node>> = (0..self.n)
+            .map(|i| {
+                let me = NodeId(i as u16);
+                Box::new(crate::fd::VectorFdNode::new(
+                    me,
+                    params.clone(),
+                    Arc::clone(&self.scheme),
+                    keydist.store(me).clone(),
+                    self.keyring(me),
+                    values[i].clone(),
+                )) as Box<dyn Node>
+            })
+            .collect();
+        let report = self.drive(nodes, rounds);
+        let stats = report.stats;
+        let delay_log = report.delay_log;
+        let mut outcomes = Vec::with_capacity(self.n);
+        let mut per_instance = Vec::with_capacity(self.n);
+        for boxed in report.nodes {
+            let node = boxed
+                .into_any()
+                .downcast::<crate::fd::VectorFdNode>()
+                .expect("VectorFdNode");
+            let summary = match node.vector() {
+                Some(vector) => {
+                    // Canonical encoding of the decided vector.
+                    let mut flat = Vec::new();
+                    for v in &vector {
+                        flat.extend_from_slice(&(v.len() as u32).to_be_bytes());
+                        flat.extend_from_slice(v);
+                    }
+                    Outcome::Decided(flat)
+                }
+                None => node
+                    .outcomes()
+                    .iter()
+                    .find(|o| o.is_discovered())
+                    .cloned()
+                    .unwrap_or(Outcome::Pending),
+            };
+            outcomes.push(Some(summary));
+            per_instance.push(node.outcomes().to_vec());
+        }
+        (
+            FdRunReport {
+                outcomes,
+                stats,
+                used_fallback: Vec::new(),
+                grades: Vec::new(),
+                delay_log,
+            },
+            per_instance,
+        )
     }
 }
 
@@ -656,6 +749,43 @@ mod tests {
             let run = faulted.run(&spec(Protocol::ChainFd, b"v"));
             assert!(run.any_discovery(), "dropped chain must be discovered");
         }
+    }
+
+    #[test]
+    fn interactive_consistency_via_runner() {
+        let c = cluster(5, 1);
+        let kd = c.setup_keydist();
+        let values: Vec<Vec<u8>> = (0..5u8).map(|i| vec![i, i + 10]).collect();
+        let (report, per_instance) = c.run_vector(&kd, &values);
+        // n parallel FD runs cost n(n-1) messages.
+        assert_eq!(report.stats.messages_total, 5 * 4);
+        // Every node decided every instance with the right value.
+        for node_outcomes in &per_instance {
+            for (s, o) in node_outcomes.iter().enumerate() {
+                assert_eq!(o.decided(), Some(&values[s][..]));
+            }
+        }
+        // Summaries agree across nodes.
+        let first = report.outcomes[0].clone();
+        for o in &report.outcomes {
+            assert_eq!(o, &first);
+        }
+    }
+
+    #[test]
+    fn shared_verify_cache_does_not_change_report_bytes() {
+        let private = cluster(6, 1);
+        let shared = private
+            .clone()
+            .with_verify_cache(crate::keys::VerifyCache::new());
+        let spec = RunSpec::new(Protocol::ChainFd, b"v".to_vec());
+        let kd_p = private.setup_keydist();
+        let kd_s = shared.setup_keydist();
+        // Two runs on the shared cache (the second hits it) stay
+        // byte-identical to private-cache runs.
+        let baseline = private.run_with_keys(&spec, Some(&kd_p)).to_json();
+        assert_eq!(shared.run_with_keys(&spec, Some(&kd_s)).to_json(), baseline);
+        assert_eq!(shared.run_with_keys(&spec, Some(&kd_s)).to_json(), baseline);
     }
 
     #[test]

@@ -1,0 +1,606 @@
+//! The sharded session service behind `lafd serve`.
+//!
+//! The paper's Fig. 1 economics — one `3n(n−1)`-message key distribution
+//! amortized over many `n−1`-message runs — only pay off when *many
+//! callers* share key material. A [`Session`](crate::spec::Session)
+//! amortizes for one in-process caller; [`FdService`] extends the same
+//! shape to a long-lived process serving wire requests:
+//!
+//! * Requests (wire-v1 lines, see [`crate::wire`]) are routed to a fixed
+//!   **shard** by `(n, scheme)` — every request for one key-material
+//!   universe lands on the same worker thread, so shard state needs no
+//!   locks.
+//! * Each shard holds a bounded pool of **pre-warmed sessions** keyed by
+//!   `(n, scheme, seed)`: the key distribution report, its interned
+//!   [`PredicateTable`](crate::keys::PredicateTable), and a long-lived
+//!   [`VerifyCache`] are established on first use and reused by every
+//!   later request with the same key, with least-recently-used eviction
+//!   past [`ServiceConfig::max_sessions`] entries per shard.
+//! * Execution still goes through [`Cluster::run_with_keys`] on the
+//!   request's own cluster configuration (engine, latency, schedule), so
+//!   a service response's report is **byte-identical** to the same
+//!   request executed via a direct [`Cluster::run`] — keydist and
+//!   verification-cache reuse are invisible in the bytes, which the
+//!   service integration tests assert.
+//! * [`FdService::shutdown`] is a graceful drain: queued requests finish,
+//!   workers join, and the final metrics snapshot is returned in the same
+//!   JSON shape `lafd bench` records (`wall_us`/`messages`/`bytes` cells)
+//!   plus service-level throughput: runs/sec, keydist reuse ratio, and
+//!   p50/p99 request latency.
+//!
+//! [`Cluster::run`]: crate::runner::Cluster::run
+//! [`Cluster::run_with_keys`]: crate::runner::Cluster::run_with_keys
+
+use crate::keys::VerifyCache;
+use crate::pool::{self, ShardWorkers};
+use crate::runner::KeyDistReport;
+use crate::spec::SpecBuilder;
+use crate::wire;
+use std::collections::{BTreeMap, HashMap};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::Instant;
+
+/// Configuration of an [`FdService`].
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceConfig {
+    /// Worker shards. Requests are routed by `(n, scheme)`, so two shards
+    /// serve two disjoint key-material universes concurrently.
+    pub shards: usize,
+    /// Pre-warmed sessions kept per shard; the least-recently-used entry
+    /// is evicted past this bound.
+    pub max_sessions: usize,
+}
+
+impl Default for ServiceConfig {
+    /// Two shards, eight sessions each — the shape of the acceptance
+    /// benchmark.
+    fn default() -> Self {
+        ServiceConfig {
+            shards: 2,
+            max_sessions: 8,
+        }
+    }
+}
+
+/// One queued request: a validated builder plus the reply channel.
+struct Job {
+    builder: SpecBuilder,
+    id: Option<String>,
+    reply: mpsc::Sender<String>,
+}
+
+/// A pre-warmed session slot: everything reusable across runs that share
+/// `(n, scheme, seed)`.
+struct PooledSession {
+    /// The established key distribution (`None` until a key-needing
+    /// protocol first arrives — key-free traffic never pays for one).
+    keydist: Option<KeyDistReport>,
+    keydist_messages: Option<usize>,
+    key_allocs: usize,
+    /// Long-lived verification cache shared by every run in this slot.
+    cache: VerifyCache,
+    /// LRU clock value of the most recent use.
+    last_used: u64,
+}
+
+/// One aggregated `protocol × n × t × engine × scheme` metrics cell —
+/// the service analogue of a `lafd bench` results row.
+#[derive(Debug, Default, Clone)]
+struct Cell {
+    runs: usize,
+    wall_us: u128,
+    messages: usize,
+    bytes: usize,
+    comm_rounds: usize,
+    key_allocs: usize,
+}
+
+/// Per-shard counters, written only by the shard's worker thread.
+#[derive(Debug, Default)]
+struct ShardStats {
+    runs: usize,
+    errors: usize,
+    keydist_runs: usize,
+    keydist_reused: usize,
+    evictions: usize,
+    latencies_us: Vec<u64>,
+    cells: BTreeMap<(String, usize, usize, String, String), Cell>,
+}
+
+/// The sharded session service: see the module docs for the shape.
+///
+/// ```
+/// use fd_core::service::{FdService, ServiceConfig};
+/// use fd_core::spec::{Protocol, SpecBuilder};
+/// use fd_core::wire;
+///
+/// let service = FdService::start(ServiceConfig::default());
+/// let request = wire::request_to_json(
+///     &SpecBuilder::new(Protocol::ChainFd, 6).with_input(b"v".to_vec()),
+///     Some("r0"),
+/// )
+/// .unwrap();
+/// let response = wire::response_from_json(&service.submit_line(&request)).unwrap();
+/// assert!(response.report.unwrap().all_decided(b"v"));
+/// let metrics = service.shutdown();
+/// assert!(metrics.contains("\"runs_per_sec\""));
+/// ```
+pub struct FdService {
+    workers: ShardWorkers<Job>,
+    stats: Arc<Vec<Mutex<ShardStats>>>,
+    /// Errors rejected before reaching a shard (parse/validation).
+    front_errors: AtomicUsize,
+    started: Instant,
+}
+
+impl FdService {
+    /// Start the worker shards (empty session pools — sessions pre-warm
+    /// on first use and stay warm).
+    pub fn start(config: ServiceConfig) -> FdService {
+        let shards = config.shards.max(1);
+        let max_sessions = config.max_sessions.max(1);
+        let stats: Arc<Vec<Mutex<ShardStats>>> = Arc::new(
+            (0..shards)
+                .map(|_| Mutex::new(ShardStats::default()))
+                .collect(),
+        );
+        let workers = ShardWorkers::spawn(shards, |shard| {
+            let stats = Arc::clone(&stats);
+            let mut sessions: HashMap<(usize, String, u64), PooledSession> = HashMap::new();
+            let mut clock: u64 = 0;
+            move |job: Job| {
+                let response = catch_unwind(AssertUnwindSafe(|| {
+                    execute(
+                        &mut sessions,
+                        &mut clock,
+                        max_sessions,
+                        shard,
+                        &stats[shard],
+                        &job.builder,
+                        job.id.as_deref(),
+                    )
+                }))
+                .unwrap_or_else(|_| {
+                    stats[shard].lock().expect("shard stats poisoned").errors += 1;
+                    wire::error_to_json(job.id.as_deref(), "internal: run panicked")
+                });
+                // A gone client is not the worker's problem.
+                let _ = job.reply.send(response);
+            }
+        });
+        FdService {
+            workers,
+            stats,
+            front_errors: AtomicUsize::new(0),
+            started: Instant::now(),
+        }
+    }
+
+    /// The shard a `(n, scheme)` pair routes to (FNV-1a over both).
+    pub fn shard_of(&self, n: usize, scheme: &str) -> usize {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        for &b in scheme.as_bytes() {
+            h = (h ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+        }
+        for b in (n as u64).to_le_bytes() {
+            h = (h ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+        }
+        (h % self.workers.shards() as u64) as usize
+    }
+
+    /// Handle one wire-v1 request line end to end: parse, validate, route
+    /// to the owning shard, execute, and return the response line.
+    /// Malformed or invalid requests are answered (never dropped) with a
+    /// wire error response.
+    pub fn submit_line(&self, line: &str) -> String {
+        let (builder, id) = match wire::request_from_json(line.trim()) {
+            Ok(parsed) => parsed,
+            Err(e) => {
+                self.front_errors.fetch_add(1, Ordering::Relaxed);
+                return wire::error_to_json(None, &e);
+            }
+        };
+        // Validate up front so a shard worker can never hit a `Cluster`
+        // panic on a bad request shape.
+        if let Err(e) = builder.validate() {
+            self.front_errors.fetch_add(1, Ordering::Relaxed);
+            return wire::error_to_json(id.as_deref(), &e);
+        }
+        let shard = self.shard_of(builder.n, &builder.scheme);
+        let (reply, receiver) = mpsc::channel();
+        if let Err(e) = self.workers.submit(
+            shard,
+            Job {
+                builder,
+                id: id.clone(),
+                reply,
+            },
+        ) {
+            self.front_errors.fetch_add(1, Ordering::Relaxed);
+            return wire::error_to_json(id.as_deref(), &e);
+        }
+        receiver
+            .recv()
+            .unwrap_or_else(|_| wire::error_to_json(id.as_deref(), "worker dropped the request"))
+    }
+
+    /// Handle a batch of request lines from `clients` concurrent client
+    /// threads, returning responses in input order (the stdin batch mode
+    /// of `lafd serve`, and the concurrency test harness).
+    pub fn submit_batch(&self, lines: &[String], clients: usize) -> Vec<String> {
+        pool::parallel_indexed(lines.len(), clients.max(1), |i| self.submit_line(&lines[i]))
+    }
+
+    /// A live metrics snapshot: service-level throughput plus the
+    /// bench-shaped per-cell rows (see `metrics_json` below for the format).
+    pub fn metrics_json(&self) -> String {
+        metrics_json(
+            &self.stats,
+            self.front_errors.load(Ordering::Relaxed),
+            self.started.elapsed().as_micros(),
+        )
+    }
+
+    /// Graceful drain: stop accepting requests, finish everything queued,
+    /// join the workers, and return the final metrics snapshot.
+    pub fn shutdown(self) -> String {
+        let elapsed = self.started.elapsed().as_micros();
+        self.workers.join();
+        metrics_json(
+            &self.stats,
+            self.front_errors.load(Ordering::Relaxed),
+            elapsed,
+        )
+    }
+}
+
+/// Execute one validated request on its shard (runs on the shard's worker
+/// thread; `sessions` and `clock` are that thread's own state).
+fn execute(
+    sessions: &mut HashMap<(usize, String, u64), PooledSession>,
+    clock: &mut u64,
+    max_sessions: usize,
+    shard: usize,
+    stats: &Mutex<ShardStats>,
+    builder: &SpecBuilder,
+    id: Option<&str>,
+) -> String {
+    let started = Instant::now();
+    let (cluster, spec) = match builder.build() {
+        Ok(pair) => pair,
+        Err(e) => {
+            stats.lock().expect("shard stats poisoned").errors += 1;
+            return wire::error_to_json(id, &e);
+        }
+    };
+    *clock += 1;
+    let key = (builder.n, builder.scheme.clone(), builder.seed);
+    // Bounded pool: evict the least-recently-used slot before warming a
+    // new one past the cap.
+    let mut evicted = false;
+    if !sessions.contains_key(&key) && sessions.len() >= max_sessions {
+        if let Some(oldest) = sessions
+            .iter()
+            .min_by_key(|(_, slot)| slot.last_used)
+            .map(|(k, _)| k.clone())
+        {
+            sessions.remove(&oldest);
+            evicted = true;
+        }
+    }
+    let slot = sessions.entry(key).or_insert_with(|| PooledSession {
+        keydist: None,
+        keydist_messages: None,
+        key_allocs: 0,
+        cache: VerifyCache::new(),
+        last_used: 0,
+    });
+    slot.last_used = *clock;
+    // The request executes on its *own* cluster configuration — only the
+    // verification cache is swapped in from the pool, which cannot change
+    // report bytes (content-addressed; see `VerifyCache`).
+    let cluster = cluster.with_verify_cache(slot.cache.clone());
+    let needs_keys = spec.protocol.needs_keys();
+    let keydist_reused = needs_keys && slot.keydist.is_some();
+    if needs_keys && slot.keydist.is_none() {
+        let kd = cluster.setup_keydist();
+        slot.keydist_messages = Some(kd.stats.messages_total);
+        slot.key_allocs = kd
+            .predicates
+            .as_ref()
+            .map_or(0, |table| table.distinct_allocations());
+        slot.keydist = Some(kd);
+    }
+    let report = cluster.run_with_keys(
+        &spec,
+        if needs_keys {
+            slot.keydist.as_ref()
+        } else {
+            None
+        },
+    );
+    let wall_us = started.elapsed().as_micros() as u64;
+    let keydist_messages = if needs_keys {
+        slot.keydist_messages
+    } else {
+        None
+    };
+    let key_allocs = if needs_keys { slot.key_allocs } else { 0 };
+
+    let mut s = stats.lock().expect("shard stats poisoned");
+    s.runs += 1;
+    if evicted {
+        s.evictions += 1;
+    }
+    if keydist_reused {
+        s.keydist_reused += 1;
+    } else if needs_keys {
+        s.keydist_runs += 1;
+    }
+    s.latencies_us.push(wall_us);
+    let cell = s
+        .cells
+        .entry((
+            builder.protocol.name().to_string(),
+            builder.n,
+            builder.resolved_t(),
+            builder.engine.name().to_string(),
+            builder.scheme.clone(),
+        ))
+        .or_default();
+    cell.runs += 1;
+    cell.wall_us += u128::from(wall_us);
+    cell.messages += report.stats.messages_total;
+    cell.bytes += report.stats.bytes_total;
+    cell.comm_rounds = cell
+        .comm_rounds
+        .max(report.stats.per_round.iter().filter(|&&x| x > 0).count());
+    cell.key_allocs = cell.key_allocs.max(key_allocs);
+    drop(s);
+
+    wire::response_to_json(
+        id,
+        shard,
+        keydist_reused,
+        keydist_messages,
+        wall_us,
+        &report.to_json(),
+    )
+}
+
+/// The percentile entry of a sorted latency list (nearest-rank on the
+/// sorted samples; 0 when empty).
+fn percentile_us(sorted: &[u64], pct: usize) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    sorted[(sorted.len() - 1) * pct / 100]
+}
+
+/// Render the service metrics document:
+///
+/// ```json
+/// {"schema": "lafd-serve-v1",
+///  "service": {"shards": 2, "runs": 200, "errors": 0,
+///              "keydist_runs": 2, "keydist_reused": 120,
+///              "keydist_reuse_pct": 98, "evictions": 0,
+///              "wall_us": 123456, "runs_per_sec": 1620,
+///              "p50_us": 180, "p99_us": 950},
+///  "results": [ ...bench-shaped cells, plus "runs"... ]}
+/// ```
+///
+/// The `results` rows carry the exact field set of a `lafd bench` cell
+/// (`protocol`/`n`/`t`/`engine`/`scheme`/`wall_us`/`messages`/`bytes`/
+/// `comm_rounds`/`key_allocs`) with `wall_us`, `messages`, and `bytes`
+/// accumulated across the cell's runs and a trailing `runs` count, so the
+/// bench regression tooling can parse them unchanged.
+fn metrics_json(stats: &[Mutex<ShardStats>], front_errors: usize, elapsed_us: u128) -> String {
+    let mut runs = 0usize;
+    let mut errors = front_errors;
+    let mut keydist_runs = 0usize;
+    let mut keydist_reused = 0usize;
+    let mut evictions = 0usize;
+    let mut latencies: Vec<u64> = Vec::new();
+    let mut cells: BTreeMap<(String, usize, usize, String, String), Cell> = BTreeMap::new();
+    for shard in stats {
+        let s = shard.lock().expect("shard stats poisoned");
+        runs += s.runs;
+        errors += s.errors;
+        keydist_runs += s.keydist_runs;
+        keydist_reused += s.keydist_reused;
+        evictions += s.evictions;
+        latencies.extend_from_slice(&s.latencies_us);
+        for (key, cell) in &s.cells {
+            let merged = cells.entry(key.clone()).or_default();
+            merged.runs += cell.runs;
+            merged.wall_us += cell.wall_us;
+            merged.messages += cell.messages;
+            merged.bytes += cell.bytes;
+            merged.comm_rounds = merged.comm_rounds.max(cell.comm_rounds);
+            merged.key_allocs = merged.key_allocs.max(cell.key_allocs);
+        }
+    }
+    latencies.sort_unstable();
+    let keyed = keydist_runs + keydist_reused;
+    let reuse_pct = (keydist_reused * 100).checked_div(keyed).unwrap_or(0);
+    let runs_per_sec = (runs as u128) * 1_000_000 / elapsed_us.max(1);
+    let mut out = format!(
+        "{{\n  \"schema\": \"lafd-serve-v1\",\n  \"service\": {{\"shards\": {}, \"runs\": {runs}, \
+         \"errors\": {errors}, \"keydist_runs\": {keydist_runs}, \
+         \"keydist_reused\": {keydist_reused}, \"keydist_reuse_pct\": {reuse_pct}, \
+         \"evictions\": {evictions}, \"wall_us\": {elapsed_us}, \
+         \"runs_per_sec\": {runs_per_sec}, \"p50_us\": {}, \"p99_us\": {}}},\n  \"results\": [\n",
+        stats.len(),
+        percentile_us(&latencies, 50),
+        percentile_us(&latencies, 99),
+    );
+    let rows: Vec<String> = cells
+        .iter()
+        .map(|((protocol, n, t, engine, scheme), cell)| {
+            format!(
+                "    {{\"protocol\": \"{protocol}\", \"n\": {n}, \"t\": {t}, \
+                 \"engine\": \"{engine}\", \"scheme\": \"{scheme}\", \"wall_us\": {}, \
+                 \"messages\": {}, \"bytes\": {}, \"comm_rounds\": {}, \"key_allocs\": {}, \
+                 \"runs\": {}}}",
+                cell.wall_us,
+                cell.messages,
+                cell.bytes,
+                cell.comm_rounds,
+                cell.key_allocs,
+                cell.runs
+            )
+        })
+        .collect();
+    out.push_str(&rows.join(",\n"));
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::Protocol;
+    use crate::wire::Value;
+
+    fn request(protocol: Protocol, n: usize, seed: u64, input: &[u8], id: &str) -> String {
+        wire::request_to_json(
+            &SpecBuilder::new(protocol, n)
+                .with_seed(seed)
+                .with_input(input.to_vec()),
+            Some(id),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn one_keydist_per_session_key_across_many_runs() {
+        let service = FdService::start(ServiceConfig::default());
+        for k in 0..6u8 {
+            let line = request(Protocol::ChainFd, 6, 7, &[k], &format!("r{k}"));
+            let response = wire::response_from_json(&service.submit_line(&line)).unwrap();
+            let report = response.report.unwrap();
+            assert!(report.all_decided(&[k]));
+            assert_eq!(
+                response.keydist_reused,
+                k > 0,
+                "first run warms, rest reuse"
+            );
+            assert_eq!(
+                response.keydist_messages,
+                Some(crate::metrics::keydist_messages(6))
+            );
+        }
+        let metrics = Value::parse(&service.shutdown()).unwrap();
+        let svc = metrics.get("service").unwrap();
+        assert_eq!(svc.get("runs").unwrap().as_int(), Some(6));
+        assert_eq!(svc.get("keydist_runs").unwrap().as_int(), Some(1));
+        assert_eq!(svc.get("keydist_reused").unwrap().as_int(), Some(5));
+        assert_eq!(svc.get("errors").unwrap().as_int(), Some(0));
+    }
+
+    #[test]
+    fn responses_are_byte_identical_to_direct_cluster_run() {
+        let service = FdService::start(ServiceConfig::default());
+        for (protocol, k) in [
+            (Protocol::ChainFd, 0u8),
+            (Protocol::FdToBa, 1),
+            (Protocol::NonAuthFd, 2),
+            (Protocol::Degradable, 3),
+        ] {
+            let builder = SpecBuilder::new(protocol, 7)
+                .with_seed(11)
+                .with_input(vec![k]);
+            let line = wire::request_to_json(&builder, None).unwrap();
+            let response = wire::response_from_json(&service.submit_line(&line)).unwrap();
+            let (cluster, spec) = builder.build().unwrap();
+            assert_eq!(
+                response.report_json,
+                cluster.run(&spec).to_json(),
+                "{protocol} diverged from the direct path"
+            );
+        }
+        service.shutdown();
+    }
+
+    #[test]
+    fn bad_requests_get_error_responses_not_drops() {
+        let service = FdService::start(ServiceConfig {
+            shards: 1,
+            max_sessions: 2,
+        });
+        // Parse error.
+        let r = wire::response_from_json(&service.submit_line("{nope")).unwrap();
+        assert!(r.report.is_err());
+        // Validation error (inadmissible shape), id echoed.
+        let bad = "{\"schema_version\": 1, \"id\": \"x\", \"protocol\": \"phase_king\", \
+                   \"n\": 5, \"t\": 2, \"input\": \"00\"}";
+        let r = wire::response_from_json(&service.submit_line(bad)).unwrap();
+        assert_eq!(r.id.as_deref(), Some("x"));
+        assert!(r.report.unwrap_err().contains("inadmissible"));
+        let metrics = Value::parse(&service.shutdown()).unwrap();
+        assert_eq!(
+            metrics
+                .get("service")
+                .unwrap()
+                .get("errors")
+                .unwrap()
+                .as_int(),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn lru_eviction_bounds_the_pool() {
+        let service = FdService::start(ServiceConfig {
+            shards: 1,
+            max_sessions: 2,
+        });
+        // Three distinct session keys (different seeds) through a
+        // 2-session shard: the third warm-up evicts the first.
+        for seed in [1u64, 2, 3] {
+            let line = wire::request_to_json(
+                &SpecBuilder::new(Protocol::ChainFd, 5)
+                    .with_seed(seed)
+                    .with_input(b"v".to_vec()),
+                None,
+            )
+            .unwrap();
+            let response = wire::response_from_json(&service.submit_line(&line)).unwrap();
+            assert!(!response.keydist_reused);
+        }
+        // Seed 1 was evicted: running it again re-warms (keydist run #4).
+        let line = wire::request_to_json(
+            &SpecBuilder::new(Protocol::ChainFd, 5)
+                .with_seed(1)
+                .with_input(b"v".to_vec()),
+            None,
+        )
+        .unwrap();
+        let response = wire::response_from_json(&service.submit_line(&line)).unwrap();
+        assert!(!response.keydist_reused, "evicted session re-warms");
+        let metrics = Value::parse(&service.shutdown()).unwrap();
+        let svc = metrics.get("service").unwrap();
+        assert_eq!(svc.get("keydist_runs").unwrap().as_int(), Some(4));
+        assert!(svc.get("evictions").unwrap().as_int().unwrap() >= 2);
+    }
+
+    #[test]
+    fn batch_mode_preserves_input_order() {
+        let service = FdService::start(ServiceConfig::default());
+        let lines: Vec<String> = (0..12u8)
+            .map(|k| request(Protocol::ChainFd, 5, 3, &[k], &format!("b{k}")))
+            .collect();
+        let responses = service.submit_batch(&lines, 4);
+        assert_eq!(responses.len(), 12);
+        for (k, line) in responses.iter().enumerate() {
+            let response = wire::response_from_json(line).unwrap();
+            assert_eq!(response.id.as_deref(), Some(format!("b{k}").as_str()));
+            assert!(response.report.unwrap().all_decided(&[k as u8]));
+        }
+        service.shutdown();
+    }
+}

@@ -23,7 +23,7 @@
 //! the fd-bench experiments, the `lafd` CLI, and the examples — executes
 //! protocols through this entry point. The old per-protocol
 //! `Cluster::run_*` methods survive only as deprecated shims in
-//! [`crate::compat`].
+//! `fd_core::compat`, behind the off-by-default `compat` cargo feature.
 //!
 //! ```
 //! use fd_core::spec::{Protocol, RunSpec, Session};
@@ -54,9 +54,36 @@ use crate::fd::{
 use crate::metrics;
 use crate::outcome::Outcome;
 use crate::runner::{Cluster, FdRunReport, KeyDistReport, Schedule, Substitution};
-use fd_simnet::{LatencySpec, Node, NodeId};
+use fd_crypto::{DsaScheme, RsaScheme, SchnorrScheme, SignatureScheme};
+use fd_simnet::fault::FaultPlan;
+use fd_simnet::{Engine, LatencySpec, LinkLatencySpec, Node, NodeId};
 use std::fmt;
 use std::sync::Arc;
+
+/// Look up a signature scheme by its stable CLI/wire name.
+///
+/// This is the single scheme table shared by the `lafd` CLI, the wire
+/// format, and the service shards (shard keys compare these names, so one
+/// table keeps "same scheme" meaning the same thing everywhere).
+pub fn scheme_by_name(name: &str) -> Result<Arc<dyn SignatureScheme>, String> {
+    Ok(match name {
+        "tiny" => Arc::new(SchnorrScheme::test_tiny()),
+        "dsa-tiny" | "dsa" => Arc::new(DsaScheme::test_tiny()),
+        "s512" => Arc::new(SchnorrScheme::s512()),
+        "s1024" => Arc::new(SchnorrScheme::s1024()),
+        "s2048" => Arc::new(SchnorrScheme::s2048()),
+        "dsa512" => Arc::new(DsaScheme::s512()),
+        "dsa1024" => Arc::new(DsaScheme::s1024()),
+        "rsa512" => Arc::new(RsaScheme::new(512)),
+        "rsa1024" => Arc::new(RsaScheme::new(1024)),
+        other => {
+            return Err(format!(
+                "unknown scheme {other} \
+                 (tiny|dsa-tiny|s512|s1024|s2048|dsa512|dsa1024|rsa512|rsa1024)"
+            ))
+        }
+    })
+}
 
 /// The protocols a [`RunSpec`] can name.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -219,6 +246,260 @@ impl RunSpec {
     }
 }
 
+/// The single request-construction path shared by the `lafd` CLI
+/// subcommands, the wire format, and the service: every flag set, JSON
+/// request, and remote scenario builds a `(Cluster, RunSpec)` pair through
+/// this builder, so validation rules live in exactly one place.
+///
+/// Unlike [`Cluster::new`] (which panics on a bad shape), [`build`]
+/// returns `Err` with a CLI-quality message — the service turns these
+/// into error responses instead of dying.
+///
+/// ```
+/// use fd_core::spec::{Protocol, SpecBuilder};
+///
+/// let (cluster, spec) = SpecBuilder::new(Protocol::ChainFd, 7)
+///     .with_input(b"v".to_vec())
+///     .build()
+///     .unwrap();
+/// assert_eq!(cluster.t, 2); // ⌊(n−1)/3⌋ default
+/// assert!(cluster.run(&spec).all_decided(b"v"));
+/// ```
+///
+/// [`build`]: SpecBuilder::build
+#[derive(Debug, Clone)]
+pub struct SpecBuilder {
+    /// The protocol to execute.
+    pub protocol: Protocol,
+    /// System size.
+    pub n: usize,
+    /// Tolerated faults; `None` derives the classic `⌊(n−1)/3⌋` clamped
+    /// to `n − 2` (see [`SpecBuilder::resolved_t`]).
+    pub t: Option<usize>,
+    /// Determinism seed (key material, nonces, jitter).
+    pub seed: u64,
+    /// Signature-scheme name, resolved via [`scheme_by_name`].
+    pub scheme: String,
+    /// Execution engine.
+    pub engine: Engine,
+    /// Latency model (event engine only).
+    pub latency: LatencySpec,
+    /// Per-link latency overrides (event engine only).
+    pub link_latency: Vec<LinkLatencySpec>,
+    /// Link faults installed on the cluster (CLI only — no wire form).
+    pub faults: FaultPlan,
+    /// The sender's input value.
+    pub input: Vec<u8>,
+    /// Default value for the protocols that have one.
+    pub default_value: Vec<u8>,
+    /// Which nodes are corrupt and how.
+    pub adversary: AdversarySpec,
+    /// Per-message delivery schedule (event engine only).
+    pub schedule: Option<Schedule>,
+}
+
+impl SpecBuilder {
+    /// A failure-free synchronous request with the conventional defaults:
+    /// seed 1, the tiny test scheme, derived `t`, input `b"value"`,
+    /// default value `b"default"`.
+    pub fn new(protocol: Protocol, n: usize) -> Self {
+        SpecBuilder {
+            protocol,
+            n,
+            t: None,
+            seed: 1,
+            scheme: "tiny".to_string(),
+            engine: Engine::Sync,
+            latency: LatencySpec::Synchronous,
+            link_latency: Vec::new(),
+            faults: FaultPlan::new(),
+            input: b"value".to_vec(),
+            default_value: b"default".to_vec(),
+            adversary: AdversarySpec::Honest,
+            schedule: None,
+        }
+    }
+
+    /// Set the fault budget explicitly.
+    #[must_use]
+    pub fn with_t(mut self, t: usize) -> Self {
+        self.t = Some(t);
+        self
+    }
+
+    /// Set the determinism seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Set the signature scheme by name (validated in [`build`]).
+    ///
+    /// [`build`]: SpecBuilder::build
+    #[must_use]
+    pub fn with_scheme(mut self, scheme: impl Into<String>) -> Self {
+        self.scheme = scheme.into();
+        self
+    }
+
+    /// Select the execution engine.
+    #[must_use]
+    pub fn with_engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Set the latency model (normalized like [`Cluster::with_latency`]).
+    #[must_use]
+    pub fn with_latency(mut self, latency: LatencySpec) -> Self {
+        self.latency = latency.normalize();
+        self
+    }
+
+    /// Install per-link latency overrides.
+    #[must_use]
+    pub fn with_link_latency(mut self, link_latency: Vec<LinkLatencySpec>) -> Self {
+        self.link_latency = link_latency;
+        self
+    }
+
+    /// Install a link-fault plan.
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Set the sender's input value.
+    #[must_use]
+    pub fn with_input(mut self, input: impl Into<Vec<u8>>) -> Self {
+        self.input = input.into();
+        self
+    }
+
+    /// Set the default value.
+    #[must_use]
+    pub fn with_default_value(mut self, default_value: impl Into<Vec<u8>>) -> Self {
+        self.default_value = default_value.into();
+        self
+    }
+
+    /// Set the adversary.
+    #[must_use]
+    pub fn with_adversary(mut self, adversary: AdversarySpec) -> Self {
+        self.adversary = adversary;
+        self
+    }
+
+    /// Install (or clear) a per-message delivery schedule.
+    #[must_use]
+    pub fn with_schedule(mut self, schedule: Option<Schedule>) -> Self {
+        self.schedule = schedule;
+        self
+    }
+
+    /// The effective fault budget: explicit `t`, or the classic
+    /// `⌊(n−1)/3⌋` clamped to `n − 2`.
+    pub fn resolved_t(&self) -> usize {
+        self.t
+            .unwrap_or_else(|| ((self.n.saturating_sub(1)) / 3).min(self.n.saturating_sub(2)))
+    }
+
+    /// Check every constraint [`build`] enforces without constructing
+    /// anything — the service validates requests up front so execution
+    /// can never hit a `Cluster` panic.
+    ///
+    /// [`build`]: SpecBuilder::build
+    pub fn validate(&self) -> Result<(), String> {
+        let t = self.resolved_t();
+        if self.n > usize::from(u16::MAX) {
+            return Err(format!("n {} exceeds the node-id space", self.n));
+        }
+        if t + 2 > self.n {
+            return Err(format!("require t + 2 <= n (t {t}, n {})", self.n));
+        }
+        if !self.protocol.admissible(self.n, t) {
+            return Err(format!(
+                "protocol {} is inadmissible at n {}, t {t}",
+                self.protocol, self.n
+            ));
+        }
+        scheme_by_name(&self.scheme)?;
+        if self.engine == Engine::Sync {
+            if self.latency != LatencySpec::Synchronous {
+                return Err(format!(
+                    "latency {} needs the event engine",
+                    self.latency.name()
+                ));
+            }
+            if !self.link_latency.is_empty() {
+                return Err("link latency overrides need the event engine".to_string());
+            }
+            if self.schedule.is_some() {
+                return Err("delivery schedules need the event engine".to_string());
+            }
+        }
+        for link in &self.link_latency {
+            for end in [link.from, link.to] {
+                if end.index() >= self.n {
+                    return Err(format!(
+                        "link latency {} names node {} outside 0..{}",
+                        link.name(),
+                        end.index(),
+                        self.n
+                    ));
+                }
+            }
+        }
+        for node in self.adversary.corrupt_set() {
+            if node.index() >= self.n {
+                return Err(format!(
+                    "adversary corrupts node {} outside 0..{}",
+                    node.index(),
+                    self.n
+                ));
+            }
+        }
+        if !self.adversary.applies_to(self.protocol) {
+            return Err(format!(
+                "adversary {} cannot speak protocol {}",
+                self.adversary.name(),
+                self.protocol
+            ));
+        }
+        Ok(())
+    }
+
+    /// Build the cluster half of the request (validated).
+    pub fn build_cluster(&self) -> Result<Cluster, String> {
+        self.validate()?;
+        Ok(Cluster::new(
+            self.n,
+            self.resolved_t(),
+            scheme_by_name(&self.scheme)?,
+            self.seed,
+        )
+        .with_engine(self.engine)
+        .with_latency(self.latency)
+        .with_link_latency(self.link_latency.clone())
+        .with_faults(self.faults.clone()))
+    }
+
+    /// Build the validated `(Cluster, RunSpec)` pair this request
+    /// describes.
+    pub fn build(&self) -> Result<(Cluster, RunSpec), String> {
+        let cluster = self.build_cluster()?;
+        let mut spec = RunSpec::new(self.protocol, self.input.clone())
+            .with_default_value(self.default_value.clone())
+            .with_adversary(self.adversary.clone());
+        if let Some(schedule) = &self.schedule {
+            spec = spec.with_schedule(Arc::clone(schedule));
+        }
+        Ok((cluster, spec))
+    }
+}
+
 impl Cluster {
     /// Execute one spec end to end: when the protocol needs keys, run the
     /// setup-phase key distribution first ([`Cluster::setup_keydist`]),
@@ -306,8 +587,10 @@ impl Cluster {
         // signature and chain checks through it, so identical chains
         // received by many nodes are verified once (see
         // [`crate::keys::VerifyCache`] for why sharing across stores is
-        // sound even under G3 disagreement).
-        let cache = crate::keys::VerifyCache::new();
+        // sound even under G3 disagreement). A cluster-installed cache
+        // ([`Cluster::with_verify_cache`]) extends the sharing across
+        // runs — the service-shard reuse path.
+        let cache = self.verify_cache.clone().unwrap_or_default();
         match protocol {
             Protocol::ChainFd => {
                 let params = ChainFdParams::new(self.n, self.t);

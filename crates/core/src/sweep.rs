@@ -56,8 +56,9 @@ pub use crate::adversary::AdversaryKind;
 pub use crate::spec::Protocol;
 
 // Deprecated pre-`RunSpec` dispatch helpers, importable from their old
-// home for the equivalence tests that pin them.
+// home for old callers built with `--features compat`.
 #[allow(deprecated)]
+#[cfg(feature = "compat")]
 pub use crate::compat::{run_keydist_for, run_protocol_with};
 
 /// Signature-scheme selector (sweeps measure message counts, which are
@@ -647,31 +648,62 @@ fn push_json_str(s: &mut String, key: &str, value: &str) {
     s.push('"');
 }
 
-/// Execute one scenario on its configured engine through a fresh
-/// [`Session`], returning the run for cross-validation alongside the
-/// keydist message count. Per-link latency overrides only apply on the
-/// event engine.
-fn execute_scenario(
-    scenario: &Scenario,
-    engine: Engine,
-    link_latency: &[LinkLatencySpec],
-) -> (Option<usize>, FdRunReport) {
-    let cluster = Cluster::new(
-        scenario.n,
-        scenario.t,
-        scenario.scheme.build(),
-        scenario.seed,
-    )
-    .with_engine(engine)
-    .with_latency(scenario.latency)
-    .with_link_latency(if engine == Engine::Event {
-        link_latency.to_vec()
-    } else {
-        Vec::new()
-    });
-    let mut session = Session::new(cluster);
-    let run = session.run(&scenario.spec());
-    (session.keydist_messages(), run)
+/// Where a sweep's scenario runs actually execute.
+///
+/// The sweep logic — matrix expansion, closed-form expectations,
+/// cross-validation, outcome classification — is independent of *where* a
+/// run happens. This seam carries exactly the part that moves: produce
+/// the keydist message count and the [`FdRunReport`] for one scenario on
+/// one engine. [`LocalExecutor`] runs in-process; `lafd sweep --remote`
+/// implements the same trait over the `lafd serve` wire protocol, and the
+/// report bytes are identical either way (the service integration tests
+/// assert this).
+///
+/// The scheduler-search axis always runs locally — it is a tight
+/// schedule-mutation loop around one scenario, not a batch of independent
+/// runs, so shipping it over the wire would serialize the search.
+pub trait ScenarioExecutor: Sync {
+    /// Execute `scenario` on `engine` (the cross-validation twin passes
+    /// [`Engine::Sync`] here regardless of `scenario.engine`) with the
+    /// matrix-wide per-link overrides, returning the keydist message
+    /// count (for protocols that ran one) and the run report.
+    fn execute(
+        &self,
+        scenario: &Scenario,
+        engine: Engine,
+        link_latency: &[LinkLatencySpec],
+    ) -> Result<(Option<usize>, FdRunReport), String>;
+}
+
+/// The in-process executor: a fresh [`Session`] per scenario. Per-link
+/// latency overrides only apply on the event engine.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LocalExecutor;
+
+impl ScenarioExecutor for LocalExecutor {
+    fn execute(
+        &self,
+        scenario: &Scenario,
+        engine: Engine,
+        link_latency: &[LinkLatencySpec],
+    ) -> Result<(Option<usize>, FdRunReport), String> {
+        let cluster = Cluster::new(
+            scenario.n,
+            scenario.t,
+            scenario.scheme.build(),
+            scenario.seed,
+        )
+        .with_engine(engine)
+        .with_latency(scenario.latency)
+        .with_link_latency(if engine == Engine::Event {
+            link_latency.to_vec()
+        } else {
+            Vec::new()
+        });
+        let mut session = Session::new(cluster);
+        let run = session.run(&scenario.spec());
+        Ok((session.keydist_messages(), run))
+    }
 }
 
 /// Execute one scenario with the default extras (no per-link overrides,
@@ -692,8 +724,22 @@ pub fn run_scenario_with(
     link_latency: &[LinkLatencySpec],
     search: Option<SearchAxis>,
 ) -> ScenarioRow {
+    run_scenario_with_executor(scenario, link_latency, search, &LocalExecutor)
+        .expect("the local executor is infallible")
+}
+
+/// [`run_scenario_with`] through an explicit [`ScenarioExecutor`] — the
+/// entry point remote sweeps use. Errors surface the executor's failure
+/// (a lost connection, a service-side rejection); the local executor
+/// never errors.
+pub fn run_scenario_with_executor(
+    scenario: &Scenario,
+    link_latency: &[LinkLatencySpec],
+    search: Option<SearchAxis>,
+    executor: &dyn ScenarioExecutor,
+) -> Result<ScenarioRow, String> {
     let has_links = !link_latency.is_empty() && scenario.engine == Engine::Event;
-    let (keydist_messages, run) = execute_scenario(scenario, scenario.engine, link_latency);
+    let (keydist_messages, run) = executor.execute(scenario, scenario.engine, link_latency)?;
     let keydist_ok = keydist_messages.is_none_or(|m| m == metrics::keydist_messages(scenario.n));
 
     // Cross-validation: the event engine under synchronous latency must
@@ -704,7 +750,7 @@ pub fn run_scenario_with(
         && scenario.latency == LatencySpec::Synchronous
         && !has_links
     {
-        let (twin_keydist, twin) = execute_scenario(scenario, Engine::Sync, &[]);
+        let (twin_keydist, twin) = executor.execute(scenario, Engine::Sync, &[])?;
         twin_keydist == keydist_messages && twin.stats == run.stats && twin.outcomes == run.outcomes
     } else {
         true
@@ -751,7 +797,7 @@ pub fn run_scenario_with(
             }
         });
 
-    ScenarioRow {
+    Ok(ScenarioRow {
         scenario: *scenario,
         keydist_messages,
         keydist_ok,
@@ -763,7 +809,7 @@ pub fn run_scenario_with(
         value_ok,
         cross_ok,
         search,
-    }
+    })
 }
 
 /// Classify the correct-node outcomes of a run.
@@ -804,14 +850,33 @@ pub fn classify(run: &FdRunReport, network_faulted: bool) -> SweepOutcome {
 /// Each scenario is deterministic and self-contained, so the report is
 /// identical for any thread count (see the determinism tests).
 pub fn run_sweep(matrix: &SweepMatrix, threads: usize) -> SweepReport {
+    run_sweep_with(matrix, threads, &LocalExecutor).expect("the local executor is infallible")
+}
+
+/// [`run_sweep`] through an explicit [`ScenarioExecutor`] — `lafd sweep
+/// --remote` passes a wire-backed executor here to drive a live `lafd
+/// serve` instance. Fails on the first executor error (partial remote
+/// sweeps would silently misreport coverage).
+pub fn run_sweep_with(
+    matrix: &SweepMatrix,
+    threads: usize,
+    executor: &dyn ScenarioExecutor,
+) -> Result<SweepReport, String> {
     let scenarios = matrix.scenarios();
     let rows = pool::parallel_indexed(scenarios.len(), threads, |index| {
-        run_scenario_with(&scenarios[index], &matrix.link_latency, matrix.search)
-    });
-    SweepReport {
+        run_scenario_with_executor(
+            &scenarios[index],
+            &matrix.link_latency,
+            matrix.search,
+            executor,
+        )
+    })
+    .into_iter()
+    .collect::<Result<Vec<ScenarioRow>, String>>()?;
+    Ok(SweepReport {
         rows,
         link_latency: matrix.link_latency.clone(),
-    }
+    })
 }
 
 #[cfg(test)]

@@ -3,24 +3,65 @@
 #
 # The per-protocol `Cluster::run_*` / `run_*_with` methods were collapsed
 # into `Cluster::run(&RunSpec)`; the old names live on solely as deprecated
-# shims in crates/core/src/compat.rs. This gate fails the build if a new
-# per-protocol run variant is (re)defined anywhere else, so the surface
-# cannot silently regrow.
+# shims in crates/core/src/compat.rs, behind the off-by-default `compat`
+# cargo feature. This gate fails the build if:
+#
+#   1. a new per-protocol run variant is (re)defined anywhere else, or
+#   2. deprecated shim names are *called* outside the shim module and the
+#      compat-gated half of the equivalence suite, or
+#   3. a file-level `#![allow(deprecated)]` pin appears outside those two
+#      places — new code must target the RunSpec API, not silence the
+#      deprecation.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-pattern='fn run_(chain_fd|non_auth_fd|small_range|fd_to_ba|degradable|dolev_strong|phase_king|vector_fd)'
+fail=0
 
-matches=$(grep -rnE "$pattern" \
+# Gate 1: no per-protocol run_* definitions outside the shim module.
+def_pattern='fn run_(chain_fd|non_auth_fd|small_range|fd_to_ba|degradable|dolev_strong|phase_king|vector_fd)'
+matches=$(grep -rnE "$def_pattern" \
     --include='*.rs' \
     crates src examples \
     | grep -v 'crates/core/src/compat.rs' || true)
-
 if [ -n "$matches" ]; then
-    echo "error: per-protocol run_* variants outside the deprecated-shim module" >&2
-    echo "       (crates/core/src/compat.rs). Route execution through" >&2
+    echo "error: per-protocol run_* variants defined outside the deprecated-shim" >&2
+    echo "       module (crates/core/src/compat.rs). Route execution through" >&2
     echo "       Cluster::run(&RunSpec) / Session instead:" >&2
     echo "$matches" >&2
+    fail=1
+fi
+
+# Gate 2: no deprecated call sites outside compat.rs, its gated re-export
+# in sweep.rs, and the equivalence suite's compat-gated legacy module.
+# `run_keydist_for`/`run_protocol_with` are the free-function shims; the
+# method pattern covers `c.run_chain_fd(...)`-style calls.
+call_pattern='\.run_(chain_fd|non_auth_fd|small_range|fd_to_ba|degradable|dolev_strong|phase_king|vector_fd)(_with)?\(|run_keydist_for\(|run_protocol_with\('
+matches=$(grep -rnE "$call_pattern" \
+    --include='*.rs' \
+    crates src examples tests 2>/dev/null \
+    | grep -v 'crates/core/src/compat.rs' \
+    | grep -v 'tests/runspec_equivalence.rs' || true)
+if [ -n "$matches" ]; then
+    echo "error: deprecated pre-RunSpec API call sites outside compat.rs /" >&2
+    echo "       the compat-gated equivalence suite. Migrate to" >&2
+    echo "       Cluster::run(&RunSpec) / run_with_keys:" >&2
+    echo "$matches" >&2
+    fail=1
+fi
+
+# Gate 3: no blanket deprecation silencing outside the sanctioned places.
+matches=$(grep -rn --include='*.rs' -F '#![allow(deprecated)]' \
+    crates src examples tests 2>/dev/null \
+    | grep -v 'crates/core/src/compat.rs' \
+    | grep -v 'tests/runspec_equivalence.rs' || true)
+if [ -n "$matches" ]; then
+    echo "error: file/module-level #![allow(deprecated)] outside compat.rs /" >&2
+    echo "       the equivalence suite — migrate the code instead of pinning it:" >&2
+    echo "$matches" >&2
+    fail=1
+fi
+
+if [ "$fail" -ne 0 ]; then
     exit 1
 fi
-echo "run-surface gate: OK (no per-protocol run_* variants outside compat.rs)"
+echo "run-surface gate: OK (definitions, call sites, and deprecation pins all clean)"

@@ -9,6 +9,9 @@
 //!               [--adversary KIND[:NODES]] [--crash I]
 //!               [--drop R:FROM:TO] [--corrupt R:FROM:TO:OFF:MASK]
 //!               [--delay R:FROM:TO:BY] [--reorder R:FROM:TO]
+//! lafd run      --spec FILE.json   # wire-v1 request (the `lafd serve` format)
+//! lafd serve    [--shards 2] [--max-sessions 8] [--stdin] [--listen ADDR]
+//!               [--unix PATH] [--clients C] [--metrics PATH]
 //! lafd search   <protocol> [--budget N] [--strategy random|greedy] [-n 8]
 //!               [--t T] [--seed S] [--latency jitter:2] [--adversary none]
 //!               [--threads N] [--json PATH] [--md PATH]
@@ -24,55 +27,56 @@
 //!               [--schemes tiny,dsa-tiny,s512] [--seeds 1,2]
 //!               [--engines sync,event] [--latencies sync,jitter:1,psync:2:1]
 //!               [--link-latency FROM:TO:MODEL[:ARG]] [--search N[:STRATEGY]]
-//!               [--threads N] [--json PATH] [--md PATH]
+//!               [--remote ADDR] [--threads N] [--json PATH] [--md PATH]
 //! lafd bench    [--quick] [--out BENCH_5.json] [--sizes 256,1024,2048,4096]
 //!               [--t 1] [--seed 1] [--protocols chain,ds] [--engines sync,event]
 //! ```
+//!
+//! Every subcommand that executes a protocol run goes through one request
+//! path: flags build a [`SpecBuilder`], the builder validates the shape,
+//! and execution happens via [`SpecBuilder::build`] — the same object the
+//! `lafd serve` wire format serializes, so a flag invocation and a
+//! service request are provably the same run.
 
 use local_auth_fd::core::adversary::AdversarySpec;
 use local_auth_fd::core::metrics;
-use local_auth_fd::core::runner::Cluster;
+use local_auth_fd::core::runner::{Cluster, FdRunReport};
 use local_auth_fd::core::schedsearch::{run_search_parallel, SearchConfig, Strategy};
-use local_auth_fd::core::spec::{Protocol, RunSpec, Session};
+use local_auth_fd::core::service::{FdService, ServiceConfig};
+use local_auth_fd::core::spec::{Protocol, RunSpec, Session, SpecBuilder};
 use local_auth_fd::core::sweep::{
-    classify, run_sweep, AdversaryKind, FaultRule, SchemeSpec, SearchAxis, SweepMatrix,
-    SweepOutcome,
+    classify, run_sweep_with, AdversaryKind, FaultRule, LocalExecutor, Scenario, ScenarioExecutor,
+    SchemeSpec, SearchAxis, SweepMatrix, SweepOutcome,
 };
-use local_auth_fd::crypto::{DsaScheme, RsaScheme, SchnorrScheme, SignatureScheme};
-use local_auth_fd::simnet::fault::{FaultPlan, LinkFault};
+use local_auth_fd::core::wire;
+use local_auth_fd::crypto::{SchnorrScheme, SignatureScheme};
+use local_auth_fd::simnet::fault::LinkFault;
 use local_auth_fd::simnet::{Engine, LatencySpec, LinkLatencySpec, Node, NodeId};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::process::ExitCode;
 use std::sync::Arc;
 
+/// Flags of the classic subcommands that are not part of the run shape
+/// (the shape itself lives in the [`SpecBuilder`]).
 #[derive(Debug)]
-struct Opts {
-    n: usize,
-    t: usize,
-    seed: u64,
-    scheme: String,
+struct Extras {
     value: String,
     runs: usize,
     crash: Option<usize>,
     equivocate: bool,
 }
 
-impl Default for Opts {
-    fn default() -> Self {
-        Opts {
-            n: 7,
-            t: 2,
-            seed: 1,
-            scheme: "tiny".to_string(),
-            value: "attack at dawn".to_string(),
-            runs: 3,
-            crash: None,
-            equivocate: false,
-        }
-    }
-}
-
-fn parse(args: &[String]) -> Result<Opts, String> {
-    let mut opts = Opts::default();
+/// Parse the classic subcommands' shared flag set into the single request
+/// path: a [`SpecBuilder`] (shape) plus the presentation extras. The
+/// caller assigns the protocol (it is implied by the subcommand name).
+fn parse_common(args: &[String]) -> Result<(SpecBuilder, Extras), String> {
+    let mut builder = SpecBuilder::new(Protocol::ChainFd, 7).with_t(2);
+    let mut extras = Extras {
+        value: "attack at dawn".to_string(),
+        runs: 3,
+        crash: None,
+        equivocate: false,
+    };
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         let mut grab = || {
@@ -81,44 +85,26 @@ fn parse(args: &[String]) -> Result<Opts, String> {
                 .ok_or_else(|| format!("flag {flag} needs a value"))
         };
         match flag.as_str() {
-            "--n" => opts.n = grab()?.parse().map_err(|e| format!("--n: {e}"))?,
-            "--t" => opts.t = grab()?.parse().map_err(|e| format!("--t: {e}"))?,
-            "--seed" => opts.seed = grab()?.parse().map_err(|e| format!("--seed: {e}"))?,
-            "--scheme" => opts.scheme = grab()?,
-            "--value" => opts.value = grab()?,
-            "--runs" => opts.runs = grab()?.parse().map_err(|e| format!("--runs: {e}"))?,
-            "--crash" => opts.crash = Some(grab()?.parse().map_err(|e| format!("--crash: {e}"))?),
-            "--equivocate" => opts.equivocate = true,
+            "--n" => builder.n = grab()?.parse().map_err(|e| format!("--n: {e}"))?,
+            "--t" => builder.t = Some(grab()?.parse().map_err(|e| format!("--t: {e}"))?),
+            "--seed" => builder.seed = grab()?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--scheme" => builder.scheme = grab()?,
+            "--value" => extras.value = grab()?,
+            "--runs" => extras.runs = grab()?.parse().map_err(|e| format!("--runs: {e}"))?,
+            "--crash" => {
+                extras.crash = Some(grab()?.parse().map_err(|e| format!("--crash: {e}"))?);
+            }
+            "--equivocate" => extras.equivocate = true,
             other => return Err(format!("unknown flag {other}")),
         }
     }
-    if opts.t + 2 > opts.n {
-        return Err(format!("need t + 2 <= n (got n={}, t={})", opts.n, opts.t));
-    }
-    Ok(opts)
-}
-
-fn scheme_by_name(name: &str) -> Result<Arc<dyn SignatureScheme>, String> {
-    Ok(match name {
-        "tiny" => Arc::new(SchnorrScheme::test_tiny()),
-        "s512" => Arc::new(SchnorrScheme::s512()),
-        "s1024" => Arc::new(SchnorrScheme::s1024()),
-        "s2048" => Arc::new(SchnorrScheme::s2048()),
-        "dsa512" => Arc::new(DsaScheme::s512()),
-        "dsa1024" => Arc::new(DsaScheme::s1024()),
-        "rsa512" => Arc::new(RsaScheme::new(512)),
-        "rsa1024" => Arc::new(RsaScheme::new(1024)),
-        other => {
-            return Err(format!(
-                "unknown scheme {other} (tiny|s512|s1024|s2048|dsa512|dsa1024|rsa512|rsa1024)"
-            ))
-        }
-    })
+    builder = builder.with_input(extras.value.clone().into_bytes());
+    Ok((builder, extras))
 }
 
 fn usage() {
     eprintln!(
-        "usage: lafd <keydist|fd|run|search|bench|vector|ba|degrade|king|rotate|tcp|trace|sweep> [--n N] \
+        "usage: lafd <keydist|fd|run|serve|search|bench|vector|ba|degrade|king|rotate|tcp|trace|sweep> [--n N] \
          [--t T] [--seed S] [--scheme tiny|s512|s1024|s2048|dsa512|dsa1024|rsa512|rsa1024] \
          [--value V] [--runs K] [--crash I] [--equivocate]\n\
          run: lafd run <chain|nonauth|small|ba|degrade|ds|king> [-n N] [--t T] \
@@ -126,14 +112,16 @@ fn usage() {
          [--link-latency FROM:TO:MODEL[:ARG]] \
          [--adversary none|silent|crash|tamper|forge|wrongname|equivocate[:NODES]] \
          [--drop R:FROM:TO] [--corrupt R:FROM:TO:OFF:MASK] [--delay R:FROM:TO:BY] \
-         [--reorder R:FROM:TO] [--crash I]\n\
+         [--reorder R:FROM:TO] [--crash I] — or: lafd run --spec FILE.json\n\
+         serve: lafd serve [--shards N] [--max-sessions K] [--stdin] [--listen HOST:PORT] \
+         [--unix PATH] [--clients C] [--metrics PATH]\n\
          search: lafd search <protocol> [--budget N] [--strategy random|greedy] [-n N] \
          [--t T] [--seed S] [--latency jitter:2] [--adversary none|silent|...] \
          [--threads N] [--json PATH] [--md PATH]\n\
          sweep flags: [--protocols all|LIST] [--sizes LIST] [--faults auto|LIST] \
          [--adversaries LIST] [--schemes LIST] [--seeds LIST] [--engines LIST] \
          [--latencies LIST] [--link-latency SPEC] [--search N[:STRATEGY]] \
-         [--threads N] [--json PATH] [--md PATH]\n\
+         [--remote HOST:PORT] [--threads N] [--json PATH] [--md PATH]\n\
          bench: lafd bench [--quick] [--out PATH] [--sizes LIST] [--t T] [--seed S] \
          [--protocols chain,ds] [--engines sync,event]"
     );
@@ -145,50 +133,66 @@ fn main() -> ExitCode {
         usage();
         return ExitCode::FAILURE;
     };
-    if cmd == "sweep" {
-        // The sweep subcommand has its own flag set (a matrix, not one
-        // shape), so it bypasses the common parser.
-        return cmd_sweep(rest);
+    match cmd.as_str() {
+        // These subcommands have their own flag sets and bypass the
+        // common parser.
+        "sweep" => return cmd_sweep(rest),
+        "run" => return cmd_run(rest),
+        "serve" => return cmd_serve(rest),
+        "search" => return cmd_search(rest),
+        "bench" => return cmd_bench(rest),
+        _ => {}
     }
-    if cmd == "run" {
-        // So does `run` (engine/latency/fault flags).
-        return cmd_run(rest);
-    }
-    if cmd == "search" {
-        // And `search` (budget/strategy flags).
-        return cmd_search(rest);
-    }
-    if cmd == "bench" {
-        // And `bench` (size/output flags).
-        return cmd_bench(rest);
-    }
-    let opts = match parse(rest) {
-        Ok(o) => o,
+    let (mut builder, extras) = match parse_common(rest) {
+        Ok(parsed) => parsed,
         Err(e) => {
             eprintln!("error: {e}");
             usage();
             return ExitCode::FAILURE;
         }
     };
-    let scheme = match scheme_by_name(&opts.scheme) {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("error: {e}");
-            return ExitCode::FAILURE;
-        }
+    // The protocol is implied by the subcommand; every other command uses
+    // the chain-FD shape (keydist/vector/tcp/trace/rotate run chain-FD
+    // machinery or none at all).
+    builder.protocol = match cmd.as_str() {
+        "ba" => Protocol::FdToBa,
+        "degrade" => Protocol::Degradable,
+        "king" => Protocol::PhaseKing,
+        _ => Protocol::ChainFd,
     };
-    let cluster = Cluster::new(opts.n, opts.t, scheme, opts.seed);
+    // `--crash I` is sugar for a silent adversary at node I on the
+    // commands that script one.
+    if matches!(cmd.as_str(), "ba" | "king") {
+        if let Some(crash) = extras.crash {
+            if crash >= builder.n {
+                eprintln!(
+                    "error: --crash {crash} is out of range for n = {}",
+                    builder.n
+                );
+                return ExitCode::FAILURE;
+            }
+            builder = builder.with_adversary(AdversarySpec::scripted_at(
+                AdversaryKind::SilentRelay,
+                vec![NodeId(crash as u16)],
+            ));
+        }
+    }
+    if let Err(e) = builder.validate() {
+        eprintln!("error: {e}");
+        usage();
+        return ExitCode::FAILURE;
+    }
 
     match cmd.as_str() {
-        "keydist" => cmd_keydist(&cluster),
-        "fd" => cmd_fd(&cluster, &opts),
-        "vector" => cmd_vector(&cluster),
-        "ba" => cmd_ba(&cluster, &opts),
-        "degrade" => cmd_degrade(&cluster, &opts),
-        "king" => cmd_king(&cluster, &opts),
-        "rotate" => cmd_rotate(cluster.clone(), &opts),
-        "tcp" => cmd_tcp(&cluster, &opts),
-        "trace" => cmd_trace(&cluster, &opts),
+        "keydist" => cmd_keydist(&builder),
+        "fd" => cmd_fd(&builder, &extras),
+        "vector" => cmd_vector(&builder),
+        "ba" => cmd_ba(&builder, &extras),
+        "degrade" => cmd_degrade(&builder, &extras),
+        "king" => cmd_king(&builder, &extras),
+        "rotate" => cmd_rotate(&builder, &extras),
+        "tcp" => cmd_tcp(&builder),
+        "trace" => cmd_trace(&builder, &extras),
         other => {
             eprintln!("error: unknown command {other}");
             usage();
@@ -198,7 +202,8 @@ fn main() -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn cmd_keydist(cluster: &Cluster) {
+fn cmd_keydist(builder: &SpecBuilder) {
+    let cluster = builder.build_cluster().expect("validated by main");
     let kd = cluster.run_key_distribution();
     println!(
         "key distribution: n = {}, {} messages (3n(n-1) = {}), {} bytes on the wire",
@@ -218,14 +223,15 @@ fn cmd_keydist(cluster: &Cluster) {
     );
 }
 
-fn cmd_fd(cluster: &Cluster, opts: &Opts) {
+fn cmd_fd(builder: &SpecBuilder, extras: &Extras) {
+    let cluster = builder.build_cluster().expect("validated by main");
     let mut session = Session::new(cluster.clone());
     println!(
         "key distribution: {} messages (once)",
         session.keydist().stats.messages_total
     );
-    for k in 0..opts.runs {
-        let value = format!("{} #{k}", opts.value).into_bytes();
+    for k in 0..extras.runs {
+        let value = format!("{} #{k}", extras.value).into_bytes();
         let run = session.run(&RunSpec::new(Protocol::ChainFd, value.clone()));
         println!(
             "fd run {k}: {} messages, all decided = {}",
@@ -276,43 +282,37 @@ fn parse_link_spec(spec: &str, extra: usize) -> Result<(u32, NodeId, NodeId, Vec
     Ok((round, from, to, rest))
 }
 
-struct RunOpts {
-    protocol: Protocol,
-    n: usize,
-    t: Option<usize>,
-    seed: u64,
-    scheme: String,
-    value: String,
-    engine: Engine,
-    latency: LatencySpec,
-    link_latency: Vec<LinkLatencySpec>,
-    faults: FaultPlan,
-    adversary: AdversarySpec,
+/// How `lafd run` was invoked: flags building a request, or a wire-v1
+/// request file (`--spec FILE`, the `lafd serve` format).
+enum RunInvocation {
+    Flags(Box<SpecBuilder>),
+    SpecFile(String),
 }
 
-fn parse_run(args: &[String]) -> Result<RunOpts, String> {
+fn parse_run(args: &[String]) -> Result<RunInvocation, String> {
     let Some((proto, rest)) = args.split_first() else {
-        return Err("run needs a protocol (chain|nonauth|small|ba|degrade|ds|king)".to_string());
+        return Err(
+            "run needs a protocol (chain|nonauth|small|ba|degrade|ds|king) or --spec FILE"
+                .to_string(),
+        );
     };
-    let mut opts = RunOpts {
-        protocol: Protocol::parse(proto)?,
-        n: 7,
-        t: None,
-        seed: 1,
-        scheme: "tiny".to_string(),
-        value: "attack at dawn".to_string(),
-        engine: Engine::Sync,
-        latency: LatencySpec::Synchronous,
-        link_latency: Vec::new(),
-        faults: FaultPlan::new(),
-        adversary: AdversarySpec::Honest,
-    };
+    if proto == "--spec" {
+        let [path] = rest else {
+            return Err("--spec takes exactly one file path and no other flags".to_string());
+        };
+        return Ok(RunInvocation::SpecFile(path.clone()));
+    }
+    let mut builder = SpecBuilder::new(Protocol::parse(proto)?, 7)
+        .with_input(b"attack at dawn".to_vec())
+        .with_default_value(b"default".to_vec());
     let mut crash: Option<usize> = None;
     let mut adversary_given = false;
     let mut latency_given = false;
     let mut engine_given = false;
     // Node ids referenced by fault specs, validated against n once the
     // whole flag list (which may set --n later) has been parsed.
+    // (SpecBuilder::validate covers link-latency and adversary ranges; the
+    // link-fault plan is CLI-only and checked here.)
     let mut fault_nodes: Vec<NodeId> = Vec::new();
     let mut it = rest.iter();
     while let Some(flag) = it.next() {
@@ -322,33 +322,32 @@ fn parse_run(args: &[String]) -> Result<RunOpts, String> {
                 .ok_or_else(|| format!("flag {flag} needs a value"))
         };
         match flag.as_str() {
-            "-n" | "--n" => opts.n = grab()?.parse().map_err(|e| format!("--n: {e}"))?,
-            "--t" => opts.t = Some(grab()?.parse().map_err(|e| format!("--t: {e}"))?),
-            "--seed" => opts.seed = grab()?.parse().map_err(|e| format!("--seed: {e}"))?,
-            "--scheme" => opts.scheme = grab()?,
-            "--value" => opts.value = grab()?,
+            "-n" | "--n" => builder.n = grab()?.parse().map_err(|e| format!("--n: {e}"))?,
+            "--t" => builder.t = Some(grab()?.parse().map_err(|e| format!("--t: {e}"))?),
+            "--seed" => builder.seed = grab()?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--scheme" => builder.scheme = grab()?,
+            "--value" => builder.input = grab()?.into_bytes(),
             "--engine" => {
-                opts.engine = Engine::parse(&grab()?)?;
+                builder.engine = Engine::parse(&grab()?)?;
                 engine_given = true;
             }
             "--latency" => {
-                opts.latency = LatencySpec::parse(&grab()?)?;
+                builder = builder.with_latency(LatencySpec::parse(&grab()?)?);
                 latency_given = true;
             }
             "--link-latency" => {
                 let link = LinkLatencySpec::parse(&grab()?)?;
-                fault_nodes.extend([link.from, link.to]);
-                opts.link_latency.push(link);
+                builder.link_latency.push(link);
             }
             "--crash" => crash = Some(grab()?.parse().map_err(|e| format!("--crash: {e}"))?),
             "--adversary" => {
-                opts.adversary = AdversarySpec::parse(&grab()?)?;
+                builder.adversary = AdversarySpec::parse(&grab()?)?;
                 adversary_given = true;
             }
             "--drop" => {
                 let (r, from, to, _) = parse_link_spec(&grab()?, 0)?;
                 fault_nodes.extend([from, to]);
-                opts.faults = opts.faults.with(r, from, to, LinkFault::Drop);
+                builder.faults = builder.faults.with(r, from, to, LinkFault::Drop);
             }
             "--corrupt" => {
                 let (r, from, to, ps) = parse_link_spec(&grab()?, 2)?;
@@ -359,7 +358,7 @@ fn parse_run(args: &[String]) -> Result<RunOpts, String> {
                     mask: u8::try_from(ps[1])
                         .map_err(|_| format!("--corrupt: mask {} exceeds a byte", ps[1]))?,
                 };
-                opts.faults = opts.faults.with(r, from, to, fault);
+                builder.faults = builder.faults.with(r, from, to, fault);
             }
             "--delay" => {
                 let (r, from, to, ps) = parse_link_spec(&grab()?, 1)?;
@@ -374,48 +373,46 @@ fn parse_run(args: &[String]) -> Result<RunOpts, String> {
                         )
                     })?;
                 let fault = LinkFault::Delay { rounds };
-                opts.faults = opts.faults.with(r, from, to, fault);
+                builder.faults = builder.faults.with(r, from, to, fault);
             }
             "--reorder" => {
                 let (r, from, to, _) = parse_link_spec(&grab()?, 0)?;
                 fault_nodes.extend([from, to]);
-                opts.faults = opts.faults.with(r, from, to, LinkFault::Reorder);
+                builder.faults = builder.faults.with(r, from, to, LinkFault::Reorder);
             }
             other => return Err(format!("unknown run flag {other}")),
         }
     }
     // A latency model implies the event engine; the lockstep engine cannot
     // express one. An *explicit* --engine sync contradicting it is an
-    // error, not a silent override.
-    if latency_given && opts.latency != LatencySpec::Synchronous && opts.engine == Engine::Sync {
+    // error, not a silent override. (SpecBuilder::validate would reject
+    // the contradiction too; resolving it here keeps the flag UX — the
+    // builder itself never auto-upgrades.)
+    if latency_given
+        && builder.latency != LatencySpec::Synchronous
+        && builder.engine == Engine::Sync
+    {
         if engine_given {
             return Err(format!(
                 "--engine sync cannot express --latency {}; use --engine event",
-                opts.latency
+                builder.latency
             ));
         }
-        opts.engine = Engine::Event;
+        builder.engine = Engine::Event;
     }
     // Per-link overrides likewise only exist on the event engine.
-    if !opts.link_latency.is_empty() && opts.engine == Engine::Sync {
+    if !builder.link_latency.is_empty() && builder.engine == Engine::Sync {
         if engine_given {
             return Err(
                 "--engine sync cannot express --link-latency; use --engine event".to_string(),
             );
         }
-        opts.engine = Engine::Event;
+        builder.engine = Engine::Event;
     }
-    if opts.n > u16::MAX as usize {
+    if let Some(bad) = fault_nodes.iter().find(|id| id.index() >= builder.n) {
         return Err(format!(
-            "--n {} exceeds the node-id range (max {})",
-            opts.n,
-            u16::MAX
-        ));
-    }
-    if let Some(bad) = fault_nodes.iter().find(|id| id.index() >= opts.n) {
-        return Err(format!(
-            "fault or link-latency spec references node {bad} but n = {}",
-            opts.n
+            "fault spec references node {bad} but n = {}",
+            builder.n
         ));
     }
     // `--crash I` is sugar for a silent adversary at node I.
@@ -423,116 +420,75 @@ fn parse_run(args: &[String]) -> Result<RunOpts, String> {
         if adversary_given {
             return Err("--crash and --adversary cannot be combined".to_string());
         }
-        if crash >= opts.n {
+        if crash >= builder.n {
             return Err(format!(
                 "--crash {crash} is out of range for n = {}",
-                opts.n
+                builder.n
             ));
         }
-        opts.adversary =
+        builder.adversary =
             AdversarySpec::scripted_at(AdversaryKind::SilentRelay, vec![NodeId(crash as u16)]);
     }
-    if let Some(bad) = opts
-        .adversary
-        .corrupt_set()
-        .iter()
-        .find(|id| id.index() >= opts.n)
-    {
-        return Err(format!(
-            "--adversary references node {bad} but n = {}",
-            opts.n
-        ));
-    }
-    if !opts.adversary.applies_to(opts.protocol) {
-        return Err(format!(
-            "adversary {} cannot speak protocol {} (chain-specific misbehaviours need chain FD)",
-            opts.adversary.name(),
-            opts.protocol
-        ));
-    }
-    let t = opts
-        .t
-        .unwrap_or_else(|| ((opts.n.saturating_sub(1)) / 3).min(opts.n.saturating_sub(2)));
-    if !opts.protocol.admissible(opts.n, t) {
-        return Err(format!(
-            "protocol {} is not admissible at n={}, t={t}",
-            opts.protocol, opts.n
-        ));
-    }
-    opts.t = Some(t);
-    Ok(opts)
+    builder.validate()?;
+    Ok(RunInvocation::Flags(Box::new(builder)))
 }
 
 fn cmd_run(args: &[String]) -> ExitCode {
-    let opts = match parse_run(args) {
-        Ok(o) => o,
+    let builder = match parse_run(args) {
+        Ok(RunInvocation::Flags(builder)) => *builder,
+        Ok(RunInvocation::SpecFile(path)) => return cmd_run_spec_file(&path),
         Err(e) => {
             eprintln!("error: {e}");
             usage();
             return ExitCode::FAILURE;
         }
     };
-    let scheme = match scheme_by_name(&opts.scheme) {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("error: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
-    let t = opts.t.expect("resolved by parse_run");
-    let cluster = Cluster::new(opts.n, t, scheme, opts.seed)
-        .with_engine(opts.engine)
-        .with_latency(opts.latency)
-        .with_link_latency(opts.link_latency.clone())
-        .with_faults(opts.faults.clone());
+    let t = builder.resolved_t();
+    let (cluster, spec) = builder.build().expect("validated by parse_run");
 
     println!(
         "run {}: n = {}, t = {t}, engine = {}, latency = {}, adversary = {}, \
          {} link override(s), {} link fault(s)",
-        opts.protocol,
-        opts.n,
-        opts.engine,
-        opts.latency,
-        opts.adversary.name(),
-        opts.link_latency.len(),
-        opts.faults.len(),
+        builder.protocol,
+        builder.n,
+        builder.engine,
+        builder.latency,
+        builder.adversary.name(),
+        builder.link_latency.len(),
+        builder.faults.len(),
     );
 
     let mut session = Session::new(cluster);
     let kd_start = std::time::Instant::now();
-    if opts.protocol.needs_keys() {
+    if builder.protocol.needs_keys() {
         let kd = session.keydist();
         println!(
             "key distribution (setup phase): {} messages (3n(n-1) = {}), {:.2?}",
             kd.stats.messages_total,
-            metrics::keydist_messages(opts.n),
+            metrics::keydist_messages(builder.n),
             kd_start.elapsed(),
         );
     }
     let start = std::time::Instant::now();
-    let value = opts.value.clone().into_bytes();
-    let spec = RunSpec::new(opts.protocol, value.clone())
-        .with_default_value(b"default".to_vec())
-        .with_adversary(opts.adversary.clone());
     let run = session.run(&spec);
     let elapsed = start.elapsed();
 
-    let network_faulted = !opts.faults.is_empty()
-        || opts.latency != LatencySpec::Synchronous
-        || !opts.link_latency.is_empty();
+    let network_faulted = !builder.faults.is_empty()
+        || builder.latency != LatencySpec::Synchronous
+        || !builder.link_latency.is_empty();
     let outcome = classify(&run, network_faulted);
-    let clean = opts.adversary.is_honest() && !network_faulted;
+    let clean = builder.adversary.is_honest() && !network_faulted;
     let formula = clean
-        .then(|| opts.protocol.expected_messages(opts.n, t))
+        .then(|| builder.protocol.expected_messages(builder.n, t))
         .map_or_else(|| "—".to_string(), |m| m.to_string());
     println!(
         "{}: {} messages (formula {formula}), {} bytes, {} comm rounds, {elapsed:.2?}",
-        opts.protocol,
+        builder.protocol,
         run.stats.messages_total,
         run.stats.bytes_total,
         run.stats.per_round.iter().filter(|&&x| x > 0).count(),
     );
-    if opts.n <= 16 {
+    if builder.n <= 16 {
         for (i, o) in run.outcomes.iter().enumerate() {
             match o {
                 Some(o) => println!("  P{i}: {o}"),
@@ -557,7 +513,7 @@ fn cmd_run(args: &[String]) -> ExitCode {
     // the paper's failure-free contract: closed-form message count and a
     // unanimous decision on the sender's value.
     if clean {
-        let expected = opts.protocol.expected_messages(opts.n, t);
+        let expected = builder.protocol.expected_messages(builder.n, t);
         if run.stats.messages_total != expected {
             eprintln!(
                 "error: clean run sent {} messages, formula says {expected}",
@@ -565,12 +521,352 @@ fn cmd_run(args: &[String]) -> ExitCode {
             );
             return ExitCode::FAILURE;
         }
-        if outcome != SweepOutcome::AllDecided || !run.all_decided(&value) {
+        if outcome != SweepOutcome::AllDecided || !run.all_decided(&builder.input) {
             eprintln!("error: clean run did not unanimously decide the sender's value");
             return ExitCode::FAILURE;
         }
     }
     ExitCode::SUCCESS
+}
+
+/// `lafd run --spec FILE.json`: execute one wire-v1 request (the exact
+/// format `lafd serve` accepts) and print the report JSON to stdout.
+fn cmd_run_spec_file(path: &str) -> ExitCode {
+    let raw = match std::fs::read_to_string(path) {
+        Ok(raw) => raw,
+        Err(e) => {
+            eprintln!("error: reading {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (builder, id) = match wire::request_from_json(raw.trim()) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("error: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = builder.validate() {
+        eprintln!("error: {path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    if let Some(id) = id {
+        eprintln!("run --spec: request id {id}");
+    }
+    let (cluster, spec) = builder.build().expect("validated above");
+    let run = cluster.run(&spec);
+    println!("{}", run.to_json());
+    let network_faulted =
+        builder.latency != LatencySpec::Synchronous || !builder.link_latency.is_empty();
+    if classify(&run, network_faulted) == SweepOutcome::SilentDisagreement {
+        eprintln!("error: silent disagreement — the state the paper forbids");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+/// Configuration of one `lafd serve` invocation.
+struct ServeOpts {
+    shards: usize,
+    max_sessions: usize,
+    clients: usize,
+    stdin: bool,
+    listen: Option<String>,
+    unix: Option<String>,
+    metrics: Option<String>,
+}
+
+fn parse_serve(args: &[String]) -> Result<ServeOpts, String> {
+    let mut opts = ServeOpts {
+        shards: 2,
+        max_sessions: 8,
+        clients: std::thread::available_parallelism().map_or(1, std::num::NonZero::get),
+        stdin: false,
+        listen: None,
+        unix: None,
+        metrics: None,
+    };
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut grab = || {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("flag {flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--shards" => {
+                opts.shards = grab()?.parse().map_err(|e| format!("--shards: {e}"))?;
+                if opts.shards == 0 || opts.shards > 256 {
+                    return Err("--shards must be in 1..=256".to_string());
+                }
+            }
+            "--max-sessions" => {
+                opts.max_sessions = grab()?
+                    .parse()
+                    .map_err(|e| format!("--max-sessions: {e}"))?;
+                if opts.max_sessions == 0 {
+                    return Err("--max-sessions must be at least 1".to_string());
+                }
+            }
+            "--clients" => {
+                opts.clients = grab()?.parse().map_err(|e| format!("--clients: {e}"))?;
+                if opts.clients == 0 {
+                    return Err("--clients must be at least 1".to_string());
+                }
+            }
+            "--stdin" => opts.stdin = true,
+            "--listen" => opts.listen = Some(grab()?),
+            "--unix" => opts.unix = Some(grab()?),
+            "--metrics" => opts.metrics = Some(grab()?),
+            other => return Err(format!("unknown serve flag {other}")),
+        }
+    }
+    if opts.listen.is_some() && opts.unix.is_some() {
+        return Err("--listen and --unix are mutually exclusive".to_string());
+    }
+    if opts.stdin && (opts.listen.is_some() || opts.unix.is_some()) {
+        return Err("--stdin does not compose with --listen/--unix".to_string());
+    }
+    Ok(opts)
+}
+
+/// Answer one request line: control verbs (`{"op": "metrics"}`,
+/// `{"op": "shutdown"}`) are handled here; everything else is a wire-v1
+/// `RunSpec` request routed into the service.
+fn dispatch_line(
+    request: &str,
+    service: &FdService,
+    stop: &std::sync::atomic::AtomicBool,
+) -> String {
+    if let Ok(value) = wire::Value::parse(request) {
+        if let Some(op) = value.get("op").and_then(wire::Value::as_str) {
+            return match op {
+                // Compact the pretty-printed metrics document onto one
+                // line so it fits the newline-delimited reply framing.
+                "metrics" => wire::Value::parse(&service.metrics_json())
+                    .map_or_else(|e| wire::error_to_json(None, &e), |v| v.to_json()),
+                "shutdown" => {
+                    stop.store(true, std::sync::atomic::Ordering::SeqCst);
+                    "{\"ok\": true, \"draining\": true}".to_string()
+                }
+                other => wire::error_to_json(None, &format!("unknown op {other}")),
+            };
+        }
+    }
+    service.submit_line(request)
+}
+
+/// Serve one accepted connection: newline-delimited requests in, one
+/// response line per request out. The stream carries a read timeout so
+/// an idle connection notices the shutdown flag.
+fn handle_connection<S: Read + Write>(
+    stream: S,
+    service: &FdService,
+    stop: &std::sync::atomic::AtomicBool,
+) {
+    use std::sync::atomic::Ordering;
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        match reader.read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {
+                let request = line.trim().to_string();
+                line.clear();
+                if request.is_empty() {
+                    continue;
+                }
+                let response = dispatch_line(&request, service, stop);
+                let out = reader.get_mut();
+                if out
+                    .write_all(response.as_bytes())
+                    .and_then(|()| out.write_all(b"\n"))
+                    .and_then(|()| out.flush())
+                    .is_err()
+                {
+                    break;
+                }
+                if stop.load(Ordering::SeqCst) {
+                    break;
+                }
+            }
+            // A timed-out read leaves any partial line in the buffer;
+            // keep it and poll the shutdown flag.
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if stop.load(Ordering::SeqCst) {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+/// Accept loop shared by the TCP and Unix listeners: poll a non-blocking
+/// accept, hand each connection to a scoped thread, exit when a client
+/// sends `{"op": "shutdown"}`.
+fn accept_loop<S, A>(mut accept: A, service: &FdService, stop: &std::sync::atomic::AtomicBool)
+where
+    S: Read + Write + Send,
+    A: FnMut() -> Result<Option<S>, String>,
+{
+    use std::sync::atomic::Ordering;
+    std::thread::scope(|scope| loop {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        match accept() {
+            Ok(Some(stream)) => {
+                scope.spawn(move || handle_connection(stream, service, stop));
+            }
+            Ok(None) => std::thread::sleep(std::time::Duration::from_millis(25)),
+            Err(e) => {
+                eprintln!("serve: accept: {e}");
+                std::thread::sleep(std::time::Duration::from_millis(25));
+            }
+        }
+    });
+}
+
+fn serve_tcp(
+    service: &FdService,
+    addr: &str,
+    stop: &std::sync::atomic::AtomicBool,
+) -> Result<(), String> {
+    let listener = std::net::TcpListener::bind(addr).map_err(|e| format!("binding {addr}: {e}"))?;
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| format!("nonblocking {addr}: {e}"))?;
+    match listener.local_addr() {
+        Ok(local) => eprintln!("serve: listening on {local}"),
+        Err(_) => eprintln!("serve: listening on {addr}"),
+    }
+    accept_loop(
+        || match listener.accept() {
+            Ok((stream, _peer)) => {
+                stream
+                    .set_nonblocking(false)
+                    .and_then(|()| {
+                        stream.set_read_timeout(Some(std::time::Duration::from_millis(200)))
+                    })
+                    .map_err(|e| format!("configuring connection: {e}"))?;
+                Ok(Some(stream))
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => Ok(None),
+            Err(e) => Err(format!("{e}")),
+        },
+        service,
+        stop,
+    );
+    Ok(())
+}
+
+#[cfg(unix)]
+fn serve_unix(
+    service: &FdService,
+    path: &str,
+    stop: &std::sync::atomic::AtomicBool,
+) -> Result<(), String> {
+    // A stale socket file from a crashed server would make bind fail.
+    let _ = std::fs::remove_file(path);
+    let listener =
+        std::os::unix::net::UnixListener::bind(path).map_err(|e| format!("binding {path}: {e}"))?;
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| format!("nonblocking {path}: {e}"))?;
+    eprintln!("serve: listening on {path}");
+    accept_loop(
+        || match listener.accept() {
+            Ok((stream, _peer)) => {
+                stream
+                    .set_nonblocking(false)
+                    .and_then(|()| {
+                        stream.set_read_timeout(Some(std::time::Duration::from_millis(200)))
+                    })
+                    .map_err(|e| format!("configuring connection: {e}"))?;
+                Ok(Some(stream))
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => Ok(None),
+            Err(e) => Err(format!("{e}")),
+        },
+        service,
+        stop,
+    );
+    let _ = std::fs::remove_file(path);
+    Ok(())
+}
+
+#[cfg(not(unix))]
+fn serve_unix(
+    _service: &FdService,
+    _path: &str,
+    _stop: &std::sync::atomic::AtomicBool,
+) -> Result<(), String> {
+    Err("--unix is only available on Unix platforms".to_string())
+}
+
+fn cmd_serve(args: &[String]) -> ExitCode {
+    let opts = match parse_serve(args) {
+        Ok(opts) => opts,
+        Err(e) => {
+            eprintln!("error: {e}");
+            usage();
+            return ExitCode::FAILURE;
+        }
+    };
+    let service = FdService::start(ServiceConfig {
+        shards: opts.shards,
+        max_sessions: opts.max_sessions,
+    });
+    let stop = std::sync::atomic::AtomicBool::new(false);
+    let served = if let Some(addr) = &opts.listen {
+        serve_tcp(&service, addr, &stop)
+    } else if let Some(path) = &opts.unix {
+        serve_unix(&service, path, &stop)
+    } else {
+        // Default (and `--stdin`) mode: read the whole batch from stdin,
+        // answer on stdout in input order.
+        let stdin = std::io::stdin();
+        match stdin.lock().lines().collect::<Result<Vec<String>, _>>() {
+            Ok(lines) => {
+                let lines: Vec<String> =
+                    lines.into_iter().filter(|l| !l.trim().is_empty()).collect();
+                eprintln!(
+                    "serve: {} requests on {} shards, {} clients",
+                    lines.len(),
+                    opts.shards,
+                    opts.clients
+                );
+                for response in service.submit_batch(&lines, opts.clients) {
+                    println!("{response}");
+                }
+                Ok(())
+            }
+            Err(e) => Err(format!("reading stdin: {e}")),
+        }
+    };
+    // Drain every in-flight run, then report service-lifetime metrics in
+    // the bench-compatible shape.
+    let metrics = service.shutdown();
+    let wrote = match &opts.metrics {
+        Some(path) => std::fs::write(path, &metrics)
+            .map(|()| eprintln!("serve: metrics written to {path}"))
+            .map_err(|e| format!("writing {path}: {e}")),
+        None => {
+            eprintln!("{metrics}");
+            Ok(())
+        }
+    };
+    match served.and(wrote) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 type SearchArgs = (SearchConfig, usize, Option<String>, Option<String>);
@@ -687,12 +983,13 @@ fn cmd_search(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn cmd_vector(cluster: &Cluster) {
+fn cmd_vector(builder: &SpecBuilder) {
+    let cluster = builder.build_cluster().expect("validated by main");
     let kd = cluster.run_key_distribution();
     let values: Vec<Vec<u8>> = (0..cluster.n)
         .map(|i| format!("input-of-P{i}").into_bytes())
         .collect();
-    let (report, per_instance) = cluster.run_vector_fd(&kd, &values);
+    let (report, per_instance) = cluster.run_vector(&kd, &values);
     println!(
         "interactive consistency: n = {}, {} messages (n(n-1) = {})",
         cluster.n,
@@ -705,20 +1002,15 @@ fn cmd_vector(cluster: &Cluster) {
     }
 }
 
-fn cmd_ba(cluster: &Cluster, opts: &Opts) {
-    let mut spec = RunSpec::new(Protocol::FdToBa, opts.value.clone().into_bytes())
-        .with_default_value(b"default".to_vec());
-    if let Some(crash) = opts.crash {
-        spec = spec.with_adversary(AdversarySpec::scripted_at(
-            AdversaryKind::SilentRelay,
-            vec![NodeId(crash as u16)],
-        ));
-    }
+fn cmd_ba(builder: &SpecBuilder, extras: &Extras) {
+    // The crash adversary (if any) is already on the builder — main
+    // applies the --crash sugar before validation.
+    let (cluster, spec) = builder.build().expect("validated by main");
     let run = cluster.run(&spec);
     println!(
         "FD->BA: {} messages{}",
         run.stats.messages_total,
-        match opts.crash {
+        match extras.crash {
             Some(c) => format!(" (node {c} crashed; fallback engaged)"),
             None => " (failure-free: n-1, the FD cost)".to_string(),
         }
@@ -731,17 +1023,17 @@ fn cmd_ba(cluster: &Cluster, opts: &Opts) {
     }
 }
 
-fn cmd_degrade(cluster: &Cluster, opts: &Opts) {
+fn cmd_degrade(builder: &SpecBuilder, extras: &Extras) {
     use local_auth_fd::core::ba::DgMsg;
     use local_auth_fd::core::chain::ChainMessage;
     use local_auth_fd::simnet::codec::Encode;
     use local_auth_fd::simnet::{Envelope, Outbox};
     use std::any::Any;
 
-    let value = opts.value.clone().into_bytes();
-    let spec =
-        RunSpec::new(Protocol::Degradable, value.clone()).with_default_value(b"default".to_vec());
-    let run = if opts.equivocate {
+    let (cluster, spec) = builder.build().expect("validated by main");
+    let cluster = &cluster;
+    let value = builder.input.clone();
+    let run = if extras.equivocate {
         struct TwoFaced {
             ring: local_auth_fd::core::keys::Keyring,
             scheme: Arc<dyn SignatureScheme>,
@@ -805,7 +1097,7 @@ fn cmd_degrade(cluster: &Cluster, opts: &Opts) {
         "degradable agreement: {} messages (n(n-1) = {}), 2 comm rounds{}",
         run.stats.messages_total,
         cluster.n * (cluster.n - 1),
-        if opts.equivocate {
+        if extras.equivocate {
             " — sender equivocated"
         } else {
             ""
@@ -819,29 +1111,16 @@ fn cmd_degrade(cluster: &Cluster, opts: &Opts) {
     }
 }
 
-fn cmd_king(cluster: &Cluster, opts: &Opts) {
-    if cluster.n <= 4 * cluster.t {
-        eprintln!(
-            "phase king requires n > 4t (got n={}, t={})",
-            cluster.n, cluster.t
-        );
-        return;
-    }
-    let value = opts.value.clone().into_bytes();
-    let mut spec =
-        RunSpec::new(Protocol::PhaseKing, value.clone()).with_default_value(b"default".to_vec());
-    if let Some(crash) = opts.crash {
-        spec = spec.with_adversary(AdversarySpec::scripted_at(
-            AdversaryKind::SilentRelay,
-            vec![NodeId(crash as u16)],
-        ));
-    }
+fn cmd_king(builder: &SpecBuilder, extras: &Extras) {
+    // The n > 4t admissibility bound (and the --crash sugar) were already
+    // checked by SpecBuilder::validate in main.
+    let (cluster, spec) = builder.build().expect("validated by main");
     let run = cluster.run(&spec);
     println!(
         "phase king (non-authenticated, n > 4t): {} messages, {} comm rounds{}",
         run.stats.messages_total,
         metrics::phase_king_comm_rounds(cluster.t),
-        match opts.crash {
+        match extras.crash {
             Some(c) => format!(" (node {c} silent)"),
             None => String::new(),
         }
@@ -854,8 +1133,9 @@ fn cmd_king(cluster: &Cluster, opts: &Opts) {
     }
 }
 
-fn cmd_rotate(cluster: Cluster, opts: &Opts) {
+fn cmd_rotate(builder: &SpecBuilder, extras: &Extras) {
     use local_auth_fd::core::epoch::EpochManager;
+    let cluster = builder.build_cluster().expect("validated by main");
     let (n, t) = (cluster.n, cluster.t);
     let mut epochs = EpochManager::new(cluster);
     for e in 0..3u32 {
@@ -864,15 +1144,19 @@ fn cmd_rotate(cluster: Cluster, opts: &Opts) {
             "epoch {e}: key distribution {} messages",
             state.keydist.stats.messages_total
         );
-        for k in 0..opts.runs {
+        for k in 0..extras.runs {
             let value = format!("epoch {e} run {k}").into_bytes();
             let run = epochs.run_round(value.clone());
             assert!(run.all_decided(&value));
         }
-        println!("  + {} chain-FD runs at {} messages each", opts.runs, n - 1);
+        println!(
+            "  + {} chain-FD runs at {} messages each",
+            extras.runs,
+            n - 1
+        );
     }
     let spent = epochs.messages_spent();
-    let baseline = metrics::cumulative_non_auth(n, t, 3 * opts.runs);
+    let baseline = metrics::cumulative_non_auth(n, t, 3 * extras.runs);
     println!(
         "total {spent} messages vs non-auth baseline {baseline} — {}",
         if spent < baseline {
@@ -883,10 +1167,11 @@ fn cmd_rotate(cluster: Cluster, opts: &Opts) {
     );
 }
 
-fn cmd_tcp(cluster: &Cluster, _opts: &Opts) {
+fn cmd_tcp(builder: &SpecBuilder) {
     use local_auth_fd::core::keys::Keyring;
     use local_auth_fd::core::localauth::{KeyDistNode, KEYDIST_ROUNDS};
     use local_auth_fd::simnet::transport::TcpCluster;
+    let cluster = builder.build_cluster().expect("validated by main");
     let n = cluster.n;
     let nodes: Vec<Box<dyn Node>> = (0..n)
         .map(|i| {
@@ -911,12 +1196,13 @@ fn cmd_tcp(cluster: &Cluster, _opts: &Opts) {
     );
 }
 
-fn cmd_trace(cluster: &Cluster, opts: &Opts) {
+fn cmd_trace(builder: &SpecBuilder, extras: &Extras) {
     use local_auth_fd::core::fd::{ChainFdNode, ChainFdParams};
     use local_auth_fd::core::keys::Keyring;
     use local_auth_fd::core::localauth::{KeyDistNode, KEYDIST_ROUNDS};
     use local_auth_fd::simnet::SyncNetwork;
 
+    let cluster = builder.build_cluster().expect("validated by main");
     let n = cluster.n;
     println!("message flow, key distribution (n = {n}):");
     let nodes: Vec<Box<dyn Node>> = (0..n)
@@ -950,7 +1236,7 @@ fn cmd_trace(cluster: &Cluster, opts: &Opts) {
 
     println!(
         "\nmessage flow, one chain FD run (value = {:?}):",
-        opts.value
+        extras.value
     );
     let params = ChainFdParams::new(n, cluster.t);
     let rounds = params.rounds();
@@ -963,7 +1249,7 @@ fn cmd_trace(cluster: &Cluster, opts: &Opts) {
                 Arc::clone(&cluster.scheme),
                 stores[i].clone(),
                 Keyring::generate(cluster.scheme.as_ref(), me, cluster.seed),
-                (i == 0).then(|| opts.value.clone().into_bytes()),
+                (i == 0).then(|| extras.value.clone().into_bytes()),
             )) as Box<dyn Node>
         })
         .collect();
@@ -991,13 +1277,22 @@ fn parse_list<T>(
     Ok(items)
 }
 
-fn parse_sweep_matrix(
-    args: &[String],
-) -> Result<(SweepMatrix, usize, Option<String>, Option<String>), String> {
+/// Parsed `lafd sweep` flags: the matrix, worker threads, JSON/markdown
+/// output paths, and the optional remote service address.
+struct SweepArgs {
+    matrix: SweepMatrix,
+    threads: usize,
+    json_path: Option<String>,
+    md_path: Option<String>,
+    remote: Option<String>,
+}
+
+fn parse_sweep_matrix(args: &[String]) -> Result<SweepArgs, String> {
     let mut matrix = SweepMatrix::default_matrix();
     let mut threads = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
     let mut json_path = None;
     let mut md_path = None;
+    let mut remote = None;
 
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -1077,8 +1372,16 @@ fn parse_sweep_matrix(
             }
             "--json" => json_path = Some(grab()?),
             "--md" => md_path = Some(grab()?),
+            "--remote" => remote = Some(grab()?),
             other => return Err(format!("unknown sweep flag {other}")),
         }
+    }
+    // The schedule search mutates adversarial delivery orders in-process;
+    // the wire protocol has no way to ship a search axis to a service.
+    if remote.is_some() && matrix.search.is_some() {
+        return Err(
+            "--remote does not compose with --search (the search runs locally)".to_string(),
+        );
     }
     // Link overrides must reference nodes that exist in every swept size,
     // and both link overrides and the search axis need the event engine.
@@ -1113,11 +1416,73 @@ fn parse_sweep_matrix(
                 .to_string(),
         );
     }
-    Ok((matrix, threads, json_path, md_path))
+    Ok(SweepArgs {
+        matrix,
+        threads,
+        json_path,
+        md_path,
+        remote,
+    })
+}
+
+/// A [`ScenarioExecutor`] that ships each sweep scenario to a running
+/// `lafd serve` instance as a wire-format request and decodes the
+/// response report. One TCP connection per scenario keeps the executor
+/// trivially `Sync`; the service amortizes keydist across scenarios that
+/// share a session key, so the connection cost is the cheap part.
+struct RemoteExecutor {
+    addr: String,
+}
+
+impl RemoteExecutor {
+    fn call(&self, request: &str) -> Result<wire::WireResponse, String> {
+        let mut stream = std::net::TcpStream::connect(&self.addr)
+            .map_err(|e| format!("connecting to {}: {e}", self.addr))?;
+        stream
+            .write_all(request.as_bytes())
+            .and_then(|()| stream.write_all(b"\n"))
+            .map_err(|e| format!("sending request to {}: {e}", self.addr))?;
+        let mut reply = String::new();
+        BufReader::new(&stream)
+            .read_line(&mut reply)
+            .map_err(|e| format!("reading response from {}: {e}", self.addr))?;
+        if reply.trim().is_empty() {
+            return Err(format!("service at {} closed without replying", self.addr));
+        }
+        wire::response_from_json(reply.trim())
+    }
+}
+
+impl ScenarioExecutor for RemoteExecutor {
+    fn execute(
+        &self,
+        scenario: &Scenario,
+        engine: Engine,
+        link_latency: &[LinkLatencySpec],
+    ) -> Result<(Option<usize>, FdRunReport), String> {
+        let builder = SpecBuilder::new(scenario.protocol, scenario.n)
+            .with_t(scenario.t)
+            .with_seed(scenario.seed)
+            .with_scheme(scenario.scheme.name())
+            .with_engine(engine)
+            .with_latency(scenario.latency)
+            .with_link_latency(if engine == Engine::Event {
+                link_latency.to_vec()
+            } else {
+                Vec::new()
+            })
+            .with_input(scenario.value())
+            .with_default_value(b"sweep-default".to_vec())
+            .with_adversary(AdversarySpec::scripted(scenario.adversary));
+        let request = wire::request_to_json(&builder, None)?;
+        let response = self.call(&request)?;
+        let report = response.report?;
+        Ok((response.keydist_messages, report))
+    }
 }
 
 fn cmd_sweep(args: &[String]) -> ExitCode {
-    let (matrix, threads, json_path, md_path) = match parse_sweep_matrix(args) {
+    let sweep = match parse_sweep_matrix(args) {
         Ok(parsed) => parsed,
         Err(e) => {
             eprintln!("error: {e}");
@@ -1125,14 +1490,34 @@ fn cmd_sweep(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let SweepArgs {
+        matrix,
+        threads,
+        json_path,
+        md_path,
+        remote,
+    } = sweep;
     let scenarios = matrix.scenarios().len();
     if scenarios == 0 {
         eprintln!("error: the matrix expands to zero admissible scenarios");
         return ExitCode::FAILURE;
     }
-    eprintln!("sweep: {scenarios} scenarios on {threads} threads");
+    match &remote {
+        Some(addr) => eprintln!("sweep: {scenarios} scenarios on {threads} clients -> {addr}"),
+        None => eprintln!("sweep: {scenarios} scenarios on {threads} threads"),
+    }
     let start = std::time::Instant::now();
-    let report = run_sweep(&matrix, threads);
+    let result = match &remote {
+        Some(addr) => run_sweep_with(&matrix, threads, &RemoteExecutor { addr: addr.clone() }),
+        None => run_sweep_with(&matrix, threads, &LocalExecutor),
+    };
+    let report = match result {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     let elapsed = start.elapsed();
 
     print!("{}", report.to_markdown());

@@ -6,19 +6,15 @@
 //! match a correct sender), or at least one correct node discovers a
 //! failure (F2/F3 are then vacuous, per the problem statement).
 
-// These tests deliberately pin the pre-`RunSpec` per-protocol API: they
-// are the contract that keeps the deprecated shims in `fd_core::compat`
-// working (the equivalence suite proves both paths byte-identical).
-#![allow(deprecated)]
-
 use local_auth_fd::core::adversary::{
-    ChainFdAdversary, ChainMisbehavior, EquivocatingKeyDist, NaMisbehavior, NoiseNode,
-    NonAuthAdversary, SilentNode,
+    AdversarySpec, ChainFdAdversary, ChainMisbehavior, EquivocatingKeyDist, NaMisbehavior,
+    NoiseNode, NonAuthAdversary, SilentNode,
 };
 use local_auth_fd::core::fd::{ChainFdParams, NonAuthParams};
 use local_auth_fd::core::keys::Keyring;
 use local_auth_fd::core::props::check_fd;
-use local_auth_fd::core::runner::Cluster;
+use local_auth_fd::core::runner::{Cluster, FdRunReport, KeyDistReport};
+use local_auth_fd::core::spec::{Protocol, RunSpec};
 use local_auth_fd::crypto::{SchnorrScheme, SignatureScheme};
 use local_auth_fd::simnet::{Node, NodeId};
 use std::sync::Arc;
@@ -29,6 +25,23 @@ fn scheme() -> Arc<dyn SignatureScheme> {
 
 fn cluster(n: usize, t: usize, seed: u64) -> Cluster {
     Cluster::new(n, t, scheme(), seed)
+}
+
+/// Chain-FD over an existing keydist with a scripted adversary.
+fn run_chain(
+    c: &Cluster,
+    kd: &KeyDistReport,
+    value: &[u8],
+    adversary: AdversarySpec,
+) -> FdRunReport {
+    let spec = RunSpec::new(Protocol::ChainFd, value.to_vec()).with_adversary(adversary);
+    c.run_with_keys(&spec, Some(kd))
+}
+
+/// Non-authenticated FD (no keys needed) with a scripted adversary.
+fn run_nonauth(c: &Cluster, value: &[u8], adversary: AdversarySpec) -> FdRunReport {
+    let spec = RunSpec::new(Protocol::NonAuthFd, value.to_vec()).with_adversary(adversary);
+    c.run(&spec)
 }
 
 /// Assert F1–F3 on a run where the sender is correct with value `v`.
@@ -48,9 +61,10 @@ fn chain_fd_silent_relay() {
     let (n, t) = (6usize, 2usize);
     let c = cluster(n, t, 1);
     let kd = c.run_key_distribution();
-    let run = c.run_chain_fd_with(&kd, b"v".to_vec(), &mut |id| {
+    let adversary = AdversarySpec::custom(move |id| {
         (id == NodeId(1)).then(|| Box::new(SilentNode { me: NodeId(1) }) as Box<dyn Node>)
     });
+    let run = run_chain(&c, &kd, b"v", adversary);
     assert_props_sender_correct(&run.correct_outcomes(), b"v", "silent relay");
     assert!(run.any_discovery(), "silence must be discovered downstream");
 }
@@ -60,13 +74,14 @@ fn chain_fd_tampering_relay_discovered() {
     let (n, t) = (6usize, 2usize);
     let c = cluster(n, t, 2);
     let kd = c.run_key_distribution();
-    let run = c.run_chain_fd_with(&kd, b"v".to_vec(), &mut |id| {
+    let seed = c.seed;
+    let adversary = AdversarySpec::custom(move |id| {
         (id == NodeId(1)).then(|| {
             Box::new(ChainFdAdversary::new(
                 NodeId(1),
                 ChainFdParams::new(n, t),
                 scheme(),
-                Keyring::generate(scheme().as_ref(), NodeId(1), c.seed),
+                Keyring::generate(scheme().as_ref(), NodeId(1), seed),
                 ChainMisbehavior::TamperBody {
                     new_body: b"evil".to_vec(),
                 },
@@ -74,6 +89,7 @@ fn chain_fd_tampering_relay_discovered() {
             )) as Box<dyn Node>
         })
     });
+    let run = run_chain(&c, &kd, b"v", adversary);
     assert_props_sender_correct(&run.correct_outcomes(), b"v", "tampering relay");
     assert!(run.any_discovery(), "tampering breaks the origin signature");
 }
@@ -83,18 +99,20 @@ fn chain_fd_wrong_name_discovered_theorem_4() {
     let (n, t) = (6usize, 2usize);
     let c = cluster(n, t, 3);
     let kd = c.run_key_distribution();
-    let run = c.run_chain_fd_with(&kd, b"v".to_vec(), &mut |id| {
+    let seed = c.seed;
+    let adversary = AdversarySpec::custom(move |id| {
         (id == NodeId(2)).then(|| {
             Box::new(ChainFdAdversary::new(
                 NodeId(2),
                 ChainFdParams::new(n, t),
                 scheme(),
-                Keyring::generate(scheme().as_ref(), NodeId(2), c.seed),
+                Keyring::generate(scheme().as_ref(), NodeId(2), seed),
                 ChainMisbehavior::WrongAssigneeName { claim: NodeId(4) },
                 None,
             )) as Box<dyn Node>
         })
     });
+    let run = run_chain(&c, &kd, b"v", adversary);
     assert_props_sender_correct(&run.correct_outcomes(), b"v", "wrong assignee name");
     assert!(
         run.any_discovery(),
@@ -107,13 +125,14 @@ fn chain_fd_forged_origin_discovered() {
     let (n, t) = (6usize, 2usize);
     let c = cluster(n, t, 4);
     let kd = c.run_key_distribution();
-    let run = c.run_chain_fd_with(&kd, b"v".to_vec(), &mut |id| {
+    let seed = c.seed;
+    let adversary = AdversarySpec::custom(move |id| {
         (id == NodeId(1)).then(|| {
             Box::new(ChainFdAdversary::new(
                 NodeId(1),
                 ChainFdParams::new(n, t),
                 scheme(),
-                Keyring::generate(scheme().as_ref(), NodeId(1), c.seed),
+                Keyring::generate(scheme().as_ref(), NodeId(1), seed),
                 ChainMisbehavior::ForgeOrigin {
                     value: b"forged".to_vec(),
                 },
@@ -121,6 +140,7 @@ fn chain_fd_forged_origin_discovered() {
             )) as Box<dyn Node>
         })
     });
+    let run = run_chain(&c, &kd, b"v", adversary);
     assert_props_sender_correct(&run.correct_outcomes(), b"v", "forged origin");
     assert!(run.any_discovery(), "S1 prevents forging the sender's key");
 }
@@ -130,13 +150,14 @@ fn chain_fd_partial_dissemination_discovered_by_starved() {
     let (n, t) = (7usize, 2usize);
     let c = cluster(n, t, 5);
     let kd = c.run_key_distribution();
-    let run = c.run_chain_fd_with(&kd, b"v".to_vec(), &mut |id| {
+    let seed = c.seed;
+    let adversary = AdversarySpec::custom(move |id| {
         (id == NodeId(2)).then(|| {
             Box::new(ChainFdAdversary::new(
                 NodeId(2),
                 ChainFdParams::new(n, t),
                 scheme(),
-                Keyring::generate(scheme().as_ref(), NodeId(2), c.seed),
+                Keyring::generate(scheme().as_ref(), NodeId(2), seed),
                 ChainMisbehavior::PartialDissemination {
                     skip: vec![NodeId(5), NodeId(6)],
                 },
@@ -144,6 +165,7 @@ fn chain_fd_partial_dissemination_discovered_by_starved() {
             )) as Box<dyn Node>
         })
     });
+    let run = run_chain(&c, &kd, b"v", adversary);
     assert_props_sender_correct(&run.correct_outcomes(), b"v", "partial dissemination");
     // The starved nodes discover MissingMessage; the others decide v.
     let outs = &run.outcomes;
@@ -165,13 +187,14 @@ fn chain_fd_equivocating_sender_t0_discovered_or_consistent() {
     let (n, t) = (5usize, 0usize);
     let c = cluster(n, t, 6);
     let kd = c.run_key_distribution();
-    let run = c.run_chain_fd_with(&kd, b"a".to_vec(), &mut |id| {
+    let seed = c.seed;
+    let adversary = AdversarySpec::custom(move |id| {
         (id == NodeId(0)).then(|| {
             Box::new(ChainFdAdversary::new(
                 NodeId(0),
                 ChainFdParams::new(n, t),
                 scheme(),
-                Keyring::generate(scheme().as_ref(), NodeId(0), c.seed),
+                Keyring::generate(scheme().as_ref(), NodeId(0), seed),
                 ChainMisbehavior::EquivocateSenderT0 {
                     value_a: b"a".to_vec(),
                     value_b: b"b".to_vec(),
@@ -181,6 +204,7 @@ fn chain_fd_equivocating_sender_t0_discovered_or_consistent() {
             )) as Box<dyn Node>
         })
     });
+    let run = run_chain(&c, &kd, b"a", adversary);
     // With more faults than t, FD gives no guarantee — verify the split
     // actually happened (this is the boundary, not a bug).
     let outs = run.correct_outcomes();
@@ -211,18 +235,20 @@ fn chain_fd_key_equivocation_then_signing_discovered() {
     let reference = EquivocatingKeyDist::new(NodeId(2), n, Arc::clone(&sch), 999, NodeId(4));
     let sk_a = reference.key_for(NodeId(0)).0.clone();
 
-    let run = c.run_chain_fd_with(&kd, b"v".to_vec(), &mut |id| {
+    let seed = c.seed;
+    let adversary = AdversarySpec::custom(move |id| {
         (id == NodeId(2)).then(|| {
             Box::new(ChainFdAdversary::new(
                 NodeId(2),
                 ChainFdParams::new(n, t),
                 scheme(),
-                Keyring::generate(scheme().as_ref(), NodeId(2), c.seed),
+                Keyring::generate(scheme().as_ref(), NodeId(2), seed),
                 ChainMisbehavior::SignWithKey { sk: sk_a.clone() },
                 None,
             )) as Box<dyn Node>
         })
     });
+    let run = run_chain(&c, &kd, b"v", adversary);
     assert_props_sender_correct(&run.correct_outcomes(), b"v", "key equivocation");
     assert!(
         run.any_discovery(),
@@ -243,7 +269,7 @@ fn chain_fd_key_equivocation_then_signing_discovered() {
 fn non_auth_equivocating_sender_discovered() {
     let (n, t) = (6usize, 2usize);
     let c = cluster(n, t, 8);
-    let run = c.run_non_auth_fd_with(b"a".to_vec(), &mut |id| {
+    let adversary = AdversarySpec::custom(move |id| {
         (id == NodeId(0)).then(|| {
             Box::new(NonAuthAdversary::new(
                 NodeId(0),
@@ -257,6 +283,7 @@ fn non_auth_equivocating_sender_discovered() {
             )) as Box<dyn Node>
         })
     });
+    let run = run_nonauth(&c, b"a", adversary);
     assert_props_sender_faulty(&run.correct_outcomes(), "NA equivocating sender");
     assert!(
         run.any_discovery(),
@@ -268,7 +295,7 @@ fn non_auth_equivocating_sender_discovered() {
 fn non_auth_lying_witness_discovered() {
     let (n, t) = (6usize, 2usize);
     let c = cluster(n, t, 9);
-    let run = c.run_non_auth_fd_with(b"v".to_vec(), &mut |id| {
+    let adversary = AdversarySpec::custom(move |id| {
         (id == NodeId(2)).then(|| {
             Box::new(NonAuthAdversary::new(
                 NodeId(2),
@@ -280,6 +307,7 @@ fn non_auth_lying_witness_discovered() {
             )) as Box<dyn Node>
         })
     });
+    let run = run_nonauth(&c, b"v", adversary);
     assert_props_sender_correct(&run.correct_outcomes(), b"v", "lying witness");
     assert!(run.any_discovery());
 }
@@ -288,7 +316,7 @@ fn non_auth_lying_witness_discovered() {
 fn non_auth_two_faced_witness_discovered() {
     let (n, t) = (7usize, 2usize);
     let c = cluster(n, t, 10);
-    let run = c.run_non_auth_fd_with(b"v".to_vec(), &mut |id| {
+    let adversary = AdversarySpec::custom(move |id| {
         (id == NodeId(1)).then(|| {
             Box::new(NonAuthAdversary::new(
                 NodeId(1),
@@ -301,6 +329,7 @@ fn non_auth_two_faced_witness_discovered() {
             )) as Box<dyn Node>
         })
     });
+    let run = run_nonauth(&c, b"v", adversary);
     assert_props_sender_correct(&run.correct_outcomes(), b"v", "two-faced witness");
     // Nodes at or above the split saw a conflicting relay: discovery.
     assert!(run.outcomes[5].as_ref().unwrap().is_discovered());
@@ -310,7 +339,7 @@ fn non_auth_two_faced_witness_discovered() {
 fn non_auth_silent_witness_discovered() {
     let (n, t) = (5usize, 1usize);
     let c = cluster(n, t, 11);
-    let run = c.run_non_auth_fd_with(b"v".to_vec(), &mut |id| {
+    let adversary = AdversarySpec::custom(move |id| {
         (id == NodeId(2)).then(|| {
             Box::new(NonAuthAdversary::new(
                 NodeId(2),
@@ -320,6 +349,7 @@ fn non_auth_silent_witness_discovered() {
             )) as Box<dyn Node>
         })
     });
+    let run = run_nonauth(&c, b"v", adversary);
     assert_props_sender_correct(&run.correct_outcomes(), b"v", "silent witness");
     assert!(run.any_discovery());
 }
@@ -334,11 +364,12 @@ fn noise_flood_never_causes_silent_disagreement() {
             (id == NodeId(5))
                 .then(|| Box::new(NoiseNode::new(NodeId(5), n, seed, 4, 64, 4)) as Box<dyn Node>)
         });
-        let run = c.run_chain_fd_with(&kd, b"v".to_vec(), &mut |id| {
+        let adversary = AdversarySpec::custom(move |id| {
             (id == NodeId(5)).then(|| {
                 Box::new(NoiseNode::new(NodeId(5), n, seed ^ 0xff, 4, 64, 6)) as Box<dyn Node>
             })
         });
+        let run = run_chain(&c, &kd, b"v", adversary);
         assert_props_sender_correct(&run.correct_outcomes(), b"v", "noise flood");
     }
 }
@@ -364,22 +395,25 @@ fn matrix_sweep_over_seeds_never_silent_disagreement() {
             },
         };
         let faulty = NodeId(1 + (seed % 2) as u16);
-        let run = c.run_chain_fd_with(&kd, b"v".to_vec(), &mut |id| {
+        let cluster_seed = c.seed;
+        let behavior_for_label = behavior.clone();
+        let adversary = AdversarySpec::custom(move |id| {
             (id == faulty).then(|| {
                 Box::new(ChainFdAdversary::new(
                     faulty,
                     ChainFdParams::new(n, t),
                     scheme(),
-                    Keyring::generate(scheme().as_ref(), faulty, c.seed),
+                    Keyring::generate(scheme().as_ref(), faulty, cluster_seed),
                     behavior.clone(),
                     None,
                 )) as Box<dyn Node>
             })
         });
+        let run = run_chain(&c, &kd, b"v", adversary);
         assert_props_sender_correct(
             &run.correct_outcomes(),
             b"v",
-            &format!("sweep seed={seed} behavior={behavior:?}"),
+            &format!("sweep seed={seed} behavior={behavior_for_label:?}"),
         );
     }
 }
@@ -412,20 +446,23 @@ fn shared_key_clique_runs_fd_without_discovery_g1_caveat() {
     let reference =
         local_auth_fd::core::adversary::SharedKeyKeyDist::new(NodeId(1), n, Arc::clone(&sch), 777);
     let (shared_sk, _) = reference.shared();
-    let run = c.run_chain_fd_with(&kd, b"v".to_vec(), &mut |id| {
+    let seed = c.seed;
+    let sk_for_adversary = shared_sk.clone();
+    let adversary = AdversarySpec::custom(move |id| {
         (id == NodeId(1) || id == NodeId(2)).then(|| {
             Box::new(ChainFdAdversary::new(
                 id,
                 ChainFdParams::new(n, t),
                 scheme(),
-                Keyring::generate(scheme().as_ref(), id, c.seed),
+                Keyring::generate(scheme().as_ref(), id, seed),
                 ChainMisbehavior::SignWithKey {
-                    sk: shared_sk.clone(),
+                    sk: sk_for_adversary.clone(),
                 },
                 None,
             )) as Box<dyn Node>
         })
     });
+    let run = run_chain(&c, &kd, b"v", adversary);
     assert!(!run.any_discovery(), "key sharing alone is undetectable");
     assert!(run
         .correct_outcomes()

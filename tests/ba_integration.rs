@@ -2,16 +2,14 @@
 //! extension (failure-free runs at FD cost, experiment T6), Dolev–Strong
 //! under local authentication, and the EIG baseline.
 
-// These tests deliberately pin the pre-`RunSpec` per-protocol API: they
-// are the contract that keeps the deprecated shims in `fd_core::compat`
-// working (the equivalence suite proves both paths byte-identical).
-#![allow(deprecated)]
-
-use local_auth_fd::core::adversary::{ChainFdAdversary, ChainMisbehavior, SilentNode};
+use local_auth_fd::core::adversary::{
+    AdversarySpec, ChainFdAdversary, ChainMisbehavior, SilentNode,
+};
 use local_auth_fd::core::fd::ChainFdParams;
 use local_auth_fd::core::keys::Keyring;
 use local_auth_fd::core::metrics;
 use local_auth_fd::core::runner::Cluster;
+use local_auth_fd::core::spec::{Protocol, RunSpec};
 use local_auth_fd::crypto::{SchnorrScheme, SignatureScheme};
 use local_auth_fd::simnet::{Node, NodeId};
 use std::sync::Arc;
@@ -29,8 +27,11 @@ fn fd_to_ba_failure_free_equals_fd_cost_t6() {
     for (n, t) in [(4usize, 1usize), (7, 2), (10, 3), (13, 4)] {
         let c = cluster(n, t, 1);
         let kd = c.run_key_distribution();
-        let fd = c.run_chain_fd(&kd, b"v".to_vec());
-        let ba = c.run_fd_to_ba(&kd, b"v".to_vec(), b"d".to_vec());
+        let fd = c.run_with_keys(&RunSpec::new(Protocol::ChainFd, b"v".to_vec()), Some(&kd));
+        let ba = c.run_with_keys(
+            &RunSpec::new(Protocol::FdToBa, b"v".to_vec()).with_default_value(b"d".to_vec()),
+            Some(&kd),
+        );
         assert_eq!(
             ba.stats.messages_total, fd.stats.messages_total,
             "n={n} t={t}: T6 failure-free BA at FD cost"
@@ -48,9 +49,12 @@ fn fd_to_ba_silent_relay_uniform_fallback_validity() {
     let (n, t) = (7usize, 2usize);
     let c = cluster(n, t, 2);
     let kd = c.run_key_distribution();
-    let run = c.run_fd_to_ba_with(&kd, b"v".to_vec(), b"d".to_vec(), &mut |id| {
-        (id == NodeId(1)).then(|| Box::new(SilentNode { me: NodeId(1) }) as Box<dyn Node>)
-    });
+    let spec = RunSpec::new(Protocol::FdToBa, b"v".to_vec())
+        .with_default_value(b"d".to_vec())
+        .with_adversary(AdversarySpec::custom(|id| {
+            (id == NodeId(1)).then(|| Box::new(SilentNode { me: NodeId(1) }) as Box<dyn Node>)
+        }));
+    let run = c.run_with_keys(&spec, Some(&kd));
     let outs = run.correct_outcomes();
     for o in &outs {
         assert_eq!(
@@ -77,20 +81,24 @@ fn fd_to_ba_tampering_relay_agreement() {
     let (n, t) = (7usize, 2usize);
     let c = cluster(n, t, 3);
     let kd = c.run_key_distribution();
-    let run = c.run_fd_to_ba_with(&kd, b"v".to_vec(), b"d".to_vec(), &mut |id| {
-        (id == NodeId(2)).then(|| {
-            Box::new(ChainFdAdversary::new(
-                NodeId(2),
-                ChainFdParams::new(n, t),
-                scheme(),
-                Keyring::generate(scheme().as_ref(), NodeId(2), c.seed),
-                ChainMisbehavior::TamperBody {
-                    new_body: b"evil".to_vec(),
-                },
-                None,
-            )) as Box<dyn Node>
-        })
-    });
+    let seed = c.seed;
+    let spec = RunSpec::new(Protocol::FdToBa, b"v".to_vec())
+        .with_default_value(b"d".to_vec())
+        .with_adversary(AdversarySpec::custom(move |id| {
+            (id == NodeId(2)).then(|| {
+                Box::new(ChainFdAdversary::new(
+                    NodeId(2),
+                    ChainFdParams::new(n, t),
+                    scheme(),
+                    Keyring::generate(scheme().as_ref(), NodeId(2), seed),
+                    ChainMisbehavior::TamperBody {
+                        new_body: b"evil".to_vec(),
+                    },
+                    None,
+                )) as Box<dyn Node>
+            })
+        }));
+    let run = c.run_with_keys(&spec, Some(&kd));
     // Agreement among correct nodes (BA, not just FD):
     let outs = run.correct_outcomes();
     let first = outs[0].decided().expect("BA always decides").to_vec();
@@ -106,7 +114,10 @@ fn dolev_strong_under_local_auth() {
     let (n, t) = (6usize, 2usize);
     let c = cluster(n, t, 4);
     let kd = c.run_key_distribution();
-    let run = c.run_dolev_strong(&kd, b"v".to_vec(), b"d".to_vec());
+    let run = c.run_with_keys(
+        &RunSpec::new(Protocol::DolevStrong, b"v".to_vec()).with_default_value(b"d".to_vec()),
+        Some(&kd),
+    );
     assert!(run.all_decided(b"v"));
     // Failure-free DS costs n(n-1) — quadratic, the contrast in T6.
     assert_eq!(run.stats.messages_total, n * (n - 1));
@@ -161,9 +172,12 @@ fn fd_to_ba_deterministic_replay() {
     let run = |seed| {
         let c = cluster(n, t, seed);
         let kd = c.run_key_distribution();
-        let r = c.run_fd_to_ba_with(&kd, b"v".to_vec(), b"d".to_vec(), &mut |id| {
-            (id == NodeId(1)).then(|| Box::new(SilentNode { me: NodeId(1) }) as Box<dyn Node>)
-        });
+        let spec = RunSpec::new(Protocol::FdToBa, b"v".to_vec())
+            .with_default_value(b"d".to_vec())
+            .with_adversary(AdversarySpec::custom(|id| {
+                (id == NodeId(1)).then(|| Box::new(SilentNode { me: NodeId(1) }) as Box<dyn Node>)
+            }));
+        let r = c.run_with_keys(&spec, Some(&kd));
         (r.stats.messages_total, r.correct_outcomes())
     };
     assert_eq!(run(9), run(9));

@@ -3,12 +3,8 @@
 //! latency), timing-fault sweeps (zero silent disagreements), and the
 //! `lafd run` CLI surface.
 
-// These tests deliberately pin the pre-`RunSpec` per-protocol API: they
-// are the contract that keeps the deprecated shims in `fd_core::compat`
-// working (the equivalence suite proves both paths byte-identical).
-#![allow(deprecated)]
-
 use local_auth_fd::core::runner::Cluster;
+use local_auth_fd::core::spec::RunSpec;
 use local_auth_fd::core::sweep::{run_sweep, Protocol, SweepMatrix, SweepOutcome};
 use local_auth_fd::crypto::SchnorrScheme;
 use local_auth_fd::simnet::{Engine, LatencySpec};
@@ -65,42 +61,30 @@ fn every_protocol_is_engine_invariant() {
 
     let v = b"engine-invariance".to_vec();
     let d = b"default".to_vec();
-    let pairs = [
-        (
-            sync.run_chain_fd(&kd_s, v.clone()),
-            event.run_chain_fd(&kd_e, v.clone()),
-        ),
-        (
-            sync.run_non_auth_fd(v.clone()),
-            event.run_non_auth_fd(v.clone()),
-        ),
-        (
-            sync.run_small_range(&kd_s, v.clone(), d.clone()),
-            event.run_small_range(&kd_e, v.clone(), d.clone()),
-        ),
-        (
-            sync.run_fd_to_ba(&kd_s, v.clone(), d.clone()),
-            event.run_fd_to_ba(&kd_e, v.clone(), d.clone()),
-        ),
-        (
-            sync.run_dolev_strong(&kd_s, v.clone(), d.clone()),
-            event.run_dolev_strong(&kd_e, v.clone(), d.clone()),
-        ),
-        (
-            sync.run_degradable(&kd_s, v.clone(), d.clone()).0,
-            event.run_degradable(&kd_e, v.clone(), d.clone()).0,
-        ),
-    ];
-    for (s, e) in pairs {
-        assert_eq!(s.stats, e.stats);
-        assert_eq!(s.outcomes, e.outcomes);
+    let spec = |p: Protocol| RunSpec::new(p, v.clone()).with_default_value(d.clone());
+    for protocol in [
+        Protocol::ChainFd,
+        Protocol::NonAuthFd,
+        Protocol::SmallRange,
+        Protocol::FdToBa,
+        Protocol::DolevStrong,
+        Protocol::Degradable,
+    ] {
+        let spec = spec(protocol);
+        let keys_s = protocol.needs_keys().then_some(&kd_s);
+        let keys_e = protocol.needs_keys().then_some(&kd_e);
+        let s = sync.run_with_keys(&spec, keys_s);
+        let e = event.run_with_keys(&spec, keys_e);
+        assert_eq!(s.stats, e.stats, "{protocol}");
+        assert_eq!(s.outcomes, e.outcomes, "{protocol}");
     }
 
     // Phase King needs n > 4t, so it gets its own shape.
     let sync = Cluster::new(9, 2, Arc::new(SchnorrScheme::test_tiny()), 5);
     let event = sync.clone().with_engine(Engine::Event);
-    let s = sync.run_phase_king(v.clone(), d.clone());
-    let e = event.run_phase_king(v, d);
+    let king = RunSpec::new(Protocol::PhaseKing, v).with_default_value(d);
+    let s = sync.run(&king);
+    let e = event.run(&king);
     assert_eq!(s.stats, e.stats);
     assert_eq!(s.outcomes, e.outcomes);
 }
@@ -116,7 +100,7 @@ fn jitter_runs_are_seeded_and_deterministic() {
             .clone()
             .with_latency(LatencySpec::Synchronous)
             .run_key_distribution();
-        let r = c.run_chain_fd(&kd, b"v".to_vec());
+        let r = c.run_with_keys(&RunSpec::new(Protocol::ChainFd, b"v".to_vec()), Some(&kd));
         (r.stats, r.outcomes)
     };
     assert_eq!(run(7), run(7));

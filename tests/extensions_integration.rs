@@ -2,16 +2,14 @@
 //! Phase King) and the benign-fault wrappers, all through the public
 //! facade and over *locally* distributed keys.
 
-// These tests deliberately pin the pre-`RunSpec` per-protocol API: they
-// are the contract that keeps the deprecated shims in `fd_core::compat`
-// working (the equivalence suite proves both paths byte-identical).
-#![allow(deprecated)]
-
-use local_auth_fd::core::adversary::{CrashNode, LaggardNode, OmissiveNode, SilentNode};
+use local_auth_fd::core::adversary::{
+    AdversarySpec, CrashNode, LaggardNode, OmissiveNode, SilentNode,
+};
 use local_auth_fd::core::ba::Grade;
 use local_auth_fd::core::fd::{ChainFdNode, ChainFdParams};
 use local_auth_fd::core::metrics;
 use local_auth_fd::core::runner::Cluster;
+use local_auth_fd::core::spec::{Protocol, RunSpec};
 use local_auth_fd::crypto::{DsaScheme, RsaScheme, SchnorrScheme, SignatureScheme};
 use local_auth_fd::simnet::{Node, NodeId};
 use std::collections::BTreeSet;
@@ -26,7 +24,12 @@ fn degradable_over_local_auth_many_shapes() {
     for (n, t) in [(4usize, 1usize), (7, 2), (10, 3), (13, 4)] {
         let c = cluster(n, t, 51);
         let kd = c.run_key_distribution();
-        let (run, grades) = c.run_degradable(&kd, b"value".to_vec(), b"dflt".to_vec());
+        let run = c.run_with_keys(
+            &RunSpec::new(Protocol::Degradable, b"value".to_vec())
+                .with_default_value(b"dflt".to_vec()),
+            Some(&kd),
+        );
+        let grades = run.grades.clone();
         assert!(run.all_decided(b"value"), "n={n} t={t}");
         assert_eq!(
             run.stats.messages_total,
@@ -53,7 +56,10 @@ fn degradable_runs_on_every_signature_scheme() {
         let name = scheme.name();
         let c = Cluster::new(5, 1, scheme, 52);
         let kd = c.run_key_distribution();
-        let (run, _) = c.run_degradable(&kd, b"v".to_vec(), b"d".to_vec());
+        let run = c.run_with_keys(
+            &RunSpec::new(Protocol::Degradable, b"v".to_vec()).with_default_value(b"d".to_vec()),
+            Some(&kd),
+        );
         assert!(run.all_decided(b"v"), "{name}");
     }
 }
@@ -64,9 +70,12 @@ fn phase_king_agreement_with_byzantine_king() {
     // byzantine instead so a correct king phase still exists.
     let (n, t) = (9usize, 2usize);
     let c = cluster(n, t, 53);
-    let run = c.run_phase_king_with(b"v".to_vec(), b"d".to_vec(), &mut |id| {
-        (id == NodeId(1)).then(|| Box::new(SilentNode { me: NodeId(1) }) as Box<dyn Node>)
-    });
+    let spec = RunSpec::new(Protocol::PhaseKing, b"v".to_vec())
+        .with_default_value(b"d".to_vec())
+        .with_adversary(AdversarySpec::custom(|id| {
+            (id == NodeId(1)).then(|| Box::new(SilentNode { me: NodeId(1) }) as Box<dyn Node>)
+        }));
+    let run = c.run(&spec);
     let outs = run.correct_outcomes();
     let distinct: BTreeSet<_> = outs.iter().filter_map(|o| o.decided()).collect();
     assert_eq!(distinct.len(), 1, "phase king must still agree: {outs:?}");
@@ -78,14 +87,16 @@ fn phase_king_cost_grows_with_t_chain_fd_does_not() {
     let n = 13usize;
     let c1 = cluster(n, 1, 54);
     let c3 = cluster(n, 3, 54);
-    let pk1 = c1.run_phase_king(b"v".to_vec(), b"d".to_vec());
-    let pk3 = c3.run_phase_king(b"v".to_vec(), b"d".to_vec());
+    let king = RunSpec::new(Protocol::PhaseKing, b"v".to_vec()).with_default_value(b"d".to_vec());
+    let pk1 = c1.run(&king);
+    let pk3 = c3.run(&king);
     assert!(pk3.stats.messages_total > pk1.stats.messages_total);
 
     let kd1 = c1.run_key_distribution();
     let kd3 = c3.run_key_distribution();
-    let fd1 = c1.run_chain_fd(&kd1, b"v".to_vec());
-    let fd3 = c3.run_chain_fd(&kd3, b"v".to_vec());
+    let chain = RunSpec::new(Protocol::ChainFd, b"v".to_vec());
+    let fd1 = c1.run_with_keys(&chain, Some(&kd1));
+    let fd3 = c3.run_with_keys(&chain, Some(&kd3));
     assert_eq!(fd1.stats.messages_total, fd3.stats.messages_total);
 }
 
@@ -97,19 +108,25 @@ fn benign_faults_never_split_small_range_fd() {
     for seed in 0..10u64 {
         let c = cluster(n, t, seed);
         let kd = c.run_key_distribution();
-        let run = c.run_chain_fd_with(&kd, b"v".to_vec(), &mut |id| {
-            (id == NodeId(1)).then(|| {
-                let honest = Box::new(ChainFdNode::new(
-                    NodeId(1),
-                    ChainFdParams::new(n, t),
-                    Arc::clone(&c.scheme),
-                    kd.store(NodeId(1)).clone(),
-                    c.keyring(NodeId(1)),
-                    None,
-                )) as Box<dyn Node>;
-                Box::new(OmissiveNode::new(honest, seed, 500)) as Box<dyn Node>
-            })
-        });
+        let scheme = Arc::clone(&c.scheme);
+        let store = kd.store(NodeId(1)).clone();
+        let ring = c.keyring(NodeId(1));
+        let spec = RunSpec::new(Protocol::ChainFd, b"v".to_vec()).with_adversary(
+            AdversarySpec::custom(move |id| {
+                (id == NodeId(1)).then(|| {
+                    let honest = Box::new(ChainFdNode::new(
+                        NodeId(1),
+                        ChainFdParams::new(n, t),
+                        Arc::clone(&scheme),
+                        store.clone(),
+                        ring.clone(),
+                        None,
+                    )) as Box<dyn Node>;
+                    Box::new(OmissiveNode::new(honest, seed, 500)) as Box<dyn Node>
+                })
+            }),
+        );
+        let run = c.run_with_keys(&spec, Some(&kd));
         let outs = run.correct_outcomes();
         let distinct: BTreeSet<_> = outs.iter().filter_map(|o| o.decided()).collect();
         assert!(
@@ -148,9 +165,11 @@ fn crash_during_keydist_then_fd_discovers_unknown_signer() {
     // A chain FD run routed through P1 cannot produce a verifiable chain:
     // every correct node either discovers or (downstream of the break)
     // discovers a missing message.
-    let run = c.run_chain_fd_with(&kd, b"v".to_vec(), &mut |id| {
-        (id == NodeId(1)).then(|| Box::new(SilentNode { me: NodeId(1) }) as Box<dyn Node>)
-    });
+    let spec =
+        RunSpec::new(Protocol::ChainFd, b"v".to_vec()).with_adversary(AdversarySpec::custom(
+            |id| (id == NodeId(1)).then(|| Box::new(SilentNode { me: NodeId(1) }) as Box<dyn Node>),
+        ));
+    let run = c.run_with_keys(&spec, Some(&kd));
     assert!(run.any_discovery());
 }
 
@@ -177,9 +196,11 @@ fn laggard_in_keydist_is_tolerated_or_flagged() {
     // FD through the first t+1 = 2 chain nodes (P0, P1) — all honest and
     // mutually accepted — still decides among the nodes that completed key
     // distribution. (P4 has no store, so it stays substituted.)
-    let run = c.run_chain_fd_with(&kd, b"v".to_vec(), &mut |id| {
-        (id == NodeId(4)).then(|| Box::new(SilentNode { me: NodeId(4) }) as Box<dyn Node>)
-    });
+    let spec =
+        RunSpec::new(Protocol::ChainFd, b"v".to_vec()).with_adversary(AdversarySpec::custom(
+            |id| (id == NodeId(4)).then(|| Box::new(SilentNode { me: NodeId(4) }) as Box<dyn Node>),
+        ));
+    let run = c.run_with_keys(&spec, Some(&kd));
     let outs = run.correct_outcomes();
     let distinct: BTreeSet<_> = outs.iter().filter_map(|o| o.decided()).collect();
     assert!(

@@ -3,14 +3,10 @@
 //! paper's properties on the survivors. This is the exhaustive companion
 //! to the targeted scenarios in `adversary_integration.rs`.
 
-// These tests deliberately pin the pre-`RunSpec` per-protocol API: they
-// are the contract that keeps the deprecated shims in `fd_core::compat`
-// working (the equivalence suite proves both paths byte-identical).
-#![allow(deprecated)]
-
-use local_auth_fd::core::adversary::SilentNode;
+use local_auth_fd::core::adversary::{AdversarySpec, SilentNode};
 use local_auth_fd::core::props::check_fd;
 use local_auth_fd::core::runner::Cluster;
+use local_auth_fd::core::spec::{Protocol, RunSpec};
 use local_auth_fd::crypto::{SchnorrScheme, SignatureScheme};
 use local_auth_fd::simnet::{Node, NodeId};
 use std::sync::Arc;
@@ -27,6 +23,15 @@ fn crash_sub(crashed: Vec<NodeId>) -> impl FnMut(NodeId) -> Option<Box<dyn Node>
     }
 }
 
+/// The same crash script as an [`AdversarySpec`] for the `RunSpec` path.
+fn crash_adv(crashed: Vec<NodeId>) -> AdversarySpec {
+    AdversarySpec::custom(move |id| {
+        crashed
+            .contains(&id)
+            .then(|| Box::new(SilentNode { me: id }) as Box<dyn Node>)
+    })
+}
+
 #[test]
 fn chain_fd_single_crash_everywhere() {
     let (n, t) = (6usize, 2usize);
@@ -34,7 +39,9 @@ fn chain_fd_single_crash_everywhere() {
         let c = Cluster::new(n, t, scheme(), 500 + crash as u64);
         let crash_id = NodeId(crash as u16);
         let kd = c.run_key_distribution_with(&mut crash_sub(vec![crash_id]));
-        let run = c.run_chain_fd_with(&kd, b"v".to_vec(), &mut crash_sub(vec![crash_id]));
+        let spec = RunSpec::new(Protocol::ChainFd, b"v".to_vec())
+            .with_adversary(crash_adv(vec![crash_id]));
+        let run = c.run_with_keys(&spec, Some(&kd));
         let sender_correct = crash_id != NodeId(0);
         let report = check_fd(&run.correct_outcomes(), sender_correct.then_some(&b"v"[..]));
         assert!(report.all_ok(), "crash={crash_id}: {report:?}");
@@ -57,7 +64,9 @@ fn chain_fd_double_crash_everywhere() {
             let c = Cluster::new(n, t, scheme(), 600 + (a * n + b) as u64);
             let crashed = vec![NodeId(a as u16), NodeId(b as u16)];
             let kd = c.run_key_distribution_with(&mut crash_sub(crashed.clone()));
-            let run = c.run_chain_fd_with(&kd, b"v".to_vec(), &mut crash_sub(crashed.clone()));
+            let spec = RunSpec::new(Protocol::ChainFd, b"v".to_vec())
+                .with_adversary(crash_adv(crashed.clone()));
+            let run = c.run_with_keys(&spec, Some(&kd));
             let sender_correct = a != 0;
             let report = check_fd(&run.correct_outcomes(), sender_correct.then_some(&b"v"[..]));
             assert!(report.all_ok(), "crash={{P{a},P{b}}}: {report:?}");
@@ -71,7 +80,9 @@ fn non_auth_single_crash_everywhere() {
     for crash in 0..n {
         let c = Cluster::new(n, t, scheme(), 700 + crash as u64);
         let crash_id = NodeId(crash as u16);
-        let run = c.run_non_auth_fd_with(b"v".to_vec(), &mut crash_sub(vec![crash_id]));
+        let spec = RunSpec::new(Protocol::NonAuthFd, b"v".to_vec())
+            .with_adversary(crash_adv(vec![crash_id]));
+        let run = c.run(&spec);
         let sender_correct = crash_id != NodeId(0);
         let report = check_fd(&run.correct_outcomes(), sender_correct.then_some(&b"v"[..]));
         assert!(report.all_ok(), "crash={crash_id}: {report:?}");
@@ -86,8 +97,10 @@ fn small_range_single_crash_everywhere_both_values() {
             let c = Cluster::new(n, t, scheme(), 800 + crash as u64);
             let crash_id = NodeId(crash as u16);
             let kd = c.run_key_distribution_with(&mut crash_sub(vec![crash_id]));
-            let run =
-                c.run_small_range_with(&kd, value.clone(), vec![0], &mut crash_sub(vec![crash_id]));
+            let spec = RunSpec::new(Protocol::SmallRange, value.clone())
+                .with_default_value(vec![0])
+                .with_adversary(crash_adv(vec![crash_id]));
+            let run = c.run_with_keys(&spec, Some(&kd));
             let sender_correct = crash_id != NodeId(0);
             let report = check_fd(
                 &run.correct_outcomes(),
@@ -108,12 +121,10 @@ fn dolev_strong_single_crash_agreement() {
         let c = Cluster::new(n, t, scheme(), 900 + crash as u64);
         let crash_id = NodeId(crash as u16);
         let kd = c.run_key_distribution_with(&mut crash_sub(vec![crash_id]));
-        let run = c.run_dolev_strong_with(
-            &kd,
-            b"v".to_vec(),
-            b"d".to_vec(),
-            &mut crash_sub(vec![crash_id]),
-        );
+        let spec = RunSpec::new(Protocol::DolevStrong, b"v".to_vec())
+            .with_default_value(b"d".to_vec())
+            .with_adversary(crash_adv(vec![crash_id]));
+        let run = c.run_with_keys(&spec, Some(&kd));
         // DS is full BA (under these key stores): survivors must agree; and
         // must decide v when the sender is correct.
         let outs = run.correct_outcomes();
@@ -138,12 +149,10 @@ fn fd_to_ba_double_crash_agreement_and_validity() {
             let c = Cluster::new(n, t, scheme(), 1000 + (a * n + b) as u64);
             let crashed = vec![NodeId(a as u16), NodeId(b as u16)];
             let kd = c.run_key_distribution_with(&mut crash_sub(crashed.clone()));
-            let run = c.run_fd_to_ba_with(
-                &kd,
-                b"v".to_vec(),
-                b"d".to_vec(),
-                &mut crash_sub(crashed.clone()),
-            );
+            let spec = RunSpec::new(Protocol::FdToBa, b"v".to_vec())
+                .with_default_value(b"d".to_vec())
+                .with_adversary(crash_adv(crashed.clone()));
+            let run = c.run_with_keys(&spec, Some(&kd));
             let outs = run.correct_outcomes();
             for o in &outs {
                 assert_eq!(

@@ -5,15 +5,9 @@
 //! absorbed (hit an unused link), but it must never produce silent
 //! disagreement — and any nodes that do decide must agree on the value.
 
-// These tests deliberately pin the pre-`RunSpec` per-protocol API: they
-// are the contract that keeps the deprecated shims in `fd_core::compat`
-// working (the equivalence suite proves both paths byte-identical).
-#![allow(deprecated)]
-
 use local_auth_fd::core::runner::Cluster;
-use local_auth_fd::core::sweep::{
-    classify, run_keydist_for, run_protocol_with, Protocol, SweepOutcome,
-};
+use local_auth_fd::core::spec::RunSpec;
+use local_auth_fd::core::sweep::{classify, Protocol, SweepOutcome};
 use local_auth_fd::crypto::SchnorrScheme;
 use local_auth_fd::simnet::fault::{FaultPlan, LinkFault};
 use local_auth_fd::simnet::Engine;
@@ -46,16 +40,11 @@ fn run_with_faults(
         .with_faults(plan);
     // Keys are established in the clean setup phase; the faults hit the
     // protocol run itself.
-    let keydist = run_keydist_for(&cluster, protocol);
+    let keydist = cluster.keydist_for(protocol);
     let value = b"fault-matrix".to_vec();
-    let run = run_protocol_with(
-        &cluster,
-        protocol,
-        keydist.as_ref(),
-        value.clone(),
-        b"fallback-default".to_vec(),
-        &mut |_| None,
-    );
+    let spec =
+        RunSpec::new(protocol, value.clone()).with_default_value(b"fallback-default".to_vec());
+    let run = cluster.run_with_keys(&spec, keydist.as_ref());
     let decided: BTreeSet<Vec<u8>> = run
         .correct_outcomes()
         .iter()
@@ -117,15 +106,10 @@ fn faults_on_the_used_link_are_discovered() {
             let cluster = Cluster::new(N, 2, Arc::new(SchnorrScheme::test_tiny()), 1)
                 .with_engine(engine)
                 .with_faults(plan);
-            let keydist = run_keydist_for(&cluster, Protocol::ChainFd);
-            let run = run_protocol_with(
-                &cluster,
-                Protocol::ChainFd,
-                keydist.as_ref(),
-                b"v".to_vec(),
-                b"d".to_vec(),
-                &mut |_| None,
-            );
+            let keydist = cluster.keydist_for(Protocol::ChainFd);
+            let spec =
+                RunSpec::new(Protocol::ChainFd, b"v".to_vec()).with_default_value(b"d".to_vec());
+            let run = cluster.run_with_keys(&spec, keydist.as_ref());
             assert_eq!(
                 classify(&run, true),
                 SweepOutcome::Discovered,

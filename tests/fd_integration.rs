@@ -1,13 +1,9 @@
 //! Integration tests for the failure-discovery protocols over *locally*
 //! distributed keys — the paper's headline composition (§4–§6).
 
-// These tests deliberately pin the pre-`RunSpec` per-protocol API: they
-// are the contract that keeps the deprecated shims in `fd_core::compat`
-// working (the equivalence suite proves both paths byte-identical).
-#![allow(deprecated)]
-
 use local_auth_fd::core::metrics;
 use local_auth_fd::core::runner::Cluster;
+use local_auth_fd::core::spec::{Protocol, RunSpec};
 use local_auth_fd::crypto::{SchnorrScheme, ToyScheme};
 use std::sync::Arc;
 
@@ -20,7 +16,10 @@ fn chain_fd_over_local_auth_for_many_shapes() {
     for (n, t) in [(3usize, 1usize), (5, 1), (7, 2), (9, 3), (12, 4), (6, 0)] {
         let c = cluster(n, t, 41);
         let kd = c.run_key_distribution();
-        let run = c.run_chain_fd(&kd, b"value".to_vec());
+        let run = c.run_with_keys(
+            &RunSpec::new(Protocol::ChainFd, b"value".to_vec()),
+            Some(&kd),
+        );
         assert!(run.all_decided(b"value"), "n={n} t={t}");
         assert_eq!(
             run.stats.messages_total,
@@ -37,8 +36,14 @@ fn amortization_crossover_measured_equals_formula() {
     for (n, t) in [(8usize, 2usize), (12, 3), (16, 5)] {
         let c = cluster(n, t, 43);
         let kd = c.run_key_distribution();
-        let auth_per_run = c.run_chain_fd(&kd, b"v".to_vec()).stats.messages_total;
-        let nonauth_per_run = c.run_non_auth_fd(b"v".to_vec()).stats.messages_total;
+        let auth_per_run = c
+            .run_with_keys(&RunSpec::new(Protocol::ChainFd, b"v".to_vec()), Some(&kd))
+            .stats
+            .messages_total;
+        let nonauth_per_run = c
+            .run(&RunSpec::new(Protocol::NonAuthFd, b"v".to_vec()))
+            .stats
+            .messages_total;
         let setup = kd.stats.messages_total;
 
         let k_star = metrics::amortization_crossover(n, t).expect("saving exists");
@@ -55,7 +60,10 @@ fn many_consecutive_runs_stay_cheap_and_correct() {
     let kd = c.run_key_distribution();
     let mut total = kd.stats.messages_total;
     for k in 0..25u8 {
-        let run = c.run_chain_fd(&kd, vec![k, k.wrapping_mul(3)]);
+        let run = c.run_with_keys(
+            &RunSpec::new(Protocol::ChainFd, vec![k, k.wrapping_mul(3)]),
+            Some(&kd),
+        );
         assert!(run.all_decided(&[k, k.wrapping_mul(3)]));
         total += run.stats.messages_total;
     }
@@ -71,7 +79,7 @@ fn non_auth_baseline_scales_with_t() {
     let mut last = 0usize;
     for t in [0usize, 1, 2, 4, 7] {
         let c = cluster(n, t, 53);
-        let run = c.run_non_auth_fd(b"x".to_vec());
+        let run = c.run(&RunSpec::new(Protocol::NonAuthFd, b"x".to_vec()));
         assert!(run.all_decided(b"x"), "t={t}");
         assert_eq!(run.stats.messages_total, metrics::non_auth_messages(n, t));
         assert!(run.stats.messages_total > last, "monotone in t");
@@ -84,7 +92,7 @@ fn large_values_flow_through_chains() {
     let c = cluster(5, 1, 59);
     let kd = c.run_key_distribution();
     let big: Vec<u8> = (0..2048u32).map(|i| (i % 251) as u8).collect();
-    let run = c.run_chain_fd(&kd, big.clone());
+    let run = c.run_with_keys(&RunSpec::new(Protocol::ChainFd, big.clone()), Some(&kd));
     assert!(run.all_decided(&big));
     // Wire bytes reflect the payload size (sanity of accounting).
     assert!(run.stats.bytes_total > 2048 * (5 - 1));
@@ -94,7 +102,7 @@ fn large_values_flow_through_chains() {
 fn empty_value_is_legal() {
     let c = cluster(4, 1, 61);
     let kd = c.run_key_distribution();
-    let run = c.run_chain_fd(&kd, Vec::new());
+    let run = c.run_with_keys(&RunSpec::new(Protocol::ChainFd, Vec::new()), Some(&kd));
     assert!(run.all_decided(b""));
 }
 
@@ -108,7 +116,10 @@ fn small_range_expected_cost_depends_on_workload() {
     let mut total = 0usize;
     for k in 0..10u8 {
         let v = if k < 8 { vec![0] } else { vec![1] };
-        let run = c.run_small_range(&kd, v.clone(), vec![0]);
+        let run = c.run_with_keys(
+            &RunSpec::new(Protocol::SmallRange, v.clone()).with_default_value(vec![0]),
+            Some(&kd),
+        );
         assert!(run.all_decided(&v), "k={k}");
         total += run.stats.messages_total;
     }
@@ -130,7 +141,7 @@ fn broken_signature_scheme_breaks_the_guarantees() {
     let toy = ToyScheme::new();
     let c = Cluster::new(4, 1, Arc::new(ToyScheme::new()), 71);
     let kd = c.run_key_distribution();
-    let run = c.run_chain_fd(&kd, b"v".to_vec());
+    let run = c.run_with_keys(&RunSpec::new(Protocol::ChainFd, b"v".to_vec()), Some(&kd));
     assert!(run.all_decided(b"v"), "honest runs still work");
 
     // But: forge the sender's origin signature from its PUBLIC key only.
@@ -174,7 +185,7 @@ fn keydist_and_fd_at_n_128() {
     for (_, anoms) in &kd.anomalies {
         assert!(anoms.is_empty());
     }
-    let run = c.run_chain_fd(&kd, b"big".to_vec());
+    let run = c.run_with_keys(&RunSpec::new(Protocol::ChainFd, b"big".to_vec()), Some(&kd));
     assert!(run.all_decided(b"big"));
     assert_eq!(run.stats.messages_total, n - 1);
 }

@@ -1,16 +1,12 @@
 //! Integration tests for the key distribution protocol (paper Fig. 1,
 //! Theorem 2) across crates: crypto schemes × simulator × adversaries.
 
-// These tests deliberately pin the pre-`RunSpec` per-protocol API: they
-// are the contract that keeps the deprecated shims in `fd_core::compat`
-// working (the equivalence suite proves both paths byte-identical).
-#![allow(deprecated)]
-
 use local_auth_fd::core::adversary::{
     EquivocatingKeyDist, KeyThiefKeyDist, SharedKeyKeyDist, SilentNode, WrongNameKeyDist,
 };
 use local_auth_fd::core::metrics;
 use local_auth_fd::core::runner::Cluster;
+use local_auth_fd::core::spec::{Protocol, RunSpec};
 use local_auth_fd::crypto::{RsaScheme, SchnorrScheme, SignatureScheme};
 use local_auth_fd::simnet::{Node, NodeId};
 use std::sync::Arc;
@@ -49,7 +45,7 @@ fn keydist_works_over_rsa_too() {
         assert_eq!(store.accepted_count(), 4);
     }
     // And the subsequent FD run verifies RSA chains.
-    let run = c.run_chain_fd(&kd, b"rsa".to_vec());
+    let run = c.run_with_keys(&RunSpec::new(Protocol::ChainFd, b"rsa".to_vec()), Some(&kd));
     assert!(run.all_decided(b"rsa"));
 }
 

@@ -2,16 +2,14 @@
 //! seeds, values, and fault placements must never violate F1–F3 or the
 //! message-count formulas.
 
-// These tests deliberately pin the pre-`RunSpec` per-protocol API: they
-// are the contract that keeps the deprecated shims in `fd_core::compat`
-// working (the equivalence suite proves both paths byte-identical).
-#![allow(deprecated)]
-
-use local_auth_fd::core::adversary::{ChainFdAdversary, ChainMisbehavior, SilentNode};
+use local_auth_fd::core::adversary::{
+    AdversarySpec, ChainFdAdversary, ChainMisbehavior, SilentNode,
+};
 use local_auth_fd::core::fd::ChainFdParams;
 use local_auth_fd::core::keys::Keyring;
 use local_auth_fd::core::props::check_fd;
 use local_auth_fd::core::runner::Cluster;
+use local_auth_fd::core::spec::{Protocol, RunSpec};
 use local_auth_fd::core::{metrics, Outcome};
 use local_auth_fd::crypto::{SchnorrScheme, SignatureScheme};
 use local_auth_fd::simnet::{Node, NodeId};
@@ -39,7 +37,7 @@ proptest! {
         let c = Cluster::new(n, t, scheme(), seed);
         let kd = c.run_key_distribution();
         prop_assert_eq!(kd.stats.messages_total, metrics::keydist_messages(n));
-        let run = c.run_chain_fd(&kd, value.clone());
+        let run = c.run_with_keys(&RunSpec::new(Protocol::ChainFd, value.clone()), Some(&kd));
         prop_assert_eq!(run.stats.messages_total, metrics::chain_fd_messages(n));
         prop_assert!(run.all_decided(&value));
         let report = check_fd(&run.correct_outcomes(), Some(&value));
@@ -54,7 +52,7 @@ proptest! {
         value in prop::collection::vec(any::<u8>(), 0..32),
     ) {
         let c = Cluster::new(n, t, scheme(), seed);
-        let run = c.run_non_auth_fd(value.clone());
+        let run = c.run(&RunSpec::new(Protocol::NonAuthFd, value.clone()));
         prop_assert_eq!(run.stats.messages_total, metrics::non_auth_messages(n, t));
         prop_assert!(run.all_decided(&value));
     }
@@ -77,18 +75,22 @@ proptest! {
             },
             _ => ChainMisbehavior::ForgeOrigin { value: vec![0xdd] },
         };
-        let run = c.run_chain_fd_with(&kd, b"honest-value".to_vec(), &mut |id| {
-            (id == faulty).then(|| {
-                Box::new(ChainFdAdversary::new(
-                    faulty,
-                    ChainFdParams::new(n, t),
-                    scheme(),
-                    Keyring::generate(scheme().as_ref(), faulty, seed),
-                    behavior.clone(),
-                    None,
-                )) as Box<dyn Node>
-            })
-        });
+        let adv_behavior = behavior.clone();
+        let spec = RunSpec::new(Protocol::ChainFd, b"honest-value".to_vec()).with_adversary(
+            AdversarySpec::custom(move |id| {
+                (id == faulty).then(|| {
+                    Box::new(ChainFdAdversary::new(
+                        faulty,
+                        ChainFdParams::new(n, t),
+                        scheme(),
+                        Keyring::generate(scheme().as_ref(), faulty, seed),
+                        adv_behavior.clone(),
+                        None,
+                    )) as Box<dyn Node>
+                })
+            }),
+        );
+        let run = c.run_with_keys(&spec, Some(&kd));
         let report = check_fd(&run.correct_outcomes(), Some(b"honest-value"));
         prop_assert!(report.all_ok(), "seed={seed} behavior={behavior:?}: {report:?}");
     }
@@ -105,9 +107,12 @@ proptest! {
             (id == crash_id).then(|| Box::new(SilentNode { me: crash_id }) as Box<dyn Node>)
         });
         let sender_correct = crash_id != NodeId(0);
-        let run = c.run_chain_fd_with(&kd, b"v".to_vec(), &mut |id| {
-            (id == crash_id).then(|| Box::new(SilentNode { me: crash_id }) as Box<dyn Node>)
-        });
+        let spec = RunSpec::new(Protocol::ChainFd, b"v".to_vec()).with_adversary(
+            AdversarySpec::custom(move |id| {
+                (id == crash_id).then(|| Box::new(SilentNode { me: crash_id }) as Box<dyn Node>)
+            }),
+        );
+        let run = c.run_with_keys(&spec, Some(&kd));
         let report = check_fd(
             &run.correct_outcomes(),
             sender_correct.then_some(&b"v"[..]),
@@ -128,9 +133,12 @@ proptest! {
         let c = Cluster::new(n, t, scheme(), seed);
         let crash_id = NodeId(crash as u16);
         let kd = c.run_key_distribution();
-        let run = c.run_fd_to_ba_with(&kd, b"v".to_vec(), b"d".to_vec(), &mut |id| {
-            (id == crash_id).then(|| Box::new(SilentNode { me: crash_id }) as Box<dyn Node>)
-        });
+        let spec = RunSpec::new(Protocol::FdToBa, b"v".to_vec())
+            .with_default_value(b"d".to_vec())
+            .with_adversary(AdversarySpec::custom(move |id| {
+                (id == crash_id).then(|| Box::new(SilentNode { me: crash_id }) as Box<dyn Node>)
+            }));
+        let run = c.run_with_keys(&spec, Some(&kd));
         // BA: all correct nodes decide, and on the same value; sender
         // correct here, so validity pins it to v.
         let outs = run.correct_outcomes();
@@ -160,7 +168,12 @@ proptest! {
 
         let c = Cluster::new(n, t, scheme(), seed);
         let kd = c.run_key_distribution();
-        let (run, grades) = c.run_degradable(&kd, value.clone(), b"dflt".to_vec());
+        let run = c.run_with_keys(
+            &RunSpec::new(Protocol::Degradable, value.clone())
+                .with_default_value(b"dflt".to_vec()),
+            Some(&kd),
+        );
+        let grades = run.grades.clone();
         prop_assert_eq!(run.stats.messages_total, metrics::degradable_messages(n));
         prop_assert!(run.all_decided(&value));
         prop_assert!(grades.iter().all(|g| *g == Some(Grade::Two)));
@@ -221,16 +234,19 @@ proptest! {
         let kd = c.run_key_distribution();
         let ring = c.keyring(NodeId(0));
         let s = Arc::clone(&c.scheme);
-        let (run, _) = c.run_degradable_with(&kd, b"v".to_vec(), b"dflt".to_vec(), &mut |id| {
-            (id == NodeId(0)).then(|| {
-                Box::new(MaskedSender {
-                    ring: ring.clone(),
-                    scheme: Arc::clone(&s),
-                    n,
-                    mask: reach_mask,
-                }) as Box<dyn Node>
-            })
-        });
+        let spec = RunSpec::new(Protocol::Degradable, b"v".to_vec())
+            .with_default_value(b"dflt".to_vec())
+            .with_adversary(AdversarySpec::custom(move |id| {
+                (id == NodeId(0)).then(|| {
+                    Box::new(MaskedSender {
+                        ring: ring.clone(),
+                        scheme: Arc::clone(&s),
+                        n,
+                        mask: reach_mask,
+                    }) as Box<dyn Node>
+                })
+            }));
+        let run = c.run_with_keys(&spec, Some(&kd));
         // The equivocating/partial sender is faulty; the degradation
         // contract must still hold among the correct nodes.
         let outs: Vec<Outcome> = run.outcomes.iter().skip(1).flatten().cloned().collect();
@@ -246,10 +262,13 @@ proptest! {
     ) {
         let (n, t) = (9usize, 2usize);
         let c = Cluster::new(n, t, scheme(), seed);
-        let run = c.run_phase_king_with(value.clone(), b"dflt".to_vec(), &mut |id| {
-            (id == NodeId(silent as u16))
-                .then(|| Box::new(SilentNode { me: NodeId(silent as u16) }) as Box<dyn Node>)
-        });
+        let spec = RunSpec::new(Protocol::PhaseKing, value.clone())
+            .with_default_value(b"dflt".to_vec())
+            .with_adversary(AdversarySpec::custom(move |id| {
+                (id == NodeId(silent as u16))
+                    .then(|| Box::new(SilentNode { me: NodeId(silent as u16) }) as Box<dyn Node>)
+            }));
+        let run = c.run(&spec);
         let outs = run.correct_outcomes();
         // Full agreement: exactly one decision value among correct nodes.
         let distinct: std::collections::BTreeSet<_> =

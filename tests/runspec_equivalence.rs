@@ -7,21 +7,13 @@
 //! closure) — and a [`Session`] must amortize exactly one key
 //! distribution across any number of runs (paper Fig. 1 economics).
 
-// The "old path" half of every comparison deliberately uses the
-// deprecated pre-`RunSpec` API — that is the point of the suite.
-#![allow(deprecated)]
-
-use local_auth_fd::core::adversary::{
-    AdversaryKind, AdversarySpec, ChainFdAdversary, ChainMisbehavior, CrashNode, SilentNode,
-};
-use local_auth_fd::core::fd::{ChainFdNode, ChainFdParams};
+use local_auth_fd::core::adversary::{AdversaryKind, AdversarySpec};
 use local_auth_fd::core::metrics;
-use local_auth_fd::core::runner::{Cluster, KeyDistReport};
+use local_auth_fd::core::runner::Cluster;
 use local_auth_fd::core::schedsearch::{run_search, run_search_parallel, SearchConfig, Strategy};
 use local_auth_fd::core::spec::{Protocol, RunSpec, Session};
-use local_auth_fd::core::sweep::{run_keydist_for, run_protocol_with};
 use local_auth_fd::crypto::SchnorrScheme;
-use local_auth_fd::simnet::{Engine, Node, NodeId};
+use local_auth_fd::simnet::Engine;
 use std::sync::Arc;
 
 const N: usize = 9;
@@ -33,35 +25,54 @@ fn cluster(engine: Engine, seed: u64) -> Cluster {
     Cluster::new(N, T, Arc::new(SchnorrScheme::test_tiny()), seed).with_engine(engine)
 }
 
-/// The PR 3 substitution closures, reconstructed verbatim (same automata,
-/// same planted constants, same relay `P_1`) so the old call path is
-/// exercised exactly as the sweep engine used to drive it.
-fn legacy_substitution<'a>(
-    kind: AdversaryKind,
-    cluster: &'a Cluster,
-    keydist: &'a Option<KeyDistReport>,
-) -> Box<dyn FnMut(NodeId) -> Option<Box<dyn Node>> + 'a> {
-    let relay = NodeId(1);
-    match kind {
-        AdversaryKind::None => Box::new(|_| None),
-        AdversaryKind::SilentRelay => Box::new(move |id: NodeId| {
-            (id == relay).then(|| Box::new(SilentNode { me: relay }) as Box<dyn Node>)
-        }),
-        AdversaryKind::CrashRelay => Box::new(move |id: NodeId| {
-            (id == relay).then(|| {
-                let honest = Box::new(ChainFdNode::new(
-                    relay,
-                    ChainFdParams::new(cluster.n, cluster.t),
-                    Arc::clone(&cluster.scheme),
-                    keydist.as_ref().expect("keys").store(relay).clone(),
-                    cluster.keyring(relay),
-                    None,
-                )) as Box<dyn Node>;
-                Box::new(CrashNode::new(honest, 1, 0)) as Box<dyn Node>
-            })
-        }),
-        AdversaryKind::TamperBody | AdversaryKind::ForgeOrigin | AdversaryKind::WrongAssignee => {
-            Box::new(move |id: NodeId| {
+/// The legacy half of the suite needs the deprecated shims, which only
+/// exist behind `--features compat`; the redesign-only tests below run
+/// unconditionally.
+#[cfg(feature = "compat")]
+mod legacy {
+    #![allow(deprecated)]
+
+    use super::{cluster, DEFAULT, VALUE};
+    use local_auth_fd::core::adversary::{
+        AdversaryKind, AdversarySpec, ChainFdAdversary, ChainMisbehavior, CrashNode, SilentNode,
+    };
+    use local_auth_fd::core::fd::{ChainFdNode, ChainFdParams};
+    use local_auth_fd::core::runner::{Cluster, KeyDistReport};
+    use local_auth_fd::core::spec::{Protocol, RunSpec};
+    use local_auth_fd::core::sweep::{run_keydist_for, run_protocol_with};
+    use local_auth_fd::simnet::{Engine, Node, NodeId};
+    use std::sync::Arc;
+
+    /// The PR 3 substitution closures, reconstructed verbatim (same automata,
+    /// same planted constants, same relay `P_1`) so the old call path is
+    /// exercised exactly as the sweep engine used to drive it.
+    fn legacy_substitution<'a>(
+        kind: AdversaryKind,
+        cluster: &'a Cluster,
+        keydist: &'a Option<KeyDistReport>,
+    ) -> Box<dyn FnMut(NodeId) -> Option<Box<dyn Node>> + 'a> {
+        let relay = NodeId(1);
+        match kind {
+            AdversaryKind::None => Box::new(|_| None),
+            AdversaryKind::SilentRelay => Box::new(move |id: NodeId| {
+                (id == relay).then(|| Box::new(SilentNode { me: relay }) as Box<dyn Node>)
+            }),
+            AdversaryKind::CrashRelay => Box::new(move |id: NodeId| {
+                (id == relay).then(|| {
+                    let honest = Box::new(ChainFdNode::new(
+                        relay,
+                        ChainFdParams::new(cluster.n, cluster.t),
+                        Arc::clone(&cluster.scheme),
+                        keydist.as_ref().expect("keys").store(relay).clone(),
+                        cluster.keyring(relay),
+                        None,
+                    )) as Box<dyn Node>;
+                    Box::new(CrashNode::new(honest, 1, 0)) as Box<dyn Node>
+                })
+            }),
+            AdversaryKind::TamperBody
+            | AdversaryKind::ForgeOrigin
+            | AdversaryKind::WrongAssignee => Box::new(move |id: NodeId| {
                 (id == relay).then(|| {
                     let misbehavior = match kind {
                         AdversaryKind::TamperBody => ChainMisbehavior::TamperBody {
@@ -83,57 +94,56 @@ fn legacy_substitution<'a>(
                         None,
                     )) as Box<dyn Node>
                 })
-            })
-        }
-        AdversaryKind::Equivocate => {
-            unreachable!("Equivocate postdates the legacy path; not compared")
-        }
-    }
-}
-
-#[test]
-fn every_cell_matches_the_legacy_call_path_byte_for_byte() {
-    let mut cells = 0usize;
-    for engine in [Engine::Sync, Engine::Event] {
-        for protocol in Protocol::ALL {
-            for kind in AdversaryKind::ALL {
-                if !kind.applies_to(protocol) || kind == AdversaryKind::Equivocate {
-                    continue;
-                }
-                let c = cluster(engine, 42);
-
-                // Old path: hand-threaded keydist + dispatch + closure.
-                let keydist = run_keydist_for(&c, protocol);
-                let mut substitute = legacy_substitution(kind, &c, &keydist);
-                let old = run_protocol_with(
-                    &c,
-                    protocol,
-                    keydist.as_ref(),
-                    VALUE.to_vec(),
-                    DEFAULT.to_vec(),
-                    &mut *substitute,
-                );
-                drop(substitute);
-
-                // New path: one spec, one entry point.
-                let spec = RunSpec::new(protocol, VALUE.to_vec())
-                    .with_default_value(DEFAULT.to_vec())
-                    .with_adversary(AdversarySpec::scripted(kind));
-                let new = c.run(&spec);
-
-                assert_eq!(
-                    old.to_json(),
-                    new.to_json(),
-                    "{engine:?}/{protocol}/{kind}: paths diverged"
-                );
-                cells += 1;
+            }),
+            AdversaryKind::Equivocate => {
+                unreachable!("Equivocate postdates the legacy path; not compared")
             }
         }
     }
-    // 7 protocols × honest + silent, plus 4 chain-only kinds, × 2 engines.
-    assert_eq!(cells, (7 * 2 + 4) * 2, "cell coverage changed unexpectedly");
-}
 
+    #[test]
+    fn every_cell_matches_the_legacy_call_path_byte_for_byte() {
+        let mut cells = 0usize;
+        for engine in [Engine::Sync, Engine::Event] {
+            for protocol in Protocol::ALL {
+                for kind in AdversaryKind::ALL {
+                    if !kind.applies_to(protocol) || kind == AdversaryKind::Equivocate {
+                        continue;
+                    }
+                    let c = cluster(engine, 42);
+
+                    // Old path: hand-threaded keydist + dispatch + closure.
+                    let keydist = run_keydist_for(&c, protocol);
+                    let mut substitute = legacy_substitution(kind, &c, &keydist);
+                    let old = run_protocol_with(
+                        &c,
+                        protocol,
+                        keydist.as_ref(),
+                        VALUE.to_vec(),
+                        DEFAULT.to_vec(),
+                        &mut *substitute,
+                    );
+                    drop(substitute);
+
+                    // New path: one spec, one entry point.
+                    let spec = RunSpec::new(protocol, VALUE.to_vec())
+                        .with_default_value(DEFAULT.to_vec())
+                        .with_adversary(AdversarySpec::scripted(kind));
+                    let new = c.run(&spec);
+
+                    assert_eq!(
+                        old.to_json(),
+                        new.to_json(),
+                        "{engine:?}/{protocol}/{kind}: paths diverged"
+                    );
+                    cells += 1;
+                }
+            }
+        }
+        // 7 protocols × honest + silent, plus 4 chain-only kinds, × 2 engines.
+        assert_eq!(cells, (7 * 2 + 4) * 2, "cell coverage changed unexpectedly");
+    }
+}
 #[test]
 fn session_reuses_the_one_shot_keydist_exactly() {
     // A Session's cached keydist is the same keydist Cluster::run would
