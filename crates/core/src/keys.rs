@@ -181,6 +181,11 @@ pub struct VerifyCache {
     chains: Arc<Mutex<ChainReceipts>>,
     hits: Arc<AtomicUsize>,
     misses: Arc<AtomicUsize>,
+    /// Wall-clock nanoseconds spent inside signature-predicate
+    /// evaluations on the miss path, accumulated only when
+    /// [`VerifyCache::with_timing`] armed the accumulator. `None` (the
+    /// default) keeps the hot path free of clock reads.
+    verify_ns: Option<Arc<std::sync::atomic::AtomicU64>>,
 }
 
 /// Chain-level verification receipts, keyed by receipt hash.
@@ -223,7 +228,16 @@ impl VerifyCache {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return cached;
         }
-        let result = scheme.verify(pk, msg, sig);
+        let result = match &self.verify_ns {
+            None => scheme.verify(pk, msg, sig),
+            Some(acc) => {
+                let start = std::time::Instant::now();
+                let result = scheme.verify(pk, msg, sig);
+                let spent = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                acc.fetch_add(spent, Ordering::Relaxed);
+                result
+            }
+        };
         self.misses.fetch_add(1, Ordering::Relaxed);
         lock(&self.sigs).insert(key, result);
         result
@@ -260,6 +274,24 @@ impl VerifyCache {
     /// Cache misses (= underlying verifications actually executed).
     pub fn misses(&self) -> usize {
         self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Arm the wall-clock accumulator: clones of this handle (and the
+    /// stores they are installed on) will time every signature-predicate
+    /// evaluation executed on the miss path. Timing never changes results
+    /// or cache contents — it only feeds
+    /// [`VerifyCache::verify_wall_us`].
+    pub fn with_timing(mut self) -> Self {
+        self.verify_ns = Some(Arc::new(std::sync::atomic::AtomicU64::new(0)));
+        self
+    }
+
+    /// Accumulated wall-clock microseconds of signature-predicate
+    /// evaluation, or `None` when timing was never armed.
+    pub fn verify_wall_us(&self) -> Option<u64> {
+        self.verify_ns
+            .as_ref()
+            .map(|acc| acc.load(Ordering::Relaxed) / 1_000)
     }
 }
 

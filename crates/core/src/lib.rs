@@ -58,6 +58,15 @@
 //!   delivery schedule within a latency envelope that maximizes
 //!   disagreement, emitting replayable schedule certificates — the
 //!   worst-case-adversary counterpart to the sweep's sampled timing.
+//! * [`obs`] — zero-dependency observability: phase spans (keydist,
+//!   per-round delivery, verification, report assembly) and counters
+//!   (verify-cache hits/misses, predicate interning, queue depths), with
+//!   deterministic virtual-tick timestamps on the event engine and
+//!   wall-clock on the sync engine; exports Chrome trace-event JSON and
+//!   folded stacks.
+//! * [`report`] — bench-trajectory rendering: parses committed
+//!   `BENCH_*.json` baselines and renders markdown/HTML trend tables
+//!   with per-cell deltas (the `lafd report` backend).
 //!
 //! ## Quickstart
 //!
@@ -93,7 +102,9 @@ pub mod fd;
 pub mod keys;
 pub mod localauth;
 pub mod metrics;
+pub mod obs;
 pub mod props;
+pub mod report;
 pub mod runner;
 pub mod schedsearch;
 pub mod service;

@@ -1,0 +1,387 @@
+//! Bench-trajectory rendering: the `lafd report` backend.
+//!
+//! Parses committed `BENCH_*.json` baselines (schema `lafd-bench-v1`,
+//! produced by `lafd bench`) and renders the wall-time trajectory as a
+//! markdown or HTML table — one row per `(protocol × n × engine)` cell,
+//! one column per baseline, with per-cell deltas against the previous
+//! column. Counters (messages/bytes/rounds) are checked by
+//! `scripts/check-bench-regression.sh`; this module is about making the
+//! *trend* a first-class rendered artifact instead of archaeology over
+//! committed JSON files.
+
+use crate::wire::Value;
+use std::collections::BTreeMap;
+
+/// One benchmark cell: a `(protocol, n, engine)` measurement from a
+/// `lafd bench` results array.
+#[derive(Debug, Clone)]
+pub struct BenchCell {
+    /// Protocol wire name (e.g. `dolev_strong`).
+    pub protocol: String,
+    /// System size.
+    pub n: u64,
+    /// Engine name (`sync` or `event`).
+    pub engine: String,
+    /// Wall time of the measured run, microseconds.
+    pub wall_us: u64,
+    /// Messages sent.
+    pub messages: u64,
+    /// Bytes sent.
+    pub bytes: u64,
+}
+
+/// One parsed benchmark document (one `BENCH_*.json` file or one fresh
+/// in-process run).
+#[derive(Debug, Clone)]
+pub struct BenchDoc {
+    /// Column label: the document's `label` field when present, otherwise
+    /// digits extracted from the file stem (`BENCH_5` → `5`).
+    pub label: String,
+    /// Git revision recorded by `lafd bench --out`, when present.
+    pub git_rev: Option<String>,
+    /// The measured cells.
+    pub cells: Vec<BenchCell>,
+}
+
+impl BenchDoc {
+    /// Assemble a document from already-measured cells (the `--fresh`
+    /// path of `lafd report`).
+    pub fn from_cells(label: String, git_rev: Option<String>, cells: Vec<BenchCell>) -> Self {
+        BenchDoc {
+            label,
+            git_rev,
+            cells,
+        }
+    }
+
+    /// Numeric ordering key: the first integer embedded in the label
+    /// (`5` → 5, `PR7` → 7), or `u64::MAX` for labels without one, so
+    /// unnumbered columns sort last.
+    pub fn order_key(&self) -> (u64, String) {
+        let digits: String = {
+            let mut found = String::new();
+            for c in self.label.chars() {
+                if c.is_ascii_digit() {
+                    found.push(c);
+                } else if !found.is_empty() {
+                    break;
+                }
+            }
+            found
+        };
+        (digits.parse().unwrap_or(u64::MAX), self.label.clone())
+    }
+}
+
+fn u64_field(v: &Value, key: &str) -> Result<u64, String> {
+    v.get(key)
+        .and_then(Value::as_int)
+        .and_then(|i| u64::try_from(i).ok())
+        .ok_or_else(|| format!("bench document: missing or invalid \"{key}\""))
+}
+
+/// Parse one `lafd-bench-v1` document. `name_hint` is the file stem used
+/// for the column label when the document has no `label` field.
+pub fn parse_bench_doc(name_hint: &str, raw: &str) -> Result<BenchDoc, String> {
+    let value = Value::parse(raw)?;
+    match value.get("schema").and_then(Value::as_str) {
+        Some("lafd-bench-v1") => {}
+        Some(other) => return Err(format!("bench document: unknown schema \"{other}\"")),
+        None => return Err("bench document: missing \"schema\"".to_string()),
+    }
+    let label = match value.get("label").and_then(Value::as_str) {
+        Some(label) => label.to_string(),
+        None => {
+            let digits: String = name_hint.chars().filter(char::is_ascii_digit).collect();
+            if digits.is_empty() {
+                name_hint.to_string()
+            } else {
+                digits
+            }
+        }
+    };
+    let git_rev = value
+        .get("git_rev")
+        .and_then(Value::as_str)
+        .map(str::to_string);
+    let results = value
+        .get("results")
+        .and_then(Value::as_arr)
+        .ok_or_else(|| "bench document: missing \"results\" array".to_string())?;
+    let mut cells = Vec::with_capacity(results.len());
+    for cell in results {
+        cells.push(BenchCell {
+            protocol: cell
+                .get("protocol")
+                .and_then(Value::as_str)
+                .ok_or_else(|| "bench cell: missing \"protocol\"".to_string())?
+                .to_string(),
+            n: u64_field(cell, "n")?,
+            engine: cell
+                .get("engine")
+                .and_then(Value::as_str)
+                .ok_or_else(|| "bench cell: missing \"engine\"".to_string())?
+                .to_string(),
+            wall_us: u64_field(cell, "wall_us")?,
+            messages: u64_field(cell, "messages")?,
+            bytes: u64_field(cell, "bytes")?,
+        });
+    }
+    Ok(BenchDoc {
+        label,
+        git_rev,
+        cells,
+    })
+}
+
+/// Format microseconds human-readably with integer math (`850 µs`,
+/// `12.3 ms`, `37.31 s`).
+fn fmt_wall(us: u64) -> String {
+    if us >= 1_000_000 {
+        let centi = (us + 5_000) / 10_000;
+        format!("{}.{:02} s", centi / 100, centi % 100)
+    } else if us >= 1_000 {
+        let tenths = (us + 50) / 100;
+        format!("{}.{} ms", tenths / 10, tenths % 10)
+    } else {
+        format!("{us} µs")
+    }
+}
+
+/// Signed wall-time delta in tenths of a percent (`+12.5%` → 125), or
+/// `None` when the base is zero.
+fn delta_tenths(old: u64, new: u64) -> Option<i64> {
+    if old == 0 {
+        return None;
+    }
+    let diff = i128::from(new) - i128::from(old);
+    i64::try_from(diff * 1000 / i128::from(old)).ok()
+}
+
+fn fmt_delta(tenths: i64) -> String {
+    let sign = if tenths >= 0 { '+' } else { '−' };
+    let mag = tenths.unsigned_abs();
+    format!("{sign}{}.{}%", mag / 10, mag % 10)
+}
+
+/// A trajectory over several benchmark documents, ordered oldest to
+/// newest by [`BenchDoc::order_key`].
+#[derive(Debug)]
+pub struct TrendReport {
+    docs: Vec<BenchDoc>,
+}
+
+type CellKey = (String, u64, String);
+
+impl TrendReport {
+    /// Build a trajectory, sorting the documents into label order.
+    pub fn new(mut docs: Vec<BenchDoc>) -> Self {
+        docs.sort_by_key(BenchDoc::order_key);
+        TrendReport { docs }
+    }
+
+    /// The ordered documents.
+    pub fn docs(&self) -> &[BenchDoc] {
+        &self.docs
+    }
+
+    /// All `(protocol, n, engine)` row keys across the documents, in
+    /// stable order.
+    fn row_keys(&self) -> Vec<CellKey> {
+        let mut keys: BTreeMap<CellKey, ()> = BTreeMap::new();
+        for doc in &self.docs {
+            for cell in &doc.cells {
+                keys.insert((cell.protocol.clone(), cell.n, cell.engine.clone()), ());
+            }
+        }
+        keys.into_keys().collect()
+    }
+
+    fn cell_of<'a>(&self, doc: &'a BenchDoc, key: &CellKey) -> Option<&'a BenchCell> {
+        doc.cells
+            .iter()
+            .find(|c| c.protocol == key.0 && c.n == key.1 && c.engine == key.2)
+    }
+
+    /// How many rendered cells carry a delta against the previous column —
+    /// the CI smoke asserts this is non-zero over the committed baselines.
+    pub fn delta_count(&self) -> usize {
+        let mut count = 0;
+        for key in self.row_keys() {
+            let mut prev: Option<u64> = None;
+            for doc in &self.docs {
+                if let Some(cell) = self.cell_of(doc, &key) {
+                    if let Some(old) = prev {
+                        if delta_tenths(old, cell.wall_us).is_some() {
+                            count += 1;
+                        }
+                    }
+                    prev = Some(cell.wall_us);
+                }
+            }
+        }
+        count
+    }
+
+    fn column_title(doc: &BenchDoc) -> String {
+        match &doc.git_rev {
+            Some(rev) => format!("{} ({rev})", doc.label),
+            None => doc.label.clone(),
+        }
+    }
+
+    /// Render the trajectory as a GitHub-flavored markdown table.
+    pub fn to_markdown(&self) -> String {
+        let mut s = String::from("# lafd bench trajectory\n\n");
+        if self.docs.is_empty() {
+            s.push_str("No benchmark documents found.\n");
+            return s;
+        }
+        s.push_str(
+            "Wall time per (protocol × n × engine) cell; deltas vs the previous column.\n\n",
+        );
+        s.push_str("| protocol | n | engine |");
+        for doc in &self.docs {
+            s.push_str(&format!(" {} |", Self::column_title(doc)));
+        }
+        s.push_str("\n|---|---|---|");
+        for _ in &self.docs {
+            s.push_str("---|");
+        }
+        s.push('\n');
+        for key in self.row_keys() {
+            s.push_str(&format!("| {} | {} | {} |", key.0, key.1, key.2));
+            let mut prev: Option<u64> = None;
+            for doc in &self.docs {
+                match self.cell_of(doc, &key) {
+                    None => s.push_str(" — |"),
+                    Some(cell) => {
+                        let delta = prev
+                            .and_then(|old| delta_tenths(old, cell.wall_us))
+                            .map(|t| format!(" ({})", fmt_delta(t)))
+                            .unwrap_or_default();
+                        s.push_str(&format!(" {}{} |", fmt_wall(cell.wall_us), delta));
+                        prev = Some(cell.wall_us);
+                    }
+                }
+            }
+            s.push('\n');
+        }
+        s
+    }
+
+    /// Render the trajectory as a standalone HTML page (same table as
+    /// [`TrendReport::to_markdown`]).
+    pub fn to_html(&self) -> String {
+        let mut s = String::from(
+            "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">\
+             <title>lafd bench trajectory</title>\n<style>\
+             body{font-family:sans-serif;margin:2em}\
+             table{border-collapse:collapse}\
+             td,th{border:1px solid #999;padding:4px 10px;text-align:right}\
+             th{background:#eee}td:nth-child(-n+3){text-align:left}\
+             .up{color:#b00}.down{color:#080}\
+             </style></head><body>\n<h1>lafd bench trajectory</h1>\n\
+             <p>Wall time per (protocol × n × engine) cell; deltas vs the \
+             previous column.</p>\n<table>\n<tr><th>protocol</th><th>n</th>\
+             <th>engine</th>",
+        );
+        for doc in &self.docs {
+            s.push_str(&format!("<th>{}</th>", Self::column_title(doc)));
+        }
+        s.push_str("</tr>\n");
+        for key in self.row_keys() {
+            s.push_str(&format!(
+                "<tr><td>{}</td><td>{}</td><td>{}</td>",
+                key.0, key.1, key.2
+            ));
+            let mut prev: Option<u64> = None;
+            for doc in &self.docs {
+                match self.cell_of(doc, &key) {
+                    None => s.push_str("<td>—</td>"),
+                    Some(cell) => {
+                        let delta = prev
+                            .and_then(|old| delta_tenths(old, cell.wall_us))
+                            .map(|t| {
+                                let class = if t > 0 { "up" } else { "down" };
+                                format!(" <span class=\"{class}\">({})</span>", fmt_delta(t))
+                            })
+                            .unwrap_or_default();
+                        s.push_str(&format!("<td>{}{}</td>", fmt_wall(cell.wall_us), delta));
+                        prev = Some(cell.wall_us);
+                    }
+                }
+            }
+            s.push_str("</tr>\n");
+        }
+        s.push_str("</table>\n</body></html>\n");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(label: &str, wall: u64) -> BenchDoc {
+        BenchDoc::from_cells(
+            label.to_string(),
+            Some("abc1234".to_string()),
+            vec![BenchCell {
+                protocol: "chain_fd".to_string(),
+                n: 256,
+                engine: "sync".to_string(),
+                wall_us: wall,
+                messages: 255,
+                bytes: 1000,
+            }],
+        )
+    }
+
+    #[test]
+    fn labels_order_numerically_not_lexically() {
+        let report = TrendReport::new(vec![doc("10", 3), doc("9", 2), doc("PR7", 1)]);
+        let labels: Vec<&str> = report.docs().iter().map(|d| d.label.as_str()).collect();
+        assert_eq!(labels, vec!["PR7", "9", "10"]);
+    }
+
+    #[test]
+    fn markdown_carries_deltas() {
+        let report = TrendReport::new(vec![doc("5", 1_000), doc("7", 1_500)]);
+        assert_eq!(report.delta_count(), 1);
+        let md = report.to_markdown();
+        assert!(md.contains("+50.0%"), "delta missing:\n{md}");
+        assert!(
+            md.contains("| chain_fd | 256 | sync |"),
+            "row missing:\n{md}"
+        );
+    }
+
+    #[test]
+    fn parse_rejects_unknown_schema() {
+        assert!(parse_bench_doc("BENCH_5", "{\"schema\": \"nope\"}").is_err());
+    }
+
+    #[test]
+    fn parse_reads_label_git_rev_and_cells() {
+        let raw = "{\"schema\": \"lafd-bench-v1\", \"label\": \"PR7\", \
+                   \"git_rev\": \"deadbee\", \"results\": [\
+                   {\"protocol\": \"dolev_strong\", \"n\": 1024, \"t\": 341, \
+                    \"engine\": \"event\", \"scheme\": \"schnorr-tiny\", \
+                    \"wall_us\": 42, \"messages\": 7, \"bytes\": 9, \
+                    \"comm_rounds\": 3, \"key_allocs\": 1}]}";
+        let doc = parse_bench_doc("BENCH_7", raw).unwrap();
+        assert_eq!(doc.label, "PR7");
+        assert_eq!(doc.git_rev.as_deref(), Some("deadbee"));
+        assert_eq!(doc.cells.len(), 1);
+        assert_eq!(doc.cells[0].wall_us, 42);
+        assert_eq!(doc.order_key().0, 7);
+    }
+
+    #[test]
+    fn filename_stem_fallback_extracts_digits() {
+        let raw = "{\"schema\": \"lafd-bench-v1\", \"results\": []}";
+        let doc = parse_bench_doc("BENCH_5", raw).unwrap();
+        assert_eq!(doc.label, "5");
+    }
+}

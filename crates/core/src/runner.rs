@@ -50,6 +50,13 @@ pub struct DriveReport {
     /// Per-message `(send_round, ticks)` delays in send order, when the
     /// driver recorded them (event engine with delay logging enabled).
     pub delay_log: Option<Vec<(u32, u64)>>,
+    /// End-of-round marks when the driver recorded them: wall-clock µs on
+    /// the sync engine, virtual ticks on the event engine (see
+    /// [`crate::obs::SpanClock`]).
+    pub round_marks: Option<Vec<u64>>,
+    /// Peak delivery-queue depth observed at round boundaries, when the
+    /// driver recorded round marks.
+    pub max_queue_depth: Option<usize>,
 }
 
 /// An execution engine a [`Cluster`] can run node sets on.
@@ -66,6 +73,9 @@ pub trait NetworkDriver {
 pub struct SyncDriver {
     /// Link faults injected into every run.
     pub faults: FaultPlan,
+    /// Record end-of-round wall-clock marks into
+    /// [`DriveReport::round_marks`].
+    pub record_marks: bool,
 }
 
 impl NetworkDriver for SyncDriver {
@@ -74,13 +84,20 @@ impl NetworkDriver for SyncDriver {
         if !self.faults.is_empty() {
             net.set_fault_plan(self.faults.clone());
         }
+        if self.record_marks {
+            net.enable_round_marks();
+        }
         let rounds = net.run_until_done(max_rounds);
+        let round_marks = net.round_marks().map(<[u64]>::to_vec);
+        let max_queue_depth = net.max_queue_depth();
         let (nodes, stats) = net.finish();
         DriveReport {
             stats,
             rounds,
             nodes,
             delay_log: None,
+            round_marks,
+            max_queue_depth,
         }
     }
 }
@@ -102,6 +119,9 @@ pub struct EventDriver {
     /// Record the applied per-message delays into
     /// [`DriveReport::delay_log`].
     pub record_delays: bool,
+    /// Record end-of-round virtual-tick marks into
+    /// [`DriveReport::round_marks`].
+    pub record_marks: bool,
 }
 
 impl NetworkDriver for EventDriver {
@@ -118,16 +138,23 @@ impl NetworkDriver for EventDriver {
         if self.record_delays {
             net.enable_delay_log();
         }
+        if self.record_marks {
+            net.enable_round_marks();
+        }
         if !self.faults.is_empty() {
             net.set_fault_plan(self.faults.clone());
         }
         let rounds = net.run_until_done(max_rounds);
+        let round_marks = net.round_marks().map(<[u64]>::to_vec);
+        let max_queue_depth = net.max_queue_depth();
         let (nodes, stats, delay_log) = net.finish();
         DriveReport {
             stats,
             rounds,
             delay_log,
             nodes,
+            round_marks,
+            max_queue_depth,
         }
     }
 }
@@ -164,6 +191,12 @@ pub struct Cluster {
     /// [`crate::keys::VerifyCache`] for why sharing is sound and cannot
     /// change report bytes).
     pub verify_cache: Option<crate::keys::VerifyCache>,
+    /// Record phase observability data (end-of-round marks, queue depths,
+    /// verification timing, cache counters) into
+    /// [`FdRunReport::phases`]. Off by default; never serialized into
+    /// [`FdRunReport::to_json`], so the equivalence surfaces are
+    /// untouched either way.
+    pub obs: bool,
 }
 
 /// Result of a key distribution run.
@@ -213,6 +246,11 @@ pub struct FdRunReport {
     /// raw material of a schedule certificate: feeding the delays back via
     /// [`Cluster::with_schedule`] replays the run exactly.
     pub delay_log: Option<Vec<(u32, u64)>>,
+    /// Phase-attributed observability breakdown, populated only when the
+    /// cluster ran with [`Cluster::with_obs`]. Deliberately **not**
+    /// serialized by [`FdRunReport::to_json`]: the byte-identical
+    /// equivalence surfaces must not depend on whether tracing was on.
+    pub phases: Option<crate::obs::PhaseBreakdown>,
 }
 
 impl FdRunReport {
@@ -313,6 +351,7 @@ impl Cluster {
             schedule: None,
             record_delays: false,
             verify_cache: None,
+            obs: false,
         }
     }
 
@@ -364,6 +403,14 @@ impl Cluster {
         self
     }
 
+    /// Record phase observability data into [`FdRunReport::phases`] on
+    /// every run (see [`Cluster::obs`]). [`Cluster::run_traced`] is the
+    /// usual entry point; this builder is the low-level switch.
+    pub fn with_obs(mut self) -> Self {
+        self.obs = true;
+        self
+    }
+
     /// Drive a node set to completion on the configured engine. The round
     /// budget is stretched for non-synchronous latency and for the largest
     /// installed delay fault, so late messages still land within the run
@@ -373,6 +420,7 @@ impl Cluster {
         match self.engine {
             Engine::Sync => SyncDriver {
                 faults: self.faults.clone(),
+                record_marks: self.obs,
             }
             .drive(nodes, base_rounds.saturating_add(delay_slack)),
             Engine::Event => {
@@ -390,6 +438,7 @@ impl Cluster {
                     faults: self.faults.clone(),
                     schedule: self.schedule.clone(),
                     record_delays: self.record_delays,
+                    record_marks: self.obs,
                 }
                 .drive(nodes, budget.saturating_add(delay_slack))
             }
@@ -577,6 +626,7 @@ impl Cluster {
                 used_fallback: Vec::new(),
                 grades: Vec::new(),
                 delay_log,
+                phases: None,
             },
             per_instance,
         )

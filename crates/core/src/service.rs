@@ -83,6 +83,9 @@ struct PooledSession {
     cache: VerifyCache,
     /// LRU clock value of the most recent use.
     last_used: u64,
+    /// Wall-clock instant of the most recent use (feeds the eviction-age
+    /// histogram: how stale a slot was when the LRU bound pushed it out).
+    last_touch: Instant,
 }
 
 /// One aggregated `protocol × n × t × engine × scheme` metrics cell —
@@ -106,6 +109,12 @@ struct ShardStats {
     keydist_reused: usize,
     evictions: usize,
     latencies_us: Vec<u64>,
+    /// Session-pool occupancy after the most recent job on this shard.
+    pool_sessions: usize,
+    /// Peak session-pool occupancy.
+    pool_peak: usize,
+    /// Age (µs since last use) of each evicted session, in eviction order.
+    eviction_ages_us: Vec<u64>,
     cells: BTreeMap<(String, usize, usize, String, String), Cell>,
 }
 
@@ -130,9 +139,37 @@ struct ShardStats {
 pub struct FdService {
     workers: ShardWorkers<Job>,
     stats: Arc<Vec<Mutex<ShardStats>>>,
+    /// Per-shard queue-depth gauges: incremented on submit, decremented
+    /// when the shard worker picks the job up.
+    queue_depths: Arc<Vec<AtomicUsize>>,
+    /// Per-shard peak queue depth.
+    queue_peaks: Arc<Vec<AtomicUsize>>,
     /// Errors rejected before reaching a shard (parse/validation).
     front_errors: AtomicUsize,
     started: Instant,
+}
+
+/// Rendering of a service metrics snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricsFormat {
+    /// The `lafd-serve-v1` JSON document (default).
+    Json,
+    /// Prometheus text exposition (one metric per line, `# EOF`
+    /// terminated so line-framed wire clients can find the end).
+    Prometheus,
+}
+
+impl MetricsFormat {
+    /// Parse a CLI/wire format name (`json` or `prometheus`).
+    pub fn parse(name: &str) -> Result<Self, String> {
+        match name {
+            "json" => Ok(MetricsFormat::Json),
+            "prometheus" | "prom" => Ok(MetricsFormat::Prometheus),
+            other => Err(format!(
+                "unknown metrics format \"{other}\" (expected json or prometheus)"
+            )),
+        }
+    }
 }
 
 impl FdService {
@@ -146,11 +183,17 @@ impl FdService {
                 .map(|_| Mutex::new(ShardStats::default()))
                 .collect(),
         );
+        let queue_depths: Arc<Vec<AtomicUsize>> =
+            Arc::new((0..shards).map(|_| AtomicUsize::new(0)).collect());
+        let queue_peaks: Arc<Vec<AtomicUsize>> =
+            Arc::new((0..shards).map(|_| AtomicUsize::new(0)).collect());
         let workers = ShardWorkers::spawn(shards, |shard| {
             let stats = Arc::clone(&stats);
+            let queue_depths = Arc::clone(&queue_depths);
             let mut sessions: HashMap<(usize, String, u64), PooledSession> = HashMap::new();
             let mut clock: u64 = 0;
             move |job: Job| {
+                queue_depths[shard].fetch_sub(1, Ordering::Relaxed);
                 let response = catch_unwind(AssertUnwindSafe(|| {
                     execute(
                         &mut sessions,
@@ -173,6 +216,8 @@ impl FdService {
         FdService {
             workers,
             stats,
+            queue_depths,
+            queue_peaks,
             front_errors: AtomicUsize::new(0),
             started: Instant::now(),
         }
@@ -212,6 +257,8 @@ impl FdService {
         }
         let shard = self.shard_of(builder.n, &builder.scheme);
         let (reply, receiver) = mpsc::channel();
+        let depth = self.queue_depths[shard].fetch_add(1, Ordering::Relaxed) + 1;
+        self.queue_peaks[shard].fetch_max(depth, Ordering::Relaxed);
         if let Err(e) = self.workers.submit(
             shard,
             Job {
@@ -220,6 +267,7 @@ impl FdService {
                 reply,
             },
         ) {
+            self.queue_depths[shard].fetch_sub(1, Ordering::Relaxed);
             self.front_errors.fetch_add(1, Ordering::Relaxed);
             return wire::error_to_json(id.as_deref(), &e);
         }
@@ -235,26 +283,75 @@ impl FdService {
         pool::parallel_indexed(lines.len(), clients.max(1), |i| self.submit_line(&lines[i]))
     }
 
-    /// A live metrics snapshot: service-level throughput plus the
-    /// bench-shaped per-cell rows (see `metrics_json` below for the format).
-    pub fn metrics_json(&self) -> String {
-        metrics_json(
+    /// Gather a consistent snapshot of every counter and gauge.
+    fn snapshot(&self, elapsed_us: u128) -> MetricsSnapshot {
+        gather(
             &self.stats,
             self.front_errors.load(Ordering::Relaxed),
-            self.started.elapsed().as_micros(),
+            elapsed_us,
+            self.queue_depths
+                .iter()
+                .map(|d| d.load(Ordering::Relaxed))
+                .collect(),
+            self.queue_peaks
+                .iter()
+                .map(|p| p.load(Ordering::Relaxed))
+                .collect(),
         )
+    }
+
+    /// A live metrics snapshot: service-level throughput plus the
+    /// bench-shaped per-cell rows, rendered as `lafd-serve-v1` JSON.
+    pub fn metrics_json(&self) -> String {
+        self.snapshot(self.started.elapsed().as_micros()).to_json()
+    }
+
+    /// A live metrics snapshot in Prometheus text exposition: run/error
+    /// counters, per-shard queue-depth and session-pool-occupancy gauges,
+    /// request-latency quantiles, and the eviction-age histogram. The
+    /// rendering ends with a `# EOF` line so line-framed wire clients can
+    /// find the document boundary.
+    pub fn metrics_prometheus(&self) -> String {
+        self.snapshot(self.started.elapsed().as_micros())
+            .to_prometheus()
+    }
+
+    /// A live metrics snapshot in the requested format.
+    pub fn metrics_in(&self, format: MetricsFormat) -> String {
+        match format {
+            MetricsFormat::Json => self.metrics_json(),
+            MetricsFormat::Prometheus => self.metrics_prometheus(),
+        }
     }
 
     /// Graceful drain: stop accepting requests, finish everything queued,
     /// join the workers, and return the final metrics snapshot.
     pub fn shutdown(self) -> String {
+        self.shutdown_with(MetricsFormat::Json)
+    }
+
+    /// [`FdService::shutdown`] with the final snapshot rendered in the
+    /// requested format (`lafd serve --metrics-format`).
+    pub fn shutdown_with(self, format: MetricsFormat) -> String {
         let elapsed = self.started.elapsed().as_micros();
         self.workers.join();
-        metrics_json(
+        let snapshot = gather(
             &self.stats,
             self.front_errors.load(Ordering::Relaxed),
             elapsed,
-        )
+            self.queue_depths
+                .iter()
+                .map(|d| d.load(Ordering::Relaxed))
+                .collect(),
+            self.queue_peaks
+                .iter()
+                .map(|p| p.load(Ordering::Relaxed))
+                .collect(),
+        );
+        match format {
+            MetricsFormat::Json => snapshot.to_json(),
+            MetricsFormat::Prometheus => snapshot.to_prometheus(),
+        }
     }
 }
 
@@ -281,15 +378,16 @@ fn execute(
     let key = (builder.n, builder.scheme.clone(), builder.seed);
     // Bounded pool: evict the least-recently-used slot before warming a
     // new one past the cap.
-    let mut evicted = false;
+    let mut evicted_age_us = None;
     if !sessions.contains_key(&key) && sessions.len() >= max_sessions {
         if let Some(oldest) = sessions
             .iter()
             .min_by_key(|(_, slot)| slot.last_used)
             .map(|(k, _)| k.clone())
         {
-            sessions.remove(&oldest);
-            evicted = true;
+            if let Some(slot) = sessions.remove(&oldest) {
+                evicted_age_us = Some(slot.last_touch.elapsed().as_micros() as u64);
+            }
         }
     }
     let slot = sessions.entry(key).or_insert_with(|| PooledSession {
@@ -298,8 +396,10 @@ fn execute(
         key_allocs: 0,
         cache: VerifyCache::new(),
         last_used: 0,
+        last_touch: Instant::now(),
     });
     slot.last_used = *clock;
+    slot.last_touch = Instant::now();
     // The request executes on its *own* cluster configuration — only the
     // verification cache is swapped in from the pool, which cannot change
     // report bytes (content-addressed; see `VerifyCache`).
@@ -331,10 +431,14 @@ fn execute(
     };
     let key_allocs = if needs_keys { slot.key_allocs } else { 0 };
 
+    let pool_size = sessions.len();
     let mut s = stats.lock().expect("shard stats poisoned");
     s.runs += 1;
-    if evicted {
+    s.pool_sessions = pool_size;
+    s.pool_peak = s.pool_peak.max(pool_size);
+    if let Some(age) = evicted_age_us {
         s.evictions += 1;
+        s.eviction_ages_us.push(age);
     }
     if keydist_reused {
         s.keydist_reused += 1;
@@ -373,49 +477,86 @@ fn execute(
 }
 
 /// The percentile entry of a sorted latency list (nearest-rank on the
-/// sorted samples; 0 when empty).
-fn percentile_us(sorted: &[u64], pct: usize) -> u64 {
-    if sorted.is_empty() {
-        return 0;
+/// sorted samples), or `None` with fewer than two samples — a percentile
+/// of zero or one observation is statistically meaningless, and the old
+/// `0` answer was indistinguishable from "instant". Rendered as `null`
+/// in JSON and omitted from Prometheus output.
+fn percentile_us(sorted: &[u64], pct: usize) -> Option<u64> {
+    if sorted.len() < 2 {
+        return None;
     }
-    sorted[(sorted.len() - 1) * pct / 100]
+    Some(sorted[(sorted.len() - 1) * pct / 100])
 }
 
-/// Render the service metrics document:
-///
-/// ```json
-/// {"schema": "lafd-serve-v1",
-///  "service": {"shards": 2, "runs": 200, "errors": 0,
-///              "keydist_runs": 2, "keydist_reused": 120,
-///              "keydist_reuse_pct": 98, "evictions": 0,
-///              "wall_us": 123456, "runs_per_sec": 1620,
-///              "p50_us": 180, "p99_us": 950},
-///  "results": [ ...bench-shaped cells, plus "runs"... ]}
-/// ```
-///
-/// The `results` rows carry the exact field set of a `lafd bench` cell
-/// (`protocol`/`n`/`t`/`engine`/`scheme`/`wall_us`/`messages`/`bytes`/
-/// `comm_rounds`/`key_allocs`) with `wall_us`, `messages`, and `bytes`
-/// accumulated across the cell's runs and a trailing `runs` count, so the
-/// bench regression tooling can parse them unchanged.
-fn metrics_json(stats: &[Mutex<ShardStats>], front_errors: usize, elapsed_us: u128) -> String {
-    let mut runs = 0usize;
-    let mut errors = front_errors;
-    let mut keydist_runs = 0usize;
-    let mut keydist_reused = 0usize;
-    let mut evictions = 0usize;
-    let mut latencies: Vec<u64> = Vec::new();
-    let mut cells: BTreeMap<(String, usize, usize, String, String), Cell> = BTreeMap::new();
+/// `Option` percentile rendered for JSON.
+fn json_opt(value: Option<u64>) -> String {
+    value.map_or_else(|| "null".to_string(), |v| v.to_string())
+}
+
+/// A consistent point-in-time aggregation of every counter and gauge,
+/// independent of the rendering format.
+struct MetricsSnapshot {
+    shards: usize,
+    runs: usize,
+    errors: usize,
+    keydist_runs: usize,
+    keydist_reused: usize,
+    evictions: usize,
+    /// Sorted request latencies.
+    latencies: Vec<u64>,
+    /// Sorted eviction ages (µs since the slot's last use).
+    eviction_ages: Vec<u64>,
+    /// Per-shard session-pool occupancy after the most recent job.
+    pool_sessions: Vec<usize>,
+    /// Per-shard peak session-pool occupancy.
+    pool_peaks: Vec<usize>,
+    /// Per-shard live queue depth.
+    queue_depths: Vec<usize>,
+    /// Per-shard peak queue depth.
+    queue_peaks: Vec<usize>,
+    elapsed_us: u128,
+    cells: BTreeMap<(String, usize, usize, String, String), Cell>,
+}
+
+/// Aggregate the per-shard stats plus the service-level gauges.
+fn gather(
+    stats: &[Mutex<ShardStats>],
+    front_errors: usize,
+    elapsed_us: u128,
+    queue_depths: Vec<usize>,
+    queue_peaks: Vec<usize>,
+) -> MetricsSnapshot {
+    let mut snapshot = MetricsSnapshot {
+        shards: stats.len(),
+        runs: 0,
+        errors: front_errors,
+        keydist_runs: 0,
+        keydist_reused: 0,
+        evictions: 0,
+        latencies: Vec::new(),
+        eviction_ages: Vec::new(),
+        pool_sessions: Vec::with_capacity(stats.len()),
+        pool_peaks: Vec::with_capacity(stats.len()),
+        queue_depths,
+        queue_peaks,
+        elapsed_us,
+        cells: BTreeMap::new(),
+    };
     for shard in stats {
         let s = shard.lock().expect("shard stats poisoned");
-        runs += s.runs;
-        errors += s.errors;
-        keydist_runs += s.keydist_runs;
-        keydist_reused += s.keydist_reused;
-        evictions += s.evictions;
-        latencies.extend_from_slice(&s.latencies_us);
+        snapshot.runs += s.runs;
+        snapshot.errors += s.errors;
+        snapshot.keydist_runs += s.keydist_runs;
+        snapshot.keydist_reused += s.keydist_reused;
+        snapshot.evictions += s.evictions;
+        snapshot.latencies.extend_from_slice(&s.latencies_us);
+        snapshot
+            .eviction_ages
+            .extend_from_slice(&s.eviction_ages_us);
+        snapshot.pool_sessions.push(s.pool_sessions);
+        snapshot.pool_peaks.push(s.pool_peak);
         for (key, cell) in &s.cells {
-            let merged = cells.entry(key.clone()).or_default();
+            let merged = snapshot.cells.entry(key.clone()).or_default();
             merged.runs += cell.runs;
             merged.wall_us += cell.wall_us;
             merged.messages += cell.messages;
@@ -424,40 +565,191 @@ fn metrics_json(stats: &[Mutex<ShardStats>], front_errors: usize, elapsed_us: u1
             merged.key_allocs = merged.key_allocs.max(cell.key_allocs);
         }
     }
-    latencies.sort_unstable();
-    let keyed = keydist_runs + keydist_reused;
-    let reuse_pct = (keydist_reused * 100).checked_div(keyed).unwrap_or(0);
-    let runs_per_sec = (runs as u128) * 1_000_000 / elapsed_us.max(1);
-    let mut out = format!(
-        "{{\n  \"schema\": \"lafd-serve-v1\",\n  \"service\": {{\"shards\": {}, \"runs\": {runs}, \
-         \"errors\": {errors}, \"keydist_runs\": {keydist_runs}, \
-         \"keydist_reused\": {keydist_reused}, \"keydist_reuse_pct\": {reuse_pct}, \
-         \"evictions\": {evictions}, \"wall_us\": {elapsed_us}, \
-         \"runs_per_sec\": {runs_per_sec}, \"p50_us\": {}, \"p99_us\": {}}},\n  \"results\": [\n",
-        stats.len(),
-        percentile_us(&latencies, 50),
-        percentile_us(&latencies, 99),
-    );
-    let rows: Vec<String> = cells
-        .iter()
-        .map(|((protocol, n, t, engine, scheme), cell)| {
-            format!(
-                "    {{\"protocol\": \"{protocol}\", \"n\": {n}, \"t\": {t}, \
-                 \"engine\": \"{engine}\", \"scheme\": \"{scheme}\", \"wall_us\": {}, \
-                 \"messages\": {}, \"bytes\": {}, \"comm_rounds\": {}, \"key_allocs\": {}, \
-                 \"runs\": {}}}",
-                cell.wall_us,
-                cell.messages,
-                cell.bytes,
-                cell.comm_rounds,
-                cell.key_allocs,
-                cell.runs
-            )
-        })
-        .collect();
-    out.push_str(&rows.join(",\n"));
-    out.push_str("\n  ]\n}\n");
-    out
+    snapshot.latencies.sort_unstable();
+    snapshot.eviction_ages.sort_unstable();
+    snapshot
+}
+
+fn usize_array(values: &[usize]) -> String {
+    let parts: Vec<String> = values.iter().map(usize::to_string).collect();
+    format!("[{}]", parts.join(", "))
+}
+
+impl MetricsSnapshot {
+    /// Render the `lafd-serve-v1` metrics document:
+    ///
+    /// ```json
+    /// {"schema": "lafd-serve-v1",
+    ///  "service": {"shards": 2, "runs": 200, "errors": 0,
+    ///              "keydist_runs": 2, "keydist_reused": 120,
+    ///              "keydist_reuse_pct": 98, "evictions": 0,
+    ///              "wall_us": 123456, "runs_per_sec": 1620,
+    ///              "p50_us": 180, "p99_us": 950,
+    ///              "queue_depth": [0, 0], "queue_peak": [3, 1],
+    ///              "pool_sessions": [2, 1], "pool_peak": [2, 2],
+    ///              "eviction_age_p50_us": null},
+    ///  "results": [ ...bench-shaped cells, plus "runs"... ]}
+    /// ```
+    ///
+    /// `p50_us`/`p99_us`/`eviction_age_p50_us` are `null` with fewer than
+    /// two samples (see [`percentile_us`]); the gauge arrays carry one
+    /// entry per shard. The `results` rows carry the exact field set of a
+    /// `lafd bench` cell (`protocol`/`n`/`t`/`engine`/`scheme`/`wall_us`/
+    /// `messages`/`bytes`/`comm_rounds`/`key_allocs`) with `wall_us`,
+    /// `messages`, and `bytes` accumulated across the cell's runs and a
+    /// trailing `runs` count, so the bench regression tooling can parse
+    /// them unchanged.
+    fn to_json(&self) -> String {
+        let keyed = self.keydist_runs + self.keydist_reused;
+        let reuse_pct = (self.keydist_reused * 100).checked_div(keyed).unwrap_or(0);
+        let runs_per_sec = (self.runs as u128) * 1_000_000 / self.elapsed_us.max(1);
+        let mut out = format!(
+            "{{\n  \"schema\": \"lafd-serve-v1\",\n  \"service\": {{\"shards\": {}, \
+             \"runs\": {}, \"errors\": {}, \"keydist_runs\": {}, \
+             \"keydist_reused\": {}, \"keydist_reuse_pct\": {reuse_pct}, \
+             \"evictions\": {}, \"wall_us\": {}, \
+             \"runs_per_sec\": {runs_per_sec}, \"p50_us\": {}, \"p99_us\": {}, \
+             \"queue_depth\": {}, \"queue_peak\": {}, \"pool_sessions\": {}, \
+             \"pool_peak\": {}, \"eviction_age_p50_us\": {}}},\n  \"results\": [\n",
+            self.shards,
+            self.runs,
+            self.errors,
+            self.keydist_runs,
+            self.keydist_reused,
+            self.evictions,
+            self.elapsed_us,
+            json_opt(percentile_us(&self.latencies, 50)),
+            json_opt(percentile_us(&self.latencies, 99)),
+            usize_array(&self.queue_depths),
+            usize_array(&self.queue_peaks),
+            usize_array(&self.pool_sessions),
+            usize_array(&self.pool_peaks),
+            json_opt(percentile_us(&self.eviction_ages, 50)),
+        );
+        let rows: Vec<String> = self
+            .cells
+            .iter()
+            .map(|((protocol, n, t, engine, scheme), cell)| {
+                format!(
+                    "    {{\"protocol\": \"{protocol}\", \"n\": {n}, \"t\": {t}, \
+                     \"engine\": \"{engine}\", \"scheme\": \"{scheme}\", \"wall_us\": {}, \
+                     \"messages\": {}, \"bytes\": {}, \"comm_rounds\": {}, \"key_allocs\": {}, \
+                     \"runs\": {}}}",
+                    cell.wall_us,
+                    cell.messages,
+                    cell.bytes,
+                    cell.comm_rounds,
+                    cell.key_allocs,
+                    cell.runs
+                )
+            })
+            .collect();
+        out.push_str(&rows.join(",\n"));
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+
+    /// Render Prometheus text exposition: HELP/TYPE-annotated counters,
+    /// per-shard `{shard="i"}` gauges for queue depth and session-pool
+    /// occupancy, latency quantiles (omitted with fewer than two
+    /// samples), and a log-bucketed eviction-age histogram. Terminated by
+    /// a `# EOF` line.
+    fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut counter = |name: &str, help: &str, value: usize| {
+            out.push_str(&format!(
+                "# HELP {name} {help}\n# TYPE {name} counter\n{name} {value}\n"
+            ));
+        };
+        counter("lafd_runs_total", "Completed protocol runs.", self.runs);
+        counter(
+            "lafd_errors_total",
+            "Requests answered with an error (parse, validation, or panic).",
+            self.errors,
+        );
+        counter(
+            "lafd_keydist_runs_total",
+            "Key distributions executed to warm a session.",
+            self.keydist_runs,
+        );
+        counter(
+            "lafd_keydist_reused_total",
+            "Runs that reused an already-warm key distribution.",
+            self.keydist_reused,
+        );
+        counter(
+            "lafd_session_evictions_total",
+            "Sessions evicted by the per-shard LRU bound.",
+            self.evictions,
+        );
+        let mut gauge = |name: &str, help: &str, values: &[usize]| {
+            out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} gauge\n"));
+            for (shard, value) in values.iter().enumerate() {
+                out.push_str(&format!("{name}{{shard=\"{shard}\"}} {value}\n"));
+            }
+        };
+        gauge(
+            "lafd_shard_queue_depth",
+            "Requests queued on the shard right now.",
+            &self.queue_depths,
+        );
+        gauge(
+            "lafd_shard_queue_peak",
+            "Peak requests queued on the shard.",
+            &self.queue_peaks,
+        );
+        gauge(
+            "lafd_session_pool_occupancy",
+            "Warm sessions pooled on the shard after its most recent job.",
+            &self.pool_sessions,
+        );
+        gauge(
+            "lafd_session_pool_peak",
+            "Peak warm sessions pooled on the shard.",
+            &self.pool_peaks,
+        );
+        out.push_str(
+            "# HELP lafd_request_latency_us Request wall latency, microseconds.\n\
+             # TYPE lafd_request_latency_us summary\n",
+        );
+        if let (Some(p50), Some(p99)) = (
+            percentile_us(&self.latencies, 50),
+            percentile_us(&self.latencies, 99),
+        ) {
+            out.push_str(&format!(
+                "lafd_request_latency_us{{quantile=\"0.5\"}} {p50}\n\
+                 lafd_request_latency_us{{quantile=\"0.99\"}} {p99}\n"
+            ));
+        }
+        let latency_sum: u128 = self.latencies.iter().map(|&v| u128::from(v)).sum();
+        out.push_str(&format!(
+            "lafd_request_latency_us_sum {latency_sum}\n\
+             lafd_request_latency_us_count {}\n",
+            self.latencies.len()
+        ));
+        out.push_str(
+            "# HELP lafd_eviction_age_us Age of evicted sessions since last use, microseconds.\n\
+             # TYPE lafd_eviction_age_us histogram\n",
+        );
+        const BUCKETS: [u64; 5] = [1_000, 10_000, 100_000, 1_000_000, 10_000_000];
+        for le in BUCKETS {
+            let below = self.eviction_ages.iter().filter(|&&age| age <= le).count();
+            out.push_str(&format!(
+                "lafd_eviction_age_us_bucket{{le=\"{le}\"}} {below}\n"
+            ));
+        }
+        let age_sum: u128 = self.eviction_ages.iter().map(|&v| u128::from(v)).sum();
+        out.push_str(&format!(
+            "lafd_eviction_age_us_bucket{{le=\"+Inf\"}} {}\n\
+             lafd_eviction_age_us_sum {age_sum}\n\
+             lafd_eviction_age_us_count {}\n",
+            self.eviction_ages.len(),
+            self.eviction_ages.len()
+        ));
+        out.push_str(&format!("lafd_uptime_us {}\n", self.elapsed_us));
+        out.push_str("# EOF\n");
+        out
+    }
 }
 
 #[cfg(test)]
@@ -586,6 +878,84 @@ mod tests {
         let svc = metrics.get("service").unwrap();
         assert_eq!(svc.get("keydist_runs").unwrap().as_int(), Some(4));
         assert!(svc.get("evictions").unwrap().as_int().unwrap() >= 2);
+    }
+
+    #[test]
+    fn percentile_is_null_with_zero_samples() {
+        assert_eq!(percentile_us(&[], 50), None);
+        assert_eq!(percentile_us(&[], 99), None);
+    }
+
+    #[test]
+    fn percentile_is_null_with_one_sample() {
+        assert_eq!(percentile_us(&[123], 50), None);
+        assert_eq!(percentile_us(&[123], 99), None);
+    }
+
+    #[test]
+    fn percentile_answers_with_two_or_more_samples() {
+        assert_eq!(percentile_us(&[10, 90], 50), Some(10));
+        assert_eq!(percentile_us(&[10, 90], 100), Some(90));
+        let many: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile_us(&many, 50), Some(50));
+        assert_eq!(percentile_us(&many, 99), Some(99));
+    }
+
+    #[test]
+    fn single_run_metrics_render_null_percentiles() {
+        let service = FdService::start(ServiceConfig {
+            shards: 1,
+            max_sessions: 2,
+        });
+        let line = request(Protocol::ChainFd, 5, 3, b"v", "only");
+        wire::response_from_json(&service.submit_line(&line)).unwrap();
+        let raw = service.shutdown();
+        let metrics = Value::parse(&raw).unwrap();
+        let svc = metrics.get("service").unwrap();
+        assert!(svc.get("p50_us").unwrap().is_null(), "one sample -> null");
+        assert!(svc.get("p99_us").unwrap().is_null(), "one sample -> null");
+        assert!(
+            svc.get("eviction_age_p50_us").unwrap().is_null(),
+            "no evictions -> null"
+        );
+    }
+
+    #[test]
+    fn prometheus_exposition_carries_gauges_and_eof() {
+        let service = FdService::start(ServiceConfig {
+            shards: 2,
+            max_sessions: 1,
+        });
+        // Two session keys through 1-slot shards to force an eviction.
+        for seed in [1u64, 2, 3] {
+            let line = wire::request_to_json(
+                &SpecBuilder::new(Protocol::ChainFd, 5)
+                    .with_seed(seed)
+                    .with_input(b"v".to_vec()),
+                None,
+            )
+            .unwrap();
+            wire::response_from_json(&service.submit_line(&line)).unwrap();
+        }
+        let text = service.metrics_prometheus();
+        assert!(text.contains("# TYPE lafd_runs_total counter"));
+        assert!(text.contains("lafd_runs_total 3"));
+        assert!(text.contains("lafd_shard_queue_depth{shard=\"0\"} 0"));
+        assert!(text.contains("lafd_shard_queue_depth{shard=\"1\"} 0"));
+        assert!(text.contains("# TYPE lafd_session_pool_occupancy gauge"));
+        assert!(text.contains("lafd_session_pool_peak{shard="));
+        assert!(text.contains("lafd_eviction_age_us_bucket{le=\"+Inf\"}"));
+        assert!(text.contains("lafd_uptime_us "));
+        assert!(
+            text.ends_with("# EOF\n"),
+            "line-framed clients need a terminator"
+        );
+        // metrics_in dispatches on format.
+        assert!(service.metrics_in(MetricsFormat::Json).starts_with('{'));
+        assert_eq!(MetricsFormat::parse("prom"), Ok(MetricsFormat::Prometheus));
+        assert_eq!(MetricsFormat::parse("json"), Ok(MetricsFormat::Json));
+        assert!(MetricsFormat::parse("xml").is_err());
+        service.shutdown_with(MetricsFormat::Prometheus);
     }
 
     #[test]

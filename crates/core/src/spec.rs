@@ -591,7 +591,12 @@ impl Cluster {
         // ([`Cluster::with_verify_cache`]) extends the sharing across
         // runs — the service-shard reuse path.
         let cache = self.verify_cache.clone().unwrap_or_default();
-        match protocol {
+        // Observability arms the wall-clock accumulator on the run's cache
+        // handle and snapshots the counters so a shared (service) cache
+        // yields per-run deltas. Neither changes results or report bytes.
+        let cache = if self.obs { cache.with_timing() } else { cache };
+        let obs_base = self.obs.then(|| (cache.hits(), cache.misses()));
+        let mut report = match protocol {
             Protocol::ChainFd => {
                 let params = ChainFdParams::new(self.n, self.t);
                 let rounds = params.rounds();
@@ -694,6 +699,11 @@ impl Cluster {
                     ))
                 });
                 let report = self.drive(nodes, rounds);
+                let phases = crate::obs::PhaseBreakdown::from_drive(
+                    self.engine,
+                    report.round_marks,
+                    report.max_queue_depth,
+                );
                 let stats = report.stats;
                 let delay_log = report.delay_log;
                 let mut outcomes = Vec::with_capacity(self.n);
@@ -716,6 +726,7 @@ impl Cluster {
                     used_fallback: Vec::new(),
                     grades,
                     delay_log,
+                    phases,
                 }
             }
             Protocol::FdToBa => {
@@ -733,6 +744,11 @@ impl Cluster {
                     ))
                 });
                 let report = self.drive(nodes, rounds);
+                let phases = crate::obs::PhaseBreakdown::from_drive(
+                    self.engine,
+                    report.round_marks,
+                    report.max_queue_depth,
+                );
                 let stats = report.stats;
                 let delay_log = report.delay_log;
                 let mut outcomes = Vec::with_capacity(self.n);
@@ -755,9 +771,22 @@ impl Cluster {
                     used_fallback,
                     grades: Vec::new(),
                     delay_log,
+                    phases,
+                }
+            }
+        };
+        if let Some((hits0, misses0)) = obs_base {
+            if let Some(phases) = report.phases.as_mut() {
+                phases.cache_hits = (cache.hits().saturating_sub(hits0)) as u64;
+                phases.cache_misses = (cache.misses().saturating_sub(misses0)) as u64;
+                phases.verify_us = cache.verify_wall_us().unwrap_or(0);
+                if let Some(table) = keydist.and_then(|kd| kd.predicates.as_ref()) {
+                    phases.interned = table.interned_count() as u64;
+                    phases.fresh = table.fresh_count() as u64;
                 }
             }
         }
+        report
     }
 
     /// Build the node set for one run: each slot gets the adversary's
@@ -787,6 +816,11 @@ impl Cluster {
         extract: impl Fn(&T) -> Outcome,
     ) -> FdRunReport {
         let report = self.drive(nodes, rounds);
+        let phases = crate::obs::PhaseBreakdown::from_drive(
+            self.engine,
+            report.round_marks,
+            report.max_queue_depth,
+        );
         let stats = report.stats;
         let delay_log = report.delay_log;
         let outcomes = report
@@ -806,6 +840,7 @@ impl Cluster {
             used_fallback: Vec::new(),
             grades: Vec::new(),
             delay_log,
+            phases,
         }
     }
 }

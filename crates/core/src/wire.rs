@@ -176,6 +176,11 @@ impl Value {
             _ => None,
         }
     }
+
+    /// Whether this is the JSON `null` literal.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
 }
 
 fn write_json_string(s: &mut String, v: &str) {
@@ -864,6 +869,9 @@ pub fn report_from_json(json: &str) -> Result<FdRunReport, String> {
         used_fallback,
         grades,
         delay_log,
+        // Phases are a local observation, never on the wire (see
+        // [`crate::obs`]): decoded reports carry none.
+        phases: None,
     })
 }
 

@@ -551,6 +551,12 @@ pub struct EventNetwork {
     /// Messages handed to the transport so far — the key space of
     /// `delay_overrides` and the index space of `delay_log`.
     sent: u64,
+    /// End-of-round virtual-tick marks, one per executed round. `None`
+    /// when observability is off.
+    round_marks: Option<Vec<u64>>,
+    /// Peak number of deliveries in flight seen at any round boundary
+    /// (only tracked while round marks are enabled).
+    max_queue_depth: usize,
 }
 
 impl EventNetwork {
@@ -593,7 +599,31 @@ impl EventNetwork {
             delay_overrides: Arc::new(HashMap::new()),
             delay_log: None,
             sent: 0,
+            round_marks: None,
+            max_queue_depth: 0,
         }
+    }
+
+    /// Enable end-of-round timestamping. Marks are *virtual ticks* — the
+    /// round-boundary time after each executed round — so for a fixed seed,
+    /// latency model, and fault plan they are byte-identical across runs
+    /// and machines (the same determinism contract as the event queue
+    /// itself). Also starts tracking the peak number of deliveries in
+    /// flight observed at round boundaries.
+    pub fn enable_round_marks(&mut self) {
+        self.round_marks = Some(Vec::new());
+    }
+
+    /// End-of-round marks recorded so far (virtual ticks), or `None` when
+    /// observability is off.
+    pub fn round_marks(&self) -> Option<&[u64]> {
+        self.round_marks.as_deref()
+    }
+
+    /// Peak deliveries-in-flight observed at round boundaries, or `None`
+    /// when round marks were never enabled.
+    pub fn max_queue_depth(&self) -> Option<usize> {
+        self.round_marks.as_ref().map(|_| self.max_queue_depth)
     }
 
     /// Install a latency model (default: [`Synchronous`]).
@@ -822,6 +852,10 @@ impl EventNetwork {
 
         self.round = round + 1;
         self.stats.rounds = self.round;
+        if let Some(marks) = self.round_marks.as_mut() {
+            marks.push(u64::from(self.round) * TICKS_PER_ROUND);
+            self.max_queue_depth = self.max_queue_depth.max(self.deliveries_in_flight);
+        }
         self.seq += 1;
         self.queue.push(QueuedEvent {
             at: u64::from(self.round) * TICKS_PER_ROUND,

@@ -23,6 +23,14 @@ pub struct SyncNetwork {
     faults: FaultPlan,
     /// Nodes with rushing power (see [`SyncNetwork::set_rushing`]).
     rushing: Vec<NodeId>,
+    /// End-of-round wall-clock marks (µs since [`SyncNetwork::enable_round_marks`]),
+    /// one per executed round. `None` when observability is off.
+    round_marks: Option<Vec<u64>>,
+    /// Wall-clock epoch for `round_marks`.
+    marks_epoch: Option<std::time::Instant>,
+    /// Peak in-flight queue depth seen at any round boundary (only tracked
+    /// while round marks are enabled).
+    max_queue_depth: usize,
 }
 
 impl SyncNetwork {
@@ -51,12 +59,38 @@ impl SyncNetwork {
             trace: None,
             faults: FaultPlan::new(),
             rushing: Vec::new(),
+            round_marks: None,
+            marks_epoch: None,
+            max_queue_depth: 0,
         }
     }
 
     /// Enable message tracing with the given capacity.
     pub fn enable_trace(&mut self, cap: usize) {
         self.trace = Some(Trace::with_capacity(cap));
+    }
+
+    /// Enable end-of-round timestamping. The sync engine has no virtual
+    /// clock, so marks are monotonic wall-clock microseconds measured from
+    /// this call; they are *not* deterministic and must never feed an
+    /// equivalence surface. Also starts tracking the peak in-flight queue
+    /// depth observed at round boundaries.
+    pub fn enable_round_marks(&mut self) {
+        self.round_marks = Some(Vec::new());
+        self.marks_epoch = Some(std::time::Instant::now());
+    }
+
+    /// End-of-round marks recorded so far (µs since
+    /// [`SyncNetwork::enable_round_marks`]), or `None` when observability
+    /// is off.
+    pub fn round_marks(&self) -> Option<&[u64]> {
+        self.round_marks.as_deref()
+    }
+
+    /// Peak in-flight queue depth observed at round boundaries, or `None`
+    /// when round marks were never enabled.
+    pub fn max_queue_depth(&self) -> Option<usize> {
+        self.round_marks.as_ref().map(|_| self.max_queue_depth)
     }
 
     /// Install a link-fault plan (deliberate N1 violations for tests).
@@ -223,6 +257,12 @@ impl SyncNetwork {
 
         self.round += 1;
         self.stats.rounds = self.round;
+        if let Some(marks) = self.round_marks.as_mut() {
+            let epoch = self.marks_epoch.expect("marks epoch set with round_marks");
+            marks.push(u64::try_from(epoch.elapsed().as_micros()).unwrap_or(u64::MAX));
+            let depth = self.in_flight.len() + self.delayed.len();
+            self.max_queue_depth = self.max_queue_depth.max(depth);
+        }
     }
 
     /// Run until every node is done (checked *after* at least one round) or

@@ -10,8 +10,11 @@
 //!               [--drop R:FROM:TO] [--corrupt R:FROM:TO:OFF:MASK]
 //!               [--delay R:FROM:TO:BY] [--reorder R:FROM:TO]
 //! lafd run      --spec FILE.json   # wire-v1 request (the `lafd serve` format)
+//! lafd run      <protocol> --trace out.json [--trace-folded out.folded]
+//!               # Chrome trace-event + folded-stack phase traces
 //! lafd serve    [--shards 2] [--max-sessions 8] [--stdin] [--listen ADDR]
 //!               [--unix PATH] [--clients C] [--metrics PATH]
+//!               [--metrics-format json|prometheus]
 //! lafd search   <protocol> [--budget N] [--strategy random|greedy] [-n 8]
 //!               [--t T] [--seed S] [--latency jitter:2] [--adversary none]
 //!               [--threads N] [--json PATH] [--md PATH]
@@ -30,6 +33,9 @@
 //!               [--remote ADDR] [--threads N] [--json PATH] [--md PATH]
 //! lafd bench    [--quick] [--out BENCH_5.json] [--sizes 256,1024,2048,4096]
 //!               [--t 1] [--seed 1] [--protocols chain,ds] [--engines sync,event]
+//!               [--label PR7]
+//! lafd report   [FILES...] [--md PATH] [--html PATH] [--fresh]
+//!               # bench trajectory over committed BENCH_*.json baselines
 //! ```
 //!
 //! Every subcommand that executes a protocol run goes through one request
@@ -40,9 +46,10 @@
 
 use local_auth_fd::core::adversary::AdversarySpec;
 use local_auth_fd::core::metrics;
+use local_auth_fd::core::report::{parse_bench_doc, BenchCell, BenchDoc, TrendReport};
 use local_auth_fd::core::runner::{Cluster, FdRunReport};
 use local_auth_fd::core::schedsearch::{run_search_parallel, SearchConfig, Strategy};
-use local_auth_fd::core::service::{FdService, ServiceConfig};
+use local_auth_fd::core::service::{FdService, MetricsFormat, ServiceConfig};
 use local_auth_fd::core::spec::{Protocol, RunSpec, Session, SpecBuilder};
 use local_auth_fd::core::sweep::{
     classify, run_sweep_with, AdversaryKind, FaultRule, LocalExecutor, Scenario, ScenarioExecutor,
@@ -104,7 +111,7 @@ fn parse_common(args: &[String]) -> Result<(SpecBuilder, Extras), String> {
 
 fn usage() {
     eprintln!(
-        "usage: lafd <keydist|fd|run|serve|search|bench|vector|ba|degrade|king|rotate|tcp|trace|sweep> [--n N] \
+        "usage: lafd <keydist|fd|run|serve|search|bench|report|vector|ba|degrade|king|rotate|tcp|trace|sweep> [--n N] \
          [--t T] [--seed S] [--scheme tiny|s512|s1024|s2048|dsa512|dsa1024|rsa512|rsa1024] \
          [--value V] [--runs K] [--crash I] [--equivocate]\n\
          run: lafd run <chain|nonauth|small|ba|degrade|ds|king> [-n N] [--t T] \
@@ -112,9 +119,10 @@ fn usage() {
          [--link-latency FROM:TO:MODEL[:ARG]] \
          [--adversary none|silent|crash|tamper|forge|wrongname|equivocate[:NODES]] \
          [--drop R:FROM:TO] [--corrupt R:FROM:TO:OFF:MASK] [--delay R:FROM:TO:BY] \
-         [--reorder R:FROM:TO] [--crash I] — or: lafd run --spec FILE.json\n\
+         [--reorder R:FROM:TO] [--crash I] [--trace OUT.json] [--trace-folded OUT.folded] \
+         — or: lafd run --spec FILE.json\n\
          serve: lafd serve [--shards N] [--max-sessions K] [--stdin] [--listen HOST:PORT] \
-         [--unix PATH] [--clients C] [--metrics PATH]\n\
+         [--unix PATH] [--clients C] [--metrics PATH] [--metrics-format json|prometheus]\n\
          search: lafd search <protocol> [--budget N] [--strategy random|greedy] [-n N] \
          [--t T] [--seed S] [--latency jitter:2] [--adversary none|silent|...] \
          [--threads N] [--json PATH] [--md PATH]\n\
@@ -123,7 +131,9 @@ fn usage() {
          [--latencies LIST] [--link-latency SPEC] [--search N[:STRATEGY]] \
          [--remote HOST:PORT] [--threads N] [--json PATH] [--md PATH]\n\
          bench: lafd bench [--quick] [--out PATH] [--sizes LIST] [--t T] [--seed S] \
-         [--protocols chain,ds] [--engines sync,event]"
+         [--protocols chain,ds] [--engines sync,event] [--label NAME]\n\
+         report: lafd report [FILES...] [--md PATH] [--html PATH] [--fresh] \
+         (defaults to BENCH_*.json in the current directory)"
     );
 }
 
@@ -141,6 +151,7 @@ fn main() -> ExitCode {
         "serve" => return cmd_serve(rest),
         "search" => return cmd_search(rest),
         "bench" => return cmd_bench(rest),
+        "report" => return cmd_report(rest),
         _ => {}
     }
     let (mut builder, extras) = match parse_common(rest) {
@@ -282,10 +293,26 @@ fn parse_link_spec(spec: &str, extra: usize) -> Result<(u32, NodeId, NodeId, Vec
     Ok((round, from, to, rest))
 }
 
+/// Trace-export destinations of one `lafd run` (presentation flags, not
+/// part of the run shape the [`SpecBuilder`] validates).
+#[derive(Default)]
+struct TraceOuts {
+    /// `--trace PATH`: Chrome trace-event JSON.
+    chrome: Option<String>,
+    /// `--trace-folded PATH`: inferno-compatible folded stacks.
+    folded: Option<String>,
+}
+
+impl TraceOuts {
+    fn requested(&self) -> bool {
+        self.chrome.is_some() || self.folded.is_some()
+    }
+}
+
 /// How `lafd run` was invoked: flags building a request, or a wire-v1
 /// request file (`--spec FILE`, the `lafd serve` format).
 enum RunInvocation {
-    Flags(Box<SpecBuilder>),
+    Flags(Box<SpecBuilder>, TraceOuts),
     SpecFile(String),
 }
 
@@ -306,6 +333,7 @@ fn parse_run(args: &[String]) -> Result<RunInvocation, String> {
         .with_input(b"attack at dawn".to_vec())
         .with_default_value(b"default".to_vec());
     let mut crash: Option<usize> = None;
+    let mut trace_outs = TraceOuts::default();
     let mut adversary_given = false;
     let mut latency_given = false;
     let mut engine_given = false;
@@ -340,6 +368,8 @@ fn parse_run(args: &[String]) -> Result<RunInvocation, String> {
                 builder.link_latency.push(link);
             }
             "--crash" => crash = Some(grab()?.parse().map_err(|e| format!("--crash: {e}"))?),
+            "--trace" => trace_outs.chrome = Some(grab()?),
+            "--trace-folded" => trace_outs.folded = Some(grab()?),
             "--adversary" => {
                 builder.adversary = AdversarySpec::parse(&grab()?)?;
                 adversary_given = true;
@@ -430,12 +460,12 @@ fn parse_run(args: &[String]) -> Result<RunInvocation, String> {
             AdversarySpec::scripted_at(AdversaryKind::SilentRelay, vec![NodeId(crash as u16)]);
     }
     builder.validate()?;
-    Ok(RunInvocation::Flags(Box::new(builder)))
+    Ok(RunInvocation::Flags(Box::new(builder), trace_outs))
 }
 
 fn cmd_run(args: &[String]) -> ExitCode {
-    let builder = match parse_run(args) {
-        Ok(RunInvocation::Flags(builder)) => *builder,
+    let (builder, trace_outs) = match parse_run(args) {
+        Ok(RunInvocation::Flags(builder, outs)) => (*builder, outs),
         Ok(RunInvocation::SpecFile(path)) => return cmd_run_spec_file(&path),
         Err(e) => {
             eprintln!("error: {e}");
@@ -458,19 +488,57 @@ fn cmd_run(args: &[String]) -> ExitCode {
         builder.faults.len(),
     );
 
-    let mut session = Session::new(cluster);
-    let kd_start = std::time::Instant::now();
-    if builder.protocol.needs_keys() {
-        let kd = session.keydist();
-        println!(
-            "key distribution (setup phase): {} messages (3n(n-1) = {}), {:.2?}",
-            kd.stats.messages_total,
-            metrics::keydist_messages(builder.n),
-            kd_start.elapsed(),
-        );
-    }
-    let start = std::time::Instant::now();
-    let run = session.run(&spec);
+    let mut start = std::time::Instant::now();
+    let run = if trace_outs.requested() {
+        // The traced path measures keydist/run/report phases itself and
+        // exports them; the untraced path keeps the zero-overhead Session.
+        let (run, trace) = cluster.run_traced(&spec);
+        if let Some(p) = &run.phases {
+            if let Some(kd_us) = p.keydist_us {
+                println!(
+                    "key distribution (setup phase): {} rounds, {kd_us} µs",
+                    p.keydist_rounds
+                );
+            }
+            println!(
+                "phases ({}): {} rounds traced, verify {} µs, cache {}/{} hit/miss, \
+                 peak queue depth {}",
+                p.clock.name(),
+                p.round_marks.len(),
+                p.verify_us,
+                p.cache_hits,
+                p.cache_misses,
+                p.max_queue_depth,
+            );
+        }
+        for (path, rendered, what) in [
+            (&trace_outs.chrome, trace.to_chrome_json(), "Chrome trace"),
+            (&trace_outs.folded, trace.to_folded(), "folded stacks"),
+        ] {
+            if let Some(path) = path {
+                if let Err(e) = std::fs::write(path, rendered) {
+                    eprintln!("error: writing {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                eprintln!("run: {what} written to {path}");
+            }
+        }
+        run
+    } else {
+        let mut session = Session::new(cluster);
+        let kd_start = std::time::Instant::now();
+        if builder.protocol.needs_keys() {
+            let kd = session.keydist();
+            println!(
+                "key distribution (setup phase): {} messages (3n(n-1) = {}), {:.2?}",
+                kd.stats.messages_total,
+                metrics::keydist_messages(builder.n),
+                kd_start.elapsed(),
+            );
+        }
+        start = std::time::Instant::now();
+        session.run(&spec)
+    };
     let elapsed = start.elapsed();
 
     let network_faulted = !builder.faults.is_empty()
@@ -574,6 +642,7 @@ struct ServeOpts {
     listen: Option<String>,
     unix: Option<String>,
     metrics: Option<String>,
+    metrics_format: MetricsFormat,
 }
 
 fn parse_serve(args: &[String]) -> Result<ServeOpts, String> {
@@ -585,6 +654,7 @@ fn parse_serve(args: &[String]) -> Result<ServeOpts, String> {
         listen: None,
         unix: None,
         metrics: None,
+        metrics_format: MetricsFormat::Json,
     };
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -618,6 +688,7 @@ fn parse_serve(args: &[String]) -> Result<ServeOpts, String> {
             "--listen" => opts.listen = Some(grab()?),
             "--unix" => opts.unix = Some(grab()?),
             "--metrics" => opts.metrics = Some(grab()?),
+            "--metrics-format" => opts.metrics_format = MetricsFormat::parse(&grab()?)?,
             other => return Err(format!("unknown serve flag {other}")),
         }
     }
@@ -641,10 +712,22 @@ fn dispatch_line(
     if let Ok(value) = wire::Value::parse(request) {
         if let Some(op) = value.get("op").and_then(wire::Value::as_str) {
             return match op {
-                // Compact the pretty-printed metrics document onto one
-                // line so it fits the newline-delimited reply framing.
-                "metrics" => wire::Value::parse(&service.metrics_json())
-                    .map_or_else(|e| wire::error_to_json(None, &e), |v| v.to_json()),
+                // JSON metrics are compacted onto one line to fit the
+                // newline-delimited reply framing; Prometheus text is
+                // inherently multi-line and ends with a `# EOF` line so
+                // line-framed clients know where the document stops.
+                "metrics" => {
+                    let format = value
+                        .get("format")
+                        .and_then(wire::Value::as_str)
+                        .map_or(Ok(MetricsFormat::Json), MetricsFormat::parse);
+                    match format {
+                        Ok(MetricsFormat::Json) => wire::Value::parse(&service.metrics_json())
+                            .map_or_else(|e| wire::error_to_json(None, &e), |v| v.to_json()),
+                        Ok(MetricsFormat::Prometheus) => service.metrics_prometheus(),
+                        Err(e) => wire::error_to_json(None, &e),
+                    }
+                }
                 "shutdown" => {
                     stop.store(true, std::sync::atomic::Ordering::SeqCst);
                     "{\"ok\": true, \"draining\": true}".to_string()
@@ -849,8 +932,8 @@ fn cmd_serve(args: &[String]) -> ExitCode {
         }
     };
     // Drain every in-flight run, then report service-lifetime metrics in
-    // the bench-compatible shape.
-    let metrics = service.shutdown();
+    // the bench-compatible shape (or Prometheus text exposition).
+    let metrics = service.shutdown_with(opts.metrics_format);
     let wrote = match &opts.metrics {
         Some(path) => std::fs::write(path, &metrics)
             .map(|()| eprintln!("serve: metrics written to {path}"))
@@ -1559,6 +1642,7 @@ struct BenchOpts {
     engines: Vec<Engine>,
     quick: bool,
     out: String,
+    label: Option<String>,
 }
 
 fn parse_bench(args: &[String]) -> Result<BenchOpts, String> {
@@ -1570,6 +1654,7 @@ fn parse_bench(args: &[String]) -> Result<BenchOpts, String> {
         engines: vec![Engine::Sync, Engine::Event],
         quick: false,
         out: "BENCH_5.json".to_string(),
+        label: None,
     };
     let mut sizes_given = false;
     let mut out_given = false;
@@ -1602,6 +1687,7 @@ fn parse_bench(args: &[String]) -> Result<BenchOpts, String> {
                 opts.protocols = parse_list(&grab()?, "protocols", Protocol::parse)?;
             }
             "--engines" => opts.engines = parse_list(&grab()?, "engines", Engine::parse)?,
+            "--label" => opts.label = Some(grab()?),
             other => return Err(format!("unknown bench flag {other}")),
         }
     }
@@ -1706,8 +1792,15 @@ fn cmd_bench(args: &[String]) -> ExitCode {
             }
         }
     }
+    let label = opts
+        .label
+        .as_ref()
+        .map(|l| format!("  \"label\": \"{l}\",\n"))
+        .unwrap_or_default();
     let json = format!(
-        "{{\n  \"schema\": \"lafd-bench-v1\",\n  \"quick\": {},\n  \"seed\": {},\n  \"results\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"schema\": \"lafd-bench-v1\",\n{label}  \"git_rev\": \"{}\",\n  \
+         \"quick\": {},\n  \"seed\": {},\n  \"results\": [\n{}\n  ]\n}}\n",
+        git_short_rev(),
         opts.quick,
         opts.seed,
         results.join(",\n")
@@ -1717,6 +1810,163 @@ fn cmd_bench(args: &[String]) -> ExitCode {
         return ExitCode::FAILURE;
     }
     eprintln!("bench: {} cells written to {}", results.len(), opts.out);
+    ExitCode::SUCCESS
+}
+
+/// The short git revision of the working tree, or `"unknown"` when git is
+/// unavailable (e.g. running from an unpacked tarball).
+fn git_short_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .and_then(|out| String::from_utf8(out.stdout).ok())
+        .map(|rev| rev.trim().to_string())
+        .filter(|rev| !rev.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Parsed `lafd report` flags: explicit baseline files (default: scan the
+/// current directory for `BENCH_*.json`), output paths, and whether to
+/// append a fresh in-process measurement column.
+struct ReportOpts {
+    files: Vec<String>,
+    md_path: Option<String>,
+    html_path: Option<String>,
+    fresh: bool,
+}
+
+fn parse_report(args: &[String]) -> Result<ReportOpts, String> {
+    let mut opts = ReportOpts {
+        files: Vec::new(),
+        md_path: None,
+        html_path: None,
+        fresh: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut grab = || {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("flag {arg} needs a value"))
+        };
+        match arg.as_str() {
+            "--md" => opts.md_path = Some(grab()?),
+            "--html" => opts.html_path = Some(grab()?),
+            "--fresh" => opts.fresh = true,
+            flag if flag.starts_with("--") => return Err(format!("unknown report flag {flag}")),
+            file => opts.files.push(file.to_string()),
+        }
+    }
+    if opts.files.is_empty() {
+        let dir = std::fs::read_dir(".").map_err(|e| format!("scanning current dir: {e}"))?;
+        for entry in dir.flatten() {
+            let name = entry.file_name().to_string_lossy().to_string();
+            if name.starts_with("BENCH_") && name.ends_with(".json") {
+                opts.files.push(name);
+            }
+        }
+        opts.files.sort();
+        if opts.files.is_empty() && !opts.fresh {
+            return Err(
+                "no BENCH_*.json baselines in the current directory (pass files or --fresh)"
+                    .to_string(),
+            );
+        }
+    }
+    Ok(opts)
+}
+
+/// Measure a fresh quick-bench column in process: one clean run per
+/// `{chain,ds} × {64,256} × {sync,event}` cell on dealer stores, the same
+/// hot path `lafd bench --quick` isolates.
+fn fresh_bench_cells() -> Vec<BenchCell> {
+    let mut cells = Vec::new();
+    for protocol in [Protocol::ChainFd, Protocol::DolevStrong] {
+        for n in [64usize, 256] {
+            for engine in [Engine::Sync, Engine::Event] {
+                let cluster =
+                    Cluster::new(n, 1, Arc::new(SchnorrScheme::test_tiny()), 1).with_engine(engine);
+                let kd = cluster.dealer_keydist();
+                let mut session = Session::with_keydist(cluster, kd);
+                let start = std::time::Instant::now();
+                let run = session.run(&RunSpec::new(protocol, b"bench-value".to_vec()));
+                cells.push(BenchCell {
+                    protocol: protocol.name().to_string(),
+                    n: n as u64,
+                    engine: engine.name().to_string(),
+                    wall_us: u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX),
+                    messages: run.stats.messages_total as u64,
+                    bytes: run.stats.bytes_total as u64,
+                });
+            }
+        }
+    }
+    cells
+}
+
+/// `lafd report`: render the bench trajectory over committed
+/// `BENCH_*.json` baselines (markdown to stdout; `--md`/`--html` files on
+/// request), optionally appending a fresh in-process column.
+fn cmd_report(args: &[String]) -> ExitCode {
+    let opts = match parse_report(args) {
+        Ok(opts) => opts,
+        Err(e) => {
+            eprintln!("error: {e}");
+            usage();
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut docs = Vec::new();
+    for path in &opts.files {
+        let raw = match std::fs::read_to_string(path) {
+            Ok(raw) => raw,
+            Err(e) => {
+                eprintln!("error: reading {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let stem = std::path::Path::new(path)
+            .file_stem()
+            .map_or_else(|| path.clone(), |s| s.to_string_lossy().to_string());
+        match parse_bench_doc(&stem, &raw) {
+            Ok(doc) => docs.push(doc),
+            Err(e) => {
+                eprintln!("error: {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if opts.fresh {
+        eprintln!("report: measuring a fresh quick-bench column");
+        docs.push(BenchDoc::from_cells(
+            "fresh".to_string(),
+            Some(git_short_rev()),
+            fresh_bench_cells(),
+        ));
+    }
+    let report = TrendReport::new(docs);
+    eprintln!(
+        "report: {} baseline column(s), {} cell delta(s)",
+        report.docs().len(),
+        report.delta_count()
+    );
+    print!("{}", report.to_markdown());
+    if let Some(path) = &opts.md_path {
+        if let Err(e) = std::fs::write(path, report.to_markdown()) {
+            eprintln!("error: writing {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("report: markdown written to {path}");
+    }
+    if let Some(path) = &opts.html_path {
+        if let Err(e) = std::fs::write(path, report.to_html()) {
+            eprintln!("error: writing {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("report: HTML written to {path}");
+    }
     ExitCode::SUCCESS
 }
 

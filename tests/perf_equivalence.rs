@@ -93,6 +93,51 @@ fn shared_and_unshared_key_material_agree_across_cells() {
 }
 
 #[test]
+fn observability_never_changes_report_bytes_across_cells() {
+    // The PR7 counterpart of the sharing guard: a cluster running with
+    // phase observability on (round marks, verify timing, cache counters)
+    // must produce byte-identical `to_json` output — `phases` is a local
+    // observation, never a report surface.
+    let (n, t) = (7usize, 2usize);
+    let protocols = [
+        Protocol::ChainFd,
+        Protocol::SmallRange,
+        Protocol::DolevStrong,
+        Protocol::Degradable,
+        Protocol::FdToBa,
+        Protocol::NonAuthFd,
+    ];
+    let mut cells = 0;
+    for engine in [Engine::Sync, Engine::Event] {
+        for protocol in protocols {
+            for kind in AdversaryKind::ALL {
+                if !kind.applies_to(protocol) {
+                    continue;
+                }
+                let spec = RunSpec::new(protocol, b"obs-eq".to_vec())
+                    .with_default_value(b"obs-default".to_vec())
+                    .with_adversary(AdversarySpec::scripted(kind));
+                let plain = cluster(n, t, engine).run(&spec).to_json();
+                let observed_run = cluster(n, t, engine).with_obs().run(&spec);
+                assert!(
+                    observed_run.phases.is_some(),
+                    "{protocol} × {} × {engine}: obs cluster must record phases",
+                    kind.name()
+                );
+                assert_eq!(
+                    plain,
+                    observed_run.to_json(),
+                    "{protocol} × {} × {engine}: observability changed behaviour",
+                    kind.name()
+                );
+                cells += 1;
+            }
+        }
+    }
+    assert!(cells >= 20, "only {cells} cells exercised");
+}
+
+#[test]
 fn key_free_protocols_unaffected_by_key_sharing_machinery() {
     for engine in [Engine::Sync, Engine::Event] {
         for protocol in [Protocol::NonAuthFd, Protocol::PhaseKing] {

@@ -1,0 +1,78 @@
+//! `lafd report` backend: parsing committed bench baselines and rendering
+//! the trajectory with per-cell deltas.
+
+use local_auth_fd::core::report::{parse_bench_doc, TrendReport};
+
+/// A minimal `lafd-bench-v1` document in the shape `lafd bench` writes
+/// (including the PR7 `label`/`git_rev` header fields).
+fn doc_json(label: Option<&str>, chain_wall: u64, ds_wall: u64) -> String {
+    let label_field = label.map_or(String::new(), |l| format!("  \"label\": \"{l}\",\n"));
+    format!(
+        "{{\n  \"schema\": \"lafd-bench-v1\",\n{label_field}  \"git_rev\": \"c0ffee1\",\n  \
+         \"quick\": false,\n  \"seed\": 1,\n  \"results\": [\n    \
+         {{\"protocol\": \"chain_fd\", \"n\": 256, \"t\": 1, \"engine\": \"sync\", \
+          \"scheme\": \"tiny\", \"wall_us\": {chain_wall}, \"messages\": 255, \
+          \"bytes\": 9000, \"comm_rounds\": 2, \"key_allocs\": 256}},\n    \
+         {{\"protocol\": \"dolev_strong\", \"n\": 256, \"t\": 1, \"engine\": \"event\", \
+          \"scheme\": \"tiny\", \"wall_us\": {ds_wall}, \"messages\": 765, \
+          \"bytes\": 40000, \"comm_rounds\": 3, \"key_allocs\": 256}}\n  ]\n}}\n"
+    )
+}
+
+#[test]
+fn trajectory_over_two_baselines_carries_per_cell_deltas() {
+    let old = parse_bench_doc("BENCH_5", &doc_json(None, 1_000, 4_000)).unwrap();
+    let new = parse_bench_doc("BENCH_7", &doc_json(Some("PR7"), 1_500, 3_000)).unwrap();
+    assert_eq!(old.label, "5", "stem digits label the unlabeled doc");
+    assert_eq!(new.label, "PR7");
+    let report = TrendReport::new(vec![new, old]);
+    // Sorted numerically: 5 before PR7 (first embedded integer).
+    assert_eq!(report.docs()[0].label, "5");
+    assert_eq!(report.delta_count(), 2, "one delta per shared cell");
+
+    let md = report.to_markdown();
+    assert!(md.contains("| chain_fd | 256 | sync |"), "{md}");
+    assert!(md.contains("+50.0%"), "chain_fd regression delta:\n{md}");
+    assert!(
+        md.contains("−25.0%"),
+        "dolev_strong improvement delta:\n{md}"
+    );
+    assert!(
+        md.contains("PR7 (c0ffee1)"),
+        "column title carries rev:\n{md}"
+    );
+
+    let html = report.to_html();
+    assert!(
+        html.contains("<span class=\"up\">(+50.0%)</span>"),
+        "{html}"
+    );
+    assert!(
+        html.contains("<span class=\"down\">(−25.0%)</span>"),
+        "{html}"
+    );
+    assert!(html.starts_with("<!DOCTYPE html>"));
+}
+
+#[test]
+fn missing_cells_render_as_gaps_not_errors() {
+    let full = parse_bench_doc("BENCH_5", &doc_json(None, 1_000, 4_000)).unwrap();
+    let partial = parse_bench_doc(
+        "BENCH_7",
+        "{\"schema\": \"lafd-bench-v1\", \"results\": [\
+         {\"protocol\": \"chain_fd\", \"n\": 256, \"engine\": \"sync\", \
+          \"wall_us\": 900, \"messages\": 255, \"bytes\": 9000}]}",
+    )
+    .unwrap();
+    let report = TrendReport::new(vec![full, partial]);
+    let md = report.to_markdown();
+    assert!(md.contains(" — |"), "dolev_strong column 7 is a gap:\n{md}");
+    assert_eq!(report.delta_count(), 1, "only the shared cell has a delta");
+}
+
+#[test]
+fn bad_documents_are_rejected_with_context() {
+    assert!(parse_bench_doc("x", "{\"schema\": \"other\"}").is_err());
+    assert!(parse_bench_doc("x", "{\"results\": []}").is_err());
+    assert!(parse_bench_doc("x", "not json").is_err());
+}
