@@ -16,7 +16,7 @@
 //! `n − 1` (experiment T6).
 
 use crate::chain::ChainMessage;
-use crate::keys::{KeyStore, Keyring};
+use crate::keys::{CohortKey, CohortVerdict, KeyStore, Keyring};
 use crate::outcome::{DiscoveryReason, Outcome};
 use fd_crypto::SignatureScheme;
 use fd_simnet::codec::{CodecError, Decode, Encode, Reader, Writer};
@@ -85,6 +85,14 @@ impl DolevStrongParams {
     pub fn rounds(&self) -> u32 {
         self.t as u32 + 2
     }
+}
+
+/// An accepted chain body on its way to extraction: the cohort fast path
+/// hands out the shared body bytes, the per-message path already holds
+/// the decoded chain.
+enum Accepted {
+    Shared(Arc<[u8]>),
+    Owned(ChainMessage),
 }
 
 /// Honest Dolev–Strong participant.
@@ -181,6 +189,38 @@ impl DolevStrongNode {
         }
     }
 
+    /// Apply a batched cohort verdict as *this* receiver: the per-receiver
+    /// echo rule (a chain this node already signed is ignored) lives here,
+    /// everything else mirrors [`DolevStrongNode::validate`] outcome for
+    /// outcome. Returns the accepted body, if any.
+    fn apply_verdict(&mut self, verdict: CohortVerdict) -> Option<Arc<[u8]>> {
+        match verdict {
+            CohortVerdict::Malformed => {
+                self.discovered.get_or_insert(DiscoveryReason::Malformed);
+                None
+            }
+            CohortVerdict::BadChain => {
+                self.discovered.get_or_insert(DiscoveryReason::BadStructure);
+                None
+            }
+            CohortVerdict::Duplicate { signers } => {
+                if !signers.contains(&self.me) {
+                    self.discovered.get_or_insert(DiscoveryReason::BadStructure);
+                }
+                None
+            }
+            CohortVerdict::Accept { signers, body } => {
+                (!signers.contains(&self.me)).then_some(body)
+            }
+            CohortVerdict::Discovered { signers, reason } => {
+                if !signers.contains(&self.me) {
+                    self.discovered.get_or_insert(reason);
+                }
+                None
+            }
+        }
+    }
+
     fn decide(&mut self) {
         self.outcome = if let Some(reason) = self.discovered.take() {
             Outcome::Discovered(reason)
@@ -224,23 +264,67 @@ impl Node for DolevStrongNode {
             }
             return;
         }
-        // Rounds 1..=t+1: extract and (through round t) relay.
-        let envs: Vec<Envelope> = inbox.to_vec();
-        for env in &envs {
-            if let Some(chain) = self.validate(env, round) {
-                let v = chain.body.clone();
-                if !self.extracted.contains(&v) {
-                    self.extracted.push(v);
-                    if round <= self.params.t as u32 {
-                        let extended = chain
-                            .extend(self.scheme.as_ref(), &self.keyring.sk, env.from)
-                            .expect("own keyring well-formed");
-                        out.broadcast(
-                            self.params.n,
-                            self.me,
-                            DsMsg { chain: extended }.encode_to_vec(),
-                        );
-                    }
+        // Rounds 1..=t+1: extract and (through round t) relay. With a
+        // cohort-enabled cache the entire screening pipeline (decode,
+        // structure checks, signer extraction, verification) runs once per
+        // broadcast buffer and every other receiver replays the verdict;
+        // without one, each message is validated individually. Outcomes
+        // are identical either way — only the work is shared.
+        let cohorts = self.store.cache().filter(|c| c.cohorts_enabled()).cloned();
+        for env in inbox {
+            let accepted: Option<Accepted> = match &cohorts {
+                Some(cache) => {
+                    let key: CohortKey = (env.payload.ident(), env.from, round);
+                    let verdict = match cache.cohort_get(&key, &self.store) {
+                        Some(v) => v,
+                        None => {
+                            let decoded = DsMsg::decode_exact(&env.payload).ok();
+                            let v = CohortVerdict::judge(
+                                self.scheme.as_ref(),
+                                &self.store,
+                                decoded.as_ref().map(|m| &m.chain),
+                                env.from,
+                                self.params.sender,
+                                round as usize,
+                            );
+                            cache.cohort_put(key, &env.payload, &self.store, v.clone());
+                            v
+                        }
+                    };
+                    self.apply_verdict(verdict).map(Accepted::Shared)
+                }
+                None => self.validate(env, round).map(Accepted::Owned),
+            };
+            if let Some(acc) = accepted {
+                let body: &[u8] = match &acc {
+                    Accepted::Shared(b) => b,
+                    Accepted::Owned(chain) => &chain.body,
+                };
+                if self.extracted.iter().any(|e| e.as_slice() == body) {
+                    continue;
+                }
+                self.extracted.push(body.to_vec());
+                if round <= self.params.t as u32 {
+                    // Relaying needs the actual chain to extend. The
+                    // cohort path re-decodes it here — at most once per
+                    // distinct extracted value per node (≤ 2 per run),
+                    // never per message.
+                    let chain = match acc {
+                        Accepted::Owned(chain) => chain,
+                        Accepted::Shared(_) => {
+                            DsMsg::decode_exact(&env.payload)
+                                .expect("accepted payload decodes")
+                                .chain
+                        }
+                    };
+                    let extended = chain
+                        .extend(self.scheme.as_ref(), &self.keyring.sk, env.from)
+                        .expect("own keyring well-formed");
+                    out.broadcast(
+                        self.params.n,
+                        self.me,
+                        DsMsg { chain: extended }.encode_to_vec(),
+                    );
                 }
             }
         }

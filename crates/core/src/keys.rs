@@ -29,10 +29,20 @@
 //! different `pk` bytes and therefore hit different entries). The chain
 //! discipline re-checks the full chain at every hop; the cache is what
 //! makes hop `k + 1` pay only for the one new layer.
+//!
+//! On top of both sits the **cohort layer**: a broadcast hands one shared
+//! payload buffer to `n − 1` receivers, so the whole screening pipeline
+//! (decode, structure checks, signer extraction, verification) is judged
+//! once per [`CohortKey`] — `(payload ident, sender, round)` — and the
+//! resulting [`CohortVerdict`] is replayed for every other receiver whose
+//! store views the implied signers identically. Stores that disagree about
+//! a signer's key (the G3 gap) fail the view match and get their own
+//! entry, so batching never merges genuinely different verdicts.
 
+use crate::chain::ChainMessage;
 use crate::outcome::DiscoveryReason;
 use fd_crypto::{PublicKey, SecretKey, Sha256, Signature, SignatureScheme};
-use fd_simnet::NodeId;
+use fd_simnet::{NodeId, Payload};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
@@ -179,6 +189,12 @@ impl PredicateTable {
 pub struct VerifyCache {
     sigs: Arc<Mutex<HashMap<[u8; 32], bool>>>,
     chains: Arc<Mutex<ChainReceipts>>,
+    cohorts: Arc<Mutex<HashMap<CohortKey, Cohort>>>,
+    /// Set by [`VerifyCache::without_cohorts`]: this handle bypasses the
+    /// cohort layer entirely (the chain-receipt and signature layers stay
+    /// active). The unbatched reference runs of the equivalence tests use
+    /// this to force per-message verification.
+    cohorts_disabled: bool,
     hits: Arc<AtomicUsize>,
     misses: Arc<AtomicUsize>,
     /// Wall-clock nanoseconds spent inside signature-predicate
@@ -190,6 +206,161 @@ pub struct VerifyCache {
 
 /// Chain-level verification receipts, keyed by receipt hash.
 type ChainReceipts = HashMap<[u8; 32], Result<NodeId, DiscoveryReason>>;
+
+/// Cohort identity: the payload's allocation ident
+/// ([`Payload::ident`]), the immediate sender, and the round the chain is
+/// being validated for. A broadcast hands one shared buffer to `n − 1`
+/// receivers, so all of them compute the same key with three word reads —
+/// no hashing of the chain bytes.
+pub type CohortKey = ((usize, usize, usize), NodeId, u32);
+
+/// A receiving node's store view of a chain's implied signers: for each
+/// signer, the `Arc` handle the store currently holds (or `None` when
+/// nothing was accepted). Two stores with matching views are guaranteed
+/// the same verification verdict, because [`ChainMessage::verify`] reads
+/// the store only through these slots.
+type SignerView = Vec<(NodeId, Option<Arc<PublicKey>>)>;
+
+/// One judged cohort member: the verdict plus the store view it was
+/// computed under (empty for store-independent verdicts).
+#[derive(Debug)]
+struct CohortEntry {
+    view: SignerView,
+    verdict: CohortVerdict,
+}
+
+/// All verdicts recorded for one cohort key. `pin` keeps the payload's
+/// backing buffer alive for the life of the cache, so the raw address in
+/// the key can never be recycled by a new allocation — equal keys
+/// therefore always mean equal bytes.
+#[derive(Debug)]
+struct Cohort {
+    _pin: Payload,
+    entries: Vec<CohortEntry>,
+}
+
+/// The batched-verification verdict on one member of a broadcast cohort.
+///
+/// [`CohortVerdict::judge`] runs the full Dolev–Strong-style screening
+/// once per `(payload buffer, sender, round, store view)` class; every
+/// other receiver of the same broadcast replays the verdict from the
+/// cohort cache. The first three variants depend only on the chain bytes
+/// (any store reaches them identically); the last two also depend on the
+/// receiver's accepted predicates, so they are cached together with the
+/// [`SignerView`] they were judged under.
+///
+/// What a verdict *means* to a receiver still depends on the receiver
+/// itself: a node that appears in `signers` treats the message as an echo
+/// of a chain it already signed and stays silent. That per-receiver echo
+/// rule is deliberately left out of the verdict so one verdict serves the
+/// whole cohort.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CohortVerdict {
+    /// The payload does not decode to a chain message.
+    Malformed,
+    /// Wrong claimed origin or wrong signature count for the round.
+    BadChain,
+    /// The signer sequence repeats a node.
+    Duplicate {
+        /// The implied signer sequence (origin first).
+        signers: Arc<[NodeId]>,
+    },
+    /// The chain verified; `body` is the carried value.
+    Accept {
+        /// The implied signer sequence (origin first).
+        signers: Arc<[NodeId]>,
+        /// The chain's body bytes, shared across the cohort.
+        body: Arc<[u8]>,
+    },
+    /// Verification discovered a failure.
+    Discovered {
+        /// The implied signer sequence (origin first).
+        signers: Arc<[NodeId]>,
+        /// The discovery the verification raised.
+        reason: DiscoveryReason,
+    },
+}
+
+impl CohortVerdict {
+    /// Judge one cohort member: structural screening, then cryptographic
+    /// verification through the store (and its chain-receipt cache).
+    ///
+    /// `chain` is `None` when the payload failed to decode — the caller
+    /// decodes (once per cohort, on the miss path) so this module never
+    /// learns the wire framing. `expected_count` is the signature count a
+    /// round-`r` chain must carry.
+    pub fn judge(
+        scheme: &dyn SignatureScheme,
+        store: &KeyStore,
+        chain: Option<&ChainMessage>,
+        from: NodeId,
+        expected_origin: NodeId,
+        expected_count: usize,
+    ) -> CohortVerdict {
+        let Some(chain) = chain else {
+            return CohortVerdict::Malformed;
+        };
+        if chain.origin != expected_origin || chain.signature_count() != expected_count {
+            return CohortVerdict::BadChain;
+        }
+        let signers: Arc<[NodeId]> = chain.signer_sequence(from).into();
+        let distinct: std::collections::BTreeSet<NodeId> = signers.iter().copied().collect();
+        if distinct.len() != signers.len() {
+            return CohortVerdict::Duplicate { signers };
+        }
+        match chain.verify_cached(scheme, store, from) {
+            Ok(_) => CohortVerdict::Accept {
+                signers,
+                body: Arc::from(chain.body.as_slice()),
+            },
+            Err(reason) => CohortVerdict::Discovered { signers, reason },
+        }
+    }
+
+    /// The implied signer sequence, when the chain decoded with plausible
+    /// structure (empty for [`CohortVerdict::Malformed`] and
+    /// [`CohortVerdict::BadChain`], whose handling never needs it).
+    pub fn signers(&self) -> &[NodeId] {
+        match self {
+            CohortVerdict::Malformed | CohortVerdict::BadChain => &[],
+            CohortVerdict::Duplicate { signers }
+            | CohortVerdict::Accept { signers, .. }
+            | CohortVerdict::Discovered { signers, .. } => signers,
+        }
+    }
+
+    /// Whether the verdict depends on the judging store's accepted
+    /// predicates (and must therefore be matched against a
+    /// [`SignerView`]).
+    fn store_dependent(&self) -> bool {
+        matches!(
+            self,
+            CohortVerdict::Accept { .. } | CohortVerdict::Discovered { .. }
+        )
+    }
+}
+
+/// The store view a verdict's signers resolve to under `store`.
+fn signer_view(store: &KeyStore, signers: &[NodeId]) -> SignerView {
+    signers
+        .iter()
+        .map(|&s| (s, store.accepted_shared(s).cloned()))
+        .collect()
+}
+
+/// Does `store` see exactly the predicates `view` was judged under?
+/// Pointer equality first (stores share allocations via
+/// [`PredicateTable`], so the honest case is `r + 1` pointer compares),
+/// byte equality as the correct fallback for disagreeing allocations that
+/// happen to hold the same bytes.
+fn view_matches(store: &KeyStore, view: &SignerView) -> bool {
+    view.iter()
+        .all(|(s, slot)| match (store.accepted_shared(*s), slot) {
+            (None, None) => true,
+            (Some(a), Some(b)) => Arc::ptr_eq(a, b) || a.0 == b.0,
+            _ => false,
+        })
+}
 
 fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
@@ -264,6 +435,67 @@ impl VerifyCache {
     /// Build a whole-chain receipt key from length-prefixed parts.
     pub(crate) fn chain_key(parts: &[&[u8]]) -> [u8; 32] {
         cache_key(b"fd-verify-chain-v1", parts)
+    }
+
+    /// A handle with the cohort layer disabled (chain-receipt and
+    /// signature layers unaffected). The flag is per-handle: cloning an
+    /// enabled cache keeps cohorts on.
+    #[must_use]
+    pub fn without_cohorts(mut self) -> Self {
+        self.cohorts_disabled = true;
+        self
+    }
+
+    /// Whether this handle participates in cohort caching.
+    pub fn cohorts_enabled(&self) -> bool {
+        !self.cohorts_disabled
+    }
+
+    /// Look up a cohort verdict valid under `store`'s view of the
+    /// relevant signers.
+    pub(crate) fn cohort_get(&self, key: &CohortKey, store: &KeyStore) -> Option<CohortVerdict> {
+        if self.cohorts_disabled {
+            return None;
+        }
+        let verdict = {
+            let map = lock(&self.cohorts);
+            let cohort = map.get(key)?;
+            cohort
+                .entries
+                .iter()
+                .find(|e| !e.verdict.store_dependent() || view_matches(store, &e.view))
+                .map(|e| e.verdict.clone())?
+        };
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        Some(verdict)
+    }
+
+    /// Record a cohort verdict judged under `store`, pinning `payload`'s
+    /// buffer so the key's address stays live for the cache's lifetime.
+    pub(crate) fn cohort_put(
+        &self,
+        key: CohortKey,
+        payload: &Payload,
+        store: &KeyStore,
+        verdict: CohortVerdict,
+    ) {
+        if self.cohorts_disabled {
+            return;
+        }
+        let view = if verdict.store_dependent() {
+            signer_view(store, verdict.signers())
+        } else {
+            Vec::new()
+        };
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        lock(&self.cohorts)
+            .entry(key)
+            .or_insert_with(|| Cohort {
+                _pin: payload.clone(),
+                entries: Vec::new(),
+            })
+            .entries
+            .push(CohortEntry { view, verdict });
     }
 
     /// Cache hits so far (signature and chain level combined).
@@ -450,6 +682,7 @@ impl KeyStore {
 mod tests {
     use super::*;
     use fd_crypto::SchnorrScheme;
+    use fd_simnet::codec::Encode;
 
     #[test]
     fn keyring_generation_is_deterministic_and_distinct() {
@@ -578,6 +811,226 @@ mod tests {
         assert!(!store.assigns(&scheme, NodeId(0), b"n", &sig));
         assert!(!store.assigns(&scheme, NodeId(0), b"n", &sig));
         assert_eq!((cache.hits(), cache.misses()), (2, 2));
+    }
+
+    fn cohort_rings(n: usize, seed: u64) -> (SchnorrScheme, Vec<Keyring>, Vec<PublicKey>) {
+        let scheme = SchnorrScheme::test_tiny();
+        let rings: Vec<Keyring> = (0..n)
+            .map(|i| Keyring::generate(&scheme, NodeId(i as u16), seed))
+            .collect();
+        let pks: Vec<PublicKey> = rings.iter().map(|r| r.pk.clone()).collect();
+        (scheme, rings, pks)
+    }
+
+    /// A two-signature chain P0 → P1, as received from P1.
+    fn two_hop_chain(scheme: &SchnorrScheme, rings: &[Keyring]) -> ChainMessage {
+        ChainMessage::originate(scheme, &rings[0].sk, NodeId(0), b"v".to_vec())
+            .unwrap()
+            .extend(scheme, &rings[1].sk, NodeId(0))
+            .unwrap()
+    }
+
+    #[test]
+    fn cohort_judge_matches_per_message_verify() {
+        // The batched verdict must agree with what per-message
+        // verify_cached (plus the structural screening around it) says,
+        // across accept, structural-reject, and cryptographic-reject.
+        let (scheme, rings, pks) = cohort_rings(4, 31);
+        let store = KeyStore::global(NodeId(2), &pks).with_cache(VerifyCache::new());
+        let chain = two_hop_chain(&scheme, &rings);
+
+        // Accepted chain: verdict mirrors Ok(body).
+        let v = CohortVerdict::judge(&scheme, &store, Some(&chain), NodeId(1), NodeId(0), 2);
+        assert_eq!(
+            chain.verify_cached(&scheme, &store, NodeId(1)),
+            Ok(NodeId(1))
+        );
+        match &v {
+            CohortVerdict::Accept { signers, body } => {
+                assert_eq!(signers.as_ref(), &[NodeId(0), NodeId(1)]);
+                assert_eq!(body.as_ref(), b"v");
+            }
+            other => panic!("expected Accept, got {other:?}"),
+        }
+
+        // Undecodable payload.
+        assert_eq!(
+            CohortVerdict::judge(&scheme, &store, None, NodeId(1), NodeId(0), 2),
+            CohortVerdict::Malformed
+        );
+        // Wrong origin and wrong count are both structural.
+        assert_eq!(
+            CohortVerdict::judge(&scheme, &store, Some(&chain), NodeId(1), NodeId(3), 2),
+            CohortVerdict::BadChain
+        );
+        assert_eq!(
+            CohortVerdict::judge(&scheme, &store, Some(&chain), NodeId(1), NodeId(0), 1),
+            CohortVerdict::BadChain
+        );
+        // A repeated signer: P0 → P1 → P0, received from P0 again.
+        let cycled = chain
+            .clone()
+            .extend(&scheme, &rings[0].sk, NodeId(1))
+            .unwrap();
+        match CohortVerdict::judge(&scheme, &store, Some(&cycled), NodeId(0), NodeId(0), 3) {
+            CohortVerdict::Duplicate { signers } => {
+                assert_eq!(signers.as_ref(), &[NodeId(0), NodeId(1), NodeId(0)]);
+            }
+            other => panic!("expected Duplicate, got {other:?}"),
+        }
+        // A forged layer: discovered, with the same reason per-message
+        // verification raises.
+        let mut forged = chain.clone();
+        forged.body = b"w".to_vec();
+        let direct = forged.verify_cached(&scheme, &store, NodeId(1));
+        match CohortVerdict::judge(&scheme, &store, Some(&forged), NodeId(1), NodeId(0), 2) {
+            CohortVerdict::Discovered { reason, .. } => {
+                assert_eq!(Err(reason), direct);
+            }
+            other => panic!("expected Discovered, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cohort_cache_replays_verdicts_per_store_view() {
+        // One broadcast buffer, three receivers sharing the honest key
+        // material: the first judge is the only miss, the other receivers
+        // replay the verdict from the cohort entry.
+        let (scheme, rings, pks) = cohort_rings(5, 32);
+        let cache = VerifyCache::new();
+        let chain = two_hop_chain(&scheme, &rings);
+        let payload = Payload::from(chain.encode_to_vec());
+        let key: CohortKey = (payload.ident(), NodeId(1), 2);
+
+        let stores: Vec<KeyStore> = [2u16, 3, 4]
+            .iter()
+            .map(|&i| KeyStore::global(NodeId(i), &pks).with_cache(cache.clone()))
+            .collect();
+        assert_eq!(cache.cohort_get(&key, &stores[0]), None);
+        let verdict =
+            CohortVerdict::judge(&scheme, &stores[0], Some(&chain), NodeId(1), NodeId(0), 2);
+        cache.cohort_put(key, &payload, &stores[0], verdict.clone());
+        for store in &stores[1..] {
+            assert_eq!(cache.cohort_get(&key, store), Some(verdict.clone()));
+        }
+        // The receivers' stores were built by KeyStore::global (fresh
+        // allocations per store), so the hits came from the byte-equality
+        // fallback of the view match — sharing is an optimization, not a
+        // correctness requirement.
+    }
+
+    #[test]
+    fn cohort_entries_split_on_g3_store_disagreement() {
+        // G3: faulty P1 equivocated its key. Store A holds the key that
+        // verifies, store B a different one. The cohort must keep two
+        // entries and answer each store with its own verdict.
+        let (scheme, rings, pks) = cohort_rings(3, 33);
+        let (sk_x, pk_x) = scheme.keypair_from_seed(2001);
+        let (_, pk_y) = scheme.keypair_from_seed(2002);
+        let chain = ChainMessage::originate(&scheme, &rings[0].sk, NodeId(0), b"v".to_vec())
+            .unwrap()
+            .extend(&scheme, &sk_x, NodeId(0))
+            .unwrap();
+        let payload = Payload::from(chain.encode_to_vec());
+        let key: CohortKey = (payload.ident(), NodeId(1), 2);
+
+        let cache = VerifyCache::new();
+        let mut store_a = KeyStore::global(NodeId(2), &pks).with_cache(cache.clone());
+        store_a.accept(NodeId(1), pk_x);
+        let mut store_b = KeyStore::global(NodeId(2), &pks).with_cache(cache.clone());
+        store_b.accept(NodeId(1), pk_y);
+
+        let verdict_a =
+            CohortVerdict::judge(&scheme, &store_a, Some(&chain), NodeId(1), NodeId(0), 2);
+        cache.cohort_put(key, &payload, &store_a, verdict_a.clone());
+        assert!(matches!(verdict_a, CohortVerdict::Accept { .. }));
+
+        // Store B must NOT be served A's verdict: its view differs.
+        assert_eq!(cache.cohort_get(&key, &store_b), None);
+        let verdict_b =
+            CohortVerdict::judge(&scheme, &store_b, Some(&chain), NodeId(1), NodeId(0), 2);
+        cache.cohort_put(key, &payload, &store_b, verdict_b.clone());
+        match &verdict_b {
+            CohortVerdict::Discovered { reason, .. } => {
+                assert_eq!(*reason, DiscoveryReason::BadSignature);
+            }
+            other => panic!("expected Discovered, got {other:?}"),
+        }
+        // Both entries now coexist under one key; each store gets its own.
+        assert_eq!(cache.cohort_get(&key, &store_a), Some(verdict_a));
+        assert_eq!(cache.cohort_get(&key, &store_b), Some(verdict_b));
+    }
+
+    #[test]
+    fn mixed_cohort_forged_member_keeps_its_own_key() {
+        // Two broadcasts in flight: an honest chain and a forged sibling
+        // with identical logical coordinates. Their payload buffers differ,
+        // so they land in different cohorts — the forged one can never
+        // borrow the honest verdict.
+        let (scheme, rings, pks) = cohort_rings(4, 34);
+        let cache = VerifyCache::new();
+        let store = KeyStore::global(NodeId(3), &pks).with_cache(cache.clone());
+        let honest = two_hop_chain(&scheme, &rings);
+        let mut forged = honest.clone();
+        forged.body = b"w".to_vec();
+
+        let honest_payload = Payload::from(honest.encode_to_vec());
+        let forged_payload = Payload::from(forged.encode_to_vec());
+        let honest_key: CohortKey = (honest_payload.ident(), NodeId(1), 2);
+        let forged_key: CohortKey = (forged_payload.ident(), NodeId(1), 2);
+        assert_ne!(honest_key, forged_key);
+
+        let hv = CohortVerdict::judge(&scheme, &store, Some(&honest), NodeId(1), NodeId(0), 2);
+        cache.cohort_put(honest_key, &honest_payload, &store, hv);
+        assert_eq!(cache.cohort_get(&forged_key, &store), None);
+        let fv = CohortVerdict::judge(&scheme, &store, Some(&forged), NodeId(1), NodeId(0), 2);
+        assert!(matches!(fv, CohortVerdict::Discovered { .. }));
+        cache.cohort_put(forged_key, &forged_payload, &store, fv.clone());
+        assert!(matches!(
+            cache.cohort_get(&honest_key, &store),
+            Some(CohortVerdict::Accept { .. })
+        ));
+        assert_eq!(cache.cohort_get(&forged_key, &store), Some(fv));
+    }
+
+    #[test]
+    fn structural_verdicts_are_store_independent() {
+        // Malformed / BadChain / Duplicate never consult the store, so a
+        // store with a completely different view still replays them.
+        let (scheme, rings, pks) = cohort_rings(3, 35);
+        let cache = VerifyCache::new();
+        let store_full = KeyStore::global(NodeId(2), &pks).with_cache(cache.clone());
+        let store_empty = KeyStore::new(3, NodeId(2)).with_cache(cache.clone());
+
+        let chain = two_hop_chain(&scheme, &rings);
+        let payload = Payload::from(chain.encode_to_vec());
+        let key: CohortKey = (payload.ident(), NodeId(1), 7);
+        // Wrong count for "round 7": BadChain regardless of keys.
+        let v = CohortVerdict::judge(&scheme, &store_full, Some(&chain), NodeId(1), NodeId(0), 7);
+        assert_eq!(v, CohortVerdict::BadChain);
+        cache.cohort_put(key, &payload, &store_full, v.clone());
+        assert_eq!(cache.cohort_get(&key, &store_empty), Some(v));
+    }
+
+    #[test]
+    fn without_cohorts_disables_only_this_handle() {
+        let (scheme, rings, pks) = cohort_rings(3, 36);
+        let cache = VerifyCache::new();
+        let reference = cache.clone().without_cohorts();
+        assert!(cache.cohorts_enabled());
+        assert!(!reference.cohorts_enabled());
+
+        let store = KeyStore::global(NodeId(2), &pks).with_cache(cache.clone());
+        let chain = two_hop_chain(&scheme, &rings);
+        let payload = Payload::from(chain.encode_to_vec());
+        let key: CohortKey = (payload.ident(), NodeId(1), 2);
+        let v = CohortVerdict::judge(&scheme, &store, Some(&chain), NodeId(1), NodeId(0), 2);
+        cache.cohort_put(key, &payload, &store, v.clone());
+        // The disabled handle neither reads nor writes the cohort map …
+        assert_eq!(reference.cohort_get(&key, &store), None);
+        reference.cohort_put(key, &payload, &store, CohortVerdict::Malformed);
+        // … so the enabled handle still sees exactly the original verdict.
+        assert_eq!(cache.cohort_get(&key, &store), Some(v));
     }
 
     #[test]

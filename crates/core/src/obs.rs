@@ -76,6 +76,16 @@ pub struct PhaseBreakdown {
     pub round_marks: Vec<u64>,
     /// Peak delivery-queue depth observed at round boundaries.
     pub max_queue_depth: u64,
+    /// Event-engine deliveries routed through the flat round-boundary
+    /// ring (the fast path); 0 on the sync engine.
+    pub ring_enqueued: u64,
+    /// Event-engine deliveries routed through the binary-heap fallback
+    /// (out-of-band timing, or all of them under the reference
+    /// scheduler); 0 on the sync engine.
+    pub heap_enqueued: u64,
+    /// High-water mark of the per-node arena inbox (peak envelopes
+    /// assembled for a single `on_round` call); 0 on the sync engine.
+    pub arena_hwm: u64,
     /// Wall-clock µs spent inside signature-predicate evaluations on the
     /// verify-cache miss path (0 when no evaluation ran).
     pub verify_us: u64,
@@ -105,11 +115,15 @@ impl PhaseBreakdown {
         engine: Engine,
         round_marks: Option<Vec<u64>>,
         max_queue_depth: Option<usize>,
+        sched: Option<fd_simnet::SchedCounters>,
     ) -> Option<Self> {
         round_marks.map(|marks| PhaseBreakdown {
             clock: SpanClock::for_engine(engine),
             round_marks: marks,
             max_queue_depth: max_queue_depth.unwrap_or(0) as u64,
+            ring_enqueued: sched.map_or(0, |s| s.ring_enqueued),
+            heap_enqueued: sched.map_or(0, |s| s.heap_enqueued),
+            arena_hwm: sched.map_or(0, |s| s.arena_hwm as u64),
             verify_us: 0,
             cache_hits: 0,
             cache_misses: 0,
@@ -140,6 +154,14 @@ impl PhaseBreakdown {
     pub fn cache_hit_ratio_pct(&self) -> Option<u64> {
         let total = self.cache_hits + self.cache_misses;
         (total > 0).then(|| self.cache_hits * 100 / total)
+    }
+
+    /// Share of event-engine deliveries that took the flat-ring fast path,
+    /// in integer percent; `None` when the run scheduled no deliveries
+    /// (sync engine, or an empty run).
+    pub fn ring_ratio_pct(&self) -> Option<u64> {
+        let total = self.ring_enqueued + self.heap_enqueued;
+        (total > 0).then(|| self.ring_enqueued * 100 / total)
     }
 }
 
@@ -437,6 +459,18 @@ fn assemble_trace(
         counters.push(CounterSample {
             name: "max_queue_depth",
             value: p.max_queue_depth,
+        });
+        counters.push(CounterSample {
+            name: "ring_enqueued",
+            value: p.ring_enqueued,
+        });
+        counters.push(CounterSample {
+            name: "heap_enqueued",
+            value: p.heap_enqueued,
+        });
+        counters.push(CounterSample {
+            name: "arena_hwm",
+            value: p.arena_hwm,
         });
     }
     counters.push(CounterSample {

@@ -22,7 +22,8 @@ use crate::outcome::Outcome;
 use fd_crypto::SignatureScheme;
 use fd_simnet::fault::FaultPlan;
 use fd_simnet::{
-    Engine, EventNetwork, LatencySpec, LinkLatencySpec, NetStats, Node, NodeId, SyncNetwork,
+    Engine, EventNetwork, LatencySpec, LinkLatencySpec, NetStats, Node, NodeId, SchedCounters,
+    SyncNetwork,
 };
 use std::sync::Arc;
 
@@ -57,6 +58,9 @@ pub struct DriveReport {
     /// Peak delivery-queue depth observed at round boundaries, when the
     /// driver recorded round marks.
     pub max_queue_depth: Option<usize>,
+    /// Scheduler counters (ring vs heap routing, arena high-water mark);
+    /// `None` on the sync engine, which has no delivery scheduler.
+    pub sched: Option<SchedCounters>,
 }
 
 /// An execution engine a [`Cluster`] can run node sets on.
@@ -98,6 +102,7 @@ impl NetworkDriver for SyncDriver {
             delay_log: None,
             round_marks,
             max_queue_depth,
+            sched: None,
         }
     }
 }
@@ -122,6 +127,11 @@ pub struct EventDriver {
     /// Record end-of-round virtual-tick marks into
     /// [`DriveReport::round_marks`].
     pub record_marks: bool,
+    /// Route every delivery through the reference binary heap instead of
+    /// the flat-ring fast path (see
+    /// [`EventNetwork::set_reference_scheduler`]) — the equivalence
+    /// tests' unoptimized baseline.
+    pub reference_scheduler: bool,
 }
 
 impl NetworkDriver for EventDriver {
@@ -144,9 +154,13 @@ impl NetworkDriver for EventDriver {
         if !self.faults.is_empty() {
             net.set_fault_plan(self.faults.clone());
         }
+        if self.reference_scheduler {
+            net.set_reference_scheduler(true);
+        }
         let rounds = net.run_until_done(max_rounds);
         let round_marks = net.round_marks().map(<[u64]>::to_vec);
         let max_queue_depth = net.max_queue_depth();
+        let sched = net.sched_counters();
         let (nodes, stats, delay_log) = net.finish();
         DriveReport {
             stats,
@@ -155,6 +169,7 @@ impl NetworkDriver for EventDriver {
             nodes,
             round_marks,
             max_queue_depth,
+            sched: Some(sched),
         }
     }
 }
@@ -184,6 +199,10 @@ pub struct Cluster {
     /// Record applied per-message delays into [`FdRunReport::delay_log`]
     /// (event engine only; default: off).
     pub record_delays: bool,
+    /// Force the event engine's reference heap scheduler instead of the
+    /// flat-ring fast path (default: off — the fast path is on). Results
+    /// are identical either way; the equivalence tests pin that down.
+    pub reference_scheduler: bool,
     /// A shared signature/chain verification cache installed on every
     /// run's key stores. `None` (the default) gives each run a private
     /// cache; a service shard installs one long-lived cache so identical
@@ -350,6 +369,7 @@ impl Cluster {
             faults: FaultPlan::new(),
             schedule: None,
             record_delays: false,
+            reference_scheduler: false,
             verify_cache: None,
             obs: false,
         }
@@ -396,6 +416,16 @@ impl Cluster {
         self
     }
 
+    /// Route event-engine deliveries through the reference heap scheduler
+    /// (see [`Cluster::reference_scheduler`]). Combined with
+    /// [`crate::keys::VerifyCache::without_cohorts`] via
+    /// [`Cluster::with_verify_cache`], this is the fully unbatched,
+    /// unshared baseline the perf-equivalence tests compare against.
+    pub fn with_reference_scheduler(mut self, on: bool) -> Self {
+        self.reference_scheduler = on;
+        self
+    }
+
     /// Install a long-lived verification cache shared by every run on
     /// this cluster (see [`Cluster::verify_cache`]).
     pub fn with_verify_cache(mut self, cache: crate::keys::VerifyCache) -> Self {
@@ -439,6 +469,7 @@ impl Cluster {
                     schedule: self.schedule.clone(),
                     record_delays: self.record_delays,
                     record_marks: self.obs,
+                    reference_scheduler: self.reference_scheduler,
                 }
                 .drive(nodes, budget.saturating_add(delay_slack))
             }
@@ -836,6 +867,55 @@ mod tests {
         let baseline = private.run_with_keys(&spec, Some(&kd_p)).to_json();
         assert_eq!(shared.run_with_keys(&spec, Some(&kd_s)).to_json(), baseline);
         assert_eq!(shared.run_with_keys(&spec, Some(&kd_s)).to_json(), baseline);
+    }
+
+    #[test]
+    fn reference_scheduler_and_unbatched_verify_reproduce_fast_path() {
+        // The two tentpole optimizations (flat-ring scheduler, cohort
+        // verification) both have an explicit off switch; turning both off
+        // must reproduce the optimized report byte for byte.
+        let fast = cluster(7, 2).with_engine(fd_simnet::Engine::Event);
+        let reference = fast
+            .clone()
+            .with_reference_scheduler(true)
+            .with_verify_cache(crate::keys::VerifyCache::new().without_cohorts());
+        for protocol in [Protocol::DolevStrong, Protocol::ChainFd] {
+            let spec = spec(protocol, b"v");
+            assert_eq!(
+                fast.run(&spec).to_json(),
+                reference.run(&spec).to_json(),
+                "{protocol}"
+            );
+        }
+    }
+
+    #[test]
+    fn obs_exposes_scheduler_counters_on_the_event_engine() {
+        let c = cluster(6, 1)
+            .with_engine(fd_simnet::Engine::Event)
+            .with_obs();
+        let run = c.run(&spec(Protocol::DolevStrong, b"v"));
+        let phases = run.phases.expect("obs on");
+        // Synchronous latency: every delivery is round-aligned, so the
+        // fast path takes all of it.
+        assert_eq!(phases.ring_enqueued, 6 * 5);
+        assert_eq!(phases.heap_enqueued, 0);
+        assert_eq!(phases.ring_ratio_pct(), Some(100));
+        assert!(phases.arena_hwm >= 5, "arena saw a full fan-in");
+
+        let reference = c.clone().with_reference_scheduler(true);
+        let run = reference.run(&spec(Protocol::DolevStrong, b"v"));
+        let phases = run.phases.expect("obs on");
+        assert_eq!(phases.ring_enqueued, 0);
+        assert_eq!(phases.heap_enqueued, 6 * 5);
+        assert_eq!(phases.ring_ratio_pct(), Some(0));
+
+        // The sync engine has no scheduler: counters stay zero.
+        let sync = cluster(6, 1).with_obs();
+        let run = sync.run(&spec(Protocol::DolevStrong, b"v"));
+        let phases = run.phases.expect("obs on");
+        assert_eq!((phases.ring_enqueued, phases.heap_enqueued), (0, 0));
+        assert_eq!(phases.ring_ratio_pct(), None);
     }
 
     #[test]

@@ -703,6 +703,7 @@ impl Cluster {
                     self.engine,
                     report.round_marks,
                     report.max_queue_depth,
+                    report.sched,
                 );
                 let stats = report.stats;
                 let delay_log = report.delay_log;
@@ -748,6 +749,7 @@ impl Cluster {
                     self.engine,
                     report.round_marks,
                     report.max_queue_depth,
+                    report.sched,
                 );
                 let stats = report.stats;
                 let delay_log = report.delay_log;
@@ -820,6 +822,7 @@ impl Cluster {
             self.engine,
             report.round_marks,
             report.max_queue_depth,
+            report.sched,
         );
         let stats = report.stats;
         let delay_log = report.delay_log;

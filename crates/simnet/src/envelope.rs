@@ -28,7 +28,14 @@ pub struct Envelope {
 impl Envelope {
     /// Wire size used for statistics: header + payload.
     pub fn wire_len(&self) -> usize {
-        2 + 2 + 4 + 4 + self.payload.len()
+        Envelope::wire_len_with(self.payload.len())
+    }
+
+    /// Wire size of an envelope carrying `payload_len` payload bytes —
+    /// lets a compressed broadcast account `n − 1` identical messages
+    /// without materializing them.
+    pub(crate) fn wire_len_with(payload_len: usize) -> usize {
+        2 + 2 + 4 + 4 + payload_len
     }
 }
 

@@ -5,10 +5,18 @@
 //! `r + 1`, in lockstep. [`EventNetwork`] runs the *same* [`Node`]
 //! automata under a priority-queue scheduler with **virtual time**:
 //!
-//! * every message becomes an event keyed by `(deliver_at, seq)` in a
-//!   binary heap, so execution is byte-deterministic for a given seed
-//!   and latency model — `seq` is a global send counter that breaks ties
-//!   exactly like the synchronous engine's sender-order delivery;
+//! * every message is scheduled by `(deliver_at, seq)`, so execution is
+//!   byte-deterministic for a given seed and latency model — `seq` is a
+//!   global send counter that breaks ties exactly like the synchronous
+//!   engine's sender-order delivery;
+//! * the scheduler is a *hybrid*: round-aligned arrivals (the dominant
+//!   case — synchronous and fixed delays are whole rounds) park in a flat
+//!   ring of per-boundary buckets, which preserves send order for free;
+//!   only out-of-band arrivals (jitter, per-message overrides) pay for a
+//!   binary heap. Broadcasts with a uniform round-aligned delay stay
+//!   *compressed*: one [`DeliveryRecord`] stands for `n − 1` messages,
+//!   and the per-receiver envelopes are materialized into a reused arena
+//!   only when their round executes (see [`SchedCounters`]);
 //! * a pluggable [`LatencyModel`] decides each message's flight time in
 //!   virtual ticks ([`TICKS_PER_ROUND`] per round), with optional
 //!   per-link overrides ([`PerLink`]);
@@ -26,9 +34,10 @@
 //! failures, never as silent disagreement.
 
 use crate::fault::{FaultPlan, LinkFault};
-use crate::{Envelope, NetStats, Node, NodeId, Outbox, Trace};
+use crate::node::OutOp;
+use crate::{Envelope, NetStats, Node, NodeId, Outbox, Payload, Trace};
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::sync::Arc;
 
 /// Virtual ticks per protocol round. Latency models express flight times
@@ -277,6 +286,20 @@ pub trait LatencyModel: Send {
     /// in round `round`. Must be ≥ 1; [`TICKS_PER_ROUND`] means "arrives
     /// exactly at the next round boundary" (the synchronous behaviour).
     fn delay(&self, from: NodeId, to: NodeId, round: u32) -> u64;
+
+    /// If every destination of a message sent by `from` in `round` gets
+    /// the *same* flight time, that flight time; `None` when delays are
+    /// (or may be) destination-dependent.
+    ///
+    /// This is the event engine's broadcast fast-path gate: a uniform,
+    /// round-aligned delay lets an `n`-way broadcast travel as a single
+    /// compressed delivery record instead of `n − 1` queue entries.
+    /// Returning `None` is always correct (the engine falls back to
+    /// per-message scheduling); returning `Some(d)` when some destination
+    /// would get a different delay is not. The default is conservative.
+    fn uniform_delay(&self, _from: NodeId, _round: u32) -> Option<u64> {
+        None
+    }
 }
 
 /// Exactly one round per hop — the paper's N1 timing.
@@ -289,6 +312,9 @@ impl LatencyModel for Synchronous {
     }
     fn delay(&self, _from: NodeId, _to: NodeId, _round: u32) -> u64 {
         TICKS_PER_ROUND
+    }
+    fn uniform_delay(&self, _from: NodeId, _round: u32) -> Option<u64> {
+        Some(TICKS_PER_ROUND)
     }
 }
 
@@ -305,6 +331,9 @@ impl LatencyModel for FixedDelay {
     }
     fn delay(&self, _from: NodeId, _to: NodeId, _round: u32) -> u64 {
         u64::from(self.rounds.max(1)) * TICKS_PER_ROUND
+    }
+    fn uniform_delay(&self, _from: NodeId, _round: u32) -> Option<u64> {
+        Some(u64::from(self.rounds.max(1)) * TICKS_PER_ROUND)
     }
 }
 
@@ -340,6 +369,11 @@ impl LatencyModel for SeededJitter {
         let span = u64::from(self.extra) * TICKS_PER_ROUND;
         TICKS_PER_ROUND + mix(self.seed, from, to, round) % (span + 1)
     }
+    fn uniform_delay(&self, _from: NodeId, _round: u32) -> Option<u64> {
+        // `extra = 0` degenerates to synchrony; anything else jitters
+        // per destination.
+        (self.extra == 0).then_some(TICKS_PER_ROUND)
+    }
 }
 
 /// Jitter before the global stabilization round, synchronous after it.
@@ -367,6 +401,9 @@ impl LatencyModel for PartialSynchrony {
             }
             .delay(from, to, round)
         }
+    }
+    fn uniform_delay(&self, _from: NodeId, round: u32) -> Option<u64> {
+        (round >= self.gst || self.extra == 0).then_some(TICKS_PER_ROUND)
     }
 }
 
@@ -402,6 +439,14 @@ impl LatencyModel for PerLink {
         match self.overrides.get(&(from, to)) {
             Some(model) => model.delay(from, to, round),
             None => self.base.delay(from, to, round),
+        }
+    }
+    fn uniform_delay(&self, from: NodeId, round: u32) -> Option<u64> {
+        // Any override may give one destination a different delay.
+        if self.overrides.is_empty() {
+            self.base.uniform_delay(from, round)
+        } else {
+            None
         }
     }
 }
@@ -480,22 +525,13 @@ impl core::fmt::Display for LinkLatencySpec {
     }
 }
 
-/// What a queued event does when it fires.
-#[derive(Debug)]
-enum EventKind {
-    /// A message reaches its destination's inbox.
-    Deliver(Envelope),
-    /// A round boundary: every node's timeout fires and it executes the
-    /// given round on whatever has arrived.
-    RoundStart(u32),
-}
-
-/// A scheduled event; the heap orders by `(at, seq)` ascending.
+/// A delivery scheduled out-of-band (unaligned delay); the heap orders by
+/// `(at, seq)` ascending.
 #[derive(Debug)]
 struct QueuedEvent {
     at: u64,
     seq: u64,
-    kind: EventKind,
+    env: Envelope,
 }
 
 impl PartialEq for QueuedEvent {
@@ -516,6 +552,62 @@ impl Ord for QueuedEvent {
     }
 }
 
+/// Destination set of a [`DeliveryRecord`].
+#[derive(Debug, Clone, Copy)]
+enum Dest {
+    /// One destination.
+    One(NodeId),
+    /// Every node of an `n`-node system except `skip` (a compressed
+    /// broadcast — the record stands for `n − 1` logical messages).
+    All { n: usize, skip: NodeId },
+}
+
+impl Dest {
+    /// Number of logical messages this destination set stands for.
+    fn count(self) -> u64 {
+        match self {
+            Dest::One(_) => 1,
+            Dest::All { n, skip } => (n as u64) - u64::from(skip.index() < n),
+        }
+    }
+
+    /// Whether node `i` receives a copy.
+    fn covers(self, me: NodeId) -> bool {
+        match self {
+            Dest::One(to) => to == me,
+            Dest::All { n, skip } => me.index() < n && me != skip,
+        }
+    }
+}
+
+/// One round-aligned delivery parked in the flat ring. A whole broadcast
+/// is one record: the per-receiver [`Envelope`]s are only materialized —
+/// into a reused arena — when the destination round executes.
+#[derive(Debug)]
+struct DeliveryRecord {
+    from: NodeId,
+    /// Round the message was sent in (what [`Envelope::round`] carries and
+    /// what fault plans key on).
+    round: u32,
+    payload: Payload,
+    dest: Dest,
+}
+
+/// Scheduler/arena counters exposed for observability: how delivery
+/// traffic split between the flat ring and the binary-heap fallback, and
+/// the inbox arena's high-water mark.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchedCounters {
+    /// Logical messages scheduled through the flat ring (round-aligned
+    /// delays; broadcasts counted expanded).
+    pub ring_enqueued: u64,
+    /// Messages scheduled through the binary-heap fallback (unaligned
+    /// delays, or everything under the reference scheduler).
+    pub heap_enqueued: u64,
+    /// Peak number of envelopes materialized in the per-node inbox arena.
+    pub arena_hwm: usize,
+}
+
 /// Discrete-event network simulator.
 ///
 /// Drives the same [`Node`] automata as [`crate::SyncNetwork`], but message
@@ -526,13 +618,29 @@ impl Ord for QueuedEvent {
 /// contents, inbox order, statistics — is byte-identical across runs.
 pub struct EventNetwork {
     nodes: Vec<Box<dyn Node>>,
-    queue: BinaryHeap<QueuedEvent>,
-    /// Messages delivered (popped) but not yet consumed by a round.
+    /// Heap fallback for out-of-band deliveries: jittered delays, schedule
+    /// overrides — anything whose arrival tick is not a round boundary.
+    /// Under the reference scheduler it carries *everything*.
+    heap: BinaryHeap<QueuedEvent>,
+    /// The flat delivery ring: one bucket of compressed delivery records
+    /// per upcoming round boundary. `ring[k]` matures at round
+    /// `ring_base + k`. Buckets are in send (= seq) order by construction,
+    /// so maturing a bucket needs no sorting.
+    ring: VecDeque<Vec<DeliveryRecord>>,
+    /// Round index of `ring.front()`.
+    ring_base: u64,
+    /// Heap deliveries popped for the current boundary, filed per node in
+    /// `(deliver_at, seq)` order.
     pending: Vec<Vec<Envelope>>,
-    /// Reorder-faulted messages, appended after `pending` at the boundary.
+    /// Reorder-faulted messages, appended after everything else at the
+    /// boundary.
     pending_reordered: Vec<Vec<Envelope>>,
-    /// Deliver events still in the queue.
-    deliveries_in_flight: usize,
+    /// Logical messages still in flight (ring records counted expanded).
+    in_flight: u64,
+    /// Reused per-node inbox arena: envelopes are materialized into this
+    /// buffer at each boundary and the allocation is recycled across nodes
+    /// and rounds (reset, not freed, at round boundaries).
+    inbox_buf: Vec<Envelope>,
     now: u64,
     seq: u64,
     round: u32,
@@ -551,6 +659,11 @@ pub struct EventNetwork {
     /// Messages handed to the transport so far — the key space of
     /// `delay_overrides` and the index space of `delay_log`.
     sent: u64,
+    /// Force every delivery through the binary heap (the pre-ring
+    /// scheduler). Used by equivalence tests as the reference ordering.
+    reference_scheduler: bool,
+    /// Ring/heap/arena counters; see [`SchedCounters`].
+    sched: SchedCounters,
     /// End-of-round virtual-tick marks, one per executed round. `None`
     /// when observability is off.
     round_marks: Option<Vec<u64>>,
@@ -576,18 +689,15 @@ impl EventNetwork {
             );
         }
         let n = nodes.len();
-        let mut queue = BinaryHeap::new();
-        queue.push(QueuedEvent {
-            at: 0,
-            seq: 0,
-            kind: EventKind::RoundStart(0),
-        });
         EventNetwork {
             nodes,
-            queue,
+            heap: BinaryHeap::new(),
+            ring: VecDeque::new(),
+            ring_base: 0,
             pending: (0..n).map(|_| Vec::new()).collect(),
             pending_reordered: (0..n).map(|_| Vec::new()).collect(),
-            deliveries_in_flight: 0,
+            in_flight: 0,
+            inbox_buf: Vec::new(),
             now: 0,
             seq: 0,
             round: 0,
@@ -599,6 +709,8 @@ impl EventNetwork {
             delay_overrides: Arc::new(HashMap::new()),
             delay_log: None,
             sent: 0,
+            reference_scheduler: false,
+            sched: SchedCounters::default(),
             round_marks: None,
             max_queue_depth: 0,
         }
@@ -677,6 +789,19 @@ impl EventNetwork {
     /// Install a link-fault plan (timing and N1 violations for tests).
     pub fn set_fault_plan(&mut self, plan: FaultPlan) {
         self.faults = plan;
+    }
+
+    /// Force every delivery through the binary heap, disabling the flat
+    /// ring and the compressed-broadcast fast path. The heap scheduler is
+    /// the original `(deliver_at, seq)` reference ordering; equivalence
+    /// tests run it against the hybrid to pin total delivery order.
+    pub fn set_reference_scheduler(&mut self, on: bool) {
+        self.reference_scheduler = on;
+    }
+
+    /// Ring/heap/arena counters accumulated so far.
+    pub fn sched_counters(&self) -> SchedCounters {
+        self.sched
     }
 
     /// Grant *rushing* power to the given (byzantine) nodes — the same
@@ -767,101 +892,283 @@ impl EventNetwork {
         }
     }
 
+    /// Park `record` in the ring bucket for round-boundary `at` (must be a
+    /// multiple of [`TICKS_PER_ROUND`], strictly in the future).
+    fn ring_push(&mut self, at: u64, record: DeliveryRecord) {
+        debug_assert!(at.is_multiple_of(TICKS_PER_ROUND));
+        let idx = (at / TICKS_PER_ROUND - self.ring_base) as usize;
+        if self.ring.len() <= idx {
+            self.ring.resize_with(idx + 1, Vec::new);
+        }
+        self.ring[idx].push(record);
+    }
+
     /// Advance virtual time to the next round boundary and execute it.
     pub fn step(&mut self) {
-        // Drain the queue up to and including the next RoundStart; every
-        // Deliver popped on the way files into a pending inbox in
-        // (deliver_at, seq) order.
-        let round = loop {
-            let ev = self.queue.pop().expect("a RoundStart is always scheduled");
-            self.now = ev.at;
-            match ev.kind {
-                EventKind::Deliver(env) => {
-                    self.deliveries_in_flight -= 1;
-                    self.deliver(env);
-                }
-                EventKind::RoundStart(r) => break r,
-            }
-        };
+        let round = self.round;
+        let boundary = u64::from(round) * TICKS_PER_ROUND;
+        self.now = boundary;
 
-        let n = self.nodes.len();
-        let mut inboxes: Vec<Vec<Envelope>> = (0..n)
-            .map(|i| {
-                let mut inbox = std::mem::take(&mut self.pending[i]);
-                inbox.append(&mut self.pending_reordered[i]);
-                inbox
-            })
-            .collect();
+        // Mature this boundary's ring bucket. Records are already in send
+        // (= seq) order; all of them arrive exactly at the boundary.
+        let bucket: Vec<DeliveryRecord> = if self.ring_base == u64::from(round) {
+            self.ring_base += 1;
+            self.ring.pop_front().unwrap_or_default()
+        } else {
+            Vec::new()
+        };
+        for rec in &bucket {
+            self.in_flight -= rec.dest.count();
+        }
+
+        // Drain heap events due at or before the boundary into the pending
+        // inboxes in (deliver_at, seq) order. In hybrid mode the heap only
+        // holds unaligned deliveries (strictly before the boundary), so
+        // they sort ahead of every bucket record; under the reference
+        // scheduler the heap carries everything, aligned included.
+        while let Some(ev) = self.heap.peek() {
+            if ev.at > boundary {
+                break;
+            }
+            let ev = self.heap.pop().expect("peeked");
+            self.in_flight -= 1;
+            self.deliver(ev.env);
+        }
 
         // Run every node on its inbox, non-rushers first in id order, then
         // rushers (who preview this round's traffic addressed to them).
+        let n = self.nodes.len();
         let order: Vec<usize> = (0..n)
             .filter(|i| !self.rushing.contains(&NodeId(*i as u16)))
             .chain((0..n).filter(|i| self.rushing.contains(&NodeId(*i as u16))))
             .collect();
         let mut sent_this_round: Vec<Envelope> = Vec::new();
         for i in order {
-            let from = NodeId(i as u16);
-            let mut inbox = std::mem::take(&mut inboxes[i]);
-            if self.rushing.contains(&from) {
-                inbox.extend(sent_this_round.iter().filter(|env| env.to == from).cloned());
-            }
-            let mut out = Outbox::new();
-            self.nodes[i].on_round(round, &inbox, &mut out);
-            for (to, payload) in out.into_messages() {
-                if to.index() >= n {
-                    self.stats.dropped_invalid += 1;
-                    continue;
-                }
-                let env = Envelope {
-                    from,
-                    to,
-                    round,
-                    payload,
-                };
-                self.stats.record_send(from, round, env.wire_len());
-                if let Some(trace) = self.trace.as_mut() {
-                    trace.record(&env);
-                }
-                let mut delay = self
-                    .delay_overrides
-                    .get(&self.sent)
-                    .copied()
-                    .unwrap_or_else(|| self.latency.delay(from, to, round))
-                    .max(1);
-                if let Some(log) = self.delay_log.as_mut() {
-                    log.push((round, delay));
-                }
-                self.sent += 1;
-                if let Some(LinkFault::Delay { rounds }) = self.faults.lookup(round, from, to) {
-                    delay += u64::from(rounds) * TICKS_PER_ROUND;
-                }
-                // The preview copy is only needed while a rusher is active.
-                if !self.rushing.is_empty() {
-                    sent_this_round.push(env.clone());
-                }
-                self.seq += 1;
-                self.queue.push(QueuedEvent {
-                    at: self.now + delay,
-                    seq: self.seq,
-                    kind: EventKind::Deliver(env),
-                });
-                self.deliveries_in_flight += 1;
-            }
+            self.run_node(i, round, &bucket, &mut sent_this_round);
         }
 
         self.round = round + 1;
         self.stats.rounds = self.round;
         if let Some(marks) = self.round_marks.as_mut() {
             marks.push(u64::from(self.round) * TICKS_PER_ROUND);
-            self.max_queue_depth = self.max_queue_depth.max(self.deliveries_in_flight);
+            self.max_queue_depth = self.max_queue_depth.max(self.in_flight as usize);
+        }
+    }
+
+    /// Assemble node `i`'s inbox into the arena, run its round, and
+    /// dispatch its outbox.
+    fn run_node(
+        &mut self,
+        i: usize,
+        round: u32,
+        bucket: &[DeliveryRecord],
+        sent_this_round: &mut Vec<Envelope>,
+    ) {
+        let me = NodeId(i as u16);
+        let mut inbox = std::mem::take(&mut self.inbox_buf);
+        inbox.clear();
+        // Heap deliveries first (strictly earlier arrival ticks in hybrid
+        // mode; everything in reference mode)…
+        inbox.append(&mut self.pending[i]);
+        // …then this node's slice of the matured bucket, materialized into
+        // the arena. With no fault plan the envelope is a plain handle
+        // clone; otherwise each member goes through the same per-delivery
+        // fault dispatch as `deliver`.
+        for rec in bucket {
+            if !rec.dest.covers(me) {
+                continue;
+            }
+            let env = Envelope {
+                from: rec.from,
+                to: me,
+                round: rec.round,
+                payload: rec.payload.clone(),
+            };
+            if self.faults.is_empty() {
+                inbox.push(env);
+                continue;
+            }
+            match self.faults.lookup(env.round, env.from, env.to) {
+                Some(LinkFault::Drop) => {}
+                Some(LinkFault::Corrupt { offset, mask }) => {
+                    let mut env = env;
+                    // Copy-on-write: sibling deliveries sharing the buffer
+                    // must not observe the corruption.
+                    if offset < env.payload.len() {
+                        env.payload.make_mut()[offset] ^= mask;
+                    }
+                    inbox.push(env);
+                }
+                Some(LinkFault::Duplicate) => {
+                    inbox.push(env.clone());
+                    inbox.push(env);
+                }
+                Some(LinkFault::Reorder) => self.pending_reordered[i].push(env),
+                // Delay was already applied when the delivery was scheduled.
+                Some(LinkFault::Delay { .. }) | None => inbox.push(env),
+            }
+        }
+        // …then reorder-faulted messages, then a rusher's preview.
+        inbox.append(&mut self.pending_reordered[i]);
+        if self.rushing.contains(&me) {
+            inbox.extend(sent_this_round.iter().filter(|env| env.to == me).cloned());
+        }
+
+        let mut out = Outbox::new();
+        self.nodes[i].on_round(round, &inbox, &mut out);
+        self.sched.arena_hwm = self.sched.arena_hwm.max(inbox.len());
+        inbox.clear();
+        self.inbox_buf = inbox;
+
+        self.dispatch_outbox(me, round, out, sent_this_round);
+    }
+
+    /// Schedule a node's queued sends. Broadcasts ride the compressed
+    /// fast path — one ring record and one batched statistics update for
+    /// `n − 1` logical messages — whenever nothing per-message-observable
+    /// is active; everything else expands through [`EventNetwork::send_one`]
+    /// in exactly the legacy per-message order.
+    fn dispatch_outbox(
+        &mut self,
+        from: NodeId,
+        round: u32,
+        out: Outbox,
+        sent_this_round: &mut Vec<Envelope>,
+    ) {
+        let n = self.nodes.len();
+        // Per-message machinery that the compressed path cannot feed:
+        // faults (per-link lookups), tracing, delay logging/overrides
+        // (send-index keyed), rushing previews, and the reference
+        // scheduler itself.
+        let fast_eligible = !self.reference_scheduler
+            && self.faults.is_empty()
+            && self.trace.is_none()
+            && self.delay_log.is_none()
+            && self.delay_overrides.is_empty()
+            && self.rushing.is_empty();
+        let uniform = if fast_eligible {
+            self.latency
+                .uniform_delay(from, round)
+                .map(|d| d.max(1))
+                .filter(|d| d.is_multiple_of(TICKS_PER_ROUND))
+        } else {
+            None
+        };
+        for op in out.into_ops() {
+            match op {
+                OutOp::Broadcast {
+                    n: bn,
+                    skip,
+                    payload,
+                } if bn == n && uniform.is_some() => {
+                    let d = uniform.expect("guarded");
+                    let count = bn - usize::from(skip.index() < bn);
+                    if count == 0 {
+                        continue;
+                    }
+                    self.stats.record_send_n(
+                        from,
+                        round,
+                        Envelope::wire_len_with(payload.len()),
+                        count,
+                    );
+                    self.sent += count as u64;
+                    self.seq += count as u64;
+                    self.in_flight += count as u64;
+                    self.sched.ring_enqueued += count as u64;
+                    self.ring_push(
+                        self.now + d,
+                        DeliveryRecord {
+                            from,
+                            round,
+                            payload,
+                            dest: Dest::All { n: bn, skip },
+                        },
+                    );
+                }
+                OutOp::Broadcast {
+                    n: bn,
+                    skip,
+                    payload,
+                } => {
+                    for peer in NodeId::all(bn) {
+                        if peer != skip {
+                            self.send_one(from, round, peer, payload.clone(), sent_this_round);
+                        }
+                    }
+                }
+                OutOp::Send(to, payload) => {
+                    self.send_one(from, round, to, payload, sent_this_round);
+                }
+            }
+        }
+    }
+
+    /// Schedule one message exactly as the legacy per-message path did,
+    /// then route it: round-aligned arrivals park in the flat ring,
+    /// anything else (or everything, under the reference scheduler) goes
+    /// through the binary heap.
+    fn send_one(
+        &mut self,
+        from: NodeId,
+        round: u32,
+        to: NodeId,
+        payload: Payload,
+        sent_this_round: &mut Vec<Envelope>,
+    ) {
+        if to.index() >= self.nodes.len() {
+            self.stats.dropped_invalid += 1;
+            return;
+        }
+        let env = Envelope {
+            from,
+            to,
+            round,
+            payload,
+        };
+        self.stats.record_send(from, round, env.wire_len());
+        if let Some(trace) = self.trace.as_mut() {
+            trace.record(&env);
+        }
+        let mut delay = self
+            .delay_overrides
+            .get(&self.sent)
+            .copied()
+            .unwrap_or_else(|| self.latency.delay(from, to, round))
+            .max(1);
+        if let Some(log) = self.delay_log.as_mut() {
+            log.push((round, delay));
+        }
+        self.sent += 1;
+        if let Some(LinkFault::Delay { rounds }) = self.faults.lookup(round, from, to) {
+            delay += u64::from(rounds) * TICKS_PER_ROUND;
+        }
+        // The preview copy is only needed while a rusher is active.
+        if !self.rushing.is_empty() {
+            sent_this_round.push(env.clone());
         }
         self.seq += 1;
-        self.queue.push(QueuedEvent {
-            at: u64::from(self.round) * TICKS_PER_ROUND,
-            seq: self.seq,
-            kind: EventKind::RoundStart(self.round),
-        });
+        self.in_flight += 1;
+        let at = self.now + delay;
+        if !self.reference_scheduler && at.is_multiple_of(TICKS_PER_ROUND) {
+            self.sched.ring_enqueued += 1;
+            self.ring_push(
+                at,
+                DeliveryRecord {
+                    from,
+                    round,
+                    payload: env.payload,
+                    dest: Dest::One(to),
+                },
+            );
+        } else {
+            self.sched.heap_enqueued += 1;
+            self.heap.push(QueuedEvent {
+                at,
+                seq: self.seq,
+                env,
+            });
+        }
     }
 
     /// Run until every node is done and no message is in flight (checked
@@ -871,7 +1178,7 @@ impl EventNetwork {
         while self.round < max_rounds {
             self.step();
             if self.all_done()
-                && self.deliveries_in_flight == 0
+                && self.in_flight == 0
                 && self.pending.iter().all(Vec::is_empty)
                 && self.pending_reordered.iter().all(Vec::is_empty)
             {
@@ -888,7 +1195,7 @@ impl core::fmt::Debug for EventNetwork {
             .field("n", &self.nodes.len())
             .field("round", &self.round)
             .field("now", &self.now)
-            .field("in_flight", &self.deliveries_in_flight)
+            .field("in_flight", &self.in_flight)
             .field("latency", &self.latency.name())
             .finish()
     }
@@ -1381,6 +1688,137 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn hybrid_scheduler_matches_reference_heap_exactly() {
+        // Same automata, same latency, same faults — one run on the
+        // ring+heap hybrid, one forced entirely through the heap. The
+        // total delivery order (per node, per round, per sender) and the
+        // statistics must be identical.
+        let model = |k: usize| -> Box<dyn LatencyModel> {
+            match k {
+                0 => Box::new(Synchronous),
+                1 => Box::new(FixedDelay { rounds: 2 }),
+                2 => Box::new(SeededJitter { seed: 7, extra: 2 }),
+                3 => Box::new(PartialSynchrony {
+                    gst: 2,
+                    extra: 3,
+                    seed: 13,
+                }),
+                _ => Box::new(Synchronous),
+            }
+        };
+        let faulty = FaultPlan::new()
+            .with(0, NodeId(0), NodeId(1), LinkFault::Reorder)
+            .with(0, NodeId(2), NodeId(3), LinkFault::Duplicate)
+            .with(0, NodeId(4), NodeId(0), LinkFault::Delay { rounds: 2 });
+        for k in 0..5usize {
+            let plan = if k == 4 {
+                faulty.clone()
+            } else {
+                FaultPlan::new()
+            };
+            let run = |reference: bool| {
+                let mut net = EventNetwork::new(echo_nodes(6));
+                net.set_reference_scheduler(reference);
+                net.set_latency(model(k));
+                net.set_fault_plan(plan.clone());
+                net.run_until_done(20);
+                (net.stats().clone(), net.sched_counters(), seen(net))
+            };
+            let (fast_stats, fast_sched, fast_seen) = run(false);
+            let (ref_stats, ref_sched, ref_seen) = run(true);
+            assert_eq!(fast_stats, ref_stats, "scenario {k}: stats diverged");
+            assert_eq!(fast_seen, ref_seen, "scenario {k}: delivery order diverged");
+            // The reference run schedules everything through the heap.
+            assert_eq!(ref_sched.ring_enqueued, 0, "scenario {k}");
+            assert_eq!(
+                ref_sched.heap_enqueued,
+                fast_sched.ring_enqueued + fast_sched.heap_enqueued,
+                "scenario {k}: hybrid lost or invented messages"
+            );
+        }
+    }
+
+    #[test]
+    fn sched_counters_split_ring_and_heap_traffic() {
+        // Pure synchrony: every delivery is round-aligned → all ring.
+        let mut net = EventNetwork::new(echo_nodes(4));
+        net.run_until_done(6);
+        let sched = net.sched_counters();
+        assert_eq!(sched.ring_enqueued, 12);
+        assert_eq!(sched.heap_enqueued, 0);
+        // Each node materializes 3 envelopes in round 1.
+        assert_eq!(sched.arena_hwm, 3);
+
+        // Jitter: unaligned delays fall back to the heap.
+        let mut net = EventNetwork::new(echo_nodes(4));
+        net.set_latency(Box::new(SeededJitter { seed: 3, extra: 2 }));
+        net.run_until_done(12);
+        let sched = net.sched_counters();
+        assert_eq!(sched.ring_enqueued + sched.heap_enqueued, 12);
+        assert!(
+            sched.heap_enqueued > 0,
+            "extra=2 jitter produced no unaligned delay"
+        );
+
+        // Reference mode: everything through the heap, even under synchrony.
+        let mut net = EventNetwork::new(echo_nodes(4));
+        net.set_reference_scheduler(true);
+        net.run_until_done(6);
+        let sched = net.sched_counters();
+        assert_eq!(sched.ring_enqueued, 0);
+        assert_eq!(sched.heap_enqueued, 12);
+    }
+
+    #[test]
+    fn broadcast_fast_path_keeps_stats_and_order() {
+        // A broadcast under synchrony travels compressed; the observable
+        // surface (stats, per-node inboxes) must match the expanded form
+        // byte for byte. Compare against SyncNetwork, the original oracle.
+        let mut sync = SyncNetwork::new(echo_nodes(8));
+        sync.run_until_done(10);
+        let mut event = EventNetwork::new(echo_nodes(8));
+        event.run_until_done(10);
+        assert_eq!(sync.stats(), event.stats());
+        // All 56 sends rode the ring as compressed broadcasts.
+        assert_eq!(event.sched_counters().ring_enqueued, 56);
+        assert_eq!(event.sched_counters().heap_enqueued, 0);
+        let sync_seen: Vec<_> = sync
+            .into_nodes()
+            .into_iter()
+            .map(|b| {
+                b.into_any()
+                    .downcast::<Echo>()
+                    .unwrap()
+                    .seen
+                    .iter()
+                    .map(|(_, f, p)| (*f, p.clone()))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        let event_seen: Vec<_> = seen(event)
+            .into_iter()
+            .map(|s| s.into_iter().map(|(_, f, p)| (f, p)).collect::<Vec<_>>())
+            .collect();
+        assert_eq!(sync_seen, event_seen);
+    }
+
+    #[test]
+    fn fast_path_disengages_per_observable_feature() {
+        // Per-message-observable features force the expanded path; the
+        // witness is one trace record / log entry per *logical* message,
+        // which a compressed broadcast could not produce.
+        let mut net = EventNetwork::new(echo_nodes(3));
+        net.enable_trace(16);
+        net.run_until_done(6);
+        assert_eq!(net.trace().unwrap().events().len(), 6);
+
+        let mut net = EventNetwork::new(echo_nodes(3));
+        net.enable_delay_log();
+        net.run_until_done(6);
+        assert_eq!(net.delay_log().unwrap().len(), 6);
     }
 
     #[test]

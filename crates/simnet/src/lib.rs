@@ -74,7 +74,9 @@ mod trace;
 pub mod transport;
 
 pub use envelope::Envelope;
-pub use event::{DelayOverrides, Engine, EventNetwork, LatencyModel, LatencySpec, LinkLatencySpec};
+pub use event::{
+    DelayOverrides, Engine, EventNetwork, LatencyModel, LatencySpec, LinkLatencySpec, SchedCounters,
+};
 pub use id::NodeId;
 pub use network::SyncNetwork;
 pub use node::{Node, Outbox};

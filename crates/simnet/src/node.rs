@@ -3,10 +3,30 @@
 use crate::{Envelope, NodeId, Payload};
 use std::any::Any;
 
+/// One queued send operation. Broadcasts stay *compressed* — one op with a
+/// shared payload handle instead of `n − 1` expanded messages — so a
+/// transport that understands fan-out (the event engine's ring scheduler)
+/// can move a whole broadcast as a single delivery record. Transports that
+/// want the flat per-message view call [`Outbox::into_messages`], which
+/// expands ops in exactly the order the legacy per-message outbox produced.
+#[derive(Debug, Clone)]
+pub(crate) enum OutOp {
+    /// A single message to one destination.
+    Send(NodeId, Payload),
+    /// A shared payload for every node of an `n`-node system except `skip`.
+    Broadcast {
+        n: usize,
+        skip: NodeId,
+        payload: Payload,
+    },
+}
+
 /// Messages queued by a node during one round.
 #[derive(Debug, Default)]
 pub struct Outbox {
-    msgs: Vec<(NodeId, Payload)>,
+    ops: Vec<OutOp>,
+    /// Expanded message count across all ops.
+    count: usize,
 }
 
 impl Outbox {
@@ -17,7 +37,8 @@ impl Outbox {
 
     /// Queue `payload` for delivery to `to` at the start of the next round.
     pub fn send(&mut self, to: NodeId, payload: impl Into<Payload>) {
-        self.msgs.push((to, payload.into()));
+        self.ops.push(OutOp::Send(to, payload.into()));
+        self.count += 1;
     }
 
     /// Queue `payload` for every node of an `n`-node system except `me`.
@@ -25,29 +46,51 @@ impl Outbox {
     /// The bytes are shared: one [`Payload`] buffer is created and every
     /// recipient's queued message is a handle to it, so an `n`-way
     /// broadcast costs one allocation instead of `n − 1` copies (pass an
-    /// owned `Vec<u8>` to avoid even the initial copy).
+    /// owned `Vec<u8>` to avoid even the initial copy). The op itself also
+    /// stays compressed until a transport expands it.
     pub fn broadcast(&mut self, n: usize, me: NodeId, payload: impl Into<Payload>) {
-        let shared = payload.into();
-        for peer in NodeId::all(n) {
-            if peer != me {
-                self.msgs.push((peer, shared.clone()));
-            }
-        }
+        self.count += n - usize::from(me.index() < n);
+        self.ops.push(OutOp::Broadcast {
+            n,
+            skip: me,
+            payload: payload.into(),
+        });
     }
 
-    /// Number of queued messages.
+    /// Number of queued messages (broadcasts counted expanded).
     pub fn len(&self) -> usize {
-        self.msgs.len()
+        self.count
     }
 
     /// `true` if nothing was queued.
     pub fn is_empty(&self) -> bool {
-        self.msgs.is_empty()
+        self.count == 0
     }
 
-    /// Drain the queued messages (transport-internal).
+    /// Drain the queued messages (transport-internal). Broadcast ops expand
+    /// to `(peer, payload)` pairs in ascending peer order, skipping the
+    /// sender — the exact order the per-message outbox used to produce.
     pub fn into_messages(self) -> Vec<(NodeId, Payload)> {
-        self.msgs
+        let mut msgs = Vec::with_capacity(self.count);
+        for op in self.ops {
+            match op {
+                OutOp::Send(to, payload) => msgs.push((to, payload)),
+                OutOp::Broadcast { n, skip, payload } => {
+                    for peer in NodeId::all(n) {
+                        if peer != skip {
+                            msgs.push((peer, payload.clone()));
+                        }
+                    }
+                }
+            }
+        }
+        msgs
+    }
+
+    /// Drain the raw ops (event-engine-internal; keeps broadcasts
+    /// compressed).
+    pub(crate) fn into_ops(self) -> Vec<OutOp> {
+        self.ops
     }
 }
 
@@ -106,7 +149,28 @@ mod tests {
     fn broadcast_skips_self() {
         let mut out = Outbox::new();
         out.broadcast(4, NodeId(2), b"x");
+        assert_eq!(out.len(), 3);
         let targets: Vec<NodeId> = out.into_messages().into_iter().map(|(to, _)| to).collect();
         assert_eq!(targets, vec![NodeId(0), NodeId(1), NodeId(3)]);
+    }
+
+    #[test]
+    fn broadcast_from_outside_the_system_reaches_everyone() {
+        // An out-of-range `me` never matches a peer, so all `n` expand.
+        let mut out = Outbox::new();
+        out.broadcast(3, NodeId(9), b"x");
+        assert_eq!(out.len(), 3);
+        assert_eq!(out.into_messages().len(), 3);
+    }
+
+    #[test]
+    fn mixed_ops_expand_in_queue_order() {
+        let mut out = Outbox::new();
+        out.send(NodeId(3), vec![7]);
+        out.broadcast(3, NodeId(0), vec![8]);
+        out.send(NodeId(0), vec![9]);
+        assert_eq!(out.len(), 4);
+        let targets: Vec<NodeId> = out.into_messages().into_iter().map(|(to, _)| to).collect();
+        assert_eq!(targets, vec![NodeId(3), NodeId(1), NodeId(2), NodeId(0)]);
     }
 }

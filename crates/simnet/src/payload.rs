@@ -100,6 +100,26 @@ impl Payload {
         Arc::strong_count(&self.buf)
     }
 
+    /// Identity of the backing allocation and visible window, as raw
+    /// `(buffer address, offset, length)` words.
+    ///
+    /// Two payloads with equal idents are guaranteed to expose the same
+    /// bytes **while both handles are alive** — the address cannot be
+    /// recycled under a live `Arc`. This is the cheap cohort-equality test
+    /// behind batched verification: a broadcast hands the same buffer to
+    /// `n − 1` receivers, so an ident match replaces an `O(len)` byte
+    /// compare (or hash) with three word compares. The ident says nothing
+    /// across allocations: equal *bytes* in different buffers get
+    /// different idents, which is always safe (a cache keyed by ident
+    /// re-verifies instead of sharing).
+    pub fn ident(&self) -> (usize, usize, usize) {
+        (
+            Arc::as_ptr(&self.buf) as *const u8 as usize,
+            self.off,
+            self.len,
+        )
+    }
+
     /// Whether two payloads share the same underlying buffer (regardless
     /// of their windows).
     pub fn shares_buffer_with(&self, other: &Payload) -> bool {

@@ -46,6 +46,29 @@ impl NetStats {
         }
     }
 
+    /// Record `count` sent messages sharing one sender, round, and wire
+    /// size — the batched form [`record_send`](NetStats::record_send) for a
+    /// compressed broadcast. Final counters are identical to calling
+    /// `record_send` `count` times.
+    pub(crate) fn record_send_n(
+        &mut self,
+        from: NodeId,
+        round: u32,
+        wire_len: usize,
+        count: usize,
+    ) {
+        self.messages_total += count;
+        self.bytes_total += wire_len * count;
+        let r = round as usize;
+        if self.per_round.len() <= r {
+            self.per_round.resize(r + 1, 0);
+        }
+        self.per_round[r] += count;
+        if let Some(slot) = self.sent_by.get_mut(from.index()) {
+            *slot += count;
+        }
+    }
+
     /// Merge another run's statistics into this one (for cumulative
     /// amortization accounting, experiment F1).
     pub fn absorb(&mut self, other: &NetStats) {
@@ -92,6 +115,17 @@ mod tests {
         assert_eq!(a.messages_total, 2);
         assert_eq!(a.bytes_total, 12);
         assert_eq!(a.sent_by, vec![1, 1]);
+    }
+
+    #[test]
+    fn record_send_n_matches_n_single_records() {
+        let mut batched = NetStats::new(3);
+        batched.record_send_n(NodeId(1), 2, 10, 4);
+        let mut single = NetStats::new(3);
+        for _ in 0..4 {
+            single.record_send(NodeId(1), 2, 10);
+        }
+        assert_eq!(batched, single);
     }
 
     #[test]

@@ -1,11 +1,12 @@
 #!/usr/bin/env bash
 # Compare a fresh `lafd bench` run against the committed baseline
-# (BENCH_5.json).
+# (BENCH_8.json).
 #
 # Usage: check-bench-regression.sh CURRENT.json [BASELINE.json]
 #
 # Cells are matched by (protocol, n, engine); cells present in only one
-# file are ignored (a --quick run checks only the sizes it ran). Two kinds
+# file are ignored (a --quick run checks only the sizes it ran — in
+# particular the n = 16384 cell is a local full-run concern). Two kinds
 # of checks:
 #
 #   * deterministic counters (messages, bytes, comm_rounds, key_allocs)
@@ -14,6 +15,12 @@
 #   * wall_us may drift within ±BENCH_WALL_TOLERANCE_PCT percent
 #     (default 20). Wall time is hardware-dependent, so CI may want a
 #     looser bound than a like-for-like local rerun.
+#
+# BENCH_REQUIRE_N (comma-separated n values) additionally *gates* sizes:
+# the check fails unless every listed size was present in CURRENT.json
+# and compared against a baseline counterpart. CI's large-cell job uses
+# it to keep the PR8 n = 8192 Dolev–Strong cell from being skipped
+# silently.
 set -euo pipefail
 
 usage() {
@@ -21,7 +28,7 @@ usage() {
 usage: check-bench-regression.sh CURRENT.json [BASELINE.json]
 
 Compare a fresh `lafd bench` run against a committed baseline
-(default: BENCH_5.json). Cells are matched by (protocol, n, engine).
+(default: BENCH_8.json). Cells are matched by (protocol, n, engine).
 
 Checks:
   * deterministic counters (messages, bytes, comm_rounds, key_allocs)
@@ -38,6 +45,11 @@ Environment:
                              committed baseline's hardware. Counter checks
                              are unaffected — they stay exact at any
                              tolerance.
+  BENCH_REQUIRE_N            Comma-separated n values that MUST appear in
+                             CURRENT.json and be compared against the
+                             baseline; missing ones fail the check. Unset
+                             by default, so quick runs naturally skip the
+                             large cells (n = 16384 in particular).
 
 Exit status: 0 all checks passed, 1 a check failed, 2 usage/input error.
 EOF
@@ -49,8 +61,9 @@ if [[ "${1:-}" == "-h" || "${1:-}" == "--help" ]]; then
 fi
 
 current="${1:?usage: check-bench-regression.sh CURRENT.json [BASELINE.json] (--help for details)}"
-baseline="${2:-BENCH_5.json}"
+baseline="${2:-BENCH_8.json}"
 tolerance="${BENCH_WALL_TOLERANCE_PCT:-20}"
+require_n="${BENCH_REQUIRE_N:-}"
 
 for f in "$current" "$baseline"; do
     [[ -f "$f" ]] || { echo "error: $f not found" >&2; exit 2; }
@@ -112,5 +125,23 @@ if [[ "$compared" -eq 0 ]]; then
     echo "error: no comparable cells between $current and $baseline" >&2
     exit 2
 fi
+
+# Required-size gate: every size in BENCH_REQUIRE_N must have produced at
+# least one compared cell, or the run silently skipped a gated size.
+if [[ -n "$require_n" ]]; then
+    IFS=, read -ra required <<<"$require_n"
+    for rn in "${required[@]}"; do
+        if ! flatten "$current" | awk -v n="$rn" '$2 == n { found = 1 } END { exit !found }'; then
+            echo "FAIL required size n=$rn missing from $current (BENCH_REQUIRE_N=$require_n)" >&2
+            fail=1
+        elif ! flatten "$baseline" | awk -v n="$rn" '$2 == n { found = 1 } END { exit !found }'; then
+            echo "FAIL required size n=$rn has no baseline counterpart in $baseline" >&2
+            fail=1
+        else
+            echo "ok   required size n=$rn present and compared"
+        fi
+    done
+fi
+
 echo "bench regression check: $compared cells compared against $baseline ($skipped skipped)"
 exit "$fail"

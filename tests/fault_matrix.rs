@@ -120,6 +120,146 @@ fn faults_on_the_used_link_are_discovered() {
     }
 }
 
+/// Copy-on-write wall for the arena-allocated delivery path (PR8): a
+/// broadcast travels as *one* shared payload buffer — compressed in the
+/// event engine's flat delivery ring, handle-cloned per receiver when the
+/// round matures — so a link fault that mutates bytes must copy, never
+/// write through. Each fault kind is checked on both engines: the faulted
+/// link observes the fault, every sibling delivery of the same broadcast
+/// observes the original bytes.
+#[test]
+fn link_faults_keep_copy_on_write_on_shared_broadcast_payloads() {
+    use local_auth_fd::simnet::{Envelope, EventNetwork, Node, NodeId, Outbox, SyncNetwork};
+    use std::any::Any;
+
+    const PAYLOAD: &[u8] = b"cow-wall";
+
+    /// Node 0 broadcasts one shared payload in round 0; everyone records
+    /// every delivery verbatim.
+    struct Probe {
+        id: NodeId,
+        n: usize,
+        seen: Vec<(u32, NodeId, Vec<u8>)>,
+    }
+    impl Node for Probe {
+        fn id(&self) -> NodeId {
+            self.id
+        }
+        fn on_round(&mut self, round: u32, inbox: &[Envelope], out: &mut Outbox) {
+            if round == 0 && self.id == NodeId(0) {
+                out.broadcast(self.n, self.id, PAYLOAD.to_vec());
+            }
+            for env in inbox {
+                self.seen.push((round, env.from, env.payload.to_vec()));
+            }
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+        fn into_any(self: Box<Self>) -> Box<dyn Any> {
+            self
+        }
+    }
+
+    let n = 6usize;
+    let nodes = || -> Vec<Box<dyn Node>> {
+        (0..n)
+            .map(|i| {
+                Box::new(Probe {
+                    id: NodeId(i as u16),
+                    n,
+                    seen: Vec::new(),
+                }) as Box<dyn Node>
+            })
+            .collect()
+    };
+    let run = |engine: Engine, fault: LinkFault| -> Vec<Vec<(u32, NodeId, Vec<u8>)>> {
+        // The fault hits only the 0 → 1 link of the round-0 broadcast.
+        let plan = FaultPlan::new().with(0, NodeId(0), NodeId(1), fault);
+        let boxed = match engine {
+            Engine::Sync => {
+                let mut net = SyncNetwork::new(nodes());
+                net.set_fault_plan(plan);
+                for _ in 0..5 {
+                    net.step();
+                }
+                net.into_nodes()
+            }
+            Engine::Event => {
+                let mut net = EventNetwork::new(nodes());
+                net.set_fault_plan(plan);
+                for _ in 0..5 {
+                    net.step();
+                }
+                net.into_nodes()
+            }
+        };
+        boxed
+            .into_iter()
+            .map(|b| b.into_any().downcast::<Probe>().unwrap().seen)
+            .collect()
+    };
+
+    for engine in [Engine::Sync, Engine::Event] {
+        // Corrupt: P1 sees the flipped byte, every sibling the original.
+        let seen = run(
+            engine,
+            LinkFault::Corrupt {
+                offset: 0,
+                mask: 0xff,
+            },
+        );
+        let mut corrupted = PAYLOAD.to_vec();
+        corrupted[0] ^= 0xff;
+        assert_eq!(
+            seen[1],
+            vec![(1, NodeId(0), corrupted)],
+            "{engine}: fault did not bite"
+        );
+        for (i, node) in seen.iter().enumerate().skip(2) {
+            assert_eq!(
+                node,
+                &vec![(1, NodeId(0), PAYLOAD.to_vec())],
+                "{engine}: corruption leaked into P{i}'s shared buffer"
+            );
+        }
+
+        // Duplicate: two bit-exact copies at P1, one everywhere else.
+        let seen = run(engine, LinkFault::Duplicate);
+        assert_eq!(seen[1].len(), 2, "{engine}");
+        for (i, node) in seen.iter().enumerate().skip(1) {
+            for (_, from, bytes) in node {
+                assert_eq!((*from, &bytes[..]), (NodeId(0), PAYLOAD), "{engine} P{i}");
+            }
+        }
+
+        // Reorder: P1's copy is re-filed after everything else at the
+        // boundary, bytes untouched; siblings unaffected.
+        let seen = run(engine, LinkFault::Reorder);
+        assert_eq!(seen[1], vec![(1, NodeId(0), PAYLOAD.to_vec())], "{engine}");
+        for node in seen.iter().skip(2) {
+            assert_eq!(node, &vec![(1, NodeId(0), PAYLOAD.to_vec())], "{engine}");
+        }
+
+        // Delay: P1's copy lands a round late, bytes untouched; siblings
+        // deliver on time from the same shared buffer.
+        let seen = run(engine, LinkFault::Delay { rounds: 2 });
+        let late_round = seen[1][0].0;
+        assert!(late_round > 1, "{engine}: delay fault did not delay");
+        assert_eq!(
+            seen[1],
+            vec![(late_round, NodeId(0), PAYLOAD.to_vec())],
+            "{engine}"
+        );
+        for node in seen.iter().skip(2) {
+            assert_eq!(node, &vec![(1, NodeId(0), PAYLOAD.to_vec())], "{engine}");
+        }
+    }
+}
+
 /// The two new timing faults ride the same contract.
 #[test]
 fn delay_and_reorder_faults_never_cause_silent_disagreement() {

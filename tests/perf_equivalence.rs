@@ -138,6 +138,42 @@ fn observability_never_changes_report_bytes_across_cells() {
 }
 
 #[test]
+fn ds_fast_path_matches_unbatched_reference_at_scale() {
+    // The PR8 flattening guard at protocol scale: the Dolev–Strong hot
+    // path (compressed broadcasts through the flat delivery ring, cohort
+    // signature batching in the verify cache) against a deliberately
+    // unbatched reference — every delivery forced through the binary
+    // heap, cohort verdicts disabled so every envelope is validated
+    // individually. Reports must be byte-identical.
+    use local_auth_fd::core::keys::VerifyCache;
+    for n in [256usize, 1024] {
+        let t = 1usize;
+        let spec = RunSpec::new(Protocol::DolevStrong, b"ds-eq".to_vec())
+            .with_default_value(b"ds-default".to_vec());
+        let fast = cluster(n, t, Engine::Event);
+        let kd = fast.dealer_keydist();
+        let fast_run = fast.run_with_keys(&spec, Some(&kd));
+        let reference = cluster(n, t, Engine::Event)
+            .with_reference_scheduler(true)
+            .with_verify_cache(VerifyCache::new().without_cohorts());
+        let ref_run = reference.run_with_keys(&spec, Some(&kd));
+        assert_eq!(
+            fast_run.to_json(),
+            ref_run.to_json(),
+            "n={n}: fast path changed the report"
+        );
+        assert_eq!(fast_run.grades, ref_run.grades, "n={n}");
+        assert_eq!(fast_run.outcomes, ref_run.outcomes, "n={n}");
+        assert!(fast_run.all_decided(b"ds-eq"), "n={n}");
+        assert_eq!(
+            fast_run.stats.messages_total,
+            local_auth_fd::core::metrics::dolev_strong_messages(n),
+            "n={n}"
+        );
+    }
+}
+
+#[test]
 fn key_free_protocols_unaffected_by_key_sharing_machinery() {
     for engine in [Engine::Sync, Engine::Event] {
         for protocol in [Protocol::NonAuthFd, Protocol::PhaseKing] {
