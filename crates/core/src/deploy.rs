@@ -1,0 +1,889 @@
+//! The deployment layer: multi-process agreement runs over a discovery
+//! registry and the non-blocking socket mesh.
+//!
+//! Everything below `lafd cluster` lives here:
+//!
+//! * [`Registry`] — a small TCP discovery service speaking the framed
+//!   [`crate::wire`] registry dialect: workers register `(node, addr)`,
+//!   block
+//!   until the full roster is known (the barrier that opens a run), pass
+//!   phase barriers between key distribution and the protocol, and
+//!   deposit a [`WorkerSummary`] at teardown. One registry serves many
+//!   runs, keyed by run id.
+//! * [`registry_call`] — the one-shot framed client used by workers and
+//!   the orchestrator (one request, one reply, one connection).
+//! * [`run_worker`] — the whole life of one worker process: build the
+//!   [`Cluster`] from a wire request, register, mesh up
+//!   ([`MeshPeers`]/[`NonblockingMesh`]), run the key distribution and
+//!   then the protocol as two mesh phases separated by a registry
+//!   barrier, and tear down with a summary. Any transport or registry
+//!   failure is returned as an error — the CLI maps it to a nonzero exit
+//!   code, so a lost or hung peer is always loud.
+//! * [`assemble_report`] — fold the `n` deposited summaries back into
+//!   the standard [`FdRunReport`]. Because the mesh reproduces the sync
+//!   engine's delivery order and early-termination rule exactly, the
+//!   assembled report's counters are **byte-identical** to
+//!   [`Cluster::run`] for the same spec and seed (the cluster
+//!   cross-validation tests compare `to_json()` output directly).
+//!
+//! Phase discipline mirrors [`Cluster::run`]: key distribution always
+//! runs synchronously (paper §3), then the protocol phase runs with the
+//! spec's adversary substitution. A non-synchronous latency spec becomes
+//! a wall-clock [`DelayShim`] on the protocol-phase links — virtual-tick
+//! delays scaled to real time — which stretches socket timing without
+//! changing the round structure, so counters stay comparable.
+
+use crate::localauth::{KeyDistNode, KEYDIST_ROUNDS};
+use crate::runner::{Cluster, FdRunReport, KeyDistReport};
+use crate::spec::{Protocol, RunSpec, SpecBuilder};
+use crate::wire::{
+    registry_reply_from_json, registry_reply_to_json, registry_request_from_json,
+    registry_request_to_json, RegistryReply, RegistryRequest, WorkerSummary,
+};
+use crate::{ba, fd, keys};
+use fd_simnet::transport::{DelayShim, MeshPeers, MeshRun, NonblockingMesh};
+use fd_simnet::{LatencySpec, NetStats, Node, NodeId};
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// Upper bound on a single registry frame (a roster or summary set for
+/// any plausible `n` is far below this).
+const MAX_FRAME: usize = 16 * 1024 * 1024;
+
+// ---------------------------------------------------------------------
+// Framing
+// ---------------------------------------------------------------------
+
+/// Write one length-prefixed frame (4-byte big-endian length + body).
+pub fn send_frame(stream: &mut TcpStream, body: &[u8]) -> std::io::Result<()> {
+    let len = u32::try_from(body.len())
+        .map_err(|_| std::io::Error::new(std::io::ErrorKind::InvalidInput, "frame too large"))?;
+    stream.write_all(&len.to_be_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+/// Read one length-prefixed frame.
+pub fn recv_frame(stream: &mut TcpStream) -> std::io::Result<Vec<u8>> {
+    let mut len_buf = [0u8; 4];
+    stream.read_exact(&mut len_buf)?;
+    let len = u32::from_be_bytes(len_buf) as usize;
+    if len > MAX_FRAME {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds the {MAX_FRAME}-byte cap"),
+        ));
+    }
+    let mut body = vec![0u8; len];
+    stream.read_exact(&mut body)?;
+    Ok(body)
+}
+
+/// One registry round trip: connect, send the request, await the reply.
+/// `timeout` bounds the whole exchange (connect, write, and the blocking
+/// wait a register/barrier request implies).
+pub fn registry_call(
+    addr: &str,
+    request: &RegistryRequest,
+    timeout: Duration,
+) -> Result<RegistryReply, String> {
+    let sock: SocketAddr = addr
+        .parse()
+        .map_err(|e| format!("registry address {addr:?}: {e}"))?;
+    let mut stream = TcpStream::connect_timeout(&sock, timeout)
+        .map_err(|e| format!("connect registry {addr}: {e}"))?;
+    stream
+        .set_read_timeout(Some(timeout))
+        .and_then(|()| stream.set_write_timeout(Some(timeout)))
+        .map_err(|e| format!("registry socket setup: {e}"))?;
+    send_frame(&mut stream, registry_request_to_json(request).as_bytes())
+        .map_err(|e| format!("send to registry: {e}"))?;
+    let body = recv_frame(&mut stream).map_err(|e| format!("registry reply: {e}"))?;
+    let text = String::from_utf8(body).map_err(|e| format!("registry reply: {e}"))?;
+    match registry_reply_from_json(&text)? {
+        RegistryReply::Error { error } => Err(format!("registry: {error}")),
+        reply => Ok(reply),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Registry service
+// ---------------------------------------------------------------------
+
+#[derive(Default)]
+struct RunState {
+    roster: BTreeMap<usize, String>,
+    barriers: HashMap<String, HashSet<usize>>,
+    summaries: Vec<WorkerSummary>,
+}
+
+struct RegistryState {
+    runs: Mutex<HashMap<String, RunState>>,
+    changed: Condvar,
+}
+
+/// The discovery registry behind `lafd registry`: a threaded TCP service
+/// answering one framed [`RegistryRequest`] per connection. Register and
+/// barrier requests block (bounded by [`Registry::with_wait_limit`])
+/// until the rest of the run arrives, which is what makes them barriers.
+pub struct Registry {
+    listener: TcpListener,
+    state: Arc<RegistryState>,
+    wait_limit: Duration,
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Registry")
+            .field("addr", &self.listener.local_addr().ok())
+            .field("wait_limit", &self.wait_limit)
+            .finish()
+    }
+}
+
+impl Registry {
+    /// Bind the registry (use port 0 for an ephemeral port).
+    pub fn bind(addr: &str) -> std::io::Result<Registry> {
+        Ok(Registry {
+            listener: TcpListener::bind(addr)?,
+            state: Arc::new(RegistryState {
+                runs: Mutex::new(HashMap::new()),
+                changed: Condvar::new(),
+            }),
+            wait_limit: Duration::from_secs(120),
+        })
+    }
+
+    /// The bound address (workers connect here).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the listener has no local address (cannot happen for a
+    /// successfully bound socket).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.listener.local_addr().expect("bound listener")
+    }
+
+    /// Bound the blocking wait of register/barrier requests; expiry
+    /// answers with a registry error instead of holding the connection
+    /// forever.
+    #[must_use]
+    pub fn with_wait_limit(mut self, wait_limit: Duration) -> Self {
+        self.wait_limit = wait_limit;
+        self
+    }
+
+    /// Accept and serve connections forever (one thread per connection —
+    /// registry traffic is a handful of exchanges per worker per run).
+    pub fn serve(&self) -> std::io::Result<()> {
+        loop {
+            let (stream, _) = self.listener.accept()?;
+            let state = Arc::clone(&self.state);
+            let wait_limit = self.wait_limit;
+            std::thread::spawn(move || handle_connection(stream, &state, wait_limit));
+        }
+    }
+
+    /// Serve exactly `count` connections, then return (test harness).
+    pub fn serve_connections(&self, count: usize) -> std::io::Result<()> {
+        let mut handles = Vec::with_capacity(count);
+        for _ in 0..count {
+            let (stream, _) = self.listener.accept()?;
+            let state = Arc::clone(&self.state);
+            let wait_limit = self.wait_limit;
+            handles.push(std::thread::spawn(move || {
+                handle_connection(stream, &state, wait_limit)
+            }));
+        }
+        for handle in handles {
+            let _ = handle.join();
+        }
+        Ok(())
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, state: &RegistryState, wait_limit: Duration) {
+    // A worker that never completes its request frame must not pin the
+    // handler thread forever.
+    let _ = stream.set_read_timeout(Some(wait_limit));
+    let reply = match recv_frame(&mut stream)
+        .map_err(|e| format!("receive request: {e}"))
+        .and_then(|body| String::from_utf8(body).map_err(|e| format!("request not utf-8: {e}")))
+        .and_then(|text| registry_request_from_json(&text))
+    {
+        Ok(request) => answer(request, state, wait_limit),
+        Err(error) => RegistryReply::Error { error },
+    };
+    let _ = send_frame(&mut stream, registry_reply_to_json(&reply).as_bytes());
+}
+
+fn answer(request: RegistryRequest, state: &RegistryState, wait_limit: Duration) -> RegistryReply {
+    let error = |error: String| RegistryReply::Error { error };
+    match request {
+        RegistryRequest::Register { run, node, n, addr } => {
+            let mut runs = state.runs.lock().expect("registry lock");
+            let slot = runs.entry(run.clone()).or_default();
+            if let Some(existing) = slot.roster.get(&node) {
+                if *existing != addr {
+                    return error(format!(
+                        "run {run:?}: node {node} already registered at {existing}"
+                    ));
+                }
+            }
+            slot.roster.insert(node, addr);
+            state.changed.notify_all();
+            let (runs, timeout) = state
+                .changed
+                .wait_timeout_while(runs, wait_limit, |runs| {
+                    runs.get(&run).is_none_or(|s| s.roster.len() < n)
+                })
+                .expect("registry lock");
+            if timeout.timed_out() {
+                return error(format!(
+                    "run {run:?}: roster incomplete after {wait_limit:?}"
+                ));
+            }
+            let roster = &runs[&run].roster;
+            if roster.len() > n || roster.keys().any(|&k| k >= n) {
+                return error(format!("run {run:?}: roster exceeds n = {n}"));
+            }
+            RegistryReply::Roster {
+                peers: roster.iter().map(|(&k, v)| (k, v.clone())).collect(),
+            }
+        }
+        RegistryRequest::Lookup { run, node } => {
+            let runs = state.runs.lock().expect("registry lock");
+            match runs.get(&run).and_then(|s| s.roster.get(&node)) {
+                Some(addr) => RegistryReply::Addr {
+                    node,
+                    addr: addr.clone(),
+                },
+                None => error(format!("run {run:?}: node {node} not registered")),
+            }
+        }
+        RegistryRequest::Barrier {
+            run,
+            node,
+            n,
+            phase,
+        } => {
+            let mut runs = state.runs.lock().expect("registry lock");
+            runs.entry(run.clone())
+                .or_default()
+                .barriers
+                .entry(phase.clone())
+                .or_default()
+                .insert(node);
+            state.changed.notify_all();
+            let (_runs, timeout) = state
+                .changed
+                .wait_timeout_while(runs, wait_limit, |runs| {
+                    runs.get(&run)
+                        .and_then(|s| s.barriers.get(&phase))
+                        .is_none_or(|arrived| arrived.len() < n)
+                })
+                .expect("registry lock");
+            if timeout.timed_out() {
+                return error(format!(
+                    "run {run:?}: barrier {phase:?} incomplete after {wait_limit:?}"
+                ));
+            }
+            RegistryReply::Released { phase }
+        }
+        RegistryRequest::Teardown { run, node, summary } => {
+            let mut runs = state.runs.lock().expect("registry lock");
+            let slot = runs.entry(run).or_default();
+            if slot.summaries.iter().any(|s| s.node == node) {
+                return error(format!("node {node} already deposited a summary"));
+            }
+            slot.summaries.push(summary);
+            state.changed.notify_all();
+            RegistryReply::Ack
+        }
+        RegistryRequest::Collect { run } => {
+            let runs = state.runs.lock().expect("registry lock");
+            RegistryReply::Summaries {
+                workers: runs
+                    .get(&run)
+                    .map(|s| s.summaries.clone())
+                    .unwrap_or_default(),
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Per-slot protocol node construction and extraction
+// ---------------------------------------------------------------------
+
+/// The protocol-phase round budget of a spec — the same
+/// `params.rounds()` [`Cluster::run`] drives with.
+pub fn protocol_rounds(cluster: &Cluster, spec: &RunSpec) -> u32 {
+    let (n, t) = (cluster.n, cluster.t);
+    match spec.protocol {
+        Protocol::ChainFd => fd::ChainFdParams::new(n, t).rounds(),
+        Protocol::NonAuthFd => fd::NonAuthParams::new(n, t).rounds(),
+        Protocol::SmallRange => {
+            fd::SmallRangeParams::new(n, t, spec.default_value.clone()).rounds()
+        }
+        Protocol::DolevStrong => {
+            ba::DolevStrongParams::new(n, t, spec.default_value.clone()).rounds()
+        }
+        Protocol::PhaseKing => ba::PhaseKingParams::new(n, t, spec.default_value.clone()).rounds(),
+        Protocol::Degradable => {
+            ba::DegradableParams::new(n, t, spec.default_value.clone()).rounds()
+        }
+        Protocol::FdToBa => ba::FdToBaParams::new(n, t, spec.default_value.clone()).rounds(),
+    }
+}
+
+/// Build the honest automaton for one slot — the single-slot mirror of
+/// the per-protocol dispatch in [`Cluster::run`]. `store` is the slot's
+/// key store from the key-distribution phase (`None` for the key-free
+/// protocols).
+///
+/// # Panics
+///
+/// Panics if the protocol needs keys and `store` is `None`.
+pub fn honest_protocol_node(
+    cluster: &Cluster,
+    spec: &RunSpec,
+    me: NodeId,
+    store: Option<&keys::KeyStore>,
+) -> Box<dyn Node> {
+    let (n, t) = (cluster.n, cluster.t);
+    let cache = keys::VerifyCache::default();
+    let keyed = || {
+        store
+            .expect("protocol needs a key store")
+            .clone()
+            .with_cache(cache.clone())
+    };
+    let input = |sender: NodeId| (me == sender).then(|| spec.input.clone());
+    match spec.protocol {
+        Protocol::ChainFd => {
+            let params = fd::ChainFdParams::new(n, t);
+            let value = input(params.sender);
+            Box::new(fd::ChainFdNode::new(
+                me,
+                params,
+                Arc::clone(&cluster.scheme),
+                keyed(),
+                cluster.keyring(me),
+                value,
+            ))
+        }
+        Protocol::NonAuthFd => {
+            let params = fd::NonAuthParams::new(n, t);
+            let value = input(params.sender);
+            Box::new(fd::NonAuthFdNode::new(me, params, value))
+        }
+        Protocol::SmallRange => {
+            let params = fd::SmallRangeParams::new(n, t, spec.default_value.clone());
+            let value = input(params.sender);
+            Box::new(fd::SmallRangeFdNode::new(
+                me,
+                params,
+                Arc::clone(&cluster.scheme),
+                keyed(),
+                cluster.keyring(me),
+                value,
+            ))
+        }
+        Protocol::DolevStrong => {
+            let params = ba::DolevStrongParams::new(n, t, spec.default_value.clone());
+            let value = input(params.sender);
+            Box::new(ba::DolevStrongNode::new(
+                me,
+                params,
+                Arc::clone(&cluster.scheme),
+                keyed(),
+                cluster.keyring(me),
+                value,
+            ))
+        }
+        Protocol::PhaseKing => {
+            let params = ba::PhaseKingParams::new(n, t, spec.default_value.clone());
+            let value = input(params.sender);
+            Box::new(ba::PhaseKingNode::new(me, params, value))
+        }
+        Protocol::Degradable => {
+            let params = ba::DegradableParams::new(n, t, spec.default_value.clone());
+            let value = input(params.sender);
+            Box::new(ba::DegradableNode::new(
+                me,
+                params,
+                Arc::clone(&cluster.scheme),
+                keyed(),
+                cluster.keyring(me),
+                value,
+            ))
+        }
+        Protocol::FdToBa => {
+            let params = ba::FdToBaParams::new(n, t, spec.default_value.clone());
+            let value = input(params.sender);
+            Box::new(ba::FdToBaNode::new(
+                me,
+                params,
+                Arc::clone(&cluster.scheme),
+                keyed(),
+                cluster.keyring(me),
+                value,
+            ))
+        }
+    }
+}
+
+/// Extract one slot's `(outcome, used_fallback, grade)` after a run —
+/// the single-slot mirror of the outcome extraction in [`Cluster::run`].
+/// A node that is not the protocol's honest automaton (an adversary
+/// substitute) yields `(None, false, None)`, exactly as substituted
+/// slots do in-process.
+pub fn extract_slot(
+    protocol: Protocol,
+    node: Box<dyn Node>,
+) -> (Option<crate::outcome::Outcome>, bool, Option<ba::Grade>) {
+    let any = node.into_any();
+    match protocol {
+        Protocol::ChainFd => match any.downcast::<fd::ChainFdNode>() {
+            Ok(n) => (Some(n.outcome().clone()), false, None),
+            Err(_) => (None, false, None),
+        },
+        Protocol::NonAuthFd => match any.downcast::<fd::NonAuthFdNode>() {
+            Ok(n) => (Some(n.outcome().clone()), false, None),
+            Err(_) => (None, false, None),
+        },
+        Protocol::SmallRange => match any.downcast::<fd::SmallRangeFdNode>() {
+            Ok(n) => (Some(n.outcome().clone()), false, None),
+            Err(_) => (None, false, None),
+        },
+        Protocol::DolevStrong => match any.downcast::<ba::DolevStrongNode>() {
+            Ok(n) => (Some(n.outcome().clone()), false, None),
+            Err(_) => (None, false, None),
+        },
+        Protocol::PhaseKing => match any.downcast::<ba::PhaseKingNode>() {
+            Ok(n) => (Some(n.outcome().clone()), false, None),
+            Err(_) => (None, false, None),
+        },
+        Protocol::Degradable => match any.downcast::<ba::DegradableNode>() {
+            Ok(n) => (Some(n.outcome().clone()), false, n.grade()),
+            Err(_) => (None, false, None),
+        },
+        Protocol::FdToBa => match any.downcast::<ba::FdToBaNode>() {
+            Ok(n) => (Some(n.outcome().clone()), n.used_fallback(), None),
+            Err(_) => (None, false, None),
+        },
+    }
+}
+
+// ---------------------------------------------------------------------
+// Worker lifecycle
+// ---------------------------------------------------------------------
+
+/// Everything a worker process needs besides the run description.
+#[derive(Debug, Clone)]
+pub struct WorkerConfig {
+    /// Registry address (`host:port`).
+    pub registry: String,
+    /// Run identifier shared by the whole cluster.
+    pub run: String,
+    /// This worker's slot.
+    pub node: usize,
+    /// Transport/registry no-progress deadline.
+    pub io_deadline: Duration,
+    /// Wall-clock duration of one virtual round for the delay shim; the
+    /// shim engages only when the spec's latency is non-synchronous and
+    /// this is nonzero.
+    pub round_wall: Duration,
+}
+
+/// Run one worker end to end: register, key distribution over the mesh,
+/// barrier, protocol phase over a fresh mesh, teardown with a
+/// [`WorkerSummary`]. Every failure path returns `Err` — the CLI turns
+/// it into a loud message and a nonzero exit.
+pub fn run_worker(cfg: &WorkerConfig, builder: &SpecBuilder) -> Result<(), String> {
+    let (cluster, spec) = builder.build()?;
+    if !cluster.link_latency.is_empty() {
+        return Err("per-link latency overrides are not supported by lafd cluster".to_string());
+    }
+    let n = cluster.n;
+    if cfg.node >= n {
+        return Err(format!("node {} out of range for n = {n}", cfg.node));
+    }
+    let me = NodeId(cfg.node as u16);
+    let listener = TcpListener::bind("127.0.0.1:0").map_err(|e| format!("bind listener: {e}"))?;
+    let my_addr = listener
+        .local_addr()
+        .map_err(|e| format!("listener address: {e}"))?;
+
+    // Registration doubles as the barrier that opens the run: the reply
+    // arrives once all n workers have announced themselves.
+    let reply = registry_call(
+        &cfg.registry,
+        &RegistryRequest::Register {
+            run: cfg.run.clone(),
+            node: cfg.node,
+            n,
+            addr: my_addr.to_string(),
+        },
+        cfg.io_deadline,
+    )?;
+    let RegistryReply::Roster { peers } = reply else {
+        return Err(format!("unexpected registry reply to register: {reply:?}"));
+    };
+    if peers.len() != n || peers.iter().enumerate().any(|(i, (slot, _))| *slot != i) {
+        return Err(format!("incomplete roster: {peers:?}"));
+    }
+    let addrs = peers
+        .iter()
+        .map(|(slot, addr)| {
+            addr.parse::<SocketAddr>()
+                .map_err(|e| format!("roster addr for node {slot}: {e}"))
+        })
+        .collect::<Result<Vec<SocketAddr>, String>>()?;
+
+    // Phase 1 — key distribution, always synchronous (paper §3), all
+    // nodes honest (the adversary only enters the protocol phase, as in
+    // `Cluster::run`).
+    let mut store = None;
+    let mut kd_anomalies = Vec::new();
+    let mut kd_stats = NetStats::new(n);
+    let mut keydist: Option<KeyDistReport> = None;
+    if spec.protocol.needs_keys() {
+        let rings: Vec<keys::Keyring> = (0..n).map(|i| cluster.keyring(NodeId(i as u16))).collect();
+        let table = Arc::new(keys::PredicateTable::from_keys(
+            rings.iter().map(|r| Arc::new(r.pk.clone())).collect(),
+        ));
+        let node = KeyDistNode::new(
+            me,
+            n,
+            Arc::clone(&cluster.scheme),
+            rings[cfg.node].clone(),
+            cluster.seed,
+        )
+        .with_intern_table(Arc::clone(&table));
+        let peers = MeshPeers::establish(me, &listener, &addrs, cfg.io_deadline)
+            .map_err(|e| format!("keydist mesh: {e}"))?;
+        let run: MeshRun = NonblockingMesh::new(KEYDIST_ROUNDS)
+            .with_io_deadline(cfg.io_deadline)
+            .run(Box::new(node), peers)
+            .map_err(|e| format!("keydist phase: {e}"))?;
+        kd_stats = run.stats;
+        kd_stats.rounds = run.rounds;
+        let node = run
+            .node
+            .into_any()
+            .downcast::<KeyDistNode>()
+            .expect("keydist slot holds KeyDistNode");
+        let (own_store, _ring, anoms) = node.into_parts();
+        kd_anomalies = anoms;
+        // A sparse report: only this worker's store exists in this
+        // process. Adversary substitution only ever reads the corrupt
+        // slot's own store, so this is sufficient.
+        let mut stores: Vec<Option<keys::KeyStore>> = (0..n).map(|_| None).collect();
+        stores[cfg.node] = Some(own_store.clone());
+        store = Some(own_store);
+        keydist = Some(KeyDistReport {
+            stores,
+            stats: kd_stats.clone(),
+            anomalies: vec![(me, kd_anomalies.clone())],
+            predicates: Some(table),
+        });
+    }
+
+    // The inter-phase barrier: nobody re-meshes for the protocol phase
+    // until everyone has finished tearing down the keydist mesh.
+    registry_call(
+        &cfg.registry,
+        &RegistryRequest::Barrier {
+            run: cfg.run.clone(),
+            node: cfg.node,
+            n,
+            phase: "keydist-done".to_string(),
+        },
+        cfg.io_deadline,
+    )?;
+
+    // Phase 2 — the protocol, with the spec's adversary substitution for
+    // this slot and an optional wall-clock delay shim on the links.
+    let rounds = protocol_rounds(&cluster, &spec);
+    let node = {
+        let mut substitute = spec.adversary.substitution(&cluster, keydist.as_ref());
+        match substitute(me) {
+            Some(adversary) => adversary,
+            None => honest_protocol_node(&cluster, &spec, me, store.as_ref()),
+        }
+    };
+    let peers = MeshPeers::establish(me, &listener, &addrs, cfg.io_deadline)
+        .map_err(|e| format!("protocol mesh: {e}"))?;
+    let mut mesh = NonblockingMesh::new(rounds).with_io_deadline(cfg.io_deadline);
+    if cluster.latency.normalize() != LatencySpec::Synchronous && !cfg.round_wall.is_zero() {
+        mesh = mesh.with_delay_shim(DelayShim {
+            model: cluster.latency.build(cluster.seed),
+            round_wall: cfg.round_wall,
+        });
+    }
+    let run: MeshRun = mesh
+        .run(node, peers)
+        .map_err(|e| format!("protocol phase: {e}"))?;
+    let (outcome, used_fallback, grade) = extract_slot(spec.protocol, run.node);
+
+    let summary = WorkerSummary {
+        node: cfg.node,
+        outcome,
+        used_fallback,
+        grade,
+        rounds: run.rounds,
+        messages: run.stats.messages_total,
+        bytes: run.stats.bytes_total,
+        per_round: run.stats.per_round,
+        dropped: run.stats.dropped_invalid,
+        kd_rounds: kd_stats.rounds,
+        kd_messages: kd_stats.messages_total,
+        kd_bytes: kd_stats.bytes_total,
+        kd_per_round: kd_stats.per_round,
+        kd_anomalies: kd_anomalies.len(),
+    };
+    let reply = registry_call(
+        &cfg.registry,
+        &RegistryRequest::Teardown {
+            run: cfg.run.clone(),
+            node: cfg.node,
+            summary,
+        },
+        cfg.io_deadline,
+    )?;
+    match reply {
+        RegistryReply::Ack => Ok(()),
+        other => Err(format!("unexpected registry reply to teardown: {other:?}")),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Report assembly
+// ---------------------------------------------------------------------
+
+/// Key-distribution totals of a cluster run, aggregated across workers
+/// (these live outside the [`FdRunReport`], mirroring how the setup
+/// phase is reported in-process).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterTotals {
+    /// Key-distribution rounds (0 for key-free protocols).
+    pub kd_rounds: u32,
+    /// Key-distribution messages across all workers.
+    pub kd_messages: usize,
+    /// Key-distribution bytes across all workers.
+    pub kd_bytes: usize,
+    /// Anomalies recorded across all workers.
+    pub kd_anomalies: usize,
+}
+
+/// Fold the `n` worker summaries into the standard [`FdRunReport`] plus
+/// the keydist totals. Errors on a missing/duplicate slot or on workers
+/// disagreeing about the executed round count — either means the
+/// transport broke, and the orchestrator must fail loudly.
+pub fn assemble_report(
+    protocol: Protocol,
+    n: usize,
+    summaries: &[WorkerSummary],
+) -> Result<(FdRunReport, ClusterTotals), String> {
+    let mut by_slot: Vec<Option<&WorkerSummary>> = vec![None; n];
+    for summary in summaries {
+        if summary.node >= n {
+            return Err(format!("summary for out-of-range node {}", summary.node));
+        }
+        if by_slot[summary.node].replace(summary).is_some() {
+            return Err(format!("duplicate summary for node {}", summary.node));
+        }
+    }
+    let ordered = by_slot
+        .iter()
+        .enumerate()
+        .map(|(slot, s)| s.ok_or_else(|| format!("no summary from node {slot}")))
+        .collect::<Result<Vec<&WorkerSummary>, String>>()?;
+
+    let rounds = ordered[0].rounds;
+    let kd_rounds = ordered[0].kd_rounds;
+    let mut stats = NetStats::new(n);
+    stats.rounds = rounds;
+    let mut totals = ClusterTotals {
+        kd_rounds,
+        kd_messages: 0,
+        kd_bytes: 0,
+        kd_anomalies: 0,
+    };
+    for summary in &ordered {
+        if summary.rounds != rounds || summary.kd_rounds != kd_rounds {
+            return Err(format!(
+                "node {} disagrees on executed rounds ({}/{} vs {rounds}/{kd_rounds})",
+                summary.node, summary.rounds, summary.kd_rounds
+            ));
+        }
+        stats.messages_total += summary.messages;
+        stats.bytes_total += summary.bytes;
+        stats.dropped_invalid += summary.dropped;
+        stats.sent_by[summary.node] = summary.messages;
+        for (r, count) in summary.per_round.iter().enumerate() {
+            if stats.per_round.len() <= r {
+                stats.per_round.resize(r + 1, 0);
+            }
+            stats.per_round[r] += count;
+        }
+        totals.kd_messages += summary.kd_messages;
+        totals.kd_bytes += summary.kd_bytes;
+        totals.kd_anomalies += summary.kd_anomalies;
+    }
+
+    let report = FdRunReport {
+        outcomes: ordered.iter().map(|s| s.outcome.clone()).collect(),
+        stats,
+        used_fallback: match protocol {
+            Protocol::FdToBa => ordered.iter().map(|s| s.used_fallback).collect(),
+            _ => Vec::new(),
+        },
+        grades: match protocol {
+            Protocol::Degradable => ordered.iter().map(|s| s.grade).collect(),
+            _ => Vec::new(),
+        },
+        delay_log: None,
+        phases: None,
+    };
+    Ok((report, totals))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::SpecBuilder;
+
+    fn spawn_registry(wait_limit: Duration) -> (SocketAddr, std::thread::JoinHandle<()>) {
+        let registry = Registry::bind("127.0.0.1:0")
+            .expect("bind registry")
+            .with_wait_limit(wait_limit);
+        let addr = registry.local_addr();
+        let handle = std::thread::spawn(move || {
+            let _ = registry.serve();
+        });
+        (addr, handle)
+    }
+
+    #[test]
+    fn registry_roster_barrier_and_lookup() {
+        let (addr, _handle) = spawn_registry(Duration::from_secs(10));
+        let addr = addr.to_string();
+        let n = 3;
+        let mut joins = Vec::new();
+        for node in 0..n {
+            let addr = addr.clone();
+            joins.push(std::thread::spawn(move || {
+                registry_call(
+                    &addr,
+                    &RegistryRequest::Register {
+                        run: "t0".to_string(),
+                        node,
+                        n,
+                        addr: format!("127.0.0.1:{}", 7000 + node),
+                    },
+                    Duration::from_secs(10),
+                )
+            }));
+        }
+        for join in joins {
+            let reply = join.join().expect("register thread").expect("register ok");
+            let RegistryReply::Roster { peers } = reply else {
+                panic!("expected roster, got {reply:?}");
+            };
+            assert_eq!(peers.len(), n);
+            assert_eq!(peers[1], (1, "127.0.0.1:7001".to_string()));
+        }
+        let looked = registry_call(
+            &addr,
+            &RegistryRequest::Lookup {
+                run: "t0".to_string(),
+                node: 2,
+            },
+            Duration::from_secs(10),
+        )
+        .expect("lookup ok");
+        assert_eq!(
+            looked,
+            RegistryReply::Addr {
+                node: 2,
+                addr: "127.0.0.1:7002".to_string()
+            }
+        );
+    }
+
+    #[test]
+    fn registry_barrier_times_out_loudly_when_a_worker_is_missing() {
+        let (addr, _handle) = spawn_registry(Duration::from_millis(300));
+        let err = registry_call(
+            &addr.to_string(),
+            &RegistryRequest::Barrier {
+                run: "t1".to_string(),
+                node: 0,
+                n: 2,
+                phase: "open".to_string(),
+            },
+            Duration::from_secs(10),
+        )
+        .expect_err("barrier must fail, not hang");
+        assert!(err.contains("incomplete"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn multiprocess_phases_reproduce_the_sync_report() {
+        // Worker threads standing in for worker processes: identical
+        // code path (run_worker) minus the re-exec.
+        let (registry, _handle) = spawn_registry(Duration::from_secs(30));
+        let registry = registry.to_string();
+        let n = 4;
+        let builder = SpecBuilder::new(Protocol::ChainFd, n)
+            .with_seed(11)
+            .with_input(b"v".to_vec());
+        let mut joins = Vec::new();
+        for node in 0..n {
+            let registry = registry.clone();
+            let builder = builder.clone();
+            joins.push(std::thread::spawn(move || {
+                run_worker(
+                    &WorkerConfig {
+                        registry,
+                        run: "t2".to_string(),
+                        node,
+                        io_deadline: Duration::from_secs(30),
+                        round_wall: Duration::ZERO,
+                    },
+                    &builder,
+                )
+            }));
+        }
+        for join in joins {
+            join.join().expect("worker thread").expect("worker ok");
+        }
+        let reply = registry_call(
+            &registry,
+            &RegistryRequest::Collect {
+                run: "t2".to_string(),
+            },
+            Duration::from_secs(10),
+        )
+        .expect("collect ok");
+        let RegistryReply::Summaries { workers } = reply else {
+            panic!("expected summaries, got {reply:?}");
+        };
+        let (report, totals) =
+            assemble_report(Protocol::ChainFd, n, &workers).expect("assemble ok");
+
+        let (cluster, spec) = builder.build().expect("build spec");
+        let reference = cluster.run(&spec);
+        assert_eq!(report.to_json(), reference.to_json());
+        let kd = cluster.setup_keydist();
+        assert_eq!(totals.kd_messages, kd.stats.messages_total);
+        assert_eq!(totals.kd_bytes, kd.stats.bytes_total);
+        assert_eq!(totals.kd_rounds, kd.stats.rounds);
+    }
+}

@@ -247,7 +247,7 @@ struct Cohort {
 /// cohort cache. The first three variants depend only on the chain bytes
 /// (any store reaches them identically); the last two also depend on the
 /// receiver's accepted predicates, so they are cached together with the
-/// [`SignerView`] they were judged under.
+/// `SignerView` they were judged under.
 ///
 /// What a verdict *means* to a receiver still depends on the receiver
 /// itself: a node that appears in `signers` treats the message as an echo

@@ -43,6 +43,11 @@
 //!   pre-warmed [`Session`]s keyed by `(n, scheme)` reusing keydist,
 //!   predicate table, and verification cache across requests, with
 //!   bounded LRU eviction and graceful drain.
+//! * [`deploy`] — the deployment layer behind `lafd cluster`: a
+//!   discovery registry (register/lookup/barrier/teardown over framed
+//!   wire-v1 JSON), the per-worker lifecycle over the non-blocking
+//!   socket mesh, and the aggregation of per-worker summaries back into
+//!   a byte-identical [`runner::FdRunReport`].
 //! * `compat` — deprecated pre-`RunSpec` shims (the old per-protocol
 //!   `run_*` methods), with the migration table; gated behind the
 //!   off-by-default `compat` cargo feature.
@@ -97,6 +102,7 @@ pub mod ba;
 pub mod chain;
 #[cfg(feature = "compat")]
 pub mod compat;
+pub mod deploy;
 pub mod epoch;
 pub mod fd;
 pub mod keys;

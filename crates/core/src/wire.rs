@@ -1127,6 +1127,470 @@ pub fn cert_from_json(json: &str) -> Result<ScheduleCert, String> {
     Ok(cert)
 }
 
+// ---------------------------------------------------------------------
+// Registry dialect (deployment layer)
+// ---------------------------------------------------------------------
+
+/// Per-worker result record carried through the registry at teardown:
+/// everything the orchestrator needs to reassemble the standard
+/// [`FdRunReport`] (protocol-phase counters and outcome) plus the
+/// key-distribution phase counters for the setup summary line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerSummary {
+    /// The worker's slot.
+    pub node: usize,
+    /// The slot's outcome (`None` — wire `"faulty"` — for a slot the
+    /// adversary substituted).
+    pub outcome: Option<Outcome>,
+    /// Whether the node took the BA fallback (FD→BA runs only).
+    pub used_fallback: bool,
+    /// The node's decision grade (degradable-agreement runs only).
+    pub grade: Option<Grade>,
+    /// Protocol-phase rounds executed (every worker of a run must agree).
+    pub rounds: u32,
+    /// Protocol-phase messages this node sent.
+    pub messages: usize,
+    /// Protocol-phase bytes this node sent.
+    pub bytes: usize,
+    /// Protocol-phase sends per round, indexed by round.
+    pub per_round: Vec<usize>,
+    /// Protocol-phase sends to invalid destinations (dropped).
+    pub dropped: usize,
+    /// Key-distribution rounds executed (0 for key-free protocols).
+    pub kd_rounds: u32,
+    /// Key-distribution messages this node sent.
+    pub kd_messages: usize,
+    /// Key-distribution bytes this node sent.
+    pub kd_bytes: usize,
+    /// Key-distribution sends per round.
+    pub kd_per_round: Vec<usize>,
+    /// Anomalies the node recorded during key distribution.
+    pub kd_anomalies: usize,
+}
+
+/// A request to the discovery registry (`lafd registry`), one framed
+/// JSON document per connection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegistryRequest {
+    /// Announce `(node, addr)` for a run and block until all `n` peers
+    /// have announced theirs; the reply is the full roster. This is the
+    /// barrier that opens a run.
+    Register {
+        /// Run identifier (one registry serves many runs).
+        run: String,
+        /// The registering worker's slot.
+        node: usize,
+        /// Expected system size.
+        n: usize,
+        /// The worker's listener address (`host:port`).
+        addr: String,
+    },
+    /// Look up one peer's registered address.
+    Lookup {
+        /// Run identifier.
+        run: String,
+        /// The slot to look up.
+        node: usize,
+    },
+    /// Block until all `n` workers of the run have reached `phase`.
+    Barrier {
+        /// Run identifier.
+        run: String,
+        /// The arriving worker's slot.
+        node: usize,
+        /// Expected system size.
+        n: usize,
+        /// Phase label (e.g. `"keydist-done"`).
+        phase: String,
+    },
+    /// Deposit the worker's final [`WorkerSummary`] and leave the run.
+    Teardown {
+        /// Run identifier.
+        run: String,
+        /// The departing worker's slot.
+        node: usize,
+        /// The worker's result record.
+        summary: WorkerSummary,
+    },
+    /// Fetch every summary deposited for the run (the orchestrator's
+    /// aggregation step; does not block).
+    Collect {
+        /// Run identifier.
+        run: String,
+    },
+}
+
+/// A registry reply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegistryReply {
+    /// The full roster, `(slot, addr)` in slot order — the answer to
+    /// [`RegistryRequest::Register`] once all peers arrived.
+    Roster {
+        /// `(slot, addr)` pairs, ascending by slot.
+        peers: Vec<(usize, String)>,
+    },
+    /// One peer's address — the answer to [`RegistryRequest::Lookup`].
+    Addr {
+        /// The looked-up slot.
+        node: usize,
+        /// Its registered address.
+        addr: String,
+    },
+    /// The barrier opened — the answer to [`RegistryRequest::Barrier`].
+    Released {
+        /// Echo of the phase label.
+        phase: String,
+    },
+    /// Acknowledgement of a [`RegistryRequest::Teardown`].
+    Ack,
+    /// Deposited summaries — the answer to [`RegistryRequest::Collect`].
+    Summaries {
+        /// Whatever summaries have been deposited so far, in deposit
+        /// order.
+        workers: Vec<WorkerSummary>,
+    },
+    /// The request could not be served.
+    Error {
+        /// Human-readable reason.
+        error: String,
+    },
+}
+
+/// Encode an outcome exactly as [`FdRunReport::to_json`] does.
+fn outcome_to_wire(outcome: &Option<Outcome>) -> String {
+    match outcome {
+        None => "faulty".to_string(),
+        Some(Outcome::Pending) => "pending".to_string(),
+        Some(Outcome::Decided(v)) => format!("decided:{}", hex_encode(v)),
+        Some(Outcome::Discovered(r)) => format!("discovered:{r}"),
+    }
+}
+
+fn grade_to_value(grade: Option<Grade>) -> Value {
+    match grade {
+        None => Value::Null,
+        Some(Grade::Zero) => Value::Int(0),
+        Some(Grade::One) => Value::Int(1),
+        Some(Grade::Two) => Value::Int(2),
+    }
+}
+
+fn grade_from_value(value: &Value, what: &str) -> Result<Option<Grade>, String> {
+    match value {
+        Value::Null => Ok(None),
+        Value::Int(0) => Ok(Some(Grade::Zero)),
+        Value::Int(1) => Ok(Some(Grade::One)),
+        Value::Int(2) => Ok(Some(Grade::Two)),
+        other => Err(format!("{what}: invalid grade {other:?}")),
+    }
+}
+
+fn counts_to_value(counts: &[usize]) -> Value {
+    Value::Arr(counts.iter().map(|&c| Value::Int(c as i128)).collect())
+}
+
+fn counts_field(obj: &Value, key: &str, what: &str) -> Result<Vec<usize>, String> {
+    require(obj, key, what)?
+        .as_arr()
+        .ok_or_else(|| format!("{what}: field {key:?} must be an array"))?
+        .iter()
+        .map(|v| {
+            v.as_int()
+                .and_then(|i| usize::try_from(i).ok())
+                .ok_or_else(|| format!("{what}: {key} entries must be counts"))
+        })
+        .collect()
+}
+
+fn u32_field(obj: &Value, key: &str, what: &str) -> Result<u32, String> {
+    u32::try_from(int_field(obj, key, what)?)
+        .map_err(|_| format!("{what}: field {key:?} out of range"))
+}
+
+fn summary_to_value(summary: &WorkerSummary) -> Value {
+    Value::Obj(vec![
+        ("node".to_string(), Value::Int(summary.node as i128)),
+        (
+            "outcome".to_string(),
+            Value::Str(outcome_to_wire(&summary.outcome)),
+        ),
+        (
+            "used_fallback".to_string(),
+            Value::Bool(summary.used_fallback),
+        ),
+        ("grade".to_string(), grade_to_value(summary.grade)),
+        ("rounds".to_string(), Value::Int(i128::from(summary.rounds))),
+        ("messages".to_string(), Value::Int(summary.messages as i128)),
+        ("bytes".to_string(), Value::Int(summary.bytes as i128)),
+        ("per_round".to_string(), counts_to_value(&summary.per_round)),
+        ("dropped".to_string(), Value::Int(summary.dropped as i128)),
+        (
+            "kd_rounds".to_string(),
+            Value::Int(i128::from(summary.kd_rounds)),
+        ),
+        (
+            "kd_messages".to_string(),
+            Value::Int(summary.kd_messages as i128),
+        ),
+        ("kd_bytes".to_string(), Value::Int(summary.kd_bytes as i128)),
+        (
+            "kd_per_round".to_string(),
+            counts_to_value(&summary.kd_per_round),
+        ),
+        (
+            "kd_anomalies".to_string(),
+            Value::Int(summary.kd_anomalies as i128),
+        ),
+    ])
+}
+
+fn summary_from_value(value: &Value) -> Result<WorkerSummary, String> {
+    let what = "worker summary";
+    deny_unknown(
+        value,
+        &[
+            "node",
+            "outcome",
+            "used_fallback",
+            "grade",
+            "rounds",
+            "messages",
+            "bytes",
+            "per_round",
+            "dropped",
+            "kd_rounds",
+            "kd_messages",
+            "kd_bytes",
+            "kd_per_round",
+            "kd_anomalies",
+        ],
+        what,
+    )?;
+    Ok(WorkerSummary {
+        node: usize_field(value, "node", what)?,
+        outcome: outcome_from_wire(str_field(value, "outcome", what)?)?,
+        used_fallback: require(value, "used_fallback", what)?
+            .as_bool()
+            .ok_or_else(|| format!("{what}: used_fallback must be a boolean"))?,
+        grade: grade_from_value(require(value, "grade", what)?, what)?,
+        rounds: u32_field(value, "rounds", what)?,
+        messages: usize_field(value, "messages", what)?,
+        bytes: usize_field(value, "bytes", what)?,
+        per_round: counts_field(value, "per_round", what)?,
+        dropped: usize_field(value, "dropped", what)?,
+        kd_rounds: u32_field(value, "kd_rounds", what)?,
+        kd_messages: usize_field(value, "kd_messages", what)?,
+        kd_bytes: usize_field(value, "kd_bytes", what)?,
+        kd_per_round: counts_field(value, "kd_per_round", what)?,
+        kd_anomalies: usize_field(value, "kd_anomalies", what)?,
+    })
+}
+
+/// Encode a registry request as one wire-v1 JSON document.
+pub fn registry_request_to_json(request: &RegistryRequest) -> String {
+    let mut fields: Vec<(String, Value)> =
+        vec![("schema_version".to_string(), Value::Int(SCHEMA_VERSION))];
+    match request {
+        RegistryRequest::Register { run, node, n, addr } => {
+            fields.push(("op".to_string(), Value::Str("register".to_string())));
+            fields.push(("run".to_string(), Value::Str(run.clone())));
+            fields.push(("node".to_string(), Value::Int(*node as i128)));
+            fields.push(("n".to_string(), Value::Int(*n as i128)));
+            fields.push(("addr".to_string(), Value::Str(addr.clone())));
+        }
+        RegistryRequest::Lookup { run, node } => {
+            fields.push(("op".to_string(), Value::Str("lookup".to_string())));
+            fields.push(("run".to_string(), Value::Str(run.clone())));
+            fields.push(("node".to_string(), Value::Int(*node as i128)));
+        }
+        RegistryRequest::Barrier {
+            run,
+            node,
+            n,
+            phase,
+        } => {
+            fields.push(("op".to_string(), Value::Str("barrier".to_string())));
+            fields.push(("run".to_string(), Value::Str(run.clone())));
+            fields.push(("node".to_string(), Value::Int(*node as i128)));
+            fields.push(("n".to_string(), Value::Int(*n as i128)));
+            fields.push(("phase".to_string(), Value::Str(phase.clone())));
+        }
+        RegistryRequest::Teardown { run, node, summary } => {
+            fields.push(("op".to_string(), Value::Str("teardown".to_string())));
+            fields.push(("run".to_string(), Value::Str(run.clone())));
+            fields.push(("node".to_string(), Value::Int(*node as i128)));
+            fields.push(("summary".to_string(), summary_to_value(summary)));
+        }
+        RegistryRequest::Collect { run } => {
+            fields.push(("op".to_string(), Value::Str("collect".to_string())));
+            fields.push(("run".to_string(), Value::Str(run.clone())));
+        }
+    }
+    Value::Obj(fields).to_json()
+}
+
+/// Decode a registry request; unknown fields and foreign schema versions
+/// are errors.
+pub fn registry_request_from_json(json: &str) -> Result<RegistryRequest, String> {
+    let value = Value::parse(json)?;
+    let what = "registry request";
+    deny_unknown(
+        &value,
+        &[
+            "schema_version",
+            "op",
+            "run",
+            "node",
+            "n",
+            "addr",
+            "phase",
+            "summary",
+        ],
+        what,
+    )?;
+    check_schema_version(&value, what)?;
+    let run = str_field(&value, "run", what)?.to_string();
+    match str_field(&value, "op", what)? {
+        "register" => Ok(RegistryRequest::Register {
+            run,
+            node: usize_field(&value, "node", what)?,
+            n: usize_field(&value, "n", what)?,
+            addr: str_field(&value, "addr", what)?.to_string(),
+        }),
+        "lookup" => Ok(RegistryRequest::Lookup {
+            run,
+            node: usize_field(&value, "node", what)?,
+        }),
+        "barrier" => Ok(RegistryRequest::Barrier {
+            run,
+            node: usize_field(&value, "node", what)?,
+            n: usize_field(&value, "n", what)?,
+            phase: str_field(&value, "phase", what)?.to_string(),
+        }),
+        "teardown" => Ok(RegistryRequest::Teardown {
+            run,
+            node: usize_field(&value, "node", what)?,
+            summary: summary_from_value(require(&value, "summary", what)?)?,
+        }),
+        "collect" => Ok(RegistryRequest::Collect { run }),
+        other => Err(format!("{what}: unknown op {other:?}")),
+    }
+}
+
+/// Encode a registry reply as one wire-v1 JSON document.
+pub fn registry_reply_to_json(reply: &RegistryReply) -> String {
+    let mut fields: Vec<(String, Value)> =
+        vec![("schema_version".to_string(), Value::Int(SCHEMA_VERSION))];
+    match reply {
+        RegistryReply::Roster { peers } => {
+            fields.push(("reply".to_string(), Value::Str("roster".to_string())));
+            fields.push((
+                "peers".to_string(),
+                Value::Arr(
+                    peers
+                        .iter()
+                        .map(|(node, addr)| {
+                            Value::Arr(vec![Value::Int(*node as i128), Value::Str(addr.clone())])
+                        })
+                        .collect(),
+                ),
+            ));
+        }
+        RegistryReply::Addr { node, addr } => {
+            fields.push(("reply".to_string(), Value::Str("addr".to_string())));
+            fields.push(("node".to_string(), Value::Int(*node as i128)));
+            fields.push(("addr".to_string(), Value::Str(addr.clone())));
+        }
+        RegistryReply::Released { phase } => {
+            fields.push(("reply".to_string(), Value::Str("released".to_string())));
+            fields.push(("phase".to_string(), Value::Str(phase.clone())));
+        }
+        RegistryReply::Ack => {
+            fields.push(("reply".to_string(), Value::Str("ack".to_string())));
+        }
+        RegistryReply::Summaries { workers } => {
+            fields.push(("reply".to_string(), Value::Str("summaries".to_string())));
+            fields.push((
+                "workers".to_string(),
+                Value::Arr(workers.iter().map(summary_to_value).collect()),
+            ));
+        }
+        RegistryReply::Error { error } => {
+            fields.push(("reply".to_string(), Value::Str("error".to_string())));
+            fields.push(("error".to_string(), Value::Str(error.clone())));
+        }
+    }
+    Value::Obj(fields).to_json()
+}
+
+/// Decode a registry reply; unknown fields and foreign schema versions
+/// are errors.
+pub fn registry_reply_from_json(json: &str) -> Result<RegistryReply, String> {
+    let value = Value::parse(json)?;
+    let what = "registry reply";
+    deny_unknown(
+        &value,
+        &[
+            "schema_version",
+            "reply",
+            "peers",
+            "node",
+            "addr",
+            "phase",
+            "workers",
+            "error",
+        ],
+        what,
+    )?;
+    check_schema_version(&value, what)?;
+    match str_field(&value, "reply", what)? {
+        "roster" => {
+            let peers = require(&value, "peers", what)?
+                .as_arr()
+                .ok_or_else(|| format!("{what}: peers must be an array"))?
+                .iter()
+                .map(|entry| {
+                    let pair = entry
+                        .as_arr()
+                        .filter(|p| p.len() == 2)
+                        .ok_or_else(|| format!("{what}: peers entries are [node, addr]"))?;
+                    let node = pair[0]
+                        .as_int()
+                        .and_then(|i| usize::try_from(i).ok())
+                        .ok_or_else(|| format!("{what}: peer node out of range"))?;
+                    let addr = pair[1]
+                        .as_str()
+                        .ok_or_else(|| format!("{what}: peer addr must be a string"))?
+                        .to_string();
+                    Ok((node, addr))
+                })
+                .collect::<Result<Vec<(usize, String)>, String>>()?;
+            Ok(RegistryReply::Roster { peers })
+        }
+        "addr" => Ok(RegistryReply::Addr {
+            node: usize_field(&value, "node", what)?,
+            addr: str_field(&value, "addr", what)?.to_string(),
+        }),
+        "released" => Ok(RegistryReply::Released {
+            phase: str_field(&value, "phase", what)?.to_string(),
+        }),
+        "ack" => Ok(RegistryReply::Ack),
+        "summaries" => {
+            let workers = require(&value, "workers", what)?
+                .as_arr()
+                .ok_or_else(|| format!("{what}: workers must be an array"))?
+                .iter()
+                .map(summary_from_value)
+                .collect::<Result<Vec<WorkerSummary>, String>>()?;
+            Ok(RegistryReply::Summaries { workers })
+        }
+        "error" => Ok(RegistryReply::Error {
+            error: str_field(&value, "error", what)?.to_string(),
+        }),
+        other => Err(format!("{what}: unknown reply {other:?}")),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1281,5 +1745,109 @@ mod tests {
         // Out-of-envelope perturbations fail validation on decode.
         let bad = json.replace("[0, 0, 2048]", "[0, 0, 9999]");
         assert!(cert_from_json(&bad).is_err());
+    }
+
+    fn sample_summary() -> WorkerSummary {
+        WorkerSummary {
+            node: 3,
+            outcome: Some(Outcome::Decided(vec![0x76])),
+            used_fallback: false,
+            grade: Some(Grade::Two),
+            rounds: 4,
+            messages: 12,
+            bytes: 340,
+            per_round: vec![6, 6, 0, 0],
+            dropped: 0,
+            kd_rounds: 4,
+            kd_messages: 18,
+            kd_bytes: 912,
+            kd_per_round: vec![6, 6, 6, 0],
+            kd_anomalies: 1,
+        }
+    }
+
+    #[test]
+    fn registry_requests_round_trip() {
+        let requests = [
+            RegistryRequest::Register {
+                run: "r0".to_string(),
+                node: 2,
+                n: 7,
+                addr: "127.0.0.1:4242".to_string(),
+            },
+            RegistryRequest::Lookup {
+                run: "r0".to_string(),
+                node: 5,
+            },
+            RegistryRequest::Barrier {
+                run: "r0".to_string(),
+                node: 2,
+                n: 7,
+                phase: "keydist-done".to_string(),
+            },
+            RegistryRequest::Teardown {
+                run: "r0".to_string(),
+                node: 3,
+                summary: sample_summary(),
+            },
+            RegistryRequest::Collect {
+                run: "r0".to_string(),
+            },
+        ];
+        for request in requests {
+            let json = registry_request_to_json(&request);
+            let decoded = registry_request_from_json(&json).unwrap();
+            assert_eq!(decoded, request);
+            assert_eq!(registry_request_to_json(&decoded), json);
+        }
+    }
+
+    #[test]
+    fn registry_replies_round_trip() {
+        let replies = [
+            RegistryReply::Roster {
+                peers: vec![(0, "a:1".to_string()), (1, "b:2".to_string())],
+            },
+            RegistryReply::Addr {
+                node: 1,
+                addr: "b:2".to_string(),
+            },
+            RegistryReply::Released {
+                phase: "keydist-done".to_string(),
+            },
+            RegistryReply::Ack,
+            RegistryReply::Summaries {
+                workers: vec![sample_summary()],
+            },
+            RegistryReply::Error {
+                error: "no such run".to_string(),
+            },
+        ];
+        for reply in replies {
+            let json = registry_reply_to_json(&reply);
+            let decoded = registry_reply_from_json(&json).unwrap();
+            assert_eq!(decoded, reply);
+            assert_eq!(registry_reply_to_json(&decoded), json);
+        }
+    }
+
+    #[test]
+    fn registry_messages_reject_unknown_fields_and_wrong_versions() {
+        let request = registry_request_to_json(&RegistryRequest::Collect {
+            run: "r0".to_string(),
+        });
+        let reply = registry_reply_to_json(&RegistryReply::Ack);
+        for base in [request, reply] {
+            assert!(registry_request_from_json(&base)
+                .map(|_| ())
+                .or(registry_reply_from_json(&base).map(|_| ()))
+                .is_ok());
+            let bogus = base.replacen("{", "{\"bogus\": 1, ", 1);
+            assert!(registry_request_from_json(&bogus).is_err());
+            assert!(registry_reply_from_json(&bogus).is_err());
+            let foreign = base.replacen("\"schema_version\": 1", "\"schema_version\": 2", 1);
+            assert!(registry_request_from_json(&foreign).is_err());
+            assert!(registry_reply_from_json(&foreign).is_err());
+        }
     }
 }

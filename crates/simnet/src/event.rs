@@ -14,7 +14,7 @@
 //!   ring of per-boundary buckets, which preserves send order for free;
 //!   only out-of-band arrivals (jitter, per-message overrides) pay for a
 //!   binary heap. Broadcasts with a uniform round-aligned delay stay
-//!   *compressed*: one [`DeliveryRecord`] stands for `n − 1` messages,
+//!   *compressed*: one `DeliveryRecord` stands for `n − 1` messages,
 //!   and the per-receiver envelopes are materialized into a reused arena
 //!   only when their round executes (see [`SchedCounters`]);
 //! * a pluggable [`LatencyModel`] decides each message's flight time in

@@ -8,23 +8,121 @@
 //! * [`thread`] — one OS thread per node, lock-step rounds coordinated by a
 //!   router over crossbeam channels.
 //! * [`tcp`] — a full-mesh localhost TCP cluster with framed messages and
-//!   per-round completion markers.
+//!   per-round completion markers (one reader thread per connection).
+//! * [`nonblocking`] — the deployment-grade mesh: a single-threaded
+//!   readiness loop per node over nonblocking `TcpStream`s with per-peer
+//!   framed buffers, simulator-matching early termination, and an optional
+//!   [`crate::LatencyModel`] wall-clock delay shim. This is the transport
+//!   the multi-process `lafd cluster` workers run on.
 //!
-//! Both enforce N2 the same way the simulator does: the receiver labels each
-//! message with the identity bound to the *channel/connection* it arrived
-//! on, never with anything the payload claims.
+//! All of them enforce N2 the same way the simulator does: the receiver
+//! labels each message with the identity bound to the *channel/connection*
+//! it arrived on, never with anything the payload claims.
 
+pub mod nonblocking;
 pub mod tcp;
 pub mod thread;
 
+pub use nonblocking::{DelayShim, MeshPeers, MeshRun, NbCluster, NonblockingMesh};
 pub use tcp::TcpCluster;
 pub use thread::ThreadCluster;
 
-use crate::{NetStats, Node};
+use crate::{NetStats, Node, NodeId};
+use std::time::Duration;
+
+/// A typed transport failure: what went wrong, where, and while doing
+/// what. Lost peers and expired deadlines surface as values carried into
+/// [`ClusterReport::errors`] (or returned by the nonblocking mesh) instead
+/// of panics inside node threads, so an orchestrator can report them
+/// loudly and exit nonzero rather than hang.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransportError {
+    /// A socket operation failed.
+    Io {
+        /// The node that hit the error.
+        node: NodeId,
+        /// What the node was doing (`"connect peer 3"`, `"send frame"`, …).
+        context: String,
+        /// The underlying I/O error, stringified (I/O errors are not
+        /// `Clone`).
+        error: String,
+    },
+    /// A peer's connection closed before the run finished.
+    PeerLost {
+        /// The node that noticed.
+        node: NodeId,
+        /// The vanished peer.
+        peer: NodeId,
+        /// The round the node was executing when the peer vanished.
+        round: u32,
+    },
+    /// No progress within the I/O deadline.
+    Deadline {
+        /// The node that timed out.
+        node: NodeId,
+        /// What the node was waiting for (`"peer connections"`,
+        /// `"round 3 markers"`, …).
+        waiting: String,
+        /// The configured deadline that expired.
+        after: Duration,
+    },
+    /// A peer violated the transport protocol (bad handshake, malformed
+    /// frame, inconsistent termination vote).
+    Protocol {
+        /// The node that detected the violation.
+        node: NodeId,
+        /// Human-readable description.
+        detail: String,
+    },
+}
+
+impl core::fmt::Display for TransportError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            TransportError::Io {
+                node,
+                context,
+                error,
+            } => {
+                write!(f, "{node}: i/o error while {context}: {error}")
+            }
+            TransportError::PeerLost { node, peer, round } => {
+                write!(f, "{node}: lost connection to {peer} in round {round}")
+            }
+            TransportError::Deadline {
+                node,
+                waiting,
+                after,
+            } => {
+                write!(
+                    f,
+                    "{node}: no progress waiting for {waiting} within {after:?}"
+                )
+            }
+            TransportError::Protocol { node, detail } => {
+                write!(f, "{node}: transport protocol violation: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+impl TransportError {
+    /// Wrap an I/O error with its node and context.
+    pub fn io(node: NodeId, context: impl Into<String>, error: &std::io::Error) -> Self {
+        TransportError::Io {
+            node,
+            context: context.into(),
+            error: error.to_string(),
+        }
+    }
+}
 
 /// Result of running a cluster to completion on a real transport.
 pub struct ClusterReport {
-    /// The node automata, in id order, for outcome inspection.
+    /// The node automata of the slots that finished, in id order (slots
+    /// whose thread failed are absent — see [`ClusterReport::errors`]).
     pub nodes: Vec<Box<dyn Node>>,
     /// Aggregated message statistics (protocol messages only; transport
     /// control frames such as round markers are excluded so counts remain
@@ -32,6 +130,20 @@ pub struct ClusterReport {
     pub stats: NetStats,
     /// Rounds executed.
     pub rounds: u32,
+    /// Transport failures, one per node that could not finish. Empty on a
+    /// clean run; inspect (or [`ClusterReport::ok`]) before trusting
+    /// `nodes`/`stats`.
+    pub errors: Vec<TransportError>,
+}
+
+impl ClusterReport {
+    /// `Ok` iff every node finished cleanly; otherwise the first failure.
+    pub fn ok(&self) -> Result<(), &TransportError> {
+        match self.errors.first() {
+            None => Ok(()),
+            Some(e) => Err(e),
+        }
+    }
 }
 
 impl core::fmt::Debug for ClusterReport {
@@ -40,6 +152,7 @@ impl core::fmt::Debug for ClusterReport {
             .field("n", &self.nodes.len())
             .field("rounds", &self.rounds)
             .field("messages", &self.stats.messages_total)
+            .field("errors", &self.errors.len())
             .finish()
     }
 }

@@ -11,10 +11,16 @@
 //! Property N2 (sender identification) is enforced structurally: messages
 //! are attributed to the identity bound to the TCP connection they arrived
 //! on at handshake time; nothing in the payload can change that.
+//!
+//! A lost peer or an expired deadline surfaces as a typed
+//! [`TransportError`] in [`ClusterReport::errors`], never a panic inside a
+//! node thread and never a silent hang. The deadline defaults to 60 s and
+//! is configurable via [`TcpCluster::with_io_deadline`] (CLI:
+//! `--io-deadline-secs`).
 
-use super::ClusterReport;
+use super::{ClusterReport, TransportError};
 use crate::{Envelope, NetStats, Node, NodeId, Outbox};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::mpsc;
@@ -31,13 +37,16 @@ fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
         .unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
-/// Mesh-setup and per-read deadline: generous enough for slow CI machines,
-/// short enough that a lost peer turns into a visible panic instead of a
-/// silent hang.
-const IO_DEADLINE: Duration = Duration::from_secs(60);
+/// Default mesh-setup and per-read deadline: generous enough for slow CI
+/// machines, short enough that a lost peer turns into a loud
+/// [`TransportError`] instead of a silent hang.
+pub const DEFAULT_IO_DEADLINE: Duration = Duration::from_secs(60);
 
 const TAG_MSG: u8 = 0;
 const TAG_MARKER: u8 = 1;
+/// Reader-thread sentinel: the peer's connection is gone (EOF, error, or
+/// read timeout). Never goes on the wire.
+const TAG_GONE: u8 = 0xff;
 
 /// A frame received from a peer (identity taken from the connection).
 #[derive(Debug)]
@@ -82,6 +91,7 @@ fn read_frame(stream: &mut TcpStream) -> std::io::Result<(u8, u32, Vec<u8>)> {
 #[derive(Debug)]
 pub struct TcpCluster {
     rounds: u32,
+    io_deadline: Duration,
 }
 
 impl TcpCluster {
@@ -92,15 +102,29 @@ impl TcpCluster {
     /// Panics if `rounds == 0`.
     pub fn new(rounds: u32) -> Self {
         assert!(rounds > 0, "at least one round required");
-        TcpCluster { rounds }
+        TcpCluster {
+            rounds,
+            io_deadline: DEFAULT_IO_DEADLINE,
+        }
+    }
+
+    /// Replace the default 60 s mesh-setup / per-wait deadline.
+    #[must_use]
+    pub fn with_io_deadline(mut self, io_deadline: Duration) -> Self {
+        self.io_deadline = io_deadline;
+        self
     }
 
     /// Run the automata over localhost TCP.
     ///
+    /// Environmental failures (lost peers, expired deadlines, socket
+    /// errors) land in [`ClusterReport::errors`]; the report's `nodes` and
+    /// `stats` then cover only the slots that finished.
+    ///
     /// # Panics
     ///
-    /// Panics on socket errors (this transport is a test/bench harness, not
-    /// a hardened server) and on node id/index mismatches.
+    /// Panics on node id/index mismatches (API misuse, not an
+    /// environmental failure).
     pub fn run(&self, nodes: Vec<Box<dyn Node>>) -> ClusterReport {
         let n = nodes.len();
         for (i, node) in nodes.iter().enumerate() {
@@ -112,33 +136,64 @@ impl TcpCluster {
 
         // Bind all listeners first so every address is known before any
         // connection attempt.
-        let listeners: Vec<TcpListener> = (0..n)
-            .map(|_| TcpListener::bind("127.0.0.1:0").expect("bind listener"))
-            .collect();
-        let addrs: Vec<SocketAddr> = listeners
+        let mut listeners = Vec::with_capacity(n);
+        for i in 0..n {
+            match TcpListener::bind("127.0.0.1:0") {
+                Ok(l) => listeners.push(l),
+                Err(e) => {
+                    return ClusterReport {
+                        nodes: Vec::new(),
+                        stats: NetStats::new(n),
+                        rounds: 0,
+                        errors: vec![TransportError::io(NodeId(i as u16), "bind listener", &e)],
+                    }
+                }
+            }
+        }
+        let addrs: Vec<SocketAddr> = match listeners
             .iter()
-            .map(|l| l.local_addr().expect("local addr"))
-            .collect();
+            .map(TcpListener::local_addr)
+            .collect::<std::io::Result<Vec<_>>>()
+        {
+            Ok(addrs) => addrs,
+            Err(e) => {
+                return ClusterReport {
+                    nodes: Vec::new(),
+                    stats: NetStats::new(n),
+                    rounds: 0,
+                    errors: vec![TransportError::io(NodeId(0), "local addr", &e)],
+                }
+            }
+        };
         let addrs = Arc::new(addrs);
 
         let rounds = self.rounds;
+        let io_deadline = self.io_deadline;
         let mut handles = Vec::with_capacity(n);
         for (i, node) in nodes.into_iter().enumerate() {
             let listener = listeners[i].try_clone().expect("clone listener");
             let addrs = Arc::clone(&addrs);
             handles.push(thread::spawn(move || {
-                run_node(node, i as u16, listener, &addrs, rounds)
+                run_node(node, i as u16, listener, &addrs, rounds, io_deadline)
             }));
         }
 
-        let mut results: Vec<(Box<dyn Node>, NetStats)> = handles
-            .into_iter()
-            .map(|h| h.join().expect("node thread panicked"))
-            .collect();
+        let mut finished: Vec<(Box<dyn Node>, NetStats)> = Vec::with_capacity(n);
+        let mut errors = Vec::new();
+        for (i, h) in handles.into_iter().enumerate() {
+            match h.join() {
+                Ok(Ok(result)) => finished.push(result),
+                Ok(Err(e)) => errors.push(e),
+                Err(_) => errors.push(TransportError::Protocol {
+                    node: NodeId(i as u16),
+                    detail: "node thread panicked".to_string(),
+                }),
+            }
+        }
 
         let mut stats = NetStats::new(n);
         stats.rounds = rounds;
-        for (node, local) in &results {
+        for (node, local) in &finished {
             let id = node.id();
             for (r, count) in local.per_round.iter().enumerate() {
                 if stats.per_round.len() <= r {
@@ -152,11 +207,12 @@ impl TcpCluster {
             stats.sent_by[id.index()] = local.messages_total;
         }
 
-        results.sort_by_key(|(node, _)| node.id());
+        finished.sort_by_key(|(node, _)| node.id());
         ClusterReport {
-            nodes: results.into_iter().map(|(node, _)| node).collect(),
+            nodes: finished.into_iter().map(|(node, _)| node).collect(),
             stats,
             rounds,
+            errors,
         }
     }
 
@@ -174,6 +230,7 @@ impl TcpCluster {
             nodes: vec![node],
             stats,
             rounds: self.rounds,
+            errors: Vec::new(),
         }
     }
 }
@@ -185,7 +242,8 @@ fn run_node(
     listener: TcpListener,
     addrs: &[SocketAddr],
     rounds: u32,
-) -> (Box<dyn Node>, NetStats) {
+    io_deadline: Duration,
+) -> Result<(Box<dyn Node>, NetStats), TransportError> {
     let n = addrs.len();
     let me_id = NodeId(me);
 
@@ -199,71 +257,99 @@ fn run_node(
     // Connect outward (with a deadline so a dead peer cannot hang the
     // whole cluster).
     for (peer, addr) in addrs.iter().enumerate().skip(me as usize + 1) {
-        let stream = TcpStream::connect_timeout(addr, IO_DEADLINE).expect("connect peer");
-        let mut s = stream.try_clone().expect("clone stream");
-        s.write_all(&me.to_be_bytes()).expect("handshake");
+        let stream = TcpStream::connect_timeout(addr, io_deadline)
+            .map_err(|e| TransportError::io(me_id, format!("connect peer {peer}"), &e))?;
+        let mut s = stream
+            .try_clone()
+            .map_err(|e| TransportError::io(me_id, "clone stream", &e))?;
+        s.write_all(&me.to_be_bytes())
+            .map_err(|e| TransportError::io(me_id, format!("handshake to peer {peer}"), &e))?;
         lock(&streams).insert(NodeId(peer as u16), stream);
     }
     // Accept inward, bounded by the same deadline.
-    listener.set_nonblocking(true).expect("nonblocking accept");
-    let deadline = Instant::now() + IO_DEADLINE;
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| TransportError::io(me_id, "nonblocking accept", &e))?;
+    let deadline = Instant::now() + io_deadline;
     while accept_count > 0 {
         match listener.accept() {
             Ok((mut stream, _)) => {
-                stream.set_nonblocking(false).expect("blocking stream");
                 stream
-                    .set_read_timeout(Some(IO_DEADLINE))
-                    .expect("read timeout");
+                    .set_nonblocking(false)
+                    .map_err(|e| TransportError::io(me_id, "blocking stream", &e))?;
+                stream
+                    .set_read_timeout(Some(io_deadline))
+                    .map_err(|e| TransportError::io(me_id, "read timeout", &e))?;
                 let mut id_buf = [0u8; 2];
-                stream.read_exact(&mut id_buf).expect("handshake id");
+                stream
+                    .read_exact(&mut id_buf)
+                    .map_err(|e| TransportError::io(me_id, "handshake id", &e))?;
                 let peer = NodeId(u16::from_be_bytes(id_buf));
-                assert!(peer.0 < me, "unexpected handshake from {peer}");
+                if peer.0 >= me {
+                    return Err(TransportError::Protocol {
+                        node: me_id,
+                        detail: format!("unexpected handshake from {peer}"),
+                    });
+                }
                 lock(&streams).insert(peer, stream);
                 accept_count -= 1;
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                assert!(
-                    Instant::now() < deadline,
-                    "P{me}: peers failed to connect within {IO_DEADLINE:?}"
-                );
+                if Instant::now() >= deadline {
+                    return Err(TransportError::Deadline {
+                        node: me_id,
+                        waiting: format!("{accept_count} peer connection(s)"),
+                        after: io_deadline,
+                    });
+                }
                 thread::sleep(Duration::from_millis(1));
             }
-            Err(e) => panic!("accept peer: {e}"),
+            Err(e) => return Err(TransportError::io(me_id, "accept peer", &e)),
         }
     }
     // Reads during the run are bounded too: a vanished peer surfaces as a
-    // reader-thread exit, and a main loop stuck waiting for its marker
-    // panics on the closed channel instead of hanging.
+    // reader-thread exit sentinel, and the main loop waiting for its
+    // marker reports a typed error instead of hanging.
     for stream in lock(&streams).values() {
         stream
-            .set_read_timeout(Some(IO_DEADLINE))
-            .expect("read timeout");
+            .set_read_timeout(Some(io_deadline))
+            .map_err(|e| TransportError::io(me_id, "read timeout", &e))?;
     }
 
     // One reader thread per peer; the *connection* determines `from` (N2).
     let mut reader_handles = Vec::new();
     for (peer, stream) in lock(&streams).iter() {
-        let mut stream = stream.try_clone().expect("clone for reader");
+        let mut stream = stream
+            .try_clone()
+            .map_err(|e| TransportError::io(me_id, "clone for reader", &e))?;
         let tx = frame_tx.clone();
         let peer = *peer;
-        reader_handles.push(thread::spawn(move || {
-            #[allow(clippy::while_let_loop)]
-            loop {
-                match read_frame(&mut stream) {
-                    Ok((tag, round, payload)) => {
-                        if tx
-                            .send(InFrame {
-                                from: peer,
-                                tag,
-                                round,
-                                payload,
-                            })
-                            .is_err()
-                        {
-                            break;
-                        }
+        reader_handles.push(thread::spawn(move || loop {
+            match read_frame(&mut stream) {
+                Ok((tag, round, payload)) => {
+                    if tx
+                        .send(InFrame {
+                            from: peer,
+                            tag,
+                            round,
+                            payload,
+                        })
+                        .is_err()
+                    {
+                        break;
                     }
-                    Err(_) => break, // peer closed
+                }
+                Err(_) => {
+                    // Peer closed (or the read deadline expired): tell the
+                    // main loop, which decides whether the peer was still
+                    // needed.
+                    let _ = tx.send(InFrame {
+                        from: peer,
+                        tag: TAG_GONE,
+                        round: 0,
+                        payload: Vec::new(),
+                    });
+                    break;
                 }
             }
         }));
@@ -273,63 +359,89 @@ fn run_node(
     let mut stats = NetStats::new(n);
     // Messages buffered per round: round -> Vec<Envelope>.
     let mut buffered: HashMap<u32, Vec<Envelope>> = HashMap::new();
-    // Markers received per round: round -> count.
-    let mut markers: HashMap<u32, usize> = HashMap::new();
+    // Marker senders per round.
+    let mut markers: HashMap<u32, HashSet<NodeId>> = HashMap::new();
+    // Peers whose reader thread has exited.
+    let mut gone: HashSet<NodeId> = HashSet::new();
 
-    for round in 0..rounds {
-        // Wait for every peer's marker for the previous round.
-        if round > 0 {
-            let prev = round - 1;
-            while markers.get(&prev).copied().unwrap_or(0) < n - 1 {
-                let frame = frame_rx.recv().expect("mesh alive while waiting");
-                ingest(frame, &mut buffered, &mut markers);
+    let run = (|| -> Result<(), TransportError> {
+        for round in 0..rounds {
+            // Wait for every peer's marker for the previous round.
+            if round > 0 {
+                let prev = round - 1;
+                while markers.get(&prev).map_or(0, HashSet::len) < n - 1 {
+                    if let Some(peer) = gone
+                        .iter()
+                        .find(|p| !markers.get(&prev).is_some_and(|m| m.contains(p)))
+                    {
+                        return Err(TransportError::PeerLost {
+                            node: me_id,
+                            peer: *peer,
+                            round,
+                        });
+                    }
+                    match frame_rx.recv_timeout(io_deadline) {
+                        Ok(frame) => ingest(frame, &mut buffered, &mut markers, &mut gone),
+                        Err(_) => {
+                            return Err(TransportError::Deadline {
+                                node: me_id,
+                                waiting: format!("round {prev} markers"),
+                                after: io_deadline,
+                            })
+                        }
+                    }
+                }
             }
-        }
-        // Drain anything already queued without blocking.
-        while let Ok(frame) = frame_rx.try_recv() {
-            ingest(frame, &mut buffered, &mut markers);
-        }
-
-        let inbox = if round > 0 {
-            let mut msgs = buffered.remove(&(round - 1)).unwrap_or_default();
-            // Deterministic order: by sender id, then arrival order.
-            msgs.sort_by_key(|e| e.from);
-            msgs
-        } else {
-            Vec::new()
-        };
-
-        let mut out = Outbox::new();
-        node.on_round(round, &inbox, &mut out);
-
-        for (to, payload) in out.into_messages() {
-            if to.index() >= n || to == me_id {
-                stats.dropped_invalid += 1;
-                continue;
+            // Drain anything already queued without blocking.
+            while let Ok(frame) = frame_rx.try_recv() {
+                ingest(frame, &mut buffered, &mut markers, &mut gone);
             }
-            let env = Envelope {
-                from: me_id,
-                to,
-                round,
-                payload,
+
+            let inbox = if round > 0 {
+                let mut msgs = buffered.remove(&(round - 1)).unwrap_or_default();
+                // Deterministic order: by sender id, then arrival order.
+                msgs.sort_by_key(|e| e.from);
+                msgs
+            } else {
+                Vec::new()
             };
-            stats.record_send(me_id, round, env.wire_len());
+
+            let mut out = Outbox::new();
+            node.on_round(round, &inbox, &mut out);
+
+            for (to, payload) in out.into_messages() {
+                if to.index() >= n || to == me_id {
+                    stats.dropped_invalid += 1;
+                    continue;
+                }
+                let env = Envelope {
+                    from: me_id,
+                    to,
+                    round,
+                    payload,
+                };
+                stats.record_send(me_id, round, env.wire_len());
+                let mut guard = lock(&streams);
+                let stream = guard.get_mut(&to).expect("stream for peer");
+                write_frame(stream, TAG_MSG, round, &env.payload)
+                    .map_err(|e| TransportError::io(me_id, format!("send frame to {to}"), &e))?;
+            }
+            // Round marker to everyone.
             let mut guard = lock(&streams);
-            let stream = guard.get_mut(&to).expect("stream for peer");
-            write_frame(stream, TAG_MSG, round, &env.payload).expect("send frame");
+            for (peer, stream) in guard.iter_mut() {
+                write_frame(stream, TAG_MARKER, round, &[])
+                    .map_err(|e| TransportError::io(me_id, format!("send marker to {peer}"), &e))?;
+            }
         }
-        // Round marker to everyone.
-        let mut guard = lock(&streams);
-        for (_, stream) in guard.iter_mut() {
-            write_frame(stream, TAG_MARKER, round, &[]).expect("send marker");
-        }
-    }
+        Ok(())
+    })();
 
     // Close the mesh half-duplex: `shutdown(Write)` sends FIN (the socket
     // is shared with reader-thread clones, so a plain drop would not), and
     // every peer's reader wakes with EOF once all its peers have finished.
     // The read half stays open so peers still flushing their final-round
-    // markers never see a broken pipe.
+    // markers never see a broken pipe. On the error path the streams are
+    // dropped outright, which also unblocks every reader.
     for (_, stream) in lock(&streams).drain() {
         let _ = stream.shutdown(std::net::Shutdown::Write);
     }
@@ -337,14 +449,16 @@ fn run_node(
     for h in reader_handles {
         let _ = h.join();
     }
+    run?;
     stats.rounds = rounds;
-    (node, stats)
+    Ok((node, stats))
 }
 
 fn ingest(
     frame: InFrame,
     buffered: &mut HashMap<u32, Vec<Envelope>>,
-    markers: &mut HashMap<u32, usize>,
+    markers: &mut HashMap<u32, HashSet<NodeId>>,
+    gone: &mut HashSet<NodeId>,
 ) {
     match frame.tag {
         TAG_MSG => buffered.entry(frame.round).or_default().push(Envelope {
@@ -353,7 +467,12 @@ fn ingest(
             round: frame.round,
             payload: frame.payload.into(),
         }),
-        TAG_MARKER => *markers.entry(frame.round).or_default() += 1,
+        TAG_MARKER => {
+            markers.entry(frame.round).or_default().insert(frame.from);
+        }
+        TAG_GONE => {
+            gone.insert(frame.from);
+        }
         other => {
             // Unknown control tag: ignore (future extension space).
             let _ = other;
@@ -415,6 +534,7 @@ mod tests {
     fn mesh_exchange_over_tcp() {
         let n = 5;
         let report = TcpCluster::new(2).run(cluster_nodes(n));
+        assert!(report.ok().is_ok());
         assert_eq!(report.stats.messages_total, n * (n - 1));
         for node in &report.nodes {
             let c = node.as_any().downcast_ref::<Counter>().unwrap();
@@ -428,11 +548,68 @@ mod tests {
         let report = TcpCluster::new(3).run(cluster_nodes(1));
         assert_eq!(report.rounds, 3);
         assert_eq!(report.stats.messages_total, 0);
+        assert!(report.errors.is_empty());
     }
 
     #[test]
     #[should_panic(expected = "at least one round")]
     fn zero_rounds_rejected() {
         let _ = TcpCluster::new(0);
+    }
+
+    /// A node that panics mid-run: the report must carry a typed error for
+    /// its slot (and typically peer-lost/deadline errors for the others)
+    /// instead of propagating a panic or hanging.
+    struct Bomb {
+        id: NodeId,
+        n: usize,
+    }
+
+    impl Node for Bomb {
+        fn id(&self) -> NodeId {
+            self.id
+        }
+        fn on_round(&mut self, round: u32, _inbox: &[Envelope], out: &mut Outbox) {
+            if round == 1 && self.id == NodeId(0) {
+                panic!("boom");
+            }
+            out.broadcast(self.n, self.id, [round as u8]);
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+        fn into_any(self: Box<Self>) -> Box<dyn Any> {
+            self
+        }
+    }
+
+    #[test]
+    fn lost_peer_is_a_typed_error_not_a_hang() {
+        let n = 3;
+        let nodes: Vec<Box<dyn Node>> = (0..n)
+            .map(|i| {
+                Box::new(Bomb {
+                    id: NodeId(i as u16),
+                    n,
+                }) as Box<dyn Node>
+            })
+            .collect();
+        let report = TcpCluster::new(4)
+            .with_io_deadline(Duration::from_secs(5))
+            .run(nodes);
+        assert!(report.ok().is_err());
+        assert!(
+            report
+                .errors
+                .iter()
+                .any(|e| matches!(e, TransportError::Protocol { node, .. } if *node == NodeId(0))),
+            "panicked slot not reported: {:?}",
+            report.errors
+        );
+        // The survivors must notice the vanished peer rather than hang.
+        assert!(report.nodes.len() < n);
     }
 }

@@ -133,6 +133,7 @@ impl ThreadCluster {
             nodes,
             stats,
             rounds: round,
+            errors: Vec::new(),
         }
     }
 }

@@ -23,7 +23,15 @@
 //! lafd degrade  --n 7 [--t 2] [--equivocate]   # graded/degradable agreement
 //! lafd king     --n 9 [--t 2] [--crash 1]      # Phase-King non-auth baseline
 //! lafd rotate   --n 8 [--t 2] [--runs 10]      # key-rotation epochs (3 epochs)
-//! lafd tcp      --n 6 [--t 1]
+//! lafd tcp      --n 6 [--t 1] [--io-deadline-secs 60]
+//! lafd registry [--listen 127.0.0.1:0] [--wait-limit-secs 120]
+//! lafd cluster  <protocol> [-n 7] [--t T] [--seed S] [--scheme tiny|...]
+//!               [--value V] [--adversary KIND[:NODES]] [--crash I]
+//!               [--latency sync|fixed:D|jitter:E|psync:GST:E]
+//!               [--io-deadline-secs 60] [--round-wall-us 0]
+//!               # one OS process per node over a discovery registry and
+//!               # a non-blocking socket mesh; last stdout line is the
+//!               # standard report JSON (byte-identical to `lafd run`)
 //! lafd trace    --n 4 [--t 1]     # per-round message flow of one cycle
 //! lafd sweep    [--protocols all|chain,nonauth,ba,degrade,ds,king,small]
 //!               [--sizes 4,7,10] [--faults auto|0,1,2] [--adversaries none,silent,...]
@@ -33,7 +41,7 @@
 //!               [--remote ADDR] [--threads N] [--json PATH] [--md PATH]
 //! lafd bench    [--quick] [--out BENCH_5.json] [--sizes 256,1024,2048,4096]
 //!               [--t 1] [--seed 1] [--protocols chain,ds] [--engines sync,event]
-//!               [--label PR7]
+//!               [--label PR7] [--cluster-sizes 4,8]   # multi-process cells
 //! lafd report   [FILES...] [--md PATH] [--html PATH] [--fresh]
 //!               # bench trajectory over committed BENCH_*.json baselines
 //! ```
@@ -71,6 +79,7 @@ struct Extras {
     runs: usize,
     crash: Option<usize>,
     equivocate: bool,
+    io_deadline_secs: u64,
 }
 
 /// Parse the classic subcommands' shared flag set into the single request
@@ -83,6 +92,7 @@ fn parse_common(args: &[String]) -> Result<(SpecBuilder, Extras), String> {
         runs: 3,
         crash: None,
         equivocate: false,
+        io_deadline_secs: 60,
     };
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -102,6 +112,11 @@ fn parse_common(args: &[String]) -> Result<(SpecBuilder, Extras), String> {
                 extras.crash = Some(grab()?.parse().map_err(|e| format!("--crash: {e}"))?);
             }
             "--equivocate" => extras.equivocate = true,
+            "--io-deadline-secs" => {
+                extras.io_deadline_secs = grab()?
+                    .parse()
+                    .map_err(|e| format!("--io-deadline-secs: {e}"))?;
+            }
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -111,7 +126,7 @@ fn parse_common(args: &[String]) -> Result<(SpecBuilder, Extras), String> {
 
 fn usage() {
     eprintln!(
-        "usage: lafd <keydist|fd|run|serve|search|bench|report|vector|ba|degrade|king|rotate|tcp|trace|sweep> [--n N] \
+        "usage: lafd <keydist|fd|run|serve|search|bench|report|cluster|registry|vector|ba|degrade|king|rotate|tcp|trace|sweep> [--n N] \
          [--t T] [--seed S] [--scheme tiny|s512|s1024|s2048|dsa512|dsa1024|rsa512|rsa1024] \
          [--value V] [--runs K] [--crash I] [--equivocate]\n\
          run: lafd run <chain|nonauth|small|ba|degrade|ds|king> [-n N] [--t T] \
@@ -131,9 +146,14 @@ fn usage() {
          [--latencies LIST] [--link-latency SPEC] [--search N[:STRATEGY]] \
          [--remote HOST:PORT] [--threads N] [--json PATH] [--md PATH]\n\
          bench: lafd bench [--quick] [--out PATH] [--sizes LIST] [--t T] [--seed S] \
-         [--protocols chain,ds] [--engines sync,event] [--label NAME]\n\
+         [--protocols chain,ds] [--engines sync,event] [--label NAME] [--cluster-sizes LIST]\n\
          report: lafd report [FILES...] [--md PATH] [--html PATH] [--fresh] \
-         (defaults to BENCH_*.json in the current directory)"
+         (defaults to BENCH_*.json in the current directory)\n\
+         cluster: lafd cluster <chain|nonauth|small|ba|degrade|ds|king> [-n N] [--t T] \
+         [--seed S] [--scheme NAME] [--value V] [--adversary KIND[:NODES]] [--crash I] \
+         [--latency SPEC] [--io-deadline-secs S] [--round-wall-us U] \
+         — spawns a registry plus one worker process per node\n\
+         registry: lafd registry [--listen HOST:PORT] [--wait-limit-secs S]"
     );
 }
 
@@ -152,6 +172,9 @@ fn main() -> ExitCode {
         "search" => return cmd_search(rest),
         "bench" => return cmd_bench(rest),
         "report" => return cmd_report(rest),
+        "registry" => return cmd_registry(rest),
+        "cluster" => return cmd_cluster(rest),
+        "cluster-worker" => return cmd_cluster_worker(rest),
         _ => {}
     }
     let (mut builder, extras) = match parse_common(rest) {
@@ -202,7 +225,7 @@ fn main() -> ExitCode {
         "degrade" => cmd_degrade(&builder, &extras),
         "king" => cmd_king(&builder, &extras),
         "rotate" => cmd_rotate(&builder, &extras),
-        "tcp" => cmd_tcp(&builder),
+        "tcp" => return cmd_tcp(&builder, &extras),
         "trace" => cmd_trace(&builder, &extras),
         other => {
             eprintln!("error: unknown command {other}");
@@ -1250,7 +1273,7 @@ fn cmd_rotate(builder: &SpecBuilder, extras: &Extras) {
     );
 }
 
-fn cmd_tcp(builder: &SpecBuilder) {
+fn cmd_tcp(builder: &SpecBuilder, extras: &Extras) -> ExitCode {
     use local_auth_fd::core::keys::Keyring;
     use local_auth_fd::core::localauth::{KeyDistNode, KEYDIST_ROUNDS};
     use local_auth_fd::simnet::transport::TcpCluster;
@@ -1270,13 +1293,448 @@ fn cmd_tcp(builder: &SpecBuilder) {
         })
         .collect();
     let start = std::time::Instant::now();
-    let report = TcpCluster::new(KEYDIST_ROUNDS).run(nodes);
+    let report = TcpCluster::new(KEYDIST_ROUNDS)
+        .with_io_deadline(std::time::Duration::from_secs(extras.io_deadline_secs))
+        .run(nodes);
+    if let Err(first) = report.ok() {
+        for error in &report.errors {
+            eprintln!("error: {error}");
+        }
+        eprintln!("error: tcp key distribution failed: {first}");
+        return ExitCode::FAILURE;
+    }
     println!(
         "key distribution over localhost TCP: {} messages, {} bytes, {:?}",
         report.stats.messages_total,
         report.stats.bytes_total,
         start.elapsed(),
     );
+    ExitCode::SUCCESS
+}
+
+// ---------------------------------------------------------------------
+// Deployment layer: `lafd registry`, `lafd cluster`, `lafd cluster-worker`
+// ---------------------------------------------------------------------
+
+fn cmd_registry(args: &[String]) -> ExitCode {
+    use local_auth_fd::core::deploy::Registry;
+    let mut listen = "127.0.0.1:0".to_string();
+    let mut wait_limit_secs: u64 = 120;
+    let mut it = args.iter();
+    let parsed = (|| -> Result<(), String> {
+        while let Some(flag) = it.next() {
+            let mut grab = || {
+                it.next()
+                    .cloned()
+                    .ok_or_else(|| format!("flag {flag} needs a value"))
+            };
+            match flag.as_str() {
+                "--listen" => listen = grab()?,
+                "--wait-limit-secs" => {
+                    wait_limit_secs = grab()?
+                        .parse()
+                        .map_err(|e| format!("--wait-limit-secs: {e}"))?;
+                }
+                other => return Err(format!("unknown registry flag {other}")),
+            }
+        }
+        Ok(())
+    })();
+    if let Err(e) = parsed {
+        eprintln!("error: {e}");
+        usage();
+        return ExitCode::FAILURE;
+    }
+    let registry = match Registry::bind(&listen) {
+        Ok(r) => r.with_wait_limit(std::time::Duration::from_secs(wait_limit_secs)),
+        Err(e) => {
+            eprintln!("error: registry bind {listen}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // The orchestrator (and shell scripts) scrape the bound address from
+    // this exact line — keep it first and flushed.
+    println!("registry listening on {}", registry.local_addr());
+    let _ = std::io::stdout().flush();
+    match registry.serve() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: registry accept loop: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Flags of `lafd cluster` beyond the run shape.
+#[derive(Debug)]
+struct ClusterOpts {
+    io_deadline_secs: u64,
+    round_wall_us: u64,
+}
+
+fn parse_cluster(args: &[String]) -> Result<(SpecBuilder, ClusterOpts), String> {
+    let Some((proto, rest)) = args.split_first() else {
+        return Err(
+            "cluster needs a protocol (chain|nonauth|small|ba|degrade|ds|king)".to_string(),
+        );
+    };
+    let mut builder = SpecBuilder::new(Protocol::parse(proto)?, 7)
+        .with_input(b"attack at dawn".to_vec())
+        .with_default_value(b"default".to_vec());
+    let mut opts = ClusterOpts {
+        io_deadline_secs: 60,
+        round_wall_us: 0,
+    };
+    let mut round_wall_given = false;
+    let mut adversary_given = false;
+    let mut crash: Option<usize> = None;
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        let mut grab = || {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("flag {flag} needs a value"))
+        };
+        match flag.as_str() {
+            "-n" | "--n" => builder.n = grab()?.parse().map_err(|e| format!("--n: {e}"))?,
+            "--t" => builder.t = Some(grab()?.parse().map_err(|e| format!("--t: {e}"))?),
+            "--seed" => builder.seed = grab()?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--scheme" => builder.scheme = grab()?,
+            "--value" => builder.input = grab()?.into_bytes(),
+            "--latency" => builder = builder.with_latency(LatencySpec::parse(&grab()?)?),
+            "--adversary" => {
+                builder.adversary = AdversarySpec::parse(&grab()?)?;
+                adversary_given = true;
+            }
+            "--crash" => crash = Some(grab()?.parse().map_err(|e| format!("--crash: {e}"))?),
+            "--io-deadline-secs" => {
+                opts.io_deadline_secs = grab()?
+                    .parse()
+                    .map_err(|e| format!("--io-deadline-secs: {e}"))?;
+            }
+            "--round-wall-us" => {
+                opts.round_wall_us = grab()?
+                    .parse()
+                    .map_err(|e| format!("--round-wall-us: {e}"))?;
+                round_wall_given = true;
+            }
+            other => return Err(format!("unknown cluster flag {other}")),
+        }
+    }
+    if let Some(crash) = crash {
+        if adversary_given {
+            return Err("--crash and --adversary cannot be combined".to_string());
+        }
+        if crash >= builder.n {
+            return Err(format!(
+                "--crash {crash} is out of range for n = {}",
+                builder.n
+            ));
+        }
+        builder.adversary =
+            AdversarySpec::scripted_at(AdversaryKind::SilentRelay, vec![NodeId(crash as u16)]);
+    }
+    // A latency model on the cluster is a wall-clock delay shim over the
+    // socket mesh. It needs a nonzero round-wall to scale ticks against;
+    // default 2ms per round when the user asked for latency but gave none.
+    // The shape still validates against the event engine (the lockstep
+    // engine cannot express a latency model).
+    if builder.latency != LatencySpec::Synchronous {
+        builder.engine = Engine::Event;
+        if !round_wall_given {
+            opts.round_wall_us = 2_000;
+        }
+    }
+    builder.validate()?;
+    Ok((builder, opts))
+}
+
+fn cmd_cluster(args: &[String]) -> ExitCode {
+    use local_auth_fd::core::deploy;
+    use std::process::{Child, Command, Stdio};
+    use std::time::{Duration, Instant};
+
+    let (builder, opts) = match parse_cluster(args) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("error: {e}");
+            usage();
+            return ExitCode::FAILURE;
+        }
+    };
+    let request = match wire::request_to_json(&builder, None) {
+        Ok(json) => json,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let exe = match std::env::current_exe() {
+        Ok(path) => path,
+        Err(e) => {
+            eprintln!("error: cannot locate the lafd binary to re-exec: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let run_id = format!(
+        "cluster-{}-n{}-seed{}",
+        builder.protocol.name(),
+        builder.n,
+        builder.seed
+    );
+
+    // The registry is a child process too, so `lafd cluster` exercises the
+    // exact discovery path a hand-rolled deployment would use.
+    let mut registry = match Command::new(&exe)
+        .args([
+            "registry",
+            "--listen",
+            "127.0.0.1:0",
+            "--wait-limit-secs",
+            &opts.io_deadline_secs.to_string(),
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+    {
+        Ok(child) => child,
+        Err(e) => {
+            eprintln!("error: spawn registry: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let kill_all = |registry: &mut Child, workers: &mut Vec<(usize, Child)>| {
+        for (_, child) in workers.iter_mut() {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+        let _ = registry.kill();
+        let _ = registry.wait();
+    };
+    let mut line = String::new();
+    let addr = {
+        let stdout = registry.stdout.take().expect("stdout was piped");
+        let mut reader = BufReader::new(stdout);
+        match reader.read_line(&mut line) {
+            Ok(_) => (),
+            Err(e) => {
+                eprintln!("error: read registry address: {e}");
+                kill_all(&mut registry, &mut Vec::new());
+                return ExitCode::FAILURE;
+            }
+        }
+        match line.trim().rsplit(' ').next() {
+            Some(addr) if line.starts_with("registry listening on ") => addr.to_string(),
+            _ => {
+                eprintln!("error: registry did not announce an address (got {line:?})");
+                kill_all(&mut registry, &mut Vec::new());
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+
+    let mut pending: Vec<(usize, Child)> = Vec::new();
+    for node in 0..builder.n {
+        let spawned = Command::new(&exe)
+            .args([
+                "cluster-worker",
+                "--registry",
+                &addr,
+                "--run",
+                &run_id,
+                "--node",
+                &node.to_string(),
+                "--io-deadline-secs",
+                &opts.io_deadline_secs.to_string(),
+                "--round-wall-us",
+                &opts.round_wall_us.to_string(),
+                "--request",
+                &request,
+            ])
+            .stdout(Stdio::inherit())
+            .stderr(Stdio::inherit())
+            .spawn();
+        match spawned {
+            Ok(child) => pending.push((node, child)),
+            Err(e) => {
+                eprintln!("error: spawn worker {node}: {e}");
+                kill_all(&mut registry, &mut pending);
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    println!(
+        "cluster {}: registry at {addr}, {} worker processes launched",
+        builder.protocol.name(),
+        builder.n
+    );
+
+    // Supervise: a crashed or hung worker must surface as a loud error and
+    // a nonzero exit, never a silent hang. The guard bounds the whole run
+    // (keydist mesh + barrier + protocol mesh + teardown).
+    let guard_secs = opts.io_deadline_secs.saturating_mul(4).saturating_add(30);
+    let guard = Instant::now() + Duration::from_secs(guard_secs);
+    let mut failures: Vec<String> = Vec::new();
+    while !pending.is_empty() && failures.is_empty() {
+        if Instant::now() > guard {
+            let stuck: Vec<String> = pending.iter().map(|(node, _)| node.to_string()).collect();
+            kill_all(&mut registry, &mut pending);
+            eprintln!(
+                "error: cluster run exceeded the {guard_secs}s guard with workers [{}] still running",
+                stuck.join(", ")
+            );
+            return ExitCode::FAILURE;
+        }
+        let mut still = Vec::new();
+        for (node, mut child) in pending {
+            match child.try_wait() {
+                Ok(Some(status)) if status.success() => {}
+                Ok(Some(status)) => failures.push(format!("worker {node} exited with {status}")),
+                Ok(None) => still.push((node, child)),
+                Err(e) => failures.push(format!("worker {node}: wait failed: {e}")),
+            }
+        }
+        pending = still;
+        if failures.is_empty() && !pending.is_empty() {
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    }
+    if !failures.is_empty() {
+        for failure in &failures {
+            eprintln!("error: {failure}");
+        }
+        kill_all(&mut registry, &mut pending);
+        eprintln!("error: lafd cluster aborted: a worker process failed");
+        return ExitCode::FAILURE;
+    }
+
+    // All workers exited 0: collect the summaries and fold them into the
+    // standard report (byte-comparable with the in-process engines).
+    let collected = deploy::registry_call(
+        &addr,
+        &wire::RegistryRequest::Collect {
+            run: run_id.clone(),
+        },
+        Duration::from_secs(opts.io_deadline_secs),
+    );
+    kill_all(&mut registry, &mut pending);
+    let summaries = match collected {
+        Ok(wire::RegistryReply::Summaries { workers }) => workers,
+        Ok(other) => {
+            eprintln!("error: registry returned {other:?} instead of summaries");
+            return ExitCode::FAILURE;
+        }
+        Err(e) => {
+            eprintln!("error: collect summaries: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (report, totals) = match deploy::assemble_report(builder.protocol, builder.n, &summaries) {
+        Ok(assembled) => assembled,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "key distribution: {} messages, {} bytes, {} rounds, {} anomalies",
+        totals.kd_messages, totals.kd_bytes, totals.kd_rounds, totals.kd_anomalies
+    );
+    println!(
+        "{}: {} messages, {} bytes, {} rounds",
+        builder.protocol.name(),
+        report.stats.messages_total,
+        report.stats.bytes_total,
+        report.stats.rounds
+    );
+    // The machine-readable result is the last stdout line, so scripts (and
+    // the cross-validation tests) can compare it byte-for-byte with the
+    // in-process engines' `FdRunReport::to_json`.
+    println!("{}", report.to_json());
+    ExitCode::SUCCESS
+}
+
+fn cmd_cluster_worker(args: &[String]) -> ExitCode {
+    use local_auth_fd::core::deploy;
+    let mut registry: Option<String> = None;
+    let mut run: Option<String> = None;
+    let mut node: Option<usize> = None;
+    let mut request: Option<String> = None;
+    let mut io_deadline_secs: u64 = 60;
+    let mut round_wall_us: u64 = 0;
+    let mut it = args.iter();
+    let parsed = (|| -> Result<(), String> {
+        while let Some(flag) = it.next() {
+            let mut grab = || {
+                it.next()
+                    .cloned()
+                    .ok_or_else(|| format!("flag {flag} needs a value"))
+            };
+            match flag.as_str() {
+                "--registry" => registry = Some(grab()?),
+                "--run" => run = Some(grab()?),
+                "--node" => node = Some(grab()?.parse().map_err(|e| format!("--node: {e}"))?),
+                "--request" => request = Some(grab()?),
+                "--io-deadline-secs" => {
+                    io_deadline_secs = grab()?
+                        .parse()
+                        .map_err(|e| format!("--io-deadline-secs: {e}"))?;
+                }
+                "--round-wall-us" => {
+                    round_wall_us = grab()?
+                        .parse()
+                        .map_err(|e| format!("--round-wall-us: {e}"))?;
+                }
+                other => return Err(format!("unknown cluster-worker flag {other}")),
+            }
+        }
+        Ok(())
+    })();
+    let (registry, run, node, request) = match (parsed, registry, run, node, request) {
+        (Ok(()), Some(registry), Some(run), Some(node), Some(request)) => {
+            (registry, run, node, request)
+        }
+        (Err(e), ..) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+        _ => {
+            eprintln!("error: cluster-worker needs --registry, --run, --node, and --request");
+            return ExitCode::FAILURE;
+        }
+    };
+    // Test hook: the CI cluster-smoke job and the integration tests kill
+    // one worker before it registers, to prove a vanished process surfaces
+    // as a loud orchestrator failure rather than a hang.
+    if std::env::var("LAFD_CLUSTER_KILL_NODE")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .is_some_and(|victim| victim == node)
+    {
+        eprintln!("worker {node}: exiting early (LAFD_CLUSTER_KILL_NODE test hook)");
+        std::process::exit(43);
+    }
+    let builder = match wire::request_from_json(&request) {
+        Ok((builder, _id)) => builder,
+        Err(e) => {
+            eprintln!("error: cluster worker {node}: bad --request: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let cfg = deploy::WorkerConfig {
+        registry,
+        run,
+        node,
+        io_deadline: std::time::Duration::from_secs(io_deadline_secs),
+        round_wall: std::time::Duration::from_micros(round_wall_us),
+    };
+    match deploy::run_worker(&cfg, &builder) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: cluster worker {node}: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 fn cmd_trace(builder: &SpecBuilder, extras: &Extras) {
@@ -1643,6 +2101,11 @@ struct BenchOpts {
     quick: bool,
     out: String,
     label: Option<String>,
+    /// `--cluster-sizes LIST`: also measure chain FD end-to-end through
+    /// `lafd cluster` (one OS process per node over the registry and the
+    /// non-blocking socket mesh) at these sizes, recorded as
+    /// `engine: "cluster"` cells.
+    cluster_sizes: Vec<usize>,
 }
 
 fn parse_bench(args: &[String]) -> Result<BenchOpts, String> {
@@ -1655,6 +2118,7 @@ fn parse_bench(args: &[String]) -> Result<BenchOpts, String> {
         quick: false,
         out: "BENCH_5.json".to_string(),
         label: None,
+        cluster_sizes: Vec::new(),
     };
     let mut sizes_given = false;
     let mut out_given = false;
@@ -1688,6 +2152,17 @@ fn parse_bench(args: &[String]) -> Result<BenchOpts, String> {
             }
             "--engines" => opts.engines = parse_list(&grab()?, "engines", Engine::parse)?,
             "--label" => opts.label = Some(grab()?),
+            "--cluster-sizes" => {
+                opts.cluster_sizes = parse_list(&grab()?, "cluster-sizes", |s| {
+                    let n: usize = s.parse().map_err(|e| format!("--cluster-sizes: {e}"))?;
+                    if n > 64 {
+                        return Err(format!(
+                            "--cluster-sizes: {n} processes is unreasonable for one host"
+                        ));
+                    }
+                    Ok(n)
+                })?;
+            }
             other => return Err(format!("unknown bench flag {other}")),
         }
     }
@@ -1699,7 +2174,7 @@ fn parse_bench(args: &[String]) -> Result<BenchOpts, String> {
     if opts.quick && !out_given {
         opts.out = "bench-quick.json".to_string();
     }
-    for &n in &opts.sizes {
+    for &n in opts.sizes.iter().chain(&opts.cluster_sizes) {
         if opts.t + 2 > n {
             return Err(format!("bench size {n} needs t + 2 <= n (t = {})", opts.t));
         }
@@ -1791,6 +2266,87 @@ fn cmd_bench(args: &[String]) -> ExitCode {
                 ));
             }
         }
+    }
+    // The live-socket column: chain FD through `lafd cluster`, i.e. one
+    // OS process per node over the discovery registry and the
+    // non-blocking mesh. Wall time is deliberately end-to-end (process
+    // spawn, registry barrier, socket keydist, protocol, aggregation) —
+    // that is the number a deployment pays; the message/byte/round
+    // counters come from the aggregated report and stay byte-identical
+    // to the in-process engines.
+    for &n in &opts.cluster_sizes {
+        let exe = std::env::current_exe().expect("current_exe");
+        let start = std::time::Instant::now();
+        let out = std::process::Command::new(&exe)
+            .args([
+                "cluster",
+                "chain",
+                "-n",
+                &n.to_string(),
+                "--seed",
+                &opts.seed.to_string(),
+                "--t",
+                &opts.t.to_string(),
+                "--value",
+                "bench-value",
+            ])
+            .output();
+        let wall = start.elapsed();
+        let out = match out {
+            Ok(out) if out.status.success() => out,
+            Ok(out) => {
+                eprintln!(
+                    "error: bench cell chain_fd/n={n}/cluster failed: {}",
+                    String::from_utf8_lossy(&out.stderr)
+                );
+                return ExitCode::FAILURE;
+            }
+            Err(e) => {
+                eprintln!("error: bench cell chain_fd/n={n}/cluster: spawn: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        let report = match wire::report_from_json(stdout.lines().last().unwrap_or_default()) {
+            Ok(report) => report,
+            Err(e) => {
+                eprintln!("error: bench cell chain_fd/n={n}/cluster: bad report: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if !report.all_decided(b"bench-value") {
+            eprintln!("error: bench cell chain_fd/n={n}/cluster did not decide the value");
+            return ExitCode::FAILURE;
+        }
+        let expected = Protocol::ChainFd.expected_messages(n, opts.t);
+        if report.stats.messages_total != expected {
+            eprintln!(
+                "error: bench cell chain_fd/n={n}/cluster sent {} messages, formula says {expected}",
+                report.stats.messages_total
+            );
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "bench: {:>12} n={n:<5} {:<5} {:>10.2?}  {} msgs, {} bytes (end-to-end, {} processes)",
+            "chain_fd",
+            "cluster",
+            wall,
+            report.stats.messages_total,
+            report.stats.bytes_total,
+            n + 1,
+        );
+        results.push(format!(
+            "    {{\"protocol\": \"chain_fd\", \"n\": {}, \"t\": {}, \"engine\": \"cluster\", \
+             \"scheme\": \"tiny\", \"wall_us\": {}, \"messages\": {}, \"bytes\": {}, \
+             \"comm_rounds\": {}, \"key_allocs\": {}}}",
+            n,
+            opts.t,
+            wall.as_micros(),
+            report.stats.messages_total,
+            report.stats.bytes_total,
+            report.stats.per_round.iter().filter(|&&x| x > 0).count(),
+            n,
+        ));
     }
     let label = opts
         .label

@@ -1,0 +1,153 @@
+//! Cross-validation of the deployment layer: `lafd cluster` runs one OS
+//! process per node over the discovery registry and the non-blocking
+//! socket mesh, and its report (the last stdout line) must be
+//! **byte-identical** to the same `RunSpec` executed in-process by the
+//! reference engine. A vanished worker must surface as a loud error and a
+//! nonzero exit, never a silent hang.
+
+use local_auth_fd::core::spec::{Protocol, SpecBuilder};
+use std::process::Command;
+
+const SEED: u64 = 23;
+
+/// The builder `lafd cluster <proto> -n N --seed SEED` constructs (the
+/// defaults of `parse_cluster`: input "attack at dawn", default value
+/// "default").
+fn cluster_builder(protocol: Protocol, n: usize) -> SpecBuilder {
+    SpecBuilder::new(protocol, n)
+        .with_seed(SEED)
+        .with_input(b"attack at dawn".to_vec())
+        .with_default_value(b"default".to_vec())
+}
+
+/// Run `lafd cluster` and return (last stdout line, full stderr, success).
+fn run_cluster(args: &[&str], kill_node: Option<usize>) -> (String, String, bool) {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_lafd"));
+    cmd.arg("cluster").args(args);
+    if let Some(victim) = kill_node {
+        cmd.env("LAFD_CLUSTER_KILL_NODE", victim.to_string());
+    }
+    let out = cmd.output().expect("spawn lafd cluster");
+    let stdout = String::from_utf8_lossy(&out.stdout).to_string();
+    let stderr = String::from_utf8_lossy(&out.stderr).to_string();
+    let last = stdout.lines().last().unwrap_or_default().to_string();
+    (last, stderr, out.status.success())
+}
+
+fn assert_cluster_matches_sync_engine(protocol: Protocol, proto_flag: &str, n: usize) {
+    let (cluster, spec) = cluster_builder(protocol, n).build().expect("valid spec");
+    let expected = cluster.run(&spec).to_json();
+    let (last, stderr, ok) = run_cluster(
+        &[
+            proto_flag,
+            "-n",
+            &n.to_string(),
+            "--seed",
+            &SEED.to_string(),
+            "--io-deadline-secs",
+            "30",
+        ],
+        None,
+    );
+    assert!(ok, "lafd cluster {proto_flag} -n {n} failed: {stderr}");
+    assert_eq!(
+        last, expected,
+        "multi-process report for {proto_flag} n = {n} diverged from the sync engine"
+    );
+}
+
+#[test]
+fn chain_fd_cluster_reports_are_byte_identical_to_the_sync_engine() {
+    for n in [4, 7] {
+        assert_cluster_matches_sync_engine(Protocol::ChainFd, "chain", n);
+    }
+}
+
+#[test]
+fn dolev_strong_cluster_reports_are_byte_identical_to_the_sync_engine() {
+    for n in [4, 7] {
+        assert_cluster_matches_sync_engine(Protocol::DolevStrong, "ds", n);
+    }
+}
+
+#[test]
+fn latency_shim_stretches_wall_time_without_changing_the_report() {
+    // The delay shim scales event-engine latency ticks onto the socket
+    // mesh's wall clock; the protocol-visible round structure (and hence
+    // the report) must stay exactly the synchronous one.
+    let (cluster, spec) = cluster_builder(Protocol::ChainFd, 4)
+        .build()
+        .expect("valid spec");
+    let expected = cluster.run(&spec).to_json();
+    let (last, stderr, ok) = run_cluster(
+        &[
+            "chain",
+            "-n",
+            "4",
+            "--seed",
+            &SEED.to_string(),
+            "--latency",
+            "jitter:2",
+            "--round-wall-us",
+            "1000",
+            "--io-deadline-secs",
+            "30",
+        ],
+        None,
+    );
+    assert!(ok, "shimmed cluster run failed: {stderr}");
+    assert_eq!(last, expected, "the delay shim must not alter the report");
+}
+
+#[test]
+fn crash_adversary_flows_through_the_cluster_path() {
+    let builder = cluster_builder(Protocol::FdToBa, 4).with_adversary(
+        local_auth_fd::core::adversary::AdversarySpec::scripted_at(
+            local_auth_fd::core::sweep::AdversaryKind::SilentRelay,
+            vec![local_auth_fd::simnet::NodeId(1)],
+        ),
+    );
+    let (cluster, spec) = builder.build().expect("valid spec");
+    let expected = cluster.run(&spec).to_json();
+    let (last, stderr, ok) = run_cluster(
+        &[
+            "ba",
+            "-n",
+            "4",
+            "--seed",
+            &SEED.to_string(),
+            "--crash",
+            "1",
+            "--io-deadline-secs",
+            "30",
+        ],
+        None,
+    );
+    assert!(ok, "cluster run with --crash failed: {stderr}");
+    assert_eq!(last, expected);
+}
+
+#[test]
+fn a_killed_worker_fails_loudly_with_a_nonzero_exit() {
+    let (_, stderr, ok) = run_cluster(
+        &[
+            "chain",
+            "-n",
+            "4",
+            "--seed",
+            &SEED.to_string(),
+            "--io-deadline-secs",
+            "10",
+        ],
+        Some(2),
+    );
+    assert!(!ok, "a vanished worker must produce a nonzero exit code");
+    assert!(
+        stderr.contains("worker 2"),
+        "the error must name the vanished worker, got: {stderr}"
+    );
+    assert!(
+        stderr.contains("aborted"),
+        "the orchestrator must announce the abort, got: {stderr}"
+    );
+}
