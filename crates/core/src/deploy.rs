@@ -41,7 +41,11 @@ use crate::wire::{
     registry_request_to_json, RegistryReply, RegistryRequest, WorkerSummary,
 };
 use crate::{ba, fd, keys};
-use fd_simnet::transport::{DelayShim, MeshPeers, MeshRun, NonblockingMesh};
+use fd_simnet::transport::chaos::{
+    transient, with_retry, ChaosInjector, ChaosPhase, ChaosSpec, RetryCtx, RetryPolicy,
+    CHAOS_KILL_EXIT, COLLATERAL_EXIT,
+};
+use fd_simnet::transport::{DelayShim, MeshPeers, MeshRun, NonblockingMesh, TransportError};
 use fd_simnet::{LatencySpec, NetStats, Node, NodeId};
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::io::{Read, Write};
@@ -109,15 +113,89 @@ pub fn registry_call(
     }
 }
 
+/// Sort a stringified [`registry_call`] failure into the typed transport
+/// taxonomy: connection-level trouble (connect, send, lost reply) is
+/// transient and worth retrying; registry-level refusals (fencing, bad
+/// requests, barrier expiry) are final.
+fn classify_registry_error(node: NodeId, error: String) -> TransportError {
+    let transient_failure = error.starts_with("connect registry")
+        || error.starts_with("send to registry")
+        || error.starts_with("registry reply:")
+        || error.starts_with("registry socket setup");
+    if transient_failure {
+        TransportError::Io {
+            node,
+            context: "registry call".to_string(),
+            error,
+        }
+    } else {
+        TransportError::Protocol {
+            node,
+            detail: error,
+        }
+    }
+}
+
+/// [`registry_call`] under a retry policy: transient connection failures
+/// back off (capped, seeded jitter) and retry up to the budget; an
+/// exhausted budget surfaces as the typed
+/// [`TransportError::Exhausted`]. Safe because every registry operation
+/// is idempotent per `(run, node, incarnation)`: re-registering the same
+/// address, re-arriving at a barrier, and re-depositing a summary all
+/// land in the same state.
+pub fn registry_call_with(
+    addr: &str,
+    request: &RegistryRequest,
+    timeout: Duration,
+    node: NodeId,
+    retry: &RetryCtx,
+    chaos: Option<&ChaosInjector>,
+) -> Result<RegistryReply, TransportError> {
+    with_retry(node, "registry call", retry, transient, |attempt| {
+        if let Some(inj) = chaos {
+            if inj.refuse_connect("registry", attempt) {
+                return Err(TransportError::Io {
+                    node,
+                    context: "registry call".to_string(),
+                    error: "chaos: connection refused".to_string(),
+                });
+            }
+        }
+        registry_call(addr, request, timeout).map_err(|e| classify_registry_error(node, e))
+    })
+}
+
 // ---------------------------------------------------------------------
 // Registry service
 // ---------------------------------------------------------------------
 
 #[derive(Default)]
 struct RunState {
+    /// Highest incarnation admitted for this run. A register/barrier/
+    /// teardown from a higher incarnation advances the generation and
+    /// clears all state below; one from a lower incarnation is fenced
+    /// with a typed error — a stale worker can never corrupt the
+    /// restarted run.
+    generation: u64,
     roster: BTreeMap<usize, String>,
     barriers: HashMap<String, HashSet<usize>>,
     summaries: Vec<WorkerSummary>,
+}
+
+/// Admit `incarnation` into the run: advance (and reset) the generation
+/// if it is newer, fence it if it is stale.
+fn admit(slot: &mut RunState, incarnation: u64) -> Result<(), u64> {
+    if incarnation > slot.generation {
+        slot.generation = incarnation;
+        slot.roster.clear();
+        slot.barriers.clear();
+        slot.summaries.clear();
+    }
+    if incarnation < slot.generation {
+        Err(slot.generation)
+    } else {
+        Ok(())
+    }
 }
 
 struct RegistryState {
@@ -215,17 +293,38 @@ fn handle_connection(mut stream: TcpStream, state: &RegistryState, wait_limit: D
         .and_then(|text| registry_request_from_json(&text))
     {
         Ok(request) => answer(request, state, wait_limit),
-        Err(error) => RegistryReply::Error { error },
+        Err(error) => {
+            // Malformed traffic gets a typed error reply (and a log line)
+            // rather than a silently dropped connection.
+            eprintln!("lafd registry: rejecting malformed request: {error}");
+            RegistryReply::Error { error }
+        }
     };
-    let _ = send_frame(&mut stream, registry_reply_to_json(&reply).as_bytes());
+    if let Err(e) = send_frame(&mut stream, registry_reply_to_json(&reply).as_bytes()) {
+        // The peer vanished between request and reply (crash, chaos
+        // kill). Log it — a silently dropped reply is indistinguishable
+        // from a registry bug when debugging a campaign.
+        eprintln!("lafd registry: dropped reply ({e})");
+    }
 }
 
 fn answer(request: RegistryRequest, state: &RegistryState, wait_limit: Duration) -> RegistryReply {
     let error = |error: String| RegistryReply::Error { error };
     match request {
-        RegistryRequest::Register { run, node, n, addr } => {
+        RegistryRequest::Register {
+            run,
+            node,
+            n,
+            addr,
+            incarnation,
+        } => {
             let mut runs = state.runs.lock().expect("registry lock");
             let slot = runs.entry(run.clone()).or_default();
+            if let Err(generation) = admit(slot, incarnation) {
+                return error(format!(
+                    "run {run:?}: node {node} fenced (incarnation {incarnation} < generation {generation})"
+                ));
+            }
             if let Some(existing) = slot.roster.get(&node) {
                 if *existing != addr {
                     return error(format!(
@@ -238,15 +337,25 @@ fn answer(request: RegistryRequest, state: &RegistryState, wait_limit: Duration)
             let (runs, timeout) = state
                 .changed
                 .wait_timeout_while(runs, wait_limit, |runs| {
-                    runs.get(&run).is_none_or(|s| s.roster.len() < n)
+                    runs.get(&run)
+                        .is_none_or(|s| s.generation == incarnation && s.roster.len() < n)
                 })
                 .expect("registry lock");
+            let Some(slot) = runs.get(&run) else {
+                return error(format!("run {run:?} vanished while registering"));
+            };
+            if slot.generation != incarnation {
+                return error(format!(
+                    "run {run:?}: node {node} fenced (incarnation {incarnation} < generation {})",
+                    slot.generation
+                ));
+            }
             if timeout.timed_out() {
                 return error(format!(
                     "run {run:?}: roster incomplete after {wait_limit:?}"
                 ));
             }
-            let roster = &runs[&run].roster;
+            let roster = &slot.roster;
             if roster.len() > n || roster.keys().any(|&k| k >= n) {
                 return error(format!("run {run:?}: roster exceeds n = {n}"));
             }
@@ -269,23 +378,33 @@ fn answer(request: RegistryRequest, state: &RegistryState, wait_limit: Duration)
             node,
             n,
             phase,
+            incarnation,
         } => {
             let mut runs = state.runs.lock().expect("registry lock");
-            runs.entry(run.clone())
-                .or_default()
-                .barriers
-                .entry(phase.clone())
-                .or_default()
-                .insert(node);
+            let slot = runs.entry(run.clone()).or_default();
+            if let Err(generation) = admit(slot, incarnation) {
+                return error(format!(
+                    "run {run:?}: node {node} fenced at barrier {phase:?} (incarnation {incarnation} < generation {generation})"
+                ));
+            }
+            slot.barriers.entry(phase.clone()).or_default().insert(node);
             state.changed.notify_all();
-            let (_runs, timeout) = state
+            let (runs, timeout) = state
                 .changed
                 .wait_timeout_while(runs, wait_limit, |runs| {
-                    runs.get(&run)
-                        .and_then(|s| s.barriers.get(&phase))
-                        .is_none_or(|arrived| arrived.len() < n)
+                    runs.get(&run).is_none_or(|s| {
+                        s.generation == incarnation
+                            && s.barriers
+                                .get(&phase)
+                                .is_none_or(|arrived| arrived.len() < n)
+                    })
                 })
                 .expect("registry lock");
+            if runs.get(&run).is_none_or(|s| s.generation != incarnation) {
+                return error(format!(
+                    "run {run:?}: node {node} fenced at barrier {phase:?} (the run restarted)"
+                ));
+            }
             if timeout.timed_out() {
                 return error(format!(
                     "run {run:?}: barrier {phase:?} incomplete after {wait_limit:?}"
@@ -293,13 +412,26 @@ fn answer(request: RegistryRequest, state: &RegistryState, wait_limit: Duration)
             }
             RegistryReply::Released { phase }
         }
-        RegistryRequest::Teardown { run, node, summary } => {
+        RegistryRequest::Teardown {
+            run,
+            node,
+            summary,
+            incarnation,
+        } => {
             let mut runs = state.runs.lock().expect("registry lock");
-            let slot = runs.entry(run).or_default();
-            if slot.summaries.iter().any(|s| s.node == node) {
-                return error(format!("node {node} already deposited a summary"));
+            let slot = runs.entry(run.clone()).or_default();
+            if let Err(generation) = admit(slot, incarnation) {
+                return error(format!(
+                    "run {run:?}: node {node} fenced at teardown (incarnation {incarnation} < generation {generation})"
+                ));
             }
-            slot.summaries.push(summary);
+            // Idempotent per (node, generation): a retried deposit whose
+            // first ack was lost just overwrites its own record.
+            if let Some(existing) = slot.summaries.iter_mut().find(|s| s.node == node) {
+                *existing = summary;
+            } else {
+                slot.summaries.push(summary);
+            }
             state.changed.notify_all();
             RegistryReply::Ack
         }
@@ -498,52 +630,199 @@ pub struct WorkerConfig {
     /// shim engages only when the spec's latency is non-synchronous and
     /// this is nonzero.
     pub round_wall: Duration,
+    /// Restart generation this worker runs as (0 on first launch). The
+    /// registry fences anything below the highest incarnation it has
+    /// admitted for the run.
+    pub incarnation: u64,
+    /// Interface the mesh listener binds (and advertises — it must be
+    /// reachable by peers). `127.0.0.1` for single-host runs.
+    pub bind: String,
+    /// Retry policy for registry calls and mesh connects/handshakes.
+    pub retry: RetryPolicy,
+    /// Optional chaos campaign driving deterministic fault injection.
+    pub chaos: Option<ChaosSpec>,
+}
+
+impl WorkerConfig {
+    /// A localhost worker with default resilience knobs.
+    pub fn localhost(registry: String, run: String, node: usize, io_deadline: Duration) -> Self {
+        WorkerConfig {
+            registry,
+            run,
+            node,
+            io_deadline,
+            round_wall: Duration::ZERO,
+            incarnation: 0,
+            bind: "127.0.0.1".to_string(),
+            retry: RetryPolicy::default(),
+            chaos: None,
+        }
+    }
+}
+
+/// Why a worker could not finish, sorted for the supervisor: a chaos
+/// kill is charged to the victim's restart budget; collateral failures
+/// (a vanished peer, an expired deadline or retry budget, a broken
+/// registry exchange) restart the generation without blame; anything
+/// else is a genuine bug and fails the run.
+#[derive(Debug, Clone)]
+pub enum WorkerFailure {
+    /// A chaos kill rule fired at `phase`.
+    Killed {
+        /// The phase label (`"keydist"`, `"round:3"`, `"teardown"`).
+        phase: String,
+    },
+    /// The transport failed during `phase`.
+    Transport {
+        /// Which lifecycle step broke.
+        phase: &'static str,
+        /// The typed transport failure.
+        error: TransportError,
+    },
+    /// A registry exchange was refused (fencing, barrier expiry, bad
+    /// request).
+    Registry(String),
+    /// Configuration or build errors — never retried.
+    Other(String),
+}
+
+impl std::fmt::Display for WorkerFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WorkerFailure::Killed { phase } => write!(f, "chaos kill at phase {phase}"),
+            WorkerFailure::Transport { phase, error } => write!(f, "{phase}: {error}"),
+            WorkerFailure::Registry(error) => write!(f, "registry: {error}"),
+            WorkerFailure::Other(error) => f.write_str(error),
+        }
+    }
+}
+
+impl WorkerFailure {
+    /// The process exit code the CLI maps this failure to:
+    /// [`CHAOS_KILL_EXIT`] for kills (charged to the victim),
+    /// [`COLLATERAL_EXIT`] for failures a restart can heal, and 1 for
+    /// genuine bugs.
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            WorkerFailure::Killed { .. } => i32::from(CHAOS_KILL_EXIT),
+            WorkerFailure::Registry(_) => i32::from(COLLATERAL_EXIT),
+            WorkerFailure::Transport { error, .. } => match error {
+                TransportError::Protocol { .. } | TransportError::WorkerPanic { .. } => 1,
+                _ => i32::from(COLLATERAL_EXIT),
+            },
+            WorkerFailure::Other(_) => 1,
+        }
+    }
 }
 
 /// Run one worker end to end: register, key distribution over the mesh,
 /// barrier, protocol phase over a fresh mesh, teardown with a
-/// [`WorkerSummary`]. Every failure path returns `Err` — the CLI turns
-/// it into a loud message and a nonzero exit.
-pub fn run_worker(cfg: &WorkerConfig, builder: &SpecBuilder) -> Result<(), String> {
-    let (cluster, spec) = builder.build()?;
+/// [`WorkerSummary`]. Every failure path returns a typed
+/// [`WorkerFailure`] — the CLI maps it to the exit-code scheme the
+/// supervisor classifies restarts by. Chaos injections (if configured)
+/// are replayed to stderr as sorted `chaos[...]` trace lines on every
+/// exit path, so two runs with the same seed can be compared
+/// byte-for-byte.
+pub fn run_worker(cfg: &WorkerConfig, builder: &SpecBuilder) -> Result<(), WorkerFailure> {
+    let chaos = cfg
+        .chaos
+        .as_ref()
+        .map(|spec| ChaosInjector::new(spec.clone(), cfg.node, cfg.incarnation));
+    let retry = RetryCtx::new(
+        cfg.retry,
+        (cfg.node as u64) ^ cfg.incarnation.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+    );
+    let result = run_worker_inner(cfg, builder, chaos.as_ref(), &retry);
+    if let Some(inj) = &chaos {
+        // One write syscall per pre-formatted line: n workers share the
+        // supervisor's stderr pipe, and only single-write lines under
+        // PIPE_BUF are atomic — `eprintln!` may split one line across
+        // several writes and tear against a sibling process.
+        let stderr = std::io::stderr();
+        let mut out = stderr.lock();
+        for event in inj.trace() {
+            let line = format!("chaos[node={} inc={}] {event}\n", cfg.node, cfg.incarnation);
+            let _ = out.write_all(line.as_bytes());
+        }
+    }
+    result
+}
+
+fn run_worker_inner(
+    cfg: &WorkerConfig,
+    builder: &SpecBuilder,
+    chaos: Option<&ChaosInjector>,
+    retry: &RetryCtx,
+) -> Result<(), WorkerFailure> {
+    let (cluster, spec) = builder.build().map_err(WorkerFailure::Other)?;
     if !cluster.link_latency.is_empty() {
-        return Err("per-link latency overrides are not supported by lafd cluster".to_string());
+        return Err(WorkerFailure::Other(
+            "per-link latency overrides are not supported by lafd cluster".to_string(),
+        ));
     }
     let n = cluster.n;
     if cfg.node >= n {
-        return Err(format!("node {} out of range for n = {n}", cfg.node));
+        return Err(WorkerFailure::Other(format!(
+            "node {} out of range for n = {n}",
+            cfg.node
+        )));
     }
     let me = NodeId(cfg.node as u16);
-    let listener = TcpListener::bind("127.0.0.1:0").map_err(|e| format!("bind listener: {e}"))?;
+    let bind_addr = format!("{}:0", cfg.bind);
+    let listener = TcpListener::bind(&bind_addr).map_err(|e| WorkerFailure::Transport {
+        phase: "bind",
+        error: TransportError::Bind {
+            node: me,
+            addr: bind_addr.clone(),
+            error: e.to_string(),
+        },
+    })?;
     let my_addr = listener
         .local_addr()
-        .map_err(|e| format!("listener address: {e}"))?;
+        .map_err(|e| WorkerFailure::Other(format!("listener address: {e}")))?;
 
     // Registration doubles as the barrier that opens the run: the reply
     // arrives once all n workers have announced themselves.
-    let reply = registry_call(
+    let reply = registry_call_with(
         &cfg.registry,
         &RegistryRequest::Register {
             run: cfg.run.clone(),
             node: cfg.node,
             n,
             addr: my_addr.to_string(),
+            incarnation: cfg.incarnation,
         },
         cfg.io_deadline,
-    )?;
+        me,
+        retry,
+        chaos,
+    )
+    .map_err(registry_failure)?;
     let RegistryReply::Roster { peers } = reply else {
-        return Err(format!("unexpected registry reply to register: {reply:?}"));
+        return Err(WorkerFailure::Registry(format!(
+            "unexpected registry reply to register: {reply:?}"
+        )));
     };
     if peers.len() != n || peers.iter().enumerate().any(|(i, (slot, _))| *slot != i) {
-        return Err(format!("incomplete roster: {peers:?}"));
+        return Err(WorkerFailure::Registry(format!(
+            "incomplete roster: {peers:?}"
+        )));
     }
     let addrs = peers
         .iter()
         .map(|(slot, addr)| {
             addr.parse::<SocketAddr>()
-                .map_err(|e| format!("roster addr for node {slot}: {e}"))
+                .map_err(|e| WorkerFailure::Registry(format!("roster addr for node {slot}: {e}")))
         })
-        .collect::<Result<Vec<SocketAddr>, String>>()?;
+        .collect::<Result<Vec<SocketAddr>, WorkerFailure>>()?;
+
+    if let Some(inj) = chaos {
+        if inj.should_kill(ChaosPhase::Keydist) {
+            return Err(WorkerFailure::Killed {
+                phase: ChaosPhase::Keydist.label(),
+            });
+        }
+    }
 
     // Phase 1 — key distribution, always synchronous (paper §3), all
     // nodes honest (the adversary only enters the protocol phase, as in
@@ -565,12 +844,18 @@ pub fn run_worker(cfg: &WorkerConfig, builder: &SpecBuilder) -> Result<(), Strin
             cluster.seed,
         )
         .with_intern_table(Arc::clone(&table));
-        let peers = MeshPeers::establish(me, &listener, &addrs, cfg.io_deadline)
-            .map_err(|e| format!("keydist mesh: {e}"))?;
+        let peers = MeshPeers::establish_with(me, &listener, &addrs, cfg.io_deadline, retry, chaos)
+            .map_err(|e| WorkerFailure::Transport {
+                phase: "keydist mesh",
+                error: e,
+            })?;
         let run: MeshRun = NonblockingMesh::new(KEYDIST_ROUNDS)
             .with_io_deadline(cfg.io_deadline)
             .run(Box::new(node), peers)
-            .map_err(|e| format!("keydist phase: {e}"))?;
+            .map_err(|e| WorkerFailure::Transport {
+                phase: "keydist phase",
+                error: e,
+            })?;
         kd_stats = run.stats;
         kd_stats.rounds = run.rounds;
         let node = run
@@ -596,16 +881,21 @@ pub fn run_worker(cfg: &WorkerConfig, builder: &SpecBuilder) -> Result<(), Strin
 
     // The inter-phase barrier: nobody re-meshes for the protocol phase
     // until everyone has finished tearing down the keydist mesh.
-    registry_call(
+    registry_call_with(
         &cfg.registry,
         &RegistryRequest::Barrier {
             run: cfg.run.clone(),
             node: cfg.node,
             n,
             phase: "keydist-done".to_string(),
+            incarnation: cfg.incarnation,
         },
         cfg.io_deadline,
-    )?;
+        me,
+        retry,
+        chaos,
+    )
+    .map_err(registry_failure)?;
 
     // Phase 2 — the protocol, with the spec's adversary substitution for
     // this slot and an optional wall-clock delay shim on the links.
@@ -617,8 +907,11 @@ pub fn run_worker(cfg: &WorkerConfig, builder: &SpecBuilder) -> Result<(), Strin
             None => honest_protocol_node(&cluster, &spec, me, store.as_ref()),
         }
     };
-    let peers = MeshPeers::establish(me, &listener, &addrs, cfg.io_deadline)
-        .map_err(|e| format!("protocol mesh: {e}"))?;
+    let peers = MeshPeers::establish_with(me, &listener, &addrs, cfg.io_deadline, retry, chaos)
+        .map_err(|e| WorkerFailure::Transport {
+            phase: "protocol mesh",
+            error: e,
+        })?;
     let mut mesh = NonblockingMesh::new(rounds).with_io_deadline(cfg.io_deadline);
     if cluster.latency.normalize() != LatencySpec::Synchronous && !cfg.round_wall.is_zero() {
         mesh = mesh.with_delay_shim(DelayShim {
@@ -626,9 +919,18 @@ pub fn run_worker(cfg: &WorkerConfig, builder: &SpecBuilder) -> Result<(), Strin
             round_wall: cfg.round_wall,
         });
     }
-    let run: MeshRun = mesh
-        .run(node, peers)
-        .map_err(|e| format!("protocol phase: {e}"))?;
+    if let Some(inj) = chaos {
+        // `round:k` kills and frame stalls fire inside the protocol
+        // phase — the mesh owns both.
+        mesh = mesh.with_chaos(inj.clone());
+    }
+    let run: MeshRun = mesh.run(node, peers).map_err(|e| match e {
+        TransportError::Killed { phase, .. } => WorkerFailure::Killed { phase },
+        error => WorkerFailure::Transport {
+            phase: "protocol phase",
+            error,
+        },
+    })?;
     let (outcome, used_fallback, grade) = extract_slot(spec.protocol, run.node);
 
     let summary = WorkerSummary {
@@ -646,19 +948,48 @@ pub fn run_worker(cfg: &WorkerConfig, builder: &SpecBuilder) -> Result<(), Strin
         kd_bytes: kd_stats.bytes_total,
         kd_per_round: kd_stats.per_round,
         kd_anomalies: kd_anomalies.len(),
+        incarnation: cfg.incarnation,
+        retries: retry.retries(),
     };
-    let reply = registry_call(
+    if let Some(inj) = chaos {
+        if inj.should_kill(ChaosPhase::Teardown) {
+            return Err(WorkerFailure::Killed {
+                phase: ChaosPhase::Teardown.label(),
+            });
+        }
+    }
+    let reply = registry_call_with(
         &cfg.registry,
         &RegistryRequest::Teardown {
             run: cfg.run.clone(),
             node: cfg.node,
             summary,
+            incarnation: cfg.incarnation,
         },
         cfg.io_deadline,
-    )?;
+        me,
+        retry,
+        chaos,
+    )
+    .map_err(registry_failure)?;
     match reply {
         RegistryReply::Ack => Ok(()),
-        other => Err(format!("unexpected registry reply to teardown: {other:?}")),
+        other => Err(WorkerFailure::Registry(format!(
+            "unexpected registry reply to teardown: {other:?}"
+        ))),
+    }
+}
+
+/// Map a typed registry-call failure into the worker taxonomy:
+/// registry-level refusals keep their message; connection-level failures
+/// (including exhausted retry budgets) stay typed transport errors.
+fn registry_failure(error: TransportError) -> WorkerFailure {
+    match error {
+        TransportError::Protocol { detail, .. } => WorkerFailure::Registry(detail),
+        error => WorkerFailure::Transport {
+            phase: "registry",
+            error,
+        },
     }
 }
 
@@ -786,6 +1117,7 @@ mod tests {
                         node,
                         n,
                         addr: format!("127.0.0.1:{}", 7000 + node),
+                        incarnation: 0,
                     },
                     Duration::from_secs(10),
                 )
@@ -827,6 +1159,7 @@ mod tests {
                 node: 0,
                 n: 2,
                 phase: "open".to_string(),
+                incarnation: 0,
             },
             Duration::from_secs(10),
         )
@@ -850,13 +1183,12 @@ mod tests {
             let builder = builder.clone();
             joins.push(std::thread::spawn(move || {
                 run_worker(
-                    &WorkerConfig {
+                    &WorkerConfig::localhost(
                         registry,
-                        run: "t2".to_string(),
+                        "t2".to_string(),
                         node,
-                        io_deadline: Duration::from_secs(30),
-                        round_wall: Duration::ZERO,
-                    },
+                        Duration::from_secs(30),
+                    ),
                     &builder,
                 )
             }));
@@ -885,5 +1217,108 @@ mod tests {
         assert_eq!(totals.kd_messages, kd.stats.messages_total);
         assert_eq!(totals.kd_bytes, kd.stats.bytes_total);
         assert_eq!(totals.kd_rounds, kd.stats.rounds);
+    }
+
+    #[test]
+    fn stale_incarnations_are_fenced_and_newer_ones_reset_the_run() {
+        let (addr, _handle) = spawn_registry(Duration::from_secs(10));
+        let addr = addr.to_string();
+        let register = |incarnation: u64, node: usize| {
+            registry_call(
+                &addr,
+                &RegistryRequest::Register {
+                    run: "fence".to_string(),
+                    node,
+                    n: 1,
+                    addr: format!("127.0.0.1:{}", 7100 + node),
+                    incarnation,
+                },
+                Duration::from_secs(10),
+            )
+        };
+        // Generation 2 opens the run (n = 1, so registering completes).
+        register(2, 0).expect("incarnation 2 admitted");
+        // A stale incarnation is refused with a typed fencing error.
+        let err = register(1, 0).expect_err("incarnation 1 must be fenced");
+        assert!(err.contains("fenced"), "unexpected error: {err}");
+        // A newer incarnation resets the roster: node 0 can re-register
+        // at a different address without a clash.
+        registry_call(
+            &addr,
+            &RegistryRequest::Register {
+                run: "fence".to_string(),
+                node: 0,
+                n: 1,
+                addr: "127.0.0.1:7999".to_string(),
+                incarnation: 3,
+            },
+            Duration::from_secs(10),
+        )
+        .expect("incarnation 3 resets the roster");
+        // And the stale incarnation's barrier is fenced too.
+        let err = registry_call(
+            &addr,
+            &RegistryRequest::Barrier {
+                run: "fence".to_string(),
+                node: 0,
+                n: 1,
+                phase: "open".to_string(),
+                incarnation: 2,
+            },
+            Duration::from_secs(10),
+        )
+        .expect_err("stale barrier must be fenced");
+        assert!(err.contains("fenced"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn teardown_is_idempotent_per_incarnation() {
+        let (addr, _handle) = spawn_registry(Duration::from_secs(10));
+        let addr = addr.to_string();
+        let summary = WorkerSummary {
+            node: 0,
+            outcome: None,
+            used_fallback: false,
+            grade: None,
+            rounds: 1,
+            messages: 0,
+            bytes: 0,
+            per_round: vec![0],
+            dropped: 0,
+            kd_rounds: 0,
+            kd_messages: 0,
+            kd_bytes: 0,
+            kd_per_round: Vec::new(),
+            kd_anomalies: 0,
+            incarnation: 1,
+            retries: 4,
+        };
+        let deposit = || {
+            registry_call(
+                &addr,
+                &RegistryRequest::Teardown {
+                    run: "dup".to_string(),
+                    node: 0,
+                    summary: summary.clone(),
+                    incarnation: 1,
+                },
+                Duration::from_secs(10),
+            )
+        };
+        // A retried deposit (lost ack) lands in the same state.
+        deposit().expect("first deposit");
+        deposit().expect("retried deposit is idempotent");
+        let reply = registry_call(
+            &addr,
+            &RegistryRequest::Collect {
+                run: "dup".to_string(),
+            },
+            Duration::from_secs(10),
+        )
+        .expect("collect");
+        let RegistryReply::Summaries { workers } = reply else {
+            panic!("expected summaries, got {reply:?}");
+        };
+        assert_eq!(workers, vec![summary]);
     }
 }

@@ -1166,6 +1166,12 @@ pub struct WorkerSummary {
     pub kd_per_round: Vec<usize>,
     /// Anomalies the node recorded during key distribution.
     pub kd_anomalies: usize,
+    /// The incarnation (restart generation) that produced this summary —
+    /// the registry fences deposits from stale incarnations.
+    pub incarnation: u64,
+    /// Transport/registry retries this worker spent (backoff-healed
+    /// transient faults; surfaced in the resilience report).
+    pub retries: u64,
 }
 
 /// A request to the discovery registry (`lafd registry`), one framed
@@ -1184,6 +1190,9 @@ pub enum RegistryRequest {
         n: usize,
         /// The worker's listener address (`host:port`).
         addr: String,
+        /// Restart generation: the registry admits the highest
+        /// incarnation seen for the run and fences lower ones.
+        incarnation: u64,
     },
     /// Look up one peer's registered address.
     Lookup {
@@ -1202,6 +1211,8 @@ pub enum RegistryRequest {
         n: usize,
         /// Phase label (e.g. `"keydist-done"`).
         phase: String,
+        /// Restart generation (stale incarnations are fenced).
+        incarnation: u64,
     },
     /// Deposit the worker's final [`WorkerSummary`] and leave the run.
     Teardown {
@@ -1211,6 +1222,8 @@ pub enum RegistryRequest {
         node: usize,
         /// The worker's result record.
         summary: WorkerSummary,
+        /// Restart generation (stale incarnations are fenced).
+        incarnation: u64,
     },
     /// Fetch every summary deposited for the run (the orchestrator's
     /// aggregation step; does not block).
@@ -1307,6 +1320,18 @@ fn u32_field(obj: &Value, key: &str, what: &str) -> Result<u32, String> {
         .map_err(|_| format!("{what}: field {key:?} out of range"))
 }
 
+/// A `u64` field that old (pre-resilience) wire-v1 peers omit: absent
+/// decodes as 0, so summaries and requests from older builds stay valid.
+fn opt_u64_field(obj: &Value, key: &str, what: &str) -> Result<u64, String> {
+    match obj.get(key) {
+        None => Ok(0),
+        Some(v) => v
+            .as_int()
+            .and_then(|i| u64::try_from(i).ok())
+            .ok_or_else(|| format!("{what}: field {key:?} must be a nonnegative integer")),
+    }
+}
+
 fn summary_to_value(summary: &WorkerSummary) -> Value {
     Value::Obj(vec![
         ("node".to_string(), Value::Int(summary.node as i128)),
@@ -1341,6 +1366,14 @@ fn summary_to_value(summary: &WorkerSummary) -> Value {
             "kd_anomalies".to_string(),
             Value::Int(summary.kd_anomalies as i128),
         ),
+        (
+            "incarnation".to_string(),
+            Value::Int(i128::from(summary.incarnation)),
+        ),
+        (
+            "retries".to_string(),
+            Value::Int(i128::from(summary.retries)),
+        ),
     ])
 }
 
@@ -1363,6 +1396,8 @@ fn summary_from_value(value: &Value) -> Result<WorkerSummary, String> {
             "kd_bytes",
             "kd_per_round",
             "kd_anomalies",
+            "incarnation",
+            "retries",
         ],
         what,
     )?;
@@ -1383,6 +1418,8 @@ fn summary_from_value(value: &Value) -> Result<WorkerSummary, String> {
         kd_bytes: usize_field(value, "kd_bytes", what)?,
         kd_per_round: counts_field(value, "kd_per_round", what)?,
         kd_anomalies: usize_field(value, "kd_anomalies", what)?,
+        incarnation: opt_u64_field(value, "incarnation", what)?,
+        retries: opt_u64_field(value, "retries", what)?,
     })
 }
 
@@ -1391,12 +1428,22 @@ pub fn registry_request_to_json(request: &RegistryRequest) -> String {
     let mut fields: Vec<(String, Value)> =
         vec![("schema_version".to_string(), Value::Int(SCHEMA_VERSION))];
     match request {
-        RegistryRequest::Register { run, node, n, addr } => {
+        RegistryRequest::Register {
+            run,
+            node,
+            n,
+            addr,
+            incarnation,
+        } => {
             fields.push(("op".to_string(), Value::Str("register".to_string())));
             fields.push(("run".to_string(), Value::Str(run.clone())));
             fields.push(("node".to_string(), Value::Int(*node as i128)));
             fields.push(("n".to_string(), Value::Int(*n as i128)));
             fields.push(("addr".to_string(), Value::Str(addr.clone())));
+            fields.push((
+                "incarnation".to_string(),
+                Value::Int(i128::from(*incarnation)),
+            ));
         }
         RegistryRequest::Lookup { run, node } => {
             fields.push(("op".to_string(), Value::Str("lookup".to_string())));
@@ -1408,18 +1455,32 @@ pub fn registry_request_to_json(request: &RegistryRequest) -> String {
             node,
             n,
             phase,
+            incarnation,
         } => {
             fields.push(("op".to_string(), Value::Str("barrier".to_string())));
             fields.push(("run".to_string(), Value::Str(run.clone())));
             fields.push(("node".to_string(), Value::Int(*node as i128)));
             fields.push(("n".to_string(), Value::Int(*n as i128)));
             fields.push(("phase".to_string(), Value::Str(phase.clone())));
+            fields.push((
+                "incarnation".to_string(),
+                Value::Int(i128::from(*incarnation)),
+            ));
         }
-        RegistryRequest::Teardown { run, node, summary } => {
+        RegistryRequest::Teardown {
+            run,
+            node,
+            summary,
+            incarnation,
+        } => {
             fields.push(("op".to_string(), Value::Str("teardown".to_string())));
             fields.push(("run".to_string(), Value::Str(run.clone())));
             fields.push(("node".to_string(), Value::Int(*node as i128)));
             fields.push(("summary".to_string(), summary_to_value(summary)));
+            fields.push((
+                "incarnation".to_string(),
+                Value::Int(i128::from(*incarnation)),
+            ));
         }
         RegistryRequest::Collect { run } => {
             fields.push(("op".to_string(), Value::Str("collect".to_string())));
@@ -1445,6 +1506,7 @@ pub fn registry_request_from_json(json: &str) -> Result<RegistryRequest, String>
             "addr",
             "phase",
             "summary",
+            "incarnation",
         ],
         what,
     )?;
@@ -1456,6 +1518,7 @@ pub fn registry_request_from_json(json: &str) -> Result<RegistryRequest, String>
             node: usize_field(&value, "node", what)?,
             n: usize_field(&value, "n", what)?,
             addr: str_field(&value, "addr", what)?.to_string(),
+            incarnation: opt_u64_field(&value, "incarnation", what)?,
         }),
         "lookup" => Ok(RegistryRequest::Lookup {
             run,
@@ -1466,11 +1529,13 @@ pub fn registry_request_from_json(json: &str) -> Result<RegistryRequest, String>
             node: usize_field(&value, "node", what)?,
             n: usize_field(&value, "n", what)?,
             phase: str_field(&value, "phase", what)?.to_string(),
+            incarnation: opt_u64_field(&value, "incarnation", what)?,
         }),
         "teardown" => Ok(RegistryRequest::Teardown {
             run,
             node: usize_field(&value, "node", what)?,
             summary: summary_from_value(require(&value, "summary", what)?)?,
+            incarnation: opt_u64_field(&value, "incarnation", what)?,
         }),
         "collect" => Ok(RegistryRequest::Collect { run }),
         other => Err(format!("{what}: unknown op {other:?}")),
@@ -1763,6 +1828,8 @@ mod tests {
             kd_bytes: 912,
             kd_per_round: vec![6, 6, 6, 0],
             kd_anomalies: 1,
+            incarnation: 1,
+            retries: 2,
         }
     }
 
@@ -1774,6 +1841,7 @@ mod tests {
                 node: 2,
                 n: 7,
                 addr: "127.0.0.1:4242".to_string(),
+                incarnation: 1,
             },
             RegistryRequest::Lookup {
                 run: "r0".to_string(),
@@ -1784,11 +1852,13 @@ mod tests {
                 node: 2,
                 n: 7,
                 phase: "keydist-done".to_string(),
+                incarnation: 0,
             },
             RegistryRequest::Teardown {
                 run: "r0".to_string(),
                 node: 3,
                 summary: sample_summary(),
+                incarnation: 2,
             },
             RegistryRequest::Collect {
                 run: "r0".to_string(),

@@ -19,10 +19,12 @@
 //! labels each message with the identity bound to the *channel/connection*
 //! it arrived on, never with anything the payload claims.
 
+pub mod chaos;
 pub mod nonblocking;
 pub mod tcp;
 pub mod thread;
 
+pub use chaos::{ChaosInjector, ChaosPhase, ChaosSpec, RetryCtx, RetryPolicy};
 pub use nonblocking::{DelayShim, MeshPeers, MeshRun, NbCluster, NonblockingMesh};
 pub use tcp::TcpCluster;
 pub use thread::ThreadCluster;
@@ -37,6 +39,35 @@ use std::time::Duration;
 /// loudly and exit nonzero rather than hang.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TransportError {
+    /// The node could not bind its listening socket.
+    Bind {
+        /// The node that failed to bind.
+        node: NodeId,
+        /// The address it tried to bind.
+        addr: String,
+        /// The underlying I/O error, stringified.
+        error: String,
+    },
+    /// A connect to a peer failed (refused, reset, unreachable).
+    Connect {
+        /// The dialing node.
+        node: NodeId,
+        /// The peer it dialed.
+        peer: NodeId,
+        /// The underlying I/O error, stringified.
+        error: String,
+    },
+    /// The identity handshake on a fresh connection broke (reset
+    /// mid-handshake, EOF before the id, malformed id frame).
+    Handshake {
+        /// The node running the handshake.
+        node: NodeId,
+        /// The peer being handshaken, if known (`None` on the accept side
+        /// before the id arrived).
+        peer: Option<NodeId>,
+        /// What broke.
+        detail: String,
+    },
     /// A socket operation failed.
     Io {
         /// The node that hit the error.
@@ -74,11 +105,49 @@ pub enum TransportError {
         /// Human-readable description.
         detail: String,
     },
+    /// A node's worker thread panicked instead of returning.
+    WorkerPanic {
+        /// The slot whose thread died.
+        node: NodeId,
+    },
+    /// A retry budget ran out: the operation failed transiently on every
+    /// attempt the [`chaos::RetryPolicy`] allowed.
+    Exhausted {
+        /// The retrying node.
+        node: NodeId,
+        /// What was being retried (`"registry register"`,
+        /// `"mesh connect peer 3"`, …).
+        context: String,
+        /// How many attempts were made.
+        attempts: u32,
+        /// The final attempt's error, stringified.
+        last: String,
+    },
+    /// A chaos kill rule fired: the worker must die at this phase with
+    /// crash semantics (abrupt socket drop, exit code
+    /// [`chaos::CHAOS_KILL_EXIT`]).
+    Killed {
+        /// The victim.
+        node: NodeId,
+        /// The phase label the kill fired at (`"keydist"`, `"round:3"`,
+        /// `"teardown"`).
+        phase: String,
+    },
 }
 
 impl core::fmt::Display for TransportError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {
+            TransportError::Bind { node, addr, error } => {
+                write!(f, "{node}: could not bind {addr}: {error}")
+            }
+            TransportError::Connect { node, peer, error } => {
+                write!(f, "{node}: could not connect to {peer}: {error}")
+            }
+            TransportError::Handshake { node, peer, detail } => match peer {
+                Some(peer) => write!(f, "{node}: handshake with {peer} broke: {detail}"),
+                None => write!(f, "{node}: inbound handshake broke: {detail}"),
+            },
             TransportError::Io {
                 node,
                 context,
@@ -101,6 +170,23 @@ impl core::fmt::Display for TransportError {
             }
             TransportError::Protocol { node, detail } => {
                 write!(f, "{node}: transport protocol violation: {detail}")
+            }
+            TransportError::WorkerPanic { node } => {
+                write!(f, "{node}: worker thread panicked")
+            }
+            TransportError::Exhausted {
+                node,
+                context,
+                attempts,
+                last,
+            } => {
+                write!(
+                    f,
+                    "{node}: retry budget exhausted after {attempts} attempts while {context}: {last}"
+                )
+            }
+            TransportError::Killed { node, phase } => {
+                write!(f, "{node}: chaos kill at phase {phase}")
             }
         }
     }

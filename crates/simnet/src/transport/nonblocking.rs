@@ -35,6 +35,7 @@
 //! Property N2 holds structurally as everywhere else: frames are
 //! attributed to the connection they arrived on.
 
+use super::chaos::{transient, with_retry, ChaosInjector, ChaosPhase, RetryCtx};
 use super::{ClusterReport, TransportError};
 use crate::event::TICKS_PER_ROUND;
 use crate::{Envelope, LatencyModel, NetStats, Node, NodeId, Outbox};
@@ -100,15 +101,68 @@ impl MeshPeers {
         addrs: &[SocketAddr],
         io_deadline: Duration,
     ) -> Result<MeshPeers, TransportError> {
+        MeshPeers::establish_with(me, listener, addrs, io_deadline, &RetryCtx::default(), None)
+    }
+
+    /// [`MeshPeers::establish`] with an explicit retry context around every
+    /// connect + handshake (transient failures back off and retry up to
+    /// the policy's budget) and an optional [`ChaosInjector`] whose
+    /// refuse/reset/accept-delay rules are exercised at the corresponding
+    /// sites. Chaos faults are injected *inside* the retried operation, so
+    /// they are healed by the same retry path that heals real ones.
+    pub fn establish_with(
+        me: NodeId,
+        listener: &TcpListener,
+        addrs: &[SocketAddr],
+        io_deadline: Duration,
+        retry: &RetryCtx,
+        chaos: Option<&ChaosInjector>,
+    ) -> Result<MeshPeers, TransportError> {
         let n = addrs.len();
         let mut peers = HashMap::with_capacity(n.saturating_sub(1));
         for (peer, addr) in addrs.iter().enumerate().skip(me.index() + 1) {
-            let mut stream = TcpStream::connect_timeout(addr, io_deadline)
-                .map_err(|e| TransportError::io(me, format!("connect peer {peer}"), &e))?;
-            stream
-                .write_all(&me.0.to_be_bytes())
-                .map_err(|e| TransportError::io(me, format!("handshake to peer {peer}"), &e))?;
-            peers.insert(NodeId(peer as u16), stream);
+            let peer_id = NodeId(peer as u16);
+            let site = format!("mesh connect peer {peer}");
+            let stream = with_retry(me, &site, retry, transient, |attempt| {
+                if let Some(inj) = chaos {
+                    if inj.refuse_connect(&site, attempt) {
+                        return Err(TransportError::Connect {
+                            node: me,
+                            peer: peer_id,
+                            error: "chaos: connection refused".to_string(),
+                        });
+                    }
+                }
+                let mut stream = TcpStream::connect_timeout(addr, io_deadline).map_err(|e| {
+                    TransportError::Connect {
+                        node: me,
+                        peer: peer_id,
+                        error: e.to_string(),
+                    }
+                })?;
+                if let Some(inj) = chaos {
+                    if inj.reset_handshake(peer, attempt) {
+                        // Connect, then vanish before identifying: the
+                        // acceptor sees EOF mid-handshake and must skip
+                        // the carcass; we retry with backoff.
+                        drop(stream);
+                        return Err(TransportError::Handshake {
+                            node: me,
+                            peer: Some(peer_id),
+                            detail: "chaos: connection reset during handshake".to_string(),
+                        });
+                    }
+                }
+                stream
+                    .write_all(&me.0.to_be_bytes())
+                    .map_err(|e| TransportError::Handshake {
+                        node: me,
+                        peer: Some(peer_id),
+                        detail: e.to_string(),
+                    })?;
+                Ok(stream)
+            })?;
+            peers.insert(peer_id, stream);
         }
         listener
             .set_nonblocking(true)
@@ -125,15 +179,25 @@ impl MeshPeers {
                         .set_read_timeout(Some(io_deadline))
                         .map_err(|e| TransportError::io(me, "handshake timeout", &e))?;
                     let mut id_buf = [0u8; 2];
-                    stream
-                        .read_exact(&mut id_buf)
-                        .map_err(|e| TransportError::io(me, "handshake id", &e))?;
+                    if stream.read_exact(&mut id_buf).is_err() {
+                        // A peer connected and died before identifying
+                        // (reset, crash, chaos): drop the carcass and keep
+                        // accepting — its owner retries with a fresh
+                        // connection.
+                        continue;
+                    }
                     let peer = NodeId(u16::from_be_bytes(id_buf));
                     if peer >= me || peers.contains_key(&peer) {
-                        return Err(TransportError::Protocol {
+                        return Err(TransportError::Handshake {
                             node: me,
+                            peer: Some(peer),
                             detail: format!("unexpected handshake from {peer}"),
                         });
+                    }
+                    if let Some(inj) = chaos {
+                        if let Some(hold) = inj.accept_delay(peer.index()) {
+                            std::thread::sleep(hold);
+                        }
                     }
                     peers.insert(peer, stream);
                     expected -= 1;
@@ -171,10 +235,14 @@ impl MeshPeers {
     }
 }
 
-/// One frame queued for a peer, with the wall instant it may hit the wire.
+/// One frame queued for a peer, with the wall instant it may hit the wire
+/// and an optional chaos stall: write half the frame, hold the rest for
+/// the stall duration (exercising partial-write resumption on the
+/// receiver).
 struct OutFrame {
     bytes: Vec<u8>,
     due: Instant,
+    stall: Option<Duration>,
 }
 
 /// Per-peer I/O state of the readiness loop.
@@ -187,6 +255,9 @@ struct PeerIo {
     /// The frame currently on the wire, partially written.
     wbuf: Vec<u8>,
     wpos: usize,
+    /// Chaos stall on the current frame: `(byte limit, resume instant)` —
+    /// no byte past `limit` hits the wire before `resume`.
+    wstall: Option<(usize, Instant)>,
     /// The read half reached EOF (peer finished or vanished).
     eof: bool,
 }
@@ -236,6 +307,7 @@ pub struct NonblockingMesh {
     rounds_limit: u32,
     io_deadline: Duration,
     shim: Option<DelayShim>,
+    chaos: Option<ChaosInjector>,
 }
 
 impl NonblockingMesh {
@@ -251,6 +323,7 @@ impl NonblockingMesh {
             rounds_limit,
             io_deadline: super::tcp::DEFAULT_IO_DEADLINE,
             shim: None,
+            chaos: None,
         }
     }
 
@@ -265,6 +338,16 @@ impl NonblockingMesh {
     #[must_use]
     pub fn with_delay_shim(mut self, shim: DelayShim) -> Self {
         self.shim = Some(shim);
+        self
+    }
+
+    /// Install a chaos injector: `round:k` kill rules fire at the top of
+    /// round `k` (the run returns [`TransportError::Killed`] and nothing
+    /// of round `k` reaches the wire), and stall rules hold the second
+    /// half of selected outgoing frames.
+    #[must_use]
+    pub fn with_chaos(mut self, chaos: ChaosInjector) -> Self {
+        self.chaos = Some(chaos);
         self
     }
 
@@ -283,6 +366,7 @@ impl NonblockingMesh {
                         outq: VecDeque::new(),
                         wbuf: Vec::new(),
                         wpos: 0,
+                        wstall: None,
                         eof: false,
                     },
                 )
@@ -297,6 +381,17 @@ impl NonblockingMesh {
         let mut rounds_executed = self.rounds_limit;
 
         for round in 0..self.rounds_limit {
+            if let Some(inj) = &self.chaos {
+                if inj.should_kill(ChaosPhase::Round(round)) {
+                    // Crash semantics: drop every socket abruptly (no
+                    // flush, no FIN handshake) and surface the typed kill.
+                    drop(io);
+                    return Err(TransportError::Killed {
+                        node: me,
+                        phase: ChaosPhase::Round(round).label(),
+                    });
+                }
+            }
             let round_start = Instant::now();
             let inbox = if round > 0 {
                 let mut msgs = buffered.remove(&(round - 1)).unwrap_or_default();
@@ -311,6 +406,7 @@ impl NonblockingMesh {
             node.on_round(round, &inbox, &mut out);
 
             let before = stats.messages_total;
+            let mut stall_idx: HashMap<NodeId, u64> = HashMap::new();
             for (to, payload) in out.into_messages() {
                 if to.index() >= n {
                     stats.dropped_invalid += 1;
@@ -333,11 +429,21 @@ impl NonblockingMesh {
                     Some(shim) => round_start + shim.hold(me, to, round),
                     None => round_start,
                 };
+                let stall = self.chaos.as_ref().and_then(|inj| {
+                    let idx = stall_idx.entry(to).or_insert(0);
+                    let decision = inj.stall(to.index(), round, *idx);
+                    *idx += 1;
+                    decision
+                });
                 let frame = frame_bytes(TAG_MSG, round, &env.payload);
                 io.get_mut(&to)
                     .expect("established peer")
                     .outq
-                    .push_back(OutFrame { bytes: frame, due });
+                    .push_back(OutFrame {
+                        bytes: frame,
+                        due,
+                        stall,
+                    });
             }
             let sent = (stats.messages_total - before) as u64;
             let done = node.is_done();
@@ -351,6 +457,7 @@ impl NonblockingMesh {
                 peer_io.outq.push_back(OutFrame {
                     bytes: frame_bytes(TAG_MARKER, round, &marker_payload),
                     due: round_start,
+                    stall: None,
                 });
             }
             markers.entry(round).or_default().insert(me, (done, sent));
@@ -464,13 +571,27 @@ fn sweep(
                 match s.outq.front() {
                     Some(frame) if frame.due <= now => {
                         let frame = s.outq.pop_front().expect("checked front");
+                        s.wstall = frame.stall.map(|hold| (frame.bytes.len() / 2, now + hold));
                         s.wbuf = frame.bytes;
                         s.wpos = 0;
                     }
                     _ => break,
                 }
             }
-            match s.stream.write(&s.wbuf[s.wpos..]) {
+            // A stalled frame exposes only its first half until the
+            // resume instant passes (partial-write injection).
+            let end = match s.wstall {
+                Some((limit, resume)) if now < resume => limit.min(s.wbuf.len()),
+                Some(_) => {
+                    s.wstall = None;
+                    s.wbuf.len()
+                }
+                None => s.wbuf.len(),
+            };
+            if s.wpos >= end {
+                break;
+            }
+            match s.stream.write(&s.wbuf[s.wpos..end]) {
                 Ok(0) => {
                     return Err(TransportError::PeerLost {
                         node: me,
@@ -678,9 +799,8 @@ impl NbCluster {
             match h.join() {
                 Ok(Ok(run)) => finished.push(run),
                 Ok(Err(e)) => errors.push(e),
-                Err(_) => errors.push(TransportError::Protocol {
+                Err(_) => errors.push(TransportError::WorkerPanic {
                     node: NodeId(i as u16),
-                    detail: "node thread panicked".to_string(),
                 }),
             }
         }
@@ -890,7 +1010,7 @@ mod tests {
         assert!(report
             .errors
             .iter()
-            .any(|e| matches!(e, TransportError::Protocol { node, .. } if *node == NodeId(0))));
+            .any(|e| matches!(e, TransportError::WorkerPanic { node } if *node == NodeId(0))));
         assert!(report.errors.iter().any(|e| matches!(
             e,
             TransportError::PeerLost { .. } | TransportError::Deadline { .. }

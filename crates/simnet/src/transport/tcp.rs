@@ -145,7 +145,11 @@ impl TcpCluster {
                         nodes: Vec::new(),
                         stats: NetStats::new(n),
                         rounds: 0,
-                        errors: vec![TransportError::io(NodeId(i as u16), "bind listener", &e)],
+                        errors: vec![TransportError::Bind {
+                            node: NodeId(i as u16),
+                            addr: "127.0.0.1:0".to_string(),
+                            error: e.to_string(),
+                        }],
                     }
                 }
             }
@@ -184,9 +188,8 @@ impl TcpCluster {
             match h.join() {
                 Ok(Ok(result)) => finished.push(result),
                 Ok(Err(e)) => errors.push(e),
-                Err(_) => errors.push(TransportError::Protocol {
+                Err(_) => errors.push(TransportError::WorkerPanic {
                     node: NodeId(i as u16),
-                    detail: "node thread panicked".to_string(),
                 }),
             }
         }
@@ -257,13 +260,21 @@ fn run_node(
     // Connect outward (with a deadline so a dead peer cannot hang the
     // whole cluster).
     for (peer, addr) in addrs.iter().enumerate().skip(me as usize + 1) {
-        let stream = TcpStream::connect_timeout(addr, io_deadline)
-            .map_err(|e| TransportError::io(me_id, format!("connect peer {peer}"), &e))?;
+        let stream =
+            TcpStream::connect_timeout(addr, io_deadline).map_err(|e| TransportError::Connect {
+                node: me_id,
+                peer: NodeId(peer as u16),
+                error: e.to_string(),
+            })?;
         let mut s = stream
             .try_clone()
             .map_err(|e| TransportError::io(me_id, "clone stream", &e))?;
         s.write_all(&me.to_be_bytes())
-            .map_err(|e| TransportError::io(me_id, format!("handshake to peer {peer}"), &e))?;
+            .map_err(|e| TransportError::Handshake {
+                node: me_id,
+                peer: Some(NodeId(peer as u16)),
+                detail: e.to_string(),
+            })?;
         lock(&streams).insert(NodeId(peer as u16), stream);
     }
     // Accept inward, bounded by the same deadline.
@@ -283,11 +294,16 @@ fn run_node(
                 let mut id_buf = [0u8; 2];
                 stream
                     .read_exact(&mut id_buf)
-                    .map_err(|e| TransportError::io(me_id, "handshake id", &e))?;
+                    .map_err(|e| TransportError::Handshake {
+                        node: me_id,
+                        peer: None,
+                        detail: e.to_string(),
+                    })?;
                 let peer = NodeId(u16::from_be_bytes(id_buf));
                 if peer.0 >= me {
-                    return Err(TransportError::Protocol {
+                    return Err(TransportError::Handshake {
                         node: me_id,
+                        peer: Some(peer),
                         detail: format!("unexpected handshake from {peer}"),
                     });
                 }
@@ -605,7 +621,7 @@ mod tests {
             report
                 .errors
                 .iter()
-                .any(|e| matches!(e, TransportError::Protocol { node, .. } if *node == NodeId(0))),
+                .any(|e| matches!(e, TransportError::WorkerPanic { node } if *node == NodeId(0))),
             "panicked slot not reported: {:?}",
             report.errors
         );

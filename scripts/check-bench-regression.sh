@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Compare a fresh `lafd bench` run against the committed baseline
-# (BENCH_8.json).
+# (BENCH_10.json).
 #
 # Usage: check-bench-regression.sh CURRENT.json [BASELINE.json]
 #
@@ -28,7 +28,7 @@ usage() {
 usage: check-bench-regression.sh CURRENT.json [BASELINE.json]
 
 Compare a fresh `lafd bench` run against a committed baseline
-(default: BENCH_8.json). Cells are matched by (protocol, n, engine).
+(default: BENCH_10.json). Cells are matched by (protocol, n, engine).
 
 Checks:
   * deterministic counters (messages, bytes, comm_rounds, key_allocs)
@@ -61,7 +61,7 @@ if [[ "${1:-}" == "-h" || "${1:-}" == "--help" ]]; then
 fi
 
 current="${1:?usage: check-bench-regression.sh CURRENT.json [BASELINE.json] (--help for details)}"
-baseline="${2:-BENCH_8.json}"
+baseline="${2:-BENCH_10.json}"
 tolerance="${BENCH_WALL_TOLERANCE_PCT:-20}"
 require_n="${BENCH_REQUIRE_N:-}"
 

@@ -29,9 +29,18 @@
 //!               [--value V] [--adversary KIND[:NODES]] [--crash I]
 //!               [--latency sync|fixed:D|jitter:E|psync:GST:E]
 //!               [--io-deadline-secs 60] [--round-wall-us 0]
+//!               [--chaos SPEC] [--max-restarts 1] [--registry ADDR]
+//!               [--bind HOST]
 //!               # one OS process per node over a discovery registry and
 //!               # a non-blocking socket mesh; last stdout line is the
-//!               # standard report JSON (byte-identical to `lafd run`)
+//!               # standard report JSON (byte-identical to `lafd run`);
+//!               # exit 0 = clean/recovered, 2 = degraded to the crash
+//!               # adversary, 1 = failed
+//! lafd chaos    <protocol> [-n 4] [--t T] [--seed S] [--max-restarts 1]
+//!               [--campaign NAME=SPEC]... [--json PATH]
+//!               # seeded fault campaigns over the supervised cluster;
+//!               # SPEC: seed=S;kill=N@PHASE[xK|xinf];connect=PCT;
+//!               # reset=PCT;accept-delay=PCT:MS;stall=PCT:MS
 //! lafd trace    --n 4 [--t 1]     # per-round message flow of one cycle
 //! lafd sweep    [--protocols all|chain,nonauth,ba,degrade,ds,king,small]
 //!               [--sizes 4,7,10] [--faults auto|0,1,2] [--adversaries none,silent,...]
@@ -66,6 +75,7 @@ use local_auth_fd::core::sweep::{
 use local_auth_fd::core::wire;
 use local_auth_fd::crypto::{SchnorrScheme, SignatureScheme};
 use local_auth_fd::simnet::fault::LinkFault;
+use local_auth_fd::simnet::transport::chaos::{ChaosSpec, COLLATERAL_EXIT};
 use local_auth_fd::simnet::{Engine, LatencySpec, LinkLatencySpec, Node, NodeId};
 use std::io::{BufRead, BufReader, Read, Write};
 use std::process::ExitCode;
@@ -126,7 +136,7 @@ fn parse_common(args: &[String]) -> Result<(SpecBuilder, Extras), String> {
 
 fn usage() {
     eprintln!(
-        "usage: lafd <keydist|fd|run|serve|search|bench|report|cluster|registry|vector|ba|degrade|king|rotate|tcp|trace|sweep> [--n N] \
+        "usage: lafd <keydist|fd|run|serve|search|bench|report|cluster|chaos|registry|vector|ba|degrade|king|rotate|tcp|trace|sweep> [--n N] \
          [--t T] [--seed S] [--scheme tiny|s512|s1024|s2048|dsa512|dsa1024|rsa512|rsa1024] \
          [--value V] [--runs K] [--crash I] [--equivocate]\n\
          run: lafd run <chain|nonauth|small|ba|degrade|ds|king> [-n N] [--t T] \
@@ -151,8 +161,15 @@ fn usage() {
          (defaults to BENCH_*.json in the current directory)\n\
          cluster: lafd cluster <chain|nonauth|small|ba|degrade|ds|king> [-n N] [--t T] \
          [--seed S] [--scheme NAME] [--value V] [--adversary KIND[:NODES]] [--crash I] \
-         [--latency SPEC] [--io-deadline-secs S] [--round-wall-us U] \
-         — spawns a registry plus one worker process per node\n\
+         [--latency SPEC] [--io-deadline-secs S] [--round-wall-us U] [--chaos SPEC] \
+         [--max-restarts K] [--registry ADDR] [--bind HOST] \
+         — spawns a registry plus one worker process per node, restarts crashed \
+         workers with incarnation fencing, degrades to the crash adversary past \
+         the budget (exit 2)\n\
+         chaos: lafd chaos <protocol> [-n N] [--t T] [--seed S] [--max-restarts K] \
+         [--campaign NAME=SPEC]... [--json PATH] — seeded fault campaigns; SPEC \
+         clauses: seed=S;kill=N@keydist|round:K|teardown[xTIMES|xinf];connect=PCT;\
+         reset=PCT;accept-delay=PCT:MS;stall=PCT:MS\n\
          registry: lafd registry [--listen HOST:PORT] [--wait-limit-secs S]"
     );
 }
@@ -175,6 +192,7 @@ fn main() -> ExitCode {
         "registry" => return cmd_registry(rest),
         "cluster" => return cmd_cluster(rest),
         "cluster-worker" => return cmd_cluster_worker(rest),
+        "chaos" => return cmd_chaos(rest),
         _ => {}
     }
     let (mut builder, extras) = match parse_common(rest) {
@@ -1366,10 +1384,21 @@ fn cmd_registry(args: &[String]) -> ExitCode {
 }
 
 /// Flags of `lafd cluster` beyond the run shape.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct ClusterOpts {
     io_deadline_secs: u64,
     round_wall_us: u64,
+    /// Crashes each worker slot may accrue before it is declared dead
+    /// (`--max-restarts`, default 1).
+    max_restarts: u64,
+    /// Deterministic fault campaign injected into every worker
+    /// (`--chaos SPEC`).
+    chaos: Option<ChaosSpec>,
+    /// External registry address (`--registry ADDR`); `None` spawns a
+    /// private localhost registry child.
+    registry: Option<String>,
+    /// Interface workers bind and advertise (`--bind HOST`).
+    bind: String,
 }
 
 fn parse_cluster(args: &[String]) -> Result<(SpecBuilder, ClusterOpts), String> {
@@ -1384,6 +1413,10 @@ fn parse_cluster(args: &[String]) -> Result<(SpecBuilder, ClusterOpts), String> 
     let mut opts = ClusterOpts {
         io_deadline_secs: 60,
         round_wall_us: 0,
+        max_restarts: 1,
+        chaos: None,
+        registry: None,
+        bind: "127.0.0.1".to_string(),
     };
     let mut round_wall_given = false;
     let mut adversary_given = false;
@@ -1418,6 +1451,14 @@ fn parse_cluster(args: &[String]) -> Result<(SpecBuilder, ClusterOpts), String> 
                     .map_err(|e| format!("--round-wall-us: {e}"))?;
                 round_wall_given = true;
             }
+            "--max-restarts" => {
+                opts.max_restarts = grab()?
+                    .parse()
+                    .map_err(|e| format!("--max-restarts: {e}"))?;
+            }
+            "--chaos" => opts.chaos = Some(ChaosSpec::parse(&grab()?)?),
+            "--registry" => opts.registry = Some(grab()?),
+            "--bind" => opts.bind = grab()?,
             other => return Err(format!("unknown cluster flag {other}")),
         }
     }
@@ -1449,11 +1490,431 @@ fn parse_cluster(args: &[String]) -> Result<(SpecBuilder, ClusterOpts), String> 
     Ok((builder, opts))
 }
 
-fn cmd_cluster(args: &[String]) -> ExitCode {
-    use local_auth_fd::core::deploy;
-    use std::process::{Child, Command, Stdio};
+/// Resilience counters of one supervised cluster run.
+struct Resilience {
+    /// Worker generations launched (1 = the first try succeeded).
+    generations: u64,
+    /// Transport/registry retries summed over the final generation's
+    /// worker summaries.
+    retries: u64,
+    /// Slots declared dead past their restart budget (sorted).
+    dead: Vec<usize>,
+    /// Whether the run finished under crash-adversary degradation.
+    degraded: bool,
+}
+
+/// A supervised cluster run that produced a report.
+struct Supervised {
+    report: FdRunReport,
+    totals: local_auth_fd::core::deploy::ClusterTotals,
+    resilience: Resilience,
+}
+
+/// How one worker process left its generation.
+enum ExitKind {
+    /// Exited 0.
+    Ok,
+    /// Crash-style exit (chaos kill, signal, unknown code): charged to the
+    /// slot's restart budget.
+    Crash,
+    /// [`COLLATERAL_EXIT`]: a failure a restart can heal (lost peer,
+    /// expired deadline or retry budget, broken registry exchange) — the
+    /// generation restarts without blaming the slot.
+    Collateral,
+    /// Exit 1 or a panic: a genuine bug; restarting would only mask it.
+    Bug,
+    /// Stopped by the supervisor after the generation was already lost;
+    /// not classified.
+    Excluded,
+}
+
+struct GenExit {
+    node: usize,
+    kind: ExitKind,
+    desc: String,
+}
+
+/// Wait for a generation of workers. Returns every worker's exit
+/// classification, or an error if the whole-run guard expired. Once a
+/// failure is seen the remaining workers get a bounded window to flush
+/// their own exits — short when a culprit is already known, a full I/O
+/// deadline when only collateral failures arrived (the culprit may still
+/// be timing out) — and stragglers past the window are stopped and
+/// excluded from classification.
+fn wait_generation(
+    mut pending: Vec<(usize, std::process::Child)>,
+    opts: &ClusterOpts,
+) -> Result<Vec<GenExit>, String> {
     use std::time::{Duration, Instant};
 
+    let guard_secs = opts.io_deadline_secs.saturating_mul(4).saturating_add(30);
+    let guard = Instant::now() + Duration::from_secs(guard_secs);
+    let grace = Duration::from_secs(opts.io_deadline_secs.min(5));
+    let drain = Duration::from_secs(opts.io_deadline_secs.saturating_add(5));
+    let mut exits: Vec<GenExit> = Vec::new();
+    let mut first_failure: Option<Instant> = None;
+    let mut culprit_seen = false;
+    loop {
+        let mut still = Vec::new();
+        for (node, mut child) in pending {
+            match child.try_wait() {
+                Ok(Some(status)) => {
+                    let kind = match status.code() {
+                        Some(0) => ExitKind::Ok,
+                        Some(code) if code == i32::from(COLLATERAL_EXIT) => ExitKind::Collateral,
+                        Some(1) | Some(101) => ExitKind::Bug,
+                        _ => ExitKind::Crash,
+                    };
+                    if !matches!(kind, ExitKind::Ok) && first_failure.is_none() {
+                        first_failure = Some(Instant::now());
+                    }
+                    if matches!(kind, ExitKind::Crash | ExitKind::Bug) {
+                        culprit_seen = true;
+                    }
+                    exits.push(GenExit {
+                        node,
+                        kind,
+                        desc: format!("worker {node} exited with {status}"),
+                    });
+                }
+                Ok(None) => still.push((node, child)),
+                Err(e) => {
+                    culprit_seen = true;
+                    if first_failure.is_none() {
+                        first_failure = Some(Instant::now());
+                    }
+                    exits.push(GenExit {
+                        node,
+                        kind: ExitKind::Crash,
+                        desc: format!("worker {node}: wait failed: {e}"),
+                    });
+                }
+            }
+        }
+        pending = still;
+        if pending.is_empty() {
+            return Ok(exits);
+        }
+        let now = Instant::now();
+        if now > guard {
+            let stuck: Vec<String> = pending.iter().map(|(node, _)| node.to_string()).collect();
+            for (_, child) in pending.iter_mut() {
+                let _ = child.kill();
+                let _ = child.wait();
+            }
+            return Err(format!(
+                "cluster run exceeded the {guard_secs}s guard with workers [{}] still running",
+                stuck.join(", ")
+            ));
+        }
+        if let Some(first) = first_failure {
+            let window = if culprit_seen { grace } else { drain };
+            if now.duration_since(first) > window {
+                for (node, mut child) in pending {
+                    let _ = child.kill();
+                    let _ = child.wait();
+                    exits.push(GenExit {
+                        node,
+                        kind: ExitKind::Excluded,
+                        desc: format!("worker {node} stopped by the supervisor (generation lost)"),
+                    });
+                }
+                return Ok(exits);
+            }
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// Run a cluster under supervision: launch worker generations, restart
+/// crashed slots up to `--max-restarts` (each generation re-registers
+/// under an incremented incarnation the registry fences stale sessions
+/// by), and degrade to crash-adversary semantics when a slot dies past
+/// its budget — exactly the in-process `silent:I` scripted adversary, so
+/// the degraded report stays byte-comparable. A failure beyond `t` dead
+/// slots, a genuine worker bug, or an exhausted restart/flake budget
+/// aborts loudly.
+fn run_supervised(builder: &SpecBuilder, opts: &ClusterOpts) -> Result<Supervised, String> {
+    use local_auth_fd::core::deploy;
+    use std::collections::HashMap;
+    use std::process::{Child, Command, Stdio};
+    use std::time::Duration;
+
+    let exe = std::env::current_exe()
+        .map_err(|e| format!("cannot locate the lafd binary to re-exec: {e}"))?;
+    // With an external registry several clusters may share one namespace;
+    // the pid suffix keeps this invocation's run id unique there.
+    let run_id = match &opts.registry {
+        Some(_) => format!(
+            "cluster-{}-n{}-seed{}-p{}",
+            builder.protocol.name(),
+            builder.n,
+            builder.seed,
+            std::process::id()
+        ),
+        None => format!(
+            "cluster-{}-n{}-seed{}",
+            builder.protocol.name(),
+            builder.n,
+            builder.seed
+        ),
+    };
+
+    // The registry is a child process too (unless `--registry` points at
+    // an external one), so `lafd cluster` exercises the exact discovery
+    // path a hand-rolled deployment would use. It lives across worker
+    // generations; incarnation fencing keeps its state consistent.
+    let mut registry_child: Option<Child> = None;
+    let addr = match &opts.registry {
+        Some(addr) => addr.clone(),
+        None => {
+            let mut child = Command::new(&exe)
+                .args([
+                    "registry",
+                    "--listen",
+                    "127.0.0.1:0",
+                    "--wait-limit-secs",
+                    &opts.io_deadline_secs.to_string(),
+                ])
+                .stdout(Stdio::piped())
+                .stderr(Stdio::inherit())
+                .spawn()
+                .map_err(|e| format!("spawn registry: {e}"))?;
+            let mut line = String::new();
+            let announced = {
+                let stdout = child.stdout.take().expect("stdout was piped");
+                let mut reader = BufReader::new(stdout);
+                match reader.read_line(&mut line) {
+                    Ok(_) => match line.trim().rsplit(' ').next() {
+                        Some(addr) if line.starts_with("registry listening on ") => {
+                            Some(addr.to_string())
+                        }
+                        _ => None,
+                    },
+                    Err(_) => None,
+                }
+            };
+            match announced {
+                Some(addr) => {
+                    registry_child = Some(child);
+                    addr
+                }
+                None => {
+                    let _ = child.kill();
+                    let _ = child.wait();
+                    return Err(format!(
+                        "registry did not announce an address (got {line:?})"
+                    ));
+                }
+            }
+        }
+    };
+
+    let t = builder.resolved_t();
+    let mut crash_count: HashMap<usize, u64> = HashMap::new();
+    let mut dead: Vec<usize> = Vec::new();
+    let mut degraded = false;
+    let mut flake_budget: u32 = 3;
+    // Backstop against pathological chaos specs: every slot may burn its
+    // full restart budget, plus the degraded generation and the flakes.
+    let max_generations = (builder.n as u64)
+        .saturating_mul(opts.max_restarts.saturating_add(1))
+        .saturating_add(4);
+    let mut generation: u64 = 0;
+
+    let outcome = loop {
+        if generation >= max_generations {
+            break Err(format!(
+                "restart budget exhausted after {generation} generations"
+            ));
+        }
+        // The generation's effective shape: once slots are declared dead
+        // the run degrades to the scripted crash adversary at exactly
+        // those slots (parity with `--crash`), and their kill rules are
+        // stripped so the stand-in automata survive.
+        let mut effective = builder.clone();
+        let mut chaos = opts.chaos.clone();
+        if degraded {
+            effective = effective.with_adversary(AdversarySpec::scripted_at(
+                AdversaryKind::SilentRelay,
+                dead.iter().map(|&node| NodeId(node as u16)).collect(),
+            ));
+            chaos = chaos.map(|spec| spec.without_kills_for(&dead));
+        }
+        let request = wire::request_to_json(&effective, None)?;
+        let chaos_arg = chaos.as_ref().map(ChaosSpec::to_spec_string);
+        let mut pending: Vec<(usize, Child)> = Vec::new();
+        let mut spawn_error: Option<String> = None;
+        for node in 0..builder.n {
+            let mut cmd = Command::new(&exe);
+            cmd.args([
+                "cluster-worker",
+                "--registry",
+                &addr,
+                "--run",
+                &run_id,
+                "--node",
+                &node.to_string(),
+                "--incarnation",
+                &generation.to_string(),
+                "--bind",
+                &opts.bind,
+                "--io-deadline-secs",
+                &opts.io_deadline_secs.to_string(),
+                "--round-wall-us",
+                &opts.round_wall_us.to_string(),
+                "--request",
+                &request,
+            ]);
+            if let Some(spec) = &chaos_arg {
+                cmd.args(["--chaos", spec]);
+            }
+            match cmd
+                .stdout(Stdio::inherit())
+                .stderr(Stdio::inherit())
+                .spawn()
+            {
+                Ok(child) => pending.push((node, child)),
+                Err(e) => {
+                    spawn_error = Some(format!("spawn worker {node}: {e}"));
+                    break;
+                }
+            }
+        }
+        if let Some(e) = spawn_error {
+            for (_, child) in pending.iter_mut() {
+                let _ = child.kill();
+                let _ = child.wait();
+            }
+            break Err(e);
+        }
+        println!(
+            "cluster {}: registry at {addr}, {} worker processes launched (generation {generation})",
+            builder.protocol.name(),
+            builder.n
+        );
+
+        let exits = match wait_generation(pending, opts) {
+            Ok(exits) => exits,
+            Err(e) => break Err(e),
+        };
+        let mut culprits: Vec<usize> = Vec::new();
+        let mut bug: Option<String> = None;
+        let mut clean = true;
+        for exit in &exits {
+            if !matches!(exit.kind, ExitKind::Ok) {
+                clean = false;
+                eprintln!("error: {} (generation {generation})", exit.desc);
+            }
+            match exit.kind {
+                ExitKind::Crash => culprits.push(exit.node),
+                ExitKind::Bug => bug = Some(exit.desc.clone()),
+                _ => {}
+            }
+        }
+        if clean {
+            // Collect the final generation's summaries while the registry
+            // is still up (each new generation cleared every older one).
+            let collected = deploy::registry_call(
+                &addr,
+                &wire::RegistryRequest::Collect {
+                    run: run_id.clone(),
+                },
+                Duration::from_secs(opts.io_deadline_secs),
+            );
+            break match collected {
+                Ok(wire::RegistryReply::Summaries { workers }) => Ok(workers),
+                Ok(other) => Err(format!("registry returned {other:?} instead of summaries")),
+                Err(e) => Err(format!("collect summaries: {e}")),
+            };
+        }
+        if let Some(desc) = bug {
+            break Err(format!("{desc} — a genuine failure, not a crash"));
+        }
+        if culprits.is_empty() {
+            // Collateral-only generation: nobody to blame; restart on a
+            // small flake budget so transient stalls cannot loop forever.
+            if flake_budget == 0 {
+                break Err(
+                    "collateral failures exhausted the flake budget; the cluster cannot make progress"
+                        .to_string(),
+                );
+            }
+            flake_budget -= 1;
+            eprintln!(
+                "cluster: generation {generation} lost to collateral failures; restarting ({flake_budget} flakes left)"
+            );
+        } else {
+            let mut fatal: Option<String> = None;
+            for &node in &culprits {
+                if dead.contains(&node) {
+                    fatal = Some(format!("worker {node} crashed again after degradation"));
+                }
+                *crash_count.entry(node).or_insert(0) += 1;
+            }
+            if let Some(e) = fatal {
+                break Err(e);
+            }
+            let mut newly_dead: Vec<usize> = crash_count
+                .iter()
+                .filter(|&(node, &count)| count > opts.max_restarts && !dead.contains(node))
+                .map(|(&node, _)| node)
+                .collect();
+            newly_dead.sort_unstable();
+            if newly_dead.is_empty() {
+                let list: Vec<String> = culprits.iter().map(|n| n.to_string()).collect();
+                eprintln!(
+                    "cluster: restarting after crash of worker(s) [{}] (generation {} next)",
+                    list.join(", "),
+                    generation + 1
+                );
+            } else {
+                dead.extend(newly_dead);
+                dead.sort_unstable();
+                let list: Vec<String> = dead.iter().map(|n| n.to_string()).collect();
+                if dead.len() > t {
+                    break Err(format!(
+                        "workers [{}] are dead past their restart budget — {} crash failures exceed t = {t}",
+                        list.join(", "),
+                        dead.len()
+                    ));
+                }
+                if !builder.adversary.is_honest() {
+                    break Err(format!(
+                        "workers [{}] are dead past their restart budget and the run already scripts an adversary; cannot degrade",
+                        list.join(", ")
+                    ));
+                }
+                degraded = true;
+                eprintln!(
+                    "cluster: degrading to crash-adversary semantics — nodes [{}] presumed crashed (silent-relay, parity with --crash)",
+                    list.join(", ")
+                );
+            }
+        }
+        generation += 1;
+    };
+
+    if let Some(child) = registry_child.as_mut() {
+        let _ = child.kill();
+        let _ = child.wait();
+    }
+    let summaries = outcome?;
+    let retries: u64 = summaries.iter().map(|worker| worker.retries).sum();
+    let (report, totals) = deploy::assemble_report(builder.protocol, builder.n, &summaries)?;
+    Ok(Supervised {
+        report,
+        totals,
+        resilience: Resilience {
+            generations: generation + 1,
+            retries,
+            dead,
+            degraded,
+        },
+    })
+}
+
+fn cmd_cluster(args: &[String]) -> ExitCode {
     let (builder, opts) = match parse_cluster(args) {
         Ok(parsed) => parsed,
         Err(e) => {
@@ -1462,180 +1923,16 @@ fn cmd_cluster(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let request = match wire::request_to_json(&builder, None) {
-        Ok(json) => json,
+    let supervised = match run_supervised(&builder, &opts) {
+        Ok(supervised) => supervised,
         Err(e) => {
-            eprintln!("error: {e}");
+            eprintln!("error: lafd cluster aborted: {e}");
             return ExitCode::FAILURE;
         }
     };
-    let exe = match std::env::current_exe() {
-        Ok(path) => path,
-        Err(e) => {
-            eprintln!("error: cannot locate the lafd binary to re-exec: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
-    let run_id = format!(
-        "cluster-{}-n{}-seed{}",
-        builder.protocol.name(),
-        builder.n,
-        builder.seed
-    );
-
-    // The registry is a child process too, so `lafd cluster` exercises the
-    // exact discovery path a hand-rolled deployment would use.
-    let mut registry = match Command::new(&exe)
-        .args([
-            "registry",
-            "--listen",
-            "127.0.0.1:0",
-            "--wait-limit-secs",
-            &opts.io_deadline_secs.to_string(),
-        ])
-        .stdout(Stdio::piped())
-        .stderr(Stdio::inherit())
-        .spawn()
-    {
-        Ok(child) => child,
-        Err(e) => {
-            eprintln!("error: spawn registry: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
-    let kill_all = |registry: &mut Child, workers: &mut Vec<(usize, Child)>| {
-        for (_, child) in workers.iter_mut() {
-            let _ = child.kill();
-            let _ = child.wait();
-        }
-        let _ = registry.kill();
-        let _ = registry.wait();
-    };
-    let mut line = String::new();
-    let addr = {
-        let stdout = registry.stdout.take().expect("stdout was piped");
-        let mut reader = BufReader::new(stdout);
-        match reader.read_line(&mut line) {
-            Ok(_) => (),
-            Err(e) => {
-                eprintln!("error: read registry address: {e}");
-                kill_all(&mut registry, &mut Vec::new());
-                return ExitCode::FAILURE;
-            }
-        }
-        match line.trim().rsplit(' ').next() {
-            Some(addr) if line.starts_with("registry listening on ") => addr.to_string(),
-            _ => {
-                eprintln!("error: registry did not announce an address (got {line:?})");
-                kill_all(&mut registry, &mut Vec::new());
-                return ExitCode::FAILURE;
-            }
-        }
-    };
-
-    let mut pending: Vec<(usize, Child)> = Vec::new();
-    for node in 0..builder.n {
-        let spawned = Command::new(&exe)
-            .args([
-                "cluster-worker",
-                "--registry",
-                &addr,
-                "--run",
-                &run_id,
-                "--node",
-                &node.to_string(),
-                "--io-deadline-secs",
-                &opts.io_deadline_secs.to_string(),
-                "--round-wall-us",
-                &opts.round_wall_us.to_string(),
-                "--request",
-                &request,
-            ])
-            .stdout(Stdio::inherit())
-            .stderr(Stdio::inherit())
-            .spawn();
-        match spawned {
-            Ok(child) => pending.push((node, child)),
-            Err(e) => {
-                eprintln!("error: spawn worker {node}: {e}");
-                kill_all(&mut registry, &mut pending);
-                return ExitCode::FAILURE;
-            }
-        }
-    }
-    println!(
-        "cluster {}: registry at {addr}, {} worker processes launched",
-        builder.protocol.name(),
-        builder.n
-    );
-
-    // Supervise: a crashed or hung worker must surface as a loud error and
-    // a nonzero exit, never a silent hang. The guard bounds the whole run
-    // (keydist mesh + barrier + protocol mesh + teardown).
-    let guard_secs = opts.io_deadline_secs.saturating_mul(4).saturating_add(30);
-    let guard = Instant::now() + Duration::from_secs(guard_secs);
-    let mut failures: Vec<String> = Vec::new();
-    while !pending.is_empty() && failures.is_empty() {
-        if Instant::now() > guard {
-            let stuck: Vec<String> = pending.iter().map(|(node, _)| node.to_string()).collect();
-            kill_all(&mut registry, &mut pending);
-            eprintln!(
-                "error: cluster run exceeded the {guard_secs}s guard with workers [{}] still running",
-                stuck.join(", ")
-            );
-            return ExitCode::FAILURE;
-        }
-        let mut still = Vec::new();
-        for (node, mut child) in pending {
-            match child.try_wait() {
-                Ok(Some(status)) if status.success() => {}
-                Ok(Some(status)) => failures.push(format!("worker {node} exited with {status}")),
-                Ok(None) => still.push((node, child)),
-                Err(e) => failures.push(format!("worker {node}: wait failed: {e}")),
-            }
-        }
-        pending = still;
-        if failures.is_empty() && !pending.is_empty() {
-            std::thread::sleep(Duration::from_millis(20));
-        }
-    }
-    if !failures.is_empty() {
-        for failure in &failures {
-            eprintln!("error: {failure}");
-        }
-        kill_all(&mut registry, &mut pending);
-        eprintln!("error: lafd cluster aborted: a worker process failed");
-        return ExitCode::FAILURE;
-    }
-
-    // All workers exited 0: collect the summaries and fold them into the
-    // standard report (byte-comparable with the in-process engines).
-    let collected = deploy::registry_call(
-        &addr,
-        &wire::RegistryRequest::Collect {
-            run: run_id.clone(),
-        },
-        Duration::from_secs(opts.io_deadline_secs),
-    );
-    kill_all(&mut registry, &mut pending);
-    let summaries = match collected {
-        Ok(wire::RegistryReply::Summaries { workers }) => workers,
-        Ok(other) => {
-            eprintln!("error: registry returned {other:?} instead of summaries");
-            return ExitCode::FAILURE;
-        }
-        Err(e) => {
-            eprintln!("error: collect summaries: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
-    let (report, totals) = match deploy::assemble_report(builder.protocol, builder.n, &summaries) {
-        Ok(assembled) => assembled,
-        Err(e) => {
-            eprintln!("error: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
+    let totals = &supervised.totals;
+    let report = &supervised.report;
+    let res = &supervised.resilience;
     println!(
         "key distribution: {} messages, {} bytes, {} rounds, {} anomalies",
         totals.kd_messages, totals.kd_bytes, totals.kd_rounds, totals.kd_anomalies
@@ -1647,11 +1944,228 @@ fn cmd_cluster(args: &[String]) -> ExitCode {
         report.stats.bytes_total,
         report.stats.rounds
     );
+    let dead: Vec<String> = res.dead.iter().map(|n| n.to_string()).collect();
+    println!(
+        "resilience: generations={} retries={} dead=[{}] degraded={}",
+        res.generations,
+        res.retries,
+        dead.join(", "),
+        res.degraded
+    );
     // The machine-readable result is the last stdout line, so scripts (and
     // the cross-validation tests) can compare it byte-for-byte with the
     // in-process engines' `FdRunReport::to_json`.
     println!("{}", report.to_json());
-    ExitCode::SUCCESS
+    if res.degraded {
+        // Loud grade: the run finished, but only by presuming crashed
+        // workers — scripts must be able to tell this apart from a clean
+        // recovery.
+        ExitCode::from(2)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// The outcome a chaos spec should produce under a given fault budget:
+/// slots whose kill rules outlive the restart budget stay down, so up to
+/// `t` of them degrade the run and more than `t` must fail it.
+fn chaos_expected(spec: &ChaosSpec, t: usize, max_restarts: u64) -> &'static str {
+    let mut persistent: Vec<usize> = spec
+        .kills
+        .iter()
+        .filter(|kill| kill.times > max_restarts)
+        .map(|kill| kill.node)
+        .collect();
+    persistent.sort_unstable();
+    persistent.dedup();
+    if persistent.len() > t {
+        "failed"
+    } else if !persistent.is_empty() {
+        "degraded"
+    } else {
+        "recovered"
+    }
+}
+
+fn json_escape(text: &str) -> String {
+    text.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// `lafd chaos`: sweep seeded fault campaigns over the supervised cluster
+/// and emit a robustness report. Each campaign is classified recovered /
+/// degraded / failed, checked against the outcome its spec predicts, and
+/// (where a report was produced) compared byte-for-byte against the
+/// matching in-process reference run. Exit 0 iff every campaign behaved.
+fn cmd_chaos(args: &[String]) -> ExitCode {
+    let mut campaigns: Vec<(String, String)> = Vec::new();
+    let mut json_out: Option<String> = None;
+    let mut cluster_args: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    let parsed = (|| -> Result<(), String> {
+        while let Some(flag) = it.next() {
+            let mut grab = || {
+                it.next()
+                    .cloned()
+                    .ok_or_else(|| format!("flag {flag} needs a value"))
+            };
+            match flag.as_str() {
+                "--campaign" => {
+                    let value = grab()?;
+                    let (name, spec) = value
+                        .split_once('=')
+                        .ok_or_else(|| format!("--campaign {value:?}: expected NAME=SPEC"))?;
+                    campaigns.push((name.to_string(), spec.to_string()));
+                }
+                "--json" => json_out = Some(grab()?),
+                other => cluster_args.push(other.to_string()),
+            }
+        }
+        Ok(())
+    })();
+    if let Err(e) = parsed {
+        eprintln!("error: {e}");
+        usage();
+        return ExitCode::FAILURE;
+    }
+    let (builder, opts) = match parse_cluster(&cluster_args) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("error: {e}");
+            usage();
+            return ExitCode::FAILURE;
+        }
+    };
+    if opts.chaos.is_some() {
+        eprintln!("error: lafd chaos takes --campaign NAME=SPEC, not --chaos");
+        return ExitCode::FAILURE;
+    }
+    let t = builder.resolved_t();
+    let seed = builder.seed;
+    if campaigns.is_empty() {
+        // The default matrix: pure network noise (must recover in place),
+        // a transient kill (must recover via restart), a slot that never
+        // comes back (must degrade if the budget allows), and more dead
+        // slots than t (must fail loudly).
+        campaigns.push((
+            "noise".to_string(),
+            format!("seed={seed};connect=25;reset=15;accept-delay=30:2;stall=30:2"),
+        ));
+        if t >= 1 {
+            campaigns.push((
+                "kill-one-transient".to_string(),
+                format!("seed={seed};kill=1@round:1;connect=10"),
+            ));
+            campaigns.push((
+                "kill-one-dead".to_string(),
+                format!("seed={seed};kill=1@round:1xinf"),
+            ));
+            let beyond: Vec<String> = (0..=t)
+                .map(|node| format!("kill={node}@round:1xinf"))
+                .collect();
+            campaigns.push((
+                "kill-beyond-t".to_string(),
+                format!("seed={seed};{}", beyond.join(";")),
+            ));
+        }
+    }
+    // The fault-free reference every recovered campaign must reproduce
+    // byte-for-byte.
+    let reference = match builder.clone().build() {
+        Ok((cluster, spec)) => cluster.run(&spec).to_json(),
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut rows: Vec<String> = Vec::new();
+    let mut all_ok = true;
+    for (name, spec_text) in &campaigns {
+        let spec = match ChaosSpec::parse(spec_text) {
+            Ok(spec) => spec,
+            Err(e) => {
+                eprintln!("error: campaign {name}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let expected = chaos_expected(&spec, t, opts.max_restarts);
+        let mut campaign_opts = opts.clone();
+        campaign_opts.chaos = Some(spec);
+        println!("chaos campaign {name}: spec {spec_text}");
+        let result = run_supervised(&builder, &campaign_opts);
+        let (outcome, generations, retries, dead, matches) = match &result {
+            Ok(supervised) => {
+                let res = &supervised.resilience;
+                let outcome = if res.degraded {
+                    "degraded"
+                } else {
+                    "recovered"
+                };
+                // A degraded run must match the in-process run scripted
+                // with the same crash set — the degradation contract.
+                let expected_report = if res.degraded {
+                    let degraded_builder =
+                        builder.clone().with_adversary(AdversarySpec::scripted_at(
+                            AdversaryKind::SilentRelay,
+                            res.dead.iter().map(|&node| NodeId(node as u16)).collect(),
+                        ));
+                    match degraded_builder.build() {
+                        Ok((cluster, spec)) => cluster.run(&spec).to_json(),
+                        Err(e) => {
+                            eprintln!("error: campaign {name}: degraded reference: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                } else {
+                    reference.clone()
+                };
+                (
+                    outcome,
+                    res.generations,
+                    res.retries,
+                    res.dead.clone(),
+                    supervised.report.to_json() == expected_report,
+                )
+            }
+            Err(e) => {
+                eprintln!("error: campaign {name}: {e}");
+                ("failed", 0, 0, Vec::new(), true)
+            }
+        };
+        let ok = outcome == expected && matches;
+        all_ok &= ok;
+        let dead_list: Vec<String> = dead.iter().map(|n| n.to_string()).collect();
+        println!(
+            "chaos campaign {name}: {outcome} (expected {expected}) generations={generations} retries={retries} dead=[{}] report-match={matches}",
+            dead_list.join(", ")
+        );
+        rows.push(format!(
+            "{{\"name\":\"{}\",\"spec\":\"{}\",\"expected\":\"{expected}\",\"outcome\":\"{outcome}\",\"generations\":{generations},\"retries\":{retries},\"dead\":[{}],\"report_match\":{matches},\"ok\":{ok}}}",
+            json_escape(name),
+            json_escape(spec_text),
+            dead_list.join(",")
+        ));
+    }
+    let doc = format!(
+        "{{\"schema\":\"lafd-chaos-report-v1\",\"protocol\":\"{}\",\"n\":{},\"t\":{t},\"max_restarts\":{},\"campaigns\":[{}],\"ok\":{all_ok}}}",
+        builder.protocol.name(),
+        builder.n,
+        opts.max_restarts,
+        rows.join(",")
+    );
+    if let Some(path) = json_out {
+        if let Err(e) = std::fs::write(&path, format!("{doc}\n")) {
+            eprintln!("error: write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    // Machine-readable robustness matrix as the last stdout line.
+    println!("{doc}");
+    if all_ok {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("error: at least one chaos campaign diverged from its expected outcome");
+        ExitCode::FAILURE
+    }
 }
 
 fn cmd_cluster_worker(args: &[String]) -> ExitCode {
@@ -1662,6 +2176,9 @@ fn cmd_cluster_worker(args: &[String]) -> ExitCode {
     let mut request: Option<String> = None;
     let mut io_deadline_secs: u64 = 60;
     let mut round_wall_us: u64 = 0;
+    let mut incarnation: u64 = 0;
+    let mut bind = "127.0.0.1".to_string();
+    let mut chaos: Option<ChaosSpec> = None;
     let mut it = args.iter();
     let parsed = (|| -> Result<(), String> {
         while let Some(flag) = it.next() {
@@ -1685,6 +2202,11 @@ fn cmd_cluster_worker(args: &[String]) -> ExitCode {
                         .parse()
                         .map_err(|e| format!("--round-wall-us: {e}"))?;
                 }
+                "--incarnation" => {
+                    incarnation = grab()?.parse().map_err(|e| format!("--incarnation: {e}"))?;
+                }
+                "--bind" => bind = grab()?,
+                "--chaos" => chaos = Some(ChaosSpec::parse(&grab()?)?),
                 other => return Err(format!("unknown cluster-worker flag {other}")),
             }
         }
@@ -1727,12 +2249,20 @@ fn cmd_cluster_worker(args: &[String]) -> ExitCode {
         node,
         io_deadline: std::time::Duration::from_secs(io_deadline_secs),
         round_wall: std::time::Duration::from_micros(round_wall_us),
+        incarnation,
+        bind,
+        retry: Default::default(),
+        chaos,
     };
     match deploy::run_worker(&cfg, &builder) {
         Ok(()) => ExitCode::SUCCESS,
-        Err(e) => {
-            eprintln!("error: cluster worker {node}: {e}");
-            ExitCode::FAILURE
+        Err(failure) => {
+            eprintln!("error: cluster worker {node}: {failure}");
+            // The exit code is the supervisor's classification channel:
+            // chaos kills are charged to the slot's restart budget,
+            // collateral failures restart the generation without blame,
+            // and genuine bugs abort the run.
+            std::process::exit(failure.exit_code());
         }
     }
 }

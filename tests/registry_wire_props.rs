@@ -47,12 +47,14 @@ fn summary_strategy() -> impl Strategy<Value = WorkerSummary> {
             prop::collection::vec(0usize..500, 0..8),
             0usize..5,
         ),
+        (0u64..5, 0u64..100),
     )
         .prop_map(
             |(
                 (node, outcome, used_fallback, grade_pick),
                 (rounds, messages, bytes, per_round, dropped),
                 (kd_rounds, kd_messages, kd_bytes, kd_per_round, kd_anomalies),
+                (incarnation, retries),
             )| WorkerSummary {
                 node,
                 outcome,
@@ -68,6 +70,8 @@ fn summary_strategy() -> impl Strategy<Value = WorkerSummary> {
                 kd_bytes,
                 kd_per_round,
                 kd_anomalies,
+                incarnation,
+                retries,
             },
         )
 }
@@ -75,26 +79,40 @@ fn summary_strategy() -> impl Strategy<Value = WorkerSummary> {
 fn request_strategy() -> impl Strategy<Value = RegistryRequest> {
     (
         (0usize..5, any::<u32>(), 0usize..64, 2usize..64),
-        any::<u16>(),
+        (any::<u16>(), 0u64..4),
         (0usize..3, summary_strategy()),
     )
-        .prop_map(|((pick, tag, node, n), port, (phase_pick, summary))| {
-            let run = format!("run-{tag}");
-            let addr = format!("127.0.0.1:{port}");
-            let phase = ["keydist-done", "protocol-done", "ready"][phase_pick].to_string();
-            match pick {
-                0 => RegistryRequest::Register { run, node, n, addr },
-                1 => RegistryRequest::Lookup { run, node },
-                2 => RegistryRequest::Barrier {
-                    run,
-                    node,
-                    n,
-                    phase,
-                },
-                3 => RegistryRequest::Teardown { run, node, summary },
-                _ => RegistryRequest::Collect { run },
-            }
-        })
+        .prop_map(
+            |((pick, tag, node, n), (port, incarnation), (phase_pick, summary))| {
+                let run = format!("run-{tag}");
+                let addr = format!("127.0.0.1:{port}");
+                let phase = ["keydist-done", "protocol-done", "ready"][phase_pick].to_string();
+                match pick {
+                    0 => RegistryRequest::Register {
+                        run,
+                        node,
+                        n,
+                        addr,
+                        incarnation,
+                    },
+                    1 => RegistryRequest::Lookup { run, node },
+                    2 => RegistryRequest::Barrier {
+                        run,
+                        node,
+                        n,
+                        phase,
+                        incarnation,
+                    },
+                    3 => RegistryRequest::Teardown {
+                        run,
+                        node,
+                        summary,
+                        incarnation,
+                    },
+                    _ => RegistryRequest::Collect { run },
+                }
+            },
+        )
 }
 
 fn reply_strategy() -> impl Strategy<Value = RegistryReply> {
